@@ -1,0 +1,83 @@
+//! E8: closure of null-augmented instances (Example 2.1.1), plus
+//! design-choice ablation #3 — specialised worklist closure vs semi-naive
+//! chase vs naive chase.
+//!
+//! Expected shape: specialised ≪ semi-naive ≪ naive, with the gap growing
+//! with instance size; all three agree tuple-for-tuple (asserted in tests).
+
+use compview_bench::{closed_instance, header, path_schema};
+use compview_core::workload;
+use compview_logic::{chase, chase_naive, ChaseConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_closure_engines(c: &mut Criterion) {
+    header(
+        "E8",
+        "null-augmented closure: specialised vs semi-naive vs naive chase",
+    );
+    let ps = path_schema();
+    let rules = ps.closure_tgds();
+    let cfg = ChaseConfig::default();
+
+    for &n in &[10usize, 30, 100] {
+        // Unclosed generators (what arrives before closure).
+        let gens = {
+            let mut r = compview_relation::Relation::empty(ps.arity());
+            let mut rng = workload::rng(31);
+            for t in workload::random_path_instance(&ps, n, (n / 4).max(3), &mut rng)
+                .iter()
+                .filter(|t| ps.interval(t).is_some_and(|(i, j)| j == i + 1))
+            {
+                r.insert(t.clone());
+            }
+            r
+        };
+        let closed_len = ps.close(&gens).len();
+        eprintln!(
+            "  n={n}: {} generators close to {closed_len} objects",
+            gens.len()
+        );
+
+        let mut group = c.benchmark_group(format!("chase/n{n}"));
+        group.bench_function("specialised", |b| {
+            b.iter(|| black_box(ps.close(black_box(&gens))))
+        });
+        let inst = ps.instance(gens.clone());
+        group.bench_function("semi_naive", |b| {
+            b.iter(|| black_box(chase(black_box(&inst), &rules, &[], &cfg).unwrap()))
+        });
+        if n <= 30 {
+            group.sample_size(10);
+            group.bench_function("naive", |b| {
+                b.iter(|| {
+                    black_box(chase_naive(black_box(&inst), &rules, &[], &cfg).unwrap())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_closure_scaling(c: &mut Criterion) {
+    // Pure specialised-closure scaling, larger sizes.
+    let ps = path_schema();
+    let mut group = c.benchmark_group("chase/specialised_scaling");
+    for &n in &[100usize, 300, 1000, 3000] {
+        let closed = closed_instance(n, (n / 4).max(3), 37);
+        eprintln!("  n={n}: re-closing {} objects", closed.len());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ps.close(black_box(&closed))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_closure_engines, bench_closure_scaling
+}
+criterion_main!(benches);

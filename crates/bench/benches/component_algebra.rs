@@ -1,0 +1,92 @@
+//! E9: building and verifying the Boolean algebra of components.
+//!
+//! Enumerated side: generate + fully verify the 2.3.4 algebra over state
+//! spaces of growing size (the verification cost is what a DBA pays once
+//! per schema).  Symbolic side: component operations (endo / complement /
+//! decomposition) on large instances, where the algebra has 2^(k-1)
+//! elements but operations stay O(data).
+
+use compview_bench::{closed_instance, header};
+use compview_core::paper::example_2_1_1 as ex;
+use compview_core::{strong, ComponentAlgebra, MatView, PathComponents, StateSpace};
+use compview_logic::PathSchema;
+use compview_relation::{v, Tuple};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn spaces() -> Vec<(usize, StateSpace)> {
+    let ps = PathSchema::example_2_1_1();
+    let pool_small: Vec<Tuple> = vec![
+        ps.object(0, &[v("a1"), v("b1")]),
+        ps.object(1, &[v("b1"), v("c1")]),
+        ps.object(2, &[v("c1"), v("d1")]),
+        ps.object(0, &[v("a2"), v("b1")]),
+    ];
+    let pool_mid = ex::small_generator_pool();
+    let mut pool_large = ex::small_generator_pool();
+    pool_large.push(ps.object(0, &[v("a3"), v("b1")]));
+    pool_large.push(ps.object(2, &[v("c1"), v("d3")]));
+    vec![
+        (pool_small.len(), ex::small_space(&pool_small)),
+        (pool_mid.len(), ex::small_space(&pool_mid)),
+        (pool_large.len(), ex::small_space(&pool_large)),
+    ]
+}
+
+fn bench_generate_and_verify(c: &mut Criterion) {
+    header(
+        "E9",
+        "component algebra: generation + full Boolean verification per space size",
+    );
+    for (gens, sp) in spaces() {
+        eprintln!("  pool={gens} generators → |LDB| = {}", sp.len());
+        let atoms = || {
+            vec![
+                ("AB", vec![0usize, 1]),
+                ("BC", vec![1, 2]),
+                ("CD", vec![2, 3]),
+            ]
+            .into_iter()
+            .map(|(n, cols)| {
+                let mv = MatView::materialise(ex::object_view(n, &cols), &sp);
+                (n.to_owned(), strong::endomorphism(&sp, &mv))
+            })
+            .collect::<Vec<_>>()
+        };
+        let mut group = c.benchmark_group(format!("component_algebra/ldb{}", sp.len()));
+        group.sample_size(10);
+        group.bench_function("strength_analysis", |b| {
+            b.iter(|| black_box(atoms()))
+        });
+        let a = atoms();
+        group.bench_function("generate", |b| {
+            b.iter(|| black_box(ComponentAlgebra::generate(&sp, a.clone()).unwrap()))
+        });
+        let alg = ComponentAlgebra::generate(&sp, a).unwrap();
+        group.bench_function("verify_laws", |b| b.iter(|| alg.verify().unwrap()));
+        group.finish();
+    }
+}
+
+fn bench_symbolic_ops(c: &mut Criterion) {
+    let ps = PathSchema::example_2_1_1();
+    let pc = PathComponents::new(ps);
+    let mut group = c.benchmark_group("component_algebra/symbolic_endo");
+    for &n in &[100usize, 1000, 10000] {
+        let base = closed_instance(n, (n / 4).max(3), 53);
+        eprintln!("  symbolic endo over {} objects", base.len());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(pc.endo(0b011, black_box(&base))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_generate_and_verify, bench_symbolic_ops
+}
+criterion_main!(benches);

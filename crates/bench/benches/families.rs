@@ -1,0 +1,147 @@
+//! Extension experiments: the component-family implementations beyond the
+//! chain case — tree translation, horizontal translation, and end-to-end
+//! catalog operations.
+//!
+//! Shape: horizontal translation is O(|Δ| + |part|) with *no* closure
+//! (classes don't interact); tree translation matches path translation's
+//! near-linear profile; catalog overhead over raw translation is small
+//! and constant.
+
+use compview_bench::header;
+use compview_core::{Catalog, ComponentFamily, HorizontalComponents, TreeComponents};
+use compview_logic::{TreeSchema, TypeAlgebra, TypeAssignment};
+use compview_relation::{Instance, Relation, Tuple, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn star_state(ts: &TreeSchema, n: usize, dom: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = Relation::empty(ts.arity());
+    for _ in 0..n {
+        let leaf = 1 + rng.random_range(0..ts.arity() - 1);
+        r.insert(ts.object(&[
+            (0, Value::sym(&format!("h{}", rng.random_range(0..dom)))),
+            (leaf, Value::sym(&format!("v{}", rng.random_range(0..dom)))),
+        ]));
+    }
+    ts.close(&r)
+}
+
+fn bench_tree_translation(c: &mut Criterion) {
+    header(
+        "EXT-tree",
+        "tree-schema component translation (acyclic generalisation)",
+    );
+    let ts = TreeSchema::star("R", ["Hub", "X", "Y", "Z", "W"]);
+    let tc = TreeComponents::new(ts.clone());
+    let mut group = c.benchmark_group("families/tree_translate");
+    for &n in &[30usize, 100, 300] {
+        let base = star_state(&ts, n, (n / 5).max(3), 81);
+        let mut part = tc.endo_rel(0b0001, &base);
+        part.insert(ts.object(&[(0, v_h(0)), (1, Value::sym("fresh"))]));
+        let part = ts.close(&part);
+        eprintln!("  n={n}: |base|={} objects", base.len());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    tc.translate_rel(0b0001, black_box(&base), black_box(&part))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn v_h(i: usize) -> Value {
+    Value::sym(&format!("h{i}"))
+}
+
+fn bench_horizontal_translation(c: &mut Criterion) {
+    header(
+        "EXT-horizontal",
+        "horizontal (type-class) component translation — closure-free",
+    );
+    let alg = TypeAlgebra::new(["lo", "hi"]);
+    let mut mu = TypeAssignment::new();
+    let dom = 1000;
+    for i in 0..dom {
+        mu.declare(Value::sym(&format!("k{i}")), &[usize::from(i >= dom / 2)]);
+    }
+    let hc =
+        HorizontalComponents::new("T", 2, 0, vec![
+            ("lo".into(), alg.gen("lo")),
+            ("hi".into(), alg.gen("hi")),
+        ], &alg, mu)
+        .unwrap();
+
+    let mut group = c.benchmark_group("families/horizontal_translate");
+    for &n in &[1000usize, 10000] {
+        let mut rng = StdRng::seed_from_u64(83);
+        let base = Instance::new().with(
+            "T",
+            Relation::from_tuples(
+                2,
+                (0..n).map(|_| {
+                    Tuple::new([
+                        Value::sym(&format!("k{}", rng.random_range(0..dom))),
+                        Value::Int(rng.random_range(0..1_000_000)),
+                    ])
+                }),
+            ),
+        );
+        let mut part = hc.endo(0b01, &base);
+        part.rel_mut("T")
+            .insert(Tuple::new([Value::sym("k0"), Value::Int(-1)]));
+        eprintln!("  n={n}: lo-part {} rows", part.rel("T").len());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(hc.translate(0b01, black_box(&base), black_box(&part)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_catalog_end_to_end(c: &mut Criterion) {
+    header(
+        "EXT-catalog",
+        "catalog service: read + update + undo round-trip per operation",
+    );
+    let ts = TreeSchema::star("R", ["Hub", "X", "Y", "Z"]);
+    let tc = TreeComponents::new(ts.clone());
+    let base = ts.instance(star_state(&ts, 100, 20, 87));
+    eprintln!("  base: {} objects", base.rel("R").len());
+
+    let mut group = c.benchmark_group("families/catalog");
+    group.bench_function("update_undo_cycle", |b| {
+        let mut cat = Catalog::new(tc.clone(), base.clone());
+        cat.register("hx", 0b001).unwrap();
+        let mut toggle = false;
+        b.iter(|| {
+            let mut part = cat.read("hx").unwrap();
+            let obj = ts.object(&[(0, v_h(0)), (1, Value::sym("bench-obj"))]);
+            if toggle {
+                part.rel_mut("R").remove(&obj);
+            } else {
+                part.rel_mut("R").insert(obj);
+            }
+            toggle = !toggle;
+            cat.update("hx", &part).unwrap();
+            cat.undo().unwrap();
+            black_box(cat.state().total_tuples())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_tree_translation, bench_horizontal_translation, bench_catalog_end_to_end
+}
+criterion_main!(benches);

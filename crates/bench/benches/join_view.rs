@@ -1,0 +1,73 @@
+//! E1: evaluating the Example 1.1.1 join view and measuring insertion
+//! side effects at scale.
+//!
+//! Shape: join evaluation scales with output size; the *side-effect
+//! count* of a naive base reflection grows with the key's fan-out —
+//! the quantitative version of "performed but not performed exactly".
+
+use compview_bench::header;
+use compview_core::paper::example_1_1_1 as ex;
+use compview_relation::{Relation, Tuple, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_binary(n: usize, left_dom: usize, right_dom: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = Relation::empty(2);
+    while r.len() < n {
+        r.insert(Tuple::new([
+            Value::Int(rng.random_range(0..left_dom as i64)),
+            Value::Int(rng.random_range(0..right_dom as i64)),
+        ]));
+    }
+    r
+}
+
+fn bench_join_eval(c: &mut Criterion) {
+    header("E1", "join-view evaluation and insertion side effects");
+    let view = ex::join_view();
+    let mut group = c.benchmark_group("join_view/eval");
+    for &n in &[100usize, 1000, 10000] {
+        let base = compview_relation::Instance::new()
+            .with("R_SP", random_binary(n, n, n / 10, 71))
+            .with("R_PJ", random_binary(n, n / 10, n, 73));
+        let out = view.apply(&base);
+        eprintln!("  n={n}: join output {} tuples", out.rel("R_SPJ").len());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(view.apply(black_box(&base))))
+        });
+    }
+    group.finish();
+
+    // Side-effect table: fan-out f ⇒ inserting one (s,p,j) with a shared
+    // part p of fan-out f creates 2f side-effect tuples.
+    eprintln!("  side effects of one view insert, by part fan-out:");
+    eprintln!("    fanout   side-effects");
+    for &f in &[1usize, 4, 16, 64] {
+        let mut sp = Relation::empty(2);
+        let mut pj = Relation::empty(2);
+        for i in 0..f {
+            sp.insert(Tuple::new([Value::Int(i as i64), Value::Int(0)]));
+            pj.insert(Tuple::new([Value::Int(0), Value::Int(i as i64)]));
+        }
+        let before = sp.join(&pj, &[(1, 0)]);
+        let mut sp2 = sp.clone();
+        let mut pj2 = pj.clone();
+        sp2.insert(Tuple::new([Value::Int(-1), Value::Int(0)]));
+        pj2.insert(Tuple::new([Value::Int(0), Value::Int(-1)]));
+        let after = sp2.join(&pj2, &[(1, 0)]);
+        let effects = after.len() - before.len() - 1; // minus the asked-for tuple
+        eprintln!("    {f:6}   {effects}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_join_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! T3 / T4: the partition lattice of §2.2 at scale — kernel construction,
+//! refinement tests, join (common refinement), meet (union-find closure),
+//! and complement checks, for partitions of up to 100k points.
+//!
+//! Shape: all operations near-linear (hashing / union-find), so the §2.2
+//! embedding is practical for real view catalogues.
+
+use compview_bench::header;
+use compview_lattice::Partition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_labels(n: usize, blocks: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0..blocks as u32)).collect()
+}
+
+fn bench_partition_ops(c: &mut Criterion) {
+    header(
+        "T3/T4",
+        "partition-lattice operations (kernels, join, meet, refinement)",
+    );
+    for &n in &[1000usize, 10_000, 100_000] {
+        let la = random_labels(n, n / 10, 61);
+        let lb = random_labels(n, n / 10, 67);
+        let p = Partition::from_labels(&la);
+        let q = Partition::from_labels(&lb);
+        eprintln!("  n={n}: {} and {} blocks", p.n_blocks(), q.n_blocks());
+
+        let mut group = c.benchmark_group(format!("partition/n{n}"));
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, _| {
+            b.iter(|| black_box(Partition::from_labels(black_box(&la))))
+        });
+        group.bench_with_input(BenchmarkId::new("join", n), &n, |b, _| {
+            b.iter(|| black_box(p.join(black_box(&q))))
+        });
+        group.bench_with_input(BenchmarkId::new("meet", n), &n, |b, _| {
+            b.iter(|| black_box(p.meet(black_box(&q))))
+        });
+        group.bench_with_input(BenchmarkId::new("refines", n), &n, |b, _| {
+            b.iter(|| black_box(p.join(&q).refines(black_box(&p))))
+        });
+        group.bench_with_input(BenchmarkId::new("complement_check", n), &n, |b, _| {
+            b.iter(|| black_box(p.is_complement(black_box(&q))))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_partition_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Design-choice ablations #1–#2 (DESIGN.md §7): interned symbols vs
+//! inline strings for tuple comparison, and `BTreeSet` relations vs a
+//! sort-and-dedup `Vec` baseline for the set algebra of Notation 1.2.3.
+//!
+//! Shape expected: interning wins on comparison-heavy operations (orders
+//! of magnitude on wide tuples); BTreeSet and Vec trade blows — Vec wins
+//! bulk union, BTreeSet wins membership and incremental insert, which is
+//! the pattern translation needs.
+
+use compview_relation::{rel, Relation, Tuple, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn interned_relation(n: usize) -> Relation {
+    Relation::from_tuples(
+        2,
+        (0..n).map(|i| Tuple::new([Value::sym(&format!("left{i}")), Value::sym(&format!("right{}", i % 97))])),
+    )
+}
+
+/// The string-comparison baseline: same data as (String, String) pairs in
+/// a BTreeSet.
+fn string_relation(n: usize) -> std::collections::BTreeSet<(String, String)> {
+    (0..n)
+        .map(|i| (format!("left{i}"), format!("right{}", i % 97)))
+        .collect()
+}
+
+fn bench_interning_ablation(c: &mut Criterion) {
+    compview_bench::header(
+        "ablation-1",
+        "interned u32 symbols vs inline strings (set intersection)",
+    );
+    let mut group = c.benchmark_group("relation_ops/interning");
+    for &n in &[1000usize, 10000] {
+        let a = interned_relation(n);
+        let b2 = interned_relation(n / 2);
+        group.bench_with_input(BenchmarkId::new("interned", n), &n, |b, _| {
+            b.iter(|| black_box(a.intersect(black_box(&b2))))
+        });
+        let sa = string_relation(n);
+        let sb = string_relation(n / 2);
+        group.bench_with_input(BenchmarkId::new("strings", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    sa.intersection(black_box(&sb))
+                        .cloned()
+                        .collect::<std::collections::BTreeSet<_>>(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_algebra(c: &mut Criterion) {
+    compview_bench::header(
+        "ablation-2",
+        "BTreeSet relations vs Vec sort-dedup baseline (union + membership)",
+    );
+    let mut group = c.benchmark_group("relation_ops/container");
+    for &n in &[1000usize, 10000] {
+        let a = interned_relation(n);
+        let b2 = interned_relation(n + n / 3);
+        group.bench_with_input(BenchmarkId::new("btree_union", n), &n, |b, _| {
+            b.iter(|| black_box(a.union(black_box(&b2))))
+        });
+        let va: Vec<Tuple> = a.iter().cloned().collect();
+        let vb: Vec<Tuple> = b2.iter().cloned().collect();
+        group.bench_with_input(BenchmarkId::new("vec_sort_union", n), &n, |b, _| {
+            b.iter(|| {
+                let mut out = va.clone();
+                out.extend(vb.iter().cloned());
+                out.sort();
+                out.dedup();
+                black_box(out)
+            })
+        });
+        let probe: Vec<Tuple> = (0..100)
+            .map(|i| {
+                Tuple::new([
+                    Value::sym(&format!("left{i}")),
+                    Value::sym(&format!("right{}", i % 97)),
+                ])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("btree_membership", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for t in &probe {
+                    if a.contains(black_box(t)) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("vec_membership", n), &n, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for t in &probe {
+                    if va.binary_search(black_box(t)).is_ok() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+
+    // Projection and join micro-costs on realistic shapes.
+    let mut group = c.benchmark_group("relation_ops/algebra");
+    let r = rel(
+        2,
+        (0..5000)
+            .map(|i| [format!("s{}", i % 500), format!("p{}", i % 97)])
+            .collect::<Vec<_>>(),
+    );
+    let s = rel(
+        2,
+        (0..5000)
+            .map(|i| [format!("p{}", i % 97), format!("j{}", i % 333)])
+            .collect::<Vec<_>>(),
+    );
+    group.bench_function("project_5k", |b| {
+        b.iter(|| black_box(r.project(black_box(&[1]))))
+    });
+    group.bench_function("hash_join_5k", |b| {
+        b.iter(|| black_box(r.join(black_box(&s), &[(1, 0)])))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1000));
+    targets = bench_interning_ablation, bench_set_algebra
+}
+criterion_main!(benches);

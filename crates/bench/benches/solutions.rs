@@ -1,0 +1,77 @@
+//! E2 / E3: enumerating solutions of update specifications and
+//! classifying them as nonextraneous / minimal (Def 1.2.4, Prop 1.2.6).
+//!
+//! Shape: solution enumeration is linear in the fibre; the nonextraneous
+//! filter is quadratic in the solution count — cheap on the canonical
+//! spaces, and the reason real systems want the component shortcut
+//! instead of post-hoc classification.
+
+use compview_bench::header;
+use compview_core::paper::example_1_1_1 as ex;
+use compview_core::{update, MatView, UpdateSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_solution_classification(c: &mut Criterion) {
+    header(
+        "E2/E3",
+        "solution enumeration + nonextraneous/minimal classification",
+    );
+    let (sp, view) = ex::small_space_and_join_view();
+    let mv = MatView::materialise(view, &sp);
+    eprintln!(
+        "  space: {} states, {} view states",
+        sp.len(),
+        mv.n_states()
+    );
+    // Pick the spec with the largest solution fibre to stress the filter.
+    let (base, target, max_fibre) = (0..mv.n_states())
+        .map(|t| (0usize, t, mv.fibre(t).len()))
+        .max_by_key(|&(_, _, n)| n)
+        .unwrap();
+    eprintln!("  largest fibre: {max_fibre} solutions");
+
+    let mut group = c.benchmark_group("solutions");
+    group.bench_function("enumerate", |b| {
+        b.iter(|| black_box(update::solutions(&mv, UpdateSpec { base, target })))
+    });
+    let sols = update::solutions(&mv, UpdateSpec { base, target });
+    group.bench_function("nonextraneous_filter", |b| {
+        b.iter(|| black_box(update::nonextraneous(&sp, base, black_box(&sols))))
+    });
+    group.bench_function("minimal_search", |b| {
+        b.iter(|| black_box(update::minimal(&sp, base, black_box(&sols))))
+    });
+    group.bench_function("prop_1_2_6_check", |b| {
+        b.iter(|| assert!(update::prop_1_2_6_holds(&sp, base, black_box(&sols))))
+    });
+    group.finish();
+}
+
+fn bench_implied_mining(c: &mut Criterion) {
+    header(
+        "E1-mining",
+        "implied-constraint mining on the join view (discovers *[SP,PJ])",
+    );
+    let (sp, view) = ex::small_space_and_join_view();
+    let mv = MatView::materialise(view, &sp);
+    eprintln!("  image: {} view states", mv.n_states());
+    let mut group = c.benchmark_group("solutions/mining");
+    group.sample_size(20);
+    group.bench_function("implied_jds", |b| {
+        b.iter(|| black_box(compview_core::implied::implied_jds(black_box(&mv))))
+    });
+    group.bench_function("implied_fds", |b| {
+        b.iter(|| black_box(compview_core::implied::implied_fds(black_box(&mv))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_solution_classification, bench_implied_mining
+}
+criterion_main!(benches);

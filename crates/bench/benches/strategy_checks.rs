@@ -1,0 +1,53 @@
+//! E4–E6 / T1: building update strategies and checking the §1.2
+//! admissibility requirements over enumerated spaces.
+//!
+//! Shape: constant-complement strategy construction is O(|LDB|·|view|),
+//! the full admissibility audit is the quadratic part (functoriality
+//! composes pairs), and the greedy smallest-change strategy costs far more
+//! to build than the canonical one — and then fails its audit anyway.
+
+use compview_bench::header;
+use compview_core::paper::example_1_3_6 as ex;
+use compview_core::{strategy, MatView, Strategy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    header(
+        "E4-E6/T1",
+        "strategy construction + admissibility audit (canonical vs greedy)",
+    );
+    for &n in &[2usize, 3] {
+        let sp = ex::space(n);
+        let g1 = MatView::materialise(ex::gamma1(), &sp);
+        let g2 = MatView::materialise(ex::gamma2(), &sp);
+        eprintln!("  domain {n}: |LDB| = {}, |view| = {}", sp.len(), g1.n_states());
+
+        let mut group = c.benchmark_group(format!("strategy/ldb{}", sp.len()));
+        group.sample_size(10);
+        group.bench_function("build_constant_complement", |b| {
+            b.iter(|| black_box(Strategy::constant_complement(&sp, &g1, &g2)))
+        });
+        group.bench_function("build_smallest_change", |b| {
+            b.iter(|| black_box(Strategy::smallest_change(&sp, &g1)))
+        });
+        let canonical = Strategy::constant_complement(&sp, &g1, &g2);
+        group.bench_function("audit_admissibility", |b| {
+            b.iter(|| {
+                let report = strategy::check(&sp, &g1, black_box(&canonical));
+                assert!(report.is_admissible());
+                black_box(report)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E10 / T2 (headline): constant-complement **component translation**
+//! versus **brute-force solution search**.
+//!
+//! The paper's thesis, quantified: updating through a component is a
+//! *structural* operation (split, replace, re-close — near-linear in the
+//! data), while without the component algebra a system must *search* for
+//! a base state realising the view update (exponential in the candidate
+//! tuple space).  Expected shape: component translation scales ~linearly;
+//! brute force explodes past a dozen tuples; crossover is immediate.
+
+use compview_bench::{closed_instance, header, path_schema};
+use compview_core::{workload, PathComponents};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_component_translation(c: &mut Criterion) {
+    header(
+        "E10/T2",
+        "component translation vs brute-force search (who wins: components, by orders of magnitude)",
+    );
+    let ps = path_schema();
+    let pc = PathComponents::new(ps.clone());
+
+    let mut group = c.benchmark_group("translate/component");
+    for &n in &[10usize, 30, 100, 300, 1000] {
+        let base = closed_instance(n, (n / 4).max(3), 7);
+        let part = pc.endo(0b001, &base);
+        let new_part = workload::mutate_component_state(
+            &ps,
+            0b001,
+            &part,
+            3,
+            2,
+            (n / 4).max(3),
+            &mut workload::rng(11),
+        );
+        eprintln!(
+            "  n_gen={n}: |base|={} objects, |AB-part|={} → {}",
+            base.len(),
+            part.len(),
+            new_part.len()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = pc
+                    .translate(0b001, black_box(&base), black_box(&new_part))
+                    .unwrap();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("translate/brute_force");
+    group.sample_size(10);
+    for &n in &[2usize, 3, 4] {
+        // Tiny instances: the pool is the closure of base ∪ new_part and
+        // brute force enumerates its subsets.
+        let base = closed_instance(n, 3, 13);
+        let part = pc.endo(0b001, &base);
+        let new_part =
+            workload::mutate_component_state(&ps, 0b001, &part, 1, 0, 3, &mut workload::rng(17));
+        let pool = ps.close(&base.union(&new_part));
+        if pool.len() > 16 {
+            eprintln!("  n_gen={n}: pool {} too large, skipped", pool.len());
+            continue;
+        }
+        eprintln!("  n_gen={n}: search space 2^{}", pool.len());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = pc
+                    .translate_brute_force(0b001, black_box(&base), black_box(&new_part))
+                    .unwrap();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let ps = path_schema();
+    let pc = PathComponents::new(ps);
+    let mut group = c.benchmark_group("translate/decompose");
+    for &n in &[100usize, 1000] {
+        let base = closed_instance(n, (n / 4).max(3), 23);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let a = pc.endo(0b011, black_box(&base));
+                let bb = pc.endo(0b100, black_box(&base));
+                black_box(pc.reconstruct(&a, &bb))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_component_translation, bench_decomposition
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! T5: the free Boolean type algebra of §2.1 — canonicalisation cost by
+//! generator count and expression size.
+//!
+//! Shape: canonicalisation is Θ(2^generators · |expr|) (explicit minterm
+//! sweep); generator counts stay small in schemas (one per attribute
+//! class plus null types), so the explicit representation is the right
+//! trade against BDD machinery.
+
+use compview_bench::header;
+use compview_logic::{TypeAlgebra, TypeExpr};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn deep_expr(n_gens: usize, depth: usize) -> TypeExpr {
+    let mut e = TypeExpr::Gen(0);
+    for i in 1..depth {
+        let g = TypeExpr::Gen(i % n_gens);
+        e = match i % 3 {
+            0 => e.and(g),
+            1 => e.or(g),
+            _ => e.not().or(g),
+        };
+    }
+    e
+}
+
+fn bench_canonicalisation(c: &mut Criterion) {
+    header("T5", "free type-algebra canonicalisation (minterm sweep)");
+    let mut group = c.benchmark_group("type_algebra/canon");
+    for &k in &[4usize, 8, 12, 16] {
+        let alg = TypeAlgebra::new((0..k).map(|i| format!("T{i}")).collect::<Vec<_>>());
+        let e = deep_expr(k, 24);
+        eprintln!("  k={k}: 2^{k} minterms, expr depth 24");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(alg.canon(black_box(&e))))
+        });
+    }
+    group.finish();
+
+    let alg = TypeAlgebra::new(["A", "B", "C", "D", "eta"]);
+    let e1 = deep_expr(5, 16);
+    let e2 = deep_expr(5, 16).not();
+    let mut group = c.benchmark_group("type_algebra/ops");
+    group.bench_function("equivalent", |b| {
+        b.iter(|| black_box(alg.equivalent(black_box(&e1), black_box(&e2))))
+    });
+    group.bench_function("implies", |b| {
+        b.iter(|| black_box(alg.implies(black_box(&e1), black_box(&e2))))
+    });
+    let m1 = alg.canon(&e1);
+    let m2 = alg.canon(&e2);
+    group.bench_function("minterm_and", |b| {
+        b.iter(|| black_box(m1.and(black_box(&m2))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1000));
+    targets = bench_canonicalisation
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E7 / E11: the subschema complement `Γ₂` versus the XOR complement
+//! `Γ₃` of Examples 1.3.6 / 3.3.1, at scale.
+//!
+//! Two measurements:
+//! 1. **Reflected change size** (the experiment's "table"): `Γ₂`-constant
+//!    reflections equal the requested change; `Γ₃`-constant reflections
+//!    are exactly twice as large (the extraneous mirror-change in `S`).
+//! 2. **Translation time** per update, by relation size.
+
+use compview_bench::header;
+use compview_core::{workload, xor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn shape_table() {
+    header(
+        "E7/E11",
+        "reflected change: Γ2 (strong) vs Γ3 (XOR) constant complements",
+    );
+    eprintln!("  |R|=|S|   |ΔR|   via Γ2   via Γ3   ratio");
+    for &(n, edits) in &[(100usize, 10usize), (1000, 50), (10000, 200)] {
+        let mut rng = workload::rng(41);
+        let base = workload::random_two_unary(n, n + n / 2, &mut rng);
+        let new_r = workload::mutate_unary(base.rel("R"), edits, edits, n + n / 2, &mut rng);
+        let cmp = xor::compare(&base, &new_r);
+        eprintln!(
+            "  {:7}   {:4}   {:6}   {:6}   {:.1}×",
+            n,
+            base.rel("R").sym_diff(&new_r).len(),
+            cmp.change_via_s,
+            cmp.change_via_t,
+            cmp.change_via_t as f64 / cmp.change_via_s.max(1) as f64
+        );
+    }
+}
+
+fn bench_translation_time(c: &mut Criterion) {
+    shape_table();
+    for &n in &[100usize, 1000, 10000] {
+        let mut rng = workload::rng(43);
+        let base = workload::random_two_unary(n, n + n / 2, &mut rng);
+        let new_r = workload::mutate_unary(base.rel("R"), 20, 20, n + n / 2, &mut rng);
+
+        let mut group = c.benchmark_group(format!("xor/n{n}"));
+        group.bench_with_input(BenchmarkId::new("via_gamma2", n), &n, |b, _| {
+            b.iter(|| black_box(xor::update_r_const_s(black_box(&base), black_box(&new_r))))
+        });
+        group.bench_with_input(BenchmarkId::new("via_gamma3", n), &n, |b, _| {
+            b.iter(|| black_box(xor::update_r_const_t(black_box(&base), black_box(&new_r))))
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1000));
+    targets = bench_translation_time
+}
+criterion_main!(benches);

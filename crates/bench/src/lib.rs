@@ -1,0 +1,25 @@
+//! Shared setup helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one experiment from DESIGN.md §4 and, on
+//! startup, prints the experiment's "table" (the shape result recorded in
+//! EXPERIMENTS.md) before timing the mechanism behind it.
+
+use compview_core::workload;
+use compview_logic::PathSchema;
+use compview_relation::Relation;
+
+/// The standard path schema for scale experiments.
+pub fn path_schema() -> PathSchema {
+    PathSchema::example_2_1_1()
+}
+
+/// A deterministic closed instance with roughly `n` generator objects.
+pub fn closed_instance(n: usize, dom: usize, seed: u64) -> Relation {
+    let ps = path_schema();
+    workload::random_path_instance(&ps, n, dom, &mut workload::rng(seed))
+}
+
+/// Print a labelled experiment header once.
+pub fn header(experiment: &str, what: &str) {
+    eprintln!("\n=== {experiment}: {what} ===");
+}

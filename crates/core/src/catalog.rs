@@ -1,0 +1,426 @@
+//! A deployable **view-update service** on top of a component family.
+//!
+//! This is the paper operationalised: a [`Catalog`] owns the base state,
+//! registers named user views — each a component of the schema — and
+//! services update requests through constant-complement translation.  By
+//! Theorems 3.1.1 / 3.2.2 every accepted update is exact, minimal,
+//! side-effect-free outside the view, and canonical; by symmetry
+//! (Def 1.2.11) every update is undoable, which the catalog exposes as
+//! [`Catalog::undo`].
+
+use crate::family::ComponentFamily;
+use compview_relation::Instance;
+use std::collections::BTreeMap;
+
+/// Errors from catalog operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CatalogError {
+    /// No view registered under this name.
+    UnknownView(String),
+    /// A view with this name already exists.
+    DuplicateView(String),
+    /// The mask refers to atoms the family does not have.
+    BadMask(u32),
+    /// The submitted state is not a legal state of the view's component.
+    IllegalViewState(String),
+    /// Nothing to undo.
+    EmptyHistory,
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownView(n) => write!(f, "unknown view {n:?}"),
+            CatalogError::DuplicateView(n) => write!(f, "view {n:?} already registered"),
+            CatalogError::BadMask(m) => write!(f, "mask {m:#b} outside the component algebra"),
+            CatalogError::IllegalViewState(e) => write!(f, "illegal view state: {e}"),
+            CatalogError::EmptyHistory => write!(f, "no update to undo"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// Outcome of an accepted update, kept in the audit log.
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// The view updated.
+    pub view: String,
+    /// Tuples changed in the view state (the requested change).
+    pub requested_delta: usize,
+    /// Tuples changed in the base state (the reflected change).
+    pub reflected_delta: usize,
+}
+
+/// A named-view update service over one component family.
+///
+/// # Examples
+///
+/// ```
+/// use compview_core::{Catalog, PathComponents};
+/// use compview_logic::PathSchema;
+/// use compview_relation::{v, Relation};
+///
+/// let ps = PathSchema::new("R", ["A", "B", "C"]);
+/// let pc = PathComponents::new(ps.clone());
+/// let base = ps.instance(ps.close(&Relation::from_tuples(3, [
+///     ps.object(0, &[v("a1"), v("b1")]),
+///     ps.object(1, &[v("b1"), v("c1")]),
+/// ])));
+///
+/// let mut cat = Catalog::new(pc, base);
+/// cat.register("ab-view", 0b01).unwrap();
+///
+/// let mut part = cat.read("ab-view").unwrap();
+/// part.rel_mut("R").insert(ps.object(0, &[v("a2"), v("b1")]));
+/// let report = cat.update("ab-view", &part).unwrap();
+/// assert_eq!(report.requested_delta, 1);
+/// assert!(report.reflected_delta >= 1); // closure may add joined objects
+///
+/// cat.undo().unwrap(); // admissible strategies are symmetric
+/// assert_eq!(cat.log().len(), 0);
+/// ```
+pub struct Catalog<F: ComponentFamily> {
+    family: F,
+    views: BTreeMap<String, u32>,
+    state: Instance,
+    log: Vec<UpdateReport>,
+    history: Vec<Instance>,
+}
+
+impl<F: ComponentFamily> Catalog<F> {
+    /// Open a catalog on an initial legal base state.
+    ///
+    /// # Panics
+    /// Panics if the initial state does not decompose losslessly along the
+    /// full component algebra (i.e. it is not a legal state of the family's
+    /// schema).
+    pub fn new(family: F, initial: Instance) -> Catalog<F> {
+        let full = family.full_mask();
+        let a = family.endo(full, &initial);
+        assert!(
+            family.reconstruct(&a, &family.endo(0, &initial)) == initial,
+            "initial state is not legal for this component family"
+        );
+        Catalog {
+            family,
+            views: BTreeMap::new(),
+            state: initial,
+            log: Vec::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Register a view named `name` as the component with the given mask.
+    pub fn register<S: Into<String>>(&mut self, name: S, mask: u32) -> Result<(), CatalogError> {
+        let name = name.into();
+        if mask & !self.family.full_mask() != 0 {
+            return Err(CatalogError::BadMask(mask));
+        }
+        if self.views.contains_key(&name) {
+            return Err(CatalogError::DuplicateView(name));
+        }
+        self.views.insert(name, mask);
+        Ok(())
+    }
+
+    /// The component mask of a registered view.
+    pub fn mask_of(&self, view: &str) -> Result<u32, CatalogError> {
+        self.views
+            .get(view)
+            .copied()
+            .ok_or_else(|| CatalogError::UnknownView(view.to_owned()))
+    }
+
+    /// Registered view names.
+    pub fn views(&self) -> impl Iterator<Item = (&str, u32)> + '_ {
+        self.views.iter().map(|(n, &m)| (n.as_str(), m))
+    }
+
+    /// Read a view's current state (`γ′` of the base state).
+    pub fn read(&self, view: &str) -> Result<Instance, CatalogError> {
+        Ok(self.family.endo(self.mask_of(view)?, &self.state))
+    }
+
+    /// The current base state.
+    pub fn state(&self) -> &Instance {
+        &self.state
+    }
+
+    /// The audit log of accepted updates.
+    pub fn log(&self) -> &[UpdateReport] {
+        &self.log
+    }
+
+    /// Service an update: replace `view`'s state by `new_state`, holding
+    /// its strong complement constant (Update Procedure 3.2.3 restricted
+    /// to component views, where it is total — Theorem 3.1.1).
+    pub fn update(
+        &mut self,
+        view: &str,
+        new_state: &Instance,
+    ) -> Result<UpdateReport, CatalogError> {
+        let mask = self.mask_of(view)?;
+        let old_part = self.family.endo(mask, &self.state);
+        let next = self
+            .family
+            .translate(mask, &self.state, new_state)
+            .map_err(CatalogError::IllegalViewState)?;
+        let report = UpdateReport {
+            view: view.to_owned(),
+            requested_delta: old_part.sym_diff(new_state).total_tuples(),
+            reflected_delta: self.state.sym_diff(&next).total_tuples(),
+        };
+        self.history.push(std::mem::replace(&mut self.state, next));
+        self.log.push(report.clone());
+        Ok(report)
+    }
+
+    /// Undo the most recent update (possible because constant-complement
+    /// strategies are symmetric, Def 1.2.11 / Prop 1.3.3).
+    pub fn undo(&mut self) -> Result<(), CatalogError> {
+        let prev = self.history.pop().ok_or(CatalogError::EmptyHistory)?;
+        self.state = prev;
+        self.log.pop();
+        Ok(())
+    }
+
+    /// Apply several view updates **atomically**: either all succeed (in
+    /// the given order, logged as individual entries) or none do.
+    ///
+    /// Functoriality (Obs 1.2.9) makes the result of a successful batch
+    /// depend only on the final component states; when the touched
+    /// components are pairwise disjoint the order is immaterial (tested).
+    pub fn transaction(
+        &mut self,
+        updates: &[(&str, &Instance)],
+    ) -> Result<Vec<UpdateReport>, CatalogError> {
+        let checkpoint_state = self.state.clone();
+        let checkpoint_log = self.log.len();
+        let checkpoint_hist = self.history.len();
+        let mut reports = Vec::with_capacity(updates.len());
+        for (view, new_state) in updates {
+            match self.update(view, new_state) {
+                Ok(r) => reports.push(r),
+                Err(e) => {
+                    // Roll back everything.
+                    self.state = checkpoint_state;
+                    self.log.truncate(checkpoint_log);
+                    self.history.truncate(checkpoint_hist);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// The underlying family.
+    pub fn family(&self) -> &F {
+        &self.family
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathview::PathComponents;
+    use crate::subschema::SubschemaComponents;
+    use compview_logic::PathSchema;
+    use compview_relation::{rel, v, RelDecl, Signature};
+
+    fn path_catalog() -> Catalog<PathComponents> {
+        let ps = PathSchema::example_2_1_1();
+        let pc = PathComponents::new(ps.clone());
+        let base = ps.instance(ps.close(&PathSchema::example_2_1_1_generators()));
+        let mut cat = Catalog::new(pc, base);
+        cat.register("enrollment", 0b001).unwrap();
+        cat.register("pipeline", 0b110).unwrap();
+        cat
+    }
+
+    #[test]
+    fn register_and_read() {
+        let cat = path_catalog();
+        let ab = cat.read("enrollment").unwrap();
+        assert_eq!(ab.rel("R").len(), 3);
+        assert!(matches!(
+            cat.read("nope"),
+            Err(CatalogError::UnknownView(_))
+        ));
+        assert_eq!(cat.views().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_bad_mask_rejected() {
+        let mut cat = path_catalog();
+        assert!(matches!(
+            cat.register("enrollment", 0b010),
+            Err(CatalogError::DuplicateView(_))
+        ));
+        assert!(matches!(
+            cat.register("huge", 0b1000),
+            Err(CatalogError::BadMask(_))
+        ));
+    }
+
+    #[test]
+    fn update_reflects_exactly_and_logs() {
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let mut new_ab = cat.read("enrollment").unwrap();
+        new_ab
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a9"), v("b9")]));
+        let report = cat.update("enrollment", &new_ab).unwrap();
+        assert_eq!(report.requested_delta, 1);
+        assert_eq!(report.reflected_delta, 1); // no join partner for b9
+        assert_eq!(cat.read("enrollment").unwrap(), new_ab);
+        assert_eq!(cat.log().len(), 1);
+    }
+
+    #[test]
+    fn update_with_join_side_effects_reports_larger_reflection() {
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let mut new_ab = cat.read("enrollment").unwrap();
+        new_ab
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a9"), v("b1")])); // b1 chains to c1, d1
+        let report = cat.update("enrollment", &new_ab).unwrap();
+        assert_eq!(report.requested_delta, 1);
+        assert!(report.reflected_delta > 1, "closure adds joined objects");
+        // Complement view unchanged.
+        let pipeline = cat.read("pipeline").unwrap();
+        let fresh = path_catalog();
+        assert_eq!(pipeline, fresh.read("pipeline").unwrap());
+    }
+
+    #[test]
+    fn illegal_view_state_rejected_atomically() {
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let before = cat.state().clone();
+        let mut bad = cat.read("enrollment").unwrap();
+        bad.rel_mut("R").insert(ps.object(1, &[v("x"), v("y")])); // BC object
+        assert!(matches!(
+            cat.update("enrollment", &bad),
+            Err(CatalogError::IllegalViewState(_))
+        ));
+        assert_eq!(cat.state(), &before, "rejected updates must not change state");
+        assert!(cat.log().is_empty());
+    }
+
+    #[test]
+    fn undo_restores_state() {
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let before = cat.state().clone();
+        let mut new_ab = cat.read("enrollment").unwrap();
+        new_ab
+            .rel_mut("R")
+            .remove(&ps.object(0, &[v("a1"), v("b1")]));
+        cat.update("enrollment", &new_ab).unwrap();
+        assert_ne!(cat.state(), &before);
+        cat.undo().unwrap();
+        assert_eq!(cat.state(), &before);
+        assert!(cat.log().is_empty());
+        assert_eq!(cat.undo(), Err(CatalogError::EmptyHistory));
+    }
+
+    #[test]
+    fn sequential_updates_across_views_commute_with_direct() {
+        // Two offices update disjoint components; the final state equals
+        // applying both parts directly (complement independence in
+        // action).
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let mut new_ab = cat.read("enrollment").unwrap();
+        new_ab
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a9"), v("b9")]));
+        let mut new_bcd = cat.read("pipeline").unwrap();
+        new_bcd
+            .rel_mut("R")
+            .insert(ps.object(2, &[v("c9"), v("d9")]));
+        cat.update("enrollment", &new_ab).unwrap();
+        cat.update("pipeline", &new_bcd).unwrap();
+
+        let mut cat2 = path_catalog();
+        cat2.update("pipeline", &new_bcd).unwrap();
+        cat2.update("enrollment", &new_ab).unwrap();
+        assert_eq!(cat.state(), cat2.state());
+    }
+
+    #[test]
+    fn transaction_is_atomic() {
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let before = cat.state().clone();
+
+        // A batch whose second update is illegal: nothing must change.
+        let mut good_ab = cat.read("enrollment").unwrap();
+        good_ab
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a9"), v("b9")]));
+        let mut bad_bcd = cat.read("pipeline").unwrap();
+        bad_bcd
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("rogue"), v("b1")])); // AB object in BCD view
+        let err = cat
+            .transaction(&[("enrollment", &good_ab), ("pipeline", &bad_bcd)])
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::IllegalViewState(_)));
+        assert_eq!(cat.state(), &before, "rollback must be complete");
+        assert!(cat.log().is_empty());
+        assert_eq!(cat.undo(), Err(CatalogError::EmptyHistory));
+
+        // A fully legal batch succeeds and logs both entries.
+        let mut good_bcd = cat.read("pipeline").unwrap();
+        good_bcd
+            .rel_mut("R")
+            .insert(ps.object(2, &[v("c9"), v("d9")]));
+        let reports = cat
+            .transaction(&[("enrollment", &good_ab), ("pipeline", &good_bcd)])
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(cat.log().len(), 2);
+        assert!(cat.state().rel("R").contains(&ps.object(0, &[v("a9"), v("b9")])));
+        assert!(cat.state().rel("R").contains(&ps.object(2, &[v("c9"), v("d9")])));
+    }
+
+    #[test]
+    fn transaction_order_immaterial_on_disjoint_components() {
+        let ps = PathSchema::example_2_1_1();
+        let mut new_ab = path_catalog().read("enrollment").unwrap();
+        new_ab
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a9"), v("b1")]));
+        let mut new_bcd = path_catalog().read("pipeline").unwrap();
+        new_bcd
+            .rel_mut("R")
+            .insert(ps.object(1, &[v("b9"), v("c9")]));
+
+        let mut cat1 = path_catalog();
+        cat1.transaction(&[("enrollment", &new_ab), ("pipeline", &new_bcd)])
+            .unwrap();
+        let mut cat2 = path_catalog();
+        cat2.transaction(&[("pipeline", &new_bcd), ("enrollment", &new_ab)])
+            .unwrap();
+        assert_eq!(cat1.state(), cat2.state());
+    }
+
+    #[test]
+    fn subschema_catalog() {
+        let sig = Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["A"])]);
+        let sc = SubschemaComponents::singletons(sig.clone());
+        let base = compview_relation::Instance::null_model(&sig)
+            .with("R", rel(1, [["a1"]]))
+            .with("S", rel(1, [["a2"]]));
+        let mut cat = Catalog::new(sc, base);
+        cat.register("r-view", 0b01).unwrap();
+        let new_r = compview_relation::Instance::null_model(&sig).with("R", rel(1, [["a9"]]));
+        let report = cat.update("r-view", &new_r).unwrap();
+        assert_eq!(report.reflected_delta, report.requested_delta);
+        assert_eq!(cat.state().rel("S"), &rel(1, [["a2"]]));
+    }
+}

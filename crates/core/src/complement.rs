@@ -1,0 +1,237 @@
+//! Join, meet, and full complements of views (Definitions 1.3.1 and 1.3.4),
+//! decided through the kernel embedding into the partition lattice (§2.2).
+//!
+//! * `Γ₂` is a **join complement** of `Γ₁` iff `γ₁′ × γ₂′` is injective —
+//!   equivalently `Π(Γ₁) ∨ Π(Γ₂)` is the finest partition
+//!   (`Γ₁ ∨ Γ₂ = 1_D`).
+//! * They are **meet complements** iff `γ₁′ × γ₂′` is surjective onto
+//!   `LDB(V₁) × LDB(V₂)` — equivalently `Π(Γ₁) ∧ Π(Γ₂)` is the coarsest
+//!   partition (`Γ₁ ∧ Γ₂ = 0_D`).
+//!
+//! (The two equivalences are themselves asserted in tests.)
+
+use crate::space::StateSpace;
+use crate::update::UpdateSpec;
+use crate::view::MatView;
+
+/// Whether `mv2` is a join complement of `mv1` (Def 1.3.1(a)).
+pub fn is_join_complement(mv1: &MatView, mv2: &MatView) -> bool {
+    mv1.kernel().join(mv2.kernel()).is_discrete()
+}
+
+/// Whether `mv1` and `mv2` are meet complementary (Def 1.3.4(a)).
+pub fn is_meet_complement(mv1: &MatView, mv2: &MatView) -> bool {
+    mv1.kernel().meet(mv2.kernel()).is_indiscrete()
+}
+
+/// Whether the views are complementary: both join and meet complementary
+/// (Def 1.3.4(b)).
+pub fn is_complementary(mv1: &MatView, mv2: &MatView) -> bool {
+    is_join_complement(mv1, mv2) && is_meet_complement(mv1, mv2)
+}
+
+/// Direct (definition-level) injectivity of `γ₁′ × γ₂′`, for
+/// cross-validating the kernel characterisation.
+pub fn product_map_injective(space: &StateSpace, mv1: &MatView, mv2: &MatView) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    (0..space.len()).all(|s| seen.insert((mv1.label(s), mv2.label(s))))
+}
+
+/// Direct surjectivity of `γ₁′ × γ₂′` onto `LDB(V₁) × LDB(V₂)` (with the
+/// standing identification of `LDB(V)` with the image of `γ′`).
+pub fn product_map_surjective(space: &StateSpace, mv1: &MatView, mv2: &MatView) -> bool {
+    let pairs: std::collections::HashSet<(usize, usize)> = (0..space.len())
+        .map(|s| (mv1.label(s), mv2.label(s)))
+        .collect();
+    pairs.len() == mv1.n_states() * mv2.n_states()
+}
+
+/// The solutions of `spec` on `mv1` that hold `mv2` constant
+/// (Def 1.3.1(b)).  Theorem 1.3.2: when `mv2` is a join complement there
+/// is at most one; callers asserting the theorem use
+/// [`unique_constant_complement_solution`].
+pub fn constant_complement_solutions(
+    space: &StateSpace,
+    mv1: &MatView,
+    mv2: &MatView,
+    spec: UpdateSpec,
+) -> Vec<usize> {
+    let c = mv2.label(spec.base);
+    (0..space.len())
+        .filter(|&s| mv1.label(s) == spec.target && mv2.label(s) == c)
+        .collect()
+}
+
+/// The unique solution with constant complement, if any.
+///
+/// # Panics
+/// Panics if more than one exists — impossible when `mv2` is a join
+/// complement (Theorem 1.3.2), so a panic means the caller's views are not
+/// join complementary.
+pub fn unique_constant_complement_solution(
+    space: &StateSpace,
+    mv1: &MatView,
+    mv2: &MatView,
+    spec: UpdateSpec,
+) -> Option<usize> {
+    let sols = constant_complement_solutions(space, mv1, mv2, spec);
+    assert!(
+        sols.len() <= 1,
+        "multiple constant-complement solutions: views are not join complementary"
+    );
+    sols.first().copied()
+}
+
+/// Find all join complements of `mv` among `candidates` (returned as
+/// indices into `candidates`).
+pub fn join_complements_among(mv: &MatView, candidates: &[&MatView]) -> Vec<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| is_join_complement(mv, c))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The **minimal** join complements of `mv` among `candidates`: join
+/// complements not strictly above (≽, i.e. defining) another candidate
+/// join complement.
+///
+/// This operationalises §1.3's discussion: Bancilhon–Spyratos propose
+/// using a minimal complement, but minimal complements are non-unique —
+/// on Example 1.3.6, `Γ₂` and `Γ₃` are *both* minimal (see tests).  The
+/// paper's fix is not minimality but *strength*
+/// ([`crate::strong::strong_complement_among`]).
+pub fn minimal_join_complements_among(mv: &MatView, candidates: &[&MatView]) -> Vec<usize> {
+    let jcs = join_complements_among(mv, candidates);
+    jcs.iter()
+        .copied()
+        .filter(|&i| {
+            !jcs.iter().any(|&j| {
+                j != i
+                    && crate::vorder::defines(candidates[i], candidates[j])
+                    && !crate::vorder::defines(candidates[j], candidates[i])
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_1_3_6 as ex;
+    use crate::view::{MatView, View};
+
+    fn setup() -> (StateSpace, MatView, MatView, MatView) {
+        let sp = ex::space(2);
+        let g1 = MatView::materialise(ex::gamma1(), &sp);
+        let g2 = MatView::materialise(ex::gamma2(), &sp);
+        let g3 = MatView::materialise(ex::gamma3(), &sp);
+        (sp, g1, g2, g3)
+    }
+
+    #[test]
+    fn example_1_3_6_pairwise_complementary() {
+        // "It is straightforward to verify that any two of these views are
+        // complementary (both join and meet)."
+        let (_, g1, g2, g3) = setup();
+        assert!(is_complementary(&g1, &g2));
+        assert!(is_complementary(&g1, &g3));
+        assert!(is_complementary(&g2, &g3));
+        // Hence none has a unique complement — the paper's problem.
+    }
+
+    #[test]
+    fn kernel_characterisation_matches_definitions() {
+        let (sp, g1, g2, g3) = setup();
+        for (a, b) in [(&g1, &g2), (&g1, &g3), (&g2, &g3), (&g1, &g1)] {
+            assert_eq!(
+                is_join_complement(a, b),
+                product_map_injective(&sp, a, b),
+                "join-complement ⇔ injectivity"
+            );
+            assert_eq!(
+                is_meet_complement(a, b),
+                product_map_surjective(&sp, a, b),
+                "meet-complement ⇔ surjectivity"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_is_join_complement_of_everything() {
+        // §1.3: "the identity view 1 is a join complement to all views, and
+        // no updates at all can be performed with 1 constant."
+        let (sp, g1, _, _) = setup();
+        let id = MatView::materialise(View::identity(sp.schema().sig()), &sp);
+        assert!(is_join_complement(&g1, &id));
+        assert!(!is_meet_complement(&g1, &id));
+        // With 1_D constant, only the identity update has a solution.
+        for base in 0..sp.len() {
+            for target in 0..g1.n_states() {
+                let sols =
+                    constant_complement_solutions(&sp, &g1, &id, UpdateSpec { base, target });
+                if target == g1.label(base) {
+                    assert_eq!(sols, vec![base]);
+                } else {
+                    assert!(sols.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_view_is_meet_complement_only() {
+        let (sp, g1, _, _) = setup();
+        let zero = MatView::materialise(View::zero(), &sp);
+        assert!(is_meet_complement(&g1, &zero));
+        assert!(!is_join_complement(&g1, &zero));
+    }
+
+    #[test]
+    fn theorem_1_3_2_uniqueness() {
+        let (sp, g1, g2, g3) = setup();
+        for comp in [&g2, &g3] {
+            for base in 0..sp.len() {
+                for target in 0..g1.n_states() {
+                    let sols = constant_complement_solutions(
+                        &sp,
+                        &g1,
+                        comp,
+                        UpdateSpec { base, target },
+                    );
+                    assert!(sols.len() <= 1, "Theorem 1.3.2 violated");
+                    // Complementary (Obs 1.3.5): every update possible.
+                    assert_eq!(sols.len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complement_search() {
+        let (sp, g1, g2, g3) = setup();
+        let zero = MatView::materialise(View::zero(), &sp);
+        let candidates = [&g2, &g3, &zero];
+        let found = join_complements_among(&g1, &candidates);
+        assert_eq!(found, vec![0, 1]); // g2 and g3, not zero
+        let _ = sp;
+    }
+
+    #[test]
+    fn minimal_complements_are_non_unique_as_bancilhon_spyratos_found() {
+        // §1.3: using "a minimal complement" does not resolve the choice —
+        // Γ2 and Γ3 are both minimal join complements of Γ1, and the
+        // (non-minimal) identity view is correctly discarded.
+        let (sp, g1, g2, g3) = setup();
+        let id = MatView::materialise(View::identity(sp.schema().sig()), &sp);
+        let candidates = [&g2, &g3, &id];
+        let minimal = minimal_join_complements_among(&g1, &candidates);
+        assert_eq!(minimal, vec![0, 1], "two incomparable minimal complements");
+        // The identity is a join complement but not minimal.
+        assert!(join_complements_among(&g1, &candidates).contains(&2));
+        // The paper's resolution: exactly one of them is strong.
+        assert!(crate::strong::is_strong(&sp, &g2));
+        assert!(!crate::strong::is_strong(&sp, &g3));
+    }
+}

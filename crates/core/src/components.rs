@@ -1,0 +1,348 @@
+//! The **Boolean algebra of components** (Theorem 2.3.3 and the
+//! surrounding discussion): the strongly complemented strong views of a
+//! schema, closed under meet, join, and (strong) complement.
+//!
+//! On an enumerated space a component is represented by its endomorphism
+//! `γ⊖` (a strong view is determined by its endomorphism — §2.3).  A
+//! [`ComponentAlgebra`] is generated from pairwise-independent *atoms*
+//! (e.g. the segment views `Γ°_AB, Γ°_BC, Γ°_CD` of Example 2.3.4):
+//! element `S ⊆ atoms` is the pointwise join of the atoms in `S`, meets
+//! and joins are pointwise lattice operations in `LDB(D,μ)`, and the
+//! complement of `S` is `atoms ∖ S`.  Construction *verifies* (rather than
+//! assumes) that every element is a strong endomorphism, that the
+//! operations land back in the algebra, and that the whole structure
+//! satisfies the Boolean axioms — the executable content of Lemma 2.3.2
+//! and Theorem 2.3.3.
+
+use crate::space::StateSpace;
+use compview_lattice::{endo, BooleanPresentation, FinPoset};
+
+/// A generated Boolean algebra of component endomorphisms over a space.
+pub struct ComponentAlgebra<'s> {
+    space: &'s StateSpace,
+    atom_names: Vec<String>,
+    /// `elems[mask]` = endomorphism of the component with atom set `mask`.
+    elems: Vec<Vec<usize>>,
+}
+
+impl<'s> ComponentAlgebra<'s> {
+    /// Generate from named atom endomorphisms.
+    ///
+    /// Requirements checked here:
+    /// * each atom is a strong endomorphism;
+    /// * atoms are pairwise independent: pointwise meets of distinct atoms
+    ///   are the constant-`⊥` map;
+    /// * every generated join exists pointwise and is a strong
+    ///   endomorphism.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated requirement.
+    pub fn generate(
+        space: &'s StateSpace,
+        atoms: Vec<(String, Vec<usize>)>,
+    ) -> Result<ComponentAlgebra<'s>, String> {
+        let p = space.poset();
+        assert!(atoms.len() <= 16, "too many atoms");
+        for (name, e) in &atoms {
+            if !endo::is_strong_endo(p, e) {
+                return Err(format!("atom {name:?} is not a strong endomorphism"));
+            }
+        }
+        for i in 0..atoms.len() {
+            for j in (i + 1)..atoms.len() {
+                let m = pointwise_meet(p, &atoms[i].1, &atoms[j].1)
+                    .ok_or_else(|| format!("atoms {i},{j}: pointwise meet missing"))?;
+                if m != endo::constant_bottom(p) {
+                    return Err(format!(
+                        "atoms {:?} and {:?} are not independent (meet ≠ ⊥̄)",
+                        atoms[i].0, atoms[j].0
+                    ));
+                }
+            }
+        }
+        let n_masks = 1usize << atoms.len();
+        let mut elems: Vec<Vec<usize>> = Vec::with_capacity(n_masks);
+        for mask in 0..n_masks {
+            let mut acc = endo::constant_bottom(p);
+            for (i, (_, e)) in atoms.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    acc = pointwise_join(p, &acc, e)
+                        .ok_or_else(|| format!("join for mask {mask:#b} does not exist"))?;
+                }
+            }
+            if !endo::is_strong_endo(p, &acc) {
+                return Err(format!(
+                    "generated element {mask:#b} is not a strong endomorphism"
+                ));
+            }
+            elems.push(acc);
+        }
+        // The top element must be the identity: the atoms jointly decompose
+        // the schema (Γ₁ ∨ … ∨ Γ_k = 1_D).
+        if elems[n_masks - 1] != endo::identity(p) {
+            return Err("atoms do not jointly generate the identity view".into());
+        }
+        Ok(ComponentAlgebra {
+            space,
+            atom_names: atoms.into_iter().map(|(n, _)| n).collect(),
+            elems,
+        })
+    }
+
+    /// The underlying space.
+    pub fn space(&self) -> &StateSpace {
+        self.space
+    }
+
+    /// Number of atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.atom_names.len()
+    }
+
+    /// Number of elements (`2^atoms`).
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Whether the algebra is trivial.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The endomorphism of element `mask`.
+    pub fn endo(&self, mask: usize) -> &[usize] {
+        &self.elems[mask]
+    }
+
+    /// Apply element `mask`'s endomorphism to a state.
+    pub fn apply(&self, mask: usize, state: usize) -> usize {
+        self.elems[mask][state]
+    }
+
+    /// Human-readable name of element `mask` (join of atom names).
+    pub fn name(&self, mask: usize) -> String {
+        if mask == 0 {
+            return "0_D".to_owned();
+        }
+        if mask == self.elems.len() - 1 {
+            return "1_D".to_owned();
+        }
+        let names: Vec<&str> = (0..self.n_atoms())
+            .filter(|i| (mask >> i) & 1 == 1)
+            .map(|i| self.atom_names[i].as_str())
+            .collect();
+        names.join("∨")
+    }
+
+    /// Meet (mask intersection).
+    pub fn meet(&self, a: usize, b: usize) -> usize {
+        a & b
+    }
+
+    /// Join (mask union).
+    pub fn join(&self, a: usize, b: usize) -> usize {
+        a | b
+    }
+
+    /// Strong complement (mask complement) — unique by Theorem 2.3.3(b).
+    pub fn complement(&self, a: usize) -> usize {
+        !a & (self.elems.len() - 1)
+    }
+
+    /// Verify that the mask operations agree with the pointwise lattice
+    /// semantics and that the structure satisfies every Boolean axiom.
+    pub fn verify(&self) -> Result<(), String> {
+        let p = self.space.poset();
+        let n = self.elems.len();
+        for a in 0..n {
+            for b in 0..n {
+                let meet_sem = pointwise_meet(p, &self.elems[a], &self.elems[b])
+                    .ok_or_else(|| format!("pointwise meet ({a},{b}) missing"))?;
+                if meet_sem != self.elems[self.meet(a, b)] {
+                    return Err(format!("mask meet ≠ pointwise meet at ({a},{b})"));
+                }
+                let join_sem = pointwise_join(p, &self.elems[a], &self.elems[b])
+                    .ok_or_else(|| format!("pointwise join ({a},{b}) missing"))?;
+                if join_sem != self.elems[self.join(a, b)] {
+                    return Err(format!("mask join ≠ pointwise join at ({a},{b})"));
+                }
+            }
+            // Complements really are complements in <<P → P>> (Lemma
+            // 2.3.2(b) criterion).
+            if !endo::are_complements(p, &self.elems[a], &self.elems[self.complement(a)]) {
+                return Err(format!("element {a} and its mask complement fail 2.3.2(b)"));
+            }
+        }
+        self.presentation().verify()
+    }
+
+    /// Present as an explicit Boolean structure for the generic law
+    /// verifier.
+    pub fn presentation(&self) -> BooleanPresentation {
+        BooleanPresentation::from_ops(
+            self.elems.len(),
+            |a, b| a & b,
+            |a, b| a | b,
+            |a| !a & (self.elems.len() - 1),
+            0,
+            self.elems.len() - 1,
+        )
+    }
+
+    /// The Hasse structure of the algebra (the `2^atoms` powerset order).
+    pub fn poset(&self) -> FinPoset {
+        FinPoset::powerset(self.n_atoms())
+    }
+}
+
+impl std::fmt::Debug for ComponentAlgebra<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ComponentAlgebra({} atoms: {:?})",
+            self.n_atoms(),
+            self.atom_names
+        )
+    }
+}
+
+/// Pointwise greatest lower bound of two endomorphisms, if all binary
+/// meets exist.
+pub fn pointwise_meet(p: &FinPoset, e: &[usize], f: &[usize]) -> Option<Vec<usize>> {
+    (0..p.n()).map(|x| p.meet(e[x], f[x])).collect()
+}
+
+/// Pointwise least upper bound of two endomorphisms, if all binary joins
+/// exist.
+pub fn pointwise_join(p: &FinPoset, e: &[usize], f: &[usize]) -> Option<Vec<usize>> {
+    (0..p.n()).map(|x| p.join(e[x], f[x])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{example_1_3_6 as ex136, example_2_1_1 as ex211};
+    use crate::strong;
+    use crate::view::MatView;
+
+    fn algebra_136(sp: &StateSpace) -> ComponentAlgebra<'_> {
+        let g1 = MatView::materialise(ex136::gamma1(), sp);
+        let g2 = MatView::materialise(ex136::gamma2(), sp);
+        ComponentAlgebra::generate(
+            sp,
+            vec![
+                ("Γ1".into(), strong::endomorphism(sp, &g1)),
+                ("Γ2".into(), strong::endomorphism(sp, &g2)),
+            ],
+        )
+        .expect("Γ1, Γ2 generate a component algebra")
+    }
+
+    #[test]
+    fn two_atom_algebra_of_example_1_3_6() {
+        let sp = ex136::space(2);
+        let alg = algebra_136(&sp);
+        assert_eq!(alg.len(), 4);
+        alg.verify().unwrap();
+        assert_eq!(alg.complement(0b01), 0b10);
+        assert_eq!(alg.name(0), "0_D");
+        assert_eq!(alg.name(0b11), "1_D");
+        assert_eq!(alg.name(0b01), "Γ1");
+    }
+
+    #[test]
+    fn eight_element_algebra_of_example_2_3_4() {
+        // "The component algebra is generated by Γ°_AB, Γ°_BC, Γ°_CD.  The
+        // other members are then 1_D, 0_D, Γ°_ABC, Γ°_BCD, and Γ°_AB∨CD."
+        let sp = ex211::small_space(&ex211::small_generator_pool());
+        let atom = |name: &str, cols: &[usize]| {
+            let mv = MatView::materialise(ex211::object_view(name, cols), &sp);
+            (name.to_owned(), strong::endomorphism(&sp, &mv))
+        };
+        let alg = ComponentAlgebra::generate(
+            &sp,
+            vec![atom("AB", &[0, 1]), atom("BC", &[1, 2]), atom("CD", &[2, 3])],
+        )
+        .expect("segment views generate the component algebra");
+        assert_eq!(alg.len(), 8);
+        alg.verify().unwrap();
+        // Strong complement of AB (mask 001) is BCD (mask 110).
+        assert_eq!(alg.complement(0b001), 0b110);
+        assert_eq!(alg.name(0b110), "BC∨CD");
+        // The ABC element (AB ∨ BC) agrees with the directly materialised
+        // Γ°_ABC endomorphism.
+        let abc = MatView::materialise(ex211::object_view("ABC", &[0, 1, 2]), &sp);
+        assert_eq!(alg.endo(0b011), strong::endomorphism(&sp, &abc).as_slice());
+        // And BCD with Γ°_BCD.
+        let bcd = MatView::materialise(ex211::object_view("BCD", &[1, 2, 3]), &sp);
+        assert_eq!(alg.endo(0b110), strong::endomorphism(&sp, &bcd).as_slice());
+    }
+
+    #[test]
+    fn generation_rejects_non_strong_atoms() {
+        let sp = ex136::space(2);
+        let g3 = MatView::materialise(ex136::gamma3(), &sp);
+        // Γ3's labels are not even monotone; fake an "endo" by picking the
+        // first fibre element — not strong.
+        let fake: Vec<usize> = (0..sp.len())
+            .map(|s| g3.fibre(g3.label(s))[0])
+            .collect();
+        let g1 = MatView::materialise(ex136::gamma1(), &sp);
+        let err = ComponentAlgebra::generate(
+            &sp,
+            vec![
+                ("Γ1".into(), strong::endomorphism(&sp, &g1)),
+                ("Γ3".into(), fake),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.contains("not a strong endomorphism"), "{err}");
+    }
+
+    #[test]
+    fn generation_rejects_overlapping_atoms() {
+        let sp = ex211::small_space(&ex211::small_generator_pool());
+        let atom = |name: &str, cols: &[usize]| {
+            let mv = MatView::materialise(ex211::object_view(name, cols), &sp);
+            (name.to_owned(), strong::endomorphism(&sp, &mv))
+        };
+        // AB and ABC overlap: not independent.
+        let err = ComponentAlgebra::generate(
+            &sp,
+            vec![atom("AB", &[0, 1]), atom("ABC", &[0, 1, 2])],
+        )
+        .unwrap_err();
+        assert!(err.contains("not independent"), "{err}");
+    }
+
+    #[test]
+    fn generation_requires_covering_atoms() {
+        let sp = ex211::small_space(&ex211::small_generator_pool());
+        let atom = |name: &str, cols: &[usize]| {
+            let mv = MatView::materialise(ex211::object_view(name, cols), &sp);
+            (name.to_owned(), strong::endomorphism(&sp, &mv))
+        };
+        let err =
+            ComponentAlgebra::generate(&sp, vec![atom("AB", &[0, 1]), atom("CD", &[2, 3])])
+                .unwrap_err();
+        assert!(err.contains("identity"), "{err}");
+    }
+
+    #[test]
+    fn decomposition_isomorphism_lemma_2_3_2b() {
+        // For each element e: state ↦ (e(s), e^c(s)) is injective and
+        // jointly reconstructs the state via the poset join.
+        let sp = ex136::space(2);
+        let alg = algebra_136(&sp);
+        let p = sp.poset();
+        for mask in 0..alg.len() {
+            let e = alg.endo(mask);
+            let c = alg.endo(alg.complement(mask));
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..sp.len() {
+                assert!(seen.insert((e[s], c[s])), "pair map not injective");
+                assert_eq!(p.join(e[s], c[s]), Some(s), "reconstruction fails");
+            }
+        }
+    }
+}

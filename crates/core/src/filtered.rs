@@ -1,0 +1,265 @@
+//! The Update Procedure 3.2.3 **symbolically**: updating arbitrary views
+//! through a strong join complement at instance scale.
+//!
+//! The enumerated [`crate::translate::UpdateProcedure`] decides the
+//! procedure on state spaces; this module runs it on instances of any
+//! size.  A [`FilteredView`] packages what §3.2 requires:
+//!
+//! * `mask` — the component `Γ₂^c` that the view defines
+//!   (`Γ₂^c ≼ Γ₁`), whose complement is held constant;
+//! * `apply` — the view mapping `γ₁′`;
+//! * `extract` — the unique morphism `f : Γ₁ → Γ₂^c` (Theorem 2.2.2
+//!   guarantees it exists whenever `Γ₂^c ≼ Γ₁`; here the caller supplies
+//!   its instance-level implementation, and [`FilteredView::validate`]
+//!   checks the commuting property on samples).
+//!
+//! Servicing an update `(s₁, t₂)` then follows 3.2.3 literally: translate
+//! the component state `f(t₂)` with the complement constant, and accept
+//! iff the resulting base state realises `t₂` exactly.
+
+use crate::family::ComponentFamily;
+use compview_relation::Instance;
+
+/// A view filtered through a component (a strong join complement setup).
+pub struct FilteredView<'a> {
+    mask: u32,
+    apply: Box<dyn Fn(&Instance) -> Instance + 'a>,
+    extract: Box<dyn Fn(&Instance) -> Instance + 'a>,
+}
+
+/// Outcome of a filtered update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FilteredOutcome {
+    /// The update succeeded; the new base state is attached.
+    Accepted(Instance),
+    /// The unique constant-complement solution does not realise the
+    /// requested view state: "the update is not possible with constant
+    /// complement Γ₂" (3.2.3).
+    Rejected {
+        /// What the view would actually show after the best-effort
+        /// translation (diagnostics for the user).
+        achievable: Instance,
+    },
+}
+
+impl<'a> FilteredView<'a> {
+    /// Package a filtered view.  `apply` is `γ₁′`; `extract` maps a *view*
+    /// state to the component state it determines.
+    pub fn new(
+        mask: u32,
+        apply: impl Fn(&Instance) -> Instance + 'a,
+        extract: impl Fn(&Instance) -> Instance + 'a,
+    ) -> FilteredView<'a> {
+        FilteredView {
+            mask,
+            apply: Box::new(apply),
+            extract: Box::new(extract),
+        }
+    }
+
+    /// The component mask `Γ₂^c`.
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Evaluate the view on a base state.
+    pub fn view_state(&self, base: &Instance) -> Instance {
+        (self.apply)(base)
+    }
+
+    /// Check the §3.2 commuting requirement on sample base states:
+    /// `extract(γ₁′(s))` must equal the family's component part of `s`
+    /// (i.e. `f ∘ γ₁ = γ₂^c⊖` up to presentation).  Returns the first
+    /// violating sample index.
+    pub fn validate<F: ComponentFamily>(
+        &self,
+        family: &F,
+        samples: &[&Instance],
+    ) -> Result<(), usize> {
+        for (i, s) in samples.iter().enumerate() {
+            let via_view = (self.extract)(&(self.apply)(s));
+            let direct = family.endo(self.mask, s);
+            if via_view != direct {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Update Procedure 3.2.3: service `(base, target_view_state)`.
+    ///
+    /// # Errors
+    /// Propagates the family's component-state validation error when the
+    /// extracted state is illegal (the request was not a legal view
+    /// state).
+    pub fn update<F: ComponentFamily>(
+        &self,
+        family: &F,
+        base: &Instance,
+        target: &Instance,
+    ) -> Result<FilteredOutcome, String> {
+        // Step 1–2: translate the extracted component state with the
+        // complement constant (Theorem 3.1.1: unique).
+        let comp_state = (self.extract)(target);
+        let next = family.translate(self.mask, base, &comp_state)?;
+        // Step 3: accept iff the view realises the request exactly.
+        let achieved = (self.apply)(&next);
+        if &achieved == target {
+            Ok(FilteredOutcome::Accepted(next))
+        } else {
+            Ok(FilteredOutcome::Rejected {
+                achievable: achieved,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_2_1_1 as ex;
+    use crate::pathview::PathComponents;
+    use compview_relation::{v, RaExpr, Relation, Tuple, Value};
+
+    /// The Γ_ABD view of Example 3.2.4 as a symbolic filtered view over
+    /// the AB component (its strong join complement is Γ°_BCD).
+    fn gamma_abd<'a>(pc: &'a PathComponents) -> FilteredView<'a> {
+        let ps = pc.schema().clone();
+        let ps2 = ps.clone();
+        FilteredView::new(
+            0b001,
+            move |base: &Instance| {
+                // π_ABD of the base relation.
+                let expr = RaExpr::rel("R").project(vec![0, 1, 3]);
+                Instance::new().with("V_ABD", expr.eval(base))
+            },
+            move |view: &Instance| {
+                // f: keep tuples with no η among (A, B), rebuild objects.
+                let pairs = view
+                    .rel("V_ABD")
+                    .select(|t| !t[0].is_null() && !t[1].is_null())
+                    .project(&[0, 1]);
+                ps2.instance(Relation::from_tuples(
+                    4,
+                    pairs.iter().map(|t| ps2.object(0, t.values())),
+                ))
+            },
+        )
+    }
+
+    #[test]
+    fn commuting_requirement_validates() {
+        let pc = PathComponents::new(ex::path_schema());
+        let view = gamma_abd(&pc);
+        let base = ex::base_instance();
+        assert_eq!(view.validate(&pc, &[&base]), Ok(()));
+    }
+
+    #[test]
+    fn example_3_2_4_symbolically() {
+        let pc = PathComponents::new(ex::path_schema());
+        let ps = ex::path_schema();
+        let view = gamma_abd(&pc);
+        let base = ex::base_instance();
+        let t1 = view.view_state(&base);
+        assert_eq!(t1.rel("V_ABD").len(), 9); // the paper's table
+
+        // Allowed: delete (a2,b3,η).
+        let mut ok = t1.clone();
+        ok.remove("V_ABD", &Tuple::new([v("a2"), v("b3"), Value::Null]));
+        match view.update(&pc, &base, &ok).unwrap() {
+            FilteredOutcome::Accepted(next) => {
+                assert!(!next
+                    .rel("R")
+                    .contains(&ps.object(0, &[v("a2"), v("b3")])));
+                // Complement constant.
+                assert_eq!(
+                    pc.endo(0b110, next.rel("R")),
+                    pc.endo(0b110, base.rel("R"))
+                );
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+
+        // Rejected: delete (η,η,d4) — maps to no component change.
+        let mut bad = t1.clone();
+        bad.remove("V_ABD", &Tuple::new([Value::Null, Value::Null, v("d4")]));
+        match view.update(&pc, &base, &bad).unwrap() {
+            FilteredOutcome::Rejected { achievable } => {
+                // The translation is a no-op, so the achievable state is t1.
+                assert_eq!(achievable, t1);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        // Rejected: the combined deletion including (η,b3,η) (the paper's
+        // prose discrepancy — see EXPERIMENTS.md).
+        let mut combined = t1.clone();
+        combined.remove("V_ABD", &Tuple::new([v("a2"), v("b3"), Value::Null]));
+        combined.remove("V_ABD", &Tuple::new([Value::Null, v("b3"), Value::Null]));
+        assert!(matches!(
+            view.update(&pc, &base, &combined).unwrap(),
+            FilteredOutcome::Rejected { .. }
+        ));
+    }
+
+    #[test]
+    fn symbolic_procedure_matches_enumerated_procedure() {
+        use crate::translate::UpdateProcedure;
+        use crate::view::MatView;
+        use crate::UpdateSpec;
+        let sp = ex::small_space(&ex::small_generator_pool());
+        let abd = MatView::materialise(ex::gamma_abd(), &sp);
+        let ab = MatView::materialise(ex::object_view("AB", &[0, 1]), &sp);
+        let bcd = MatView::materialise(ex::object_view("BCD", &[1, 2, 3]), &sp);
+        let proc_enum = UpdateProcedure::new(&sp, &abd, &bcd, &ab).unwrap();
+
+        let pc = PathComponents::new(ex::path_schema());
+        let view = gamma_abd(&pc);
+
+        for base in 0..sp.len() {
+            for target in 0..abd.n_states() {
+                let enumerated = proc_enum.run(UpdateSpec { base, target });
+                let symbolic = view
+                    .update(&pc, sp.state(base), abd.state(target))
+                    .unwrap();
+                match (enumerated, symbolic) {
+                    (Some(s2), FilteredOutcome::Accepted(next)) => {
+                        assert_eq!(sp.state(s2), &next);
+                    }
+                    (None, FilteredOutcome::Rejected { .. }) => {}
+                    (e, s) => panic!(
+                        "divergence at ({base},{target}): enumerated {e:?} vs symbolic {s:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_target_state_is_an_error() {
+        let pc = PathComponents::new(ex::path_schema());
+        let view = gamma_abd(&pc);
+        let base = ex::base_instance();
+        // A target whose AB pairs cannot be extracted into a closed
+        // component state cannot happen through `extract` here (it always
+        // builds AB objects); instead check that a malformed arity panics
+        // upstream or errors: craft a target whose extraction is fine but
+        // the family rejects — impossible for AB objects, so check the
+        // validation path instead with a broken extractor.
+        let broken = FilteredView::new(
+            0b001,
+            |b: &Instance| b.clone(),
+            |_t: &Instance| {
+                // Claims a BC object is part of the AB component.
+                let ps = ex::path_schema();
+                ps.instance(Relation::from_tuples(
+                    4,
+                    [ps.object(1, &[v("b"), v("c")])],
+                ))
+            },
+        );
+        assert!(broken.update(&pc, &base, &base).is_err());
+        let _ = view;
+    }
+}

@@ -1,0 +1,266 @@
+//! Implied constraint mining for views — the §1.1 surjectivity programme,
+//! automated.
+//!
+//! "The problem here is that we have not endowed the user view with the
+//! constraints inherited from the base view.  An *implied constraint* of
+//! view `Γ = (V, γ)` is a constraint on `V` which is true for every
+//! instance of the form `γ′(s)`."  Over an enumerated space the image of
+//! `γ′` is explicit, so implied functional and join dependencies can be
+//! *mined* by checking every candidate against every image state — this
+//! module does exactly that, discovering e.g. the implied `*[SP,PJ]` of
+//! Example 1.1.1 mechanically.
+//!
+//! (The paper warns that first-order implied constraints do not always
+//! restore surjectivity; the miner therefore also reports whether the
+//! mined dependencies *characterise* the image over the enumerated
+//! candidate states.)
+
+use crate::view::MatView;
+use compview_logic::{Constraint, Fd, Jd, TypeAssignment};
+use compview_relation::Instance;
+
+/// All implied functional dependencies `rel : X → {col}` of a view, with
+/// minimal (irreducible) left-hand sides.
+pub fn implied_fds(mv: &MatView) -> Vec<Fd> {
+    let mut out = Vec::new();
+    for decl in mv.view().sig().decls() {
+        let arity = decl.arity();
+        if arity == 0 {
+            continue;
+        }
+        for target in 0..arity {
+            let others: Vec<usize> = (0..arity).filter(|&c| c != target).collect();
+            // Candidate LHSs: subsets of the other columns, smallest first;
+            // keep only minimal satisfied ones.
+            let mut found: Vec<Vec<usize>> = Vec::new();
+            let n = others.len();
+            let mut masks: Vec<u32> = (0..(1u32 << n)).collect();
+            masks.sort_by_key(|m| m.count_ones());
+            'mask: for m in masks {
+                let lhs: Vec<usize> = others
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| (m >> i) & 1 == 1)
+                    .map(|(_, &c)| c)
+                    .collect();
+                // Skip non-minimal candidates.
+                for prev in &found {
+                    if prev.iter().all(|c| lhs.contains(c)) {
+                        continue 'mask;
+                    }
+                }
+                let fd = Fd::new(decl.name(), lhs.clone(), vec![target]);
+                if holds_on_image(mv, |s| fd.satisfied(s)) {
+                    found.push(lhs);
+                }
+            }
+            for lhs in found {
+                out.push(Fd::new(decl.name(), lhs, vec![target]));
+            }
+        }
+    }
+    out
+}
+
+/// All implied binary join dependencies `rel : *[X, Y]` of a view, where
+/// `X ∪ Y` covers the columns and `X, Y` each contain the shared columns.
+///
+/// Only *informative* JDs are returned: both components must be proper
+/// subsets of the column set (the trivial `*[all]` is skipped), and
+/// subsumed JDs (coarser than an already-found one on the same relation)
+/// are pruned.
+pub fn implied_jds(mv: &MatView) -> Vec<Jd> {
+    let mut out: Vec<Jd> = Vec::new();
+    for decl in mv.view().sig().decls() {
+        let arity = decl.arity();
+        if arity < 2 {
+            continue;
+        }
+        // Enumerate unordered pairs (X, Y) with X ∪ Y = all columns,
+        // X ⊄ Y, Y ⊄ X (encode X's mask; Y = complement ∪ overlap mask).
+        let full = (1u32 << arity) - 1;
+        for x_mask in 1..full {
+            let y_min = full & !x_mask;
+            // Y ranges over y_min ∪ (subset of x_mask), nonempty proper.
+            let overlap_space = x_mask;
+            let mut sub = overlap_space;
+            loop {
+                let y_mask = y_min | sub;
+                if y_mask != full && y_mask != 0 && x_mask | y_mask == full {
+                    let cols = |m: u32| -> Vec<usize> {
+                        (0..arity).filter(|&c| (m >> c) & 1 == 1).collect()
+                    };
+                    let jd = Jd::new(decl.name(), vec![cols(x_mask), cols(y_mask)]);
+                    if !out.iter().any(|prev| subsumes(prev, &jd))
+                        && holds_on_image(mv, |s| jd.satisfied(s))
+                    {
+                        out.retain(|prev| !subsumes(&jd, prev));
+                        out.push(jd);
+                    }
+                }
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & overlap_space;
+            }
+        }
+    }
+    out
+}
+
+/// Whether `a` logically subsumes `b` in the trivial refinement sense:
+/// same relation and `a`'s components each contained in some component of
+/// `b` — then `a` is the stronger (finer) dependency.
+fn subsumes(a: &Jd, b: &Jd) -> bool {
+    a.rel == b.rel
+        && a.components.iter().all(|ca| {
+            b.components
+                .iter()
+                .any(|cb| ca.iter().all(|c| cb.contains(c)))
+        })
+}
+
+/// Check a predicate on every image state of the view.
+fn holds_on_image<F: Fn(&Instance) -> bool>(mv: &MatView, pred: F) -> bool {
+    (0..mv.n_states()).all(|i| pred(mv.state(i)))
+}
+
+/// The mined constraints packaged as `Con(V)`, plus whether they
+/// *characterise* the image over the given candidate view states:
+/// `complete == true` means every candidate satisfying the constraints is
+/// in the image (surjectivity restored, as §1.1 demands).
+pub struct MinedConstraints {
+    /// Implied FDs with minimal LHSs.
+    pub fds: Vec<Fd>,
+    /// Implied binary JDs, maximally informative.
+    pub jds: Vec<Jd>,
+    /// Whether the mined set exactly carves out the image among the
+    /// candidates supplied to [`mine`].
+    pub complete: bool,
+}
+
+/// Mine implied constraints and test completeness against candidate view
+/// states (e.g. all instances over the view's tuple space).
+pub fn mine(mv: &MatView, candidates: &[Instance]) -> MinedConstraints {
+    let fds = implied_fds(mv);
+    let jds = implied_jds(mv);
+    let mu = TypeAssignment::new();
+    let satisfies_all = |s: &Instance| {
+        fds.iter()
+            .map(|f| Constraint::Fd(f.clone()))
+            .chain(jds.iter().map(|j| Constraint::Jd(j.clone())))
+            .all(|c| c.satisfied(s, &mu))
+    };
+    let complete = candidates
+        .iter()
+        .all(|s| !satisfies_all(s) || mv.id_of(s).is_some());
+    MinedConstraints { fds, jds, complete }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_1_1_1 as ex;
+    use crate::view::MatView;
+
+    #[test]
+    fn discovers_the_implied_jd_of_example_1_1_1() {
+        let (sp, view) = ex::small_space_and_join_view();
+        let mv = MatView::materialise(view, &sp);
+        let jds = implied_jds(&mv);
+        // *[{S,P},{P,J}] = *[{0,1},{1,2}] must be among the mined JDs.
+        assert!(
+            jds.iter().any(|jd| jd.rel == "R_SPJ"
+                && jd.components.contains(&vec![0, 1])
+                && jd.components.contains(&vec![1, 2])),
+            "mined: {jds:?}"
+        );
+    }
+
+    #[test]
+    fn join_view_has_no_implied_fds() {
+        // The unconstrained base puts no FDs on the join view (S↛P etc.
+        // all falsified by some image state) — only trivial full-LHS FDs
+        // may appear; check nothing with a small LHS is claimed falsely.
+        let (sp, view) = ex::small_space_and_join_view();
+        let mv = MatView::materialise(view, &sp);
+        for fd in implied_fds(&mv) {
+            // Verify each mined FD really holds on the image.
+            for i in 0..mv.n_states() {
+                assert!(fd.satisfied(mv.state(i)), "{fd} fails on state {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fd_mining_finds_projection_keys() {
+        // View: π_S of R_SP where the enumerated base has FD-free R_SP —
+        // a unary relation trivially satisfies only the ∅ → col FD when
+        // it never has two rows… it does; so expect no implied unary FDs.
+        // Stronger case: a view defined as R_SP ⋈ R_PJ restricted to one
+        // part value has FD P → J iff each part maps to one job in every
+        // state — falsified here.  Instead verify minimality of LHSs on a
+        // constrained base:
+        use crate::space::StateSpace;
+        use compview_logic::{Constraint, Fd as LFd, Schema};
+        use compview_relation::{RaExpr, RelDecl, Signature, Tuple, v};
+        let sig = Signature::new([RelDecl::new("R", ["A", "B", "C"])]);
+        let schema = Schema::new(
+            sig,
+            vec![Constraint::Fd(LFd::new("R", vec![0], vec![1]))],
+        );
+        let pools: std::collections::BTreeMap<String, Vec<Tuple>> = [(
+            "R".to_owned(),
+            vec![
+                Tuple::new([v("a1"), v("b1"), v("c1")]),
+                Tuple::new([v("a1"), v("b1"), v("c2")]),
+                Tuple::new([v("a1"), v("b2"), v("c1")]),
+                Tuple::new([v("a2"), v("b1"), v("c1")]),
+            ],
+        )]
+        .into();
+        let sp = StateSpace::enumerate(schema, &pools);
+        let id_view = crate::view::View::new(
+            "full",
+            vec![(RelDecl::new("R", ["A", "B", "C"]), RaExpr::rel("R"))],
+        );
+        let mv = MatView::materialise(id_view, &sp);
+        let fds = implied_fds(&mv);
+        // A → B must be discovered with the minimal LHS {A} (not {A,C}).
+        assert!(
+            fds.iter()
+                .any(|fd| fd.lhs == vec![0] && fd.rhs == vec![1]),
+            "mined: {fds:?}"
+        );
+        assert!(
+            !fds.iter()
+                .any(|fd| fd.lhs == vec![0, 2] && fd.rhs == vec![1]),
+            "non-minimal LHS retained"
+        );
+    }
+
+    #[test]
+    fn completeness_report() {
+        let (sp, view) = ex::small_space_and_join_view();
+        let mv = MatView::materialise(view, &sp);
+        // Candidates: every image state (trivially complete) plus one
+        // JD-violating state (must be excluded by the mined constraints).
+        let mut candidates: Vec<Instance> =
+            (0..mv.n_states()).map(|i| mv.state(i).clone()).collect();
+        let mut bad = mv.state(0).clone();
+        bad.set(
+            "R_SPJ",
+            compview_relation::rel(
+                3,
+                [["s1", "p1", "j1"], ["s2", "p1", "j2"]], // violates *[SP,PJ]
+            ),
+        );
+        candidates.push(bad.clone());
+        let mined = mine(&mv, &candidates);
+        assert!(!mined.jds.is_empty());
+        assert!(
+            mined.complete,
+            "the JD excludes the violating candidate, so mining is complete here"
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! Executable fixtures for every worked example in the paper.
+//!
+//! Each submodule reconstructs one example's schema, instances, and views
+//! exactly as printed, so tests, examples, and benchmarks all reproduce the
+//! same objects the paper reasons about.
+
+use crate::space::StateSpace;
+use crate::view::View;
+use compview_logic::{Constraint, Jd, Schema};
+use compview_relation::{rel, v, Instance, RaExpr, RelDecl, Relation, Signature, Tuple};
+use std::collections::BTreeMap;
+
+/// All pairs over two small symbol domains, as binary tuples.
+fn pairs(lefts: &[&str], rights: &[&str]) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(lefts.len() * rights.len());
+    for l in lefts {
+        for r in rights {
+            out.push(Tuple::new([v(l), v(r)]));
+        }
+    }
+    out
+}
+
+/// Example 1.1.1: base schema `R_SP`, `R_PJ` (no constraints) and the join
+/// view `R_SPJ = R_SP ⋈_P R_PJ`.
+pub mod example_1_1_1 {
+    use super::*;
+
+    /// The base schema `D`: two binary relations, no constraints.
+    pub fn base_schema() -> Schema {
+        Schema::unconstrained(Signature::new([
+            RelDecl::new("R_SP", ["S", "P"]),
+            RelDecl::new("R_PJ", ["P", "J"]),
+        ]))
+    }
+
+    /// The instance printed at the start of the example.
+    pub fn base_instance() -> Instance {
+        Instance::null_model(base_schema().sig())
+            .with("R_SP", rel(2, [["s1", "p1"], ["s1", "p2"], ["s2", "p3"]]))
+            .with(
+                "R_PJ",
+                rel(2, [["p1", "j1"], ["p1", "j2"], ["p3", "j1"], ["p4", "j3"]]),
+            )
+    }
+
+    /// The join view `Γ = (V, γ)` with `R_SPJ[S,P,J]`.
+    pub fn join_view() -> View {
+        View::new(
+            "Γ_SPJ",
+            vec![(
+                RelDecl::new("R_SPJ", ["S", "P", "J"]),
+                RaExpr::rel("R_SP").join(RaExpr::rel("R_PJ"), vec![(1, 0)]),
+            )],
+        )
+    }
+
+    /// The view instance the paper prints (image of [`base_instance`]).
+    pub fn view_instance() -> Instance {
+        Instance::new().with(
+            "R_SPJ",
+            rel(
+                3,
+                [["s1", "p1", "j1"], ["s1", "p1", "j2"], ["s2", "p3", "j1"]],
+            ),
+        )
+    }
+
+    /// A small enumerated space for exhaustive checks: `S,P,J` drawn from
+    /// two-element domains (256 raw states).
+    pub fn small_space_and_join_view() -> (StateSpace, View) {
+        let schema = base_schema();
+        let pools: BTreeMap<String, Vec<Tuple>> = [
+            (
+                "R_SP".to_owned(),
+                pairs(&["s1", "s2"], &["p1", "p2"]),
+            ),
+            (
+                "R_PJ".to_owned(),
+                pairs(&["p1", "p2"], &["j1", "j2"]),
+            ),
+        ]
+        .into();
+        (StateSpace::enumerate(schema, &pools), join_view())
+    }
+}
+
+/// Example 1.2.5 (and 1.2.12): base schema `R_SPJ` with `*[SP, PJ]`,
+/// projection views `Γ₁ = π_SP`, `Γ₂ = π_PJ`.
+pub mod example_1_2_5 {
+    use super::*;
+
+    /// The base schema: one ternary relation constrained by the join
+    /// dependency `*[SP, PJ]`.
+    pub fn base_schema() -> Schema {
+        Schema::new(
+            Signature::new([RelDecl::new("R_SPJ", ["S", "P", "J"])]),
+            vec![Constraint::Jd(Jd::new(
+                "R_SPJ",
+                vec![vec![0, 1], vec![1, 2]],
+            ))],
+        )
+    }
+
+    /// The initial instance printed in the example.
+    pub fn base_instance() -> Instance {
+        Instance::null_model(base_schema().sig()).with(
+            "R_SPJ",
+            rel(
+                3,
+                [["s1", "p1", "j1"], ["s1", "p1", "j2"], ["s2", "p2", "j2"]],
+            ),
+        )
+    }
+
+    /// `Γ₁ = (V₁, π_SP)`.
+    pub fn gamma1() -> View {
+        View::new(
+            "Γ1",
+            vec![(
+                RelDecl::new("R_SP", ["S", "P"]),
+                RaExpr::rel("R_SPJ").project(vec![0, 1]),
+            )],
+        )
+    }
+
+    /// `Γ₂ = (V₂, π_PJ)`.
+    pub fn gamma2() -> View {
+        View::new(
+            "Γ2",
+            vec![(
+                RelDecl::new("R_PJ", ["P", "J"]),
+                RaExpr::rel("R_SPJ").project(vec![1, 2]),
+            )],
+        )
+    }
+
+    /// A small enumerated space: tuples over `{s1,s2} × {p1} × {j1,j2}`
+    /// (the shape Example 1.2.5's updates exercise) — 16 raw states
+    /// filtered by the JD.
+    pub fn small_space() -> StateSpace {
+        let schema = base_schema();
+        let mut pool = Vec::new();
+        for s in ["s1", "s2"] {
+            for j in ["j1", "j2"] {
+                pool.push(Tuple::new([v(s), v("p1"), v(j)]));
+            }
+        }
+        let pools: BTreeMap<String, Vec<Tuple>> = [("R_SPJ".to_owned(), pool)].into();
+        StateSpace::enumerate(schema, &pools)
+    }
+
+    /// A richer space with two parts and two jobs —
+    /// `{s1,s2} × {p1,p2} × {j1,j2}`, 256 raw states filtered by the JD —
+    /// large enough to hold both instances of Example 1.2.12.
+    pub fn two_part_space() -> StateSpace {
+        let schema = base_schema();
+        let mut pool = Vec::new();
+        for s in ["s1", "s2"] {
+            for p in ["p1", "p2"] {
+                for j in ["j1", "j2"] {
+                    pool.push(Tuple::new([v(s), v(p), v(j)]));
+                }
+            }
+        }
+        let pools: BTreeMap<String, Vec<Tuple>> = [("R_SPJ".to_owned(), pool)].into();
+        StateSpace::enumerate(schema, &pools)
+    }
+
+    /// Example 1.2.12's alternative instance (deletion becomes possible
+    /// with `Γ₂` constant).
+    pub fn state_dependent_instance() -> Instance {
+        Instance::null_model(base_schema().sig()).with(
+            "R_SPJ",
+            rel(
+                3,
+                [
+                    ["s1", "p1", "j1"],
+                    ["s1", "p1", "j2"],
+                    ["s2", "p2", "j1"],
+                    ["s1", "p2", "j1"],
+                ],
+            ),
+        )
+    }
+}
+
+/// Example 1.3.6 (and 3.3.1): base schema of two unary relations `R`, `S`;
+/// views `Γ₁` (keep R), `Γ₂` (keep S), `Γ₃` (T = R Δ S).
+pub mod example_1_3_6 {
+    use super::*;
+
+    /// The base schema: `R`, `S` unary, no constraints.
+    pub fn base_schema() -> Schema {
+        Schema::unconstrained(Signature::new([
+            RelDecl::new("R", ["A"]),
+            RelDecl::new("S", ["A"]),
+        ]))
+    }
+
+    /// The instance sketched in the example: `R = {a1,a2}`, `S = {a2,a3}`,
+    /// so `T = {a1,a3}`.
+    pub fn base_instance() -> Instance {
+        Instance::null_model(base_schema().sig())
+            .with("R", rel(1, [["a1"], ["a2"]]))
+            .with("S", rel(1, [["a2"], ["a3"]]))
+    }
+
+    /// `Γ₁`: retain `R`, forget `S`.
+    pub fn gamma1() -> View {
+        View::new("Γ1", vec![(RelDecl::new("R", ["A"]), RaExpr::rel("R"))])
+    }
+
+    /// `Γ₂`: retain `S`, forget `R`.
+    pub fn gamma2() -> View {
+        View::new("Γ2", vec![(RelDecl::new("S", ["A"]), RaExpr::rel("S"))])
+    }
+
+    /// `Γ₃`: `T = R Δ S` (element in `T` iff in exactly one of `R`, `S`).
+    pub fn gamma3() -> View {
+        View::new(
+            "Γ3",
+            vec![(
+                RelDecl::new("T", ["A"]),
+                RaExpr::rel("R").sym_diff(RaExpr::rel("S")),
+            )],
+        )
+    }
+
+    /// Enumerated space over the domain `{a1, …, a_n}` for both relations.
+    ///
+    /// # Panics
+    /// Panics if `n` makes the space exceed the enumeration guard
+    /// (`2n ≤ 24` bits).
+    pub fn space(n: usize) -> StateSpace {
+        let schema = base_schema();
+        let dom: Vec<Tuple> = (1..=n)
+            .map(|i| Tuple::new([v(&format!("a{i}"))]))
+            .collect();
+        let pools: BTreeMap<String, Vec<Tuple>> =
+            [("R".to_owned(), dom.clone()), ("S".to_owned(), dom)].into();
+        StateSpace::enumerate(schema, &pools)
+    }
+}
+
+/// Example 2.1.1 / 2.3.4 / 3.2.4: the null-augmented path schema
+/// `R[A,B,C,D]` with `*[AB,BC,CD]` and its `π°` component views.
+pub mod example_2_1_1 {
+    use super::*;
+    pub use compview_logic::PathSchema;
+
+    /// The path schema itself (re-exported from `compview-logic`).
+    pub fn path_schema() -> PathSchema {
+        PathSchema::example_2_1_1()
+    }
+
+    /// The closed 11-tuple instance printed in the example.
+    pub fn base_instance() -> Instance {
+        let ps = path_schema();
+        ps.instance(ps.close(&PathSchema::example_2_1_1_generators()))
+    }
+
+    /// The `π°_X` component view for the column set `cols` (must be a
+    /// contiguous interval): restrict to objects supported exactly on
+    /// `cols`, project those columns.
+    pub fn object_view(name: &str, cols: &[usize]) -> View {
+        let ps = path_schema();
+        let attrs: Vec<String> = cols
+            .iter()
+            .map(|&c| ps.attrs()[c].clone())
+            .collect();
+        View::new(
+            name,
+            vec![(
+                RelDecl::new(format!("V_{name}"), attrs),
+                RaExpr::object_projection(ps.rel_name(), ps.arity(), cols),
+            )],
+        )
+    }
+
+    /// The plain projection view `Γ_ABD = π_ABD` of Example 3.2.4 (no
+    /// regard for nulls).
+    pub fn gamma_abd() -> View {
+        View::new(
+            "Γ_ABD",
+            vec![(
+                RelDecl::new("V_ABD", ["A", "B", "D"]),
+                RaExpr::rel("R").project(vec![0, 1, 3]),
+            )],
+        )
+    }
+
+    /// An enumerated space of *closed* path-schema states over a tiny
+    /// domain: all closed relations whose objects draw values from
+    /// `{x_i, y_i}` per column... kept tiny by construction: we generate
+    /// all closed states reachable from subsets of a fixed generator pool.
+    pub fn small_space(gen_pool: &[Tuple]) -> StateSpace {
+        let ps = path_schema();
+        let schema = ps.schema();
+        let mut states: Vec<Instance> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let n = gen_pool.len();
+        assert!(n <= 12, "generator pool too large");
+        for mask in 0..(1usize << n) {
+            let mut r = Relation::empty(ps.arity());
+            for (i, t) in gen_pool.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    r.insert(t.clone());
+                }
+            }
+            let closed = ps.close(&r);
+            if seen.insert(closed.clone()) {
+                states.push(ps.instance(closed));
+            }
+        }
+        StateSpace::from_states(schema, states)
+    }
+
+    /// A standard small generator pool: two AB-objects, two BC-objects,
+    /// two CD-objects over a chainable value set.
+    pub fn small_generator_pool() -> Vec<Tuple> {
+        let ps = path_schema();
+        vec![
+            ps.object(0, &[v("a1"), v("b1")]),
+            ps.object(0, &[v("a2"), v("b2")]),
+            ps.object(1, &[v("b1"), v("c1")]),
+            ps.object(1, &[v("b2"), v("c2")]),
+            ps.object(2, &[v("c1"), v("d1")]),
+            ps.object(2, &[v("c2"), v("d2")]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_view_instance_matches_paper() {
+        let view = example_1_1_1::join_view();
+        assert_eq!(
+            view.apply(&example_1_1_1::base_instance()),
+            example_1_1_1::view_instance()
+        );
+    }
+
+    #[test]
+    fn e3_schema_holds_initial_instance() {
+        let d = example_1_2_5::base_schema();
+        assert!(d.is_legal(&example_1_2_5::base_instance()));
+        assert!(d.is_legal(&example_1_2_5::state_dependent_instance()));
+    }
+
+    #[test]
+    fn e7_views_evaluate() {
+        let base = example_1_3_6::base_instance();
+        let t = example_1_3_6::gamma3().apply(&base);
+        assert_eq!(t.rel("T"), &rel(1, [["a1"], ["a3"]]));
+    }
+
+    #[test]
+    fn e9_object_views_match_paper_table() {
+        let base = example_2_1_1::base_instance();
+        let ab = example_2_1_1::object_view("AB", &[0, 1]).apply(&base);
+        assert_eq!(
+            ab.rel("V_AB"),
+            &rel(2, [["a1", "b1"], ["a2", "b2"], ["a2", "b3"]])
+        );
+        let cd = example_2_1_1::object_view("CD", &[2, 3]).apply(&base);
+        assert_eq!(cd.rel("V_CD"), &rel(2, [["c1", "d1"], ["c4", "d4"]]));
+    }
+
+    #[test]
+    fn e10_gamma_abd_matches_paper_table() {
+        let base = example_2_1_1::base_instance();
+        let abd = example_2_1_1::gamma_abd().apply(&base);
+        // The paper's 9-row table for the ABD projection.
+        assert_eq!(abd.rel("V_ABD").len(), 9);
+        use compview_relation::{Tuple, Value};
+        let has = |a: Value, b: Value, d: Value| {
+            assert!(abd.rel("V_ABD").contains(&Tuple::new([a, b, d])));
+        };
+        has(v("a1"), v("b1"), v("d1"));
+        has(v("a1"), v("b1"), Value::Null);
+        has(Value::Null, v("b1"), v("d1"));
+        has(Value::Null, Value::Null, v("d1"));
+        has(Value::Null, v("b1"), Value::Null);
+        has(v("a2"), v("b2"), Value::Null);
+        has(v("a2"), v("b3"), Value::Null);
+        has(Value::Null, v("b3"), Value::Null);
+        has(Value::Null, Value::Null, v("d4"));
+    }
+
+    #[test]
+    fn small_spaces_enumerate() {
+        let (sp, _) = example_1_1_1::small_space_and_join_view();
+        assert_eq!(sp.len(), 256);
+        let sp2 = example_1_2_5::small_space();
+        assert!(sp2.len() < 16 && sp2.len() > 1);
+        let sp3 = example_1_3_6::space(2);
+        assert_eq!(sp3.len(), 16);
+        let sp4 =
+            example_2_1_1::small_space(&example_2_1_1::small_generator_pool());
+        assert!(sp4.len() > 1);
+        assert!(sp4.len() <= 64);
+    }
+}

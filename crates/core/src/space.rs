@@ -1,0 +1,222 @@
+//! Enumerated state spaces: `LDB(D, μ)` as an explicit finite ↓-poset.
+//!
+//! The paper's theorems quantify over all legal databases.  A [`StateSpace`]
+//! enumerates `LDB(D, μ)` for a finite type assignment (per-relation tuple
+//! pools) and materialises the relation-by-relation inclusion order of
+//! Notation 1.2.3 as a [`FinPoset`], which makes every definition of
+//! §§1–3 — kernels, complements, strong views, admissibility — *decidable*
+//! on the space.
+
+use compview_lattice::FinPoset;
+use compview_logic::Schema;
+use compview_relation::{Instance, Tuple};
+use std::collections::{BTreeMap, HashMap};
+
+/// An explicitly enumerated `LDB(D, μ)` with its inclusion order.
+pub struct StateSpace {
+    schema: Schema,
+    states: Vec<Instance>,
+    index: HashMap<Instance, usize>,
+    poset: FinPoset,
+}
+
+impl StateSpace {
+    /// Enumerate the space from per-relation tuple pools.
+    ///
+    /// # Panics
+    /// Panics if the raw space exceeds the enumeration guard in
+    /// `compview-logic`, or if the schema lacks the null model property —
+    /// §3's standing assumption, required for the ↓-poset structure.
+    pub fn enumerate(schema: Schema, pools: &BTreeMap<String, Vec<Tuple>>) -> StateSpace {
+        assert!(
+            schema.has_null_model_property(),
+            "schema lacks the null model property (§2.3); \
+             the state space would not be a ↓-poset"
+        );
+        let states = schema.enumerate_ldb(pools);
+        let index: HashMap<Instance, usize> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
+        let poset = FinPoset::from_leq(states.len(), |a, b| {
+            states[a].is_subinstance(&states[b])
+        });
+        StateSpace {
+            schema,
+            states,
+            index,
+            poset,
+        }
+    }
+
+    /// Build a space from an explicit list of legal states (used when the
+    /// legal set is constructed directly, e.g. closed path-schema states).
+    ///
+    /// # Panics
+    /// Panics if any state is illegal, states repeat, or the null model is
+    /// absent.
+    pub fn from_states(schema: Schema, states: Vec<Instance>) -> StateSpace {
+        for s in &states {
+            assert!(schema.is_legal(s), "illegal state in explicit space:\n{s}");
+        }
+        let index: HashMap<Instance, usize> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i))
+            .collect();
+        assert_eq!(index.len(), states.len(), "duplicate states");
+        assert!(
+            states.iter().any(Instance::is_null_model),
+            "state list must contain the null model"
+        );
+        let poset = FinPoset::from_leq(states.len(), |a, b| {
+            states[a].is_subinstance(&states[b])
+        });
+        StateSpace {
+            schema,
+            states,
+            index,
+            poset,
+        }
+    }
+
+    /// The schema `D`.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the space is empty (never true for a valid space).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// State by id.
+    pub fn state(&self, i: usize) -> &Instance {
+        &self.states[i]
+    }
+
+    /// All states.
+    pub fn states(&self) -> &[Instance] {
+        &self.states
+    }
+
+    /// Id of a state.
+    pub fn id_of(&self, s: &Instance) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+
+    /// Id of a state, panicking with context when absent.
+    pub fn expect_id(&self, s: &Instance) -> usize {
+        self.id_of(s)
+            .unwrap_or_else(|| panic!("state not in enumerated space:\n{s}"))
+    }
+
+    /// The inclusion order as a poset ([`FinPoset`] over state ids).
+    pub fn poset(&self) -> &FinPoset {
+        &self.poset
+    }
+
+    /// Id of the null model (the ↓-poset's `⊥`).
+    pub fn bottom(&self) -> usize {
+        self.poset.bottom().expect("null model guaranteed at construction")
+    }
+}
+
+impl std::fmt::Debug for StateSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StateSpace({} states)", self.states.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compview_logic::{Constraint, Jd};
+    use compview_relation::{rel, v, RelDecl, Signature};
+
+    fn two_unary_space() -> StateSpace {
+        let schema = Schema::unconstrained(Signature::new([
+            RelDecl::new("R", ["A"]),
+            RelDecl::new("S", ["A"]),
+        ]));
+        let pools: BTreeMap<String, Vec<Tuple>> = [
+            (
+                "R".to_owned(),
+                vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+            ),
+            (
+                "S".to_owned(),
+                vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+            ),
+        ]
+        .into();
+        StateSpace::enumerate(schema, &pools)
+    }
+
+    #[test]
+    fn enumeration_builds_poset_with_bottom() {
+        let sp = two_unary_space();
+        assert_eq!(sp.len(), 16);
+        let bot = sp.bottom();
+        assert!(sp.state(bot).is_null_model());
+        // The poset is the 4-atom powerset: a lattice with top.
+        assert!(sp.poset().is_lattice());
+        assert_eq!(sp.poset().top().map(|t| sp.state(t).total_tuples()), Some(4));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let sp = two_unary_space();
+        for i in 0..sp.len() {
+            assert_eq!(sp.id_of(sp.state(i)), Some(i));
+        }
+        let foreign = Instance::new().with("X", rel(1, [["z"]]));
+        assert_eq!(sp.id_of(&foreign), None);
+    }
+
+    #[test]
+    fn constrained_space_is_smaller() {
+        let sig = Signature::new([RelDecl::new("R_SPJ", ["S", "P", "J"])]);
+        let schema = Schema::new(
+            sig,
+            vec![Constraint::Jd(Jd::new("R_SPJ", vec![vec![0, 1], vec![1, 2]]))],
+        );
+        let pool: Vec<Tuple> = vec![
+            Tuple::new([v("s1"), v("p1"), v("j1")]),
+            Tuple::new([v("s1"), v("p1"), v("j2")]),
+            Tuple::new([v("s2"), v("p1"), v("j1")]),
+            Tuple::new([v("s2"), v("p1"), v("j2")]),
+        ];
+        let pools: BTreeMap<String, Vec<Tuple>> = [("R_SPJ".to_owned(), pool)].into();
+        let sp = StateSpace::enumerate(schema, &pools);
+        assert_eq!(sp.len(), 10); // grids only (see logic::schema tests)
+        assert!(sp.state(sp.bottom()).is_null_model());
+    }
+
+    #[test]
+    fn explicit_state_list() {
+        let schema = Schema::unconstrained(Signature::new([RelDecl::new("R", ["A"])]));
+        let states = vec![
+            Instance::null_model(schema.sig()),
+            Instance::null_model(schema.sig()).with("R", rel(1, [["x"]])),
+        ];
+        let sp = StateSpace::from_states(schema, states);
+        assert_eq!(sp.len(), 2);
+        assert_eq!(sp.bottom(), 0);
+        assert!(sp.poset().leq(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "null model")]
+    fn explicit_space_requires_null_model() {
+        let schema = Schema::unconstrained(Signature::new([RelDecl::new("R", ["A"])]));
+        let states = vec![Instance::null_model(schema.sig()).with("R", rel(1, [["x"]]))];
+        StateSpace::from_states(schema, states);
+    }
+}

@@ -1,0 +1,504 @@
+//! Update strategies and the admissibility requirements of §1.2.
+//!
+//! A strategy `ρ : LDB(D) × LDB(V) ⇀ LDB(D)` (Def 0.1.2(c)) is represented
+//! extensionally over an enumerated space as a partial table from
+//! `(base-state id, view-state id)` to base-state id.  The checkers decide
+//! each requirement of §1.2 — soundness, nonextraneousness (Req 1),
+//! functoriality (Req 2), symmetry (Req 3), state independence (Req 4) —
+//! and [`AdmissibilityReport::is_admissible`] combines them per
+//! Definition 1.2.14.
+
+use crate::space::StateSpace;
+use crate::update::{self, UpdateSpec};
+use crate::view::MatView;
+use std::collections::HashMap;
+
+/// An extensional (partial) update strategy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Strategy {
+    table: HashMap<(usize, usize), usize>,
+}
+
+impl Strategy {
+    /// The everywhere-undefined strategy.
+    pub fn empty() -> Strategy {
+        Strategy::default()
+    }
+
+    /// `ρ(s₁, t₂)`, if defined.
+    pub fn get(&self, base: usize, target: usize) -> Option<usize> {
+        self.table.get(&(base, target)).copied()
+    }
+
+    /// Define `ρ(s₁, t₂) = s₂` (replacing any previous value).
+    pub fn define(&mut self, base: usize, target: usize, result: usize) {
+        self.table.insert((base, target), result);
+    }
+
+    /// Remove a definition (used to build counterexample strategies).
+    pub fn undefine(&mut self, base: usize, target: usize) {
+        self.table.remove(&(base, target));
+    }
+
+    /// Number of defined entries.
+    pub fn n_defined(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Iterate defined entries `((s₁, t₂), s₂)`.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), usize)> + '_ {
+        self.table.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Whether the strategy is total over `space × view-states`.
+    pub fn is_total(&self, space: &StateSpace, mv: &MatView) -> bool {
+        self.table.len() == space.len() * mv.n_states()
+    }
+
+    /// Build the **constant complement** strategy of Def 1.3.1(c): for each
+    /// `(s₁, t₂)`, defined iff there is exactly one solution `s₂` with
+    /// `γ₂′(s₂) = γ₂′(s₁)`.
+    ///
+    /// When `Γ₂` is a join complement of `Γ₁`, Theorem 1.3.2 guarantees at
+    /// most one such solution, so "exactly one" = "one exists".
+    pub fn constant_complement(space: &StateSpace, mv1: &MatView, mv2: &MatView) -> Strategy {
+        let mut rho = Strategy::empty();
+        // Index states by (view1 label, view2 label) for O(1) lookups.
+        let mut by_pair: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for s in 0..space.len() {
+            by_pair
+                .entry((mv1.label(s), mv2.label(s)))
+                .or_default()
+                .push(s);
+        }
+        for s1 in 0..space.len() {
+            let c = mv2.label(s1);
+            for t2 in 0..mv1.n_states() {
+                if let Some(cands) = by_pair.get(&(t2, c)) {
+                    if cands.len() == 1 {
+                        rho.define(s1, t2, cands[0]);
+                    }
+                }
+            }
+        }
+        rho
+    }
+
+    /// A "smallest change" strategy: pick the nonextraneous solution with
+    /// the fewest changed tuples, ties broken by state id.  Plausible at
+    /// first sight — and demonstrably **not functorial** (Example 1.2.7)
+    /// nor symmetric in general; used as the paper's foil.
+    pub fn smallest_change(space: &StateSpace, mv: &MatView) -> Strategy {
+        let mut rho = Strategy::empty();
+        for s1 in 0..space.len() {
+            for t2 in 0..mv.n_states() {
+                let sols = update::solutions(mv, UpdateSpec { base: s1, target: t2 });
+                let ne = update::nonextraneous(space, s1, &sols);
+                if let Some(&best) = ne.iter().min_by_key(|&&s| {
+                    (update::change_set(space, s1, s).total_tuples(), s)
+                }) {
+                    rho.define(s1, t2, best);
+                }
+            }
+        }
+        rho
+    }
+}
+
+/// Proposition 1.3.3, executable: extend a partial strategy `ρ` that is
+/// constant on `mv2` to a functorial and symmetric strategy `ρ̂`.
+///
+/// The extension adds (a) the identity entries, (b) inverse entries (the
+/// constant complement makes every defined step reversible), and (c) the
+/// transitive closure of composition — all staying within the unique
+/// constant-complement solution set, so the result is still constant on
+/// `mv2`.
+///
+/// # Panics
+/// Panics if `rho` is not sound for `mv1` or not constant on `mv2` —
+/// Prop 1.3.3's hypotheses.
+pub fn extend_functorial_symmetric(
+    space: &StateSpace,
+    mv1: &MatView,
+    mv2: &MatView,
+    rho: &Strategy,
+) -> Strategy {
+    for ((s1, t2), s2) in rho.iter() {
+        assert_eq!(mv1.label(s2), t2, "ρ({s1},{t2}) is not a solution");
+        assert_eq!(
+            mv2.label(s2),
+            mv2.label(s1),
+            "ρ({s1},{t2}) is not constant on the complement"
+        );
+    }
+    // Work on the reachability graph: states s1 —t2→ s2.  The closure
+    // connects each state to everything reachable in its orbit and makes
+    // the map total within the orbit (composition + inverses).
+    let mut out = Strategy::empty();
+    // Identity entries.
+    for s in 0..space.len() {
+        out.define(s, mv1.label(s), s);
+    }
+    // Orbits via union-find over defined entries.
+    let mut uf = compview_lattice::UnionFind::new(space.len());
+    for ((s1, _), s2) in rho.iter() {
+        uf.union(s1, s2);
+    }
+    let orbit = uf.into_partition();
+    // Within each orbit, every member is reachable from every other
+    // (since all edges are invertible), so define ρ̂(s, γ′(r)) = r for all
+    // orbit-mates r, s.  Well-definedness: two orbit-mates with the same
+    // view label would have to be the same state because the orbit shares
+    // one complement label and γ₁ × γ₂ is injective on the orbit (checked
+    // defensively below).
+    for block in orbit.blocks() {
+        for &s in &block {
+            for &r in &block {
+                let t = mv1.label(r);
+                if let Some(prev) = out.get(s, t) {
+                    assert_eq!(
+                        prev, r,
+                        "orbit contains two states with one view label: \
+                         ρ was not constant on a join complement"
+                    );
+                }
+                out.define(s, t, r);
+            }
+        }
+    }
+    out
+}
+
+/// Apply a sequence of view-state targets through a strategy, returning
+/// the base-state trajectory (including the start).  `None` if some step
+/// is undefined.
+///
+/// Observation 1.2.9's content — for a functorial strategy the final base
+/// state depends only on the final view state, not the route — is tested
+/// through this helper.
+pub fn apply_sequence(rho: &Strategy, start: usize, targets: &[usize]) -> Option<Vec<usize>> {
+    let mut path = vec![start];
+    let mut cur = start;
+    for &t in targets {
+        cur = rho.get(cur, t)?;
+        path.push(cur);
+    }
+    Some(path)
+}
+
+/// Outcome of checking one requirement: `Ok(())` or the first
+/// counterexample, described.
+pub type Check = Result<(), String>;
+
+/// The full §1.2 report for a strategy.
+#[derive(Debug)]
+pub struct AdmissibilityReport {
+    /// Every defined `ρ(s₁,t₂)` actually solves the specification.
+    pub sound: Check,
+    /// Requirement 1 (Def 1.2.4): solutions are nonextraneous.
+    pub nonextraneous: Check,
+    /// Requirement 2 (Def 1.2.8): identity + composition laws.
+    pub functorial: Check,
+    /// Requirement 3 (Def 1.2.11): updates can be undone.
+    pub symmetric: Check,
+    /// Requirement 4 (Def 1.2.13): definedness depends only on the view.
+    pub state_independent: Check,
+}
+
+impl AdmissibilityReport {
+    /// Definition 1.2.14: admissible = nonextraneous + functorial +
+    /// symmetric + state independent (soundness is implicit in the paper's
+    /// notion of solution).
+    pub fn is_admissible(&self) -> bool {
+        self.sound.is_ok()
+            && self.nonextraneous.is_ok()
+            && self.functorial.is_ok()
+            && self.symmetric.is_ok()
+            && self.state_independent.is_ok()
+    }
+}
+
+/// Check all requirements of §1.2 for `rho` on `(space, mv)`.
+pub fn check(space: &StateSpace, mv: &MatView, rho: &Strategy) -> AdmissibilityReport {
+    AdmissibilityReport {
+        sound: check_sound(mv, rho),
+        nonextraneous: check_nonextraneous(space, mv, rho),
+        functorial: check_functorial(space, mv, rho),
+        symmetric: check_symmetric(mv, rho),
+        state_independent: check_state_independent(space, mv, rho),
+    }
+}
+
+fn check_sound(mv: &MatView, rho: &Strategy) -> Check {
+    for ((s1, t2), s2) in rho.iter() {
+        if mv.label(s2) != t2 {
+            return Err(format!(
+                "ρ({s1},{t2}) = {s2} but γ′({s2}) = {} ≠ {t2}",
+                mv.label(s2)
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_nonextraneous(space: &StateSpace, mv: &MatView, rho: &Strategy) -> Check {
+    for ((s1, t2), s2) in rho.iter() {
+        let sols = update::solutions(mv, UpdateSpec { base: s1, target: t2 });
+        if !update::nonextraneous(space, s1, &sols).contains(&s2) {
+            return Err(format!(
+                "ρ({s1},{t2}) = {s2} is extraneous: a strictly smaller change set exists"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_functorial(space: &StateSpace, mv: &MatView, rho: &Strategy) -> Check {
+    // (a) identity updates reflect as no change.
+    for s1 in 0..space.len() {
+        let t1 = mv.label(s1);
+        match rho.get(s1, t1) {
+            Some(s2) if s2 == s1 => {}
+            Some(s2) => {
+                return Err(format!(
+                    "identity law: ρ({s1}, γ′({s1})) = {s2} ≠ {s1}"
+                ))
+            }
+            None => {
+                return Err(format!("identity law: ρ({s1}, γ′({s1})) undefined"))
+            }
+        }
+    }
+    // (b) composition.
+    for ((s1, t2), s2) in rho.iter() {
+        for t3 in 0..mv.n_states() {
+            if let Some(s3) = rho.get(s2, t3) {
+                match rho.get(s1, t3) {
+                    Some(direct) if direct == s3 => {}
+                    Some(direct) => {
+                        return Err(format!(
+                            "composition: ρ(ρ({s1},{t2}),{t3}) = {s3} ≠ ρ({s1},{t3}) = {direct}"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "composition: ρ({s1},{t3}) undefined though the two-step path exists"
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_symmetric(mv: &MatView, rho: &Strategy) -> Check {
+    for ((s1, t2), s2) in rho.iter() {
+        let t1 = mv.label(s1);
+        if rho.get(s2, t1).is_none() {
+            return Err(format!(
+                "symmetry: ρ({s1},{t2}) = {s2} defined but ρ({s2},{t1}) undefined"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_state_independent(space: &StateSpace, mv: &MatView, rho: &Strategy) -> Check {
+    for ((s1, t2), _) in rho.iter() {
+        let t1 = mv.label(s1);
+        for r1 in 0..space.len() {
+            if mv.label(r1) == t1 && rho.get(r1, t2).is_none() {
+                return Err(format!(
+                    "state independence: ρ({s1},{t2}) defined but ρ({r1},{t2}) undefined \
+                     though γ′({r1}) = γ′({s1})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_1_3_6 as ex;
+    use crate::view::MatView;
+
+    fn setup() -> (StateSpace, MatView, MatView, MatView) {
+        let sp = ex::space(2);
+        let g1 = MatView::materialise(ex::gamma1(), &sp);
+        let g2 = MatView::materialise(ex::gamma2(), &sp);
+        let g3 = MatView::materialise(ex::gamma3(), &sp);
+        (sp, g1, g2, g3)
+    }
+
+    #[test]
+    fn constant_complement_with_subschema_is_admissible() {
+        let (sp, g1, g2, _) = setup();
+        let rho = Strategy::constant_complement(&sp, &g1, &g2);
+        assert!(rho.is_total(&sp, &g1), "complementary views give total strategies");
+        let report = check(&sp, &g1, &rho);
+        assert!(report.is_admissible(), "{report:?}");
+    }
+
+    #[test]
+    fn constant_complement_with_xor_is_not_nonextraneous() {
+        // Example 3.3.1: Γ3 is a join complement of Γ1 but not strong; the
+        // resulting strategy makes extraneous changes.
+        let (sp, g1, _, g3) = setup();
+        let rho = Strategy::constant_complement(&sp, &g1, &g3);
+        assert!(rho.is_total(&sp, &g1));
+        let report = check(&sp, &g1, &rho);
+        assert!(report.sound.is_ok());
+        // Functorial/symmetric/state-independent all still hold (Prop 1.3.3)…
+        assert!(report.functorial.is_ok());
+        assert!(report.symmetric.is_ok());
+        assert!(report.state_independent.is_ok());
+        // …but nonextraneousness fails: not admissible.
+        assert!(report.nonextraneous.is_err());
+        assert!(!report.is_admissible());
+    }
+
+    #[test]
+    fn smallest_change_is_sound_and_nonextraneous() {
+        let (sp, g1, _, _) = setup();
+        let rho = Strategy::smallest_change(&sp, &g1);
+        let report = check(&sp, &g1, &rho);
+        assert!(report.sound.is_ok());
+        assert!(report.nonextraneous.is_ok());
+    }
+
+    #[test]
+    fn prop_1_3_3_extension() {
+        // Start from a single allowed update (constant on Γ2) and extend.
+        let (sp, g1, g2, _) = setup();
+        let full = Strategy::constant_complement(&sp, &g1, &g2);
+        let ((s1, t2), s2) = full
+            .iter()
+            .find(|&((s, t), _)| g1.label(s) != t)
+            .expect("a non-identity entry");
+        let mut partial = Strategy::empty();
+        partial.define(s1, t2, s2);
+
+        let extended = extend_functorial_symmetric(&sp, &g1, &g2, &partial);
+        let report = check(&sp, &g1, &extended);
+        assert!(report.sound.is_ok(), "{report:?}");
+        assert!(report.functorial.is_ok(), "{report:?}");
+        assert!(report.symmetric.is_ok(), "{report:?}");
+        // Still constant on Γ2.
+        for ((a, _), b) in extended.iter() {
+            assert_eq!(g2.label(a), g2.label(b));
+        }
+        // And it contains the original entry plus its inverse.
+        assert_eq!(extended.get(s1, t2), Some(s2));
+        assert_eq!(extended.get(s2, g1.label(s1)), Some(s1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not constant")]
+    fn prop_1_3_3_extension_checks_hypotheses() {
+        let (sp, g1, g2, g3) = setup();
+        // A strategy constant on Γ3 is generally NOT constant on Γ2.
+        let rho3 = Strategy::constant_complement(&sp, &g1, &g3);
+        extend_functorial_symmetric(&sp, &g1, &g2, &rho3);
+    }
+
+    #[test]
+    fn observation_1_2_9_route_independence() {
+        // For the (functorial) constant-complement strategy, any route to
+        // the same final view state lands on the same base state.
+        let (sp, g1, g2, _) = setup();
+        let rho = Strategy::constant_complement(&sp, &g1, &g2);
+        for start in 0..sp.len() {
+            for &final_target in &[0usize, 1, 2] {
+                let direct = apply_sequence(&rho, start, &[final_target]).unwrap();
+                for mid in 0..g1.n_states().min(4) {
+                    let routed =
+                        apply_sequence(&rho, start, &[mid, final_target]).unwrap();
+                    assert_eq!(
+                        direct.last(),
+                        routed.last(),
+                        "route through {mid} diverged"
+                    );
+                }
+            }
+        }
+        // The greedy strategy, being non-functorial, diverges somewhere.
+        let greedy = Strategy::smallest_change(&sp, &g1);
+        let mut diverged = false;
+        'outer: for start in 0..sp.len() {
+            for t1 in 0..g1.n_states() {
+                for t2 in 0..g1.n_states() {
+                    let direct = apply_sequence(&greedy, start, &[t2]);
+                    let routed = apply_sequence(&greedy, start, &[t1, t2]);
+                    if let (Some(d), Some(r)) = (direct, routed) {
+                        if d.last() != r.last() {
+                            diverged = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        // (On this particular space the greedy strategy happens to be
+        // route-dependent or not; the *audit* is the authoritative check —
+        // see e4; here we only require consistency with the audit.)
+        let functorial = check(&sp, &g1, &greedy).functorial.is_ok();
+        assert_eq!(functorial, !diverged);
+    }
+
+    #[test]
+    fn strategy_table_basics() {
+        let mut rho = Strategy::empty();
+        assert_eq!(rho.get(0, 0), None);
+        rho.define(0, 1, 2);
+        assert_eq!(rho.get(0, 1), Some(2));
+        assert_eq!(rho.n_defined(), 1);
+        rho.undefine(0, 1);
+        assert_eq!(rho.n_defined(), 0);
+    }
+
+    #[test]
+    fn soundness_violation_detected() {
+        let (sp, g1, _, _) = setup();
+        let mut rho = Strategy::empty();
+        // Map some state to a solution of the wrong view state.
+        let s1 = 0;
+        let wrong_target = (g1.label(s1) + 1) % g1.n_states();
+        rho.define(s1, wrong_target, s1); // γ′(s1) ≠ wrong_target
+        assert!(check_sound(&g1, &rho).is_err());
+        let _ = sp;
+    }
+
+    #[test]
+    fn symmetry_violation_detected() {
+        let (sp, g1, g2, _) = setup();
+        let mut rho = Strategy::constant_complement(&sp, &g1, &g2);
+        // Remove one reverse entry.
+        let ((s1, _t2), s2) = rho.iter().find(|&((s1, t2), _)| g1.label(s1) != t2).unwrap();
+        let t1 = g1.label(s1);
+        rho.undefine(s2, t1);
+        let report = check(&sp, &g1, &rho);
+        assert!(report.symmetric.is_err() || report.functorial.is_err());
+    }
+
+    #[test]
+    fn state_independence_violation_detected() {
+        let (sp, g1, g2, _) = setup();
+        let mut rho = Strategy::constant_complement(&sp, &g1, &g2);
+        // Find two distinct states with the same view label and undefine a
+        // non-identity entry for one of them.
+        let (s1, t2) = rho
+            .iter()
+            .map(|((s1, t2), _)| (s1, t2))
+            .find(|&(s1, t2)| {
+                g1.label(s1) != t2
+                    && (0..sp.len()).any(|r| r != s1 && g1.label(r) == g1.label(s1))
+            })
+            .unwrap();
+        rho.undefine(s1, t2);
+        let report = check(&sp, &g1, &rho);
+        assert!(report.state_independent.is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Symbolic components of a **tree schema** — the acyclic generalisation
+//! of [`crate::pathview`].
+//!
+//! Atoms of the component algebra are the tree's edges; the component for
+//! an edge set `S` keeps the objects whose internal edges all lie in `S`.
+//! Everything from the chain case carries over: set operations on masks,
+//! decomposition by splitting, reconstruction by closure, and O(data)
+//! constant-complement translation.
+
+use crate::family::ComponentFamily;
+use compview_logic::TreeSchema;
+use compview_relation::{Instance, Relation, Tuple};
+
+/// Component masks over the edges of a tree schema.
+#[derive(Clone, Debug)]
+pub struct TreeComponents {
+    ts: TreeSchema,
+}
+
+impl TreeComponents {
+    /// Wrap a tree schema.
+    pub fn new(ts: TreeSchema) -> TreeComponents {
+        assert!(ts.n_edges() <= 31, "too many edges for mask representation");
+        TreeComponents { ts }
+    }
+
+    /// The underlying tree schema.
+    pub fn schema(&self) -> &TreeSchema {
+        &self.ts
+    }
+
+    /// Edge-span of a legal object: bits for each edge inside its support
+    /// subtree.
+    ///
+    /// # Panics
+    /// Panics on an illegal object.
+    pub fn edges_of(&self, t: &Tuple) -> u32 {
+        let sup = self
+            .ts
+            .subtree(t)
+            .unwrap_or_else(|| panic!("illegal object {t}"));
+        let mut mask = 0u32;
+        for e in self.ts.edges_within(&sup) {
+            mask |= 1 << e;
+        }
+        mask
+    }
+
+    /// Relation-level endomorphism.
+    pub fn endo_rel(&self, mask: u32, r: &Relation) -> Relation {
+        r.select(|t| self.edges_of(t) & !mask == 0)
+    }
+
+    /// Relation-level translation (see [`ComponentFamily::translate`]).
+    pub fn translate_rel(
+        &self,
+        mask: u32,
+        base: &Relation,
+        new_part: &Relation,
+    ) -> Result<Relation, String> {
+        for t in new_part.iter() {
+            if self.edges_of(t) & !mask != 0 {
+                return Err(format!("object {t} outside component {mask:#b}"));
+            }
+        }
+        if !self.ts.is_closed(new_part) {
+            return Err("component state not closed".into());
+        }
+        let kept = self.endo_rel(self.complement(mask), base);
+        let out = self.ts.close(&new_part.union(&kept));
+        debug_assert_eq!(self.endo_rel(mask, &out), *new_part);
+        Ok(out)
+    }
+
+    /// Whether the decomposition along `mask` is lossless on `r`.
+    pub fn decomposition_is_lossless(&self, mask: u32, r: &Relation) -> bool {
+        let a = self.endo_rel(mask, r);
+        let b = self.endo_rel(self.complement(mask), r);
+        self.ts.close(&a.union(&b)) == *r
+    }
+}
+
+impl ComponentFamily for TreeComponents {
+    fn n_atoms(&self) -> usize {
+        self.ts.n_edges()
+    }
+
+    fn relations(&self) -> Vec<String> {
+        vec![self.ts.rel_name().to_owned()]
+    }
+
+    fn endo(&self, mask: u32, base: &Instance) -> Instance {
+        self.ts
+            .instance(self.endo_rel(mask, base.rel(self.ts.rel_name())))
+    }
+
+    fn reconstruct(&self, a: &Instance, b: &Instance) -> Instance {
+        let rel = self.ts.rel_name();
+        self.ts.instance(self.ts.close(&a.rel(rel).union(b.rel(rel))))
+    }
+
+    fn is_component_state(&self, mask: u32, part: &Instance) -> bool {
+        let r = part.rel(self.ts.rel_name());
+        r.iter()
+            .all(|t| self.ts.subtree(t).is_some() && self.edges_of(t) & !mask == 0)
+            && self.ts.is_closed(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{verify_family, ComponentFamily};
+    use compview_relation::v;
+
+    fn star() -> (TreeSchema, TreeComponents) {
+        let ts = TreeSchema::star("R", ["Hub", "X", "Y", "Z"]);
+        (ts.clone(), TreeComponents::new(ts))
+    }
+
+    fn sample(ts: &TreeSchema) -> Relation {
+        ts.close(&Relation::from_tuples(
+            4,
+            [
+                ts.object(&[(0, v("h")), (1, v("x1"))]),
+                ts.object(&[(0, v("h")), (2, v("y1"))]),
+                ts.object(&[(0, v("g")), (3, v("z1"))]),
+            ],
+        ))
+    }
+
+    #[test]
+    fn edge_masks() {
+        let (ts, tc) = star();
+        assert_eq!(tc.n_atoms(), 3);
+        let hx = ts.object(&[(0, v("h")), (1, v("x"))]);
+        assert_eq!(tc.edges_of(&hx), 0b001);
+        let hxy = ts.object(&[(0, v("h")), (1, v("x")), (2, v("y"))]);
+        assert_eq!(tc.edges_of(&hxy), 0b011);
+    }
+
+    #[test]
+    fn endo_and_losslessness() {
+        let (ts, tc) = star();
+        let base = sample(&ts);
+        for mask in 0..=tc.full_mask() {
+            assert!(tc.decomposition_is_lossless(mask, &base), "mask {mask:#b}");
+            assert!(ts.is_closed(&tc.endo_rel(mask, &base)));
+        }
+    }
+
+    #[test]
+    fn translate_on_star() {
+        let (ts, tc) = star();
+        let base = sample(&ts);
+        // Update the Hub–X edge component: connect x2 to hub h.
+        let mut new_part = tc.endo_rel(0b001, &base);
+        new_part.insert(ts.object(&[(0, v("h")), (1, v("x2"))]));
+        let out = tc.translate_rel(0b001, &base, &new_part).unwrap();
+        // The new object composes with the Hub–Y edge through h.
+        assert!(out.contains(&ts.object(&[(0, v("h")), (1, v("x2")), (2, v("y1"))])));
+        assert_eq!(tc.endo_rel(0b110, &out), tc.endo_rel(0b110, &base));
+    }
+
+    #[test]
+    fn family_contract_holds_on_star() {
+        let (ts, tc) = star();
+        let samples = vec![
+            ts.instance(sample(&ts)),
+            ts.instance(ts.close(&Relation::from_tuples(
+                4,
+                [ts.object(&[(0, v("h")), (3, v("z9"))])],
+            ))),
+            ts.instance(Relation::empty(4)),
+        ];
+        let report = verify_family(&tc, &samples);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(report.checked >= 24);
+    }
+
+    #[test]
+    fn family_contract_holds_on_caterpillar() {
+        let ts = TreeSchema::new("R", ["A", "B", "C", "D"], vec![(0, 1), (1, 2), (1, 3)]);
+        let tc = TreeComponents::new(ts.clone());
+        let s1 = ts.close(&Relation::from_tuples(
+            4,
+            [
+                ts.object(&[(0, v("a")), (1, v("b"))]),
+                ts.object(&[(1, v("b")), (2, v("c"))]),
+                ts.object(&[(1, v("b")), (3, v("d"))]),
+            ],
+        ));
+        let s2 = ts.close(&Relation::from_tuples(
+            4,
+            [ts.object(&[(1, v("b")), (2, v("c2"))])],
+        ));
+        let report = verify_family(&tc, &[ts.instance(s1), ts.instance(s2)]);
+        assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn instance_level_family_api() {
+        let (ts, tc) = star();
+        let base = ts.instance(sample(&ts));
+        let part = tc.endo(0b011, &base);
+        let co = tc.endo(0b100, &base);
+        assert_eq!(tc.reconstruct(&part, &co), base);
+        assert!(tc.is_component_state(0b011, &part));
+        assert!(!tc.is_component_state(0b001, &part) || part.rel("R").is_empty());
+    }
+
+    #[test]
+    fn translate_rejects_foreign_and_unclosed() {
+        let (ts, tc) = star();
+        let base = sample(&ts);
+        let mut foreign = tc.endo_rel(0b001, &base);
+        foreign.insert(ts.object(&[(0, v("h")), (2, v("yy"))]));
+        assert!(tc.translate_rel(0b001, &base, &foreign).is_err());
+        let mut unclosed = Relation::empty(4);
+        unclosed.insert(ts.object(&[(0, v("h")), (1, v("x")), (2, v("y"))]));
+        assert!(tc.translate_rel(0b011, &base, &unclosed).is_err());
+    }
+
+    #[test]
+    fn path_tree_components_agree_with_path_components() {
+        let ts = TreeSchema::path("R", ["A", "B", "C", "D"]);
+        let tc = TreeComponents::new(ts.clone());
+        let ps = compview_logic::PathSchema::example_2_1_1();
+        let pc = crate::pathview::PathComponents::new(ps.clone());
+        let base = ps.close(&compview_logic::PathSchema::example_2_1_1_generators());
+        for mask in 0..=pc.full_mask() {
+            assert_eq!(tc.endo_rel(mask, &base), pc.endo(mask, &base));
+        }
+        // Translations agree too.
+        let mut new_ab = pc.endo(0b001, &base);
+        new_ab.insert(ps.object(0, &[v("a7"), v("b1")]));
+        assert_eq!(
+            tc.translate_rel(0b001, &base, &new_ab).unwrap(),
+            pc.translate(0b001, &base, &new_ab).unwrap()
+        );
+    }
+}

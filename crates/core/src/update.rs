@@ -1,0 +1,172 @@
+//! Update specifications, solutions, and the nonextraneous / minimal
+//! classification (Definitions 0.1.1, 0.1.2, 1.2.4; Proposition 1.2.6).
+//!
+//! Updates are compared through the relation-by-relation symmetric
+//! difference of Notation 1.2.3: the *change set* of a solution `s₂` for a
+//! specification starting at `s₁` is `s₁ Δ s₂`.  Following the intent of
+//! Definition 1.2.4 and Proposition 1.2.6 (and the usage in Examples
+//! 1.2.1–1.2.5):
+//!
+//! * a solution is **nonextraneous** when no other solution has a change
+//!   set *strictly included* in its own (inclusion-minimal change);
+//! * a solution is **minimal** when its change set is included in every
+//!   other solution's (least change).
+//!
+//! A minimal solution, when it exists, is the unique nonextraneous one
+//! (Proposition 1.2.6, verified in tests and property tests).
+
+use crate::space::StateSpace;
+use crate::view::MatView;
+use compview_relation::Instance;
+
+/// An update specification `(s₁, (t₁, t₂))` for a view (Def 0.1.2(a)),
+/// in state-space ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateSpec {
+    /// Current base state id (`s₁`).
+    pub base: usize,
+    /// Requested new view state id (`t₂`); `t₁` is `γ′(s₁)`.
+    pub target: usize,
+}
+
+impl UpdateSpec {
+    /// The current view state `t₁`.
+    pub fn t1(&self, mv: &MatView) -> usize {
+        mv.label(self.base)
+    }
+
+    /// Whether this is the identity update (`t₂ = t₁`).
+    pub fn is_identity(&self, mv: &MatView) -> bool {
+        self.t1(mv) == self.target
+    }
+}
+
+/// All solutions of `spec`: base states `s₂` with `γ′(s₂) = t₂`
+/// (Def 0.1.2(b)).  Surjectivity of the view guarantees at least one.
+pub fn solutions(mv: &MatView, spec: UpdateSpec) -> Vec<usize> {
+    mv.fibre(spec.target)
+}
+
+/// The change set `s₁ Δ s₂` of a candidate solution.
+pub fn change_set(space: &StateSpace, base: usize, sol: usize) -> Instance {
+    space.state(base).sym_diff(space.state(sol))
+}
+
+/// Whether change set of `a` is (not necessarily strictly) included in
+/// that of `b`, both against `base`.
+pub fn change_leq(space: &StateSpace, base: usize, a: usize, b: usize) -> bool {
+    change_set(space, base, a).is_subinstance(&change_set(space, base, b))
+}
+
+/// The nonextraneous solutions among `sols` (inclusion-minimal change
+/// sets).
+pub fn nonextraneous(space: &StateSpace, base: usize, sols: &[usize]) -> Vec<usize> {
+    sols.iter()
+        .copied()
+        .filter(|&s| {
+            !sols.iter().any(|&o| {
+                o != s && change_leq(space, base, o, s) && !change_leq(space, base, s, o)
+            })
+        })
+        .collect()
+}
+
+/// The minimal solution among `sols` (least change set), if one exists.
+pub fn minimal(space: &StateSpace, base: usize, sols: &[usize]) -> Option<usize> {
+    sols.iter()
+        .copied()
+        .find(|&s| sols.iter().all(|&o| change_leq(space, base, s, o)))
+}
+
+/// Proposition 1.2.6 as a checkable statement on one specification: if a
+/// minimal solution exists, it is the only nonextraneous one.
+pub fn prop_1_2_6_holds(space: &StateSpace, base: usize, sols: &[usize]) -> bool {
+    match minimal(space, base, sols) {
+        Some(m) => nonextraneous(space, base, sols) == vec![m],
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_1_1_1 as paperx;
+    use crate::view::MatView;
+
+    // The shared fixture is the Example 1.1.1 base schema (R_SP, R_PJ, no
+    // constraints) with the join view, over a small enumerated domain.
+    fn fixture() -> (StateSpace, MatView) {
+        let (space, view) = paperx::small_space_and_join_view();
+        let mv = MatView::materialise(view, &space);
+        (space, mv)
+    }
+
+    #[test]
+    fn identity_update_has_current_state_as_minimal_solution() {
+        let (space, mv) = fixture();
+        for base in 0..space.len() {
+            let spec = UpdateSpec {
+                base,
+                target: mv.label(base),
+            };
+            assert!(spec.is_identity(&mv));
+            let sols = solutions(&mv, spec);
+            assert!(sols.contains(&base));
+            // The current state itself has empty change set: minimal.
+            assert_eq!(minimal(&space, base, &sols), Some(base));
+            assert_eq!(nonextraneous(&space, base, &sols), vec![base]);
+        }
+    }
+
+    #[test]
+    fn every_spec_satisfies_prop_1_2_6() {
+        let (space, mv) = fixture();
+        for base in 0..space.len() {
+            for target in 0..mv.n_states() {
+                let sols = solutions(&mv, UpdateSpec { base, target });
+                assert!(!sols.is_empty(), "surjectivity gives a solution");
+                assert!(prop_1_2_6_holds(&space, base, &sols));
+            }
+        }
+    }
+
+    #[test]
+    fn nonextraneous_solutions_are_solutions() {
+        let (space, mv) = fixture();
+        for base in 0..space.len() {
+            for target in 0..mv.n_states() {
+                let sols = solutions(&mv, UpdateSpec { base, target });
+                let ne = nonextraneous(&space, base, &sols);
+                assert!(!ne.is_empty(), "finite set has inclusion-minimal elements");
+                for s in ne {
+                    assert!(sols.contains(&s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn change_set_partial_order_is_respected() {
+        let (space, mv) = fixture();
+        // Pick a deletion update with several solutions and check that
+        // nonextraneous ones are pairwise incomparable.
+        for base in 0..space.len() {
+            for target in 0..mv.n_states() {
+                let sols = solutions(&mv, UpdateSpec { base, target });
+                let ne = nonextraneous(&space, base, &sols);
+                for &a in &ne {
+                    for &b in &ne {
+                        if a != b {
+                            let aleb = change_leq(&space, base, a, b);
+                            let blea = change_leq(&space, base, b, a);
+                            assert!(
+                                aleb == blea,
+                                "nonextraneous solutions must be incomparable"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

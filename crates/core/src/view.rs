@@ -1,0 +1,398 @@
+//! Views `Γ = (V, γ)` and their materialisation on a state space.
+//!
+//! A [`View`] carries the view schema `V` and one relational-algebra
+//! definition per view relation — the database mapping `γ : D → V` of §2.1.
+//! [`MatView`] evaluates `γ′` over every state of a [`StateSpace`],
+//! yielding the kernel partition `Π(Γ)` (§2.2), the set of view states
+//! (the image, which the standing surjectivity assumption of §1.1 equates
+//! with `LDB(V)`), and the view-state inclusion poset used by the strong
+//! view analysis.
+
+use crate::space::StateSpace;
+use compview_lattice::{FinPoset, Partition};
+use compview_relation::{Instance, RaExpr, RelDecl, Signature};
+use std::collections::HashMap;
+
+/// A view of a base schema.
+#[derive(Clone, Debug)]
+pub struct View {
+    name: String,
+    sig: Signature,
+    defs: Vec<(String, RaExpr)>,
+}
+
+impl View {
+    /// Build a view from `(declaration, defining expression)` pairs.
+    ///
+    /// # Panics
+    /// Panics if declarations and definitions disagree in number.
+    pub fn new<S: Into<String>>(name: S, rels: Vec<(RelDecl, RaExpr)>) -> View {
+        let sig = Signature::new(rels.iter().map(|(d, _)| d.clone()));
+        let defs = rels
+            .into_iter()
+            .map(|(d, e)| (d.name().to_owned(), e))
+            .collect();
+        View {
+            name: name.into(),
+            sig,
+            defs,
+        }
+    }
+
+    /// The identity view `1_D` (§2.2): every base relation kept as is.
+    pub fn identity(base: &Signature) -> View {
+        View::new(
+            "1_D",
+            base.decls()
+                .iter()
+                .map(|d| (d.clone(), RaExpr::rel(d.name())))
+                .collect(),
+        )
+    }
+
+    /// The zero view `0_D` (§2.2): no relations at all (it preserves only
+    /// the type assignment).
+    pub fn zero() -> View {
+        View::new("0_D", Vec::new())
+    }
+
+    /// The product view `Γ₁ × Γ₂`: both views' relations side by side.
+    ///
+    /// In the §2.2 lattice, `Π(Γ₁ × Γ₂) = Π(Γ₁) ∨ Π(Γ₂)` (the kernel of
+    /// the product map is the common refinement) — this is how joins of
+    /// views are realised *as views* when they exist.
+    ///
+    /// # Panics
+    /// Panics if the two views share a relation name.
+    pub fn product(a: &View, b: &View) -> View {
+        let mut rels: Vec<(RelDecl, RaExpr)> = Vec::new();
+        for (name, expr) in a.defs.iter().chain(&b.defs) {
+            let decl = if a.sig.decl(name).is_some() && b.sig.decl(name).is_some() {
+                panic!("product views must have disjoint relation names ({name})");
+            } else if let Some(d) = a.sig.decl(name) {
+                d.clone()
+            } else {
+                b.sig.expect_decl(name).clone()
+            };
+            rels.push((decl, expr.clone()));
+        }
+        View::new(format!("{}×{}", a.name, b.name), rels)
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The view signature `Rel(V)`.
+    pub fn sig(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// The defining expressions.
+    pub fn defs(&self) -> &[(String, RaExpr)] {
+        &self.defs
+    }
+
+    /// Validate the defining expressions against the base signature:
+    /// each must type-check with the declared arity.
+    pub fn validate(&self, base: &Signature) -> Result<(), String> {
+        for (rel, expr) in &self.defs {
+            let declared = self.sig.expect_decl(rel).arity();
+            let actual = expr
+                .arity(base)
+                .map_err(|e| format!("view {}/{rel}: {e}", self.name))?;
+            if actual != declared {
+                return Err(format!(
+                    "view {}/{rel}: expression arity {actual} ≠ declared {declared}",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply `γ′` to a base state.
+    pub fn apply(&self, s: &Instance) -> Instance {
+        let mut out = Instance::new();
+        for (rel, expr) in &self.defs {
+            out.set(rel.clone(), expr.eval(s));
+        }
+        out
+    }
+}
+
+/// A view evaluated over every state of a space.
+pub struct MatView {
+    view: View,
+    /// `labels[i]` = id of the view state of base state `i`.
+    labels: Vec<usize>,
+    /// Distinct view states, indexed by view-state id.
+    states: Vec<Instance>,
+    /// Ids of view states back to first producing base state (a section of
+    /// `γ′`, useful for diagnostics).
+    witness: Vec<usize>,
+    kernel: Partition,
+    poset: FinPoset,
+}
+
+impl MatView {
+    /// Evaluate `view` over `space`.
+    ///
+    /// # Panics
+    /// Panics if the view fails validation against the base signature.
+    pub fn materialise(view: View, space: &StateSpace) -> MatView {
+        view.validate(space.schema().sig())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut states: Vec<Instance> = Vec::new();
+        let mut witness: Vec<usize> = Vec::new();
+        let mut ids: HashMap<Instance, usize> = HashMap::new();
+        let mut labels = Vec::with_capacity(space.len());
+        for (i, s) in space.states().iter().enumerate() {
+            let t = view.apply(s);
+            let id = *ids.entry(t.clone()).or_insert_with(|| {
+                states.push(t.clone());
+                witness.push(i);
+                states.len() - 1
+            });
+            labels.push(id);
+        }
+        let kernel = Partition::from_labels(&labels);
+        let poset = FinPoset::from_leq(states.len(), |a, b| {
+            states[a].is_subinstance(&states[b])
+        });
+        MatView {
+            view,
+            labels,
+            states,
+            witness,
+            kernel,
+            poset,
+        }
+    }
+
+    /// The underlying view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// `γ′` as a label vector over base-state ids.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// `γ′(s_i)` as a view-state id.
+    pub fn label(&self, base_id: usize) -> usize {
+        self.labels[base_id]
+    }
+
+    /// Number of distinct view states.
+    pub fn n_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// View state by id.
+    pub fn state(&self, id: usize) -> &Instance {
+        &self.states[id]
+    }
+
+    /// Id of a view state, if it is in the image.
+    pub fn id_of(&self, t: &Instance) -> Option<usize> {
+        self.states.iter().position(|s| s == t)
+    }
+
+    /// A base state mapping to view state `id` (the first enumerated one).
+    pub fn witness(&self, id: usize) -> usize {
+        self.witness[id]
+    }
+
+    /// The kernel partition `Π(Γ) = ker(γ′)` over base-state ids (§2.2).
+    pub fn kernel(&self) -> &Partition {
+        &self.kernel
+    }
+
+    /// The inclusion poset of view states.
+    pub fn poset(&self) -> &FinPoset {
+        &self.poset
+    }
+
+    /// Fibre of a view state: all base-state ids mapping to it.
+    pub fn fibre(&self, view_id: usize) -> Vec<usize> {
+        (0..self.labels.len())
+            .filter(|&i| self.labels[i] == view_id)
+            .collect()
+    }
+
+    /// Check surjectivity of `γ′` onto an independently enumerated
+    /// `LDB(V)` (§1.1's standing assumption).  Returns the view states of
+    /// `ldb_v` missing from the image.
+    pub fn missing_from_image(&self, ldb_v: &[Instance]) -> Vec<Instance> {
+        ldb_v
+            .iter()
+            .filter(|t| self.id_of(t).is_none())
+            .cloned()
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for MatView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MatView({}: {} base states → {} view states)",
+            self.view.name(),
+            self.labels.len(),
+            self.states.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compview_logic::Schema;
+    use compview_relation::{v, Tuple};
+    use std::collections::BTreeMap;
+
+    fn two_unary_space() -> StateSpace {
+        let schema = Schema::unconstrained(Signature::new([
+            RelDecl::new("R", ["A"]),
+            RelDecl::new("S", ["A"]),
+        ]));
+        let pools: BTreeMap<String, Vec<Tuple>> = [
+            (
+                "R".to_owned(),
+                vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+            ),
+            (
+                "S".to_owned(),
+                vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+            ),
+        ]
+        .into();
+        StateSpace::enumerate(schema, &pools)
+    }
+
+    /// Γ1 of Example 1.3.6: keep R, forget S.
+    fn gamma1() -> View {
+        View::new("Γ1", vec![(RelDecl::new("R", ["A"]), RaExpr::rel("R"))])
+    }
+
+    /// Γ3 of Example 1.3.6: T = R Δ S.
+    fn gamma3() -> View {
+        View::new(
+            "Γ3",
+            vec![(
+                RelDecl::new("T", ["A"]),
+                RaExpr::rel("R").sym_diff(RaExpr::rel("S")),
+            )],
+        )
+    }
+
+    #[test]
+    fn identity_view_has_discrete_kernel() {
+        let sp = two_unary_space();
+        let mv = MatView::materialise(View::identity(sp.schema().sig()), &sp);
+        assert_eq!(mv.n_states(), sp.len());
+        assert!(mv.kernel().is_discrete());
+    }
+
+    #[test]
+    fn zero_view_has_indiscrete_kernel() {
+        let sp = two_unary_space();
+        let mv = MatView::materialise(View::zero(), &sp);
+        assert_eq!(mv.n_states(), 1);
+        assert!(mv.kernel().is_indiscrete());
+    }
+
+    #[test]
+    fn forgetting_view_kernel_groups_by_r() {
+        let sp = two_unary_space();
+        let mv = MatView::materialise(gamma1(), &sp);
+        // 4 possible R-values → 4 view states, each fibre of size 4.
+        assert_eq!(mv.n_states(), 4);
+        assert_eq!(mv.kernel().n_blocks(), 4);
+        for id in 0..4 {
+            assert_eq!(mv.fibre(id).len(), 4);
+        }
+    }
+
+    #[test]
+    fn xor_view_kernel_has_four_blocks_too() {
+        let sp = two_unary_space();
+        let mv = MatView::materialise(gamma3(), &sp);
+        assert_eq!(mv.n_states(), 4);
+        // Γ3 identifies states with equal R Δ S.
+        let s_a = sp.expect_id(
+            &Instance::null_model(sp.schema().sig())
+                .with("R", compview_relation::rel(1, [["a1"]]))
+                .with("S", compview_relation::rel(1, Vec::<[&str; 1]>::new())),
+        );
+        let s_b = sp.expect_id(
+            &Instance::null_model(sp.schema().sig())
+                .with("R", compview_relation::rel(1, Vec::<[&str; 1]>::new()))
+                .with("S", compview_relation::rel(1, [["a1"]])),
+        );
+        assert_eq!(mv.label(s_a), mv.label(s_b));
+    }
+
+    #[test]
+    fn labels_agree_with_apply() {
+        let sp = two_unary_space();
+        let mv = MatView::materialise(gamma1(), &sp);
+        for i in 0..sp.len() {
+            assert_eq!(mv.state(mv.label(i)), &mv.view().apply(sp.state(i)));
+        }
+    }
+
+    #[test]
+    fn witnesses_map_back() {
+        let sp = two_unary_space();
+        let mv = MatView::materialise(gamma3(), &sp);
+        for id in 0..mv.n_states() {
+            assert_eq!(mv.label(mv.witness(id)), id);
+        }
+    }
+
+    #[test]
+    fn product_view_kernel_is_partition_join() {
+        let sp = two_unary_space();
+        let g1 = MatView::materialise(gamma1(), &sp);
+        let g3 = MatView::materialise(gamma3(), &sp);
+        let prod = MatView::materialise(View::product(g1.view(), g3.view()), &sp);
+        assert_eq!(prod.kernel(), &g1.kernel().join(g3.kernel()));
+        // Γ1 × Γ3 determines the whole state here (they are complements).
+        assert!(prod.kernel().is_discrete());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint relation names")]
+    fn product_rejects_name_collisions() {
+        let a = gamma1();
+        View::product(&a, &a.clone());
+    }
+
+    #[test]
+    fn validation_rejects_bad_arities() {
+        let sp = two_unary_space();
+        let bad = View::new(
+            "bad",
+            vec![(
+                RelDecl::new("T", ["A", "B"]),
+                RaExpr::rel("R"), // arity 1 expression, arity 2 declaration
+            )],
+        );
+        assert!(bad.validate(sp.schema().sig()).is_err());
+    }
+
+    #[test]
+    fn surjectivity_check() {
+        let sp = two_unary_space();
+        let mv = MatView::materialise(gamma1(), &sp);
+        // LDB(V) for the unconstrained unary view over {a1,a2}: 4 states.
+        let v_states: Vec<Instance> = (0..sp.len())
+            .map(|i| mv.view().apply(sp.state(i)))
+            .collect();
+        assert!(mv.missing_from_image(&v_states).is_empty());
+    }
+}

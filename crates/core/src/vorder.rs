@@ -1,0 +1,166 @@
+//! The partial order on views and view morphisms (§2.2).
+//!
+//! `Γ₂ ≼ Γ₁` ("Γ₁ defines Γ₂") holds iff `Π(Γ₁)` refines `Π(Γ₂)`.
+//! *Implicit* definability — the existence of any function `h` with
+//! `γ₂′ = h ∘ γ₁′` — coincides with kernel refinement on an enumerated
+//! space, and the function `h` is then directly constructible; this is the
+//! computational content of Theorem 2.2.2 (Beth's theorem: implicit =
+//! explicit definability).  Morphisms are unique when they exist
+//! (Proposition 2.2.1(a)) and two views are isomorphic iff each defines the
+//! other (2.2.1(b)).
+
+use crate::view::MatView;
+
+/// Whether `upper` defines `lower` (`lower ≼ upper`).
+pub fn defines(upper: &MatView, lower: &MatView) -> bool {
+    upper.kernel().refines(lower.kernel())
+}
+
+/// The unique view morphism `f : upper → lower` as a map of view-state
+/// ids, or `None` when `upper` does not define `lower`.
+///
+/// `f[u] = l` means the `u`-th state of `upper` determines the `l`-th
+/// state of `lower`.
+pub fn view_morphism(upper: &MatView, lower: &MatView) -> Option<Vec<usize>> {
+    assert_eq!(
+        upper.labels().len(),
+        lower.labels().len(),
+        "views materialised over different spaces"
+    );
+    let mut f = vec![usize::MAX; upper.n_states()];
+    for i in 0..upper.labels().len() {
+        let (u, l) = (upper.label(i), lower.label(i));
+        if f[u] == usize::MAX {
+            f[u] = l;
+        } else if f[u] != l {
+            return None; // γ₁′(s) equal but γ₂′(s) differ: not well defined
+        }
+    }
+    debug_assert!(f.iter().all(|&x| x != usize::MAX), "surjective labels");
+    Some(f)
+}
+
+/// Whether the two views are isomorphic (Proposition 2.2.1(b)): each
+/// defines the other, i.e. the kernels coincide.
+pub fn isomorphic(a: &MatView, b: &MatView) -> bool {
+    a.kernel() == b.kernel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::StateSpace;
+    use crate::view::View;
+    use compview_logic::Schema;
+    use compview_relation::{RaExpr, RelDecl, Signature, Tuple, v};
+    use std::collections::BTreeMap;
+
+    fn space() -> StateSpace {
+        let schema = Schema::unconstrained(Signature::new([
+            RelDecl::new("R", ["A"]),
+            RelDecl::new("S", ["A"]),
+        ]));
+        let pools: BTreeMap<String, Vec<Tuple>> = [
+            (
+                "R".to_owned(),
+                vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+            ),
+            ("S".to_owned(), vec![Tuple::new([v("a1")])]),
+        ]
+        .into();
+        StateSpace::enumerate(schema, &pools)
+    }
+
+    fn mat(sp: &StateSpace, view: View) -> MatView {
+        MatView::materialise(view, sp)
+    }
+
+    #[test]
+    fn identity_defines_everything() {
+        let sp = space();
+        let id = mat(&sp, View::identity(sp.schema().sig()));
+        let zero = mat(&sp, View::zero());
+        let r = mat(
+            &sp,
+            View::new("Γ1", vec![(RelDecl::new("R", ["A"]), RaExpr::rel("R"))]),
+        );
+        assert!(defines(&id, &zero));
+        assert!(defines(&id, &r));
+        assert!(defines(&id, &id));
+        assert!(defines(&r, &zero));
+        assert!(!defines(&zero, &r));
+        assert!(!defines(&r, &id));
+    }
+
+    #[test]
+    fn morphism_exists_iff_defines_beth_2_2_2() {
+        let sp = space();
+        let r = mat(
+            &sp,
+            View::new("Γ1", vec![(RelDecl::new("R", ["A"]), RaExpr::rel("R"))]),
+        );
+        // A coarser view of R: whether R is nonempty (R projected to zero
+        // columns gives {()} iff R nonempty).
+        let r_nonempty = mat(
+            &sp,
+            View::new(
+                "R≠∅",
+                vec![(
+                    RelDecl::new("N", Vec::<String>::new()),
+                    RaExpr::rel("R").project(vec![]),
+                )],
+            ),
+        );
+        assert!(defines(&r, &r_nonempty));
+        let f = view_morphism(&r, &r_nonempty).expect("morphism must exist");
+        // The morphism commutes: f(γ1'(s)) = γ2'(s) for every state.
+        for i in 0..sp.len() {
+            assert_eq!(f[r.label(i)], r_nonempty.label(i));
+        }
+        // No morphism the other way.
+        assert!(view_morphism(&r_nonempty, &r).is_none());
+        assert!(!defines(&r_nonempty, &r));
+    }
+
+    #[test]
+    fn morphism_uniqueness_prop_2_2_1() {
+        // Uniqueness is structural here: view_morphism is a function of the
+        // labels; verify the commuting property pins every value.
+        let sp = space();
+        let id = mat(&sp, View::identity(sp.schema().sig()));
+        let r = mat(
+            &sp,
+            View::new("Γ1", vec![(RelDecl::new("R", ["A"]), RaExpr::rel("R"))]),
+        );
+        let f = view_morphism(&id, &r).unwrap();
+        // Every id-state is a singleton fibre, so f is fully determined.
+        for i in 0..sp.len() {
+            assert_eq!(f[id.label(i)], r.label(i));
+        }
+    }
+
+    #[test]
+    fn isomorphic_views_have_equal_kernels() {
+        let sp = space();
+        let r1 = mat(
+            &sp,
+            View::new("Γ1", vec![(RelDecl::new("R", ["A"]), RaExpr::rel("R"))]),
+        );
+        // Same information, renamed relation and a column permutation of a
+        // duplicated column.
+        let r2 = mat(
+            &sp,
+            View::new(
+                "Γ1′",
+                vec![(
+                    RelDecl::new("RR", ["A", "B"]),
+                    RaExpr::rel("R").reorder(vec![0, 0]),
+                )],
+            ),
+        );
+        assert!(isomorphic(&r1, &r2));
+        assert!(defines(&r1, &r2) && defines(&r2, &r1));
+        let zero = mat(&sp, View::zero());
+        assert!(!isomorphic(&r1, &zero));
+    }
+}

@@ -1,0 +1,197 @@
+//! Workload generators for benchmarks and randomized tests.
+//!
+//! The paper has no empirical section, so scale experiments need synthetic
+//! workloads.  Generators here produce (a) random closed path-schema
+//! instances parameterised by object count and value-chain fan-out, and
+//! (b) random unary-relation instances for the XOR comparison — shaped so
+//! that the structural effects the paper describes (join side effects,
+//! extraneous XOR reflections) actually occur at a controllable rate.
+
+use compview_logic::PathSchema;
+use compview_relation::{Instance, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Generate a closed path-schema instance.
+///
+/// `n_objects` segment objects are drawn uniformly: a random segment and
+/// random endpoint values from per-column domains of size `dom`; the
+/// generators are then closed.  Smaller `dom` means more value collisions,
+/// hence more join completion and larger closures.
+pub fn random_path_instance(
+    ps: &PathSchema,
+    n_objects: usize,
+    dom: usize,
+    rng: &mut StdRng,
+) -> Relation {
+    let mut gens = Relation::empty(ps.arity());
+    for _ in 0..n_objects {
+        let seg = rng.random_range(0..ps.n_segments());
+        let a = Value::sym(&format!("{}{}", ps.attrs()[seg].to_lowercase(), rng.random_range(0..dom)));
+        let b = Value::sym(&format!(
+            "{}{}",
+            ps.attrs()[seg + 1].to_lowercase(),
+            rng.random_range(0..dom)
+        ));
+        gens.insert(ps.object(seg, &[a, b]));
+    }
+    ps.close(&gens)
+}
+
+/// A random *component state* for segment-mask `mask`: a mutation of the
+/// current component part of `base` (insertions and deletions of segment
+/// objects inside the component), returned closed.
+pub fn mutate_component_state(
+    ps: &PathSchema,
+    mask: u32,
+    base_part: &Relation,
+    n_inserts: usize,
+    n_deletes: usize,
+    dom: usize,
+    rng: &mut StdRng,
+) -> Relation {
+    let mut gens: Vec<_> = base_part
+        .iter()
+        .filter(|t| {
+            // Keep only the atomic (2-column) objects as generators; the
+            // closure rebuilds the rest.
+            ps.interval(t).is_some_and(|(i, j)| j == i + 1)
+        })
+        .cloned()
+        .collect();
+    let segs: Vec<usize> = (0..ps.n_segments())
+        .filter(|&s| (mask >> s) & 1 == 1)
+        .collect();
+    for _ in 0..n_deletes {
+        if gens.is_empty() {
+            break;
+        }
+        let i = rng.random_range(0..gens.len());
+        gens.swap_remove(i);
+    }
+    for _ in 0..n_inserts {
+        let seg = segs[rng.random_range(0..segs.len())];
+        let a = Value::sym(&format!(
+            "{}{}",
+            ps.attrs()[seg].to_lowercase(),
+            rng.random_range(0..dom)
+        ));
+        let b = Value::sym(&format!(
+            "{}{}",
+            ps.attrs()[seg + 1].to_lowercase(),
+            rng.random_range(0..dom)
+        ));
+        gens.push(ps.object(seg, &[a, b]));
+    }
+    ps.close(&Relation::from_tuples(ps.arity(), gens))
+}
+
+/// Generate the two-unary-relation base instance of Example 1.3.6 at
+/// scale: `R`, `S` each of size `n` over a domain of `dom` values, so the
+/// expected overlap `|R ∩ S|` is `n²/dom`.
+pub fn random_two_unary(n: usize, dom: usize, rng: &mut StdRng) -> Instance {
+    let mut pick = |label: &str| {
+        let mut r = Relation::empty(1);
+        while r.len() < n {
+            let v = Value::sym(&format!("{label}{}", rng.random_range(0..dom)));
+            r.insert(compview_relation::Tuple::new([v]));
+        }
+        r
+    };
+    // Both relations draw from the same value pool so overlaps occur.
+    let r = pick("a");
+    let s = pick("a");
+    Instance::new().with("R", r).with("S", s)
+}
+
+/// A mutated version of a unary relation: delete `n_deletes` members and
+/// insert `n_inserts` fresh draws from the same domain.
+pub fn mutate_unary(
+    rel: &Relation,
+    n_inserts: usize,
+    n_deletes: usize,
+    dom: usize,
+    rng: &mut StdRng,
+) -> Relation {
+    let mut out = rel.clone();
+    let members: Vec<_> = out.iter().cloned().collect();
+    for _ in 0..n_deletes.min(members.len()) {
+        let i = rng.random_range(0..members.len());
+        out.remove(&members[i]);
+    }
+    for _ in 0..n_inserts {
+        out.insert(compview_relation::Tuple::new([Value::sym(&format!(
+            "a{}",
+            rng.random_range(0..dom)
+        ))]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_path_instances_are_closed_and_reproducible() {
+        let ps = PathSchema::example_2_1_1();
+        let mut r1 = rng(42);
+        let mut r2 = rng(42);
+        let a = random_path_instance(&ps, 30, 5, &mut r1);
+        let b = random_path_instance(&ps, 30, 5, &mut r2);
+        assert_eq!(a, b, "deterministic per seed");
+        assert!(ps.is_closed(&a));
+        assert!(a.len() >= 10);
+    }
+
+    #[test]
+    fn smaller_domains_close_larger() {
+        let ps = PathSchema::example_2_1_1();
+        let dense = random_path_instance(&ps, 60, 3, &mut rng(7));
+        let sparse = random_path_instance(&ps, 60, 100, &mut rng(7));
+        assert!(
+            dense.len() > sparse.len(),
+            "collisions should drive join completion ({} vs {})",
+            dense.len(),
+            sparse.len()
+        );
+    }
+
+    #[test]
+    fn mutated_component_states_stay_inside_component() {
+        let ps = PathSchema::example_2_1_1();
+        let pc = crate::pathview::PathComponents::new(ps.clone());
+        let base = random_path_instance(&ps, 40, 5, &mut rng(3));
+        let part = pc.endo(0b001, &base);
+        let mutated = mutate_component_state(&ps, 0b001, &part, 3, 2, 5, &mut rng(4));
+        assert!(ps.is_closed(&mutated));
+        for t in mutated.iter() {
+            assert_eq!(pc.segs_of(t) & !0b001, 0);
+        }
+        // The mutated state is a valid translation target.
+        assert!(pc.translate(0b001, &base, &mutated).is_ok());
+    }
+
+    #[test]
+    fn two_unary_workloads_overlap() {
+        let inst = random_two_unary(50, 60, &mut rng(9));
+        assert_eq!(inst.rel("R").len(), 50);
+        assert_eq!(inst.rel("S").len(), 50);
+        assert!(
+            !inst.rel("R").intersect(inst.rel("S")).is_empty(),
+            "dense domains should produce overlap"
+        );
+    }
+
+    #[test]
+    fn mutate_unary_changes_the_relation() {
+        let inst = random_two_unary(20, 1000, &mut rng(11));
+        let m = mutate_unary(inst.rel("R"), 5, 5, 1000, &mut rng(12));
+        assert_ne!(&m, inst.rel("R"));
+    }
+}

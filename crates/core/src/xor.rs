@@ -1,0 +1,154 @@
+//! Symbolic, instance-scale implementation of Example 1.3.6 / 3.3.1: the
+//! two-unary-relation schema with views `Γ₁` (R), `Γ₂` (S), and the XOR
+//! view `Γ₃` (T = R Δ S).
+//!
+//! All three pairs are complementary, so an update to `Γ₁` can be
+//! translated with either `Γ₂` or `Γ₃` constant — but only `Γ₂` is a
+//! *strong* complement.  This module computes both translations in closed
+//! form (no state-space enumeration), so their reflected change sets can
+//! be compared at any instance size; the `xor_vs_subschema` benchmark
+//! quantifies the paper's qualitative claim that the `Γ₂` reflection is
+//! minimal while the `Γ₃` reflection is "not even nonextraneous".
+
+use compview_relation::{Instance, Relation};
+
+/// Translate an update of `Γ₁` (the `R` view) to the base schema with
+/// `Γ₂ = S` constant: simply replace `R`.
+///
+/// This is the constant-complement solution for the strong complement: the
+/// reflected change is exactly the requested change (minimal).
+pub fn update_r_const_s(base: &Instance, new_r: &Relation) -> Instance {
+    base.clone().with("R", new_r.clone())
+}
+
+/// Translate an update of `Γ₁` to the base schema with `Γ₃ = R Δ S`
+/// constant: `T` is pinned, so `S` must become `R′ Δ T`.
+///
+/// The reflected change touches `S` as well — extraneous whenever the
+/// update intersects the "overlap structure" (e.g. inserting `a₄` into `R`
+/// forces deleting `a₄` from `S` when `a₄ ∈ S`, exactly the paper's
+/// example).
+pub fn update_r_const_t(base: &Instance, new_r: &Relation) -> Instance {
+    let t = base.rel("R").sym_diff(base.rel("S"));
+    let new_s = new_r.sym_diff(&t);
+    base.clone()
+        .with("R", new_r.clone())
+        .with("S", new_s)
+}
+
+/// Size of the reflected change `base Δ result` in tuples.
+pub fn reflected_change(base: &Instance, result: &Instance) -> usize {
+    base.sym_diff(result).total_tuples()
+}
+
+/// Both translations and their change sizes, for reporting.
+#[derive(Debug)]
+pub struct XorComparison {
+    /// Result with `Γ₂` constant.
+    pub via_s: Instance,
+    /// Result with `Γ₃` constant.
+    pub via_t: Instance,
+    /// Change size via `Γ₂`.
+    pub change_via_s: usize,
+    /// Change size via `Γ₃`.
+    pub change_via_t: usize,
+}
+
+/// Compare the two constant-complement translations of replacing `R`.
+pub fn compare(base: &Instance, new_r: &Relation) -> XorComparison {
+    let via_s = update_r_const_s(base, new_r);
+    let via_t = update_r_const_t(base, new_r);
+    XorComparison {
+        change_via_s: reflected_change(base, &via_s),
+        change_via_t: reflected_change(base, &via_t),
+        via_s,
+        via_t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::example_1_3_6 as ex;
+    use compview_relation::rel;
+
+    #[test]
+    fn paper_example_insert_a4() {
+        // "Suppose we wish to insert a4 into the instance of R…  With
+        // constant complement Γ2, we simply insert a4 into R…  With
+        // constant complement Γ3 … also deleting a4 from S."
+        // The paper's picture: start with a4 ∈ S so the deletion bites.
+        let base = Instance::new()
+            .with("R", rel(1, [["a1"], ["a2"]]))
+            .with("S", rel(1, [["a2"], ["a3"], ["a4"]]));
+        let new_r = rel(1, [["a1"], ["a2"], ["a4"]]);
+        let cmp = compare(&base, &new_r);
+        // Γ2 constant: one inserted tuple.
+        assert_eq!(cmp.change_via_s, 1);
+        assert_eq!(cmp.via_s.rel("S"), base.rel("S"));
+        // Γ3 constant: insert into R *and* delete from S.
+        assert_eq!(cmp.change_via_t, 2);
+        assert!(!cmp.via_t.rel("S").contains(&compview_relation::t(["a4"])));
+    }
+
+    #[test]
+    fn both_translations_realise_the_view_update() {
+        let base = ex::base_instance();
+        let new_r = rel(1, [["a1"], ["a5"]]);
+        let cmp = compare(&base, &new_r);
+        assert_eq!(cmp.via_s.rel("R"), &new_r);
+        assert_eq!(cmp.via_t.rel("R"), &new_r);
+    }
+
+    #[test]
+    fn t_translation_keeps_t_constant() {
+        let base = ex::base_instance();
+        let new_r = rel(1, [["a2"], ["a3"], ["a7"]]);
+        let out = update_r_const_t(&base, &new_r);
+        assert_eq!(
+            out.rel("R").sym_diff(out.rel("S")),
+            base.rel("R").sym_diff(base.rel("S"))
+        );
+    }
+
+    #[test]
+    fn s_translation_keeps_s_constant() {
+        let base = ex::base_instance();
+        let new_r = rel(1, [["a9"]]);
+        let out = update_r_const_s(&base, &new_r);
+        assert_eq!(out.rel("S"), base.rel("S"));
+    }
+
+    #[test]
+    fn s_translation_never_worse() {
+        // The Γ2 reflection is always exactly |ΔR|; the Γ3 reflection is
+        // |ΔR| + |ΔS| ≥ |ΔR|.
+        let base = ex::base_instance();
+        for new_r in [
+            rel(1, Vec::<[&str; 1]>::new()),
+            rel(1, [["a1"]]),
+            rel(1, [["a1"], ["a2"], ["a3"], ["a4"]]),
+        ] {
+            let cmp = compare(&base, &new_r);
+            assert!(cmp.change_via_s <= cmp.change_via_t);
+            assert_eq!(
+                cmp.change_via_s,
+                base.rel("R").sym_diff(&new_r).len()
+            );
+        }
+    }
+
+    #[test]
+    fn extraneous_growth_tracks_overlap() {
+        // Replacing R by ∅ with Γ3 constant flips S on R Δ (RΔS)-structure:
+        // the extraneous part is exactly |ΔR ∩ relevant S changes| — here,
+        // change_via_t - change_via_s = |S Δ (∅ Δ T)| = |ΔS|.
+        let base = Instance::new()
+            .with("R", rel(1, [["x1"], ["x2"], ["x3"]]))
+            .with("S", rel(1, [["x1"], ["x2"], ["x3"]]));
+        // T = ∅; clearing R forces S := ∅ too.
+        let cmp = compare(&base, &rel(1, Vec::<[&str; 1]>::new()));
+        assert_eq!(cmp.change_via_s, 3);
+        assert_eq!(cmp.change_via_t, 6);
+    }
+}

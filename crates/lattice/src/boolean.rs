@@ -1,0 +1,232 @@
+//! Generic Boolean-algebra law verification.
+//!
+//! The paper's central structural claim is that certain families (the free
+//! type algebra of §2.1; the strongly complemented strong views of
+//! Thm 2.3.3) **form Boolean algebras**.  This module checks the full axiom
+//! set on an explicitly presented finite structure, so the component
+//! algebras built in `compview-core` can be *verified*, not assumed.
+
+/// An explicitly presented algebra: elements are indices `0 … n-1`.
+pub struct BooleanPresentation {
+    /// Number of elements.
+    pub n: usize,
+    /// Meet table (`n × n`, row-major).
+    pub meet: Vec<usize>,
+    /// Join table.
+    pub join: Vec<usize>,
+    /// Complement table.
+    pub complement: Vec<usize>,
+    /// Index of the least element `0`.
+    pub bot: usize,
+    /// Index of the greatest element `1`.
+    pub top: usize,
+}
+
+impl BooleanPresentation {
+    /// Build from operation closures.
+    pub fn from_ops(
+        n: usize,
+        meet: impl Fn(usize, usize) -> usize,
+        join: impl Fn(usize, usize) -> usize,
+        complement: impl Fn(usize) -> usize,
+        bot: usize,
+        top: usize,
+    ) -> BooleanPresentation {
+        let mut mt = Vec::with_capacity(n * n);
+        let mut jt = Vec::with_capacity(n * n);
+        for a in 0..n {
+            for b in 0..n {
+                mt.push(meet(a, b));
+                jt.push(join(a, b));
+            }
+        }
+        BooleanPresentation {
+            n,
+            meet: mt,
+            join: jt,
+            complement: (0..n).map(complement).collect(),
+            bot,
+            top,
+        }
+    }
+
+    fn m(&self, a: usize, b: usize) -> usize {
+        self.meet[a * self.n + b]
+    }
+
+    fn j(&self, a: usize, b: usize) -> usize {
+        self.join[a * self.n + b]
+    }
+
+    /// Verify every Boolean-algebra axiom, returning the first violation.
+    pub fn verify(&self) -> Result<(), String> {
+        let n = self.n;
+        if n == 0 {
+            return Err("empty carrier".into());
+        }
+        for a in 0..n {
+            // Complement laws.
+            if self.m(a, self.complement[a]) != self.bot {
+                return Err(format!("{a} ∧ ¬{a} ≠ 0"));
+            }
+            if self.j(a, self.complement[a]) != self.top {
+                return Err(format!("{a} ∨ ¬{a} ≠ 1"));
+            }
+            // Identity laws.
+            if self.m(a, self.top) != a {
+                return Err(format!("{a} ∧ 1 ≠ {a}"));
+            }
+            if self.j(a, self.bot) != a {
+                return Err(format!("{a} ∨ 0 ≠ {a}"));
+            }
+            // Idempotence.
+            if self.m(a, a) != a || self.j(a, a) != a {
+                return Err(format!("idempotence fails at {a}"));
+            }
+            // Involution of complement.
+            if self.complement[self.complement[a]] != a {
+                return Err(format!("¬¬{a} ≠ {a}"));
+            }
+            for b in 0..n {
+                // Commutativity.
+                if self.m(a, b) != self.m(b, a) {
+                    return Err(format!("∧ not commutative at ({a},{b})"));
+                }
+                if self.j(a, b) != self.j(b, a) {
+                    return Err(format!("∨ not commutative at ({a},{b})"));
+                }
+                // Absorption.
+                if self.m(a, self.j(a, b)) != a {
+                    return Err(format!("absorption ∧∨ fails at ({a},{b})"));
+                }
+                if self.j(a, self.m(a, b)) != a {
+                    return Err(format!("absorption ∨∧ fails at ({a},{b})"));
+                }
+                // De Morgan.
+                if self.complement[self.m(a, b)]
+                    != self.j(self.complement[a], self.complement[b])
+                {
+                    return Err(format!("De Morgan ∧ fails at ({a},{b})"));
+                }
+                for c in 0..n {
+                    // Associativity.
+                    if self.m(self.m(a, b), c) != self.m(a, self.m(b, c)) {
+                        return Err(format!("∧ not associative at ({a},{b},{c})"));
+                    }
+                    if self.j(self.j(a, b), c) != self.j(a, self.j(b, c)) {
+                        return Err(format!("∨ not associative at ({a},{b},{c})"));
+                    }
+                    // Distributivity (both directions).
+                    if self.m(a, self.j(b, c)) != self.j(self.m(a, b), self.m(a, c)) {
+                        return Err(format!("∧ over ∨ fails at ({a},{b},{c})"));
+                    }
+                    if self.j(a, self.m(b, c)) != self.m(self.j(a, b), self.j(a, c)) {
+                        return Err(format!("∨ over ∧ fails at ({a},{b},{c})"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The atoms: minimal nonzero elements (`a` with `a ∧ b ∈ {0, a}` for
+    /// all `b`, `a ≠ 0`).
+    pub fn atoms(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&a| {
+                a != self.bot
+                    && (0..self.n).all(|b| {
+                        let m = self.m(a, b);
+                        m == self.bot || m == a
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn powerset(k: usize) -> BooleanPresentation {
+        BooleanPresentation::from_ops(
+            1 << k,
+            |a, b| a & b,
+            |a, b| a | b,
+            move |a| !a & ((1 << k) - 1),
+            0,
+            (1 << k) - 1,
+        )
+    }
+
+    #[test]
+    fn powerset_algebras_verify() {
+        for k in 0..4 {
+            powerset(k).verify().unwrap_or_else(|e| panic!("k={k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn atoms_of_powerset_are_singletons() {
+        let b = powerset(3);
+        assert_eq!(b.atoms(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn broken_complement_detected() {
+        let mut b = powerset(2);
+        b.complement[1] = 1; // ¬{0} = {0}: wrong
+        assert!(b.verify().is_err());
+    }
+
+    #[test]
+    fn non_distributive_lattice_detected() {
+        // The diamond M3 (0, a, b, c, 1) is a lattice but not distributive;
+        // pick any complement assignment, distributivity must fail.
+        let n = 5; // 0=bot, 1..=3 = atoms, 4=top
+        let meet = |a: usize, b: usize| {
+            if a == b {
+                a
+            } else if a == 4 {
+                b
+            } else if b == 4 {
+                a
+            } else {
+                0
+            }
+        };
+        let join = |a: usize, b: usize| {
+            if a == b {
+                a
+            } else if a == 0 {
+                b
+            } else if b == 0 {
+                a
+            } else {
+                4
+            }
+        };
+        let b = BooleanPresentation::from_ops(n, meet, join, |a| match a {
+            0 => 4,
+            4 => 0,
+            1 => 2,
+            2 => 1,
+            _ => 1,
+        }, 0, 4);
+        assert!(b.verify().is_err());
+    }
+
+    #[test]
+    fn two_element_algebra() {
+        let b = BooleanPresentation::from_ops(
+            2,
+            |a, c| a & c,
+            |a, c| a | c,
+            |a| 1 - a,
+            0,
+            1,
+        );
+        b.verify().unwrap();
+        assert_eq!(b.atoms(), vec![1]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # compview-lattice
+//!
+//! Order-theoretic substrate for `compview`, the reproduction of Hegner's
+//! *Canonical View Update Support through Boolean Algebras of Components*
+//! (PODS 1984).
+//!
+//! * [`partition`] — partitions with the §2.2 lattice orientation
+//!   (finest = greatest), kernels, complements: the home of
+//!   `Part(LDB(D))`;
+//! * [`poset`] — explicit finite posets ([`poset::FinPoset`]): the carrier
+//!   of enumerated `LDB(D, μ)` spaces;
+//! * [`morphism`] — ↓-poset morphisms, least right inverses, downward
+//!   stationarity, **strong morphisms** (§2.3);
+//! * [`endo`] — strong endomorphisms, the Lemma 2.3.2 complement
+//!   machinery, and brute-force enumeration for exhaustive verification;
+//! * [`boolean`] — Boolean-algebra law verification for presented
+//!   structures;
+//! * [`hasse`] — ASCII Hasse diagrams.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod boolean;
+pub mod endo;
+pub mod hasse;
+pub mod morphism;
+pub mod partition;
+pub mod poset;
+
+pub use boolean::BooleanPresentation;
+pub use partition::{Partition, UnionFind};
+pub use poset::FinPoset;

@@ -1,0 +1,367 @@
+//! Partitions of a finite index set, and the partition lattice of §2.2.
+//!
+//! The paper embeds views into `Part(LDB(D))` via kernels: `Π(Γ) = ker(γ′)`.
+//! Its order convention makes the **finest** partition the **greatest**
+//! element (the identity view `1_D`) and the coarsest the least (the zero
+//! view `0_D`).  Under that orientation:
+//!
+//! * join `Π₁ ∨ Π₂` = the common refinement (intersection of the
+//!   equivalence relations) — `Γ₁ ∨ Γ₂ = 1_D` is exactly injectivity of
+//!   `γ₁′ × γ₂′`, i.e. a *join complement* (Def 1.3.1);
+//! * meet `Π₁ ∧ Π₂` = the transitive closure of the union of the relations.
+//!
+//! Implemented with union-find plus a canonical-label normal form so that
+//! partitions compare with ordinary `==`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A partition of `{0, …, n-1}` in canonical form.
+///
+/// Canonical form: `label[i]` is the index of the first element of `i`'s
+/// block, so `label` is identical for equal partitions.
+///
+/// # Examples
+///
+/// ```
+/// use compview_lattice::Partition;
+///
+/// // Kernels of two view mappings over four states:
+/// let p = Partition::from_labels(&["x", "x", "y", "y"]);
+/// let q = Partition::from_labels(&[0, 1, 0, 1]);
+/// // Their join is the finest partition: γ_p × γ_q is injective, so the
+/// // views are join complements (Def 1.3.1).
+/// assert!(p.join(&q).is_discrete());
+/// // Their meet is the coarsest: also meet complements (Def 1.3.4).
+/// assert!(p.meet(&q).is_indiscrete());
+/// assert!(p.is_complement(&q));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Partition {
+    label: Vec<usize>,
+}
+
+impl Partition {
+    /// The finest partition (all singletons) — the paper's greatest element.
+    pub fn discrete(n: usize) -> Partition {
+        Partition {
+            label: (0..n).collect(),
+        }
+    }
+
+    /// The coarsest partition (one block) — the paper's least element.
+    pub fn indiscrete(n: usize) -> Partition {
+        Partition { label: vec![0; n] }
+    }
+
+    /// The kernel of a function presented as labels: `i ≡ j` iff
+    /// `labels[i] == labels[j]`.
+    ///
+    /// This is how `Π(Γ) = ker(γ′)` is computed: `labels[i]` is (an id of)
+    /// `γ′(s_i)` for the `i`-th enumerated state.
+    pub fn from_labels<L: Eq + Hash>(labels: &[L]) -> Partition {
+        let mut first: HashMap<&L, usize> = HashMap::new();
+        let mut label = Vec::with_capacity(labels.len());
+        for (i, l) in labels.iter().enumerate() {
+            let rep = *first.entry(l).or_insert(i);
+            label.push(rep);
+        }
+        Partition { label }
+    }
+
+    /// Build from explicit blocks.
+    ///
+    /// # Panics
+    /// Panics if the blocks are not a partition of `{0,…,n-1}`.
+    pub fn from_blocks(n: usize, blocks: &[Vec<usize>]) -> Partition {
+        let mut label = vec![usize::MAX; n];
+        for block in blocks {
+            let rep = *block.iter().min().expect("empty block");
+            for &i in block {
+                assert!(i < n, "block element {i} out of range");
+                assert_eq!(label[i], usize::MAX, "element {i} in two blocks");
+                label[i] = rep;
+            }
+        }
+        assert!(
+            label.iter().all(|&l| l != usize::MAX),
+            "blocks do not cover the index set"
+        );
+        Partition { label }.normalised()
+    }
+
+    /// Number of underlying elements.
+    pub fn n(&self) -> usize {
+        self.label.len()
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        let mut reps: Vec<usize> = self.label.clone();
+        reps.sort_unstable();
+        reps.dedup();
+        reps.len()
+    }
+
+    /// Whether `i` and `j` are in the same block.
+    pub fn same(&self, i: usize, j: usize) -> bool {
+        self.label[i] == self.label[j]
+    }
+
+    /// The canonical label (block representative) of element `i`.
+    pub fn rep(&self, i: usize) -> usize {
+        self.label[i]
+    }
+
+    /// The blocks, each sorted, ordered by representative.
+    pub fn blocks(&self) -> Vec<Vec<usize>> {
+        let mut by_rep: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, &r) in self.label.iter().enumerate() {
+            by_rep.entry(r).or_default().push(i);
+        }
+        by_rep.into_values().collect()
+    }
+
+    /// Whether this is the finest partition.
+    pub fn is_discrete(&self) -> bool {
+        self.n_blocks() == self.n()
+    }
+
+    /// Whether this is the coarsest partition.
+    pub fn is_indiscrete(&self) -> bool {
+        self.n() <= 1 || self.n_blocks() == 1
+    }
+
+    /// Whether `self` refines `other` (every block of `self` lies inside a
+    /// block of `other`).  In the paper's orientation this is
+    /// `other ≤ self`.
+    pub fn refines(&self, other: &Partition) -> bool {
+        self.check_same_n(other);
+        // self refines other iff other's label is constant on self's blocks.
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        for i in 0..self.n() {
+            match seen.entry(self.label[i]) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != other.label[i] {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(other.label[i]);
+                }
+            }
+        }
+        true
+    }
+
+    /// Join in the paper's orientation: the common refinement.
+    pub fn join(&self, other: &Partition) -> Partition {
+        self.check_same_n(other);
+        let pairs: Vec<(usize, usize)> = (0..self.n())
+            .map(|i| (self.label[i], other.label[i]))
+            .collect();
+        Partition::from_labels(&pairs)
+    }
+
+    /// Meet in the paper's orientation: transitive closure of the union of
+    /// the two equivalence relations (union-find merge).
+    pub fn meet(&self, other: &Partition) -> Partition {
+        self.check_same_n(other);
+        let mut uf = UnionFind::new(self.n());
+        for i in 0..self.n() {
+            uf.union(i, self.label[i]);
+            uf.union(i, other.label[i]);
+        }
+        uf.into_partition()
+    }
+
+    /// Whether `other` is a complement of `self` in the partition lattice:
+    /// join is discrete (top) and meet is indiscrete (bottom).
+    pub fn is_complement(&self, other: &Partition) -> bool {
+        self.join(other).is_discrete() && self.meet(other).is_indiscrete()
+    }
+
+    fn normalised(self) -> Partition {
+        // Re-canonicalise so each label is the minimum of its block.
+        Partition::from_labels(&self.label)
+    }
+
+    fn check_same_n(&self, other: &Partition) {
+        assert_eq!(
+            self.n(),
+            other.n(),
+            "partition operation on different index sets"
+        );
+    }
+}
+
+impl std::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Partition")?;
+        f.debug_list().entries(self.blocks()).finish()
+    }
+}
+
+/// Plain union-find used by [`Partition::meet`] and available to callers
+/// building partitions incrementally.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton classes.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// Class representative (with path compression).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the classes of `a` and `b`.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Keep the smaller representative for stable canonical labels.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+
+    /// Freeze into a canonical [`Partition`].
+    pub fn into_partition(mut self) -> Partition {
+        let labels: Vec<usize> = (0..self.parent.len()).map(|i| self.find(i)).collect();
+        Partition::from_labels(&labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_from_labels() {
+        let p = Partition::from_labels(&["x", "y", "x", "z", "y"]);
+        assert_eq!(p.n_blocks(), 3);
+        assert!(p.same(0, 2));
+        assert!(p.same(1, 4));
+        assert!(!p.same(0, 1));
+        assert_eq!(p.blocks(), vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let p = Partition::from_labels(&[10, 20, 10]);
+        let q = Partition::from_blocks(3, &[vec![0, 2], vec![1]]);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn bounds() {
+        let top = Partition::discrete(4);
+        let bot = Partition::indiscrete(4);
+        assert!(top.is_discrete());
+        assert!(bot.is_indiscrete());
+        let p = Partition::from_labels(&[0, 0, 1, 1]);
+        // Everything refines itself; top refines everything; everything
+        // refines bottom.
+        assert!(p.refines(&p));
+        assert!(top.refines(&p));
+        assert!(p.refines(&bot));
+        assert!(!p.refines(&top));
+    }
+
+    #[test]
+    fn join_is_common_refinement() {
+        let p = Partition::from_labels(&[0, 0, 1, 1]); // {01}{23}
+        let q = Partition::from_labels(&[0, 1, 1, 0]); // {03}{12}
+        let j = p.join(&q);
+        assert!(j.is_discrete()); // pairwise intersections are singletons
+        assert!(j.refines(&p) && j.refines(&q));
+    }
+
+    #[test]
+    fn meet_is_transitive_union() {
+        let p = Partition::from_labels(&[0, 0, 1, 1]); // {01}{23}
+        let q = Partition::from_labels(&[0, 1, 1, 2]); // {0}{12}{3}
+        let m = p.meet(&q);
+        // 0~1 (p), 1~2 (q), 2~3 (p) → all together.
+        assert!(m.is_indiscrete());
+        assert!(p.refines(&m) && q.refines(&m));
+    }
+
+    #[test]
+    fn lattice_laws() {
+        let parts = [
+            Partition::from_labels(&[0, 0, 1, 1, 2]),
+            Partition::from_labels(&[0, 1, 0, 1, 0]),
+            Partition::from_labels(&[0, 1, 2, 3, 4]),
+            Partition::from_labels(&[0, 0, 0, 1, 1]),
+        ];
+        for p in &parts {
+            for q in &parts {
+                // Commutativity.
+                assert_eq!(p.join(q), q.join(p));
+                assert_eq!(p.meet(q), q.meet(p));
+                // Absorption.
+                assert_eq!(p.join(&p.meet(q)), *p);
+                assert_eq!(p.meet(&p.join(q)), *p);
+                // Join is the least refinement above both (spot-check via
+                // refinement relations).
+                assert!(p.join(q).refines(p));
+                assert!(p.refines(&p.meet(q)));
+                for r in &parts {
+                    // Associativity.
+                    assert_eq!(p.join(q).join(r), p.join(&q.join(r)));
+                    assert_eq!(p.meet(q).meet(r), p.meet(&q.meet(r)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complements_in_partition_lattice() {
+        // On 4 points: {01}{23} and {02}{13} have discrete join and
+        // indiscrete meet — complements.
+        let p = Partition::from_labels(&[0, 0, 1, 1]);
+        let q = Partition::from_labels(&[0, 1, 0, 1]);
+        assert!(p.is_complement(&q));
+        // {01}{23} is not a complement of itself.
+        assert!(!p.is_complement(&p));
+        // Nonuniqueness (the Bancilhon–Spyratos problem): {03}{12} is a
+        // second complement of p.
+        let q2 = Partition::from_labels(&[0, 1, 1, 0]);
+        assert!(p.is_complement(&q2));
+        assert_ne!(q, q2);
+    }
+
+    #[test]
+    fn union_find_builds_partitions() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 3);
+        uf.union(3, 4);
+        let p = uf.into_partition();
+        assert_eq!(p.blocks(), vec![vec![0, 3, 4], vec![1], vec![2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two blocks")]
+    fn overlapping_blocks_rejected() {
+        Partition::from_blocks(3, &[vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn non_covering_blocks_rejected() {
+        Partition::from_blocks(3, &[vec![0, 1]]);
+    }
+}

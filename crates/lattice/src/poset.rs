@@ -1,0 +1,282 @@
+//! Explicit finite posets, the carrier structures for §2.3's ↓-posets.
+//!
+//! A [`FinPoset`] stores the full order relation as a boolean matrix over
+//! element indices; payload elements (database states, view states) are kept
+//! by the caller in parallel vectors.  `LDB(D, μ)` under relation-by-relation
+//! inclusion is the motivating example: `compview-core` enumerates states
+//! and builds the poset with [`FinPoset::from_leq`].
+
+/// A finite partially ordered set over indices `0 … n-1`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct FinPoset {
+    n: usize,
+    leq: Vec<bool>,
+}
+
+impl FinPoset {
+    /// Build from a comparison function, verifying the poset axioms.
+    ///
+    /// # Panics
+    /// Panics if `leq` is not reflexive, antisymmetric, and transitive.
+    pub fn from_leq<F: Fn(usize, usize) -> bool>(n: usize, leq: F) -> FinPoset {
+        let mut m = vec![false; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                m[a * n + b] = leq(a, b);
+            }
+        }
+        let p = FinPoset { n, leq: m };
+        p.verify().expect("not a partial order");
+        p
+    }
+
+    /// The discrete poset (antichain) on `n` points.
+    pub fn antichain(n: usize) -> FinPoset {
+        FinPoset::from_leq(n, |a, b| a == b)
+    }
+
+    /// The chain `0 < 1 < … < n-1`.
+    pub fn chain(n: usize) -> FinPoset {
+        FinPoset::from_leq(n, |a, b| a <= b)
+    }
+
+    /// The powerset of `k` atoms ordered by inclusion (`2^k` elements,
+    /// element `i` = bitmask `i`).  The shape of every Boolean algebra of
+    /// components in this reproduction.
+    pub fn powerset(k: usize) -> FinPoset {
+        assert!(k < 20, "powerset poset too large");
+        FinPoset::from_leq(1 << k, |a, b| a & !b == 0)
+    }
+
+    /// Check the poset axioms.
+    pub fn verify(&self) -> Result<(), String> {
+        let n = self.n;
+        for a in 0..n {
+            if !self.leq(a, a) {
+                return Err(format!("not reflexive at {a}"));
+            }
+            for b in 0..n {
+                if a != b && self.leq(a, b) && self.leq(b, a) {
+                    return Err(format!("not antisymmetric at ({a},{b})"));
+                }
+                for c in 0..n {
+                    if self.leq(a, b) && self.leq(b, c) && !self.leq(a, c) {
+                        return Err(format!("not transitive at ({a},{b},{c})"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of elements.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The order relation.
+    pub fn leq(&self, a: usize, b: usize) -> bool {
+        self.leq[a * self.n + b]
+    }
+
+    /// Strict order.
+    pub fn lt(&self, a: usize, b: usize) -> bool {
+        a != b && self.leq(a, b)
+    }
+
+    /// The least element `⊥`, if one exists (making this a ↓-poset).
+    pub fn bottom(&self) -> Option<usize> {
+        (0..self.n).find(|&b| (0..self.n).all(|x| self.leq(b, x)))
+    }
+
+    /// The greatest element `⊤`, if any.
+    pub fn top(&self) -> Option<usize> {
+        (0..self.n).find(|&t| (0..self.n).all(|x| self.leq(x, t)))
+    }
+
+    /// The principal downset `{y : y ≤ x}`.
+    pub fn downset(&self, x: usize) -> Vec<usize> {
+        (0..self.n).filter(|&y| self.leq(y, x)).collect()
+    }
+
+    /// The principal upset `{y : x ≤ y}`.
+    pub fn upset(&self, x: usize) -> Vec<usize> {
+        (0..self.n).filter(|&y| self.leq(x, y)).collect()
+    }
+
+    /// Minimal elements of a subset.
+    pub fn minimal_of(&self, subset: &[usize]) -> Vec<usize> {
+        subset
+            .iter()
+            .copied()
+            .filter(|&x| !subset.iter().any(|&y| self.lt(y, x)))
+            .collect()
+    }
+
+    /// The least element of a subset, if one exists.
+    pub fn least_of(&self, subset: &[usize]) -> Option<usize> {
+        subset
+            .iter()
+            .copied()
+            .find(|&x| subset.iter().all(|&y| self.leq(x, y)))
+    }
+
+    /// Greatest lower bound of two elements, if it exists.
+    pub fn meet(&self, a: usize, b: usize) -> Option<usize> {
+        let lbs: Vec<usize> = (0..self.n)
+            .filter(|&x| self.leq(x, a) && self.leq(x, b))
+            .collect();
+        lbs.iter()
+            .copied()
+            .find(|&x| lbs.iter().all(|&y| self.leq(y, x)))
+    }
+
+    /// Least upper bound of two elements, if it exists.
+    pub fn join(&self, a: usize, b: usize) -> Option<usize> {
+        let ubs: Vec<usize> = (0..self.n)
+            .filter(|&x| self.leq(a, x) && self.leq(b, x))
+            .collect();
+        self.least_of(&ubs)
+    }
+
+    /// Whether the poset is a lattice (all binary meets and joins exist).
+    pub fn is_lattice(&self) -> bool {
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.meet(a, b).is_none() || self.join(a, b).is_none() {
+                    return false;
+                }
+            }
+        }
+        self.n > 0
+    }
+
+    /// The product poset, elements indexed `a * other.n() + b`.
+    pub fn product(&self, other: &FinPoset) -> FinPoset {
+        let (n1, n2) = (self.n, other.n);
+        FinPoset::from_leq(n1 * n2, |x, y| {
+            self.leq(x / n2, y / n2) && other.leq(x % n2, y % n2)
+        })
+    }
+
+    /// The restriction of the order to `subset`; element `i` of the result
+    /// is `subset[i]`.
+    pub fn restrict(&self, subset: &[usize]) -> FinPoset {
+        FinPoset::from_leq(subset.len(), |a, b| self.leq(subset[a], subset[b]))
+    }
+
+    /// Whether `f` (a bijection presented as a vector) is an order
+    /// isomorphism onto `other`.
+    pub fn is_isomorphism(&self, f: &[usize], other: &FinPoset) -> bool {
+        if self.n != other.n() || f.len() != self.n {
+            return false;
+        }
+        let mut seen = vec![false; self.n];
+        for &y in f {
+            if y >= self.n || seen[y] {
+                return false;
+            }
+            seen[y] = true;
+        }
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.leq(a, b) != other.leq(f[a], f[b]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Hasse-diagram edges: covering pairs `(lower, upper)`.
+    pub fn hasse_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.lt(a, b) && !(0..self.n).any(|c| self.lt(a, c) && self.lt(c, b)) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+}
+
+impl std::fmt::Debug for FinPoset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FinPoset(n={}, covers={:?})", self.n, self.hasse_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let c = FinPoset::chain(4);
+        assert_eq!(c.bottom(), Some(0));
+        assert_eq!(c.top(), Some(3));
+        assert!(c.is_lattice());
+        assert_eq!(c.hasse_edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn antichain_has_no_bottom_beyond_one() {
+        let a = FinPoset::antichain(3);
+        assert_eq!(a.bottom(), None);
+        assert!(!a.is_lattice());
+        assert_eq!(FinPoset::antichain(1).bottom(), Some(0));
+    }
+
+    #[test]
+    fn powerset_is_boolean_lattice() {
+        let p = FinPoset::powerset(3);
+        assert_eq!(p.n(), 8);
+        assert_eq!(p.bottom(), Some(0));
+        assert_eq!(p.top(), Some(7));
+        assert!(p.is_lattice());
+        assert_eq!(p.meet(0b011, 0b110), Some(0b010));
+        assert_eq!(p.join(0b011, 0b110), Some(0b111));
+        // Hasse edges: each set covered by its single-bit extensions: 3·4=12.
+        assert_eq!(p.hasse_edges().len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a partial order")]
+    fn cyclic_relation_rejected() {
+        FinPoset::from_leq(2, |_, _| true); // 0≤1≤0 with 0≠1
+    }
+
+    #[test]
+    fn downsets_and_least() {
+        let p = FinPoset::powerset(2); // ∅, {0}, {1}, {0,1}
+        assert_eq!(p.downset(0b11), vec![0, 1, 2, 3]);
+        assert_eq!(p.downset(0b01), vec![0, 1]);
+        assert_eq!(p.least_of(&[1, 3]), Some(1));
+        assert_eq!(p.least_of(&[1, 2]), None); // incomparable
+        assert_eq!(p.minimal_of(&[1, 2, 3]), vec![1, 2]);
+    }
+
+    #[test]
+    fn product_of_chains() {
+        let c2 = FinPoset::chain(2);
+        let grid = c2.product(&c2);
+        assert_eq!(grid.n(), 4);
+        assert!(grid.is_lattice());
+        // Isomorphic to the 2-atom powerset.
+        let ps = FinPoset::powerset(2);
+        // Map (a,b) = a*2+b ↦ bitmask a | b<<1: 0↦0, 1↦2, 2↦1, 3↦3.
+        assert!(grid.is_isomorphism(&[0, 2, 1, 3], &ps));
+        // Not every bijection is an isomorphism.
+        assert!(!grid.is_isomorphism(&[3, 2, 1, 0], &ps));
+    }
+
+    #[test]
+    fn restriction_keeps_order() {
+        let p = FinPoset::powerset(2);
+        let sub = p.restrict(&[0, 1, 3]); // ∅ < {0} < {0,1}: a 3-chain
+        assert!(p.verify().is_ok());
+        assert_eq!(sub.hasse_edges(), vec![(0, 1), (1, 2)]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Unified constraint type: `Con(D)`, the second half of a schema.
+//!
+//! Every constraint form used anywhere in the paper is covered: classical
+//! dependencies (Examples 1.1.1, 1.2.5), general TGDs/EGDs (the subsumption
+//! and join-completion rules of Example 2.1.1), column typing against the
+//! type algebra (§2.1), and the contiguous-support shape constraint of the
+//! null-augmented schemas ("there are no tuples of the form (a,η,d), (a,η,η),
+//! or (η,η,η)", Example 3.2.4).
+
+use crate::dep::{Fd, Ind, Jd};
+use crate::rule::{Atom, Egd, Term, Tgd};
+use crate::typealg::{TypeAssignment, TypeExpr};
+use compview_relation::Instance;
+use std::fmt;
+
+/// A single integrity constraint.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Constraint {
+    /// Functional dependency.
+    Fd(Fd),
+    /// Join dependency.
+    Jd(Jd),
+    /// Inclusion dependency.
+    Ind(Ind),
+    /// Tuple-generating dependency.
+    Tgd(Tgd),
+    /// Equality-generating dependency.
+    Egd(Egd),
+    /// Column typing: every value in column `col` of `rel` inhabits `ty`
+    /// under the schema's type assignment.
+    ColType {
+        /// Relation name.
+        rel: String,
+        /// Column index.
+        col: usize,
+        /// Required type.
+        ty: TypeExpr,
+    },
+    /// Null-augmented shape: the support (non-null columns) of every tuple
+    /// of `rel` is a contiguous interval of length at least `min_len`.
+    ContiguousSupport {
+        /// Relation name.
+        rel: String,
+        /// Minimum support length.
+        min_len: usize,
+    },
+}
+
+impl Constraint {
+    /// Whether `inst` satisfies the constraint.  `mu` supplies type
+    /// membership for [`Constraint::ColType`].
+    pub fn satisfied(&self, inst: &Instance, mu: &TypeAssignment) -> bool {
+        match self {
+            Constraint::Fd(fd) => fd.satisfied(inst),
+            Constraint::Jd(jd) => jd.satisfied(inst),
+            Constraint::Ind(ind) => ind.satisfied(inst),
+            Constraint::Tgd(tgd) => tgd.satisfied(inst),
+            Constraint::Egd(egd) => egd.satisfied(inst),
+            Constraint::ColType { rel, col, ty } => inst
+                .rel(rel)
+                .iter()
+                .all(|t| mu.inhabits(t[*col], ty)),
+            Constraint::ContiguousSupport { rel, min_len } => {
+                inst.rel(rel).iter().all(|t| {
+                    let sup = t.support();
+                    sup.len() >= *min_len
+                        && sup
+                            .windows(2)
+                            .all(|w| w[1] == w[0] + 1)
+                })
+            }
+        }
+    }
+
+    /// Compile to chase rules where a faithful compilation exists.
+    ///
+    /// * FDs become EGDs.
+    /// * JDs become one full TGD.
+    /// * INDs become TGDs (existential on uncovered target columns).
+    /// * TGDs/EGDs pass through.
+    /// * `ColType` and `ContiguousSupport` have no TGD/EGD form (they are
+    ///   *denials* over the type structure) and contribute nothing; the
+    ///   chase preserves them when its inputs respect them.
+    pub fn to_rules(&self, arities: &dyn Fn(&str) -> usize) -> (Vec<Tgd>, Vec<Egd>) {
+        match self {
+            Constraint::Fd(fd) => {
+                let arity = arities(&fd.rel);
+                // Body: R(x̄), R(ȳ) with x̄,ȳ equal on lhs; one EGD per rhs col.
+                let mut egds = Vec::new();
+                for &rc in &fd.rhs {
+                    let t1: Vec<Term> = (0..arity).map(|c| Term::Var(c as u32)).collect();
+                    let t2: Vec<Term> = (0..arity)
+                        .map(|c| {
+                            if fd.lhs.contains(&c) {
+                                Term::Var(c as u32)
+                            } else {
+                                Term::Var((arity + c) as u32)
+                            }
+                        })
+                        .collect();
+                    egds.push(Egd::new(
+                        format!("fd:{}:{:?}->{rc}", fd.rel, fd.lhs),
+                        vec![
+                            Atom::new(fd.rel.clone(), t1),
+                            Atom::new(fd.rel.clone(), t2),
+                        ],
+                        (rc as u32, (arity + rc) as u32),
+                    ));
+                }
+                (Vec::new(), egds)
+            }
+            Constraint::Jd(jd) => {
+                let arity = arities(&jd.rel);
+                // Body: one atom per component; component i uses variable
+                // c for base column c if c ∈ component, else a private var.
+                let mut body = Vec::new();
+                for (i, comp) in jd.components.iter().enumerate() {
+                    let args: Vec<Term> = (0..arity)
+                        .map(|c| {
+                            if comp.contains(&c) {
+                                Term::Var(c as u32)
+                            } else {
+                                Term::Var((arity * (i + 1) + c) as u32)
+                            }
+                        })
+                        .collect();
+                    body.push(Atom::new(jd.rel.clone(), args));
+                }
+                let head = vec![Atom::new(
+                    jd.rel.clone(),
+                    (0..arity).map(|c| Term::Var(c as u32)).collect(),
+                )];
+                (
+                    vec![Tgd::new(format!("jd:{}", jd.rel), body, head)],
+                    Vec::new(),
+                )
+            }
+            Constraint::Ind(ind) => {
+                let from_arity = arities(&ind.from_rel);
+                let to_arity = arities(&ind.to_rel);
+                let body = vec![Atom::new(
+                    ind.from_rel.clone(),
+                    (0..from_arity).map(|c| Term::Var(c as u32)).collect(),
+                )];
+                let head_args: Vec<Term> = (0..to_arity)
+                    .map(|c| {
+                        if let Some(pos) = ind.to_cols.iter().position(|&tc| tc == c) {
+                            Term::Var(ind.from_cols[pos] as u32)
+                        } else {
+                            Term::Var((from_arity + c) as u32) // existential
+                        }
+                    })
+                    .collect();
+                (
+                    vec![Tgd::new(
+                        format!("ind:{}->{}", ind.from_rel, ind.to_rel),
+                        body,
+                        vec![Atom::new(ind.to_rel.clone(), head_args)],
+                    )],
+                    Vec::new(),
+                )
+            }
+            Constraint::Tgd(t) => (vec![t.clone()], Vec::new()),
+            Constraint::Egd(e) => (Vec::new(), vec![e.clone()]),
+            Constraint::ColType { .. } | Constraint::ContiguousSupport { .. } => {
+                (Vec::new(), Vec::new())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Fd(fd) => write!(f, "{fd}"),
+            Constraint::Jd(jd) => write!(f, "{jd}"),
+            Constraint::Ind(ind) => write!(f, "{ind}"),
+            Constraint::Tgd(t) => write!(f, "{t}"),
+            Constraint::Egd(e) => write!(f, "{e}"),
+            Constraint::ColType { rel, col, ty } => {
+                write!(f, "type({rel}.{col}) ≤ {ty:?}")
+            }
+            Constraint::ContiguousSupport { rel, min_len } => {
+                write!(f, "contiguous-support({rel}, ≥{min_len})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase, ChaseConfig};
+    use crate::typealg::TypeAlgebra;
+    use compview_relation::{rel, v, Instance};
+
+    #[test]
+    fn fd_compiles_to_working_egd() {
+        let fd = Constraint::Fd(Fd::new("R", vec![0], vec![1]));
+        let (tgds, egds) = fd.to_rules(&|_| 2);
+        assert!(tgds.is_empty());
+        assert_eq!(egds.len(), 1);
+        let ok = Instance::new().with("R", rel(2, [["a", "x"], ["b", "y"]]));
+        let bad = Instance::new().with("R", rel(2, [["a", "x"], ["a", "y"]]));
+        assert!(egds[0].satisfied(&ok));
+        assert!(!egds[0].satisfied(&bad));
+    }
+
+    #[test]
+    fn jd_compiles_to_tgd_with_same_semantics() {
+        let jd = Jd::new("R", vec![vec![0, 1], vec![1, 2]]);
+        let direct_ok = Instance::new().with(
+            "R",
+            rel(3, [["s2", "p3", "j1"], ["s2", "p3", "j3"]]),
+        );
+        let direct_bad = Instance::new().with(
+            "R",
+            rel(3, [["s2", "p3", "j1"], ["s3", "p3", "j3"]]),
+        );
+        let (tgds, _) = Constraint::Jd(jd.clone()).to_rules(&|_| 3);
+        assert_eq!(tgds.len(), 1);
+        assert_eq!(jd.satisfied(&direct_ok), tgds[0].satisfied(&direct_ok));
+        assert_eq!(jd.satisfied(&direct_bad), tgds[0].satisfied(&direct_bad));
+        assert!(!tgds[0].satisfied(&direct_bad));
+    }
+
+    #[test]
+    fn jd_tgd_chase_equals_reconstruction() {
+        let jd = Jd::new("R", vec![vec![0, 1], vec![1, 2]]);
+        let inst = Instance::new().with(
+            "R",
+            rel(3, [["s2", "p3", "j1"], ["s3", "p3", "j3"], ["s1", "p1", "j1"]]),
+        );
+        let (tgds, _) = Constraint::Jd(jd.clone()).to_rules(&|_| 3);
+        let closed = chase(&inst, &tgds, &[], &ChaseConfig::default()).unwrap();
+        assert_eq!(closed.rel("R"), &jd.reconstruct(inst.rel("R")));
+    }
+
+    #[test]
+    fn ind_compiles_with_existential_target_columns() {
+        let ind = Ind::new("E", vec![1], "D", vec![0]);
+        let (tgds, _) = Constraint::Ind(ind).to_rules(&|_| 2);
+        assert_eq!(tgds.len(), 1);
+        assert_eq!(tgds[0].existential_vars().len(), 1); // D's second column
+    }
+
+    #[test]
+    fn col_type_constraint() {
+        let alg = TypeAlgebra::new(["S", "P"]);
+        let mu = TypeAssignment::new()
+            .with(v("s1"), &[0])
+            .with(v("p1"), &[1]);
+        let c = Constraint::ColType {
+            rel: "R".into(),
+            col: 0,
+            ty: alg.gen("S"),
+        };
+        let ok = Instance::new().with("R", rel(2, [["s1", "p1"]]));
+        let bad = Instance::new().with("R", rel(2, [["p1", "s1"]]));
+        assert!(c.satisfied(&ok, &mu));
+        assert!(!c.satisfied(&bad, &mu));
+    }
+
+    #[test]
+    fn contiguous_support_rejects_gap_tuples() {
+        use compview_relation::{Relation, Tuple, Value};
+        let c = Constraint::ContiguousSupport {
+            rel: "R".into(),
+            min_len: 2,
+        };
+        let mu = TypeAssignment::new();
+        let good = Instance::new().with(
+            "R",
+            Relation::from_tuples(
+                4,
+                [
+                    Tuple::new([v("a"), v("b"), Value::Null, Value::Null]),
+                    Tuple::new([Value::Null, v("b"), v("c"), v("d")]),
+                ],
+            ),
+        );
+        // (a,η,d,η): gap; (a,η,η,η): too short; both outlawed by Ex 3.2.4.
+        let gap = Instance::new().with(
+            "R",
+            Relation::from_tuples(4, [Tuple::new([v("a"), Value::Null, v("d"), Value::Null])]),
+        );
+        let short = Instance::new().with(
+            "R",
+            Relation::from_tuples(
+                4,
+                [Tuple::new([v("a"), Value::Null, Value::Null, Value::Null])],
+            ),
+        );
+        assert!(c.satisfied(&good, &mu));
+        assert!(!c.satisfied(&gap, &mu));
+        assert!(!c.satisfied(&short, &mu));
+    }
+}

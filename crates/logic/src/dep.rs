@@ -1,0 +1,393 @@
+//! Classical dependencies: functional, join (incl. embedded), and inclusion
+//! dependencies, with direct satisfaction checks over finite instances.
+//!
+//! These are the constraint classes the related work surveyed in §0.2 deals
+//! with (\[DaBe78\], \[Kell82\], …) and the ones the paper's own examples use:
+//! the join dependency `*[SP,PJ]` of Example 1.1.1 and `*[AB,BC,CD]` of
+//! Example 2.1.1.  Each dependency also compiles to TGDs/EGDs
+//! (see [`crate::rule`]) so the chase engine can reason about all of them
+//! uniformly.
+
+use compview_relation::{Instance, Relation, Tuple};
+use std::fmt;
+
+/// A functional dependency `R : X → Y` over column indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fd {
+    /// Relation name.
+    pub rel: String,
+    /// Determinant column indices.
+    pub lhs: Vec<usize>,
+    /// Dependent column indices.
+    pub rhs: Vec<usize>,
+}
+
+impl Fd {
+    /// `R : lhs → rhs`.
+    pub fn new<S: Into<String>>(rel: S, lhs: Vec<usize>, rhs: Vec<usize>) -> Fd {
+        Fd {
+            rel: rel.into(),
+            lhs,
+            rhs,
+        }
+    }
+
+    /// Whether the instance satisfies the FD.
+    pub fn satisfied(&self, inst: &Instance) -> bool {
+        let r = inst.rel(&self.rel);
+        let mut seen: std::collections::HashMap<Tuple, Tuple> = std::collections::HashMap::new();
+        for t in r.iter() {
+            let key = t.project(&self.lhs);
+            let val = t.project(&self.rhs);
+            if let Some(prev) = seen.get(&key) {
+                if *prev != val {
+                    return false;
+                }
+            } else {
+                seen.insert(key, val);
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:?} → {:?}", self.rel, self.lhs, self.rhs)
+    }
+}
+
+/// The attribute closure `X⁺` of `start` under a set of FDs over one
+/// relation (Armstrong's algorithm): the largest column set determined by
+/// `start`.
+pub fn attribute_closure(fds: &[Fd], start: &[usize]) -> std::collections::BTreeSet<usize> {
+    let mut closure: std::collections::BTreeSet<usize> = start.iter().copied().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fd in fds {
+            if fd.lhs.iter().all(|c| closure.contains(c)) {
+                for &c in &fd.rhs {
+                    changed |= closure.insert(c);
+                }
+            }
+        }
+    }
+    closure
+}
+
+/// Whether `fds` logically imply `target` (same relation), by the
+/// attribute-closure test.
+pub fn fd_implies(fds: &[Fd], target: &Fd) -> bool {
+    let closure = attribute_closure(
+        &fds.iter()
+            .filter(|f| f.rel == target.rel)
+            .cloned()
+            .collect::<Vec<_>>(),
+        &target.lhs,
+    );
+    target.rhs.iter().all(|c| closure.contains(c))
+}
+
+/// A join dependency `R : *[X_1, …, X_k]` over column-index components.
+///
+/// Satisfied when `R = π_{X_1}(R) ⋈ … ⋈ π_{X_k}(R)` (joining on shared
+/// columns).  With `k = 2` this is a multivalued dependency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Jd {
+    /// Relation name.
+    pub rel: String,
+    /// The components, each a set of column indices (sorted).
+    pub components: Vec<Vec<usize>>,
+}
+
+impl Jd {
+    /// `R : *[components]`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two components are given or a component is empty.
+    pub fn new<S: Into<String>>(rel: S, components: Vec<Vec<usize>>) -> Jd {
+        assert!(components.len() >= 2, "join dependency needs ≥ 2 components");
+        assert!(
+            components.iter().all(|c| !c.is_empty()),
+            "empty join-dependency component"
+        );
+        let mut components = components;
+        for c in &mut components {
+            c.sort_unstable();
+            c.dedup();
+        }
+        Jd {
+            rel: rel.into(),
+            components,
+        }
+    }
+
+    /// Reconstruct the relation from its projections: the join
+    /// `π_{X_1}(r) ⋈ … ⋈ π_{X_k}(r)`, expressed back in `r`'s column order.
+    ///
+    /// Columns not covered by any component are not supported (the paper
+    /// never uses partial JDs on uncovered columns).
+    ///
+    /// # Panics
+    /// Panics if the components do not jointly cover all columns.
+    pub fn reconstruct(&self, r: &Relation) -> Relation {
+        let arity = r.arity();
+        let covered: std::collections::BTreeSet<usize> =
+            self.components.iter().flatten().copied().collect();
+        assert_eq!(
+            covered.len(),
+            arity,
+            "join dependency components must cover all columns"
+        );
+
+        // Accumulate a working relation whose columns correspond to
+        // `positions` (base column indices, in accumulation order).
+        let mut positions: Vec<usize> = self.components[0].clone();
+        let mut acc = r.project(&positions);
+        for comp in &self.components[1..] {
+            let proj = r.project(comp);
+            // Join on base columns shared between `positions` and `comp`.
+            let on: Vec<(usize, usize)> = positions
+                .iter()
+                .enumerate()
+                .filter_map(|(ai, &base)| {
+                    comp.iter().position(|&b| b == base).map(|bi| (ai, bi))
+                })
+                .collect();
+            acc = acc.join(&proj, &on);
+            // `join` keeps left columns then right non-key columns in order.
+            let keyed: Vec<usize> = on.iter().map(|&(_, bi)| bi).collect();
+            for (bi, &base) in comp.iter().enumerate() {
+                if !keyed.contains(&bi) {
+                    positions.push(base);
+                }
+            }
+        }
+        // Reorder accumulated columns back to base order 0..arity.
+        let perm: Vec<usize> = (0..arity)
+            .map(|base| {
+                positions
+                    .iter()
+                    .position(|&p| p == base)
+                    .expect("covered column missing from accumulation")
+            })
+            .collect();
+        acc.project(&perm)
+    }
+
+    /// Whether the instance satisfies the JD.
+    pub fn satisfied(&self, inst: &Instance) -> bool {
+        let r = inst.rel(&self.rel);
+        self.reconstruct(r) == *r
+    }
+}
+
+impl fmt::Display for Jd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: *{:?}", self.rel, self.components)
+    }
+}
+
+/// An inclusion dependency `R[X] ⊆ S[Y]` over column indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ind {
+    /// Source relation.
+    pub from_rel: String,
+    /// Source columns.
+    pub from_cols: Vec<usize>,
+    /// Target relation.
+    pub to_rel: String,
+    /// Target columns.
+    pub to_cols: Vec<usize>,
+}
+
+impl Ind {
+    /// `from_rel[from_cols] ⊆ to_rel[to_cols]`.
+    ///
+    /// # Panics
+    /// Panics if the column lists have different lengths.
+    pub fn new<S: Into<String>, T: Into<String>>(
+        from_rel: S,
+        from_cols: Vec<usize>,
+        to_rel: T,
+        to_cols: Vec<usize>,
+    ) -> Ind {
+        assert_eq!(
+            from_cols.len(),
+            to_cols.len(),
+            "inclusion dependency column lists must have equal length"
+        );
+        Ind {
+            from_rel: from_rel.into(),
+            from_cols,
+            to_rel: to_rel.into(),
+            to_cols,
+        }
+    }
+
+    /// Whether the instance satisfies the IND.
+    pub fn satisfied(&self, inst: &Instance) -> bool {
+        let from = inst.rel(&self.from_rel).project(&self.from_cols);
+        let to = inst.rel(&self.to_rel).project(&self.to_cols);
+        from.is_subset(&to)
+    }
+}
+
+impl fmt::Display for Ind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{:?} ⊆ {}{:?}",
+            self.from_rel, self.from_cols, self.to_rel, self.to_cols
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compview_relation::{rel, Instance};
+
+    #[test]
+    fn fd_detects_violation() {
+        let ok = Instance::new().with("R", rel(2, [["a", "x"], ["b", "y"]]));
+        let bad = Instance::new().with("R", rel(2, [["a", "x"], ["a", "y"]]));
+        let fd = Fd::new("R", vec![0], vec![1]);
+        assert!(fd.satisfied(&ok));
+        assert!(!fd.satisfied(&bad));
+    }
+
+    #[test]
+    fn fd_with_composite_lhs() {
+        let inst = Instance::new().with(
+            "R",
+            rel(3, [["a", "x", "1"], ["a", "y", "2"], ["a", "x", "1"]]),
+        );
+        assert!(Fd::new("R", vec![0, 1], vec![2]).satisfied(&inst));
+        let bad = Instance::new().with("R", rel(3, [["a", "x", "1"], ["a", "x", "2"]]));
+        assert!(!Fd::new("R", vec![0, 1], vec![2]).satisfied(&bad));
+    }
+
+    #[test]
+    fn armstrong_closure_and_implication() {
+        // R[A,B,C,D]: A→B, B→C.
+        let fds = vec![
+            Fd::new("R", vec![0], vec![1]),
+            Fd::new("R", vec![1], vec![2]),
+        ];
+        let closure = attribute_closure(&fds, &[0]);
+        assert_eq!(closure.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Transitivity: A→C follows.
+        assert!(fd_implies(&fds, &Fd::new("R", vec![0], vec![2])));
+        // Augmentation: AD→CD follows.
+        assert!(fd_implies(&fds, &Fd::new("R", vec![0, 3], vec![2, 3])));
+        // But A→D does not.
+        assert!(!fd_implies(&fds, &Fd::new("R", vec![0], vec![3])));
+        // Reflexivity: AB→A.
+        assert!(fd_implies(&[], &Fd::new("R", vec![0, 1], vec![0])));
+        // FDs on other relations are ignored.
+        let other = vec![Fd::new("S", vec![0], vec![3])];
+        assert!(!fd_implies(&other, &Fd::new("R", vec![0], vec![3])));
+    }
+
+    #[test]
+    fn implication_is_sound_for_satisfaction() {
+        // Any instance satisfying A→B and B→C satisfies the implied A→C.
+        let fds = vec![
+            Fd::new("R", vec![0], vec![1]),
+            Fd::new("R", vec![1], vec![2]),
+        ];
+        let implied = Fd::new("R", vec![0], vec![2]);
+        let inst = Instance::new().with(
+            "R",
+            rel(3, [["a1", "b1", "c1"], ["a2", "b1", "c1"], ["a3", "b2", "c2"]]),
+        );
+        assert!(fds.iter().all(|f| f.satisfied(&inst)));
+        assert!(fd_implies(&fds, &implied));
+        assert!(implied.satisfied(&inst));
+    }
+
+    #[test]
+    fn jd_of_example_1_1_1_view() {
+        // The image of the join view must satisfy *[SP, PJ] — here columns
+        // S=0, P=1, J=2, so *[{0,1},{1,2}].
+        let jd = Jd::new("R_SPJ", vec![vec![0, 1], vec![1, 2]]);
+        let good = Instance::new().with(
+            "R_SPJ",
+            rel(
+                3,
+                [["s1", "p1", "j1"], ["s1", "p1", "j2"], ["s2", "p3", "j1"]],
+            ),
+        );
+        assert!(jd.satisfied(&good));
+        // Instance (a) of Example 1.1.1 — (s3,p3,j3) inserted alone — is
+        // NOT in the image: *[SP,PJ] forces (s3,p3,j1) and (s2,p3,j3).
+        let bad = Instance::new().with(
+            "R_SPJ",
+            rel(
+                3,
+                [
+                    ["s1", "p1", "j1"],
+                    ["s1", "p1", "j2"],
+                    ["s2", "p3", "j1"],
+                    ["s3", "p3", "j3"],
+                ],
+            ),
+        );
+        assert!(!jd.satisfied(&bad));
+    }
+
+    #[test]
+    fn jd_reconstruction_adds_exactly_the_forced_tuples() {
+        let jd = Jd::new("R", vec![vec![0, 1], vec![1, 2]]);
+        let r = rel(3, [["s2", "p3", "j1"], ["s3", "p3", "j3"]]);
+        let recon = jd.reconstruct(&r);
+        assert_eq!(
+            recon,
+            rel(
+                3,
+                [
+                    ["s2", "p3", "j1"],
+                    ["s2", "p3", "j3"],
+                    ["s3", "p3", "j1"],
+                    ["s3", "p3", "j3"],
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn three_way_jd() {
+        // *[AB, BC, CD] on a chain: a-b-c-d decomposes losslessly when built
+        // from a single tuple.
+        let jd = Jd::new("R", vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let single = Instance::new().with("R", rel(4, [["a", "b", "c", "d"]]));
+        assert!(jd.satisfied(&single));
+        // Two tuples sharing the middle create cross products.
+        let two = Instance::new().with("R", rel(4, [["a", "b", "c", "d"], ["x", "b", "c", "y"]]));
+        assert!(!two.rel("R").is_empty());
+        assert!(!jd.satisfied(&two)); // (a,b,c,y) forced but absent
+    }
+
+    #[test]
+    fn ind_satisfaction() {
+        let inst = Instance::new()
+            .with("E", rel(2, [["e1", "d1"], ["e2", "d2"]]))
+            .with("D", rel(1, [["d1"], ["d2"], ["d3"]]));
+        assert!(Ind::new("E", vec![1], "D", vec![0]).satisfied(&inst));
+        assert!(!Ind::new("D", vec![0], "E", vec![1]).satisfied(&inst));
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 2 components")]
+    fn jd_needs_two_components() {
+        Jd::new("R", vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn jd_components_are_normalised() {
+        let jd = Jd::new("R", vec![vec![1, 0, 1], vec![1, 2]]);
+        assert_eq!(jd.components[0], vec![0, 1]);
+    }
+}

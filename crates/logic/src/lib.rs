@@ -1,0 +1,45 @@
+//! # compview-logic
+//!
+//! Constraint and type substrate for `compview`, the reproduction of
+//! Hegner's *Canonical View Update Support through Boolean Algebras of
+//! Components* (PODS 1984).
+//!
+//! The paper's framework (§2.1) is first-order: schemata carry arbitrary
+//! first-order constraints over a **type algebra** — a free Boolean algebra
+//! of unary predicates that subsumes attributes and formalises null values
+//! as one-element types.  This crate realises that framework over *finite*
+//! instances (the substitution is documented in DESIGN.md §2):
+//!
+//! * [`typealg`] — the free Boolean algebra of types in canonical minterm
+//!   form, and type assignments `μ`;
+//! * [`dep`] — functional, join, and inclusion dependencies;
+//! * [`rule`] — TGDs and EGDs with homomorphism matching;
+//! * [`mod@chase`] — naive and semi-naive chase engines, closure and
+//!   implication testing;
+//! * [`constraint`] — the unified `Con(D)` constraint type;
+//! * [`schema`] — full schemata `D = (Rel(D), Con(D))` and exhaustive
+//!   enumeration of `LDB(D, μ)` over finite pools;
+//! * [`nulls`] — null-augmented [`nulls::PathSchema`]s: the exact chain-join
+//!   decompositions of Examples 2.1.1 / 2.3.4 with a specialised closure
+//!   engine.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod chase;
+pub mod constraint;
+pub mod dep;
+pub mod nulls;
+pub mod rule;
+pub mod schema;
+pub mod tree;
+pub mod typealg;
+
+pub use chase::{chase, chase_naive, ChaseConfig, ChaseError};
+pub use constraint::Constraint;
+pub use dep::{attribute_closure, fd_implies, Fd, Ind, Jd};
+pub use nulls::PathSchema;
+pub use rule::{cst, var, Atom, Egd, Substitution, Term, Tgd};
+pub use schema::Schema;
+pub use tree::TreeSchema;
+pub use typealg::{TypeAlgebra, TypeAssignment, TypeExpr};

@@ -1,0 +1,484 @@
+//! Null-augmented *path schemas*: the decomposition framework of
+//! Examples 2.1.1 / 2.3.4 generalised to any chain join dependency.
+//!
+//! A [`PathSchema`] over attributes `A_1 … A_k` has a single relation
+//! constrained by the join dependency `*[A_1A_2, A_2A_3, …, A_{k-1}A_k]`
+//! made **exact** through null values:
+//!
+//! * every tuple's support (non-null columns) is a contiguous interval of
+//!   length ≥ 2 (the legal "objects"; Ex 3.2.4 outlaws `(a,η,d)`,
+//!   `(a,η,η)`, `(η,η,η)`);
+//! * **subsumption**: a tuple with support `[i,j]`, `j > i+1`, forces its
+//!   two maximal sub-objects with supports `[i,j-1]` and `[i+1,j]`;
+//! * **join-completion**: tuples with supports `[i,m]` and `[m,j]` agreeing
+//!   on column `m` force the combined tuple with support `[i,j]` (the
+//!   embedded and full join dependencies of Ex 2.1.1).
+//!
+//! Closure under these rules is the least-legal-instance operator used by
+//! least preimages (`γ#`) and by constant-complement translation in
+//! `compview-core`.  Two implementations are provided: the generic chase
+//! over the generated TGDs, and a specialised worklist closure that indexes
+//! objects by their endpoints; they are cross-validated in tests and raced
+//! in the `chase` benchmark.
+
+use crate::constraint::Constraint;
+use crate::rule::{Atom, Term, Tgd};
+use crate::schema::Schema;
+use compview_relation::{Instance, Relation, RelDecl, Signature, Tuple, Value};
+use std::collections::HashMap;
+
+/// A null-augmented chain-join schema (Example 2.1.1 generalised).
+///
+/// # Examples
+///
+/// ```
+/// use compview_logic::PathSchema;
+/// use compview_relation::{v, Relation};
+///
+/// let ps = PathSchema::new("R", ["A", "B", "C"]);
+/// // Two segment objects chaining through b1 …
+/// let gens = Relation::from_tuples(3, [
+///     ps.object(0, &[v("a1"), v("b1")]),
+///     ps.object(1, &[v("b1"), v("c1")]),
+/// ]);
+/// // … close under subsumption + join-completion: the full object appears.
+/// let closed = ps.close(&gens);
+/// assert!(closed.contains(&ps.object(0, &[v("a1"), v("b1"), v("c1")])));
+/// assert!(ps.is_closed(&closed));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSchema {
+    rel: String,
+    attrs: Vec<String>,
+}
+
+impl PathSchema {
+    /// Build the path schema `rel[attrs]` with the chain join dependency.
+    ///
+    /// # Panics
+    /// Panics if fewer than two attributes are given.
+    pub fn new<S, I, A>(rel: S, attrs: I) -> PathSchema
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = A>,
+        A: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        assert!(attrs.len() >= 2, "path schema needs at least two attributes");
+        PathSchema {
+            rel: rel.into(),
+            attrs,
+        }
+    }
+
+    /// The canonical four-attribute schema of Example 2.1.1:
+    /// `R[A,B,C,D]` with `*[AB,BC,CD]`.
+    pub fn example_2_1_1() -> PathSchema {
+        PathSchema::new("R", ["A", "B", "C", "D"])
+    }
+
+    /// Relation name.
+    pub fn rel_name(&self) -> &str {
+        &self.rel
+    }
+
+    /// Attribute names.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of columns `k`.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of segments (`k - 1`): the atoms of the component algebra.
+    pub fn n_segments(&self) -> usize {
+        self.attrs.len() - 1
+    }
+
+    /// `Rel(D)`.
+    pub fn signature(&self) -> Signature {
+        Signature::new([RelDecl::new(self.rel.clone(), self.attrs.clone())])
+    }
+
+    /// The full schema: shape constraint plus all subsumption and
+    /// join-completion TGDs.
+    pub fn schema(&self) -> Schema {
+        let mut constraints = vec![Constraint::ContiguousSupport {
+            rel: self.rel.clone(),
+            min_len: 2,
+        }];
+        for tgd in self.closure_tgds() {
+            constraints.push(Constraint::Tgd(tgd));
+        }
+        Schema::new(self.signature(), constraints)
+    }
+
+    /// All closure TGDs (subsumption + join-completion).
+    pub fn closure_tgds(&self) -> Vec<Tgd> {
+        let mut rules = self.subsumption_tgds();
+        rules.extend(self.composition_tgds());
+        rules
+    }
+
+    /// Subsumption rules: support `[i,j]` (length ≥ 3) forces `[i,j-1]`
+    /// and `[i+1,j]`.
+    pub fn subsumption_tgds(&self) -> Vec<Tgd> {
+        let k = self.arity();
+        let mut rules = Vec::new();
+        for i in 0..k {
+            for j in (i + 2)..k {
+                let body = vec![self.pattern_atom(i, j)];
+                let head = vec![self.pattern_atom(i, j - 1), self.pattern_atom(i + 1, j)];
+                rules.push(
+                    Tgd::new(format!("subsume[{i},{j}]"), body, head)
+                        .with_nonnull((i as u32..=j as u32).collect()),
+                );
+            }
+        }
+        rules
+    }
+
+    /// Join-completion rules: supports `[i,m]` and `[m,j]` agreeing on
+    /// column `m` force `[i,j]`.
+    pub fn composition_tgds(&self) -> Vec<Tgd> {
+        let k = self.arity();
+        let mut rules = Vec::new();
+        for i in 0..k {
+            for m in (i + 1)..k {
+                for j in (m + 1)..k {
+                    let body = vec![self.pattern_atom(i, m), self.pattern_atom(m, j)];
+                    let head = vec![self.pattern_atom(i, j)];
+                    rules.push(
+                        Tgd::new(format!("compose[{i},{m},{j}]"), body, head)
+                            .with_nonnull((i as u32..=j as u32).collect()),
+                    );
+                }
+            }
+        }
+        rules
+    }
+
+    /// Atom whose argument at column `c` is variable `c` when `i ≤ c ≤ j`
+    /// and the constant `η` otherwise.
+    fn pattern_atom(&self, i: usize, j: usize) -> Atom {
+        let args: Vec<Term> = (0..self.arity())
+            .map(|c| {
+                if c >= i && c <= j {
+                    Term::Var(c as u32)
+                } else {
+                    Term::Const(Value::Null)
+                }
+            })
+            .collect();
+        Atom::new(self.rel.clone(), args)
+    }
+
+    /// The support interval `[i,j]` of a tuple, or `None` if the tuple is
+    /// not a legal object (non-contiguous or too short).
+    pub fn interval(&self, t: &Tuple) -> Option<(usize, usize)> {
+        let sup = t.support();
+        if sup.len() < 2 || !sup.windows(2).all(|w| w[1] == w[0] + 1) {
+            return None;
+        }
+        Some((sup[0], *sup.last().expect("nonempty")))
+    }
+
+    /// Build the object tuple with values `vals` occupying columns
+    /// `start .. start + vals.len()` and `η` elsewhere.
+    ///
+    /// # Panics
+    /// Panics if the values overflow the arity or fewer than two are given.
+    pub fn object(&self, start: usize, vals: &[Value]) -> Tuple {
+        assert!(vals.len() >= 2, "objects span at least two columns");
+        assert!(
+            start + vals.len() <= self.arity(),
+            "object overflows path schema arity"
+        );
+        Tuple::new((0..self.arity()).map(|c| {
+            if c >= start && c < start + vals.len() {
+                vals[c - start]
+            } else {
+                Value::Null
+            }
+        }))
+    }
+
+    /// Specialised closure: the least relation containing `r` closed under
+    /// subsumption and join-completion.
+    ///
+    /// Worklist algorithm with endpoint indexes: an object ending at column
+    /// `m` with value `v` composes exactly with objects starting at `(m, v)`.
+    ///
+    /// # Panics
+    /// Panics if `r` contains an illegal (non-contiguous / too-short) tuple.
+    pub fn close(&self, r: &Relation) -> Relation {
+        let mut out = Relation::empty(self.arity());
+        // Index objects by (endpoint column, value at that column).
+        let mut starters: HashMap<(usize, Value), Vec<Tuple>> = HashMap::new();
+        let mut enders: HashMap<(usize, Value), Vec<Tuple>> = HashMap::new();
+        let mut work: Vec<Tuple> = Vec::new();
+
+        let push = |t: Tuple,
+                        out: &mut Relation,
+                        work: &mut Vec<Tuple>| {
+            if out.insert(t.clone()) {
+                work.push(t);
+            }
+        };
+
+        for t in r.iter() {
+            assert!(
+                self.interval(t).is_some(),
+                "illegal object {t} in path-schema relation"
+            );
+            push(t.clone(), &mut out, &mut work);
+        }
+
+        while let Some(t) = work.pop() {
+            let (i, j) = self.interval(&t).expect("already validated");
+            // Subsumption.
+            if j - i >= 2 {
+                push(self.shrink(&t, i, j - 1), &mut out, &mut work);
+                push(self.shrink(&t, i + 1, j), &mut out, &mut work);
+            }
+            // Composition with previously indexed objects.
+            if let Some(rights) = starters.get(&(j, t[j])) {
+                let combos: Vec<Tuple> = rights
+                    .iter()
+                    .map(|u| self.combine(&t, u))
+                    .collect();
+                for c in combos {
+                    push(c, &mut out, &mut work);
+                }
+            }
+            if let Some(lefts) = enders.get(&(i, t[i])) {
+                let combos: Vec<Tuple> = lefts.iter().map(|u| self.combine(u, &t)).collect();
+                for c in combos {
+                    push(c, &mut out, &mut work);
+                }
+            }
+            starters.entry((i, t[i])).or_default().push(t.clone());
+            enders.entry((j, t[j])).or_default().push(t);
+        }
+        out
+    }
+
+    /// Restrict object `t` (support `⊇ [i,j]`) to support `[i,j]`.
+    fn shrink(&self, t: &Tuple, i: usize, j: usize) -> Tuple {
+        Tuple::new((0..self.arity()).map(|c| {
+            if c >= i && c <= j {
+                t[c]
+            } else {
+                Value::Null
+            }
+        }))
+    }
+
+    /// Combine left object (support `[i,m]`) with right object (support
+    /// `[m,j]`, agreeing at `m`) into the object with support `[i,j]`.
+    fn combine(&self, left: &Tuple, right: &Tuple) -> Tuple {
+        Tuple::new(
+            (0..self.arity()).map(|c| if left[c].is_null() { right[c] } else { left[c] }),
+        )
+    }
+
+    /// Whether `r` is already closed.
+    pub fn is_closed(&self, r: &Relation) -> bool {
+        self.close(r) == *r
+    }
+
+    /// Whether `inst` is a legal database of this schema (shape + closure).
+    pub fn is_legal(&self, inst: &Instance) -> bool {
+        let r = inst.rel(&self.rel);
+        r.iter().all(|t| self.interval(t).is_some()) && self.is_closed(r)
+    }
+
+    /// Wrap a closed relation into an instance.
+    pub fn instance(&self, r: Relation) -> Instance {
+        Instance::null_model(&self.signature()).with(self.rel.clone(), r)
+    }
+
+    /// The 11-tuple instance printed in Example 2.1.1, as generator objects
+    /// before closure.  Closing them regenerates the paper's table exactly
+    /// (asserted in tests and in experiment E8).
+    pub fn example_2_1_1_generators() -> Relation {
+        use compview_relation::v;
+        let ps = PathSchema::example_2_1_1();
+        Relation::from_tuples(
+            4,
+            [
+                ps.object(0, &[v("a1"), v("b1"), v("c1"), v("d1")]),
+                ps.object(0, &[v("a2"), v("b2")]),
+                ps.object(0, &[v("a2"), v("b3"), v("c3")]),
+                ps.object(2, &[v("c4"), v("d4")]),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase, ChaseConfig};
+    use compview_relation::v;
+
+    fn ps() -> PathSchema {
+        PathSchema::example_2_1_1()
+    }
+
+    #[test]
+    fn rule_counts() {
+        let p = ps();
+        // Subsumption: intervals of length ≥3 over 4 cols: [0,2],[1,3],[0,3] → 3.
+        assert_eq!(p.subsumption_tgds().len(), 3);
+        // Composition: (i,m,j) with 0≤i<m<j≤3 → C(4,3) = 4.
+        assert_eq!(p.composition_tgds().len(), 4);
+    }
+
+    #[test]
+    fn closure_regenerates_example_2_1_1_table() {
+        let p = ps();
+        let closed = p.close(&PathSchema::example_2_1_1_generators());
+        // The paper's table has exactly 11 tuples.
+        assert_eq!(closed.len(), 11);
+        let expect = |start: usize, vals: &[&str]| {
+            let vals: Vec<Value> = vals.iter().map(|s| v(s)).collect();
+            p.object(start, &vals)
+        };
+        for t in [
+            expect(0, &["a1", "b1", "c1", "d1"]),
+            expect(0, &["a1", "b1", "c1"]),
+            expect(0, &["a1", "b1"]),
+            expect(1, &["b1", "c1", "d1"]),
+            expect(2, &["c1", "d1"]),
+            expect(1, &["b1", "c1"]),
+            expect(0, &["a2", "b2"]),
+            expect(0, &["a2", "b3", "c3"]),
+            expect(0, &["a2", "b3"]),
+            expect(1, &["b3", "c3"]),
+            expect(2, &["c4", "d4"]),
+        ] {
+            assert!(closed.contains(&t), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn closure_matches_chase() {
+        let p = ps();
+        let gens = PathSchema::example_2_1_1_generators();
+        let fast = p.close(&gens);
+        let inst = p.instance(gens);
+        let chased = chase(&inst, &p.closure_tgds(), &[], &ChaseConfig::default()).unwrap();
+        assert_eq!(chased.rel("R"), &fast);
+    }
+
+    #[test]
+    fn join_completion_fires_across_separate_objects() {
+        // (a,b,η,η) + (η,b,c,η) + (η,η,c,d) → (a,b,c,d) (the JD of Ex 2.1.1).
+        let p = ps();
+        let gens = Relation::from_tuples(
+            4,
+            [
+                p.object(0, &[v("a"), v("b")]),
+                p.object(1, &[v("b"), v("c")]),
+                p.object(2, &[v("c"), v("d")]),
+            ],
+        );
+        let closed = p.close(&gens);
+        assert!(closed.contains(&p.object(0, &[v("a"), v("b"), v("c"), v("d")])));
+        assert!(closed.contains(&p.object(0, &[v("a"), v("b"), v("c")])));
+        assert!(closed.contains(&p.object(1, &[v("b"), v("c"), v("d")])));
+        assert_eq!(closed.len(), 6);
+    }
+
+    #[test]
+    fn no_completion_without_shared_value() {
+        let p = ps();
+        let gens = Relation::from_tuples(
+            4,
+            [p.object(0, &[v("a"), v("b1")]), p.object(1, &[v("b2"), v("c")])],
+        );
+        let closed = p.close(&gens);
+        assert_eq!(closed.len(), 2);
+    }
+
+    #[test]
+    fn closure_is_idempotent_and_monotone() {
+        let p = ps();
+        let gens = PathSchema::example_2_1_1_generators();
+        let once = p.close(&gens);
+        assert_eq!(p.close(&once), once);
+        assert!(p.is_closed(&once));
+        // Monotonicity: closing a superset yields a superset.
+        let mut more = gens.clone();
+        more.insert(p.object(0, &[v("a9"), v("b9")]));
+        let closed_more = p.close(&more);
+        assert!(once.is_subset(&closed_more));
+    }
+
+    #[test]
+    fn schema_object_legality() {
+        let p = ps();
+        let schema = p.schema();
+        assert!(schema.has_null_model_property());
+        let legal = p.instance(p.close(&PathSchema::example_2_1_1_generators()));
+        assert!(schema.is_legal(&legal));
+        assert!(p.is_legal(&legal));
+        // Unclosed instance is illegal.
+        let unclosed = p.instance(Relation::from_tuples(
+            4,
+            [p.object(0, &[v("a"), v("b"), v("c")])],
+        ));
+        assert!(!schema.is_legal(&unclosed));
+        assert!(!p.is_legal(&unclosed));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal object")]
+    fn close_rejects_gap_tuples() {
+        let p = ps();
+        let bad = Relation::from_tuples(
+            4,
+            [Tuple::new([v("a"), Value::Null, v("c"), Value::Null])],
+        );
+        p.close(&bad);
+    }
+
+    #[test]
+    fn longer_paths() {
+        let p = PathSchema::new("R", ["A", "B", "C", "D", "E"]);
+        assert_eq!(p.n_segments(), 4);
+        let gens = Relation::from_tuples(
+            5,
+            [
+                p.object(0, &[v("1"), v("2")]),
+                p.object(1, &[v("2"), v("3")]),
+                p.object(2, &[v("3"), v("4")]),
+                p.object(3, &[v("4"), v("5")]),
+            ],
+        );
+        let closed = p.close(&gens);
+        // All intervals [i,j] over 5 columns: C(5,2) = 10 objects.
+        assert_eq!(closed.len(), 10);
+        assert!(closed.contains(&p.object(0, &[v("1"), v("2"), v("3"), v("4"), v("5")])));
+        // Cross-check against the chase.
+        let chased = chase(
+            &p.instance(gens),
+            &p.closure_tgds(),
+            &[],
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(chased.rel("R"), &closed);
+    }
+
+    #[test]
+    fn object_constructor_pads_with_nulls() {
+        let p = ps();
+        let t = p.object(1, &[v("b"), v("c")]);
+        assert_eq!(t, Tuple::new([Value::Null, v("b"), v("c"), Value::Null]));
+        assert_eq!(p.interval(&t), Some((1, 2)));
+    }
+}

@@ -1,0 +1,476 @@
+//! First-order rules: tuple-generating and equality-generating dependencies.
+//!
+//! The paper expresses every schema constraint as a first-order sentence
+//! (§2.1).  The fragment sufficient for everything the paper does — the
+//! classical dependencies of [`crate::dep`], the subsumed-tuple rules and the
+//! (embedded) join dependencies of Example 2.1.1 — is the class of *embedded
+//! implicational dependencies*: TGDs (`∀x̄ (body → ∃ȳ head)`) and EGDs
+//! (`∀x̄ (body → x = y)`).  This module defines the rule syntax and
+//! homomorphism (body-match) machinery; [`mod@crate::chase`] closes instances
+//! under rules.
+
+use compview_relation::{Instance, Tuple, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A term: a universally quantified variable or a constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Variable with numeric id (scope: one rule).
+    Var(u32),
+    /// Constant value (e.g. the null `η` in the rules of Example 2.1.1).
+    Const(Value),
+}
+
+impl Term {
+    /// Variable ids mentioned by the term.
+    fn var(&self) -> Option<u32> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Term {
+        Term::Const(v)
+    }
+}
+
+/// A relational atom `R(t_1, …, t_k)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name.
+    pub rel: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new<S: Into<String>>(rel: S, args: Vec<Term>) -> Atom {
+        Atom {
+            rel: rel.into(),
+            args,
+        }
+    }
+
+    /// Variables occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = u32> + '_ {
+        self.args.iter().filter_map(Term::var)
+    }
+
+    /// Instantiate under a (total, for this atom) substitution.
+    ///
+    /// # Panics
+    /// Panics if a variable is unbound.
+    pub fn instantiate(&self, sub: &Substitution) -> Tuple {
+        Tuple::new(self.args.iter().map(|t| match t {
+            Term::Const(v) => *v,
+            Term::Var(x) => *sub
+                .0
+                .get(x)
+                .unwrap_or_else(|| panic!("unbound variable ?{x} in head instantiation")),
+        }))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match a {
+                Term::Var(v) => write!(f, "?{v}")?,
+                Term::Const(c) => write!(f, "{c}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A variable binding produced by matching rule bodies against an instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Substitution(pub HashMap<u32, Value>);
+
+impl Substitution {
+    /// The binding of variable `x`, if any.
+    pub fn get(&self, x: u32) -> Option<Value> {
+        self.0.get(&x).copied()
+    }
+}
+
+/// Enumerate all homomorphisms from `atoms` (a conjunction) into `inst`
+/// extending `partial`, invoking `found` on each.  If `found` returns
+/// `false`, enumeration stops early (used for existence checks).
+///
+/// Straightforward backtracking join; atom order is taken as given (callers
+/// ordering selective atoms first get better performance, but correctness
+/// never depends on order).
+pub fn for_each_match<F>(atoms: &[Atom], inst: &Instance, partial: &Substitution, found: &mut F) -> bool
+where
+    F: FnMut(&Substitution) -> bool,
+{
+    fn rec<F>(atoms: &[Atom], inst: &Instance, sub: &mut Substitution, found: &mut F) -> bool
+    where
+        F: FnMut(&Substitution) -> bool,
+    {
+        let Some((atom, rest)) = atoms.split_first() else {
+            return found(sub);
+        };
+        let rel = inst.rel(&atom.rel);
+        'tuples: for t in rel.iter() {
+            debug_assert_eq!(t.arity(), atom.args.len(), "atom arity mismatch");
+            let mut bound_here: Vec<u32> = Vec::new();
+            for (i, term) in atom.args.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if t[i] != *c {
+                            for b in bound_here.drain(..) {
+                                sub.0.remove(&b);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(x) => match sub.0.get(x) {
+                        Some(&v) if v != t[i] => {
+                            for b in bound_here.drain(..) {
+                                sub.0.remove(&b);
+                            }
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => {
+                            sub.0.insert(*x, t[i]);
+                            bound_here.push(*x);
+                        }
+                    },
+                }
+            }
+            let keep_going = rec(rest, inst, sub, found);
+            for b in bound_here {
+                sub.0.remove(&b);
+            }
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+    let mut sub = partial.clone();
+    rec(atoms, inst, &mut sub, found)
+}
+
+/// Whether `atoms` has at least one homomorphism into `inst` extending
+/// `partial`.
+pub fn has_match(atoms: &[Atom], inst: &Instance, partial: &Substitution) -> bool {
+    let mut any = false;
+    for_each_match(atoms, inst, partial, &mut |_| {
+        any = true;
+        false // stop at first
+    });
+    any
+}
+
+/// A tuple-generating dependency `∀x̄ (body ∧ guards → ∃ȳ head)`.
+///
+/// Head variables not occurring in the body are existential; the chase
+/// instantiates them with fresh constants (labelled nulls).  All rules
+/// generated from the paper are existential-free.
+///
+/// `nonnull` lists variables additionally required to be non-null — the
+/// type-algebra guards (`τ_A(x)`, i.e. `¬τ_η(x)`) that the rules of
+/// Example 2.1.1 carry: the subsumption rule for `(a,b,c,η)` ranges over
+/// *values* `a,b,c`, never over `η` itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tgd {
+    /// Diagnostic name.
+    pub name: String,
+    /// Body conjunction.
+    pub body: Vec<Atom>,
+    /// Head conjunction.
+    pub head: Vec<Atom>,
+    /// Variables that must bind non-null values.
+    pub nonnull: Vec<u32>,
+}
+
+impl Tgd {
+    /// Build a guard-free TGD.
+    ///
+    /// # Panics
+    /// Panics on an empty body (the chase needs a trigger).
+    pub fn new<S: Into<String>>(name: S, body: Vec<Atom>, head: Vec<Atom>) -> Tgd {
+        assert!(!body.is_empty(), "TGD body must be nonempty");
+        Tgd {
+            name: name.into(),
+            body,
+            head,
+            nonnull: Vec::new(),
+        }
+    }
+
+    /// Require the listed variables to bind non-null values.
+    pub fn with_nonnull(mut self, vars: Vec<u32>) -> Tgd {
+        self.nonnull = vars;
+        self
+    }
+
+    /// Whether a substitution passes the non-null guards.
+    pub fn guard_ok(&self, sub: &Substitution) -> bool {
+        self.nonnull
+            .iter()
+            .all(|&x| sub.get(x).is_none_or(|v| !v.is_null()))
+    }
+
+    /// Existential (head-only) variables.
+    pub fn existential_vars(&self) -> Vec<u32> {
+        let body_vars: std::collections::HashSet<u32> =
+            self.body.iter().flat_map(Atom::vars).collect();
+        let mut ex: Vec<u32> = self
+            .head
+            .iter()
+            .flat_map(Atom::vars)
+            .filter(|v| !body_vars.contains(v))
+            .collect();
+        ex.sort_unstable();
+        ex.dedup();
+        ex
+    }
+
+    /// Whether `inst` satisfies the TGD: every body match extends to a head
+    /// match.
+    pub fn satisfied(&self, inst: &Instance) -> bool {
+        let mut ok = true;
+        for_each_match(&self.body, inst, &Substitution::default(), &mut |sub| {
+            if self.guard_ok(sub) && !has_match(&self.head, inst, sub) {
+                ok = false;
+                return false;
+            }
+            true
+        });
+        ok
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |atoms: &[Atom]| {
+            atoms
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ∧ ")
+        };
+        write!(f, "[{}] {} → {}", self.name, join(&self.body), join(&self.head))
+    }
+}
+
+/// An equality-generating dependency `∀x̄ (body → x = y)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Egd {
+    /// Diagnostic name.
+    pub name: String,
+    /// Body conjunction.
+    pub body: Vec<Atom>,
+    /// The pair of variables equated by the head.
+    pub eq: (u32, u32),
+}
+
+impl Egd {
+    /// Build an EGD.
+    pub fn new<S: Into<String>>(name: S, body: Vec<Atom>, eq: (u32, u32)) -> Egd {
+        assert!(!body.is_empty(), "EGD body must be nonempty");
+        Egd {
+            name: name.into(),
+            body,
+            eq,
+        }
+    }
+
+    /// Whether `inst` satisfies the EGD.
+    pub fn satisfied(&self, inst: &Instance) -> bool {
+        let mut ok = true;
+        for_each_match(&self.body, inst, &Substitution::default(), &mut |sub| {
+            let (x, y) = self.eq;
+            if sub.get(x) != sub.get(y) {
+                ok = false;
+                return false;
+            }
+            true
+        });
+        ok
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let body = self
+            .body
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ∧ ");
+        write!(f, "[{}] {} → ?{} = ?{}", self.name, body, self.eq.0, self.eq.1)
+    }
+}
+
+/// Convenience: variable term.
+pub fn var(x: u32) -> Term {
+    Term::Var(x)
+}
+
+/// Convenience: constant term.
+pub fn cst<V: Into<Value>>(v: V) -> Term {
+    Term::Const(v.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compview_relation::{rel, v, Instance};
+
+    fn edge_inst() -> Instance {
+        Instance::new().with("E", rel(2, [["a", "b"], ["b", "c"], ["c", "a"]]))
+    }
+
+    #[test]
+    fn matching_enumerates_all_homomorphisms() {
+        let atoms = vec![Atom::new("E", vec![var(0), var(1)])];
+        let mut n = 0;
+        for_each_match(&atoms, &edge_inst(), &Substitution::default(), &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn matching_joins_on_shared_variables() {
+        // Paths of length 2: E(x,y) ∧ E(y,z).
+        let atoms = vec![
+            Atom::new("E", vec![var(0), var(1)]),
+            Atom::new("E", vec![var(1), var(2)]),
+        ];
+        let mut paths = Vec::new();
+        for_each_match(&atoms, &edge_inst(), &Substitution::default(), &mut |s| {
+            paths.push((s.get(0).unwrap(), s.get(1).unwrap(), s.get(2).unwrap()));
+            true
+        });
+        assert_eq!(paths.len(), 3); // a-b-c, b-c-a, c-a-b
+        assert!(paths.contains(&(v("a"), v("b"), v("c"))));
+    }
+
+    #[test]
+    fn constants_filter_matches() {
+        let atoms = vec![Atom::new("E", vec![cst("a"), var(0)])];
+        let mut n = 0;
+        for_each_match(&atoms, &edge_inst(), &Substitution::default(), &mut |s| {
+            assert_eq!(s.get(0), Some(v("b")));
+            n += 1;
+            true
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn repeated_variables_force_equal_columns() {
+        let inst = Instance::new().with("E", rel(2, [["a", "a"], ["a", "b"]]));
+        let atoms = vec![Atom::new("E", vec![var(0), var(0)])];
+        let mut n = 0;
+        for_each_match(&atoms, &inst, &Substitution::default(), &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn tgd_satisfaction_transitivity() {
+        // E(x,y) ∧ E(y,z) → E(x,z): the 3-cycle is not transitively closed.
+        let tgd = Tgd::new(
+            "trans",
+            vec![
+                Atom::new("E", vec![var(0), var(1)]),
+                Atom::new("E", vec![var(1), var(2)]),
+            ],
+            vec![Atom::new("E", vec![var(0), var(2)])],
+        );
+        assert!(!tgd.satisfied(&edge_inst()));
+        let complete = Instance::new().with(
+            "E",
+            rel(
+                2,
+                [
+                    ["a", "a"], ["a", "b"], ["a", "c"],
+                    ["b", "a"], ["b", "b"], ["b", "c"],
+                    ["c", "a"], ["c", "b"], ["c", "c"],
+                ],
+            ),
+        );
+        assert!(tgd.satisfied(&complete));
+    }
+
+    #[test]
+    fn existential_vars_detected() {
+        let tgd = Tgd::new(
+            "exists",
+            vec![Atom::new("P", vec![var(0)])],
+            vec![Atom::new("E", vec![var(0), var(7)])],
+        );
+        assert_eq!(tgd.existential_vars(), vec![7]);
+    }
+
+    #[test]
+    fn existential_tgd_satisfaction() {
+        // P(x) → ∃y E(x,y).
+        let tgd = Tgd::new(
+            "total",
+            vec![Atom::new("P", vec![var(0)])],
+            vec![Atom::new("E", vec![var(0), var(1)])],
+        );
+        let good = Instance::new()
+            .with("P", rel(1, [["a"]]))
+            .with("E", rel(2, [["a", "b"]]));
+        let bad = Instance::new()
+            .with("P", rel(1, [["z"]]))
+            .with("E", rel(2, [["a", "b"]]));
+        assert!(tgd.satisfied(&good));
+        assert!(!tgd.satisfied(&bad));
+    }
+
+    #[test]
+    fn egd_is_fd() {
+        // E(x,y) ∧ E(x,z) → y = z  (the FD 0→1).
+        let egd = Egd::new(
+            "fd",
+            vec![
+                Atom::new("E", vec![var(0), var(1)]),
+                Atom::new("E", vec![var(0), var(2)]),
+            ],
+            (1, 2),
+        );
+        let ok = Instance::new().with("E", rel(2, [["a", "x"], ["b", "y"]]));
+        let bad = Instance::new().with("E", rel(2, [["a", "x"], ["a", "y"]]));
+        assert!(egd.satisfied(&ok));
+        assert!(!egd.satisfied(&bad));
+    }
+
+    #[test]
+    fn null_constants_in_rules() {
+        // The subsumption rules of Example 2.1.1 mention η as a constant.
+        let inst = Instance::new().with(
+            "R",
+            compview_relation::Relation::from_tuples(
+                2,
+                [Tuple::new([v("a"), Value::Null])],
+            ),
+        );
+        let atoms = vec![Atom::new("R", vec![var(0), cst(Value::Null)])];
+        assert!(has_match(&atoms, &inst, &Substitution::default()));
+        let atoms2 = vec![Atom::new("R", vec![var(0), cst(v("b"))])];
+        assert!(!has_match(&atoms2, &inst, &Substitution::default()));
+    }
+}

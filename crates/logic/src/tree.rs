@@ -1,0 +1,567 @@
+//! Null-augmented **tree schemas**: the acyclic generalisation of the
+//! chain decomposition of Example 2.1.1.
+//!
+//! The paper's decomposition framework (\[Hegn84\], summarised in §2) is not
+//! limited to chains: any *acyclic* join dependency whose components are
+//! binary — a **join tree** over the attributes — admits the same
+//! null-value exactification.  A [`TreeSchema`] has one relation whose
+//! attributes are the nodes of a tree; legal tuples ("objects") have
+//! connected-subtree support of at least two nodes, and instances are
+//! closed under
+//!
+//! * **subsumption**: dropping any leaf of an object's support yields a
+//!   present sub-object;
+//! * **composition**: two objects whose supports share exactly one node,
+//!   with equal value there, force their union object.
+//!
+//! A [`crate::nulls::PathSchema`] is exactly a [`TreeSchema`] over a path
+//! graph; the two engines are cross-validated in tests.  The component
+//! algebra over edge subsets is built in `compview-core::treeview`.
+
+use crate::constraint::Constraint;
+use crate::rule::{Atom, Term, Tgd};
+use crate::schema::Schema;
+use compview_relation::{Instance, Relation, RelDecl, Signature, Tuple, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// A null-augmented schema over a tree of attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeSchema {
+    rel: String,
+    attrs: Vec<String>,
+    /// Tree edges as `(lo, hi)` node-index pairs, `lo < hi`.
+    edges: Vec<(usize, usize)>,
+    /// Adjacency: `adj[v]` = list of `(neighbour, edge index)`.
+    adj: Vec<Vec<(usize, usize)>>,
+}
+
+impl TreeSchema {
+    /// Build a tree schema.
+    ///
+    /// # Panics
+    /// Panics unless `edges` forms a tree over all attributes (connected,
+    /// `|attrs| - 1` edges) with at least two attributes.
+    pub fn new<S, I, A>(rel: S, attrs: I, edges: Vec<(usize, usize)>) -> TreeSchema
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = A>,
+        A: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        let k = attrs.len();
+        assert!(k >= 2, "tree schema needs at least two attributes");
+        assert_eq!(edges.len(), k - 1, "a tree on {k} nodes has {} edges", k - 1);
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| {
+                assert!(a != b && a < k && b < k, "bad edge ({a},{b})");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            adj[a].push((b, i));
+            adj[b].push((a, i));
+        }
+        // Connectivity check (with k-1 edges, connected ⇒ tree).
+        let mut seen = vec![false; k];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &(w, _) in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "edges do not connect all attributes");
+        TreeSchema {
+            rel: rel.into(),
+            attrs,
+            edges,
+            adj,
+        }
+    }
+
+    /// The path graph `A_0 — A_1 — … — A_{k-1}`: the chain special case.
+    pub fn path<S, I, A>(rel: S, attrs: I) -> TreeSchema
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = A>,
+        A: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        let edges = (0..attrs.len() - 1).map(|i| (i, i + 1)).collect();
+        TreeSchema::new(rel, attrs, edges)
+    }
+
+    /// A star: centre attribute first, then the leaves.
+    pub fn star<S, I, A>(rel: S, attrs: I) -> TreeSchema
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = A>,
+        A: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        let edges = (1..attrs.len()).map(|i| (0, i)).collect();
+        TreeSchema::new(rel, attrs, edges)
+    }
+
+    /// Relation name.
+    pub fn rel_name(&self) -> &str {
+        &self.rel
+    }
+
+    /// Attribute names (tree nodes).
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The tree edges (the atoms of the component algebra).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `Rel(D)`.
+    pub fn signature(&self) -> Signature {
+        Signature::new([RelDecl::new(self.rel.clone(), self.attrs.clone())])
+    }
+
+    /// The support of a tuple as a node set, if it is a legal object
+    /// (connected subtree, ≥ 2 nodes).
+    pub fn subtree(&self, t: &Tuple) -> Option<BTreeSet<usize>> {
+        let sup: BTreeSet<usize> = t.support().into_iter().collect();
+        if sup.len() < 2 || !self.is_connected(&sup) {
+            return None;
+        }
+        Some(sup)
+    }
+
+    /// Whether a node set induces a connected subgraph of the tree.
+    fn is_connected(&self, nodes: &BTreeSet<usize>) -> bool {
+        let Some(&start) = nodes.iter().next() else {
+            return false;
+        };
+        let mut seen = BTreeSet::new();
+        seen.insert(start);
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for &(w, _) in &self.adj[v] {
+                if nodes.contains(&w) && seen.insert(w) {
+                    stack.push(w);
+                }
+            }
+        }
+        seen.len() == nodes.len()
+    }
+
+    /// The edge indices internal to a connected node set.
+    pub fn edges_within(&self, nodes: &BTreeSet<usize>) -> Vec<usize> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(a, b))| nodes.contains(&a) && nodes.contains(&b))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Build the object with the given `(node, value)` bindings, nulls
+    /// elsewhere.
+    ///
+    /// # Panics
+    /// Panics if the bound nodes are not a legal object support.
+    pub fn object(&self, bindings: &[(usize, Value)]) -> Tuple {
+        let map: HashMap<usize, Value> = bindings.iter().copied().collect();
+        let t = Tuple::new(
+            (0..self.arity()).map(|c| map.get(&c).copied().unwrap_or(Value::Null)),
+        );
+        assert!(
+            self.subtree(&t).is_some(),
+            "bindings do not form a connected ≥2-node object"
+        );
+        t
+    }
+
+    /// Leaves of a connected node set (nodes with exactly one neighbour
+    /// inside the set).
+    fn leaves(&self, nodes: &BTreeSet<usize>) -> Vec<usize> {
+        nodes
+            .iter()
+            .copied()
+            .filter(|&v| {
+                self.adj[v]
+                    .iter()
+                    .filter(|&&(w, _)| nodes.contains(&w))
+                    .count()
+                    == 1
+            })
+            .collect()
+    }
+
+    /// Closure under subsumption and composition (least legal instance
+    /// containing `r`).
+    ///
+    /// # Panics
+    /// Panics if `r` contains an illegal object.
+    pub fn close(&self, r: &Relation) -> Relation {
+        let mut out = Relation::empty(self.arity());
+        // Index objects by (support node, value there).
+        let mut by_node: HashMap<(usize, Value), Vec<Tuple>> = HashMap::new();
+        let mut work: Vec<Tuple> = Vec::new();
+        let push = |t: Tuple, out: &mut Relation, work: &mut Vec<Tuple>| {
+            if out.insert(t.clone()) {
+                work.push(t);
+            }
+        };
+        for t in r.iter() {
+            assert!(
+                self.subtree(t).is_some(),
+                "illegal object {t} in tree-schema relation"
+            );
+            push(t.clone(), &mut out, &mut work);
+        }
+        while let Some(t) = work.pop() {
+            let sup = self.subtree(&t).expect("validated");
+            // Subsumption: drop each leaf (when ≥ 3 nodes).
+            if sup.len() >= 3 {
+                for leaf in self.leaves(&sup) {
+                    push(t.with(leaf, Value::Null), &mut out, &mut work);
+                }
+            }
+            // Composition: pair with indexed objects sharing exactly one
+            // node, equal value there.
+            let mut combos: Vec<Tuple> = Vec::new();
+            for &v in &sup {
+                if let Some(cands) = by_node.get(&(v, t[v])) {
+                    for u in cands {
+                        let usup = self.subtree(u).expect("indexed objects are legal");
+                        if sup.intersection(&usup).count() == 1 {
+                            combos.push(self.combine(&t, u));
+                        }
+                    }
+                }
+            }
+            for cmb in combos {
+                push(cmb, &mut out, &mut work);
+            }
+            for &v in &sup {
+                by_node.entry((v, t[v])).or_default().push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Union of two objects overlapping at one agreeing node.
+    fn combine(&self, a: &Tuple, b: &Tuple) -> Tuple {
+        Tuple::new((0..self.arity()).map(|c| if a[c].is_null() { b[c] } else { a[c] }))
+    }
+
+    /// Whether `r` is closed.
+    pub fn is_closed(&self, r: &Relation) -> bool {
+        self.close(r) == *r
+    }
+
+    /// Wrap a relation as an instance of this schema.
+    pub fn instance(&self, r: Relation) -> Instance {
+        Instance::null_model(&self.signature()).with(self.rel.clone(), r)
+    }
+
+    /// Whether `inst` is a legal database (object shapes + closure).
+    pub fn is_legal(&self, inst: &Instance) -> bool {
+        let r = inst.rel(&self.rel);
+        r.iter().all(|t| self.subtree(t).is_some()) && self.is_closed(r)
+    }
+
+    /// The closure rules as generic TGDs (for chase cross-validation):
+    /// one subsumption rule per (connected support, leaf) pair and one
+    /// composition rule per single-node-overlapping support pair.
+    ///
+    /// Exponential in the attribute count; intended for small schemas.
+    pub fn closure_tgds(&self) -> Vec<Tgd> {
+        let supports = self.connected_supports();
+        let mut rules = Vec::new();
+        // Subsumption.
+        for sup in &supports {
+            if sup.len() < 3 {
+                continue;
+            }
+            for leaf in self.leaves(sup) {
+                let mut smaller = sup.clone();
+                smaller.remove(&leaf);
+                rules.push(
+                    Tgd::new(
+                        format!("subsume{sup:?}-{leaf}"),
+                        vec![self.pattern_atom(sup)],
+                        vec![self.pattern_atom(&smaller)],
+                    )
+                    .with_nonnull(sup.iter().map(|&v| v as u32).collect()),
+                );
+            }
+        }
+        // Composition.
+        for a in &supports {
+            for b in &supports {
+                let overlap: Vec<usize> = a.intersection(b).copied().collect();
+                if overlap.len() != 1 || a.is_subset(b) || b.is_subset(a) {
+                    continue;
+                }
+                let union: BTreeSet<usize> = a.union(b).copied().collect();
+                rules.push(
+                    Tgd::new(
+                        format!("compose{a:?}+{b:?}"),
+                        vec![self.pattern_atom(a), self.pattern_atom(b)],
+                        vec![self.pattern_atom(&union)],
+                    )
+                    .with_nonnull(union.iter().map(|&v| v as u32).collect()),
+                );
+            }
+        }
+        rules
+    }
+
+    /// All connected node sets of size ≥ 2 (legal supports).
+    pub fn connected_supports(&self) -> Vec<BTreeSet<usize>> {
+        let k = self.arity();
+        assert!(k <= 16, "support enumeration limited to small trees");
+        (0usize..(1 << k))
+            .filter_map(|mask| {
+                let nodes: BTreeSet<usize> = (0..k).filter(|&v| (mask >> v) & 1 == 1).collect();
+                (nodes.len() >= 2 && self.is_connected(&nodes)).then_some(nodes)
+            })
+            .collect()
+    }
+
+    fn pattern_atom(&self, nodes: &BTreeSet<usize>) -> Atom {
+        let args: Vec<Term> = (0..self.arity())
+            .map(|c| {
+                if nodes.contains(&c) {
+                    Term::Var(c as u32)
+                } else {
+                    Term::Const(Value::Null)
+                }
+            })
+            .collect();
+        Atom::new(self.rel.clone(), args)
+    }
+
+    /// The full schema: shape constraint plus closure TGDs.
+    ///
+    /// The shape ("support is a connected subtree of ≥ 2 nodes") is not a
+    /// `ContiguousSupport` unless the tree is a path, so it is emitted as
+    /// the conjunction of per-shape denials only when the tree is a path;
+    /// otherwise legality is checked through [`TreeSchema::is_legal`].
+    pub fn schema(&self) -> Schema {
+        let mut constraints = Vec::new();
+        if self
+            .edges
+            .iter()
+            .enumerate()
+            .all(|(i, &(a, b))| a == i && b == i + 1)
+        {
+            constraints.push(Constraint::ContiguousSupport {
+                rel: self.rel.clone(),
+                min_len: 2,
+            });
+        }
+        for tgd in self.closure_tgds() {
+            constraints.push(Constraint::Tgd(tgd));
+        }
+        Schema::new(self.signature(), constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase, ChaseConfig};
+    use crate::nulls::PathSchema;
+    use compview_relation::v;
+
+    /// A small "registrar" tree:
+    ///       Budget(3)
+    ///          |
+    /// Student(0) — Course(1) — Dept(2)
+    /// …as a path, and a genuine star for contrast.
+    fn star4() -> TreeSchema {
+        TreeSchema::star("R", ["Hub", "X", "Y", "Z"])
+    }
+
+    #[test]
+    fn construction_validates_tree() {
+        let t = star4();
+        assert_eq!(t.n_edges(), 3);
+        assert_eq!(t.edges(), &[(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "connect")]
+    fn disconnected_edges_rejected() {
+        TreeSchema::new("R", ["A", "B", "C", "D"], vec![(0, 1), (2, 3), (0, 1)]);
+    }
+
+    #[test]
+    fn subtree_recognition() {
+        let t = star4();
+        // {Hub, X} connected; {X, Y} not (leaves of a star).
+        let hx = t.object(&[(0, v("h")), (1, v("x"))]);
+        assert!(t.subtree(&hx).is_some());
+        let xy = Tuple::new([Value::Null, v("x"), v("y"), Value::Null]);
+        assert!(t.subtree(&xy).is_none());
+    }
+
+    #[test]
+    fn star_closure_composes_through_hub() {
+        let t = star4();
+        let gens = Relation::from_tuples(
+            4,
+            [
+                t.object(&[(0, v("h")), (1, v("x"))]),
+                t.object(&[(0, v("h")), (2, v("y"))]),
+                t.object(&[(0, v("h")), (3, v("z"))]),
+            ],
+        );
+        let closed = t.close(&gens);
+        // All connected supports containing the hub with matching value:
+        // {0,1},{0,2},{0,3},{0,1,2},{0,1,3},{0,2,3},{0,1,2,3} → 7 objects.
+        assert_eq!(closed.len(), 7);
+        assert!(closed.contains(&t.object(&[
+            (0, v("h")),
+            (1, v("x")),
+            (2, v("y")),
+            (3, v("z"))
+        ])));
+    }
+
+    #[test]
+    fn no_composition_through_different_hub_values() {
+        let t = star4();
+        let gens = Relation::from_tuples(
+            4,
+            [
+                t.object(&[(0, v("h1")), (1, v("x"))]),
+                t.object(&[(0, v("h2")), (2, v("y"))]),
+            ],
+        );
+        assert_eq!(t.close(&gens).len(), 2);
+    }
+
+    #[test]
+    fn subsumption_drops_leaves() {
+        let t = star4();
+        let full = t.object(&[(0, v("h")), (1, v("x")), (2, v("y")), (3, v("z"))]);
+        let closed = t.close(&Relation::from_tuples(4, [full]));
+        assert_eq!(closed.len(), 7);
+        assert!(closed.contains(&t.object(&[(0, v("h")), (2, v("y"))])));
+    }
+
+    #[test]
+    fn path_tree_agrees_with_path_schema() {
+        let pt = TreeSchema::path("R", ["A", "B", "C", "D"]);
+        let ps = PathSchema::example_2_1_1();
+        let gens = PathSchema::example_2_1_1_generators();
+        assert_eq!(pt.close(&gens), ps.close(&gens));
+        // And on a second shape.
+        let gens2 = Relation::from_tuples(
+            4,
+            [
+                ps.object(0, &[v("a"), v("b")]),
+                ps.object(1, &[v("b"), v("c")]),
+                ps.object(2, &[v("c"), v("d")]),
+            ],
+        );
+        assert_eq!(pt.close(&gens2), ps.close(&gens2));
+    }
+
+    #[test]
+    fn closure_matches_chase_on_star() {
+        let t = star4();
+        let gens = Relation::from_tuples(
+            4,
+            [
+                t.object(&[(0, v("h")), (1, v("x"))]),
+                t.object(&[(0, v("h")), (2, v("y"))]),
+            ],
+        );
+        let fast = t.close(&gens);
+        let chased = chase(
+            &t.instance(gens),
+            &t.closure_tgds(),
+            &[],
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(chased.rel("R"), &fast);
+    }
+
+    #[test]
+    fn closure_is_idempotent_and_legal() {
+        let t = star4();
+        let gens = Relation::from_tuples(
+            4,
+            [
+                t.object(&[(0, v("h")), (1, v("x"))]),
+                t.object(&[(0, v("h")), (2, v("y"))]),
+                t.object(&[(0, v("g")), (3, v("z"))]),
+            ],
+        );
+        let c = t.close(&gens);
+        assert_eq!(t.close(&c), c);
+        assert!(t.is_legal(&t.instance(c)));
+        assert!(t.schema().has_null_model_property());
+    }
+
+    #[test]
+    fn caterpillar_tree() {
+        // A — B — C with D hanging off B: tests a branching interior.
+        let t = TreeSchema::new("R", ["A", "B", "C", "D"], vec![(0, 1), (1, 2), (1, 3)]);
+        let gens = Relation::from_tuples(
+            4,
+            [
+                t.object(&[(0, v("a")), (1, v("b"))]),
+                t.object(&[(1, v("b")), (2, v("c"))]),
+                t.object(&[(1, v("b")), (3, v("d"))]),
+            ],
+        );
+        let closed = t.close(&gens);
+        // Connected supports through b: {01},{12},{13},{012},{013},{123},{0123} = 7.
+        assert_eq!(closed.len(), 7);
+        let full = t.object(&[(0, v("a")), (1, v("b")), (2, v("c")), (3, v("d"))]);
+        assert!(closed.contains(&full));
+        // Chase agreement here too.
+        let chased = chase(
+            &t.instance(gens),
+            &t.closure_tgds(),
+            &[],
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(chased.rel("R"), &closed);
+    }
+
+    #[test]
+    fn connected_supports_count() {
+        // Path on 4 nodes: C(4+1,2)-4 … directly: intervals of len ≥2 = 6.
+        let p = TreeSchema::path("R", ["A", "B", "C", "D"]);
+        assert_eq!(p.connected_supports().len(), 6);
+        // Star on 4 nodes: any subset containing the hub (≥2 nodes): 7.
+        assert_eq!(star4().connected_supports().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn object_constructor_validates() {
+        let t = star4();
+        t.object(&[(1, v("x")), (2, v("y"))]); // leaves only: disconnected
+    }
+}

@@ -1,0 +1,499 @@
+//! The type algebra `Ω = (T, K, A)` of §2.1.
+//!
+//! The paper's types are unary predicates forming a **Boolean algebra** under
+//! `∨ ∧ ¬` with greatest element `τ_u` and least element `τ_⊥`.  We realise
+//! the *free* Boolean algebra over a finite set of generator types in
+//! canonical **minterm** form: a type denotes the set of minterms (complete
+//! conjunctions of generators and negated generators) it covers, stored as a
+//! bitset over `2^n` minterms.  Two type expressions are equal in the algebra
+//! iff they cover the same minterms, so equality, implication, and all the
+//! Boolean laws are decidable by bitset operations.
+//!
+//! Interactions between types ("attribute C is the union of attributes A and
+//! B", §2.1) are expressed by building `τ_C` as `τ_A ∨ τ_B` rather than a
+//! fresh generator.  Null types (`τ_η`) are ordinary generators whose
+//! assignment contains exactly the null value.
+
+use compview_relation::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite set of named generator types; the ambient free Boolean algebra.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeAlgebra {
+    gens: Arc<Vec<String>>,
+}
+
+/// Maximum number of generators (minterm sets are `2^n` bits).
+pub const MAX_GENERATORS: usize = 16;
+
+impl TypeAlgebra {
+    /// Create an algebra with the given generator type names.
+    ///
+    /// # Panics
+    /// Panics on duplicates or on more than [`MAX_GENERATORS`] generators.
+    pub fn new<I, S>(gens: I) -> TypeAlgebra
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let gens: Vec<String> = gens.into_iter().map(Into::into).collect();
+        assert!(
+            gens.len() <= MAX_GENERATORS,
+            "at most {MAX_GENERATORS} generator types supported"
+        );
+        for (i, g) in gens.iter().enumerate() {
+            assert!(!gens[..i].contains(g), "duplicate generator type {g:?}");
+        }
+        TypeAlgebra {
+            gens: Arc::new(gens),
+        }
+    }
+
+    /// Number of generators.
+    pub fn n_gens(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Generator names.
+    pub fn gens(&self) -> &[String] {
+        &self.gens
+    }
+
+    /// Index of generator `name`.
+    pub fn gen_index(&self, name: &str) -> Option<usize> {
+        self.gens.iter().position(|g| g == name)
+    }
+
+    /// The generator type named `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is not a generator.
+    pub fn gen(&self, name: &str) -> TypeExpr {
+        TypeExpr::Gen(
+            self.gen_index(name)
+                .unwrap_or_else(|| panic!("unknown generator type {name:?}")),
+        )
+    }
+
+    /// Number of minterms (`2^n`).
+    pub fn n_minterms(&self) -> usize {
+        1usize << self.gens.len()
+    }
+
+    /// Canonicalize an expression to its minterm set.
+    pub fn canon(&self, e: &TypeExpr) -> Minterms {
+        let n = self.n_minterms();
+        let mut m = Minterms::empty(self.n_gens());
+        for i in 0..n {
+            if e.eval_minterm(i) {
+                m.set(i);
+            }
+        }
+        m
+    }
+
+    /// Whether two type expressions denote the same type in the free algebra.
+    pub fn equivalent(&self, a: &TypeExpr, b: &TypeExpr) -> bool {
+        self.canon(a) == self.canon(b)
+    }
+
+    /// Whether `a ≤ b` (i.e. `a → b` is valid; `a ∧ ¬b = τ_⊥`).
+    pub fn implies(&self, a: &TypeExpr, b: &TypeExpr) -> bool {
+        self.canon(a).is_subset(&self.canon(b))
+    }
+
+    /// Whether `e` is the least type `τ_⊥`.
+    pub fn is_bot(&self, e: &TypeExpr) -> bool {
+        self.canon(e).is_empty()
+    }
+
+    /// Whether `e` is the greatest type `τ_u`.
+    pub fn is_top(&self, e: &TypeExpr) -> bool {
+        self.canon(e).is_full()
+    }
+}
+
+/// A type expression over generator indices of a [`TypeAlgebra`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum TypeExpr {
+    /// The universally true type `τ_u`.
+    Top,
+    /// The universally false type `τ_⊥`.
+    Bot,
+    /// Generator `i`.
+    Gen(usize),
+    /// Negation `¬τ`.
+    Not(Box<TypeExpr>),
+    /// Conjunction `τ ∧ σ`.
+    And(Box<TypeExpr>, Box<TypeExpr>),
+    /// Disjunction `τ ∨ σ`.
+    Or(Box<TypeExpr>, Box<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// `self ∧ other`.
+    pub fn and(self, other: TypeExpr) -> TypeExpr {
+        TypeExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: TypeExpr) -> TypeExpr {
+        TypeExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> TypeExpr {
+        TypeExpr::Not(Box::new(self))
+    }
+
+    /// Evaluate at minterm `m`: bit `i` of `m` gives the truth of
+    /// generator `i`.
+    pub fn eval_minterm(&self, m: usize) -> bool {
+        match self {
+            TypeExpr::Top => true,
+            TypeExpr::Bot => false,
+            TypeExpr::Gen(i) => (m >> i) & 1 == 1,
+            TypeExpr::Not(e) => !e.eval_minterm(m),
+            TypeExpr::And(a, b) => a.eval_minterm(m) && b.eval_minterm(m),
+            TypeExpr::Or(a, b) => a.eval_minterm(m) || b.eval_minterm(m),
+        }
+    }
+}
+
+impl fmt::Debug for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Top => write!(f, "τ_u"),
+            TypeExpr::Bot => write!(f, "τ_⊥"),
+            TypeExpr::Gen(i) => write!(f, "g{i}"),
+            TypeExpr::Not(e) => write!(f, "¬{e:?}"),
+            TypeExpr::And(a, b) => write!(f, "({a:?} ∧ {b:?})"),
+            TypeExpr::Or(a, b) => write!(f, "({a:?} ∨ {b:?})"),
+        }
+    }
+}
+
+/// Canonical form of a type: the set of minterms it covers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Minterms {
+    n_gens: usize,
+    bits: Vec<u64>,
+}
+
+impl Minterms {
+    /// The empty minterm set (`τ_⊥`) over `n_gens` generators.
+    pub fn empty(n_gens: usize) -> Minterms {
+        assert!(n_gens <= MAX_GENERATORS);
+        let n = 1usize << n_gens;
+        Minterms {
+            n_gens,
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The full minterm set (`τ_u`).
+    pub fn full(n_gens: usize) -> Minterms {
+        let mut m = Minterms::empty(n_gens);
+        let n = 1usize << n_gens;
+        for w in 0..m.bits.len() {
+            m.bits[w] = !0u64;
+        }
+        // Mask off bits beyond 2^n in the last word.
+        let rem = n % 64;
+        if rem != 0 {
+            *m.bits.last_mut().expect("nonempty") = (1u64 << rem) - 1;
+        }
+        m
+    }
+
+    /// Number of generators.
+    pub fn n_gens(&self) -> usize {
+        self.n_gens
+    }
+
+    /// Set minterm `i`.
+    pub fn set(&mut self, i: usize) {
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether minterm `i` is covered.
+    pub fn contains(&self, i: usize) -> bool {
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Whether no minterm is covered (`τ_⊥`).
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Whether all minterms are covered (`τ_u`).
+    pub fn is_full(&self) -> bool {
+        *self == Minterms::full(self.n_gens)
+    }
+
+    /// Subset test (implication of types).
+    pub fn is_subset(&self, other: &Minterms) -> bool {
+        self.zip_check(other);
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Meet (`∧`).
+    pub fn and(&self, other: &Minterms) -> Minterms {
+        self.zip_check(other);
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// Join (`∨`).
+    pub fn or(&self, other: &Minterms) -> Minterms {
+        self.zip_check(other);
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// Complement (`¬`).
+    pub fn complement(&self) -> Minterms {
+        let full = Minterms::full(self.n_gens);
+        Minterms {
+            n_gens: self.n_gens,
+            bits: self
+                .bits
+                .iter()
+                .zip(&full.bits)
+                .map(|(a, f)| !a & f)
+                .collect(),
+        }
+    }
+
+    /// Number of covered minterms.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn zip_with<F: Fn(u64, u64) -> u64>(&self, other: &Minterms, f: F) -> Minterms {
+        Minterms {
+            n_gens: self.n_gens,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    fn zip_check(&self, other: &Minterms) {
+        assert_eq!(
+            self.n_gens, other.n_gens,
+            "minterm sets over different algebras"
+        );
+    }
+}
+
+impl fmt::Debug for Minterms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Minterms[{}/{}]", self.count(), 1usize << self.n_gens)
+    }
+}
+
+/// A type assignment `μ`: a model of the type axioms, mapping each domain
+/// value to the set of generator types it inhabits.
+///
+/// The generator membership of a value determines its minterm, so membership
+/// in an arbitrary [`TypeExpr`] is a single bit lookup after
+/// canonicalization.  Per §2.1 the assignment is fixed within a situation —
+/// "a user is never allowed to update it".
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TypeAssignment {
+    memberships: BTreeMap<Value, u32>,
+}
+
+impl TypeAssignment {
+    /// The assignment with no values declared.
+    pub fn new() -> TypeAssignment {
+        TypeAssignment::default()
+    }
+
+    /// Declare `value` to be a member of exactly the generators `gens`
+    /// (indices into the ambient algebra's generator list).
+    pub fn declare(&mut self, value: Value, gens: &[usize]) -> &mut TypeAssignment {
+        let mut mask = 0u32;
+        for &g in gens {
+            assert!(g < MAX_GENERATORS, "generator index out of range");
+            mask |= 1 << g;
+        }
+        self.memberships.insert(value, mask);
+        self
+    }
+
+    /// Builder form of [`TypeAssignment::declare`].
+    pub fn with(mut self, value: Value, gens: &[usize]) -> TypeAssignment {
+        self.declare(value, gens);
+        self
+    }
+
+    /// The minterm index of `value` (its complete generator membership),
+    /// or `None` if the value was never declared.
+    pub fn minterm(&self, value: Value) -> Option<usize> {
+        self.memberships.get(&value).map(|&m| m as usize)
+    }
+
+    /// Whether `value` inhabits type `e` under this assignment.
+    ///
+    /// Undeclared values inhabit only `τ_u`-like types (their minterm is
+    /// taken as all-generators-false).
+    pub fn inhabits(&self, value: Value, e: &TypeExpr) -> bool {
+        e.eval_minterm(self.minterm(value).unwrap_or(0))
+    }
+
+    /// Values declared to inhabit `e`.
+    pub fn values_of(&self, e: &TypeExpr) -> Vec<Value> {
+        self.memberships
+            .keys()
+            .copied()
+            .filter(|&v| self.inhabits(v, e))
+            .collect()
+    }
+
+    /// All declared values.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.memberships.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compview_relation::v;
+
+    fn alg3() -> TypeAlgebra {
+        TypeAlgebra::new(["A", "B", "eta"])
+    }
+
+    #[test]
+    fn generators_resolve() {
+        let alg = alg3();
+        assert_eq!(alg.n_gens(), 3);
+        assert_eq!(alg.gen_index("B"), Some(1));
+        assert_eq!(alg.gen_index("Z"), None);
+        assert_eq!(alg.n_minterms(), 8);
+    }
+
+    #[test]
+    fn boolean_laws_hold_canonically() {
+        let alg = alg3();
+        let a = alg.gen("A");
+        let b = alg.gen("B");
+        // Commutativity, distributivity, De Morgan, double negation.
+        assert!(alg.equivalent(&a.clone().and(b.clone()), &b.clone().and(a.clone())));
+        assert!(alg.equivalent(
+            &a.clone().and(b.clone().or(alg.gen("eta"))),
+            &a.clone()
+                .and(b.clone())
+                .or(a.clone().and(alg.gen("eta")))
+        ));
+        assert!(alg.equivalent(
+            &a.clone().and(b.clone()).not(),
+            &a.clone().not().or(b.clone().not())
+        ));
+        assert!(alg.equivalent(&a.clone().not().not(), &a));
+        // Complement laws.
+        assert!(alg.is_bot(&a.clone().and(a.clone().not())));
+        assert!(alg.is_top(&a.clone().or(a.clone().not())));
+    }
+
+    #[test]
+    fn implication_is_minterm_subset() {
+        let alg = alg3();
+        let a = alg.gen("A");
+        let ab = a.clone().and(alg.gen("B"));
+        assert!(alg.implies(&ab, &a));
+        assert!(!alg.implies(&a, &ab));
+        assert!(alg.implies(&TypeExpr::Bot, &a));
+        assert!(alg.implies(&a, &TypeExpr::Top));
+    }
+
+    #[test]
+    fn union_type_interaction() {
+        // §2.1: "attribute C is the union of attributes A and B" is the
+        // definition τ_C = τ_A ∨ τ_B.
+        let alg = alg3();
+        let c = alg.gen("A").or(alg.gen("B"));
+        assert!(alg.implies(&alg.gen("A"), &c));
+        assert!(alg.implies(&alg.gen("B"), &c));
+        assert!(!alg.implies(&c, &alg.gen("A")));
+    }
+
+    #[test]
+    fn minterm_bitset_ops() {
+        let alg = alg3();
+        let a = alg.canon(&alg.gen("A"));
+        let b = alg.canon(&alg.gen("B"));
+        assert_eq!(a.count(), 4); // half of 8 minterms
+        assert_eq!(a.and(&b).count(), 2);
+        assert_eq!(a.or(&b).count(), 6);
+        assert_eq!(a.complement().count(), 4);
+        assert!(a.and(&a.complement()).is_empty());
+        assert!(a.or(&a.complement()).is_full());
+    }
+
+    #[test]
+    fn full_masks_partial_word() {
+        let alg = TypeAlgebra::new(["X", "Y"]);
+        let full = Minterms::full(alg.n_gens());
+        assert_eq!(full.count(), 4);
+        assert!(full.is_full());
+    }
+
+    #[test]
+    fn assignment_membership() {
+        let alg = alg3();
+        let (ia, ieta) = (
+            alg.gen_index("A").unwrap(),
+            alg.gen_index("eta").unwrap(),
+        );
+        let mu = TypeAssignment::new()
+            .with(v("a1"), &[ia])
+            .with(Value::Null, &[ieta]);
+        let tau_a = alg.gen("A");
+        let tau_eta = alg.gen("eta");
+        let tau_a_hat = tau_a.clone().or(tau_eta.clone()); // τ̂_A of Ex 2.1.1
+        assert!(mu.inhabits(v("a1"), &tau_a));
+        assert!(!mu.inhabits(v("a1"), &tau_eta));
+        assert!(mu.inhabits(Value::Null, &tau_eta));
+        assert!(mu.inhabits(v("a1"), &tau_a_hat));
+        assert!(mu.inhabits(Value::Null, &tau_a_hat));
+        assert_eq!(mu.values_of(&tau_a_hat).len(), 2);
+    }
+
+    #[test]
+    fn null_type_has_one_value() {
+        // τ_η(η) ∧ ∀x(τ_η(x) → x=η): the assignment realises the axiom by
+        // declaring only η in τ_η.
+        let alg = alg3();
+        let ieta = alg.gen_index("eta").unwrap();
+        let mu = TypeAssignment::new()
+            .with(Value::Null, &[ieta])
+            .with(v("a1"), &[0])
+            .with(v("b1"), &[1]);
+        assert_eq!(mu.values_of(&alg.gen("eta")), vec![Value::Null]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate generator")]
+    fn duplicate_generators_rejected() {
+        TypeAlgebra::new(["A", "A"]);
+    }
+
+    #[test]
+    fn undeclared_values_default_to_no_generators() {
+        let alg = alg3();
+        let mu = TypeAssignment::new();
+        assert!(!mu.inhabits(v("mystery"), &alg.gen("A")));
+        assert!(mu.inhabits(v("mystery"), &TypeExpr::Top));
+    }
+}

@@ -1,0 +1,321 @@
+//! Database instances and the relation-by-relation set algebra of
+//! Notation 1.2.3.
+//!
+//! An [`Instance`] assigns a [`Relation`] to each relation symbol of a
+//! [`Signature`].  The operations `⊆ ∩ ∪ \ Δ` act relation-by-relation; the
+//! partial order `⊆` is the one under which `LDB(D, μ)` becomes the ↓-poset
+//! of §2.3 (least element: the *null model*, every relation empty).
+
+use crate::relation::Relation;
+use crate::schema::Signature;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An indexed set of relations, one per relation symbol.
+///
+/// Instances compare with derived `Ord`, giving a deterministic total order
+/// used by enumerated state spaces.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instance {
+    rels: BTreeMap<String, Relation>,
+}
+
+impl Instance {
+    /// The instance with no relation symbols at all (state of the zero view).
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// The *null model* of a signature: every declared relation empty.
+    ///
+    /// This is the least element of `LDB(D, μ)` when the schema has the null
+    /// model property (§2.3).
+    pub fn null_model(sig: &Signature) -> Instance {
+        let mut inst = Instance::new();
+        for d in sig.decls() {
+            inst.rels
+                .insert(d.name().to_owned(), Relation::empty(d.arity()));
+        }
+        inst
+    }
+
+    /// Set the relation for `name`.
+    pub fn set<S: Into<String>>(&mut self, name: S, rel: Relation) -> &mut Instance {
+        self.rels.insert(name.into(), rel);
+        self
+    }
+
+    /// Builder-style [`Instance::set`].
+    pub fn with<S: Into<String>>(mut self, name: S, rel: Relation) -> Instance {
+        self.set(name, rel);
+        self
+    }
+
+    /// The relation bound to `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is unbound; instances are always constructed against
+    /// a known signature, so a miss is a programming error.
+    pub fn rel(&self, name: &str) -> &Relation {
+        self.rels
+            .get(name)
+            .unwrap_or_else(|| panic!("relation {name:?} not bound in instance"))
+    }
+
+    /// Mutable access to the relation bound to `name`.
+    pub fn rel_mut(&mut self, name: &str) -> &mut Relation {
+        self.rels
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("relation {name:?} not bound in instance"))
+    }
+
+    /// The relation bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.rels.get(name)
+    }
+
+    /// Iterate `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> + '_ {
+        self.rels.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Names bound in this instance.
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.rels.keys().map(String::as_str)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// Whether every relation is empty.
+    pub fn is_null_model(&self) -> bool {
+        self.rels.values().all(Relation::is_empty)
+    }
+
+    /// Whether the instance binds exactly the signature's relation symbols
+    /// with matching arities.
+    pub fn conforms_to(&self, sig: &Signature) -> bool {
+        self.rels.len() == sig.len()
+            && sig
+                .decls()
+                .iter()
+                .all(|d| self.get(d.name()).is_some_and(|r| r.arity() == d.arity()))
+    }
+
+    /// Relation-by-relation `⊆` (Notation 1.2.3).
+    ///
+    /// Both instances must bind the same names; comparing instances of
+    /// different schemas is a programming error.
+    pub fn is_subinstance(&self, other: &Instance) -> bool {
+        self.assert_same_names(other);
+        self.rels
+            .iter()
+            .all(|(n, r)| r.is_subset(&other.rels[n]))
+    }
+
+    /// Relation-by-relation `∪`.
+    pub fn union(&self, other: &Instance) -> Instance {
+        self.zip_with(other, Relation::union)
+    }
+
+    /// Relation-by-relation `∩`.
+    pub fn intersect(&self, other: &Instance) -> Instance {
+        self.zip_with(other, Relation::intersect)
+    }
+
+    /// Relation-by-relation `\`.
+    pub fn difference(&self, other: &Instance) -> Instance {
+        self.zip_with(other, Relation::difference)
+    }
+
+    /// Relation-by-relation symmetric difference `Δ`.
+    ///
+    /// `s1 Δ s2` measures *how much* an update changed: Definition 1.2.4
+    /// compares solutions by inclusion of these deltas.
+    pub fn sym_diff(&self, other: &Instance) -> Instance {
+        self.zip_with(other, Relation::sym_diff)
+    }
+
+    /// All values appearing anywhere in the instance.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.rels
+            .values()
+            .flat_map(|r| r.active_domain())
+            .collect()
+    }
+
+    /// Insert `tuple` into relation `name`; returns `true` if new.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> bool {
+        self.rel_mut(name).insert(tuple)
+    }
+
+    /// Remove `tuple` from relation `name`; returns `true` if present.
+    pub fn remove(&mut self, name: &str, tuple: &Tuple) -> bool {
+        self.rel_mut(name).remove(tuple)
+    }
+
+    fn zip_with<F: Fn(&Relation, &Relation) -> Relation>(
+        &self,
+        other: &Instance,
+        f: F,
+    ) -> Instance {
+        self.assert_same_names(other);
+        Instance {
+            rels: self
+                .rels
+                .iter()
+                .map(|(n, r)| (n.clone(), f(r, &other.rels[n])))
+                .collect(),
+        }
+    }
+
+    fn assert_same_names(&self, other: &Instance) {
+        assert!(
+            self.rels.len() == other.rels.len()
+                && self.rels.keys().all(|k| other.rels.contains_key(k)),
+            "set operation on instances over different signatures"
+        );
+    }
+}
+
+impl Instance {
+    fn fmt_body(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (n, r)) in self.rels.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{n} = {r:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_body(f)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_body(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::rel;
+    use crate::schema::RelDecl;
+    use crate::tuple::t;
+
+    fn sig() -> Signature {
+        Signature::new([
+            RelDecl::new("R_SP", ["S", "P"]),
+            RelDecl::new("R_PJ", ["P", "J"]),
+        ])
+    }
+
+    fn example_1_1_1() -> Instance {
+        Instance::null_model(&sig())
+            .with("R_SP", rel(2, [["s1", "p1"], ["s1", "p2"], ["s2", "p3"]]))
+            .with(
+                "R_PJ",
+                rel(2, [["p1", "j1"], ["p1", "j2"], ["p3", "j1"], ["p4", "j3"]]),
+            )
+    }
+
+    #[test]
+    fn null_model_is_least() {
+        let nm = Instance::null_model(&sig());
+        assert!(nm.is_null_model());
+        assert!(nm.conforms_to(&sig()));
+        assert!(nm.is_subinstance(&example_1_1_1()));
+    }
+
+    #[test]
+    fn conformance_checks_arity() {
+        let mut bad = Instance::null_model(&sig());
+        bad.set("R_SP", rel(3, [["a", "b", "c"]]));
+        assert!(!bad.conforms_to(&sig()));
+    }
+
+    #[test]
+    fn relationwise_sym_diff() {
+        let s1 = example_1_1_1();
+        let mut s2 = s1.clone();
+        s2.remove("R_PJ", &t(["p4", "j3"]));
+        s2.insert("R_SP", t(["s3", "p3"]));
+        let delta = s1.sym_diff(&s2);
+        assert_eq!(delta.rel("R_SP"), &rel(2, [["s3", "p3"]]));
+        assert_eq!(delta.rel("R_PJ"), &rel(2, [["p4", "j3"]]));
+        assert_eq!(delta.total_tuples(), 2);
+    }
+
+    #[test]
+    fn delta_with_self_is_null() {
+        let s = example_1_1_1();
+        assert!(s.sym_diff(&s).is_null_model());
+    }
+
+    #[test]
+    fn subinstance_ordering() {
+        let s = example_1_1_1();
+        let mut smaller = s.clone();
+        smaller.remove("R_SP", &t(["s2", "p3"]));
+        assert!(smaller.is_subinstance(&s));
+        assert!(!s.is_subinstance(&smaller));
+        assert!(s.is_subinstance(&s));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = Instance::new()
+            .with("R", rel(1, [["x"], ["y"]]))
+            .with("S", rel(1, [["u"]]));
+        let b = Instance::new()
+            .with("R", rel(1, [["y"], ["z"]]))
+            .with("S", rel(1, [["u"], ["w"]]));
+        assert_eq!(a.union(&b).rel("R"), &rel(1, [["x"], ["y"], ["z"]]));
+        assert_eq!(a.intersect(&b).rel("S"), &rel(1, [["u"]]));
+        assert_eq!(a.difference(&b).rel("R"), &rel(1, [["x"]]));
+    }
+
+    #[test]
+    fn nonextraneous_delta_comparison_shape() {
+        // Def 1.2.4: solutions are compared via s1 Δ s_i inclusion; check
+        // that inclusion of deltas is what Instance gives us.
+        let base = example_1_1_1();
+        // Solution A: delete (p1,j1) from R_PJ.
+        let mut sol_a = base.clone();
+        sol_a.remove("R_PJ", &t(["p1", "j1"]));
+        // Solution B: delete (p1,j1) and the extraneous (p4,j3).
+        let mut sol_b = sol_a.clone();
+        sol_b.remove("R_PJ", &t(["p4", "j3"]));
+        let da = base.sym_diff(&sol_a);
+        let db = base.sym_diff(&sol_b);
+        assert!(da.is_subinstance(&db));
+        assert!(!db.is_subinstance(&da)); // B is extraneous relative to A
+    }
+
+    #[test]
+    fn active_domain_spans_relations() {
+        let s = example_1_1_1();
+        let dom = s.active_domain();
+        assert!(dom.contains(&crate::value::v("s1")));
+        assert!(dom.contains(&crate::value::v("j3")));
+        assert_eq!(dom.len(), 9); // s1,s2,p1..p4,j1..j3
+    }
+
+    #[test]
+    #[should_panic(expected = "different signatures")]
+    fn mismatched_instances_panic() {
+        let a = Instance::new().with("R", rel(1, [["x"]]));
+        let b = Instance::new().with("S", rel(1, [["x"]]));
+        let _ = a.union(&b);
+    }
+}

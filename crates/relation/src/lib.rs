@@ -1,0 +1,44 @@
+//! # compview-relation
+//!
+//! Relational substrate for `compview`, the reproduction of Hegner's
+//! *Canonical View Update Support through Boolean Algebras of Components*
+//! (PODS 1984).
+//!
+//! This crate provides the classical machinery the paper presumes "such as
+//! can be found in \[Ullm82\] and \[Maie83\]" (§0.3):
+//!
+//! * interned domain [`Value`]s, with the distinguished null value `η`
+//!   of the paper's null type `τ_η` (§2.1);
+//! * [`Tuple`]s with subsumption in the sense of Sciore objects
+//!   (Example 2.1.1);
+//! * [`Relation`]s — ordered tuple sets with full set algebra, projection,
+//!   selection, and join;
+//! * [`Instance`]s with the relation-by-relation `⊆ ∩ ∪ \ Δ` of
+//!   Notation 1.2.3 and the *null model* of §2.3;
+//! * relation [`Signature`]s (the `Rel(D)` half of a schema);
+//! * [`RaExpr`] relational-algebra expressions for the database mappings
+//!   `γ : D → V`, including the restriction/object mappings `ρ(R(τ…))` of
+//!   Example 2.3.4;
+//! * paper-style table rendering ([`display`]).
+//!
+//! Constraints (`Con(D)`) live in `compview-logic`; views, components, and
+//! the update theory live in `compview-core`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod display;
+pub mod instance;
+pub mod ra;
+pub mod relation;
+pub mod schema;
+pub mod textio;
+pub mod tuple;
+pub mod value;
+
+pub use instance::Instance;
+pub use ra::{ColPattern, Predicate, RaExpr};
+pub use relation::{rel, Relation};
+pub use schema::{RelDecl, Signature};
+pub use tuple::{t, Tuple};
+pub use value::{v, Value};

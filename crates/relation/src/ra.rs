@@ -1,0 +1,476 @@
+//! Relational-algebra expressions: the database mappings `γ : D → V`.
+//!
+//! The paper defines database mappings as interpretations of one first-order
+//! language in another (§2.1).  Every mapping used in the paper's examples is
+//! relational-algebra definable, and RA expressions *are* interpretations, so
+//! views in this library carry one [`RaExpr`] per view relation.
+//!
+//! Beyond the classical operators, [`RaExpr::Restrict`] implements the
+//! paper's ρ-mappings ("restrictions or objects", Example 2.3.4): keep the
+//! tuples whose columns match a null/non-null pattern.  Composed with
+//! projection it yields the `π°` component views of Example 2.1.1.
+
+use crate::instance::Instance;
+use crate::relation::Relation;
+use crate::schema::Signature;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// A column-level predicate used by [`RaExpr::Select`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Columns `l` and `r` hold equal values.
+    EqCols(usize, usize),
+    /// Column `c` holds exactly `v`.
+    EqConst(usize, Value),
+    /// Column `c` is non-null.
+    NonNull(usize),
+    /// Column `c` is the null value `η`.
+    IsNull(usize),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate on a tuple.
+    pub fn eval(&self, t: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::EqCols(l, r) => t[*l] == t[*r],
+            Predicate::EqConst(c, v) => t[*c] == *v,
+            Predicate::NonNull(c) => !t[*c].is_null(),
+            Predicate::IsNull(c) => t[*c].is_null(),
+            Predicate::And(a, b) => a.eval(t) && b.eval(t),
+            Predicate::Or(a, b) => a.eval(t) || b.eval(t),
+            Predicate::Not(a) => !a.eval(t),
+        }
+    }
+
+    /// Conjunction builder.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction builder.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation builder.
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Conjunction of non-nullness over `cols`.
+    pub fn nonnull_all(cols: &[usize]) -> Predicate {
+        cols.iter()
+            .map(|&c| Predicate::NonNull(c))
+            .reduce(Predicate::and)
+            .unwrap_or(Predicate::True)
+    }
+}
+
+/// Per-column requirement used by [`RaExpr::Restrict`].
+///
+/// A restriction pattern is the paper's `ρ(R(τ_1,…,τ_k))` with each `τ_i`
+/// drawn from `{τ_η, ¬τ_η, τ_u}` — precisely what the component
+/// endomorphisms of Example 2.3.4 need.  (Full type-expression patterns are
+/// supported at the `compview-logic` layer.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColPattern {
+    /// Column must be non-null.
+    NonNull,
+    /// Column must be the null value `η`.
+    Null,
+    /// No requirement (`τ_u`).
+    Any,
+}
+
+impl ColPattern {
+    /// Whether `v` matches.
+    pub fn matches(self, v: Value) -> bool {
+        match self {
+            ColPattern::NonNull => !v.is_null(),
+            ColPattern::Null => v.is_null(),
+            ColPattern::Any => true,
+        }
+    }
+}
+
+/// A relational-algebra expression over a base signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RaExpr {
+    /// Reference to a base relation.
+    Rel(String),
+    /// The constant empty relation of the given arity.
+    Empty(usize),
+    /// Positional projection.
+    Project(Box<RaExpr>, Vec<usize>),
+    /// Selection by predicate.
+    Select(Box<RaExpr>, Predicate),
+    /// Join on column pairs `(left, right)`.
+    Join(Box<RaExpr>, Box<RaExpr>, Vec<(usize, usize)>),
+    /// Set union.
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Set difference.
+    Diff(Box<RaExpr>, Box<RaExpr>),
+    /// Symmetric difference (definable from ∪ and \, provided natively for
+    /// the XOR views of Example 1.3.6).
+    SymDiff(Box<RaExpr>, Box<RaExpr>),
+    /// Column permutation / duplication: output column `i` is input `perm[i]`.
+    Reorder(Box<RaExpr>, Vec<usize>),
+    /// Restriction ρ: keep tuples matching a null-pattern (Sciore object).
+    Restrict(Box<RaExpr>, Vec<ColPattern>),
+}
+
+impl RaExpr {
+    /// Reference base relation `name`.
+    pub fn rel<S: Into<String>>(name: S) -> RaExpr {
+        RaExpr::Rel(name.into())
+    }
+
+    /// `π_cols(self)`.
+    pub fn project(self, cols: Vec<usize>) -> RaExpr {
+        RaExpr::Project(Box::new(self), cols)
+    }
+
+    /// `σ_pred(self)`.
+    pub fn select(self, pred: Predicate) -> RaExpr {
+        RaExpr::Select(Box::new(self), pred)
+    }
+
+    /// `self ⋈_on other`.
+    pub fn join(self, other: RaExpr, on: Vec<(usize, usize)>) -> RaExpr {
+        RaExpr::Join(Box::new(self), Box::new(other), on)
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: RaExpr) -> RaExpr {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self \ other`.
+    pub fn diff(self, other: RaExpr) -> RaExpr {
+        RaExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// `self Δ other`.
+    pub fn sym_diff(self, other: RaExpr) -> RaExpr {
+        RaExpr::SymDiff(Box::new(self), Box::new(other))
+    }
+
+    /// Column permutation.
+    pub fn reorder(self, perm: Vec<usize>) -> RaExpr {
+        RaExpr::Reorder(Box::new(self), perm)
+    }
+
+    /// Restriction by null-pattern.
+    pub fn restrict(self, pattern: Vec<ColPattern>) -> RaExpr {
+        RaExpr::Restrict(Box::new(self), pattern)
+    }
+
+    /// The `π°_X` mapping of Example 2.1.1: restrict to the tuples whose
+    /// support lies inside `cols` (null everywhere else), then project
+    /// `cols`.
+    ///
+    /// On subsumption-closed instances this coincides with the paper's
+    /// phrasing "project the tuples with non-null values in at least two of
+    /// the projected columns": a wider tuple's in-interval part is always
+    /// present as its own subsumed object, so restricting to null-outside
+    /// tuples loses nothing and makes the view a *restriction* (object) in
+    /// the sense of Example 2.3.4.
+    pub fn object_projection(base: &str, arity: usize, cols: &[usize]) -> RaExpr {
+        let pattern: Vec<ColPattern> = (0..arity)
+            .map(|c| {
+                if cols.contains(&c) {
+                    ColPattern::Any
+                } else {
+                    ColPattern::Null
+                }
+            })
+            .collect();
+        RaExpr::rel(base).restrict(pattern).project(cols.to_vec())
+    }
+
+    /// Evaluate against a base instance.
+    ///
+    /// # Panics
+    /// Panics if a referenced relation is unbound or arities are
+    /// inconsistent; expressions are validated against a signature with
+    /// [`RaExpr::arity`] when views are constructed.
+    pub fn eval(&self, inst: &Instance) -> Relation {
+        match self {
+            RaExpr::Rel(name) => inst.rel(name).clone(),
+            RaExpr::Empty(arity) => Relation::empty(*arity),
+            RaExpr::Project(e, cols) => e.eval(inst).project(cols),
+            RaExpr::Select(e, pred) => e.eval(inst).select(|t| pred.eval(t)),
+            RaExpr::Join(l, r, on) => l.eval(inst).join(&r.eval(inst), on),
+            RaExpr::Union(l, r) => l.eval(inst).union(&r.eval(inst)),
+            RaExpr::Diff(l, r) => l.eval(inst).difference(&r.eval(inst)),
+            RaExpr::SymDiff(l, r) => l.eval(inst).sym_diff(&r.eval(inst)),
+            RaExpr::Reorder(e, perm) => e.eval(inst).reorder(perm),
+            RaExpr::Restrict(e, pattern) => e.eval(inst).select(|t| {
+                pattern
+                    .iter()
+                    .enumerate()
+                    .all(|(c, p)| p.matches(t[c]))
+            }),
+        }
+    }
+
+    /// Output arity of the expression against `sig`, or an error message
+    /// describing the first inconsistency found.
+    pub fn arity(&self, sig: &Signature) -> Result<usize, String> {
+        match self {
+            RaExpr::Rel(name) => sig
+                .decl(name)
+                .map(crate::schema::RelDecl::arity)
+                .ok_or_else(|| format!("relation {name:?} not in signature")),
+            RaExpr::Empty(a) => Ok(*a),
+            RaExpr::Project(e, cols) => {
+                let a = e.arity(sig)?;
+                for &c in cols {
+                    if c >= a {
+                        return Err(format!("projection column {c} out of range (arity {a})"));
+                    }
+                }
+                Ok(cols.len())
+            }
+            RaExpr::Select(e, pred) => {
+                let a = e.arity(sig)?;
+                check_pred(pred, a)?;
+                Ok(a)
+            }
+            RaExpr::Join(l, r, on) => {
+                let la = l.arity(sig)?;
+                let ra = r.arity(sig)?;
+                for &(lc, rc) in on {
+                    if lc >= la || rc >= ra {
+                        return Err(format!(
+                            "join columns ({lc},{rc}) out of range (arities {la},{ra})"
+                        ));
+                    }
+                }
+                Ok(la + ra - on.len())
+            }
+            RaExpr::Union(l, r) | RaExpr::Diff(l, r) | RaExpr::SymDiff(l, r) => {
+                let la = l.arity(sig)?;
+                let ra = r.arity(sig)?;
+                if la != ra {
+                    return Err(format!("set operation on arities {la} and {ra}"));
+                }
+                Ok(la)
+            }
+            RaExpr::Reorder(e, perm) => {
+                let a = e.arity(sig)?;
+                for &c in perm {
+                    if c >= a {
+                        return Err(format!("reorder column {c} out of range (arity {a})"));
+                    }
+                }
+                Ok(perm.len())
+            }
+            RaExpr::Restrict(e, pattern) => {
+                let a = e.arity(sig)?;
+                if pattern.len() != a {
+                    return Err(format!(
+                        "restriction pattern length {} does not match arity {a}",
+                        pattern.len()
+                    ));
+                }
+                Ok(a)
+            }
+        }
+    }
+
+    /// Base relation names referenced by the expression.
+    pub fn referenced(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            RaExpr::Rel(name) => out.push(name),
+            RaExpr::Empty(_) => {}
+            RaExpr::Project(e, _)
+            | RaExpr::Select(e, _)
+            | RaExpr::Reorder(e, _)
+            | RaExpr::Restrict(e, _) => e.collect_refs(out),
+            RaExpr::Join(l, r, _)
+            | RaExpr::Union(l, r)
+            | RaExpr::Diff(l, r)
+            | RaExpr::SymDiff(l, r) => {
+                l.collect_refs(out);
+                r.collect_refs(out);
+            }
+        }
+    }
+}
+
+fn check_pred(pred: &Predicate, arity: usize) -> Result<(), String> {
+    let chk = |c: usize| {
+        if c >= arity {
+            Err(format!("predicate column {c} out of range (arity {arity})"))
+        } else {
+            Ok(())
+        }
+    };
+    match pred {
+        Predicate::True => Ok(()),
+        Predicate::EqCols(l, r) => chk(*l).and(chk(*r)),
+        Predicate::EqConst(c, _) | Predicate::NonNull(c) | Predicate::IsNull(c) => chk(*c),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            check_pred(a, arity).and(check_pred(b, arity))
+        }
+        Predicate::Not(a) => check_pred(a, arity),
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Rel(n) => write!(f, "{n}"),
+            RaExpr::Empty(a) => write!(f, "∅/{a}"),
+            RaExpr::Project(e, cols) => write!(f, "π{cols:?}({e})"),
+            RaExpr::Select(e, _) => write!(f, "σ(…)({e})"),
+            RaExpr::Join(l, r, on) => write!(f, "({l} ⋈{on:?} {r})"),
+            RaExpr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+            RaExpr::Diff(l, r) => write!(f, "({l} \\ {r})"),
+            RaExpr::SymDiff(l, r) => write!(f, "({l} Δ {r})"),
+            RaExpr::Reorder(e, perm) => write!(f, "ρ{perm:?}({e})"),
+            RaExpr::Restrict(e, pat) => write!(f, "ρ°{pat:?}({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::rel;
+    use crate::schema::RelDecl;
+    use crate::tuple::Tuple;
+    use crate::value::{v, Value};
+
+    fn sig() -> Signature {
+        Signature::new([
+            RelDecl::new("R_SP", ["S", "P"]),
+            RelDecl::new("R_PJ", ["P", "J"]),
+        ])
+    }
+
+    fn inst() -> Instance {
+        Instance::null_model(&sig())
+            .with("R_SP", rel(2, [["s1", "p1"], ["s1", "p2"], ["s2", "p3"]]))
+            .with(
+                "R_PJ",
+                rel(2, [["p1", "j1"], ["p1", "j2"], ["p3", "j1"], ["p4", "j3"]]),
+            )
+    }
+
+    #[test]
+    fn join_expression_defines_the_view_of_example_1_1_1() {
+        let gamma = RaExpr::rel("R_SP").join(RaExpr::rel("R_PJ"), vec![(1, 0)]);
+        assert_eq!(gamma.arity(&sig()).unwrap(), 3);
+        let spj = gamma.eval(&inst());
+        assert_eq!(
+            spj,
+            rel(
+                3,
+                [["s1", "p1", "j1"], ["s1", "p1", "j2"], ["s2", "p3", "j1"]]
+            )
+        );
+    }
+
+    #[test]
+    fn projection_expression() {
+        let e = RaExpr::rel("R_SP").project(vec![1]);
+        assert_eq!(e.eval(&inst()), rel(1, [["p1"], ["p2"], ["p3"]]));
+        assert_eq!(e.arity(&sig()).unwrap(), 1);
+    }
+
+    #[test]
+    fn selection_predicates() {
+        let e = RaExpr::rel("R_SP").select(Predicate::EqConst(0, v("s1")));
+        assert_eq!(e.eval(&inst()).len(), 2);
+        let e2 = RaExpr::rel("R_SP")
+            .select(Predicate::EqConst(0, v("s1")).and(Predicate::EqConst(1, v("p2"))));
+        assert_eq!(e2.eval(&inst()).len(), 1);
+        let e3 = RaExpr::rel("R_SP").select(Predicate::EqConst(0, v("s1")).negate());
+        assert_eq!(e3.eval(&inst()).len(), 1);
+    }
+
+    #[test]
+    fn sym_diff_expression_is_the_xor_view_of_example_1_3_6() {
+        let sig = Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["A"])]);
+        let i = Instance::null_model(&sig)
+            .with("R", rel(1, [["a1"], ["a2"]]))
+            .with("S", rel(1, [["a2"], ["a3"]]));
+        let t_view = RaExpr::rel("R").sym_diff(RaExpr::rel("S"));
+        assert_eq!(t_view.eval(&i), rel(1, [["a1"], ["a3"]]));
+        assert_eq!(t_view.arity(&sig).unwrap(), 1);
+    }
+
+    #[test]
+    fn object_projection_matches_example_2_3_4() {
+        let sig = Signature::new([RelDecl::new("R", ["A", "B", "C", "D"])]);
+        let base = Instance::null_model(&sig).with(
+            "R",
+            Relation::from_tuples(
+                4,
+                [
+                    Tuple::new([v("a1"), v("b1"), Value::Null, Value::Null]),
+                    Tuple::new([v("a2"), v("b2"), Value::Null, Value::Null]),
+                    Tuple::new([v("a1"), v("b1"), v("c1"), Value::Null]),
+                    Tuple::new([Value::Null, v("b1"), v("c1"), Value::Null]),
+                ],
+            ),
+        );
+        let pi_ab = RaExpr::object_projection("R", 4, &[0, 1]);
+        assert_eq!(pi_ab.eval(&base), rel(2, [["a1", "b1"], ["a2", "b2"]]));
+        let pi_bc = RaExpr::object_projection("R", 4, &[1, 2]);
+        assert_eq!(pi_bc.eval(&base), rel(2, [["b1", "c1"]]));
+    }
+
+    #[test]
+    fn arity_validation_catches_errors() {
+        assert!(RaExpr::rel("NOPE").arity(&sig()).is_err());
+        assert!(RaExpr::rel("R_SP")
+            .project(vec![5])
+            .arity(&sig())
+            .is_err());
+        assert!(RaExpr::rel("R_SP")
+            .union(RaExpr::rel("R_SP").project(vec![0]))
+            .arity(&sig())
+            .is_err());
+        assert!(RaExpr::rel("R_SP")
+            .restrict(vec![ColPattern::Any])
+            .arity(&sig())
+            .is_err());
+    }
+
+    #[test]
+    fn referenced_relations() {
+        let e = RaExpr::rel("R_SP").join(RaExpr::rel("R_PJ"), vec![(1, 0)]);
+        assert_eq!(e.referenced(), vec!["R_PJ", "R_SP"]);
+        assert_eq!(RaExpr::Empty(2).referenced(), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn reorder_duplicates_and_permutes() {
+        let e = RaExpr::rel("R_SP").reorder(vec![1, 0, 0]);
+        let r = e.eval(&inst());
+        assert_eq!(r.arity(), 3);
+        assert!(r.contains(&Tuple::new([v("p1"), v("s1"), v("s1")])));
+    }
+}

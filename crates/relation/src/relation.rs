@@ -1,0 +1,422 @@
+//! Relations: finite sets of equal-arity tuples with full set algebra.
+//!
+//! Tuples are kept in a `BTreeSet`, giving deterministic iteration order
+//! (instances print identically run to run, like the paper's tables) and
+//! `O(log n)` membership.  The set operations here are the single-relation
+//! versions of the relation-by-relation operations of Notation 1.2.3.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A finite relation instance of fixed arity.
+///
+/// # Examples
+///
+/// ```
+/// use compview_relation::{rel, t};
+///
+/// let sp = rel(2, [["s1", "p1"], ["s2", "p3"]]);
+/// let pj = rel(2, [["p1", "j1"], ["p3", "j1"]]);
+/// let spj = sp.join(&pj, &[(1, 0)]);
+/// assert_eq!(spj.len(), 2);
+/// assert!(spj.contains(&t(["s1", "p1", "j1"])));
+///
+/// // The relation-by-relation set algebra of Notation 1.2.3:
+/// let delta = sp.sym_diff(&rel(2, [["s1", "p1"]]));
+/// assert_eq!(delta, rel(2, [["s2", "p3"]]));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Build a relation from tuples, checking that arities agree.
+    ///
+    /// # Panics
+    /// Panics if any tuple's arity differs from `arity`.
+    pub fn from_tuples<I>(arity: usize, tuples: I) -> Relation
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut r = Relation::empty(arity);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Column count.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over the tuples in deterministic (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch — mixing arities in one relation is always a
+    /// logic error in this codebase, never data-dependent.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.arity(),
+            self.arity,
+            "tuple arity {} does not match relation arity {}",
+            t.arity(),
+            self.arity
+        );
+        self.tuples.insert(t)
+    }
+
+    /// Remove a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        self.tuples.is_subset(&other.tuples)
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &Relation) -> Relation {
+        self.assert_compatible(other);
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        self.assert_compatible(other);
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// `self \ other`.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        self.assert_compatible(other);
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        }
+    }
+
+    /// Symmetric difference `self Δ other = (self ∪ other) \ (self ∩ other)`.
+    pub fn sym_diff(&self, other: &Relation) -> Relation {
+        self.assert_compatible(other);
+        Relation {
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .symmetric_difference(&other.tuples)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Projection onto column indices `cols` (set semantics: duplicates fuse).
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        let mut out = Relation::empty(cols.len());
+        for t in &self.tuples {
+            out.tuples.insert(t.project(cols));
+        }
+        out
+    }
+
+    /// Selection: keep tuples satisfying `pred`.
+    pub fn select<F: Fn(&Tuple) -> bool>(&self, pred: F) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
+        }
+    }
+
+    /// Natural join on explicit column pairs: tuples `l ++ r'` where `r'` is
+    /// `r` minus its join columns, for every `l`, `r` agreeing on each
+    /// `(left_col, right_col)` pair.
+    ///
+    /// Implemented as a hash join on the join-key projection; output column
+    /// order is `self`'s columns followed by `other`'s non-key columns in
+    /// their original order (standard natural-join convention).
+    pub fn join(&self, other: &Relation, on: &[(usize, usize)]) -> Relation {
+        let lkeys: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+        let rkeys: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        let rkeep: Vec<usize> = (0..other.arity).filter(|c| !rkeys.contains(c)).collect();
+
+        let mut index: std::collections::HashMap<Tuple, Vec<&Tuple>> =
+            std::collections::HashMap::new();
+        for rt in &other.tuples {
+            index.entry(rt.project(&rkeys)).or_default().push(rt);
+        }
+
+        let mut out = Relation::empty(self.arity + rkeep.len());
+        for lt in &self.tuples {
+            if let Some(matches) = index.get(&lt.project(&lkeys)) {
+                for rt in matches {
+                    out.tuples.insert(lt.concat(&rt.project(&rkeep)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cartesian product.
+    pub fn product(&self, other: &Relation) -> Relation {
+        self.join(other, &[])
+    }
+
+    /// Rename/permute columns: output column `i` takes input column `perm[i]`.
+    pub fn reorder(&self, perm: &[usize]) -> Relation {
+        self.project(perm)
+    }
+
+    /// The set of distinct values appearing in column `col` — the *active
+    /// domain* of that column.
+    pub fn column_values(&self, col: usize) -> BTreeSet<Value> {
+        self.tuples.iter().map(|t| t[col]).collect()
+    }
+
+    /// All values appearing anywhere in the relation.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.tuples
+            .iter()
+            .flat_map(|t| t.values().iter().copied())
+            .collect()
+    }
+
+    /// Remove tuples strictly subsumed by another tuple of the relation
+    /// (Example 2.1.1 mentions the subsumed-tuple-free re-axiomatization).
+    pub fn remove_subsumed(&self) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| {
+                    !self
+                        .tuples
+                        .iter()
+                        .any(|o| *t != o && t.subsumed_by(o))
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    fn assert_compatible(&self, other: &Relation) {
+        assert_eq!(
+            self.arity, other.arity,
+            "set operation on relations of different arity"
+        );
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+/// Build a relation literal: `rel(2, [["s1","p1"], ["s1","p2"]])`.
+pub fn rel<I, T>(arity: usize, rows: I) -> Relation
+where
+    I: IntoIterator<Item = T>,
+    T: Into<Tuple>,
+{
+    Relation::from_tuples(arity, rows.into_iter().map(Into::into))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::t;
+    use crate::value::{v, Value};
+
+    fn r_sp() -> Relation {
+        // R_SP of Example 1.1.1.
+        rel(
+            2,
+            [["s1", "p1"], ["s1", "p2"], ["s2", "p3"]],
+        )
+    }
+
+    fn r_pj() -> Relation {
+        // R_PJ of Example 1.1.1.
+        rel(
+            2,
+            [["p1", "j1"], ["p1", "j2"], ["p3", "j1"], ["p4", "j3"]],
+        )
+    }
+
+    #[test]
+    fn join_reproduces_example_1_1_1() {
+        // R_SPJ = R_SP ⋈_P R_PJ should be exactly the paper's view instance.
+        let spj = r_sp().join(&r_pj(), &[(1, 0)]);
+        let expected = rel(
+            3,
+            [
+                ["s1", "p1", "j1"],
+                ["s1", "p1", "j2"],
+                ["s1", "p2", "j1"], // not present: p2 has no PJ partner
+            ],
+        );
+        // (s1,p2) joins nothing; (s2,p3) joins (p3,j1).
+        let expected = {
+            let mut e = expected;
+            e.remove(&t(["s1", "p2", "j1"]));
+            e.insert(t(["s2", "p3", "j1"]));
+            e
+        };
+        assert_eq!(spj, expected);
+        assert_eq!(spj.len(), 3);
+    }
+
+    #[test]
+    fn join_side_effect_of_insertion() {
+        // Inserting (s3,p3) and (p3,j3) to support view-insert (s3,p3,j3)
+        // also creates (s3,p3,j1) and (s2,p3,j3) — the paper's instance (b).
+        let mut sp = r_sp();
+        let mut pj = r_pj();
+        sp.insert(t(["s3", "p3"]));
+        pj.insert(t(["p3", "j3"]));
+        let spj = sp.join(&pj, &[(1, 0)]);
+        assert!(spj.contains(&t(["s3", "p3", "j3"])));
+        assert!(spj.contains(&t(["s3", "p3", "j1"]))); // side effect
+        assert!(spj.contains(&t(["s2", "p3", "j3"]))); // side effect
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = rel(1, [["x"], ["y"]]);
+        let b = rel(1, [["y"], ["z"]]);
+        assert_eq!(a.union(&b), rel(1, [["x"], ["y"], ["z"]]));
+        assert_eq!(a.intersect(&b), rel(1, [["y"]]));
+        assert_eq!(a.difference(&b), rel(1, [["x"]]));
+        assert_eq!(a.sym_diff(&b), rel(1, [["x"], ["z"]]));
+        assert!(a.intersect(&b).is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn sym_diff_definition_holds() {
+        // A Δ B = (A ∪ B) \ (A ∩ B), Notation 1.2.3.
+        let a = rel(1, [["x"], ["y"], ["w"]]);
+        let b = rel(1, [["y"], ["z"], ["w"]]);
+        assert_eq!(
+            a.sym_diff(&b),
+            a.union(&b).difference(&a.intersect(&b))
+        );
+    }
+
+    #[test]
+    fn projection_fuses_duplicates() {
+        let r = rel(2, [["a", "x"], ["a", "y"], ["b", "x"]]);
+        assert_eq!(r.project(&[0]), rel(1, [["a"], ["b"]]));
+        assert_eq!(r.project(&[0]).len(), 2);
+    }
+
+    #[test]
+    fn selection() {
+        let r = rel(2, [["a", "x"], ["b", "x"], ["a", "y"]]);
+        let sel = r.select(|t| t[0] == v("a"));
+        assert_eq!(sel, rel(2, [["a", "x"], ["a", "y"]]));
+    }
+
+    #[test]
+    fn product_arity_and_size() {
+        let a = rel(1, [["x"], ["y"]]);
+        let b = rel(2, [["1", "2"], ["3", "4"], ["5", "6"]]);
+        let p = a.product(&b);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn remove_subsumed_keeps_maximal_objects() {
+        let r = Relation::from_tuples(
+            3,
+            [
+                Tuple::new([v("a"), v("b"), Value::Null]),
+                Tuple::new([v("a"), v("b"), v("c")]),
+                Tuple::new([Value::Null, v("b"), v("c")]),
+                Tuple::new([Value::Null, v("x"), Value::Null]),
+            ],
+        );
+        let m = r.remove_subsumed();
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&Tuple::new([v("a"), v("b"), v("c")])));
+        assert!(m.contains(&Tuple::new([Value::Null, v("x"), Value::Null])));
+    }
+
+    #[test]
+    fn active_domain() {
+        let r = rel(2, [["a", "b"], ["b", "c"]]);
+        let dom = r.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&v("a")) && dom.contains(&v("c")));
+        assert_eq!(r.column_values(0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::empty(2);
+        r.insert(t(["only-one"]));
+    }
+
+    #[test]
+    fn reorder_permutes_columns() {
+        let r = rel(3, [["a", "b", "c"]]);
+        assert_eq!(r.reorder(&[2, 1, 0]), rel(3, [["c", "b", "a"]]));
+    }
+}

@@ -1,0 +1,208 @@
+//! Relation signatures: the `Rel(D)` half of a schema `D = (Rel(D), Con(D))`.
+//!
+//! Constraints (`Con(D)`) are defined in `compview-logic`, which layers a
+//! full schema type on top of these signatures; keeping the signature here
+//! lets the relational algebra evaluator resolve attribute names without a
+//! dependency on the constraint language.
+
+use std::fmt;
+
+/// Declaration of one relation symbol: a name plus named attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelDecl {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl RelDecl {
+    /// Declare relation `name` with attribute names `attrs`.
+    ///
+    /// # Panics
+    /// Panics if attribute names repeat — the paper's framework (like the
+    /// classical one) requires distinct attributes within a relation.
+    pub fn new<S: Into<String>, I, A>(name: S, attrs: I) -> RelDecl
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<String>,
+    {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute {a:?} in relation declaration"
+            );
+        }
+        RelDecl {
+            name: name.into(),
+            attrs,
+        }
+    }
+
+    /// The relation symbol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute names in column order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Column index of attribute `attr`, if declared.
+    pub fn col(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Column indices for a list of attribute names.
+    ///
+    /// # Panics
+    /// Panics if any attribute is not declared; schema references are
+    /// compile-time data in this library, so a miss is a programming error.
+    pub fn cols(&self, attrs: &[&str]) -> Vec<usize> {
+        attrs
+            .iter()
+            .map(|a| {
+                self.col(a)
+                    .unwrap_or_else(|| panic!("attribute {a:?} not in relation {}", self.name))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for RelDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.name, self.attrs.join(","))
+    }
+}
+
+/// A finite set of relation declarations — `Rel(D)`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Signature {
+    rels: Vec<RelDecl>,
+}
+
+impl Signature {
+    /// The empty signature (the carrier of the zero view `0_D`, §2.2).
+    pub fn empty() -> Signature {
+        Signature::default()
+    }
+
+    /// Build a signature from declarations.
+    ///
+    /// # Panics
+    /// Panics on duplicate relation names.
+    pub fn new<I: IntoIterator<Item = RelDecl>>(rels: I) -> Signature {
+        let mut sig = Signature::empty();
+        for r in rels {
+            sig.add(r);
+        }
+        sig
+    }
+
+    /// Add a declaration.
+    ///
+    /// # Panics
+    /// Panics if the name is already declared.
+    pub fn add(&mut self, decl: RelDecl) {
+        assert!(
+            self.decl(decl.name()).is_none(),
+            "duplicate relation {:?}",
+            decl.name()
+        );
+        self.rels.push(decl);
+    }
+
+    /// Declarations, in declaration order.
+    pub fn decls(&self) -> &[RelDecl] {
+        &self.rels
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether there are no relation symbols.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Find the declaration for `name`.
+    pub fn decl(&self, name: &str) -> Option<&RelDecl> {
+        self.rels.iter().find(|r| r.name() == name)
+    }
+
+    /// Find the declaration for `name`, panicking on a miss.
+    pub fn expect_decl(&self, name: &str) -> &RelDecl {
+        self.decl(name)
+            .unwrap_or_else(|| panic!("relation {name:?} not in signature"))
+    }
+
+    /// Relation names in declaration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.rels.iter().map(|r| r.name())
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decl_lookup() {
+        let d = RelDecl::new("R_SP", ["S", "P"]);
+        assert_eq!(d.arity(), 2);
+        assert_eq!(d.col("P"), Some(1));
+        assert_eq!(d.col("Q"), None);
+        assert_eq!(d.cols(&["P", "S"]), vec![1, 0]);
+        assert_eq!(d.to_string(), "R_SP[S,P]");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attrs_rejected() {
+        RelDecl::new("R", ["A", "A"]);
+    }
+
+    #[test]
+    fn signature_lookup() {
+        let sig = Signature::new([
+            RelDecl::new("R_SP", ["S", "P"]),
+            RelDecl::new("R_PJ", ["P", "J"]),
+        ]);
+        assert_eq!(sig.len(), 2);
+        assert!(sig.decl("R_SP").is_some());
+        assert!(sig.decl("R_XX").is_none());
+        assert_eq!(sig.names().collect::<Vec<_>>(), vec!["R_SP", "R_PJ"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_relations_rejected() {
+        Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("R", ["B"])]);
+    }
+
+    #[test]
+    fn empty_signature_is_zero_view_carrier() {
+        let sig = Signature::empty();
+        assert!(sig.is_empty());
+        assert_eq!(sig.to_string(), "");
+    }
+}

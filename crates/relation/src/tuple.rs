@@ -1,0 +1,193 @@
+//! Tuples: fixed-arity sequences of [`Value`]s.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// An immutable database tuple.
+///
+/// Stored as a boxed slice: two words on the stack, no spare capacity, and
+/// `Ord` derives lexicographic order so tuples sort deterministically inside
+/// [`crate::relation::Relation`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from anything yielding values.
+    pub fn new<I, T>(vals: I) -> Tuple
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Value>,
+    {
+        Tuple(vals.into_iter().map(Into::into).collect())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values, in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project onto the given column indices (in the order given).
+    ///
+    /// This is positional projection; attribute-name projection lives on
+    /// [`crate::schema::RelDecl`].
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple(cols.iter().map(|&c| self.0[c]).collect())
+    }
+
+    /// A new tuple with column `col` replaced by `val`.
+    pub fn with(&self, col: usize, val: Value) -> Tuple {
+        let mut vals = self.0.to_vec();
+        vals[col] = val;
+        Tuple(vals.into_boxed_slice())
+    }
+
+    /// Concatenate two tuples (used by product/join).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut vals = Vec::with_capacity(self.arity() + other.arity());
+        vals.extend_from_slice(&self.0);
+        vals.extend_from_slice(&other.0);
+        Tuple(vals.into_boxed_slice())
+    }
+
+    /// Column indices holding the null value `η`.
+    pub fn null_cols(&self) -> Vec<usize> {
+        (0..self.arity()).filter(|&c| self.0[c].is_null()).collect()
+    }
+
+    /// Column indices holding non-null values — the tuple's *support*.
+    ///
+    /// For the null-augmented schemas of Example 2.1.1 the support of a legal
+    /// tuple is always a contiguous attribute interval.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.arity())
+            .filter(|&c| !self.0[c].is_null())
+            .collect()
+    }
+
+    /// Whether every column in `cols` is non-null.
+    pub fn nonnull_on(&self, cols: &[usize]) -> bool {
+        cols.iter().all(|&c| !self.0[c].is_null())
+    }
+
+    /// Whether `self` is *subsumed* by `other`: same arity, and wherever
+    /// `self` is non-null, `other` agrees.  (Sciore objects, Example 2.1.1:
+    /// `(a,b,η,η)` is subsumed by `(a,b,c,η)`.)
+    pub fn subsumed_by(&self, other: &Tuple) -> bool {
+        self.arity() == other.arity()
+            && self
+                .0
+                .iter()
+                .zip(other.0.iter())
+                .all(|(s, o)| s.is_null() || s == o)
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Tuple {
+    fn from(vals: [T; N]) -> Tuple {
+        Tuple::new(vals)
+    }
+}
+
+/// Shorthand constructor: `t(["s1", "p1"])`.
+pub fn t<I, T>(vals: I) -> Tuple
+where
+    I: IntoIterator<Item = T>,
+    T: Into<Value>,
+{
+    Tuple::new(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::v;
+
+    #[test]
+    fn construction_and_access() {
+        let tp = t(["a", "b", "c"]);
+        assert_eq!(tp.arity(), 3);
+        assert_eq!(tp[0], v("a"));
+        assert_eq!(tp[2], v("c"));
+    }
+
+    #[test]
+    fn projection_is_positional_and_order_respecting() {
+        let tp = t(["a", "b", "c", "d"]);
+        assert_eq!(tp.project(&[2, 0]), t(["c", "a"]));
+        assert_eq!(tp.project(&[]), Tuple::new(Vec::<Value>::new()));
+    }
+
+    #[test]
+    fn concat_and_with() {
+        let x = t(["a", "b"]);
+        let y = t(["c"]);
+        assert_eq!(x.concat(&y), t(["a", "b", "c"]));
+        assert_eq!(x.with(1, v("z")), t(["a", "z"]));
+    }
+
+    #[test]
+    fn support_and_null_cols() {
+        let tp = Tuple::new([v("a"), Value::Null, v("c"), Value::Null]);
+        assert_eq!(tp.support(), vec![0, 2]);
+        assert_eq!(tp.null_cols(), vec![1, 3]);
+        assert!(tp.nonnull_on(&[0, 2]));
+        assert!(!tp.nonnull_on(&[0, 1]));
+    }
+
+    #[test]
+    fn subsumption_matches_example_2_1_1() {
+        // (a1,b1,η,η) is subsumed by (a1,b1,c1,η) and by (a1,b1,c1,d1).
+        let small = Tuple::new([v("a1"), v("b1"), Value::Null, Value::Null]);
+        let mid = Tuple::new([v("a1"), v("b1"), v("c1"), Value::Null]);
+        let full = Tuple::new([v("a1"), v("b1"), v("c1"), v("d1")]);
+        assert!(small.subsumed_by(&mid));
+        assert!(small.subsumed_by(&full));
+        assert!(mid.subsumed_by(&full));
+        assert!(!full.subsumed_by(&mid));
+        // Disagreement on a non-null column blocks subsumption.
+        let other = Tuple::new([v("a2"), v("b1"), Value::Null, Value::Null]);
+        assert!(!other.subsumed_by(&full));
+        // Every tuple subsumes itself.
+        assert!(full.subsumed_by(&full));
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        let mut ts = vec![t(["b", "a"]), t(["a", "b"]), t(["a", "a"])];
+        ts.sort();
+        assert_eq!(ts, vec![t(["a", "a"]), t(["a", "b"]), t(["b", "a"])]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Domain values.
+//!
+//! The paper's framework ranges over an abstract universe of domain elements
+//! (the carrier of a *type assignment*, §2.1).  We realise the universe as
+//! interned symbols plus machine integers, with one distinguished *null*
+//! value per the null type `τ_η` of §2.1 ("value inapplicable" nulls — the
+//! paper's nulls are ordinary domain elements of a one-element type, not SQL
+//! three-valued-logic nulls, so equality on them is ordinary equality).
+//!
+//! Symbols are interned globally so that a [`Value`] is a small `Copy` datum
+//! and tuple comparison never touches string storage.
+
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Bidirectional symbol interner shared by the whole process.
+struct Interner {
+    names: Vec<String>,
+    index: std::collections::HashMap<String, u32>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            names: Vec::new(),
+            index: std::collections::HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+
+    fn name(&self, id: u32) -> String {
+        self.names[id as usize].clone()
+    }
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+/// A single domain element.
+///
+/// `Null` is the distinguished value of the null type `τ_η` (Example 2.1.1).
+/// It orders before all other values so that null-padded tuples sort
+/// adjacently, which keeps the paper's instance tables readable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The null value `η` of the null type `τ_η`.
+    Null,
+    /// A machine integer (convenient for generated workloads).
+    Int(i64),
+    /// An interned symbolic constant such as `s1`, `p3`, `a4`.
+    Sym(u32),
+}
+
+impl Value {
+    /// Intern `name` and return the symbol value for it.
+    ///
+    /// The same name always yields the same `Value`, process-wide.
+    pub fn sym(name: &str) -> Value {
+        // Fast path: read lock only.
+        if let Some(&id) = interner()
+            .read()
+            .expect("interner poisoned")
+            .index
+            .get(name)
+        {
+            return Value::Sym(id);
+        }
+        Value::Sym(interner().write().expect("interner poisoned").intern(name))
+    }
+
+    /// The integer value `i`.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Whether this is the null value `η`.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Human-readable rendering (`η` for null, the name for symbols).
+    pub fn render(self) -> String {
+        match self {
+            Value::Null => "η".to_owned(),
+            Value::Int(i) => i.to_string(),
+            Value::Sym(id) => interner().read().expect("interner poisoned").name(id),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::sym(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::sym(&s)
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and examples: `v("s1")`.
+pub fn v(name: &str) -> Value {
+    Value::sym(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Value::sym("alpha");
+        let b = Value::sym("alpha");
+        let c = Value::sym("beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.render(), "alpha");
+        assert_eq!(c.render(), "beta");
+    }
+
+    #[test]
+    fn null_orders_first() {
+        let mut vals = [Value::sym("z"), Value::Null, Value::int(3)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+    }
+
+    #[test]
+    fn null_is_a_proper_value() {
+        // Paper §2.1: τ_η(η) ∧ ∀x(τ_η(x) → x = η): ordinary equality applies.
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null.is_null());
+        assert!(!Value::sym("a").is_null());
+        assert_eq!(Value::Null.render(), "η");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(7), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::sym("x"));
+        assert_eq!(v("y"), Value::sym("y"));
+    }
+
+    #[test]
+    fn many_symbols_round_trip() {
+        for i in 0..500 {
+            let name = format!("sym{i}");
+            assert_eq!(Value::sym(&name).render(), name);
+        }
+    }
+}

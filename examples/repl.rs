@@ -1,0 +1,157 @@
+//! An interactive shell over the view-update catalog — drive the paper's
+//! machinery by hand.
+//!
+//! Commands (one per line, `#` comments ignored):
+//!
+//! ```text
+//! show                      print the base instance
+//! views                     list registered views and their masks
+//! read <view>               print a view's state
+//! insert <view> <col>=<val> …   stage + apply an insertion
+//! delete <view> <col>=<val> …   stage + apply a deletion
+//! undo                      revert the last update
+//! log                       print the audit log
+//! quit
+//! ```
+//!
+//! Reads commands from stdin, so it can be scripted:
+//!
+//! ```sh
+//! printf 'views\ninsert sales Customer=eve Order=o9\nshow\nquit\n' \
+//!   | cargo run --example repl
+//! ```
+
+use compview::core::{Catalog, TreeComponents};
+use compview::logic::TreeSchema;
+use compview::relation::{display, Relation, Value};
+use std::io::BufRead;
+
+fn main() {
+    let ts = TreeSchema::new(
+        "Orders",
+        ["Customer", "Order", "Product", "Warehouse"],
+        vec![(0, 1), (1, 2), (1, 3)],
+    );
+    let tc = TreeComponents::new(ts.clone());
+
+    let mut gens = Relation::empty(4);
+    for (c, o) in [("ada", "o1"), ("bob", "o2")] {
+        gens.insert(ts.object(&[(0, Value::sym(c)), (1, Value::sym(o))]));
+    }
+    gens.insert(ts.object(&[(1, Value::sym("o1")), (2, Value::sym("widget"))]));
+    gens.insert(ts.object(&[(1, Value::sym("o1")), (3, Value::sym("east"))]));
+    let base = ts.instance(ts.close(&gens));
+
+    let mut cat = Catalog::new(tc, base);
+    cat.register("sales", 0b001).unwrap();
+    cat.register("procurement", 0b010).unwrap();
+    cat.register("shipping", 0b100).unwrap();
+
+    let attr_col = |name: &str| ts.attrs().iter().position(|a| a == name);
+
+    println!("compview repl — views over Orders[Customer,Order,Product,Warehouse]");
+    println!("type `views`, `show`, `read <view>`, `insert/delete <view> Col=val …`, `undo`, `log`, `quit`\n");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let cmd = words.next().unwrap_or_default();
+        match cmd {
+            "quit" | "exit" => break,
+            "show" => print!(
+                "{}",
+                display::table(
+                    cat.state().rel("Orders"),
+                    &["Customer", "Order", "Product", "Warehouse"],
+                    "Orders"
+                )
+            ),
+            "views" => {
+                for (name, mask) in cat.views() {
+                    println!("  {name:<12} mask {mask:#05b}");
+                }
+            }
+            "read" => match words.next().and_then(|v| cat.read(v).ok()) {
+                Some(state) => print!(
+                    "{}",
+                    display::table(
+                        state.rel("Orders"),
+                        &["Customer", "Order", "Product", "Warehouse"],
+                        "view state"
+                    )
+                ),
+                None => println!("! unknown view"),
+            },
+            "insert" | "delete" => {
+                let Some(view) = words.next() else {
+                    println!("! usage: {cmd} <view> Col=val …");
+                    continue;
+                };
+                let mut bindings = Vec::new();
+                let mut ok = true;
+                for w in words {
+                    match w.split_once('=') {
+                        Some((col, val)) => match attr_col(col) {
+                            Some(i) => bindings.push((i, Value::sym(val))),
+                            None => {
+                                println!("! unknown attribute {col}");
+                                ok = false;
+                            }
+                        },
+                        None => {
+                            println!("! bad binding {w} (use Col=val)");
+                            ok = false;
+                        }
+                    }
+                }
+                if !ok || bindings.len() < 2 {
+                    println!("! need at least two Col=val bindings");
+                    continue;
+                }
+                let obj = ts.object(&bindings);
+                let mut part = match cat.read(view) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        println!("! {e}");
+                        continue;
+                    }
+                };
+                if cmd == "insert" {
+                    part.rel_mut("Orders").insert(obj);
+                } else if !part.rel_mut("Orders").remove(&obj) {
+                    println!("! object not present in {view}");
+                    continue;
+                }
+                match cat.update(view, &part) {
+                    Ok(r) => println!(
+                        "ok: requested Δ={} reflected Δ={}",
+                        r.requested_delta, r.reflected_delta
+                    ),
+                    Err(e) => println!("! rejected: {e}"),
+                }
+            }
+            "undo" => match cat.undo() {
+                Ok(()) => println!("ok: reverted"),
+                Err(e) => println!("! {e}"),
+            },
+            "log" => {
+                for entry in cat.log() {
+                    println!(
+                        "  {:<12} requested {} reflected {}",
+                        entry.view, entry.requested_delta, entry.reflected_delta
+                    );
+                }
+            }
+            other => println!("! unknown command {other:?}"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,144 @@
+//! A guided tour of Section 1: every admissibility requirement of the
+//! paper, demonstrated on the suppliers–parts–jobs schemata of Examples
+//! 1.1.1–1.3.6, with the violations the paper describes exhibited by real
+//! strategy objects and detected by the library's checkers.
+//!
+//! Run with: `cargo run --example suppliers_parts_jobs`
+
+use compview::core::paper::{example_1_2_5, example_1_3_6};
+use compview::core::{
+    complement, strategy, strong, update, MatView, Strategy, UpdateSpec, View,
+};
+use compview::relation::{display, rel, t};
+
+fn main() {
+    requirement_1_nonextraneous();
+    requirement_2_functorial();
+    requirements_3_4_symmetric_state_independent();
+    complements_are_not_unique();
+}
+
+/// Requirement 1 (Examples 1.2.1 / 1.2.2 / 1.2.5): extraneous updates and
+/// the impossibility of always-minimal solutions.
+fn requirement_1_nonextraneous() {
+    println!("== Requirement 1: nonextraneous updates ==\n");
+    let sp = example_1_2_5::small_space();
+    let g1 = MatView::materialise(example_1_2_5::gamma1(), &sp);
+
+    // The example's shape: insert a new SP pair into Γ1 = π_SP where the
+    // part p1 already has two J partners — two incomparable nonextraneous
+    // solutions exist (Example 1.2.5), so no minimal one.
+    let base = sp.expect_id(
+        &compview::relation::Instance::null_model(sp.schema().sig()).with(
+            "R_SPJ",
+            rel(3, [["s1", "p1", "j1"], ["s1", "p1", "j2"]]),
+        ),
+    );
+    let target_state = g1.view().apply(sp.state(base)).with(
+        "R_SP",
+        rel(2, [["s1", "p1"], ["s2", "p1"]]),
+    );
+    let target = g1.id_of(&target_state).expect("image state");
+    let sols = update::solutions(&g1, UpdateSpec { base, target });
+    let ne = update::nonextraneous(&sp, base, &sols);
+    println!("Insert (s2,p1) into π_SP: {} solutions, {} nonextraneous,", sols.len(), ne.len());
+    println!(
+        "minimal solution exists: {}\n",
+        update::minimal(&sp, base, &sols).is_some()
+    );
+    for &s in &ne {
+        println!("nonextraneous solution (Δ = {:?}):", sp.state(base).sym_diff(sp.state(s)).rel("R_SPJ"));
+        print!(
+            "{}",
+            display::table(sp.state(s).rel("R_SPJ"), &["S", "P", "J"], "")
+        );
+    }
+    println!("Pairwise-incomparable nonextraneous solutions ⇒ no minimal update");
+    println!("(Example 1.2.5); Proposition 1.2.6 still holds on every spec.\n");
+}
+
+/// Requirement 2 (Example 1.2.7): a smallest-change strategy is not
+/// functorial.
+fn requirement_2_functorial() {
+    println!("== Requirement 2: functoriality ==\n");
+    let sp = example_1_2_5::small_space();
+    let g1 = MatView::materialise(example_1_2_5::gamma1(), &sp);
+    let rho = Strategy::smallest_change(&sp, &g1);
+    let report = strategy::check(&sp, &g1, &rho);
+    println!("smallest-change strategy on Γ1 = π_SP:");
+    println!("  sound:          {:?}", report.sound.is_ok());
+    println!("  nonextraneous:  {:?}", report.nonextraneous.is_ok());
+    println!("  functorial:     {:?}", report.functorial.is_ok());
+    if let Err(e) = &report.functorial {
+        println!("    counterexample: {e}");
+    }
+    println!("Greedy minimal changes do not compose (Example 1.2.7).\n");
+}
+
+/// Requirements 3 & 4 (Examples 1.2.10 / 1.2.12) via the constant
+/// complement machinery: Γ2-constant strategies satisfy everything.
+fn requirements_3_4_symmetric_state_independent() {
+    println!("== Requirements 3 & 4: symmetry and state independence ==\n");
+    let sp = example_1_3_6::space(3);
+    let g1 = MatView::materialise(example_1_3_6::gamma1(), &sp);
+    let g2 = MatView::materialise(example_1_3_6::gamma2(), &sp);
+    let rho = Strategy::constant_complement(&sp, &g1, &g2);
+    let report = strategy::check(&sp, &g1, &rho);
+    println!("constant-complement strategy (complement Γ2 = S):");
+    println!("  admissible: {}", report.is_admissible());
+    println!("  total:      {}", rho.is_total(&sp, &g1));
+    println!("Complementary complements give total, admissible strategies");
+    println!("(Observation 1.3.5 + Theorem 3.1.1).\n");
+}
+
+/// Example 1.3.6: complements are not unique, and the choice matters.
+fn complements_are_not_unique() {
+    println!("== The complement problem (Example 1.3.6) ==\n");
+    let sp = example_1_3_6::space(2);
+    let g1 = MatView::materialise(example_1_3_6::gamma1(), &sp);
+    let g2 = MatView::materialise(example_1_3_6::gamma2(), &sp);
+    let g3 = MatView::materialise(example_1_3_6::gamma3(), &sp);
+
+    println!(
+        "Γ2 complementary to Γ1: {}",
+        complement::is_complementary(&g1, &g2)
+    );
+    println!(
+        "Γ3 complementary to Γ1: {}",
+        complement::is_complementary(&g1, &g3)
+    );
+    println!("Both are complements — but only Γ2 is a STRONG view:");
+    println!("  Γ2 strong: {}", strong::is_strong(&sp, &g2));
+    println!("  Γ3 strong: {}", strong::is_strong(&sp, &g3));
+
+    // Quantify the damage: update via each complement.
+    let base = example_1_3_6::base_instance();
+    let mut with_a4 = base.rel("R").clone();
+    with_a4.insert(t(["a4"]));
+    let via_s = compview::core::xor::update_r_const_s(&base, &with_a4);
+    let base_a4 = base.clone().with(
+        "S",
+        rel(1, [["a2"], ["a3"], ["a4"]]),
+    );
+    let via_t = compview::core::xor::update_r_const_t(&base_a4, &with_a4);
+    println!(
+        "\nInsert a4 into R: Γ2-constant changes {} tuple(s); Γ3-constant \
+         changes {} tuple(s) (extraneous deletion of a4 from S).",
+        compview::core::xor::reflected_change(&base, &via_s),
+        compview::core::xor::reflected_change(&base_a4, &via_t),
+    );
+    println!("\nThe paper's prescription: use only components as complements —");
+    println!("then reflections are unique, admissible, and canonical.");
+
+    // And indeed the identity view is a join complement that allows nothing.
+    let id = MatView::materialise(View::identity(sp.schema().sig()), &sp);
+    let rho_id = Strategy::constant_complement(&sp, &g1, &id);
+    let non_identity_updates = rho_id
+        .iter()
+        .filter(|&((s1, t2), _)| g1.label(s1) != t2)
+        .count();
+    println!(
+        "(Sanity: with the identity view constant, {non_identity_updates} \
+         non-identity updates are allowed — the 'ludicrous anomaly' of §1.3.)"
+    );
+}

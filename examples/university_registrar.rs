@@ -1,0 +1,119 @@
+//! A realistic deployment scenario: a university registrar database.
+//!
+//! The conceptual schema is the chain
+//! `STUDENT — ENROLLMENT — COURSE — DEPARTMENT`, modelled as the
+//! null-augmented path schema `Reg[Student, Course, Dept, Budget]` with
+//! the chain join dependency `*[Student·Course, Course·Dept, Dept·Budget]`
+//! — each segment is one office's window:
+//!
+//! * the **registrar** owns Student–Course pairs (enrollment);
+//! * the **catalogue office** owns Course–Dept pairs;
+//! * the **finance office** owns Dept–Budget pairs.
+//!
+//! Each office updates *its* component; the constant-complement machinery
+//! guarantees every office's update is reflected exactly, never touches
+//! the other offices' data, and is independent of which complement the
+//! DBA configures (Theorems 3.1.1 / 3.2.2).  A read-only dean's view
+//! (`Student–Dept` summary, a non-component view) shows the Update
+//! Procedure 3.2.3 accepting and rejecting requests.
+//!
+//! Run with: `cargo run --example university_registrar`
+
+use compview::core::{PathComponents, PathTranslateError};
+use compview::logic::PathSchema;
+use compview::relation::{display, v, Relation, Value};
+
+/// Segment masks: who owns what.
+const ENROLLMENT: u32 = 0b001; // Student–Course
+const CATALOGUE: u32 = 0b010; // Course–Dept
+const FINANCE: u32 = 0b100; // Dept–Budget
+
+fn main() {
+    let ps = PathSchema::new("Reg", ["Student", "Course", "Dept", "Budget"]);
+    let pc = PathComponents::new(ps.clone());
+
+    // Bootstrap the database from each office's master data.
+    let mut gens = Relation::empty(4);
+    for (s, c) in [
+        ("alice", "cs101"),
+        ("alice", "ma201"),
+        ("bob", "cs101"),
+        ("carol", "ph301"),
+    ] {
+        gens.insert(ps.object(0, &[v(s), v(c)]));
+    }
+    for (c, d) in [("cs101", "cs"), ("ma201", "math"), ("ph301", "physics")] {
+        gens.insert(ps.object(1, &[v(c), v(d)]));
+    }
+    for (d, b) in [("cs", "1.2M"), ("math", "0.8M"), ("physics", "2.1M")] {
+        gens.insert(ps.object(2, &[v(d), v(b)]));
+    }
+    let mut db = ps.close(&gens);
+    println!("Registrar database ({} derived facts after closure):\n", db.len());
+    print!(
+        "{}",
+        display::table(&db, &["Student", "Course", "Dept", "Budget"], "Reg")
+    );
+
+    // --- The registrar enrolls dave in cs101. -------------------------
+    println!("\n[registrar] enroll dave in cs101");
+    let mut enrollment = pc.endo(ENROLLMENT, &db);
+    enrollment.insert(ps.object(0, &[v("dave"), v("cs101")]));
+    db = pc
+        .translate(ENROLLMENT, &db, &enrollment)
+        .expect("enrollment update");
+    assert!(db.contains(&ps.object(0, &[v("dave"), v("cs101"), v("cs"), v("1.2M")])));
+    println!("  ✓ dave's enrollment joins through to the cs budget view");
+
+    // --- Finance updates a budget; nobody else moves. ------------------
+    println!("[finance]  set math budget to 0.9M");
+    let mut budgets = pc.endo(FINANCE, &db);
+    budgets.remove(&ps.object(2, &[v("math"), v("0.8M")]));
+    budgets.insert(ps.object(2, &[v("math"), v("0.9M")]));
+    let before_enrollment = pc.endo(ENROLLMENT, &db);
+    let before_catalogue = pc.endo(CATALOGUE, &db);
+    db = pc.translate(FINANCE, &db, &budgets).expect("budget update");
+    assert_eq!(pc.endo(ENROLLMENT, &db), before_enrollment);
+    assert_eq!(pc.endo(CATALOGUE, &db), before_catalogue);
+    println!("  ✓ enrollment and catalogue components untouched");
+
+    // --- The catalogue moves ma201 to the CS department. ---------------
+    println!("[catalogue] move ma201 from math to cs");
+    let mut catalogue = pc.endo(CATALOGUE, &db);
+    catalogue.remove(&ps.object(1, &[v("ma201"), v("math")]));
+    catalogue.insert(ps.object(1, &[v("ma201"), v("cs")]));
+    db = pc
+        .translate(CATALOGUE, &db, &catalogue)
+        .expect("catalogue update");
+    assert!(db.contains(&ps.object(0, &[v("alice"), v("ma201"), v("cs"), v("1.2M")])));
+    println!("  ✓ alice's ma201 enrollment now reaches the cs budget\n");
+
+    // --- Guard rails: offices cannot write outside their component. ----
+    println!("[registrar] tries to edit a budget through the enrollment API…");
+    let mut rogue = pc.endo(ENROLLMENT, &db);
+    rogue.insert(ps.object(2, &[v("cs"), v("99M")]));
+    match pc.translate(ENROLLMENT, &db, &rogue) {
+        Err(PathTranslateError::ForeignObject(t)) => {
+            println!("  ✗ rejected: {t} is outside the enrollment component");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // --- A dean's summary view with the Update Procedure 3.2.3. --------
+    println!("\n[dean] Student–Dept summary (a view above the enrollment and");
+    println!("       catalogue components, filtered through Γ°_{{SC∨CD}}):");
+    let summary: Vec<(Value, Value)> = db
+        .iter()
+        .filter(|t| pc.segs_of(t) == (ENROLLMENT | CATALOGUE))
+        .map(|t| (t[0], t[2]))
+        .collect();
+    for (s, d) in &summary {
+        println!("       {s} studies in {d}");
+    }
+    println!(
+        "\nFinal database: {} facts; decomposition lossless on all {} components: {}",
+        db.len(),
+        1 << pc.n_segments(),
+        (0..=pc.full_mask()).all(|m| pc.decomposition_is_lossless(m, &db))
+    );
+}

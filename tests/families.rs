@@ -1,0 +1,445 @@
+//! The component-family contract across every implementation, with
+//! randomized sampling and enumerated cross-checks: path, tree,
+//! horizontal, and subschema families all satisfy the §3 laws, and their
+//! component views are strong views on enumerated spaces.
+
+use compview::core::{
+    strong, verify_family, Catalog, ComponentFamily, HorizontalComponents, MatView,
+    PathComponents, SubschemaComponents, TreeComponents,
+};
+use compview::logic::{PathSchema, TreeSchema, TypeAlgebra, TypeAssignment};
+use compview::relation::{v, Instance, RelDecl, Relation, Signature, Tuple, Value};
+use proptest::prelude::*;
+
+// -------------------------------------------------------------- fixtures
+
+fn star_schema() -> TreeSchema {
+    TreeSchema::star("R", ["Hub", "X", "Y", "Z"])
+}
+
+fn random_star_state(seeds: &[(u8, u8, u8)]) -> Relation {
+    let ts = star_schema();
+    let mut r = Relation::empty(4);
+    for &(leaf, hub_val, leaf_val) in seeds {
+        let leaf_node = 1 + (leaf as usize % 3);
+        r.insert(ts.object(&[
+            (0, Value::sym(&format!("h{hub_val}"))),
+            (leaf_node, Value::sym(&format!("l{leaf_val}"))),
+        ]));
+    }
+    ts.close(&r)
+}
+
+fn horizontal_fixture() -> HorizontalComponents {
+    let alg = TypeAlgebra::new(["lo", "hi"]);
+    let mut mu = TypeAssignment::new();
+    for i in 0..8 {
+        mu.declare(v(&format!("k{i}")), &[usize::from(i >= 4)]);
+    }
+    HorizontalComponents::new(
+        "T",
+        2,
+        0,
+        vec![("lo".into(), alg.gen("lo")), ("hi".into(), alg.gen("hi"))],
+        &alg,
+        mu,
+    )
+    .unwrap()
+}
+
+// ----------------------------------------------------------- proptests --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full family contract on random star-tree states.
+    #[test]
+    fn tree_family_laws(
+        s1 in prop::collection::vec((0u8..3, 0u8..3, 0u8..4), 0..8),
+        s2 in prop::collection::vec((0u8..3, 0u8..3, 0u8..4), 0..8),
+    ) {
+        let ts = star_schema();
+        let tc = TreeComponents::new(ts.clone());
+        let samples = vec![
+            ts.instance(random_star_state(&s1)),
+            ts.instance(random_star_state(&s2)),
+            ts.instance(Relation::empty(4)),
+        ];
+        let report = verify_family(&tc, &samples);
+        prop_assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    /// The full family contract on random horizontal states.
+    #[test]
+    fn horizontal_family_laws(
+        rows1 in prop::collection::vec((0u8..8, 0u8..5), 0..10),
+        rows2 in prop::collection::vec((0u8..8, 0u8..5), 0..10),
+    ) {
+        let hc = horizontal_fixture();
+        let mk = |rows: &[(u8, u8)]| {
+            Instance::new().with(
+                "T",
+                Relation::from_tuples(
+                    2,
+                    rows.iter().map(|&(k, p)| {
+                        Tuple::new([v(&format!("k{k}")), Value::Int(p as i64)])
+                    }),
+                ),
+            )
+        };
+        let report = verify_family(&hc, &[mk(&rows1), mk(&rows2)]);
+        prop_assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    /// The full family contract on random subschema states.
+    #[test]
+    fn subschema_family_laws(
+        r1 in prop::collection::btree_set(0u8..6, 0..5),
+        s1 in prop::collection::btree_set(0u8..6, 0..5),
+        t1 in prop::collection::btree_set(0u8..6, 0..5),
+    ) {
+        let sig = Signature::new([
+            RelDecl::new("R", ["A"]),
+            RelDecl::new("S", ["A"]),
+            RelDecl::new("T", ["A"]),
+        ]);
+        let sc = SubschemaComponents::singletons(sig.clone());
+        let mk = |r: &std::collections::BTreeSet<u8>,
+                  s: &std::collections::BTreeSet<u8>,
+                  t: &std::collections::BTreeSet<u8>| {
+            let un = |set: &std::collections::BTreeSet<u8>| {
+                Relation::from_tuples(1, set.iter().map(|&i| Tuple::new([Value::Int(i as i64)])))
+            };
+            Instance::null_model(&sig)
+                .with("R", un(r))
+                .with("S", un(s))
+                .with("T", un(t))
+        };
+        let samples = vec![mk(&r1, &s1, &t1), Instance::null_model(&sig)];
+        let report = verify_family(&sc, &samples);
+        prop_assert!(report.ok(), "{:?}", report.violations);
+    }
+
+    /// Path and tree engines agree on random chain updates.
+    #[test]
+    fn path_and_tree_translations_agree(
+        gens in prop::collection::vec((0usize..3, 0u8..4, 0u8..4), 0..8),
+        edits in prop::collection::vec((0u8..4, 0u8..4), 0..4),
+    ) {
+        let ps = PathSchema::example_2_1_1();
+        let pc = PathComponents::new(ps.clone());
+        let ts = TreeSchema::path("R", ["A", "B", "C", "D"]);
+        let tc = TreeComponents::new(ts);
+        let mut base_gens = Relation::empty(4);
+        for (seg, a, b) in gens {
+            base_gens.insert(ps.object(
+                seg,
+                &[
+                    Value::sym(&format!("c{seg}_{a}")),
+                    Value::sym(&format!("c{}_{b}", seg + 1)),
+                ],
+            ));
+        }
+        let base = ps.close(&base_gens);
+        let mut new_ab = pc.endo(0b001, &base);
+        for (a, b) in edits {
+            new_ab.insert(ps.object(
+                0,
+                &[Value::sym(&format!("c0_{a}")), Value::sym(&format!("c1_{b}"))],
+            ));
+        }
+        let via_path = pc.translate(0b001, &base, &new_ab).unwrap();
+        let via_tree = tc.translate_rel(0b001, &base, &new_ab).unwrap();
+        prop_assert_eq!(via_path, via_tree);
+    }
+}
+
+// ----------------------------------------------- enumerated strength ----
+
+/// Tree component views are strong views on an enumerated space, and
+/// complementary edge sets are strong complements — the family machinery
+/// is grounded in the paper's definitions, not just self-consistent.
+#[test]
+fn tree_components_are_strong_views() {
+    let ts = star_schema();
+    let tc = TreeComponents::new(ts.clone());
+    // Enumerate all closed states over a tiny generator pool.
+    let pool = [
+        ts.object(&[(0, v("h")), (1, v("x"))]),
+        ts.object(&[(0, v("h")), (2, v("y"))]),
+        ts.object(&[(0, v("h")), (3, v("z"))]),
+    ];
+    let mut states = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for mask in 0..(1u32 << pool.len()) {
+        let mut r = Relation::empty(4);
+        for (i, t) in pool.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                r.insert(t.clone());
+            }
+        }
+        let closed = ts.close(&r);
+        if seen.insert(closed.clone()) {
+            states.push(ts.instance(closed));
+        }
+    }
+    let sp = compview::core::StateSpace::from_states(ts.schema(), states);
+
+    // Materialise each edge component as a view via the family endo: the
+    // view keeps the component's objects.
+    use compview::relation::{ColPattern, RaExpr};
+    let edge_view = |name: &str, mask: u32| {
+        // Restrict to objects whose edges lie inside the mask: for a star,
+        // edge i connects hub(0) to leaf i+1, so the pattern per tuple is
+        // a union of restrictions; implement via select on nulls: keep
+        // tuples where leaves outside the mask are null.
+        let pattern: Vec<ColPattern> = (0..4)
+            .map(|c| {
+                if c == 0 || (mask >> (c - 1)) & 1 == 1 {
+                    ColPattern::Any
+                } else {
+                    ColPattern::Null
+                }
+            })
+            .collect();
+        compview::core::View::new(
+            name,
+            vec![(
+                RelDecl::new(format!("V{name}"), ["Hub", "X", "Y", "Z"]),
+                RaExpr::rel("R").restrict(pattern),
+            )],
+        )
+    };
+    let hub_x = MatView::materialise(edge_view("HX", 0b001), &sp);
+    let rest = MatView::materialise(edge_view("YZ", 0b110), &sp);
+    assert!(strong::is_strong(&sp, &hub_x));
+    assert!(strong::is_strong(&sp, &rest));
+    assert!(strong::are_strong_complements(&sp, &hub_x, &rest));
+
+    // And the family's endo agrees with the enumerated endomorphism.
+    let e = strong::endomorphism(&sp, &hub_x);
+    for (s, &img) in e.iter().enumerate() {
+        assert_eq!(
+            sp.state(img).rel("R"),
+            &tc.endo_rel(0b001, sp.state(s).rel("R"))
+        );
+    }
+}
+
+/// Horizontal component views are strong views too (restriction views in
+/// the sense of Example 2.3.4, with selection instead of null-patterns).
+#[test]
+fn horizontal_components_are_strong_views() {
+    let hc = horizontal_fixture();
+    // Enumerate: relation T over {k0 (lo), k4 (hi)} × {0} — 4 tuples off/on.
+    let sig = Signature::new([RelDecl::new("T", ["K", "P"])]);
+    let schema = compview::logic::Schema::unconstrained(sig.clone());
+    let pools: std::collections::BTreeMap<String, Vec<Tuple>> = [(
+        "T".to_owned(),
+        vec![
+            Tuple::new([v("k0"), Value::Int(0)]),
+            Tuple::new([v("k1"), Value::Int(0)]),
+            Tuple::new([v("k4"), Value::Int(0)]),
+            Tuple::new([v("k5"), Value::Int(0)]),
+        ],
+    )]
+    .into();
+    let sp = compview::core::StateSpace::enumerate(schema, &pools);
+
+    use compview::relation::{Predicate, RaExpr};
+    let lo_view = compview::core::View::new(
+        "lo",
+        vec![(
+            RelDecl::new("Tlo", ["K", "P"]),
+            RaExpr::rel("T").select(
+                Predicate::EqConst(0, v("k0")).or(Predicate::EqConst(0, v("k1"))),
+            ),
+        )],
+    );
+    let hi_view = compview::core::View::new(
+        "hi",
+        vec![(
+            RelDecl::new("Thi", ["K", "P"]),
+            RaExpr::rel("T").select(
+                Predicate::EqConst(0, v("k4")).or(Predicate::EqConst(0, v("k5"))),
+            ),
+        )],
+    );
+    let lo = MatView::materialise(lo_view, &sp);
+    let hi = MatView::materialise(hi_view, &sp);
+    assert!(strong::is_strong(&sp, &lo));
+    assert!(strong::is_strong(&sp, &hi));
+    assert!(strong::are_strong_complements(&sp, &lo, &hi));
+
+    // Family endo agrees.
+    let e = strong::endomorphism(&sp, &lo);
+    for (s, &img) in e.iter().enumerate() {
+        assert_eq!(
+            sp.state(img).rel("T"),
+            &hc.endo_rel(0b01, sp.state(s).rel("T"))
+        );
+    }
+}
+
+// ----------------------------------------------------- catalog session --
+
+/// A randomized catalog session preserves invariants: state stays legal,
+/// reads reflect writes, undo inverts, and each view's complement never
+/// moves under that view's updates.
+#[test]
+fn randomized_catalog_session() {
+    let ts = star_schema();
+    let tc = TreeComponents::new(ts.clone());
+    let base = ts.instance(random_star_state(&[(0, 0, 0), (1, 0, 1), (2, 1, 2)]));
+    let mut cat = Catalog::new(tc, base);
+    cat.register("hx", 0b001).unwrap();
+    cat.register("hy", 0b010).unwrap();
+    cat.register("hz", 0b100).unwrap();
+
+    let mut rng = compview::core::workload::rng(99);
+    use rand::RngExt;
+    let names = ["hx", "hy", "hz"];
+    for step in 0..60 {
+        let view = names[rng.random_range(0..3)];
+        let mask = cat.mask_of(view).unwrap();
+        let leaf = 1 + mask.trailing_zeros() as usize;
+        let mut part = cat.read(view).unwrap();
+        let obj = ts.object(&[
+            (0, Value::sym(&format!("h{}", rng.random_range(0..3)))),
+            (leaf, Value::sym(&format!("v{}", rng.random_range(0..4)))),
+        ]);
+        if !part.rel_mut("R").remove(&obj) {
+            part.rel_mut("R").insert(obj);
+        }
+        let before_complement = {
+            let f = cat.family();
+            f.endo(f.complement(mask), cat.state())
+        };
+        match cat.update(view, &part) {
+            Ok(_) => {
+                assert_eq!(&cat.read(view).unwrap(), &part, "step {step}: read-your-write");
+                let f = cat.family();
+                assert_eq!(
+                    f.endo(f.complement(mask), cat.state()),
+                    before_complement,
+                    "step {step}: complement moved"
+                );
+                assert!(ts.is_legal(cat.state()), "step {step}: illegal state");
+            }
+            Err(e) => panic!("step {step}: component updates are total: {e}"),
+        }
+        if step % 7 == 3 {
+            let before = cat.state().clone();
+            cat.undo().unwrap();
+            let replay = cat.update(view, &part).unwrap();
+            assert_eq!(cat.state(), &before, "undo+replay is the identity");
+            let _ = replay;
+        }
+    }
+    assert!(cat.log().len() >= 60);
+}
+
+/// Family masks behave Boolean-algebraically.
+#[test]
+fn family_mask_algebra() {
+    let tc = TreeComponents::new(star_schema());
+    let full = tc.full_mask();
+    assert_eq!(full, 0b111);
+    for m in 0..=full {
+        assert_eq!(tc.complement(tc.complement(m)), m);
+        assert_eq!(m & tc.complement(m), 0);
+        assert_eq!(m | tc.complement(m), full);
+    }
+    // Monotone decomposition: endo of a larger mask contains the smaller.
+    let ts = star_schema();
+    let base = random_star_state(&[(0, 0, 0), (1, 0, 1), (2, 0, 2)]);
+    for m in 0..=full {
+        for m2 in 0..=full {
+            if m & m2 == m {
+                assert!(tc
+                    .endo_rel(m, &base)
+                    .is_subset(&tc.endo_rel(m2, &base)));
+            }
+        }
+    }
+    let _ = ts;
+}
+
+// ------------------------------------------------- product families -----
+
+/// A heterogeneous database: a star-tree relation plus a horizontally
+/// partitioned table, decomposed by the product family — the composition
+/// of the two Boolean algebras.
+#[test]
+fn pair_family_combines_algebras() {
+    use compview::core::PairFamily;
+    let ts = star_schema();
+    let tc = TreeComponents::new(ts.clone());
+    let hc = horizontal_fixture();
+    let pair = PairFamily::new(tc, hc);
+    assert_eq!(pair.n_atoms(), 5); // 3 edges + 2 classes
+    assert_eq!(pair.full_mask(), 0b11111);
+
+    let tree_part = random_star_state(&[(0, 0, 0), (1, 0, 1)]);
+    let table = Relation::from_tuples(
+        2,
+        [
+            Tuple::new([v("k0"), Value::Int(1)]),
+            Tuple::new([v("k5"), Value::Int(2)]),
+        ],
+    );
+    let base = ts.instance(tree_part).with("T", table);
+
+    // The full contract holds on the combined instance.
+    let other = ts
+        .instance(random_star_state(&[(2, 1, 3)]))
+        .with("T", Relation::from_tuples(2, [Tuple::new([v("k1"), Value::Int(9)])]));
+    let report = verify_family(&pair, &[base.clone(), other]);
+    assert!(report.ok(), "{:?}", report.violations);
+
+    // Updating a tree component leaves the table untouched and vice versa.
+    let mask_tree_edge = 0b00001u32;
+    let part = pair.endo(mask_tree_edge, &base);
+    assert!(part.rel("T").is_empty());
+    let mask_lo_class = 0b01000u32; // class atom 0 sits at bit 3
+    let lo = pair.endo(mask_lo_class, &base);
+    assert!(lo.rel("R").is_empty());
+    assert_eq!(lo.rel("T").len(), 1); // only k0 (class lo)
+}
+
+/// A catalog over a product family services views on both sides.
+#[test]
+fn catalog_over_pair_family() {
+    use compview::core::PairFamily;
+    let ts = star_schema();
+    let tc = TreeComponents::new(ts.clone());
+    let hc = horizontal_fixture();
+    let pair = PairFamily::new(tc, hc);
+
+    let base = ts
+        .instance(random_star_state(&[(0, 0, 0)]))
+        .with(
+            "T",
+            Relation::from_tuples(2, [Tuple::new([v("k0"), Value::Int(7)])]),
+        );
+    let mut cat = Catalog::new(pair, base);
+    cat.register("hub-x", 0b00001).unwrap();
+    cat.register("lo-rows", 0b01000).unwrap();
+
+    // Update the lo-rows view.
+    let mut lo = cat.read("lo-rows").unwrap();
+    lo.rel_mut("T").insert(Tuple::new([v("k1"), Value::Int(8)]));
+    let report = cat.update("lo-rows", &lo).unwrap();
+    assert_eq!(report.reflected_delta, 1);
+    // Tree side untouched.
+    assert_eq!(
+        cat.state().rel("R"),
+        &random_star_state(&[(0, 0, 0)])
+    );
+    // And a tree-side update leaves the table alone.
+    let mut hx = cat.read("hub-x").unwrap();
+    hx.rel_mut("R")
+        .insert(ts.object(&[(0, v("h9")), (1, v("x9"))]));
+    cat.update("hub-x", &hx).unwrap();
+    assert_eq!(cat.state().rel("T").len(), 2);
+}

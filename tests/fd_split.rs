@@ -1,0 +1,216 @@
+//! The classical FD-based projection pair (the running example of the
+//! §0.2 related work: [DaBe78], [Kell82]) analysed inside Hegner's
+//! framework — and repaired by it.
+//!
+//! Schema: `R[Emp, Dept, Mgr]` with the FD `Dept → Mgr`.  The textbook
+//! decomposition is `Γ_ED = π_{Emp,Dept}` with complement
+//! `Γ_DM = π_{Dept,Mgr}`:
+//!
+//! * the FD implies the join dependency `*[ED, DM]`, so the pair is a
+//!   **join complement** (updates per complement are unique — Thm 1.3.2);
+//! * but the two projections share the `Dept` column, so they are **not
+//!   meet complementary**: some updates are impossible with the complement
+//!   constant, and neither projection is a **strong view** — the pair is
+//!   not in the component algebra, and the update strategy it induces is
+//!   partial and state dependent;
+//! * null-augmenting the schema into the path `Emp — Dept — Mgr`
+//!   (Example 2.1.1's construction) makes the two segments genuine
+//!   strongly complementary components with total admissible updates.
+
+use compview::core::{
+    complement, strategy, strong, MatView, PathComponents, StateSpace, Strategy, View,
+};
+use compview::logic::{Constraint, Fd, PathSchema, Schema};
+use compview::relation::{rel, v, Instance, RaExpr, RelDecl, Signature, Tuple};
+use std::collections::BTreeMap;
+
+/// The classical (null-free) schema over a small enumerated domain.
+fn classical_space() -> StateSpace {
+    let sig = Signature::new([RelDecl::new("R", ["Emp", "Dept", "Mgr"])]);
+    let schema = Schema::new(sig, vec![Constraint::Fd(Fd::new("R", vec![1], vec![2]))]);
+    let mut pool = Vec::new();
+    for e in ["e1", "e2"] {
+        for m in ["m1", "m2"] {
+            pool.push(Tuple::new([v(e), v("d1"), v(m)]));
+        }
+    }
+    let pools: BTreeMap<String, Vec<Tuple>> = [("R".to_owned(), pool)].into();
+    StateSpace::enumerate(schema, &pools)
+}
+
+fn gamma_ed() -> View {
+    View::new(
+        "Γ_ED",
+        vec![(
+            RelDecl::new("ED", ["Emp", "Dept"]),
+            RaExpr::rel("R").project(vec![0, 1]),
+        )],
+    )
+}
+
+fn gamma_dm() -> View {
+    View::new(
+        "Γ_DM",
+        vec![(
+            RelDecl::new("DM", ["Dept", "Mgr"]),
+            RaExpr::rel("R").project(vec![1, 2]),
+        )],
+    )
+}
+
+#[test]
+fn classical_pair_is_join_but_not_meet_complementary() {
+    let sp = classical_space();
+    // 7 legal states: ∅ plus (nonempty employee subset × manager choice).
+    assert_eq!(sp.len(), 7);
+    let ed = MatView::materialise(gamma_ed(), &sp);
+    let dm = MatView::materialise(gamma_dm(), &sp);
+    assert!(complement::is_join_complement(&ed, &dm), "FD ⇒ *[ED,DM]");
+    assert!(
+        !complement::is_meet_complement(&ed, &dm),
+        "shared Dept column: not independent"
+    );
+}
+
+#[test]
+fn classical_projections_are_not_strong() {
+    let sp = classical_space();
+    let ed = MatView::materialise(gamma_ed(), &sp);
+    let dm = MatView::materialise(gamma_dm(), &sp);
+    // Γ_ED's nonempty fibres contain one state per manager choice — an
+    // antichain with no least element.
+    let a = strong::analyse(&sp, &ed);
+    assert!(!a.is_strong());
+    assert!(!a.least_right_invertible);
+    // Γ_DM likewise (needs at least one employee per listed department).
+    assert!(!strong::is_strong(&sp, &dm));
+    // Not even generalized strong: the defect is in the kernel, not the
+    // presentation.
+    assert!(!strong::is_generalized_strong(&sp, &ed));
+}
+
+#[test]
+fn classical_strategy_is_partial_and_state_dependent() {
+    let sp = classical_space();
+    let ed = MatView::materialise(gamma_ed(), &sp);
+    let dm = MatView::materialise(gamma_dm(), &sp);
+    let rho = Strategy::constant_complement(&sp, &ed, &dm);
+    // Partial: deleting the last employee of a department would change DM.
+    assert!(!rho.is_total(&sp, &ed));
+    // Concretely: from {(e1,d1,m1)}, the ED target ∅ is impossible…
+    let base = sp.expect_id(
+        &Instance::null_model(sp.schema().sig()).with("R", rel(3, [["e1", "d1", "m1"]])),
+    );
+    let empty_target = ed
+        .id_of(&Instance::new().with("ED", rel(2, Vec::<[&str; 2]>::new())))
+        .expect("empty view state");
+    assert_eq!(rho.get(base, empty_target), None);
+    // …and inserting a *new* department is impossible from any state
+    // (the classical schema cannot hold a department without a manager).
+    let one_emp = sp.expect_id(
+        &Instance::null_model(sp.schema().sig()).with("R", rel(3, [["e1", "d1", "m1"]])),
+    );
+    let n_defined_from_base = (0..ed.n_states())
+        .filter(|&t| rho.get(one_emp, t).is_some())
+        .count();
+    assert!(
+        n_defined_from_base < ed.n_states(),
+        "some ED targets must be unreachable with DM constant"
+    );
+    // Where defined, the strategy passes every §1.2 audit (Def 1.2.14
+    // does not demand totality) — the classical pair's defect is
+    // *partiality*, which is precisely what Obs 1.3.5 says complementary
+    // (and a fortiori component) pairs never suffer.
+    let report = strategy::check(&sp, &ed, &rho);
+    assert!(report.is_admissible(), "{report:?}");
+}
+
+#[test]
+fn null_augmentation_repairs_the_pair() {
+    // The paper's fix: Emp — Dept — Mgr as a null-augmented path schema.
+    let ps = PathSchema::new("R", ["Emp", "Dept", "Mgr"]);
+    let pc = PathComponents::new(ps.clone());
+
+    // Build the analogous instance: e1 in d1, d1 managed by m1.
+    let base = ps.close(&compview::relation::Relation::from_tuples(
+        3,
+        [
+            ps.object(0, &[v("e1"), v("d1")]),
+            ps.object(1, &[v("d1"), v("m1")]),
+        ],
+    ));
+
+    // The ED segment (mask 0b01) and DM segment (mask 0b10) are strong
+    // complements — updates are total and exact.
+    // Delete the last employee of d1: now possible, the DM fact survives.
+    let empty_ed = compview::relation::Relation::empty(3);
+    let updated = pc.translate(0b01, &base, &empty_ed).unwrap();
+    assert_eq!(pc.endo(0b01, &updated), empty_ed);
+    assert!(updated.contains(&ps.object(1, &[v("d1"), v("m1")])));
+
+    // Insert an employee into a department with no manager yet: also
+    // possible (the classical schema cannot even represent it).
+    let mut new_ed = pc.endo(0b01, &updated);
+    new_ed.insert(ps.object(0, &[v("e9"), v("d9")]));
+    let updated2 = pc.translate(0b01, &updated, &new_ed).unwrap();
+    assert!(updated2.contains(&ps.object(0, &[v("e9"), v("d9")])));
+    assert_eq!(pc.endo(0b10, &updated2), pc.endo(0b10, &updated));
+}
+
+#[test]
+fn null_augmented_components_are_strong_on_enumerated_space() {
+    // Enumerate closed states of the 3-attribute path schema over a tiny
+    // pool and confirm the segments are strongly complementary — the
+    // claim behind `null_augmentation_repairs_the_pair`, grounded in the
+    // paper's definitions.
+    let ps = PathSchema::new("R", ["Emp", "Dept", "Mgr"]);
+    let pool = [
+        ps.object(0, &[v("e1"), v("d1")]),
+        ps.object(0, &[v("e2"), v("d1")]),
+        ps.object(1, &[v("d1"), v("m1")]),
+        ps.object(1, &[v("d1"), v("m2")]),
+    ];
+    let mut states = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for mask in 0..(1u32 << pool.len()) {
+        let mut r = compview::relation::Relation::empty(3);
+        for (i, t) in pool.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                r.insert(t.clone());
+            }
+        }
+        let closed = ps.close(&r);
+        if seen.insert(closed.clone()) {
+            states.push(ps.instance(closed));
+        }
+    }
+    let sp = StateSpace::from_states(ps.schema(), states);
+
+    let ed = MatView::materialise(
+        View::new(
+            "ED°",
+            vec![(
+                RelDecl::new("ED", ["Emp", "Dept"]),
+                RaExpr::object_projection("R", 3, &[0, 1]),
+            )],
+        ),
+        &sp,
+    );
+    let dm = MatView::materialise(
+        View::new(
+            "DM°",
+            vec![(
+                RelDecl::new("DM", ["Dept", "Mgr"]),
+                RaExpr::object_projection("R", 3, &[1, 2]),
+            )],
+        ),
+        &sp,
+    );
+    assert!(strong::is_strong(&sp, &ed));
+    assert!(strong::is_strong(&sp, &dm));
+    assert!(strong::are_strong_complements(&sp, &ed, &dm));
+    // Total admissible strategy — the whole point.
+    let rho = Strategy::constant_complement(&sp, &ed, &dm);
+    assert!(rho.is_total(&sp, &ed));
+    assert!(strategy::check(&sp, &ed, &rho).is_admissible());
+}

