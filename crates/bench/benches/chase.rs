@@ -50,9 +50,7 @@ fn bench_closure_engines(c: &mut Criterion) {
         if n <= 30 {
             group.sample_size(10);
             group.bench_function("naive", |b| {
-                b.iter(|| {
-                    black_box(chase_naive(black_box(&inst), &rules, &[], &cfg).unwrap())
-                })
+                b.iter(|| black_box(chase_naive(black_box(&inst), &rules, &[], &cfg).unwrap()))
             });
         }
         group.finish();

@@ -55,9 +55,7 @@ fn bench_generate_and_verify(c: &mut Criterion) {
         };
         let mut group = c.benchmark_group(format!("component_algebra/ldb{}", sp.len()));
         group.sample_size(10);
-        group.bench_function("strength_analysis", |b| {
-            b.iter(|| black_box(atoms()))
-        });
+        group.bench_function("strength_analysis", |b| b.iter(|| black_box(atoms())));
         let a = atoms();
         group.bench_function("generate", |b| {
             b.iter(|| black_box(ComponentAlgebra::generate(&sp, a.clone()).unwrap()))

@@ -70,12 +70,15 @@ fn bench_horizontal_translation(c: &mut Criterion) {
     for i in 0..dom {
         mu.declare(Value::sym(&format!("k{i}")), &[usize::from(i >= dom / 2)]);
     }
-    let hc =
-        HorizontalComponents::new("T", 2, 0, vec![
-            ("lo".into(), alg.gen("lo")),
-            ("hi".into(), alg.gen("hi")),
-        ], &alg, mu)
-        .unwrap();
+    let hc = HorizontalComponents::new(
+        "T",
+        2,
+        0,
+        vec![("lo".into(), alg.gen("lo")), ("hi".into(), alg.gen("hi"))],
+        &alg,
+        mu,
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("families/horizontal_translate");
     for &n in &[1000usize, 10000] {
@@ -98,7 +101,10 @@ fn bench_horizontal_translation(c: &mut Criterion) {
         eprintln!("  n={n}: lo-part {} rows", part.rel("T").len());
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(hc.translate(0b01, black_box(&base), black_box(&part)).unwrap())
+                black_box(
+                    hc.translate(0b01, black_box(&base), black_box(&part))
+                        .unwrap(),
+                )
             })
         });
     }

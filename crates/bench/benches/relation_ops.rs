@@ -14,7 +14,12 @@ use std::hint::black_box;
 fn interned_relation(n: usize) -> Relation {
     Relation::from_tuples(
         2,
-        (0..n).map(|i| Tuple::new([Value::sym(&format!("left{i}")), Value::sym(&format!("right{}", i % 97))])),
+        (0..n).map(|i| {
+            Tuple::new([
+                Value::sym(&format!("left{i}")),
+                Value::sym(&format!("right{}", i % 97)),
+            ])
+        }),
     )
 }
 

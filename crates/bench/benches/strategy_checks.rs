@@ -21,7 +21,11 @@ fn bench_strategies(c: &mut Criterion) {
         let sp = ex::space(n);
         let g1 = MatView::materialise(ex::gamma1(), &sp);
         let g2 = MatView::materialise(ex::gamma2(), &sp);
-        eprintln!("  domain {n}: |LDB| = {}, |view| = {}", sp.len(), g1.n_states());
+        eprintln!(
+            "  domain {n}: |LDB| = {}, |view| = {}",
+            sp.len(),
+            g1.n_states()
+        );
 
         let mut group = c.benchmark_group(format!("strategy/ldb{}", sp.len()));
         group.sample_size(10);

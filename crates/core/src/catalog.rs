@@ -306,7 +306,11 @@ mod tests {
             cat.update("enrollment", &bad),
             Err(CatalogError::IllegalViewState(_))
         ));
-        assert_eq!(cat.state(), &before, "rejected updates must not change state");
+        assert_eq!(
+            cat.state(),
+            &before,
+            "rejected updates must not change state"
+        );
         assert!(cat.log().is_empty());
     }
 
@@ -384,8 +388,14 @@ mod tests {
             .unwrap();
         assert_eq!(reports.len(), 2);
         assert_eq!(cat.log().len(), 2);
-        assert!(cat.state().rel("R").contains(&ps.object(0, &[v("a9"), v("b9")])));
-        assert!(cat.state().rel("R").contains(&ps.object(2, &[v("c9"), v("d9")])));
+        assert!(cat
+            .state()
+            .rel("R")
+            .contains(&ps.object(0, &[v("a9"), v("b9")])));
+        assert!(cat
+            .state()
+            .rel("R")
+            .contains(&ps.object(2, &[v("c9"), v("d9")])));
     }
 
     #[test]

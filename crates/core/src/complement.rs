@@ -194,12 +194,8 @@ mod tests {
         for comp in [&g2, &g3] {
             for base in 0..sp.len() {
                 for target in 0..g1.n_states() {
-                    let sols = constant_complement_solutions(
-                        &sp,
-                        &g1,
-                        comp,
-                        UpdateSpec { base, target },
-                    );
+                    let sols =
+                        constant_complement_solutions(&sp, &g1, comp, UpdateSpec { base, target });
                     assert!(sols.len() <= 1, "Theorem 1.3.2 violated");
                     // Complementary (Obs 1.3.5): every update possible.
                     assert_eq!(sols.len(), 1);

@@ -261,7 +261,11 @@ mod tests {
         };
         let alg = ComponentAlgebra::generate(
             &sp,
-            vec![atom("AB", &[0, 1]), atom("BC", &[1, 2]), atom("CD", &[2, 3])],
+            vec![
+                atom("AB", &[0, 1]),
+                atom("BC", &[1, 2]),
+                atom("CD", &[2, 3]),
+            ],
         )
         .expect("segment views generate the component algebra");
         assert_eq!(alg.len(), 8);
@@ -284,9 +288,7 @@ mod tests {
         let g3 = MatView::materialise(ex136::gamma3(), &sp);
         // Γ3's labels are not even monotone; fake an "endo" by picking the
         // first fibre element — not strong.
-        let fake: Vec<usize> = (0..sp.len())
-            .map(|s| g3.fibre(g3.label(s))[0])
-            .collect();
+        let fake: Vec<usize> = (0..sp.len()).map(|s| g3.fibre(g3.label(s))[0]).collect();
         let g1 = MatView::materialise(ex136::gamma1(), &sp);
         let err = ComponentAlgebra::generate(
             &sp,
@@ -307,11 +309,9 @@ mod tests {
             (name.to_owned(), strong::endomorphism(&sp, &mv))
         };
         // AB and ABC overlap: not independent.
-        let err = ComponentAlgebra::generate(
-            &sp,
-            vec![atom("AB", &[0, 1]), atom("ABC", &[0, 1, 2])],
-        )
-        .unwrap_err();
+        let err =
+            ComponentAlgebra::generate(&sp, vec![atom("AB", &[0, 1]), atom("ABC", &[0, 1, 2])])
+                .unwrap_err();
         assert!(err.contains("not independent"), "{err}");
     }
 
@@ -322,9 +322,8 @@ mod tests {
             let mv = MatView::materialise(ex211::object_view(name, cols), &sp);
             (name.to_owned(), strong::endomorphism(&sp, &mv))
         };
-        let err =
-            ComponentAlgebra::generate(&sp, vec![atom("AB", &[0, 1]), atom("CD", &[2, 3])])
-                .unwrap_err();
+        let err = ComponentAlgebra::generate(&sp, vec![atom("AB", &[0, 1]), atom("CD", &[2, 3])])
+            .unwrap_err();
         assert!(err.contains("identity"), "{err}");
     }
 

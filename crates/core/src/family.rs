@@ -58,12 +58,14 @@ pub trait ComponentFamily {
     ///
     /// # Errors
     /// Returns a message when `new_part` is not a legal component state.
-    fn translate(&self, mask: u32, base: &Instance, new_part: &Instance)
-        -> Result<Instance, String> {
+    fn translate(
+        &self,
+        mask: u32,
+        base: &Instance,
+        new_part: &Instance,
+    ) -> Result<Instance, String> {
         if !self.is_component_state(mask, new_part) {
-            return Err(format!(
-                "not a legal state of component {mask:#b}"
-            ));
+            return Err(format!("not a legal state of component {mask:#b}"));
         }
         Ok(self.reconstruct(new_part, &self.endo(self.complement(mask), base)))
     }
@@ -128,7 +130,10 @@ impl<F1: ComponentFamily, F2: ComponentFamily> PairFamily<F1, F2> {
 fn merge_disjoint(a: &Instance, b: &Instance) -> Instance {
     let mut out = a.clone();
     for (name, rel) in b.iter() {
-        assert!(out.get(name).is_none(), "relation {name:?} bound on both sides");
+        assert!(
+            out.get(name).is_none(),
+            "relation {name:?} bound on both sides"
+        );
         out.set(name.to_owned(), rel.clone());
     }
     out

@@ -169,14 +169,9 @@ mod tests {
         ok.remove("V_ABD", &Tuple::new([v("a2"), v("b3"), Value::Null]));
         match view.update(&pc, &base, &ok).unwrap() {
             FilteredOutcome::Accepted(next) => {
-                assert!(!next
-                    .rel("R")
-                    .contains(&ps.object(0, &[v("a2"), v("b3")])));
+                assert!(!next.rel("R").contains(&ps.object(0, &[v("a2"), v("b3")])));
                 // Complement constant.
-                assert_eq!(
-                    pc.endo(0b110, next.rel("R")),
-                    pc.endo(0b110, base.rel("R"))
-                );
+                assert_eq!(pc.endo(0b110, next.rel("R")), pc.endo(0b110, base.rel("R")));
             }
             other => panic!("expected acceptance, got {other:?}"),
         }
@@ -220,9 +215,7 @@ mod tests {
         for base in 0..sp.len() {
             for target in 0..abd.n_states() {
                 let enumerated = proc_enum.run(UpdateSpec { base, target });
-                let symbolic = view
-                    .update(&pc, sp.state(base), abd.state(target))
-                    .unwrap();
+                let symbolic = view.update(&pc, sp.state(base), abd.state(target)).unwrap();
                 match (enumerated, symbolic) {
                     (Some(s2), FilteredOutcome::Accepted(next)) => {
                         assert_eq!(sp.state(s2), &next);
@@ -253,10 +246,7 @@ mod tests {
             |_t: &Instance| {
                 // Claims a BC object is part of the AB component.
                 let ps = ex::path_schema();
-                ps.instance(Relation::from_tuples(
-                    4,
-                    [ps.object(1, &[v("b"), v("c")])],
-                ))
+                ps.instance(Relation::from_tuples(4, [ps.object(1, &[v("b"), v("c")])]))
             },
         );
         assert!(broken.update(&pc, &base, &base).is_err());

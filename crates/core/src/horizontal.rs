@@ -217,14 +217,17 @@ mod tests {
     #[test]
     fn translate_replaces_one_class_only() {
         let (hc, inst) = fixture();
-        let new_business =
-            Instance::new().with("Acct", rel(2, [["globex", "5000"]]));
+        let new_business = Instance::new().with("Acct", rel(2, [["globex", "5000"]]));
         let out = hc.translate(0b010, &inst, &new_business).unwrap();
         assert_eq!(hc.endo(0b010, &out), new_business);
         assert_eq!(hc.endo(0b101, &out), hc.endo(0b101, &inst));
         // acme's row is gone, globex's is in, personal rows untouched.
-        assert!(!out.rel("Acct").contains(&compview_relation::t(["acme", "9000"])));
-        assert!(out.rel("Acct").contains(&compview_relation::t(["alice", "100"])));
+        assert!(!out
+            .rel("Acct")
+            .contains(&compview_relation::t(["acme", "9000"])));
+        assert!(out
+            .rel("Acct")
+            .contains(&compview_relation::t(["alice", "100"])));
     }
 
     #[test]

@@ -203,12 +203,9 @@ mod tests {
         // constrained base:
         use crate::space::StateSpace;
         use compview_logic::{Constraint, Fd as LFd, Schema};
-        use compview_relation::{RaExpr, RelDecl, Signature, Tuple, v};
+        use compview_relation::{v, RaExpr, RelDecl, Signature, Tuple};
         let sig = Signature::new([RelDecl::new("R", ["A", "B", "C"])]);
-        let schema = Schema::new(
-            sig,
-            vec![Constraint::Fd(LFd::new("R", vec![0], vec![1]))],
-        );
+        let schema = Schema::new(sig, vec![Constraint::Fd(LFd::new("R", vec![0], vec![1]))]);
         let pools: std::collections::BTreeMap<String, Vec<Tuple>> = [(
             "R".to_owned(),
             vec![
@@ -228,8 +225,7 @@ mod tests {
         let fds = implied_fds(&mv);
         // A → B must be discovered with the minimal LHS {A} (not {A,C}).
         assert!(
-            fds.iter()
-                .any(|fd| fd.lhs == vec![0] && fd.rhs == vec![1]),
+            fds.iter().any(|fd| fd.lhs == vec![0] && fd.rhs == vec![1]),
             "mined: {fds:?}"
         );
         assert!(

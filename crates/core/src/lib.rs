@@ -30,11 +30,11 @@
 
 pub mod catalog;
 pub mod complement;
+pub mod components;
 pub mod family;
 pub mod filtered;
 pub mod horizontal;
 pub mod implied;
-pub mod components;
 pub mod paper;
 pub mod pathview;
 pub mod space;
@@ -54,11 +54,11 @@ pub use components::ComponentAlgebra;
 pub use family::{verify_family, ComponentFamily, FamilyReport, PairFamily};
 pub use filtered::{FilteredOutcome, FilteredView};
 pub use horizontal::HorizontalComponents;
-pub use subschema::SubschemaComponents;
-pub use treeview::TreeComponents;
 pub use pathview::{PathComponents, PathTranslateError};
 pub use space::StateSpace;
 pub use strategy::{AdmissibilityReport, Strategy};
+pub use subschema::SubschemaComponents;
 pub use translate::TranslateError;
+pub use treeview::TreeComponents;
 pub use update::UpdateSpec;
 pub use view::{MatView, View};

@@ -71,14 +71,8 @@ pub mod example_1_1_1 {
     pub fn small_space_and_join_view() -> (StateSpace, View) {
         let schema = base_schema();
         let pools: BTreeMap<String, Vec<Tuple>> = [
-            (
-                "R_SP".to_owned(),
-                pairs(&["s1", "s2"], &["p1", "p2"]),
-            ),
-            (
-                "R_PJ".to_owned(),
-                pairs(&["p1", "p2"], &["j1", "j2"]),
-            ),
+            ("R_SP".to_owned(), pairs(&["s1", "s2"], &["p1", "p2"])),
+            ("R_PJ".to_owned(), pairs(&["p1", "p2"], &["j1", "j2"])),
         ]
         .into();
         (StateSpace::enumerate(schema, &pools), join_view())
@@ -234,9 +228,7 @@ pub mod example_1_3_6 {
     /// (`2n ≤ 24` bits).
     pub fn space(n: usize) -> StateSpace {
         let schema = base_schema();
-        let dom: Vec<Tuple> = (1..=n)
-            .map(|i| Tuple::new([v(&format!("a{i}"))]))
-            .collect();
+        let dom: Vec<Tuple> = (1..=n).map(|i| Tuple::new([v(&format!("a{i}"))])).collect();
         let pools: BTreeMap<String, Vec<Tuple>> =
             [("R".to_owned(), dom.clone()), ("S".to_owned(), dom)].into();
         StateSpace::enumerate(schema, &pools)
@@ -265,10 +257,7 @@ pub mod example_2_1_1 {
     /// `cols`, project those columns.
     pub fn object_view(name: &str, cols: &[usize]) -> View {
         let ps = path_schema();
-        let attrs: Vec<String> = cols
-            .iter()
-            .map(|&c| ps.attrs()[c].clone())
-            .collect();
+        let attrs: Vec<String> = cols.iter().map(|&c| ps.attrs()[c].clone()).collect();
         View::new(
             name,
             vec![(
@@ -399,8 +388,7 @@ mod tests {
         assert!(sp2.len() < 16 && sp2.len() > 1);
         let sp3 = example_1_3_6::space(2);
         assert_eq!(sp3.len(), 16);
-        let sp4 =
-            example_2_1_1::small_space(&example_2_1_1::small_generator_pool());
+        let sp4 = example_2_1_1::small_space(&example_2_1_1::small_generator_pool());
         assert!(sp4.len() > 1);
         assert!(sp4.len() <= 64);
     }

@@ -71,7 +71,10 @@ impl std::fmt::Display for PathTranslateError {
                 write!(f, "object {t} lies outside the updated component")
             }
             PathTranslateError::NotClosed => {
-                write!(f, "proposed component state is not closed (not a legal view state)")
+                write!(
+                    f,
+                    "proposed component state is not closed (not a legal view state)"
+                )
             }
         }
     }
@@ -82,7 +85,10 @@ impl std::error::Error for PathTranslateError {}
 impl PathComponents {
     /// Wrap a path schema.
     pub fn new(ps: PathSchema) -> PathComponents {
-        assert!(ps.n_segments() <= 31, "too many segments for mask representation");
+        assert!(
+            ps.n_segments() <= 31,
+            "too many segments for mask representation"
+        );
         PathComponents { ps }
     }
 
@@ -247,8 +253,7 @@ impl crate::family::ComponentFamily for PathComponents {
         b: &compview_relation::Instance,
     ) -> compview_relation::Instance {
         let rel = self.ps.rel_name();
-        self.ps
-            .instance(self.reconstruct(a.rel(rel), b.rel(rel)))
+        self.ps.instance(self.reconstruct(a.rel(rel), b.rel(rel)))
     }
 
     fn is_component_state(&self, mask: u32, part: &compview_relation::Instance) -> bool {
@@ -413,7 +418,11 @@ mod tests {
         final_ab.insert(ps.object(0, &[v("a9"), v("b9")]));
         final_ab.remove(&ps.object(0, &[v("a8"), v("b8")]));
         let via_mid = c
-            .translate(0b001, &c.translate(0b001, &base, &mid_ab).unwrap(), &final_ab)
+            .translate(
+                0b001,
+                &c.translate(0b001, &base, &mid_ab).unwrap(),
+                &final_ab,
+            )
             .unwrap();
         let direct = c.translate(0b001, &base, &final_ab).unwrap();
         assert_eq!(via_mid, direct);

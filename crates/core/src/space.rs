@@ -10,14 +10,24 @@
 use compview_lattice::FinPoset;
 use compview_logic::Schema;
 use compview_relation::{Instance, Tuple};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// An explicitly enumerated `LDB(D, μ)` with its inclusion order.
 pub struct StateSpace {
     schema: Schema,
     states: Vec<Instance>,
-    index: HashMap<Instance, usize>,
+    /// State ids sorted by `states[id]`; lookups binary-search through this
+    /// permutation, borrowing from `states` instead of cloning every
+    /// `Instance` into a hash map.
+    index: Vec<usize>,
     poset: FinPoset,
+}
+
+/// Sorted-id index over `states` (uses `Instance`'s derived total order).
+fn id_index(states: &[Instance]) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..states.len()).collect();
+    ids.sort_unstable_by(|&a, &b| states[a].cmp(&states[b]));
+    ids
 }
 
 impl StateSpace {
@@ -34,14 +44,8 @@ impl StateSpace {
              the state space would not be a ↓-poset"
         );
         let states = schema.enumerate_ldb(pools);
-        let index: HashMap<Instance, usize> = states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), i))
-            .collect();
-        let poset = FinPoset::from_leq(states.len(), |a, b| {
-            states[a].is_subinstance(&states[b])
-        });
+        let index = id_index(&states);
+        let poset = FinPoset::from_leq(states.len(), |a, b| states[a].is_subinstance(&states[b]));
         StateSpace {
             schema,
             states,
@@ -60,19 +64,16 @@ impl StateSpace {
         for s in &states {
             assert!(schema.is_legal(s), "illegal state in explicit space:\n{s}");
         }
-        let index: HashMap<Instance, usize> = states
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), i))
-            .collect();
-        assert_eq!(index.len(), states.len(), "duplicate states");
+        let index = id_index(&states);
+        assert!(
+            index.windows(2).all(|w| states[w[0]] != states[w[1]]),
+            "duplicate states"
+        );
         assert!(
             states.iter().any(Instance::is_null_model),
             "state list must contain the null model"
         );
-        let poset = FinPoset::from_leq(states.len(), |a, b| {
-            states[a].is_subinstance(&states[b])
-        });
+        let poset = FinPoset::from_leq(states.len(), |a, b| states[a].is_subinstance(&states[b]));
         StateSpace {
             schema,
             states,
@@ -108,7 +109,10 @@ impl StateSpace {
 
     /// Id of a state.
     pub fn id_of(&self, s: &Instance) -> Option<usize> {
-        self.index.get(s).copied()
+        self.index
+            .binary_search_by(|&i| self.states[i].cmp(s))
+            .ok()
+            .map(|pos| self.index[pos])
     }
 
     /// Id of a state, panicking with context when absent.
@@ -124,7 +128,9 @@ impl StateSpace {
 
     /// Id of the null model (the ↓-poset's `⊥`).
     pub fn bottom(&self) -> usize {
-        self.poset.bottom().expect("null model guaranteed at construction")
+        self.poset
+            .bottom()
+            .expect("null model guaranteed at construction")
     }
 }
 
@@ -167,7 +173,10 @@ mod tests {
         assert!(sp.state(bot).is_null_model());
         // The poset is the 4-atom powerset: a lattice with top.
         assert!(sp.poset().is_lattice());
-        assert_eq!(sp.poset().top().map(|t| sp.state(t).total_tuples()), Some(4));
+        assert_eq!(
+            sp.poset().top().map(|t| sp.state(t).total_tuples()),
+            Some(4)
+        );
     }
 
     #[test]
@@ -185,7 +194,10 @@ mod tests {
         let sig = Signature::new([RelDecl::new("R_SPJ", ["S", "P", "J"])]);
         let schema = Schema::new(
             sig,
-            vec![Constraint::Jd(Jd::new("R_SPJ", vec![vec![0, 1], vec![1, 2]]))],
+            vec![Constraint::Jd(Jd::new(
+                "R_SPJ",
+                vec![vec![0, 1], vec![1, 2]],
+            ))],
         );
         let pool: Vec<Tuple> = vec![
             Tuple::new([v("s1"), v("p1"), v("j1")]),

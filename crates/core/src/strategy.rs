@@ -61,8 +61,11 @@ impl Strategy {
     ///
     /// When `Γ₂` is a join complement of `Γ₁`, Theorem 1.3.2 guarantees at
     /// most one such solution, so "exactly one" = "one exists".
+    ///
+    /// The `s₁ × t₂` fill fans out across base-state shards; each `(s₁,t₂)`
+    /// cell is independent, so the assembled table is identical for every
+    /// thread count.
     pub fn constant_complement(space: &StateSpace, mv1: &MatView, mv2: &MatView) -> Strategy {
-        let mut rho = Strategy::empty();
         // Index states by (view1 label, view2 label) for O(1) lookups.
         let mut by_pair: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
         for s in 0..space.len() {
@@ -71,15 +74,24 @@ impl Strategy {
                 .or_default()
                 .push(s);
         }
-        for s1 in 0..space.len() {
-            let c = mv2.label(s1);
-            for t2 in 0..mv1.n_states() {
-                if let Some(cands) = by_pair.get(&(t2, c)) {
-                    if cands.len() == 1 {
-                        rho.define(s1, t2, cands[0]);
+        let threads = compview_parallel::num_threads();
+        let entries = compview_parallel::sharded_collect(space.len(), threads, |range| {
+            let mut out = Vec::new();
+            for s1 in range {
+                let c = mv2.label(s1);
+                for t2 in 0..mv1.n_states() {
+                    if let Some(cands) = by_pair.get(&(t2, c)) {
+                        if cands.len() == 1 {
+                            out.push((s1, t2, cands[0]));
+                        }
                     }
                 }
             }
+            out
+        });
+        let mut rho = Strategy::empty();
+        for (s1, t2, s2) in entries {
+            rho.define(s1, t2, s2);
         }
         rho
     }
@@ -88,21 +100,49 @@ impl Strategy {
     /// the fewest changed tuples, ties broken by state id.  Plausible at
     /// first sight — and demonstrably **not functorial** (Example 1.2.7)
     /// nor symmetric in general; used as the paper's foil.
+    ///
+    /// Like [`Strategy::constant_complement`], the `s₁ × t₂` loop is
+    /// sharded over base states with a deterministic merge.
     pub fn smallest_change(space: &StateSpace, mv: &MatView) -> Strategy {
-        let mut rho = Strategy::empty();
-        for s1 in 0..space.len() {
-            for t2 in 0..mv.n_states() {
-                let sols = update::solutions(mv, UpdateSpec { base: s1, target: t2 });
-                let ne = update::nonextraneous(space, s1, &sols);
-                if let Some(&best) = ne.iter().min_by_key(|&&s| {
-                    (update::change_set(space, s1, s).total_tuples(), s)
-                }) {
-                    rho.define(s1, t2, best);
+        let threads = compview_parallel::num_threads();
+        let entries = compview_parallel::sharded_collect(space.len(), threads, |range| {
+            let mut out = Vec::new();
+            for s1 in range {
+                for t2 in 0..mv.n_states() {
+                    let sols = update::solutions(
+                        mv,
+                        UpdateSpec {
+                            base: s1,
+                            target: t2,
+                        },
+                    );
+                    let ne = update::nonextraneous(space, s1, &sols);
+                    if let Some(&best) = ne
+                        .iter()
+                        .min_by_key(|&&s| (update::change_set(space, s1, s).total_tuples(), s))
+                    {
+                        out.push((s1, t2, best));
+                    }
                 }
             }
+            out
+        });
+        let mut rho = Strategy::empty();
+        for (s1, t2, s2) in entries {
+            rho.define(s1, t2, s2);
         }
         rho
     }
+}
+
+/// Defined entries in ascending `((s₁, t₂), s₂)` order.  The checkers scan
+/// entries in this order (not `HashMap` iteration order) so the *first*
+/// counterexample they report is a deterministic function of the strategy,
+/// independent of hash seeds and thread counts.
+fn sorted_entries(rho: &Strategy) -> Vec<((usize, usize), usize)> {
+    let mut entries: Vec<_> = rho.iter().collect();
+    entries.sort_unstable();
+    entries
 }
 
 /// Proposition 1.3.3, executable: extend a partial strategy `ρ` that is
@@ -229,94 +269,97 @@ pub fn check(space: &StateSpace, mv: &MatView, rho: &Strategy) -> AdmissibilityR
     }
 }
 
-fn check_sound(mv: &MatView, rho: &Strategy) -> Check {
-    for ((s1, t2), s2) in rho.iter() {
-        if mv.label(s2) != t2 {
-            return Err(format!(
-                "ρ({s1},{t2}) = {s2} but γ′({s2}) = {} ≠ {t2}",
-                mv.label(s2)
-            ));
-        }
+/// Fan a per-entry predicate out across shards of `entries`, reporting the
+/// **lowest-index** violation.  Because entries are pre-sorted and
+/// [`compview_parallel::find_first`] always resolves to the earliest hit,
+/// the reported counterexample is byte-identical for every thread count.
+fn first_violation<F>(entries: &[((usize, usize), usize)], f: F) -> Check
+where
+    F: Fn(usize, usize, usize) -> Option<String> + Sync,
+{
+    let threads = compview_parallel::num_threads();
+    match compview_parallel::find_first(entries.len(), threads, |i| {
+        let ((s1, t2), s2) = entries[i];
+        f(s1, t2, s2)
+    }) {
+        Some((_, msg)) => Err(msg),
+        None => Ok(()),
     }
-    Ok(())
+}
+
+fn check_sound(mv: &MatView, rho: &Strategy) -> Check {
+    first_violation(&sorted_entries(rho), |s1, t2, s2| {
+        (mv.label(s2) != t2)
+            .then(|| format!("ρ({s1},{t2}) = {s2} but γ′({s2}) = {} ≠ {t2}", mv.label(s2)))
+    })
 }
 
 fn check_nonextraneous(space: &StateSpace, mv: &MatView, rho: &Strategy) -> Check {
-    for ((s1, t2), s2) in rho.iter() {
-        let sols = update::solutions(mv, UpdateSpec { base: s1, target: t2 });
-        if !update::nonextraneous(space, s1, &sols).contains(&s2) {
-            return Err(format!(
-                "ρ({s1},{t2}) = {s2} is extraneous: a strictly smaller change set exists"
-            ));
-        }
-    }
-    Ok(())
+    first_violation(&sorted_entries(rho), |s1, t2, s2| {
+        let sols = update::solutions(
+            mv,
+            UpdateSpec {
+                base: s1,
+                target: t2,
+            },
+        );
+        (!update::nonextraneous(space, s1, &sols).contains(&s2)).then(|| {
+            format!("ρ({s1},{t2}) = {s2} is extraneous: a strictly smaller change set exists")
+        })
+    })
 }
 
 fn check_functorial(space: &StateSpace, mv: &MatView, rho: &Strategy) -> Check {
+    let threads = compview_parallel::num_threads();
     // (a) identity updates reflect as no change.
-    for s1 in 0..space.len() {
+    if let Some((_, msg)) = compview_parallel::find_first(space.len(), threads, |s1| {
         let t1 = mv.label(s1);
         match rho.get(s1, t1) {
-            Some(s2) if s2 == s1 => {}
-            Some(s2) => {
-                return Err(format!(
-                    "identity law: ρ({s1}, γ′({s1})) = {s2} ≠ {s1}"
-                ))
-            }
-            None => {
-                return Err(format!("identity law: ρ({s1}, γ′({s1})) undefined"))
-            }
+            Some(s2) if s2 == s1 => None,
+            Some(s2) => Some(format!("identity law: ρ({s1}, γ′({s1})) = {s2} ≠ {s1}")),
+            None => Some(format!("identity law: ρ({s1}, γ′({s1})) undefined")),
         }
+    }) {
+        return Err(msg);
     }
     // (b) composition.
-    for ((s1, t2), s2) in rho.iter() {
-        for t3 in 0..mv.n_states() {
-            if let Some(s3) = rho.get(s2, t3) {
-                match rho.get(s1, t3) {
-                    Some(direct) if direct == s3 => {}
-                    Some(direct) => {
-                        return Err(format!(
-                            "composition: ρ(ρ({s1},{t2}),{t3}) = {s3} ≠ ρ({s1},{t3}) = {direct}"
-                        ))
-                    }
-                    None => {
-                        return Err(format!(
-                            "composition: ρ({s1},{t3}) undefined though the two-step path exists"
-                        ))
-                    }
-                }
+    first_violation(&sorted_entries(rho), |s1, t2, s2| {
+        (0..mv.n_states()).find_map(|t3| {
+            let s3 = rho.get(s2, t3)?;
+            match rho.get(s1, t3) {
+                Some(direct) if direct == s3 => None,
+                Some(direct) => Some(format!(
+                    "composition: ρ(ρ({s1},{t2}),{t3}) = {s3} ≠ ρ({s1},{t3}) = {direct}"
+                )),
+                None => Some(format!(
+                    "composition: ρ({s1},{t3}) undefined though the two-step path exists"
+                )),
             }
-        }
-    }
-    Ok(())
+        })
+    })
 }
 
 fn check_symmetric(mv: &MatView, rho: &Strategy) -> Check {
-    for ((s1, t2), s2) in rho.iter() {
+    first_violation(&sorted_entries(rho), |s1, t2, s2| {
         let t1 = mv.label(s1);
-        if rho.get(s2, t1).is_none() {
-            return Err(format!(
-                "symmetry: ρ({s1},{t2}) = {s2} defined but ρ({s2},{t1}) undefined"
-            ));
-        }
-    }
-    Ok(())
+        rho.get(s2, t1)
+            .is_none()
+            .then(|| format!("symmetry: ρ({s1},{t2}) = {s2} defined but ρ({s2},{t1}) undefined"))
+    })
 }
 
 fn check_state_independent(space: &StateSpace, mv: &MatView, rho: &Strategy) -> Check {
-    for ((s1, t2), _) in rho.iter() {
+    first_violation(&sorted_entries(rho), |s1, t2, _| {
         let t1 = mv.label(s1);
-        for r1 in 0..space.len() {
-            if mv.label(r1) == t1 && rho.get(r1, t2).is_none() {
-                return Err(format!(
+        (0..space.len()).find_map(|r1| {
+            (mv.label(r1) == t1 && rho.get(r1, t2).is_none()).then(|| {
+                format!(
                     "state independence: ρ({s1},{t2}) defined but ρ({r1},{t2}) undefined \
                      though γ′({r1}) = γ′({s1})"
-                ));
-            }
-        }
-    }
-    Ok(())
+                )
+            })
+        })
+    })
 }
 
 #[cfg(test)]
@@ -337,7 +380,10 @@ mod tests {
     fn constant_complement_with_subschema_is_admissible() {
         let (sp, g1, g2, _) = setup();
         let rho = Strategy::constant_complement(&sp, &g1, &g2);
-        assert!(rho.is_total(&sp, &g1), "complementary views give total strategies");
+        assert!(
+            rho.is_total(&sp, &g1),
+            "complementary views give total strategies"
+        );
         let report = check(&sp, &g1, &rho);
         assert!(report.is_admissible(), "{report:?}");
     }
@@ -414,13 +460,8 @@ mod tests {
             for &final_target in &[0usize, 1, 2] {
                 let direct = apply_sequence(&rho, start, &[final_target]).unwrap();
                 for mid in 0..g1.n_states().min(4) {
-                    let routed =
-                        apply_sequence(&rho, start, &[mid, final_target]).unwrap();
-                    assert_eq!(
-                        direct.last(),
-                        routed.last(),
-                        "route through {mid} diverged"
-                    );
+                    let routed = apply_sequence(&rho, start, &[mid, final_target]).unwrap();
+                    assert_eq!(direct.last(), routed.last(), "route through {mid} diverged");
                 }
             }
         }
@@ -476,7 +517,10 @@ mod tests {
         let (sp, g1, g2, _) = setup();
         let mut rho = Strategy::constant_complement(&sp, &g1, &g2);
         // Remove one reverse entry.
-        let ((s1, _t2), s2) = rho.iter().find(|&((s1, t2), _)| g1.label(s1) != t2).unwrap();
+        let ((s1, _t2), s2) = rho
+            .iter()
+            .find(|&((s1, t2), _)| g1.label(s1) != t2)
+            .unwrap();
         let t1 = g1.label(s1);
         rho.undefine(s2, t1);
         let report = check(&sp, &g1, &rho);
@@ -493,8 +537,7 @@ mod tests {
             .iter()
             .map(|((s1, t2), _)| (s1, t2))
             .find(|&(s1, t2)| {
-                g1.label(s1) != t2
-                    && (0..sp.len()).any(|r| r != s1 && g1.label(r) == g1.label(s1))
+                g1.label(s1) != t2 && (0..sp.len()).any(|r| r != s1 && g1.label(r) == g1.label(s1))
             })
             .unwrap();
         rho.undefine(s1, t2);

@@ -91,8 +91,7 @@ impl ComponentFamily for SubschemaComponents {
     fn is_component_state(&self, mask: u32, part: &Instance) -> bool {
         part.conforms_to(&self.sig)
             && self.groups.iter().enumerate().all(|(i, group)| {
-                (mask >> i) & 1 == 1
-                    || group.iter().all(|name| part.rel(name).is_empty())
+                (mask >> i) & 1 == 1 || group.iter().all(|name| part.rel(name).is_empty())
             })
     }
 }
@@ -187,10 +186,8 @@ mod tests {
             RelDecl::new("B", ["X"]),
             RelDecl::new("C", ["X"]),
         ]);
-        let sc = SubschemaComponents::new(
-            sig,
-            vec![vec!["A".into(), "B".into()], vec!["C".into()]],
-        );
+        let sc =
+            SubschemaComponents::new(sig, vec![vec!["A".into(), "B".into()], vec!["C".into()]]);
         assert_eq!(sc.n_atoms(), 2);
         let base = Instance::new()
             .with("A", rel(1, [["1"]]))

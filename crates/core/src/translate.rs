@@ -38,7 +38,10 @@ impl std::fmt::Display for TranslateError {
                 write!(f, "Γ₂ and Γ₂^c are not strong complements")
             }
             TranslateError::ComplementNotDefined => {
-                write!(f, "Γ₂^c is not defined by Γ₁ (Γ₂ is not a strong join complement)")
+                write!(
+                    f,
+                    "Γ₂^c is not defined by Γ₁ (Γ₂ is not a strong join complement)"
+                )
             }
         }
     }
@@ -278,7 +281,10 @@ mod tests {
             }
         }
         assert!(successes > 0, "some ABD updates must be possible");
-        assert!(rejections > 0, "some ABD updates must be rejected (Ex 3.2.4)");
+        assert!(
+            rejections > 0,
+            "some ABD updates must be rejected (Ex 3.2.4)"
+        );
         // Identity updates always succeed.
         for base in 0..sp.len() {
             let spec = UpdateSpec {
@@ -293,14 +299,8 @@ mod tests {
     fn procedure_rejects_non_strong_pairs() {
         let (sp, ab, _, abd) = setup();
         // (ab, ab) is not a complementary pair.
-        let err = update_procedure(
-            &sp,
-            &abd,
-            &ab,
-            &ab,
-            UpdateSpec { base: 0, target: 0 },
-        )
-        .unwrap_err();
+        let err =
+            update_procedure(&sp, &abd, &ab, &ab, UpdateSpec { base: 0, target: 0 }).unwrap_err();
         assert_eq!(err, TranslateError::NotStrongComplements);
     }
 
@@ -309,14 +309,8 @@ mod tests {
         let (sp, ab, bcd, _) = setup();
         // Updating Γ°_BCD through complement Γ°_BCD: Γ₂^c = AB is not
         // defined by Γ°_BCD.
-        let err = update_procedure(
-            &sp,
-            &bcd,
-            &bcd,
-            &ab,
-            UpdateSpec { base: 0, target: 0 },
-        )
-        .unwrap_err();
+        let err =
+            update_procedure(&sp, &bcd, &bcd, &ab, UpdateSpec { base: 0, target: 0 }).unwrap_err();
         assert_eq!(err, TranslateError::ComplementNotDefined);
     }
 
@@ -355,13 +349,8 @@ mod tests {
                 base,
                 target: abc.label(base),
             };
-            let sol = complement_independent_solution(
-                &sp,
-                &abc,
-                &[(&cd, &abc), (&bcd, &ab)],
-                spec,
-            )
-            .expect("Theorem 3.2.2(b)");
+            let sol = complement_independent_solution(&sp, &abc, &[(&cd, &abc), (&bcd, &ab)], spec)
+                .expect("Theorem 3.2.2(b)");
             assert_eq!(sol, Some(base));
         }
     }

@@ -96,7 +96,8 @@ impl ComponentFamily for TreeComponents {
 
     fn reconstruct(&self, a: &Instance, b: &Instance) -> Instance {
         let rel = self.ts.rel_name();
-        self.ts.instance(self.ts.close(&a.rel(rel).union(b.rel(rel))))
+        self.ts
+            .instance(self.ts.close(&a.rel(rel).union(b.rel(rel))))
     }
 
     fn is_component_state(&self, mask: u32, part: &Instance) -> bool {

@@ -64,9 +64,9 @@ pub fn nonextraneous(space: &StateSpace, base: usize, sols: &[usize]) -> Vec<usi
     sols.iter()
         .copied()
         .filter(|&s| {
-            !sols.iter().any(|&o| {
-                o != s && change_leq(space, base, o, s) && !change_leq(space, base, s, o)
-            })
+            !sols
+                .iter()
+                .any(|&o| o != s && change_leq(space, base, o, s) && !change_leq(space, base, s, o))
         })
         .collect()
 }
@@ -159,10 +159,7 @@ mod tests {
                         if a != b {
                             let aleb = change_leq(&space, base, a, b);
                             let blea = change_leq(&space, base, b, a);
-                            assert!(
-                                aleb == blea,
-                                "nonextraneous solutions must be incomparable"
-                            );
+                            assert!(aleb == blea, "nonextraneous solutions must be incomparable");
                         }
                     }
                 }

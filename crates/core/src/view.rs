@@ -158,9 +158,7 @@ impl MatView {
             labels.push(id);
         }
         let kernel = Partition::from_labels(&labels);
-        let poset = FinPoset::from_leq(states.len(), |a, b| {
-            states[a].is_subinstance(&states[b])
-        });
+        let poset = FinPoset::from_leq(states.len(), |a, b| states[a].is_subinstance(&states[b]));
         MatView {
             view,
             labels,

@@ -52,7 +52,7 @@ mod tests {
     use crate::space::StateSpace;
     use crate::view::View;
     use compview_logic::Schema;
-    use compview_relation::{RaExpr, RelDecl, Signature, Tuple, v};
+    use compview_relation::{v, RaExpr, RelDecl, Signature, Tuple};
     use std::collections::BTreeMap;
 
     fn space() -> StateSpace {

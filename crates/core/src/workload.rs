@@ -32,7 +32,11 @@ pub fn random_path_instance(
     let mut gens = Relation::empty(ps.arity());
     for _ in 0..n_objects {
         let seg = rng.random_range(0..ps.n_segments());
-        let a = Value::sym(&format!("{}{}", ps.attrs()[seg].to_lowercase(), rng.random_range(0..dom)));
+        let a = Value::sym(&format!(
+            "{}{}",
+            ps.attrs()[seg].to_lowercase(),
+            rng.random_range(0..dom)
+        ));
         let b = Value::sym(&format!(
             "{}{}",
             ps.attrs()[seg + 1].to_lowercase(),

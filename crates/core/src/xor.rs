@@ -31,9 +31,7 @@ pub fn update_r_const_s(base: &Instance, new_r: &Relation) -> Instance {
 pub fn update_r_const_t(base: &Instance, new_r: &Relation) -> Instance {
     let t = base.rel("R").sym_diff(base.rel("S"));
     let new_s = new_r.sym_diff(&t);
-    base.clone()
-        .with("R", new_r.clone())
-        .with("S", new_s)
+    base.clone().with("R", new_r.clone()).with("S", new_s)
 }
 
 /// Size of the reflected change `base Δ result` in tuples.
@@ -131,10 +129,7 @@ mod tests {
         ] {
             let cmp = compare(&base, &new_r);
             assert!(cmp.change_via_s <= cmp.change_via_t);
-            assert_eq!(
-                cmp.change_via_s,
-                base.rel("R").sym_diff(&new_r).len()
-            );
+            assert_eq!(cmp.change_via_s, base.rel("R").sym_diff(&new_r).len());
         }
     }
 

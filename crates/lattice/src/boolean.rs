@@ -103,9 +103,7 @@ impl BooleanPresentation {
                     return Err(format!("absorption ∨∧ fails at ({a},{b})"));
                 }
                 // De Morgan.
-                if self.complement[self.m(a, b)]
-                    != self.j(self.complement[a], self.complement[b])
-                {
+                if self.complement[self.m(a, b)] != self.j(self.complement[a], self.complement[b]) {
                     return Err(format!("De Morgan ∧ fails at ({a},{b})"));
                 }
                 for c in 0..n {
@@ -162,7 +160,9 @@ mod tests {
     #[test]
     fn powerset_algebras_verify() {
         for k in 0..4 {
-            powerset(k).verify().unwrap_or_else(|e| panic!("k={k}: {e}"));
+            powerset(k)
+                .verify()
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
         }
     }
 
@@ -206,26 +206,26 @@ mod tests {
                 4
             }
         };
-        let b = BooleanPresentation::from_ops(n, meet, join, |a| match a {
-            0 => 4,
-            4 => 0,
-            1 => 2,
-            2 => 1,
-            _ => 1,
-        }, 0, 4);
+        let b = BooleanPresentation::from_ops(
+            n,
+            meet,
+            join,
+            |a| match a {
+                0 => 4,
+                4 => 0,
+                1 => 2,
+                2 => 1,
+                _ => 1,
+            },
+            0,
+            4,
+        );
         assert!(b.verify().is_err());
     }
 
     #[test]
     fn two_element_algebra() {
-        let b = BooleanPresentation::from_ops(
-            2,
-            |a, c| a & c,
-            |a, c| a | c,
-            |a| 1 - a,
-            0,
-            1,
-        );
+        let b = BooleanPresentation::from_ops(2, |a, c| a & c, |a, c| a | c, |a| 1 - a, 0, 1);
         b.verify().unwrap();
         assert_eq!(b.atoms(), vec![1]);
     }

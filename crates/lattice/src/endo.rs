@@ -210,10 +210,7 @@ mod tests {
         let p = FinPoset::powerset(2);
         let all = enumerate_strong_endos(&p);
         for e in &all {
-            let complements: Vec<_> = all
-                .iter()
-                .filter(|f| are_complements(&p, e, f))
-                .collect();
+            let complements: Vec<_> = all.iter().filter(|f| are_complements(&p, e, f)).collect();
             assert!(
                 complements.len() <= 1,
                 "endo {e:?} has {} complements",
@@ -222,10 +219,7 @@ mod tests {
         }
         // And the masks are complemented.
         let m1 = mask(2, 0b01);
-        assert_eq!(
-            complement_among(&p, &m1, &all),
-            Some(&mask(2, 0b10))
-        );
+        assert_eq!(complement_among(&p, &m1, &all), Some(&mask(2, 0b10)));
     }
 
     #[test]
@@ -281,11 +275,7 @@ mod tests {
                         .iter()
                         .filter(|g| pointwise_leq(&p, e, g) && pointwise_leq(&p, f, g))
                         .all(|g| *g == id);
-                    assert_eq!(
-                        criterion,
-                        lower_ok && upper_ok,
-                        "mismatch for {e:?}, {f:?}"
-                    );
+                    assert_eq!(criterion, lower_ok && upper_ok, "mismatch for {e:?}, {f:?}");
                 }
             }
         }

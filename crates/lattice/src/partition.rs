@@ -97,10 +97,12 @@ impl Partition {
 
     /// Number of blocks.
     pub fn n_blocks(&self) -> usize {
-        let mut reps: Vec<usize> = self.label.clone();
-        reps.sort_unstable();
-        reps.dedup();
-        reps.len()
+        // Canonical form: `i` is a block representative iff `label[i] == i`.
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| l == i)
+            .count()
     }
 
     /// Whether `i` and `j` are in the same block.
@@ -139,29 +141,50 @@ impl Partition {
     pub fn refines(&self, other: &Partition) -> bool {
         self.check_same_n(other);
         // self refines other iff other's label is constant on self's blocks.
-        let mut seen: HashMap<usize, usize> = HashMap::new();
-        for i in 0..self.n() {
-            match seen.entry(self.label[i]) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    if *e.get() != other.label[i] {
-                        return false;
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(other.label[i]);
-                }
-            }
-        }
-        true
+        // Canonical labels point at the first element of each block, so
+        // constancy holds iff every element agrees with its representative.
+        (0..self.n()).all(|i| other.label[i] == other.label[self.label[i]])
     }
 
     /// Join in the paper's orientation: the common refinement.
+    ///
+    /// Hash-free `O(n)`: a counting sort groups each `self`-block
+    /// contiguously (indices ascending within the block), then a stamped
+    /// scratch array canonicalises the `(self, other)` label pairs.
     pub fn join(&self, other: &Partition) -> Partition {
         self.check_same_n(other);
-        let pairs: Vec<(usize, usize)> = (0..self.n())
-            .map(|i| (self.label[i], other.label[i]))
-            .collect();
-        Partition::from_labels(&pairs)
+        let n = self.n();
+        let mut next = vec![0usize; n + 1];
+        for &l in &self.label {
+            next[l + 1] += 1;
+        }
+        for b in 0..n {
+            next[b + 1] += next[b];
+        }
+        let mut order = vec![0usize; n];
+        for i in 0..n {
+            let l = self.label[i];
+            order[next[l]] = i;
+            next[l] += 1;
+        }
+        // Per self-block, remember the first index carrying each other-label.
+        // Stamps are block representatives, which are unique per group, so a
+        // stale entry from an earlier group can never be mistaken for a hit.
+        let mut stamp = vec![usize::MAX; n];
+        let mut first = vec![0usize; n];
+        let mut label = vec![0usize; n];
+        for &i in &order {
+            let block = self.label[i];
+            let b = other.label[i];
+            if stamp[b] == block {
+                label[i] = first[b];
+            } else {
+                stamp[b] = block;
+                first[b] = i;
+                label[i] = i;
+            }
+        }
+        Partition { label }
     }
 
     /// Meet in the paper's orientation: transitive closure of the union of
@@ -239,8 +262,10 @@ impl UnionFind {
 
     /// Freeze into a canonical [`Partition`].
     pub fn into_partition(mut self) -> Partition {
-        let labels: Vec<usize> = (0..self.parent.len()).map(|i| self.find(i)).collect();
-        Partition::from_labels(&labels)
+        // Min-representative unions keep every root the minimum of its
+        // class, so the compressed parent vector is already canonical.
+        let label: Vec<usize> = (0..self.parent.len()).map(|i| self.find(i)).collect();
+        Partition { label }
     }
 }
 
@@ -351,6 +376,33 @@ mod tests {
         uf.union(3, 4);
         let p = uf.into_partition();
         assert_eq!(p.blocks(), vec![vec![0, 3, 4], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn fast_paths_match_reference() {
+        // Cross-check the scratch-array join / refines / n_blocks against
+        // straightforward reference implementations.
+        let parts = [
+            Partition::from_labels(&[0, 0, 1, 1, 2, 0, 2]),
+            Partition::from_labels(&[0, 1, 0, 1, 0, 1, 0]),
+            Partition::from_labels(&[0, 1, 2, 3, 4, 5, 6]),
+            Partition::from_labels(&[0, 0, 0, 0, 0, 0, 0]),
+            Partition::from_labels(&[3, 3, 1, 1, 3, 2, 2]),
+        ];
+        for p in &parts {
+            let mut reps: Vec<usize> = p.label.clone();
+            reps.sort_unstable();
+            reps.dedup();
+            assert_eq!(p.n_blocks(), reps.len());
+            for q in &parts {
+                let pairs: Vec<(usize, usize)> =
+                    (0..p.n()).map(|i| (p.label[i], q.label[i])).collect();
+                assert_eq!(p.join(q), Partition::from_labels(&pairs));
+                let reference_refines =
+                    (0..p.n()).all(|i| (0..p.n()).all(|j| !p.same(i, j) || q.same(i, j)));
+                assert_eq!(p.refines(q), reference_refines);
+            }
+        }
     }
 
     #[test]

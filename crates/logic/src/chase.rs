@@ -16,7 +16,10 @@
 //! cross-validated in tests and compared in the `chase` benchmark
 //! (design-choice ablation #3 in DESIGN.md).
 
-use crate::rule::{for_each_match, has_match, Atom, Egd, Substitution, Term, Tgd};
+use crate::rule::{
+    for_each_match_indexed, has_match, has_match_indexed, Atom, Egd, Substitution, Term, Tgd,
+    TupleIndex,
+};
 use compview_relation::{Instance, Tuple, Value};
 
 /// Failure modes of the chase.
@@ -84,7 +87,11 @@ impl FreshGen {
 ///
 /// Each round only considers body matches in which at least one atom is
 /// matched against a tuple added in the previous round, so quiescent parts
-/// of the instance are never re-joined.
+/// of the instance are never re-joined.  Body matching seeds candidates
+/// from a live [`TupleIndex`] kept in sync with the growing instance, so
+/// join fan-out is proportional to matching tuples rather than relation
+/// size; enumeration order (and hence fresh-null numbering and the final
+/// instance) is identical to the unindexed scan.
 pub fn chase(
     inst: &Instance,
     tgds: &[Tgd],
@@ -92,6 +99,7 @@ pub fn chase(
     config: &ChaseConfig,
 ) -> Result<Instance, ChaseError> {
     let mut out = inst.clone();
+    let mut index = TupleIndex::build(&out);
     let mut fresh = FreshGen {
         next: 0,
         max: config.max_fresh,
@@ -115,6 +123,15 @@ pub fn chase(
             // position as the delta position.
             for pos in 0..tgd.body.len() {
                 let atom = &tgd.body[pos];
+                // The residual body is the same for every delta tuple at
+                // this position; build it once, not per tuple.
+                let rest: Vec<Atom> = tgd
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, a)| a.clone())
+                    .collect();
                 for (dn, dt) in &delta {
                     if *dn != atom.rel {
                         continue;
@@ -123,22 +140,22 @@ pub fn chase(
                     let Some(seed) = seed_from(atom, dt) else {
                         continue;
                     };
-                    let rest: Vec<Atom> = tgd
-                        .body
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| i != pos)
-                        .map(|(_, a)| a.clone())
-                        .collect();
                     let mut pending: Vec<Substitution> = Vec::new();
-                    for_each_match(&rest, &out, &seed, &mut |sub| {
-                        if tgd.guard_ok(sub) && !has_match(&tgd.head, &out, sub) {
+                    for_each_match_indexed(&rest, &out, &index, &seed, &mut |sub| {
+                        if tgd.guard_ok(sub) && !has_match_indexed(&tgd.head, &out, &index, sub) {
                             pending.push(sub.clone());
                         }
                         true
                     });
                     for sub in pending {
-                        apply_head(&tgd.head, &sub, &mut out, &mut additions, &mut fresh)?;
+                        apply_head(
+                            &tgd.head,
+                            &sub,
+                            &mut out,
+                            &mut index,
+                            &mut additions,
+                            &mut fresh,
+                        )?;
                     }
                 }
             }
@@ -157,7 +174,9 @@ pub fn chase(
 }
 
 /// Naive chase: recompute all body matches every round.  Reference
-/// implementation for cross-validation and the ablation benchmark.
+/// implementation for cross-validation and the ablation benchmark.  Shares
+/// the indexed matcher with [`chase`] so the semi-naive/naive ablation
+/// measures delta-driving alone, not index vs. scan.
 pub fn chase_naive(
     inst: &Instance,
     tgds: &[Tgd],
@@ -165,6 +184,7 @@ pub fn chase_naive(
     config: &ChaseConfig,
 ) -> Result<Instance, ChaseError> {
     let mut out = inst.clone();
+    let mut index = TupleIndex::build(&out);
     let mut fresh = FreshGen {
         next: 0,
         max: config.max_fresh,
@@ -173,14 +193,27 @@ pub fn chase_naive(
         let mut additions: Vec<(String, Tuple)> = Vec::new();
         for tgd in tgds {
             let mut pending: Vec<Substitution> = Vec::new();
-            for_each_match(&tgd.body, &out, &Substitution::default(), &mut |sub| {
-                if tgd.guard_ok(sub) && !has_match(&tgd.head, &out, sub) {
-                    pending.push(sub.clone());
-                }
-                true
-            });
+            for_each_match_indexed(
+                &tgd.body,
+                &out,
+                &index,
+                &Substitution::default(),
+                &mut |sub| {
+                    if tgd.guard_ok(sub) && !has_match_indexed(&tgd.head, &out, &index, sub) {
+                        pending.push(sub.clone());
+                    }
+                    true
+                },
+            );
             for sub in pending {
-                apply_head(&tgd.head, &sub, &mut out, &mut additions, &mut fresh)?;
+                apply_head(
+                    &tgd.head,
+                    &sub,
+                    &mut out,
+                    &mut index,
+                    &mut additions,
+                    &mut fresh,
+                )?;
             }
         }
         if additions.is_empty() {
@@ -221,17 +254,19 @@ fn seed_from(atom: &Atom, t: &Tuple) -> Option<Substitution> {
 }
 
 /// Instantiate head atoms (inventing witnesses for existential variables)
-/// and insert them, recording genuinely new tuples in `additions`.
+/// and insert them, recording genuinely new tuples in `additions` and
+/// mirroring every insertion into the live `index`.
 fn apply_head(
     head: &[Atom],
     sub: &Substitution,
     out: &mut Instance,
+    index: &mut TupleIndex,
     additions: &mut Vec<(String, Tuple)>,
     fresh: &mut FreshGen,
 ) -> Result<(), ChaseError> {
     // Re-check under the current (possibly grown) instance to avoid
     // duplicate witness invention.
-    if has_match(head, out, sub) {
+    if has_match_indexed(head, out, index, sub) {
         return Ok(());
     }
     let mut sub = sub.clone();
@@ -246,6 +281,7 @@ fn apply_head(
     for atom in head {
         let t = atom.instantiate(&sub);
         if out.rel_mut(&atom.rel).insert(t.clone()) {
+            index.insert(&atom.rel, &t);
             additions.push((atom.rel.clone(), t));
         }
     }
@@ -312,7 +348,10 @@ mod tests {
     fn naive_and_semi_naive_agree() {
         let inst = Instance::new().with(
             "E",
-            rel(2, [["a", "b"], ["b", "c"], ["c", "d"], ["d", "e"], ["e", "a"]]),
+            rel(
+                2,
+                [["a", "b"], ["b", "c"], ["c", "d"], ["d", "e"], ["e", "a"]],
+            ),
         );
         let a = chase(&inst, &[trans_rule()], &[], &ChaseConfig::default()).unwrap();
         let b = chase_naive(&inst, &[trans_rule()], &[], &ChaseConfig::default()).unwrap();
@@ -369,8 +408,13 @@ mod tests {
         let inst = Instance::new()
             .with("P", rel(1, [["a"], ["b"]]))
             .with("E", rel(2, [["a", "w"]]));
-        let closed =
-            chase(&inst, std::slice::from_ref(&tgd), &[], &ChaseConfig::default()).unwrap();
+        let closed = chase(
+            &inst,
+            std::slice::from_ref(&tgd),
+            &[],
+            &ChaseConfig::default(),
+        )
+        .unwrap();
         // "a" already has a witness; only "b" gets a fresh one.
         assert_eq!(closed.rel("E").len(), 2);
         assert!(tgd.satisfied(&closed));

@@ -56,20 +56,61 @@ impl Constraint {
             Constraint::Ind(ind) => ind.satisfied(inst),
             Constraint::Tgd(tgd) => tgd.satisfied(inst),
             Constraint::Egd(egd) => egd.satisfied(inst),
-            Constraint::ColType { rel, col, ty } => inst
-                .rel(rel)
-                .iter()
-                .all(|t| mu.inhabits(t[*col], ty)),
-            Constraint::ContiguousSupport { rel, min_len } => {
-                inst.rel(rel).iter().all(|t| {
-                    let sup = t.support();
-                    sup.len() >= *min_len
-                        && sup
-                            .windows(2)
-                            .all(|w| w[1] == w[0] + 1)
-                })
+            Constraint::ColType { rel, col, ty } => {
+                inst.rel(rel).iter().all(|t| mu.inhabits(t[*col], ty))
             }
+            Constraint::ContiguousSupport { rel, min_len } => inst.rel(rel).iter().all(|t| {
+                let sup = t.support();
+                sup.len() >= *min_len && sup.windows(2).all(|w| w[1] == w[0] + 1)
+            }),
         }
+    }
+
+    /// The relation names the constraint reads.  A constraint whose set of
+    /// read relations is contained in one pool block can be checked on that
+    /// block alone, which is what lets `Schema::enumerate_ldb` prune
+    /// per-relation submasks before assembling full instances.
+    pub fn relations(&self) -> Vec<&str> {
+        match self {
+            Constraint::Fd(fd) => vec![fd.rel.as_str()],
+            Constraint::Jd(jd) => vec![jd.rel.as_str()],
+            Constraint::Ind(ind) => vec![ind.from_rel.as_str(), ind.to_rel.as_str()],
+            Constraint::Tgd(tgd) => {
+                let mut out: Vec<&str> = tgd
+                    .body
+                    .iter()
+                    .chain(tgd.head.iter())
+                    .map(|a| a.rel.as_str())
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            Constraint::Egd(egd) => {
+                let mut out: Vec<&str> = egd.body.iter().map(|a| a.rel.as_str()).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            Constraint::ColType { rel, .. } => vec![rel.as_str()],
+            Constraint::ContiguousSupport { rel, .. } => vec![rel.as_str()],
+        }
+    }
+
+    /// Whether a violation survives adding tuples (satisfaction is
+    /// anti-monotone in the instance).  For such constraints a violating
+    /// *partial* tuple set already dooms every superset, so enumeration may
+    /// prune the whole subtree.  Denials (FDs, EGDs, typing, support shape)
+    /// qualify; generating dependencies (JDs, INDs, TGDs) do not — a later
+    /// tuple can discharge the requirement.
+    pub fn violation_monotone(&self) -> bool {
+        matches!(
+            self,
+            Constraint::Fd(_)
+                | Constraint::Egd(_)
+                | Constraint::ColType { .. }
+                | Constraint::ContiguousSupport { .. }
+        )
     }
 
     /// Compile to chase rules where a faithful compilation exists.
@@ -100,10 +141,7 @@ impl Constraint {
                         .collect();
                     egds.push(Egd::new(
                         format!("fd:{}:{:?}->{rc}", fd.rel, fd.lhs),
-                        vec![
-                            Atom::new(fd.rel.clone(), t1),
-                            Atom::new(fd.rel.clone(), t2),
-                        ],
+                        vec![Atom::new(fd.rel.clone(), t1), Atom::new(fd.rel.clone(), t2)],
                         (rc as u32, (arity + rc) as u32),
                     ));
                 }
@@ -209,14 +247,9 @@ mod tests {
     #[test]
     fn jd_compiles_to_tgd_with_same_semantics() {
         let jd = Jd::new("R", vec![vec![0, 1], vec![1, 2]]);
-        let direct_ok = Instance::new().with(
-            "R",
-            rel(3, [["s2", "p3", "j1"], ["s2", "p3", "j3"]]),
-        );
-        let direct_bad = Instance::new().with(
-            "R",
-            rel(3, [["s2", "p3", "j1"], ["s3", "p3", "j3"]]),
-        );
+        let direct_ok = Instance::new().with("R", rel(3, [["s2", "p3", "j1"], ["s2", "p3", "j3"]]));
+        let direct_bad =
+            Instance::new().with("R", rel(3, [["s2", "p3", "j1"], ["s3", "p3", "j3"]]));
         let (tgds, _) = Constraint::Jd(jd.clone()).to_rules(&|_| 3);
         assert_eq!(tgds.len(), 1);
         assert_eq!(jd.satisfied(&direct_ok), tgds[0].satisfied(&direct_ok));
@@ -229,7 +262,10 @@ mod tests {
         let jd = Jd::new("R", vec![vec![0, 1], vec![1, 2]]);
         let inst = Instance::new().with(
             "R",
-            rel(3, [["s2", "p3", "j1"], ["s3", "p3", "j3"], ["s1", "p1", "j1"]]),
+            rel(
+                3,
+                [["s2", "p3", "j1"], ["s3", "p3", "j3"], ["s1", "p1", "j1"]],
+            ),
         );
         let (tgds, _) = Constraint::Jd(jd.clone()).to_rules(&|_| 3);
         let closed = chase(&inst, &tgds, &[], &ChaseConfig::default()).unwrap();

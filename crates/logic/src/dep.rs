@@ -107,7 +107,10 @@ impl Jd {
     /// # Panics
     /// Panics if fewer than two components are given or a component is empty.
     pub fn new<S: Into<String>>(rel: S, components: Vec<Vec<usize>>) -> Jd {
-        assert!(components.len() >= 2, "join dependency needs ≥ 2 components");
+        assert!(
+            components.len() >= 2,
+            "join dependency needs ≥ 2 components"
+        );
         assert!(
             components.iter().all(|c| !c.is_empty()),
             "empty join-dependency component"
@@ -151,9 +154,7 @@ impl Jd {
             let on: Vec<(usize, usize)> = positions
                 .iter()
                 .enumerate()
-                .filter_map(|(ai, &base)| {
-                    comp.iter().position(|&b| b == base).map(|bi| (ai, bi))
-                })
+                .filter_map(|(ai, &base)| comp.iter().position(|&b| b == base).map(|bi| (ai, bi)))
                 .collect();
             acc = acc.join(&proj, &on);
             // `join` keeps left columns then right non-key columns in order.
@@ -301,7 +302,10 @@ mod tests {
         let implied = Fd::new("R", vec![0], vec![2]);
         let inst = Instance::new().with(
             "R",
-            rel(3, [["a1", "b1", "c1"], ["a2", "b1", "c1"], ["a3", "b2", "c2"]]),
+            rel(
+                3,
+                [["a1", "b1", "c1"], ["a2", "b1", "c1"], ["a3", "b2", "c2"]],
+            ),
         );
         assert!(fds.iter().all(|f| f.satisfied(&inst)));
         assert!(fd_implies(&fds, &implied));

@@ -39,7 +39,7 @@ pub use chase::{chase, chase_naive, ChaseConfig, ChaseError};
 pub use constraint::Constraint;
 pub use dep::{attribute_closure, fd_implies, Fd, Ind, Jd};
 pub use nulls::PathSchema;
-pub use rule::{cst, var, Atom, Egd, Substitution, Term, Tgd};
-pub use schema::Schema;
+pub use rule::{cst, var, Atom, Egd, Substitution, Term, Tgd, TupleIndex};
+pub use schema::{EnumerationConfig, Schema};
 pub use tree::TreeSchema;
 pub use typealg::{TypeAlgebra, TypeAssignment, TypeExpr};

@@ -24,7 +24,7 @@
 use crate::constraint::Constraint;
 use crate::rule::{Atom, Term, Tgd};
 use crate::schema::Schema;
-use compview_relation::{Instance, Relation, RelDecl, Signature, Tuple, Value};
+use compview_relation::{Instance, RelDecl, Relation, Signature, Tuple, Value};
 use std::collections::HashMap;
 
 /// A null-augmented chain-join schema (Example 2.1.1 generalised).
@@ -64,7 +64,10 @@ impl PathSchema {
         A: Into<String>,
     {
         let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
-        assert!(attrs.len() >= 2, "path schema needs at least two attributes");
+        assert!(
+            attrs.len() >= 2,
+            "path schema needs at least two attributes"
+        );
         PathSchema {
             rel: rel.into(),
             attrs,
@@ -220,9 +223,7 @@ impl PathSchema {
         let mut enders: HashMap<(usize, Value), Vec<Tuple>> = HashMap::new();
         let mut work: Vec<Tuple> = Vec::new();
 
-        let push = |t: Tuple,
-                        out: &mut Relation,
-                        work: &mut Vec<Tuple>| {
+        let push = |t: Tuple, out: &mut Relation, work: &mut Vec<Tuple>| {
             if out.insert(t.clone()) {
                 work.push(t);
             }
@@ -245,10 +246,7 @@ impl PathSchema {
             }
             // Composition with previously indexed objects.
             if let Some(rights) = starters.get(&(j, t[j])) {
-                let combos: Vec<Tuple> = rights
-                    .iter()
-                    .map(|u| self.combine(&t, u))
-                    .collect();
+                let combos: Vec<Tuple> = rights.iter().map(|u| self.combine(&t, u)).collect();
                 for c in combos {
                     push(c, &mut out, &mut work);
                 }
@@ -267,21 +265,13 @@ impl PathSchema {
 
     /// Restrict object `t` (support `⊇ [i,j]`) to support `[i,j]`.
     fn shrink(&self, t: &Tuple, i: usize, j: usize) -> Tuple {
-        Tuple::new((0..self.arity()).map(|c| {
-            if c >= i && c <= j {
-                t[c]
-            } else {
-                Value::Null
-            }
-        }))
+        Tuple::new((0..self.arity()).map(|c| if c >= i && c <= j { t[c] } else { Value::Null }))
     }
 
     /// Combine left object (support `[i,m]`) with right object (support
     /// `[m,j]`, agreeing at `m`) into the object with support `[i,j]`.
     fn combine(&self, left: &Tuple, right: &Tuple) -> Tuple {
-        Tuple::new(
-            (0..self.arity()).map(|c| if left[c].is_null() { right[c] } else { left[c] }),
-        )
+        Tuple::new((0..self.arity()).map(|c| if left[c].is_null() { right[c] } else { left[c] }))
     }
 
     /// Whether `r` is already closed.
@@ -398,7 +388,10 @@ mod tests {
         let p = ps();
         let gens = Relation::from_tuples(
             4,
-            [p.object(0, &[v("a"), v("b1")]), p.object(1, &[v("b2"), v("c")])],
+            [
+                p.object(0, &[v("a"), v("b1")]),
+                p.object(1, &[v("b2"), v("c")]),
+            ],
         );
         let closed = p.close(&gens);
         assert_eq!(closed.len(), 2);
@@ -439,10 +432,8 @@ mod tests {
     #[should_panic(expected = "illegal object")]
     fn close_rejects_gap_tuples() {
         let p = ps();
-        let bad = Relation::from_tuples(
-            4,
-            [Tuple::new([v("a"), Value::Null, v("c"), Value::Null])],
-        );
+        let bad =
+            Relation::from_tuples(4, [Tuple::new([v("a"), Value::Null, v("c"), Value::Null])]);
         p.close(&bad);
     }
 

@@ -66,12 +66,14 @@ impl Atom {
     /// # Panics
     /// Panics if a variable is unbound.
     pub fn instantiate(&self, sub: &Substitution) -> Tuple {
-        Tuple::new(self.args.iter().map(|t| match t {
-            Term::Const(v) => *v,
-            Term::Var(x) => *sub
-                .0
-                .get(x)
-                .unwrap_or_else(|| panic!("unbound variable ?{x} in head instantiation")),
+        Tuple::new(self.args.iter().map(|t| {
+            match t {
+                Term::Const(v) => *v,
+                Term::Var(x) => *sub
+                    .0
+                    .get(x)
+                    .unwrap_or_else(|| panic!("unbound variable ?{x} in head instantiation")),
+            }
         }))
     }
 }
@@ -103,6 +105,170 @@ impl Substitution {
     }
 }
 
+/// A per-relation, per-column hash index over an instance's tuples.
+///
+/// `candidates(rel, col, v)` returns every tuple of `rel` whose column
+/// `col` equals `v`, in **lexicographic tuple order** — the same relative
+/// order a full scan of the underlying `Relation` visits them in.  That
+/// invariant is what lets [`for_each_match_indexed`] enumerate matches in
+/// exactly the order of the unindexed scan, so the chase's fresh-null
+/// numbering (and hence its output) is byte-identical with or without the
+/// index.
+///
+/// The index is a *live* companion to a growing instance: the chase calls
+/// [`TupleIndex::insert`] alongside every instance insertion so intra-round
+/// additions remain visible to subsequent lookups, matching scan semantics.
+#[derive(Clone, Debug, Default)]
+pub struct TupleIndex {
+    rels: HashMap<String, Vec<HashMap<Value, Vec<Tuple>>>>,
+}
+
+impl TupleIndex {
+    /// Index every relation of `inst` on every column.
+    pub fn build(inst: &Instance) -> TupleIndex {
+        let mut idx = TupleIndex::default();
+        for (name, rel) in inst.iter() {
+            let cols = idx
+                .rels
+                .entry(name.to_owned())
+                .or_insert_with(|| vec![HashMap::new(); rel.arity()]);
+            cols.resize(rel.arity().max(cols.len()), HashMap::new());
+            for t in rel.iter() {
+                for (c, col) in cols.iter_mut().enumerate() {
+                    // Relation iterates in ascending order, so pushing
+                    // keeps each bucket sorted.
+                    col.entry(t[c]).or_default().push(t.clone());
+                }
+            }
+        }
+        idx
+    }
+
+    /// Mirror an instance insertion.  Buckets stay sorted (sorted insert;
+    /// buckets are short in practice) to preserve scan-order enumeration.
+    pub fn insert(&mut self, rel: &str, t: &Tuple) {
+        let cols = self
+            .rels
+            .entry(rel.to_owned())
+            .or_insert_with(|| vec![HashMap::new(); t.arity()]);
+        cols.resize(t.arity().max(cols.len()), HashMap::new());
+        for (c, col) in cols.iter_mut().enumerate() {
+            let bucket = col.entry(t[c]).or_default();
+            match bucket.binary_search(t) {
+                Ok(_) => {}
+                Err(pos) => bucket.insert(pos, t.clone()),
+            }
+        }
+    }
+
+    /// Tuples of `rel` with `t[col] == v`, ascending; empty if none.
+    fn candidates(&self, rel: &str, col: usize, v: Value) -> &[Tuple] {
+        self.rels
+            .get(rel)
+            .and_then(|cols| cols.get(col))
+            .and_then(|m| m.get(&v))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Backtracking-join recursion shared by the indexed and unindexed entry
+/// points.  At each atom, candidate tuples come from the smallest index
+/// bucket over the atom's bound positions (constants or already-bound
+/// variables) when an index is supplied, else from a full relation scan.
+/// Both sources yield tuples in ascending order, so match enumeration
+/// order is identical either way.
+fn match_rec<F>(
+    atoms: &[Atom],
+    inst: &Instance,
+    index: Option<&TupleIndex>,
+    sub: &mut Substitution,
+    found: &mut F,
+) -> bool
+where
+    F: FnMut(&Substitution) -> bool,
+{
+    let Some((atom, rest)) = atoms.split_first() else {
+        return found(sub);
+    };
+    let rel = inst.rel(&atom.rel);
+
+    // Pick the most selective bound position, if any.
+    let candidates: Option<&[Tuple]> = index.and_then(|idx| {
+        let mut best: Option<&[Tuple]> = None;
+        for (i, term) in atom.args.iter().enumerate() {
+            let v = match term {
+                Term::Const(c) => Some(*c),
+                Term::Var(x) => sub.get(*x),
+            };
+            if let Some(v) = v {
+                let bucket = idx.candidates(&atom.rel, i, v);
+                if best.is_none_or(|b| bucket.len() < b.len()) {
+                    best = Some(bucket);
+                }
+            }
+        }
+        best
+    });
+
+    let try_tuple = |t: &Tuple, sub: &mut Substitution, found: &mut F| -> (bool, bool) {
+        debug_assert_eq!(t.arity(), atom.args.len(), "atom arity mismatch");
+        let mut bound_here: Vec<u32> = Vec::new();
+        for (i, term) in atom.args.iter().enumerate() {
+            match term {
+                Term::Const(c) => {
+                    if t[i] != *c {
+                        for b in bound_here.drain(..) {
+                            sub.0.remove(&b);
+                        }
+                        return (false, true);
+                    }
+                }
+                Term::Var(x) => match sub.0.get(x) {
+                    Some(&v) if v != t[i] => {
+                        for b in bound_here.drain(..) {
+                            sub.0.remove(&b);
+                        }
+                        return (false, true);
+                    }
+                    Some(_) => {}
+                    None => {
+                        sub.0.insert(*x, t[i]);
+                        bound_here.push(*x);
+                    }
+                },
+            }
+        }
+        let keep_going = match_rec(rest, inst, index, sub, found);
+        for b in bound_here {
+            sub.0.remove(&b);
+        }
+        (true, keep_going)
+    };
+
+    match candidates {
+        Some(bucket) => {
+            // The index bucket may lag behind `inst` only if the caller
+            // failed to mirror an insertion; matching consults the bucket's
+            // own tuples, so results stay consistent with the index state.
+            for t in bucket {
+                let (_, keep_going) = try_tuple(t, sub, found);
+                if !keep_going {
+                    return false;
+                }
+            }
+        }
+        None => {
+            for t in rel.iter() {
+                let (_, keep_going) = try_tuple(t, sub, found);
+                if !keep_going {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// Enumerate all homomorphisms from `atoms` (a conjunction) into `inst`
 /// extending `partial`, invoking `found` on each.  If `found` returns
 /// `false`, enumeration stops early (used for existence checks).
@@ -110,58 +276,35 @@ impl Substitution {
 /// Straightforward backtracking join; atom order is taken as given (callers
 /// ordering selective atoms first get better performance, but correctness
 /// never depends on order).
-pub fn for_each_match<F>(atoms: &[Atom], inst: &Instance, partial: &Substitution, found: &mut F) -> bool
+pub fn for_each_match<F>(
+    atoms: &[Atom],
+    inst: &Instance,
+    partial: &Substitution,
+    found: &mut F,
+) -> bool
 where
     F: FnMut(&Substitution) -> bool,
 {
-    fn rec<F>(atoms: &[Atom], inst: &Instance, sub: &mut Substitution, found: &mut F) -> bool
-    where
-        F: FnMut(&Substitution) -> bool,
-    {
-        let Some((atom, rest)) = atoms.split_first() else {
-            return found(sub);
-        };
-        let rel = inst.rel(&atom.rel);
-        'tuples: for t in rel.iter() {
-            debug_assert_eq!(t.arity(), atom.args.len(), "atom arity mismatch");
-            let mut bound_here: Vec<u32> = Vec::new();
-            for (i, term) in atom.args.iter().enumerate() {
-                match term {
-                    Term::Const(c) => {
-                        if t[i] != *c {
-                            for b in bound_here.drain(..) {
-                                sub.0.remove(&b);
-                            }
-                            continue 'tuples;
-                        }
-                    }
-                    Term::Var(x) => match sub.0.get(x) {
-                        Some(&v) if v != t[i] => {
-                            for b in bound_here.drain(..) {
-                                sub.0.remove(&b);
-                            }
-                            continue 'tuples;
-                        }
-                        Some(_) => {}
-                        None => {
-                            sub.0.insert(*x, t[i]);
-                            bound_here.push(*x);
-                        }
-                    },
-                }
-            }
-            let keep_going = rec(rest, inst, sub, found);
-            for b in bound_here {
-                sub.0.remove(&b);
-            }
-            if !keep_going {
-                return false;
-            }
-        }
-        true
-    }
     let mut sub = partial.clone();
-    rec(atoms, inst, &mut sub, found)
+    match_rec(atoms, inst, None, &mut sub, found)
+}
+
+/// [`for_each_match`] with hash-index candidate seeding: atoms with a bound
+/// argument position probe `index` instead of scanning the relation.
+/// `index` must be consistent with `inst` (see [`TupleIndex`]); match
+/// enumeration order equals the unindexed scan's.
+pub fn for_each_match_indexed<F>(
+    atoms: &[Atom],
+    inst: &Instance,
+    index: &TupleIndex,
+    partial: &Substitution,
+    found: &mut F,
+) -> bool
+where
+    F: FnMut(&Substitution) -> bool,
+{
+    let mut sub = partial.clone();
+    match_rec(atoms, inst, Some(index), &mut sub, found)
 }
 
 /// Whether `atoms` has at least one homomorphism into `inst` extending
@@ -169,6 +312,21 @@ where
 pub fn has_match(atoms: &[Atom], inst: &Instance, partial: &Substitution) -> bool {
     let mut any = false;
     for_each_match(atoms, inst, partial, &mut |_| {
+        any = true;
+        false // stop at first
+    });
+    any
+}
+
+/// [`has_match`] with hash-index candidate seeding.
+pub fn has_match_indexed(
+    atoms: &[Atom],
+    inst: &Instance,
+    index: &TupleIndex,
+    partial: &Substitution,
+) -> bool {
+    let mut any = false;
+    for_each_match_indexed(atoms, inst, index, partial, &mut |_| {
         any = true;
         false // stop at first
     });
@@ -264,7 +422,13 @@ impl fmt::Display for Tgd {
                 .collect::<Vec<_>>()
                 .join(" ∧ ")
         };
-        write!(f, "[{}] {} → {}", self.name, join(&self.body), join(&self.head))
+        write!(
+            f,
+            "[{}] {} → {}",
+            self.name,
+            join(&self.body),
+            join(&self.head)
+        )
     }
 }
 
@@ -313,7 +477,11 @@ impl fmt::Display for Egd {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(" ∧ ");
-        write!(f, "[{}] {} → ?{} = ?{}", self.name, body, self.eq.0, self.eq.1)
+        write!(
+            f,
+            "[{}] {} → ?{} = ?{}",
+            self.name, body, self.eq.0, self.eq.1
+        )
     }
 }
 
@@ -404,9 +572,15 @@ mod tests {
             rel(
                 2,
                 [
-                    ["a", "a"], ["a", "b"], ["a", "c"],
-                    ["b", "a"], ["b", "b"], ["b", "c"],
-                    ["c", "a"], ["c", "b"], ["c", "c"],
+                    ["a", "a"],
+                    ["a", "b"],
+                    ["a", "c"],
+                    ["b", "a"],
+                    ["b", "b"],
+                    ["b", "c"],
+                    ["c", "a"],
+                    ["c", "b"],
+                    ["c", "c"],
                 ],
             ),
         );
@@ -459,14 +633,80 @@ mod tests {
     }
 
     #[test]
+    fn indexed_matching_equals_scan_in_content_and_order() {
+        // A join with shared variables, constants, and a repeated variable;
+        // the indexed matcher must produce the same substitutions in the
+        // same order as the full scan.
+        let inst = Instance::new()
+            .with(
+                "E",
+                rel(
+                    2,
+                    [["a", "b"], ["b", "c"], ["c", "a"], ["a", "a"], ["b", "a"]],
+                ),
+            )
+            .with("P", rel(1, [["a"], ["c"]]));
+        let index = TupleIndex::build(&inst);
+        let bodies: Vec<Vec<Atom>> = vec![
+            vec![
+                Atom::new("E", vec![var(0), var(1)]),
+                Atom::new("E", vec![var(1), var(2)]),
+            ],
+            vec![
+                Atom::new("P", vec![var(0)]),
+                Atom::new("E", vec![var(0), var(1)]),
+                Atom::new("E", vec![var(1), var(0)]),
+            ],
+            vec![Atom::new("E", vec![cst("a"), var(0)])],
+            vec![Atom::new("E", vec![var(0), var(0)])],
+        ];
+        for atoms in &bodies {
+            let mut scan = Vec::new();
+            for_each_match(atoms, &inst, &Substitution::default(), &mut |s| {
+                scan.push(s.clone());
+                true
+            });
+            let mut indexed = Vec::new();
+            for_each_match_indexed(atoms, &inst, &index, &Substitution::default(), &mut |s| {
+                indexed.push(s.clone());
+                true
+            });
+            assert_eq!(scan, indexed);
+            assert_eq!(
+                has_match(atoms, &inst, &Substitution::default()),
+                has_match_indexed(atoms, &inst, &index, &Substitution::default())
+            );
+        }
+    }
+
+    #[test]
+    fn live_index_sees_insertions() {
+        let mut inst = Instance::new().with("E", rel(2, [["a", "b"]]));
+        let mut index = TupleIndex::build(&inst);
+        let probe = vec![Atom::new("E", vec![cst("b"), var(0)])];
+        assert!(!has_match_indexed(
+            &probe,
+            &inst,
+            &index,
+            &Substitution::default()
+        ));
+        let t = compview_relation::t(["b", "c"]);
+        inst.rel_mut("E").insert(t.clone());
+        index.insert("E", &t);
+        assert!(has_match_indexed(
+            &probe,
+            &inst,
+            &index,
+            &Substitution::default()
+        ));
+    }
+
+    #[test]
     fn null_constants_in_rules() {
         // The subsumption rules of Example 2.1.1 mention η as a constant.
         let inst = Instance::new().with(
             "R",
-            compview_relation::Relation::from_tuples(
-                2,
-                [Tuple::new([v("a"), Value::Null])],
-            ),
+            compview_relation::Relation::from_tuples(2, [Tuple::new([v("a"), Value::Null])]),
         );
         let atoms = vec![Atom::new("R", vec![var(0), cst(Value::Null)])];
         assert!(has_match(&atoms, &inst, &Substitution::default()));

@@ -11,6 +11,85 @@ use crate::typealg::{TypeAlgebra, TypeAssignment};
 use compview_relation::{Instance, Relation, Signature, Tuple};
 use std::collections::BTreeMap;
 
+/// Tuning knobs for [`Schema::enumerate_ldb_with`].
+#[derive(Clone, Debug)]
+pub struct EnumerationConfig {
+    /// Hard cap on raw pool bits (the unpruned space is `2^bits`); the
+    /// enumerator panics beyond it to guard against accidental explosion.
+    pub max_bits: usize,
+    /// Worker threads for the cross-product assembly.  The output is
+    /// byte-identical for every value (shards concatenate in order).
+    pub threads: usize,
+}
+
+impl Default for EnumerationConfig {
+    fn default() -> EnumerationConfig {
+        EnumerationConfig {
+            max_bits: 28,
+            threads: compview_parallel::num_threads(),
+        }
+    }
+}
+
+/// Depth-first enumerator of the legal submasks of one relation block.
+///
+/// Visits subsets of `pool` in ascending submask order (bit *p* of the
+/// submask selects `pool[p]`, matching the flat-mask layout documented on
+/// [`Schema::enumerate_ldb`]) and prunes a whole subtree as soon as the
+/// partial set violates a violation-monotone constraint local to this
+/// relation.  Constraints local to the block but not violation-monotone
+/// (e.g. a JD) are checked once per completed subset.
+struct BlockEnum<'a> {
+    name: &'a str,
+    pool: &'a [Tuple],
+    prune: &'a [&'a Constraint],
+    complete: &'a [&'a Constraint],
+    mu: &'a TypeAssignment,
+    scratch: Instance,
+    out: Vec<Relation>,
+}
+
+impl BlockEnum<'_> {
+    fn run(mut self) -> Vec<Relation> {
+        self.descend(self.pool.len());
+        self.out
+    }
+
+    /// Branch on bit `level - 1`; `level == 0` is a completed subset.
+    /// Zero-branch first and highest bit outermost yields ascending
+    /// submask order, so the overall state order matches the sequential
+    /// full-mask scan exactly.
+    fn descend(&mut self, level: usize) {
+        if level == 0 {
+            if self
+                .complete
+                .iter()
+                .all(|c| c.satisfied(&self.scratch, self.mu))
+            {
+                self.out.push(self.scratch.rel(self.name).clone());
+            }
+            return;
+        }
+        self.descend(level - 1);
+        let t = &self.pool[level - 1];
+        // A duplicate pool tuple contributes no new set; taking its bit
+        // revisits the same subsets the zero-branch just produced, which is
+        // exactly what the flat-mask scan does, so recurse either way —
+        // but only remove on backtrack what this branch actually added.
+        let added = self.scratch.rel_mut(self.name).insert(t.clone());
+        if self
+            .prune
+            .iter()
+            .all(|c| c.satisfied(&self.scratch, self.mu))
+        {
+            self.descend(level - 1);
+        }
+        if added {
+            self.scratch.rel_mut(self.name).remove(t);
+        }
+    }
+}
+
 /// A relational database schema: signature, constraints, and (optionally)
 /// typing information.
 #[derive(Clone, Debug)]
@@ -113,10 +192,40 @@ impl Schema {
     /// the constraints, in deterministic order.  This *is* `LDB(D, μ)` when
     /// the pools contain all well-typed tuples over the active domain of μ.
     ///
+    /// Conceptually the order is that of a flat subset-mask scan: the first
+    /// declared relation's pool occupies the low bits, and masks ascend.
+    /// The implementation never walks all `2^bits` masks, though — see
+    /// [`Schema::enumerate_ldb_with`].
+    ///
     /// # Panics
-    /// Panics if the raw state count exceeds `2^24` (guards against
-    /// accidental explosion) or a pool is missing for a declared relation.
+    /// Panics if the raw pool bit count exceeds
+    /// `EnumerationConfig::default().max_bits` (guards against accidental
+    /// explosion) or a pool is missing for a declared relation.
     pub fn enumerate_ldb(&self, pools: &BTreeMap<String, Vec<Tuple>>) -> Vec<Instance> {
+        self.enumerate_ldb_with(pools, &EnumerationConfig::default())
+    }
+
+    /// [`Schema::enumerate_ldb`] with explicit limits and thread count.
+    ///
+    /// Three optimisations over the naive `for mask in 0..2^bits` scan, all
+    /// order-preserving so the output is byte-identical to it:
+    ///
+    /// 1. **Per-block pruning**: each relation's legal submasks are
+    ///    enumerated first, checking only the constraints local to that
+    ///    relation, with violation-monotone constraints (FDs, EGDs, typing)
+    ///    cutting whole subtrees of the subset lattice.  Constraint-dense
+    ///    schemas thus skip almost all of the `2^bits` space.
+    /// 2. **Cached blocks**: surviving submasks are materialised once as
+    ///    `Relation` values and cloned into instances, instead of re-packing
+    ///    tuple-by-tuple per mask.
+    /// 3. **Sharded assembly**: the cross product of legal blocks is split
+    ///    across `config.threads` workers; shard outputs concatenate in
+    ///    index order, so the result does not depend on the thread count.
+    pub fn enumerate_ldb_with(
+        &self,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        config: &EnumerationConfig,
+    ) -> Vec<Instance> {
         let decls = self.sig.decls();
         let mut total_bits = 0usize;
         for d in decls {
@@ -126,31 +235,71 @@ impl Schema {
             total_bits += pool.len();
         }
         assert!(
-            total_bits <= 24,
-            "state space 2^{total_bits} too large to enumerate"
+            total_bits <= config.max_bits,
+            "state space 2^{total_bits} too large to enumerate (max_bits = {})",
+            config.max_bits
         );
 
-        let mut out = Vec::new();
-        let n_states = 1usize << total_bits;
-        for mask in 0..n_states {
-            let mut inst = Instance::null_model(&self.sig);
-            let mut bit = 0usize;
-            for d in decls {
-                let pool = &pools[d.name()];
-                let mut r = Relation::empty(d.arity());
-                for t in pool {
-                    if (mask >> bit) & 1 == 1 {
-                        r.insert(t.clone());
-                    }
-                    bit += 1;
+        // Split constraints into per-relation-local (checkable on one
+        // block in isolation) and global (need the assembled instance).
+        let local = |c: &Constraint, name: &str| {
+            let rels = c.relations();
+            rels.iter().all(|r| *r == name)
+        };
+        let global: Vec<&Constraint> = self
+            .constraints
+            .iter()
+            .filter(|c| !decls.iter().any(|d| local(c, d.name())))
+            .collect();
+
+        // Legal submasks per relation block, in ascending submask order.
+        let blocks: Vec<Vec<Relation>> = decls
+            .iter()
+            .map(|d| {
+                let locals: Vec<&Constraint> = self
+                    .constraints
+                    .iter()
+                    .filter(|c| local(c, d.name()))
+                    .collect();
+                let (prune, complete): (Vec<&Constraint>, Vec<&Constraint>) =
+                    locals.into_iter().partition(|c| c.violation_monotone());
+                BlockEnum {
+                    name: d.name(),
+                    pool: &pools[d.name()],
+                    prune: &prune,
+                    complete: &complete,
+                    mu: &self.assignment,
+                    scratch: Instance::null_model(&self.sig),
+                    out: Vec::new(),
                 }
-                inst.set(d.name(), r);
-            }
-            if self.is_legal(&inst) {
-                out.push(inst);
-            }
+                .run()
+            })
+            .collect();
+
+        // Cross product of legal blocks, first relation fastest-varying:
+        // ascending combo index ⇔ ascending flat mask restricted to
+        // per-block-legal states, so order matches the sequential scan.
+        let combos: usize = blocks.iter().map(Vec::len).product();
+        if blocks.iter().any(Vec::is_empty) {
+            return Vec::new();
         }
-        out
+        compview_parallel::sharded_collect(combos, config.threads, |range| {
+            let mut out = Vec::new();
+            for idx in range {
+                let mut rest = idx;
+                let mut inst = Instance::null_model(&self.sig);
+                for (d, block) in decls.iter().zip(&blocks) {
+                    inst.set(d.name(), block[rest % block.len()].clone());
+                    rest /= block.len();
+                }
+                if inst.conforms_to(&self.sig)
+                    && global.iter().all(|c| c.satisfied(&inst, &self.assignment))
+                {
+                    out.push(inst);
+                }
+            }
+            out
+        })
     }
 
     /// Build the pool of all well-typed tuples for each relation from
@@ -161,9 +310,8 @@ impl Schema {
     ) -> BTreeMap<String, Vec<Tuple>> {
         let mut pools = BTreeMap::new();
         for d in self.sig.decls() {
-            let columns: Vec<Vec<compview_relation::Value>> = (0..d.arity())
-                .map(|c| col_values(d.name(), c))
-                .collect();
+            let columns: Vec<Vec<compview_relation::Value>> =
+                (0..d.arity()).map(|c| col_values(d.name(), c)).collect();
             let mut tuples = vec![Vec::new()];
             for col in &columns {
                 let mut next = Vec::with_capacity(tuples.len() * col.len());
@@ -215,9 +363,9 @@ mod tests {
         let d = Schema::new(sig, vec![Constraint::Fd(Fd::new("R", vec![0], vec![1]))]);
         assert!(d.has_null_model_property());
         assert!(d.is_legal(&Instance::null_model(d.sig()).with("R", rel(2, [["a", "x"]]))));
-        assert!(!d.is_legal(
-            &Instance::null_model(d.sig()).with("R", rel(2, [["a", "x"], ["a", "y"]]))
-        ));
+        assert!(
+            !d.is_legal(&Instance::null_model(d.sig()).with("R", rel(2, [["a", "x"], ["a", "y"]])))
+        );
     }
 
     #[test]
@@ -225,8 +373,14 @@ mod tests {
         let d = two_unary();
         // Pools: R, S each over {a1, a2} → 2^2 subsets each → 16 states.
         let pools: BTreeMap<String, Vec<Tuple>> = [
-            ("R".to_owned(), vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])]),
-            ("S".to_owned(), vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])]),
+            (
+                "R".to_owned(),
+                vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+            ),
+            (
+                "S".to_owned(),
+                vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+            ),
         ]
         .into();
         let ldb = d.enumerate_ldb(&pools);
@@ -287,6 +441,110 @@ mod tests {
         let pools: BTreeMap<String, Vec<Tuple>> =
             [("R".to_owned(), big), ("S".to_owned(), Vec::new())].into();
         d.enumerate_ldb(&pools);
+    }
+
+    /// The reference semantics: scan every flat mask, filter by `is_legal`.
+    fn reference_scan(d: &Schema, pools: &BTreeMap<String, Vec<Tuple>>) -> Vec<Instance> {
+        let decls = d.sig().decls();
+        let total_bits: usize = decls.iter().map(|dd| pools[dd.name()].len()).sum();
+        let mut out = Vec::new();
+        for mask in 0..1usize << total_bits {
+            let mut inst = Instance::null_model(d.sig());
+            let mut bit = 0usize;
+            for dd in decls {
+                let mut r = Relation::empty(dd.arity());
+                for t in &pools[dd.name()] {
+                    if (mask >> bit) & 1 == 1 {
+                        r.insert(t.clone());
+                    }
+                    bit += 1;
+                }
+                inst.set(dd.name(), r);
+            }
+            if d.is_legal(&inst) {
+                out.push(inst);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pruned_enumeration_matches_reference_scan() {
+        // Unconstrained 2-relation schema and a constrained (FD + JD) one,
+        // across thread counts: output must be byte-identical to the
+        // sequential full-mask scan.
+        let unconstrained = two_unary();
+        let pools_u: BTreeMap<String, Vec<Tuple>> = [
+            (
+                "R".to_owned(),
+                vec![
+                    Tuple::new([v("a1")]),
+                    Tuple::new([v("a2")]),
+                    Tuple::new([v("a3")]),
+                ],
+            ),
+            (
+                "S".to_owned(),
+                vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+            ),
+        ]
+        .into();
+
+        let sig = Signature::new([RelDecl::new("R", ["A", "B"]), RelDecl::new("S", ["A"])]);
+        let constrained = Schema::new(
+            sig,
+            vec![
+                Constraint::Fd(Fd::new("R", vec![0], vec![1])),
+                Constraint::Jd(Jd::new("R", vec![vec![0], vec![1]])),
+            ],
+        );
+        let pools_c: BTreeMap<String, Vec<Tuple>> = [
+            (
+                "R".to_owned(),
+                vec![
+                    Tuple::new([v("a"), v("x")]),
+                    Tuple::new([v("a"), v("y")]),
+                    Tuple::new([v("b"), v("x")]),
+                    Tuple::new([v("b"), v("y")]),
+                ],
+            ),
+            (
+                "S".to_owned(),
+                vec![Tuple::new([v("a")]), Tuple::new([v("b")])],
+            ),
+        ]
+        .into();
+
+        for (d, pools) in [(&unconstrained, &pools_u), (&constrained, &pools_c)] {
+            let expect = reference_scan(d, pools);
+            for threads in [1usize, 2, 8] {
+                let cfg = EnumerationConfig {
+                    max_bits: 28,
+                    threads,
+                };
+                assert_eq!(d.enumerate_ldb_with(pools, &cfg), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_26_bit_space_enumerates() {
+        // 26 raw pool bits — a guaranteed panic under the old fixed 24-bit
+        // guard, and 2^26 ≈ 67M masks under the old full scan.  The FD
+        // R: 0 → 1 prunes each key's 13 candidate values to at most one,
+        // so per-block enumeration visits only the 14^2 = 196 legal states.
+        let sig = Signature::new([RelDecl::new("R", ["K", "V"])]);
+        let d = Schema::new(sig, vec![Constraint::Fd(Fd::new("R", vec![0], vec![1]))]);
+        let pool: Vec<Tuple> = ["a", "b"]
+            .iter()
+            .flat_map(|k| (0..13).map(move |i| Tuple::new([v(k), v(&format!("v{i}"))])))
+            .collect();
+        assert_eq!(pool.len(), 26);
+        let pools: BTreeMap<String, Vec<Tuple>> = [("R".to_owned(), pool)].into();
+        let ldb = d.enumerate_ldb(&pools);
+        assert_eq!(ldb.len(), 14 * 14);
+        assert!(ldb.iter().all(|s| d.is_legal(s)));
+        assert!(ldb.iter().any(Instance::is_null_model));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::constraint::Constraint;
 use crate::rule::{Atom, Term, Tgd};
 use crate::schema::Schema;
-use compview_relation::{Instance, Relation, RelDecl, Signature, Tuple, Value};
+use compview_relation::{Instance, RelDecl, Relation, Signature, Tuple, Value};
 use std::collections::{BTreeSet, HashMap};
 
 /// A null-augmented schema over a tree of attributes.
@@ -50,7 +50,12 @@ impl TreeSchema {
         let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
         let k = attrs.len();
         assert!(k >= 2, "tree schema needs at least two attributes");
-        assert_eq!(edges.len(), k - 1, "a tree on {k} nodes has {} edges", k - 1);
+        assert_eq!(
+            edges.len(),
+            k - 1,
+            "a tree on {k} nodes has {} edges",
+            k - 1
+        );
         let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
         let edges: Vec<(usize, usize)> = edges
             .into_iter()
@@ -75,7 +80,10 @@ impl TreeSchema {
                 }
             }
         }
-        assert!(seen.into_iter().all(|s| s), "edges do not connect all attributes");
+        assert!(
+            seen.into_iter().all(|s| s),
+            "edges do not connect all attributes"
+        );
         TreeSchema {
             rel: rel.into(),
             attrs,
@@ -183,9 +191,7 @@ impl TreeSchema {
     /// Panics if the bound nodes are not a legal object support.
     pub fn object(&self, bindings: &[(usize, Value)]) -> Tuple {
         let map: HashMap<usize, Value> = bindings.iter().copied().collect();
-        let t = Tuple::new(
-            (0..self.arity()).map(|c| map.get(&c).copied().unwrap_or(Value::Null)),
-        );
+        let t = Tuple::new((0..self.arity()).map(|c| map.get(&c).copied().unwrap_or(Value::Null)));
         assert!(
             self.subtree(&t).is_some(),
             "bindings do not form a connected ≥2-node object"
@@ -435,12 +441,7 @@ mod tests {
         // All connected supports containing the hub with matching value:
         // {0,1},{0,2},{0,3},{0,1,2},{0,1,3},{0,2,3},{0,1,2,3} → 7 objects.
         assert_eq!(closed.len(), 7);
-        assert!(closed.contains(&t.object(&[
-            (0, v("h")),
-            (1, v("x")),
-            (2, v("y")),
-            (3, v("z"))
-        ])));
+        assert!(closed.contains(&t.object(&[(0, v("h")), (1, v("x")), (2, v("y")), (3, v("z"))])));
     }
 
     #[test]

@@ -237,10 +237,7 @@ impl Minterms {
     /// Subset test (implication of types).
     pub fn is_subset(&self, other: &Minterms) -> bool {
         self.zip_check(other);
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .all(|(a, b)| a & !b == 0)
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
     }
 
     /// Meet (`∧`).
@@ -392,9 +389,7 @@ mod tests {
         assert!(alg.equivalent(&a.clone().and(b.clone()), &b.clone().and(a.clone())));
         assert!(alg.equivalent(
             &a.clone().and(b.clone().or(alg.gen("eta"))),
-            &a.clone()
-                .and(b.clone())
-                .or(a.clone().and(alg.gen("eta")))
+            &a.clone().and(b.clone()).or(a.clone().and(alg.gen("eta")))
         ));
         assert!(alg.equivalent(
             &a.clone().and(b.clone()).not(),
@@ -452,10 +447,7 @@ mod tests {
     #[test]
     fn assignment_membership() {
         let alg = alg3();
-        let (ia, ieta) = (
-            alg.gen_index("A").unwrap(),
-            alg.gen_index("eta").unwrap(),
-        );
+        let (ia, ieta) = (alg.gen_index("A").unwrap(), alg.gen_index("eta").unwrap());
         let mu = TypeAssignment::new()
             .with(v("a1"), &[ia])
             .with(Value::Null, &[ieta]);

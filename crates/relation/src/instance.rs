@@ -112,9 +112,7 @@ impl Instance {
     /// different schemas is a programming error.
     pub fn is_subinstance(&self, other: &Instance) -> bool {
         self.assert_same_names(other);
-        self.rels
-            .iter()
-            .all(|(n, r)| r.is_subset(&other.rels[n]))
+        self.rels.iter().all(|(n, r)| r.is_subset(&other.rels[n]))
     }
 
     /// Relation-by-relation `∪`.
@@ -142,10 +140,7 @@ impl Instance {
 
     /// All values appearing anywhere in the instance.
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.rels
-            .values()
-            .flat_map(|r| r.active_domain())
-            .collect()
+        self.rels.values().flat_map(|r| r.active_domain()).collect()
     }
 
     /// Insert `tuple` into relation `name`; returns `true` if new.

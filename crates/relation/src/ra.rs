@@ -216,12 +216,9 @@ impl RaExpr {
             RaExpr::Diff(l, r) => l.eval(inst).difference(&r.eval(inst)),
             RaExpr::SymDiff(l, r) => l.eval(inst).sym_diff(&r.eval(inst)),
             RaExpr::Reorder(e, perm) => e.eval(inst).reorder(perm),
-            RaExpr::Restrict(e, pattern) => e.eval(inst).select(|t| {
-                pattern
-                    .iter()
-                    .enumerate()
-                    .all(|(c, p)| p.matches(t[c]))
-            }),
+            RaExpr::Restrict(e, pattern) => e
+                .eval(inst)
+                .select(|t| pattern.iter().enumerate().all(|(c, p)| p.matches(t[c]))),
         }
     }
 
@@ -445,10 +442,7 @@ mod tests {
     #[test]
     fn arity_validation_catches_errors() {
         assert!(RaExpr::rel("NOPE").arity(&sig()).is_err());
-        assert!(RaExpr::rel("R_SP")
-            .project(vec![5])
-            .arity(&sig())
-            .is_err());
+        assert!(RaExpr::rel("R_SP").project(vec![5]).arity(&sig()).is_err());
         assert!(RaExpr::rel("R_SP")
             .union(RaExpr::rel("R_SP").project(vec![0]))
             .arity(&sig())

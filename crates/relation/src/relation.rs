@@ -226,12 +226,7 @@ impl Relation {
             tuples: self
                 .tuples
                 .iter()
-                .filter(|t| {
-                    !self
-                        .tuples
-                        .iter()
-                        .any(|o| *t != o && t.subsumed_by(o))
-                })
+                .filter(|t| !self.tuples.iter().any(|o| *t != o && t.subsumed_by(o)))
                 .cloned()
                 .collect(),
         }
@@ -284,18 +279,12 @@ mod tests {
 
     fn r_sp() -> Relation {
         // R_SP of Example 1.1.1.
-        rel(
-            2,
-            [["s1", "p1"], ["s1", "p2"], ["s2", "p3"]],
-        )
+        rel(2, [["s1", "p1"], ["s1", "p2"], ["s2", "p3"]])
     }
 
     fn r_pj() -> Relation {
         // R_PJ of Example 1.1.1.
-        rel(
-            2,
-            [["p1", "j1"], ["p1", "j2"], ["p3", "j1"], ["p4", "j3"]],
-        )
+        rel(2, [["p1", "j1"], ["p1", "j2"], ["p3", "j1"], ["p4", "j3"]])
     }
 
     #[test]
@@ -352,10 +341,7 @@ mod tests {
         // A Δ B = (A ∪ B) \ (A ∩ B), Notation 1.2.3.
         let a = rel(1, [["x"], ["y"], ["w"]]);
         let b = rel(1, [["y"], ["z"], ["w"]]);
-        assert_eq!(
-            a.sym_diff(&b),
-            a.union(&b).difference(&a.intersect(&b))
-        );
+        assert_eq!(a.sym_diff(&b), a.union(&b).difference(&a.intersect(&b)));
     }
 
     #[test]

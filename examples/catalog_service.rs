@@ -127,5 +127,8 @@ fn main() {
         let b = cat.family().endo(cat.family().complement(m), cat.state());
         &cat.family().reconstruct(&a, &b) == cat.state()
     });
-    println!("\nDecomposition lossless on all {} components: {lossless}", (full + 1));
+    println!(
+        "\nDecomposition lossless on all {} components: {lossless}",
+        (full + 1)
+    );
 }

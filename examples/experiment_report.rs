@@ -51,7 +51,12 @@ fn e1_side_effects() {
 fn e7_xor_ratio() {
     println!("== E7/E11: reflected change, Γ2 (strong) vs Γ3 (XOR) constant ==");
     println!("   |R|=|S|    |ΔR|   via Γ2   via Γ3   ratio");
-    for &(n, edits) in &[(100usize, 10usize), (1_000, 50), (10_000, 200), (100_000, 1_000)] {
+    for &(n, edits) in &[
+        (100usize, 10usize),
+        (1_000, 50),
+        (10_000, 200),
+        (100_000, 1_000),
+    ] {
         let mut rng = workload::rng(41);
         let base = workload::random_two_unary(n, n + n / 2, &mut rng);
         let new_r = workload::mutate_unary(base.rel("R"), edits, edits, n + n / 2, &mut rng);
@@ -148,10 +153,7 @@ fn summary_of_theorem_checks() {
     // Thm 1.3.2 on the Example 1.1.1 space.
     let (sp, view) = example_1_1_1::small_space_and_join_view();
     let mv = MatView::materialise(view, &sp);
-    let id = MatView::materialise(
-        compview::core::View::identity(sp.schema().sig()),
-        &sp,
-    );
+    let id = MatView::materialise(compview::core::View::identity(sp.schema().sig()), &sp);
     let mut max_sols = 0usize;
     for base in 0..sp.len() {
         for target in 0..mv.n_states() {
@@ -189,7 +191,11 @@ fn summary_of_theorem_checks() {
     };
     let alg = compview::core::ComponentAlgebra::generate(
         &sp2,
-        vec![atom("AB", &[0, 1]), atom("BC", &[1, 2]), atom("CD", &[2, 3])],
+        vec![
+            atom("AB", &[0, 1]),
+            atom("BC", &[1, 2]),
+            atom("CD", &[2, 3]),
+        ],
     )
     .expect("component algebra");
     alg.verify().expect("Boolean axioms");

@@ -29,11 +29,7 @@ fn part_1_the_problem() {
     println!("View Γ: R_SPJ = R_SP ⋈ R_PJ:");
     print!(
         "{}",
-        display::table(
-            v_inst.rel("R_SPJ"),
-            &["S", "P", "J"],
-            "R_SPJ = γ′(base)"
-        )
+        display::table(v_inst.rel("R_SPJ"), &["S", "P", "J"], "R_SPJ = γ′(base)")
     );
 
     println!("\nUser request: insert (s3, p3, j3) into the view.");
@@ -50,9 +46,7 @@ fn part_1_the_problem() {
         .rel("R_SPJ")
         .difference(v_inst.rel("R_SPJ"))
         .select(|tu| *tu != t(["s3", "p3", "j3"]));
-    println!(
-        "\nSide effects (tuples the user never asked for): {side_effects:?}"
-    );
+    println!("\nSide effects (tuples the user never asked for): {side_effects:?}");
     println!("The update was performed, but not performed exactly.\n");
 }
 
@@ -73,7 +67,10 @@ fn part_2_the_solution() {
 
     // The AB component state — the user's window.
     let ab = pc.endo(0b001, &r);
-    print!("\n{}", display::table(&ab, &["A", "B", "C", "D"], "Γ°_AB component"));
+    print!(
+        "\n{}",
+        display::table(&ab, &["A", "B", "C", "D"], "Γ°_AB component")
+    );
 
     // Update: insert (a9, b1) into the AB view — note b1 joins existing data.
     println!("\nUser request on Γ°_AB: insert (a9, b1).");

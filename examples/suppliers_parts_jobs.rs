@@ -6,9 +6,7 @@
 //! Run with: `cargo run --example suppliers_parts_jobs`
 
 use compview::core::paper::{example_1_2_5, example_1_3_6};
-use compview::core::{
-    complement, strategy, strong, update, MatView, Strategy, UpdateSpec, View,
-};
+use compview::core::{complement, strategy, strong, update, MatView, Strategy, UpdateSpec, View};
 use compview::relation::{display, rel, t};
 
 fn main() {
@@ -29,25 +27,30 @@ fn requirement_1_nonextraneous() {
     // part p1 already has two J partners — two incomparable nonextraneous
     // solutions exist (Example 1.2.5), so no minimal one.
     let base = sp.expect_id(
-        &compview::relation::Instance::null_model(sp.schema().sig()).with(
-            "R_SPJ",
-            rel(3, [["s1", "p1", "j1"], ["s1", "p1", "j2"]]),
-        ),
+        &compview::relation::Instance::null_model(sp.schema().sig())
+            .with("R_SPJ", rel(3, [["s1", "p1", "j1"], ["s1", "p1", "j2"]])),
     );
-    let target_state = g1.view().apply(sp.state(base)).with(
-        "R_SP",
-        rel(2, [["s1", "p1"], ["s2", "p1"]]),
-    );
+    let target_state = g1
+        .view()
+        .apply(sp.state(base))
+        .with("R_SP", rel(2, [["s1", "p1"], ["s2", "p1"]]));
     let target = g1.id_of(&target_state).expect("image state");
     let sols = update::solutions(&g1, UpdateSpec { base, target });
     let ne = update::nonextraneous(&sp, base, &sols);
-    println!("Insert (s2,p1) into π_SP: {} solutions, {} nonextraneous,", sols.len(), ne.len());
+    println!(
+        "Insert (s2,p1) into π_SP: {} solutions, {} nonextraneous,",
+        sols.len(),
+        ne.len()
+    );
     println!(
         "minimal solution exists: {}\n",
         update::minimal(&sp, base, &sols).is_some()
     );
     for &s in &ne {
-        println!("nonextraneous solution (Δ = {:?}):", sp.state(base).sym_diff(sp.state(s)).rel("R_SPJ"));
+        println!(
+            "nonextraneous solution (Δ = {:?}):",
+            sp.state(base).sym_diff(sp.state(s)).rel("R_SPJ")
+        );
         print!(
             "{}",
             display::table(sp.state(s).rel("R_SPJ"), &["S", "P", "J"], "")
@@ -116,10 +119,7 @@ fn complements_are_not_unique() {
     let mut with_a4 = base.rel("R").clone();
     with_a4.insert(t(["a4"]));
     let via_s = compview::core::xor::update_r_const_s(&base, &with_a4);
-    let base_a4 = base.clone().with(
-        "S",
-        rel(1, [["a2"], ["a3"], ["a4"]]),
-    );
+    let base_a4 = base.clone().with("S", rel(1, [["a2"], ["a3"], ["a4"]]));
     let via_t = compview::core::xor::update_r_const_t(&base_a4, &with_a4);
     println!(
         "\nInsert a4 into R: Γ2-constant changes {} tuple(s); Γ3-constant \

@@ -49,7 +49,10 @@ fn main() {
         gens.insert(ps.object(2, &[v(d), v(b)]));
     }
     let mut db = ps.close(&gens);
-    println!("Registrar database ({} derived facts after closure):\n", db.len());
+    println!(
+        "Registrar database ({} derived facts after closure):\n",
+        db.len()
+    );
     print!(
         "{}",
         display::table(&db, &["Student", "Course", "Dept", "Budget"], "Reg")

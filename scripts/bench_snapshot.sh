@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the headline Criterion targets (chase, partition_lattice,
+# translate_scaling) and collect the vendored harness's machine-readable
+# result lines ("compview-bench: {...}") into BENCH_PR1.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+TARGETS=(chase partition_lattice translate_scaling)
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+for t in "${TARGETS[@]}"; do
+    echo "==> cargo bench -p compview-bench --bench $t"
+    cargo bench -p compview-bench --bench "$t" | tee -a "$RAW"
+done
+
+{
+    echo "["
+    grep '^compview-bench: ' "$RAW" | sed 's/^compview-bench: //' | sed '$!s/$/,/'
+    echo "]"
+} > "$OUT"
+
+echo "wrote $(grep -c '^compview-bench: ' "$RAW") results to $OUT"

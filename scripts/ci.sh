@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, build, and the full test suite.
+# Everything runs offline against the vendored shims in shims/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of criterion's API this workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) on a plain `Instant`-based harness:
+//! warm up for `warm_up_time`, then time batches for `measurement_time` and
+//! report the mean ns/iter.  No statistics, plots, or saved baselines — but
+//! each benchmark also prints a machine-readable line
+//!
+//! ```text
+//! compview-bench: {"id":"<group>/<leg>","mean_ns":<f64>,"iters":<u64>}
+//! ```
+//!
+//! which `scripts/bench_snapshot.sh` collects into `BENCH_PR1.json`.
+
+use std::time::{Duration, Instant};
+
+/// Prefix of the machine-readable result lines.
+pub const RESULT_PREFIX: &str = "compview-bench:";
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the per-benchmark measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for CLI parity; this harness takes no arguments.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        }
+    }
+
+    /// Run when all groups are done (no summary state to flush here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identifier for one leg of a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted as a benchmark name: plain strings or [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The final id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion API parity: sample count is folded into the fixed
+    /// measurement window here, so the value itself is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink or grow the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Time one closure under `<group>/<id>`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.warm_up, self.measurement, |b| f(b));
+        self
+    }
+
+    /// Time one closure with an input value under `<group>/<id>`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.warm_up, self.measurement, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the actual timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Warm up, then repeatedly run `routine` for the measurement window
+    /// and record the mean wall-clock time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the window elapses (at least once).
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement: time in growing batches so Instant overhead stays
+        // negligible for sub-microsecond routines.
+        let mut batch: u64 = 1;
+        let mut total_ns: u128 = 0;
+        let mut iters: u64 = 0;
+        let window = Instant::now();
+        while window.elapsed() < self.measurement {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_ns += t.elapsed().as_nanos();
+            iters += batch;
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+        self.mean_ns = total_ns as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, warm_up: Duration, measurement: Duration, mut f: F) {
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "{id:<50} {:>14} ns/iter  ({} iters)",
+        format_ns(b.mean_ns),
+        b.iters
+    );
+    println!(
+        "{RESULT_PREFIX} {{\"id\":\"{id}\",\"mean_ns\":{:.1},\"iters\":{}}}",
+        b.mean_ns, b.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{:.1}", ns)
+    }
+}
+
+/// Declare a benchmark group runner (both criterion forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| std::hint::black_box(2u64 + 2)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 3))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        demo(&mut c);
+        c.final_summary();
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("leg", 42).into_id(), "leg/42");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

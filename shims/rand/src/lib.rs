@@ -1,0 +1,133 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace pins all randomness to fixed seeds (workloads and tests
+//! must be reproducible run-to-run), so the only API surface it needs is
+//! `StdRng::seed_from_u64` plus `random_range` over integer ranges.  The
+//! container this repo builds in has no network access to crates.io, so
+//! that surface is provided here, dependency-free, on top of SplitMix64 —
+//! a well-studied 64-bit mixer with full period.
+//!
+//! The streams differ from upstream `rand`'s ChaCha-based `StdRng`, but
+//! every consumer in this workspace treats the stream as an opaque
+//! deterministic function of the seed, so only determinism matters.
+
+/// Core source of pseudo-random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Integer types samplable uniformly from a `Range`.
+pub trait SampleUniform: Copy {
+    /// Map to an order-preserving u64 offset key.
+    fn to_u64_offset(self, lo: Self) -> u64;
+    /// Inverse of [`SampleUniform::to_u64_offset`].
+    fn from_u64_offset(lo: Self, off: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64_offset(self, lo: Self) -> u64 {
+                (self as i128 - lo as i128) as u64
+            }
+            fn from_u64_offset(lo: Self, off: u64) -> Self {
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, mirroring the subset of `rand::Rng` /
+/// `rand::RngExt` this workspace uses.
+pub trait RngExt: RngCore {
+    /// Uniform draw from a half-open range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        let span = range.end.to_u64_offset(range.start);
+        assert!(span > 0, "cannot sample from empty range");
+        // Multiply-shift rejection-free mapping; bias is ≤ span/2^64,
+        // irrelevant for workload generation.
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_u64_offset(range.start, hi)
+    }
+
+    /// Bernoulli draw.
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn spread_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

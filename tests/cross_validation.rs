@@ -3,9 +3,15 @@
 //! lattice checks — used to verify the theorems) and the *symbolic* one
 //! (`PathComponents` — used at scale).  Both must agree tuple-for-tuple.
 
-use compview::core::paper::example_2_1_1 as ex;
-use compview::core::{strong, translate, MatView, PathComponents, UpdateSpec};
-use compview::relation::Relation;
+use compview::core::paper::{example_1_3_6, example_2_1_1 as ex};
+use compview::core::{strategy, strong, translate, MatView, PathComponents, Strategy, UpdateSpec};
+use compview::lattice::FinPoset;
+use compview::logic::{
+    chase, chase_naive, var, Atom, ChaseConfig, Constraint, EnumerationConfig, Fd, Schema, Tgd,
+};
+use compview::relation::{rel, v, Instance, RelDecl, Relation, Signature, Tuple};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// The symbolic endomorphism of each component mask equals the enumerated
 /// endomorphism of the corresponding object view, on every state.
@@ -53,12 +59,8 @@ fn symbolic_translate_equals_enumerated_update() {
             // Symbolic: translate the AB component to the target's AB part.
             let new_ab: Relation = ab.state(target).rel("V_AB").clone();
             // The view state is projected; rebuild full-arity objects.
-            let new_ab_full = Relation::from_tuples(
-                4,
-                new_ab
-                    .iter()
-                    .map(|t| ps.object(0, t.values())),
-            );
+            let new_ab_full =
+                Relation::from_tuples(4, new_ab.iter().map(|t| ps.object(0, t.values())));
             let out = pc
                 .translate(0b001, sp.state(base).rel("R"), &new_ab_full)
                 .expect("legal component state");
@@ -85,7 +87,10 @@ fn brute_force_sweep() {
             continue;
         }
         let mut new_ab = pc.endo(0b001, r);
-        new_ab.insert(ps.object(0, &[compview::relation::v("zz"), compview::relation::v("b1")]));
+        new_ab.insert(ps.object(
+            0,
+            &[compview::relation::v("zz"), compview::relation::v("b1")],
+        ));
         let fast = pc.translate(0b001, r, &new_ab).unwrap();
         if ps.close(&r.union(&new_ab)).len() <= 16 {
             let slow = pc.translate_brute_force(0b001, r, &new_ab).unwrap();
@@ -106,6 +111,136 @@ fn reconstruction_round_trip_sweep() {
             let a = pc.endo(mask, r);
             let b = pc.endo(pc.complement(mask), r);
             assert_eq!(&pc.reconstruct(&a, &b), r, "state {s}, mask {mask:#b}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel vs. sequential cross-validation.  Every parallel code path in
+// the engine promises *byte-identical* output regardless of thread count;
+// these properties pin that promise down on random inputs.
+
+/// Run `f` with the engine's thread count pinned to `n` (the
+/// `COMPVIEW_THREADS` override read by `compview-parallel`).
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("COMPVIEW_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("COMPVIEW_THREADS");
+    out
+}
+
+fn pool_tuples(vals: &std::collections::BTreeSet<(u8, u8)>, prefix: &str) -> Vec<Tuple> {
+    vals.iter()
+        .map(|&(a, b)| Tuple::new([v(&format!("{prefix}{a}")), v(&format!("{prefix}'{b}"))]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded LDB enumeration returns the same state list, in the same
+    /// order, for every thread count — with and without pruning
+    /// constraints in play.
+    #[test]
+    fn parallel_enumeration_matches_sequential(
+        rvals in prop::collection::btree_set((0u8..3, 0u8..3), 1..5),
+        svals in prop::collection::btree_set((0u8..3, 0u8..3), 1..5),
+        with_fd in 0u8..2,
+    ) {
+        let with_fd = with_fd == 1;
+        let sig = Signature::new([
+            RelDecl::new("R", ["A", "B"]),
+            RelDecl::new("S", ["C", "D"]),
+        ]);
+        let mut cons = Vec::new();
+        if with_fd {
+            cons.push(Constraint::Fd(Fd::new("R", vec![0], vec![1])));
+        }
+        let schema = Schema::new(sig, cons);
+        let pools: BTreeMap<String, Vec<Tuple>> = [
+            ("R".to_owned(), pool_tuples(&rvals, "a")),
+            ("S".to_owned(), pool_tuples(&svals, "c")),
+        ]
+        .into();
+        let seq = schema.enumerate_ldb_with(
+            &pools,
+            &EnumerationConfig { max_bits: 28, threads: 1 },
+        );
+        for threads in [2, 8] {
+            let par = schema.enumerate_ldb_with(
+                &pools,
+                &EnumerationConfig { max_bits: 28, threads },
+            );
+            prop_assert_eq!(&seq, &par, "threads = {}", threads);
+        }
+    }
+
+    /// Parallel bit-row construction in `FinPoset::from_leq` yields
+    /// identical posets (rows, hence all derived structure) for every
+    /// thread count.  The subset order on `{0,…,n-1}` exercises rows that
+    /// span word boundaries.
+    #[test]
+    fn parallel_poset_build_matches_sequential(n in 1usize..100) {
+        let build = || FinPoset::from_leq(n, |a, b| a & b == a);
+        let p1 = with_threads(1, build);
+        for threads in [2, 8] {
+            let pt = with_threads(threads, build);
+            prop_assert_eq!(&p1, &pt, "threads = {}", threads);
+            prop_assert_eq!(p1.hasse_edges(), pt.hasse_edges());
+        }
+    }
+
+    /// The indexed semi-naive chase and the indexed naive chase agree on
+    /// random edge sets under transitive closure (index + delta-driving
+    /// are pure optimisations).
+    #[test]
+    fn indexed_semi_naive_chase_equals_naive(
+        edges in prop::collection::btree_set((0u8..5, 0u8..5), 0..12),
+    ) {
+        let rows: Vec<[String; 2]> = edges
+            .iter()
+            .map(|&(a, b)| [format!("n{a}"), format!("n{b}")])
+            .collect();
+        let inst = Instance::new().with("E", rel(2, rows));
+        let trans = Tgd::new(
+            "trans",
+            vec![
+                Atom::new("E", vec![var(0), var(1)]),
+                Atom::new("E", vec![var(1), var(2)]),
+            ],
+            vec![Atom::new("E", vec![var(0), var(2)])],
+        );
+        let cfg = ChaseConfig::default();
+        let fast = chase(&inst, std::slice::from_ref(&trans), &[], &cfg).unwrap();
+        let slow = chase_naive(&inst, &[trans], &[], &cfg).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Strategy construction and every admissibility checker are
+    /// thread-count invariant — including the *reported counterexample
+    /// message*, which the sorted-entry scan makes deterministic.
+    #[test]
+    fn parallel_strategy_and_checks_match_sequential(pool_size in 1usize..3) {
+        let run = || {
+            let sp = example_1_3_6::space(pool_size);
+            let g1 = MatView::materialise(example_1_3_6::gamma1(), &sp);
+            let g2 = MatView::materialise(example_1_3_6::gamma2(), &sp);
+            let g3 = MatView::materialise(example_1_3_6::gamma3(), &sp);
+            let cc = Strategy::constant_complement(&sp, &g1, &g2);
+            // Γ3 is a non-strong complement: its strategy trips the
+            // nonextraneousness checker, exercising the error path.
+            let bad = Strategy::constant_complement(&sp, &g1, &g3);
+            let sc = Strategy::smallest_change(&sp, &g1);
+            let reports = [&cc, &bad, &sc].map(|rho| {
+                let r = strategy::check(&sp, &g1, rho);
+                (r.sound, r.nonextraneous, r.functorial, r.symmetric, r.state_independent)
+            });
+            (cc, bad, sc, reports)
+        };
+        let base = with_threads(1, run);
+        for threads in [2, 8] {
+            let other = with_threads(threads, run);
+            prop_assert_eq!(&base, &other, "threads = {}", threads);
         }
     }
 }

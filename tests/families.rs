@@ -4,8 +4,8 @@
 //! component views are strong views on enumerated spaces.
 
 use compview::core::{
-    strong, verify_family, Catalog, ComponentFamily, HorizontalComponents, MatView,
-    PathComponents, SubschemaComponents, TreeComponents,
+    strong, verify_family, Catalog, ComponentFamily, HorizontalComponents, MatView, PathComponents,
+    SubschemaComponents, TreeComponents,
 };
 use compview::logic::{PathSchema, TreeSchema, TypeAlgebra, TypeAssignment};
 use compview::relation::{v, Instance, RelDecl, Relation, Signature, Tuple, Value};
@@ -251,18 +251,16 @@ fn horizontal_components_are_strong_views() {
         "lo",
         vec![(
             RelDecl::new("Tlo", ["K", "P"]),
-            RaExpr::rel("T").select(
-                Predicate::EqConst(0, v("k0")).or(Predicate::EqConst(0, v("k1"))),
-            ),
+            RaExpr::rel("T")
+                .select(Predicate::EqConst(0, v("k0")).or(Predicate::EqConst(0, v("k1")))),
         )],
     );
     let hi_view = compview::core::View::new(
         "hi",
         vec![(
             RelDecl::new("Thi", ["K", "P"]),
-            RaExpr::rel("T").select(
-                Predicate::EqConst(0, v("k4")).or(Predicate::EqConst(0, v("k5"))),
-            ),
+            RaExpr::rel("T")
+                .select(Predicate::EqConst(0, v("k4")).or(Predicate::EqConst(0, v("k5")))),
         )],
     );
     let lo = MatView::materialise(lo_view, &sp);
@@ -317,7 +315,11 @@ fn randomized_catalog_session() {
         };
         match cat.update(view, &part) {
             Ok(_) => {
-                assert_eq!(&cat.read(view).unwrap(), &part, "step {step}: read-your-write");
+                assert_eq!(
+                    &cat.read(view).unwrap(),
+                    &part,
+                    "step {step}: read-your-write"
+                );
                 let f = cat.family();
                 assert_eq!(
                     f.endo(f.complement(mask), cat.state()),
@@ -356,9 +358,7 @@ fn family_mask_algebra() {
     for m in 0..=full {
         for m2 in 0..=full {
             if m & m2 == m {
-                assert!(tc
-                    .endo_rel(m, &base)
-                    .is_subset(&tc.endo_rel(m2, &base)));
+                assert!(tc.endo_rel(m, &base).is_subset(&tc.endo_rel(m2, &base)));
             }
         }
     }
@@ -391,9 +391,10 @@ fn pair_family_combines_algebras() {
     let base = ts.instance(tree_part).with("T", table);
 
     // The full contract holds on the combined instance.
-    let other = ts
-        .instance(random_star_state(&[(2, 1, 3)]))
-        .with("T", Relation::from_tuples(2, [Tuple::new([v("k1"), Value::Int(9)])]));
+    let other = ts.instance(random_star_state(&[(2, 1, 3)])).with(
+        "T",
+        Relation::from_tuples(2, [Tuple::new([v("k1"), Value::Int(9)])]),
+    );
     let report = verify_family(&pair, &[base.clone(), other]);
     assert!(report.ok(), "{:?}", report.violations);
 
@@ -416,12 +417,10 @@ fn catalog_over_pair_family() {
     let hc = horizontal_fixture();
     let pair = PairFamily::new(tc, hc);
 
-    let base = ts
-        .instance(random_star_state(&[(0, 0, 0)]))
-        .with(
-            "T",
-            Relation::from_tuples(2, [Tuple::new([v("k0"), Value::Int(7)])]),
-        );
+    let base = ts.instance(random_star_state(&[(0, 0, 0)])).with(
+        "T",
+        Relation::from_tuples(2, [Tuple::new([v("k0"), Value::Int(7)])]),
+    );
     let mut cat = Catalog::new(pair, base);
     cat.register("hub-x", 0b00001).unwrap();
     cat.register("lo-rows", 0b01000).unwrap();
@@ -432,10 +431,7 @@ fn catalog_over_pair_family() {
     let report = cat.update("lo-rows", &lo).unwrap();
     assert_eq!(report.reflected_delta, 1);
     // Tree side untouched.
-    assert_eq!(
-        cat.state().rel("R"),
-        &random_star_state(&[(0, 0, 0)])
-    );
+    assert_eq!(cat.state().rel("R"), &random_star_state(&[(0, 0, 0)]));
     // And a tree-side update leaves the table alone.
     let mut hx = cat.read("hub-x").unwrap();
     hx.rel_mut("R")

@@ -50,7 +50,10 @@ fn e1_implied_constraint_restores_surjectivity() {
     let mv = MatView::materialise(view, &sp);
     let jd = compview::logic::Jd::new("R_SPJ", vec![vec![0, 1], vec![1, 2]]);
     for id in 0..mv.n_states() {
-        assert!(jd.satisfied(mv.state(id)), "image state violates implied JD");
+        assert!(
+            jd.satisfied(mv.state(id)),
+            "image state violates implied JD"
+        );
     }
 }
 
@@ -90,7 +93,10 @@ fn e2_extraneous_deletion() {
     let sloppy_id = sp.id_of(&sloppy);
     if let Some(sid) = sloppy_id {
         if sols.contains(&sid) {
-            assert!(!ne.contains(&sid), "strictly larger change must be extraneous");
+            assert!(
+                !ne.contains(&sid),
+                "strictly larger change must be extraneous"
+            );
         }
     }
 }
@@ -131,10 +137,8 @@ fn e2_incomparable_nonextraneous_deletions() {
 fn e3_no_minimal_solution_for_projection_insert() {
     let sp = example_1_2_5::small_space();
     let g1 = MatView::materialise(example_1_2_5::gamma1(), &sp);
-    let base_inst = Instance::null_model(sp.schema().sig()).with(
-        "R_SPJ",
-        rel(3, [["s1", "p1", "j1"], ["s1", "p1", "j2"]]),
-    );
+    let base_inst = Instance::null_model(sp.schema().sig())
+        .with("R_SPJ", rel(3, [["s1", "p1", "j1"], ["s1", "p1", "j2"]]));
     let base = sp.expect_id(&base_inst);
     // Insert (s2,p1) into the SP view (the paper's (s3,p1), renamed to
     // stay inside the enumerated domain).
@@ -159,16 +163,20 @@ fn e3_no_minimal_solution_for_projection_insert() {
             ],
         ),
     );
-    let surprising = Instance::null_model(sp.schema().sig()).with(
-        "R_SPJ",
-        rel(3, [["s1", "p1", "j1"], ["s2", "p1", "j1"]]),
-    );
+    let surprising = Instance::null_model(sp.schema().sig())
+        .with("R_SPJ", rel(3, [["s1", "p1", "j1"], ["s2", "p1", "j1"]]));
     assert!(ne.contains(&sp.expect_id(&obvious)));
     assert!(ne.contains(&sp.expect_id(&surprising)));
     // Prop 1.2.6 over the whole space.
     for b in 0..sp.len() {
         for tg in 0..g1.n_states() {
-            let s = update::solutions(&g1, UpdateSpec { base: b, target: tg });
+            let s = update::solutions(
+                &g1,
+                UpdateSpec {
+                    base: b,
+                    target: tg,
+                },
+            );
             assert!(update::prop_1_2_6_holds(&sp, b, &s));
         }
     }
@@ -208,7 +216,13 @@ fn e5_symmetry_violation() {
     let mut rho = Strategy::empty();
     for s1 in 0..sp.len() {
         for t2 in 0..g1.n_states() {
-            let sols = update::solutions(&g1, UpdateSpec { base: s1, target: t2 });
+            let sols = update::solutions(
+                &g1,
+                UpdateSpec {
+                    base: s1,
+                    target: t2,
+                },
+            );
             let ne = update::nonextraneous(&sp, s1, &sols);
             if ne.len() == 1 {
                 rho.define(s1, t2, ne[0]);
@@ -247,7 +261,10 @@ fn e6_state_dependence() {
             &sp,
             &g1,
             &g2,
-            UpdateSpec { base: base1, target: target1 }
+            UpdateSpec {
+                base: base1,
+                target: target1
+            }
         )
         .is_empty(),
         "impossible without deleting (p2,j2) from Γ2"
@@ -256,33 +273,34 @@ fn e6_state_dependence() {
     // Second instance (the paper's alternative): the same deletion works,
     // because (s1,p2,j1) keeps (p2,j1) alive in Γ2.
     let base2 = sp.expect_id(&example_1_2_5::state_dependent_instance());
-    let target2_inst =
-        Instance::new().with("R_SP", rel(2, [["s1", "p1"], ["s1", "p2"]]));
+    let target2_inst = Instance::new().with("R_SP", rel(2, [["s1", "p1"], ["s1", "p2"]]));
     let target2 = g1.id_of(&target2_inst).expect("image state");
     let sols = complement::constant_complement_solutions(
         &sp,
         &g1,
         &g2,
-        UpdateSpec { base: base2, target: target2 },
+        UpdateSpec {
+            base: base2,
+            target: target2,
+        },
     );
     assert_eq!(sols.len(), 1, "now the deletion goes through");
     // And the reflected state is the paper's: just drop (s2,p2,j1).
     let expected = Instance::null_model(sp.schema().sig()).with(
         "R_SPJ",
-        rel(3, [["s1", "p1", "j1"], ["s1", "p1", "j2"], ["s1", "p2", "j1"]]),
+        rel(
+            3,
+            [["s1", "p1", "j1"], ["s1", "p1", "j2"], ["s1", "p2", "j1"]],
+        ),
     );
     assert_eq!(sp.state(sols[0]), &expected);
 
     // The checker detects definedness gaps within a fibre (synthetic
     // violation: hide one defined entry).
     let mut rho = Strategy::constant_complement(&sp, &g1, &g2);
-    let gap = rho
-        .iter()
-        .map(|((s, t), _)| (s, t))
-        .find(|&(s, t)| {
-            g1.label(s) != t
-                && (0..sp.len()).any(|r| r != s && g1.label(r) == g1.label(s))
-        });
+    let gap = rho.iter().map(|((s, t), _)| (s, t)).find(|&(s, t)| {
+        g1.label(s) != t && (0..sp.len()).any(|r| r != s && g1.label(r) == g1.label(s))
+    });
     if let Some((s1, t2)) = gap {
         rho.undefine(s1, t2);
         let report = strategy::check(&sp, &g1, &rho);
@@ -330,12 +348,7 @@ fn e8_null_augmented_closure() {
     assert_eq!(closed.len(), 11);
     // Spot-check the distinctive rows of the paper's table.
     assert!(closed.contains(&ps.object(0, &[v("a1"), v("b1"), v("c1"), v("d1")])));
-    assert!(closed.contains(&Tuple::new([
-        Value::Null,
-        Value::Null,
-        v("c4"),
-        v("d4")
-    ])));
+    assert!(closed.contains(&Tuple::new([Value::Null, Value::Null, v("c4"), v("d4")])));
     // Chase cross-validation.
     let chased = compview::logic::chase(
         &ps.instance(gens),
@@ -365,7 +378,11 @@ fn e9_component_algebra() {
     };
     let alg = compview::core::ComponentAlgebra::generate(
         &sp,
-        vec![atom("AB", &[0, 1]), atom("BC", &[1, 2]), atom("CD", &[2, 3])],
+        vec![
+            atom("AB", &[0, 1]),
+            atom("BC", &[1, 2]),
+            atom("CD", &[2, 3]),
+        ],
     )
     .unwrap();
     assert_eq!(alg.len(), 8);
@@ -381,7 +398,10 @@ fn e9_component_algebra() {
     let cd = MatView::materialise(example_2_1_1::object_view("CD", &[2, 3]), &sp);
     assert!(strong::are_strong_complements(&sp, &ab, &bcd));
     let candidates = [&bcd, &bc, &cd];
-    assert_eq!(strong::strong_complement_among(&sp, &ab, &candidates), Some(0));
+    assert_eq!(
+        strong::strong_complement_among(&sp, &ab, &candidates),
+        Some(0)
+    );
 }
 
 // --------------------------------------------------------------- E10 ----
@@ -419,17 +439,26 @@ fn e10_update_procedure_gamma_abd() {
     t_ok.remove("V_ABD", &Tuple::new([v("a2"), v("b3"), Value::Null]));
     let target_ok = abd.id_of(&t_ok).expect("legal ABD state");
     let s2 = proc
-        .run(UpdateSpec { base, target: target_ok })
+        .run(UpdateSpec {
+            base,
+            target: target_ok,
+        })
         .expect("Example 3.2.4: deleting the (a2,b3) association is allowed");
     // The a2-b3 objects are gone from the base.
-    assert!(!sp.state(s2).rel("R").contains(&ps.object(0, &[v("a2"), v("b3")])));
+    assert!(!sp
+        .state(s2)
+        .rel("R")
+        .contains(&ps.object(0, &[v("a2"), v("b3")])));
     assert!(!sp
         .state(s2)
         .rel("R")
         .contains(&ps.object(0, &[v("a2"), v("b3"), v("c3")])));
     // BCD component untouched — in particular (η,b3,c3,η) survives.
     assert_eq!(bcd.label(s2), bcd.label(base));
-    assert!(sp.state(s2).rel("R").contains(&ps.object(1, &[v("b3"), v("c3")])));
+    assert!(sp
+        .state(s2)
+        .rel("R")
+        .contains(&ps.object(1, &[v("b3"), v("c3")])));
 
     // Request 1′ (the paper's combined request): ALSO delete (η,b3,η).
     // The paper's prose says this succeeds, but (η,b3,η) is the ABD shadow
@@ -441,7 +470,10 @@ fn e10_update_procedure_gamma_abd() {
     t_combined.remove("V_ABD", &Tuple::new([Value::Null, v("b3"), Value::Null]));
     if let Some(target_combined) = abd.id_of(&t_combined) {
         assert_eq!(
-            proc.run(UpdateSpec { base, target: target_combined }),
+            proc.run(UpdateSpec {
+                base,
+                target: target_combined
+            }),
             None,
             "the (η,b3,η) row lives in the constant complement"
         );
@@ -454,7 +486,10 @@ fn e10_update_procedure_gamma_abd() {
     t_bad.remove("V_ABD", &Tuple::new([Value::Null, Value::Null, v("d4")]));
     if let Some(target_bad) = abd.id_of(&t_bad) {
         assert_eq!(
-            proc.run(UpdateSpec { base, target: target_bad }),
+            proc.run(UpdateSpec {
+                base,
+                target: target_bad
+            }),
             None,
             "Example 3.2.4: this deletion must be rejected"
         );

@@ -12,12 +12,8 @@ use proptest::prelude::*;
 
 /// Strategy: a path schema with 3–5 attributes.
 fn arb_path_schema() -> impl Strategy<Value = PathSchema> {
-    (3usize..=5).prop_map(|k| {
-        PathSchema::new(
-            "R",
-            (0..k).map(|i| format!("A{i}")).collect::<Vec<_>>(),
-        )
-    })
+    (3usize..=5)
+        .prop_map(|k| PathSchema::new("R", (0..k).map(|i| format!("A{i}")).collect::<Vec<_>>()))
 }
 
 /// Strategy: generator objects for a given arity (as (segment, left-id,

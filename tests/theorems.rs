@@ -3,8 +3,7 @@
 
 use compview::core::paper::{example_1_3_6, example_2_1_1};
 use compview::core::{
-    complement, strategy, strong, translate, ComponentAlgebra, MatView, Strategy,
-    UpdateSpec, View,
+    complement, strategy, strong, translate, ComponentAlgebra, MatView, Strategy, UpdateSpec, View,
 };
 use compview::lattice::{endo, FinPoset, Partition};
 use compview::logic::{TypeAlgebra, TypeExpr};
@@ -67,10 +66,7 @@ fn t2_complement_independence() {
     let bc = MatView::materialise(example_2_1_1::object_view("BC", &[1, 2]), &sp);
     let cd = MatView::materialise(example_2_1_1::object_view("CD", &[2, 3]), &sp);
     let bcd = MatView::materialise(example_2_1_1::object_view("BCD", &[1, 2, 3]), &sp);
-    let abcd = MatView::materialise(
-        example_2_1_1::object_view("ABCD", &[0, 1, 2, 3]),
-        &sp,
-    );
+    let abcd = MatView::materialise(example_2_1_1::object_view("ABCD", &[0, 1, 2, 3]), &sp);
     // Identity-equivalent view: Γ°_ABCD has the discrete kernel?  Not
     // necessarily (it only sees full-support objects) — use the real
     // identity instead.
@@ -123,8 +119,7 @@ fn t2_component_view_any_complement() {
     for base in 0..sp.len() {
         for target in 0..g1.n_states() {
             let spec = UpdateSpec { base, target };
-            let direct =
-                translate::component_update(&sp, &g1, &g2, spec);
+            let direct = translate::component_update(&sp, &g1, &g2, spec);
             assert_eq!(proc.run(spec), Some(direct));
         }
     }
