@@ -71,11 +71,39 @@ fn bench_closure_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_wide_join(c: &mut Criterion) {
+    // Wide-body (3- and 4-atom) TGDs: stresses `TupleIndex` bucket
+    // selection in the semi-naive engine — each rule body offers several
+    // candidate delta atoms and the planner must pick join columns well.
+    let rules = workload::wide_join_tgds();
+    let cfg = ChaseConfig::default();
+    for &edges in &[40usize, 120] {
+        let inst = workload::random_edge_instance(edges, 20, &mut workload::rng(41));
+        let closed = chase(&inst, &rules, &[], &cfg).unwrap();
+        eprintln!(
+            "  edges={edges}: {} transitive pairs, {} four-hop pairs",
+            closed.rel("T").len(),
+            closed.rel("Q").len()
+        );
+        let mut group = c.benchmark_group(format!("chase/wide_join/e{edges}"));
+        group.bench_function("semi_naive", |b| {
+            b.iter(|| black_box(chase(black_box(&inst), &rules, &[], &cfg).unwrap()))
+        });
+        if edges <= 40 {
+            group.sample_size(10);
+            group.bench_function("naive", |b| {
+                b.iter(|| black_box(chase_naive(black_box(&inst), &rules, &[], &cfg).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(1200));
-    targets = bench_closure_engines, bench_closure_scaling
+    targets = bench_closure_engines, bench_closure_scaling, bench_wide_join
 }
 criterion_main!(benches);

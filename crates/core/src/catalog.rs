@@ -42,7 +42,7 @@ impl std::fmt::Display for CatalogError {
 impl std::error::Error for CatalogError {}
 
 /// Outcome of an accepted update, kept in the audit log.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UpdateReport {
     /// The view updated.
     pub view: String,
@@ -183,6 +183,19 @@ impl<F: ComponentFamily> Catalog<F> {
         self.state = prev;
         self.log.pop();
         Ok(())
+    }
+
+    /// Number of updates that can currently be undone.
+    pub fn undoable(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Drop the undo history (the audit log is kept).  Used when the
+    /// surrounding state space changes under the catalog — e.g. a
+    /// `compview-session` pool edit — and the recorded prior states may no
+    /// longer be legal targets.
+    pub fn clear_history(&mut self) {
+        self.history.clear();
     }
 
     /// Apply several view updates **atomically**: either all succeed (in
@@ -396,6 +409,128 @@ mod tests {
             .state()
             .rel("R")
             .contains(&ps.object(2, &[v("c9"), v("d9")])));
+    }
+
+    #[test]
+    fn empty_transaction_is_a_noop() {
+        let mut cat = path_catalog();
+        let before = cat.state().clone();
+        let reports = cat.transaction(&[]).unwrap();
+        assert!(reports.is_empty());
+        assert_eq!(cat.state(), &before);
+        assert!(cat.log().is_empty());
+        assert_eq!(cat.undoable(), 0);
+        assert_eq!(cat.undo(), Err(CatalogError::EmptyHistory));
+    }
+
+    #[test]
+    fn failing_mid_transaction_rolls_back_earlier_steps() {
+        // Three steps, the *third* illegal: the first two must be unwound
+        // even though they were individually applied and logged.
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        // Seed one committed update so the rollback checkpoint is not the
+        // trivial empty log.
+        let mut committed = cat.read("enrollment").unwrap();
+        committed
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a8"), v("b8")]));
+        cat.update("enrollment", &committed).unwrap();
+        let before = cat.state().clone();
+
+        let mut step1 = cat.read("enrollment").unwrap();
+        step1.rel_mut("R").insert(ps.object(0, &[v("a9"), v("b9")]));
+        let mut step2 = cat.read("pipeline").unwrap();
+        step2.rel_mut("R").insert(ps.object(2, &[v("c9"), v("d9")]));
+        let mut step3 = cat.read("pipeline").unwrap();
+        step3
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("rogue"), v("b1")])); // AB object: illegal
+        let err = cat
+            .transaction(&[
+                ("enrollment", &step1),
+                ("pipeline", &step2),
+                ("pipeline", &step3),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::IllegalViewState(_)));
+        assert_eq!(cat.state(), &before);
+        assert_eq!(cat.log().len(), 1, "only the pre-transaction entry");
+        assert_eq!(cat.undoable(), 1);
+        // The surviving history still undoes cleanly to the seed state.
+        cat.undo().unwrap();
+        assert_eq!(cat.state(), &path_catalog().state().clone());
+    }
+
+    #[test]
+    fn undo_past_log_start_keeps_failing_cleanly() {
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let origin = cat.state().clone();
+        let mut new_ab = cat.read("enrollment").unwrap();
+        new_ab
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a9"), v("b9")]));
+        cat.update("enrollment", &new_ab).unwrap();
+        let mut new_bcd = cat.read("pipeline").unwrap();
+        new_bcd
+            .rel_mut("R")
+            .insert(ps.object(2, &[v("c9"), v("d9")]));
+        cat.update("pipeline", &new_bcd).unwrap();
+        assert_eq!(cat.undoable(), 2);
+        cat.undo().unwrap();
+        cat.undo().unwrap();
+        assert_eq!(cat.state(), &origin);
+        // Walking past the start fails with EmptyHistory, repeatedly, and
+        // leaves the catalog serviceable.
+        for _ in 0..3 {
+            assert_eq!(cat.undo(), Err(CatalogError::EmptyHistory));
+            assert_eq!(cat.state(), &origin);
+            assert_eq!(cat.undoable(), 0);
+        }
+        cat.update("enrollment", &new_ab).unwrap();
+        assert_eq!(cat.undoable(), 1);
+    }
+
+    #[test]
+    fn undo_after_rejected_update_skips_the_rejection() {
+        // A rejected update must contribute nothing to the history: undo
+        // after (good, rejected) pops the *good* update.
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let origin = cat.state().clone();
+        let mut good = cat.read("enrollment").unwrap();
+        good.rel_mut("R").insert(ps.object(0, &[v("a9"), v("b9")]));
+        cat.update("enrollment", &good).unwrap();
+        let after_good = cat.state().clone();
+        let mut bad = cat.read("enrollment").unwrap();
+        bad.rel_mut("R").insert(ps.object(1, &[v("x"), v("y")])); // BC object
+        assert!(matches!(
+            cat.update("enrollment", &bad),
+            Err(CatalogError::IllegalViewState(_))
+        ));
+        assert_eq!(cat.state(), &after_good, "rejection must not move state");
+        assert_eq!(cat.undoable(), 1, "rejection must not grow history");
+        cat.undo().unwrap();
+        assert_eq!(cat.state(), &origin);
+        assert_eq!(cat.undo(), Err(CatalogError::EmptyHistory));
+    }
+
+    #[test]
+    fn clear_history_keeps_the_audit_log() {
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let mut new_ab = cat.read("enrollment").unwrap();
+        new_ab
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a9"), v("b9")]));
+        cat.update("enrollment", &new_ab).unwrap();
+        let state = cat.state().clone();
+        cat.clear_history();
+        assert_eq!(cat.undoable(), 0);
+        assert_eq!(cat.log().len(), 1, "audit trail survives");
+        assert_eq!(cat.state(), &state);
+        assert_eq!(cat.undo(), Err(CatalogError::EmptyHistory));
     }
 
     #[test]

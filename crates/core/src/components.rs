@@ -41,41 +41,76 @@ impl<'s> ComponentAlgebra<'s> {
         space: &'s StateSpace,
         atoms: Vec<(String, Vec<usize>)>,
     ) -> Result<ComponentAlgebra<'s>, String> {
+        Self::generate_with_threads(space, atoms, compview_parallel::num_threads())
+    }
+
+    /// [`ComponentAlgebra::generate`] with an explicit worker count.
+    ///
+    /// All three check phases (per-atom strong-endo, pairwise independence,
+    /// per-mask join construction) are sharded, with the determinism
+    /// contract of `compview-parallel`: the result — including which error
+    /// is reported on failure — is identical for every thread count,
+    /// because failures are resolved to the lowest index in the sequential
+    /// scan order.
+    pub fn generate_with_threads(
+        space: &'s StateSpace,
+        atoms: Vec<(String, Vec<usize>)>,
+        threads: usize,
+    ) -> Result<ComponentAlgebra<'s>, String> {
         let p = space.poset();
         assert!(atoms.len() <= 16, "too many atoms");
-        for (name, e) in &atoms {
-            if !endo::is_strong_endo(p, e) {
-                return Err(format!("atom {name:?} is not a strong endomorphism"));
-            }
+        if let Some((_, msg)) = compview_parallel::find_first(atoms.len(), threads, |i| {
+            let (name, e) = &atoms[i];
+            (!endo::is_strong_endo(p, e))
+                .then(|| format!("atom {name:?} is not a strong endomorphism"))
+        }) {
+            return Err(msg);
         }
-        for i in 0..atoms.len() {
-            for j in (i + 1)..atoms.len() {
-                let m = pointwise_meet(p, &atoms[i].1, &atoms[j].1)
-                    .ok_or_else(|| format!("atoms {i},{j}: pointwise meet missing"))?;
-                if m != endo::constant_bottom(p) {
-                    return Err(format!(
-                        "atoms {:?} and {:?} are not independent (meet ≠ ⊥̄)",
-                        atoms[i].0, atoms[j].0
-                    ));
-                }
+        let bot = endo::constant_bottom(p);
+        let pairs: Vec<(usize, usize)> = (0..atoms.len())
+            .flat_map(|i| ((i + 1)..atoms.len()).map(move |j| (i, j)))
+            .collect();
+        if let Some((_, msg)) = compview_parallel::find_first(pairs.len(), threads, |pi| {
+            let (i, j) = pairs[pi];
+            match pointwise_meet(p, &atoms[i].1, &atoms[j].1) {
+                None => Some(format!("atoms {i},{j}: pointwise meet missing")),
+                Some(m) if m != bot => Some(format!(
+                    "atoms {:?} and {:?} are not independent (meet ≠ ⊥̄)",
+                    atoms[i].0, atoms[j].0
+                )),
+                Some(_) => None,
             }
+        }) {
+            return Err(msg);
         }
         let n_masks = 1usize << atoms.len();
+        // Each mask's join chain is independent; collect per-mask results
+        // and surface the lowest-mask error, which is exactly what the
+        // sequential `for mask in 0..n_masks` loop reported.
+        let results: Vec<Result<Vec<usize>, String>> =
+            compview_parallel::sharded_collect(n_masks, threads, |range| {
+                range
+                    .map(|mask| {
+                        let mut acc = bot.clone();
+                        for (i, (_, e)) in atoms.iter().enumerate() {
+                            if (mask >> i) & 1 == 1 {
+                                acc = pointwise_join(p, &acc, e).ok_or_else(|| {
+                                    format!("join for mask {mask:#b} does not exist")
+                                })?;
+                            }
+                        }
+                        if !endo::is_strong_endo(p, &acc) {
+                            return Err(format!(
+                                "generated element {mask:#b} is not a strong endomorphism"
+                            ));
+                        }
+                        Ok(acc)
+                    })
+                    .collect()
+            });
         let mut elems: Vec<Vec<usize>> = Vec::with_capacity(n_masks);
-        for mask in 0..n_masks {
-            let mut acc = endo::constant_bottom(p);
-            for (i, (_, e)) in atoms.iter().enumerate() {
-                if (mask >> i) & 1 == 1 {
-                    acc = pointwise_join(p, &acc, e)
-                        .ok_or_else(|| format!("join for mask {mask:#b} does not exist"))?;
-                }
-            }
-            if !endo::is_strong_endo(p, &acc) {
-                return Err(format!(
-                    "generated element {mask:#b} is not a strong endomorphism"
-                ));
-            }
-            elems.push(acc);
+        for r in results {
+            elems.push(r?);
         }
         // The top element must be the identity: the atoms jointly decompose
         // the schema (Γ₁ ∨ … ∨ Γ_k = 1_D).
@@ -151,27 +186,46 @@ impl<'s> ComponentAlgebra<'s> {
 
     /// Verify that the mask operations agree with the pointwise lattice
     /// semantics and that the structure satisfies every Boolean axiom.
+    ///
+    /// Sharded over `(a, b)` cells; the reported error is the one the
+    /// sequential `for a { for b }` scan would hit first, for every thread
+    /// count.
     pub fn verify(&self) -> Result<(), String> {
         let p = self.space.poset();
         let n = self.elems.len();
-        for a in 0..n {
-            for b in 0..n {
-                let meet_sem = pointwise_meet(p, &self.elems[a], &self.elems[b])
-                    .ok_or_else(|| format!("pointwise meet ({a},{b}) missing"))?;
-                if meet_sem != self.elems[self.meet(a, b)] {
-                    return Err(format!("mask meet ≠ pointwise meet at ({a},{b})"));
-                }
-                let join_sem = pointwise_join(p, &self.elems[a], &self.elems[b])
-                    .ok_or_else(|| format!("pointwise join ({a},{b}) missing"))?;
-                if join_sem != self.elems[self.join(a, b)] {
-                    return Err(format!("mask join ≠ pointwise join at ({a},{b})"));
-                }
+        // Cell layout per element a: n pairwise checks then one complement
+        // check, matching the sequential scan order.
+        let check_cell = |cell: usize| -> Option<String> {
+            let (a, c) = (cell / (n + 1), cell % (n + 1));
+            if c == n {
+                // Complements really are complements in <<P → P>> (Lemma
+                // 2.3.2(b) criterion).
+                return (!endo::are_complements(
+                    p,
+                    &self.elems[a],
+                    &self.elems[self.complement(a)],
+                ))
+                .then(|| format!("element {a} and its mask complement fail 2.3.2(b)"));
             }
-            // Complements really are complements in <<P → P>> (Lemma
-            // 2.3.2(b) criterion).
-            if !endo::are_complements(p, &self.elems[a], &self.elems[self.complement(a)]) {
-                return Err(format!("element {a} and its mask complement fail 2.3.2(b)"));
+            let b = c;
+            match pointwise_meet(p, &self.elems[a], &self.elems[b]) {
+                None => return Some(format!("pointwise meet ({a},{b}) missing")),
+                Some(m) if m != self.elems[self.meet(a, b)] => {
+                    return Some(format!("mask meet ≠ pointwise meet at ({a},{b})"))
+                }
+                Some(_) => {}
             }
+            match pointwise_join(p, &self.elems[a], &self.elems[b]) {
+                None => Some(format!("pointwise join ({a},{b}) missing")),
+                Some(j) if j != self.elems[self.join(a, b)] => {
+                    Some(format!("mask join ≠ pointwise join at ({a},{b})"))
+                }
+                Some(_) => None,
+            }
+        };
+        let threads = compview_parallel::num_threads();
+        if let Some((_, msg)) = compview_parallel::find_first(n * (n + 1), threads, check_cell) {
+            return Err(msg);
         }
         self.presentation().verify()
     }

@@ -204,85 +204,97 @@ impl FamilyReport {
 ///    complement (taking other samples' parts as update targets);
 /// 5. translation is symmetric (undo restores the base) and functorial
 ///    (two steps equal the direct step).
-pub fn verify_family<F: ComponentFamily>(family: &F, samples: &[Instance]) -> FamilyReport {
-    let mut report = FamilyReport::default();
-    let fail = |msg: String, report: &mut FamilyReport| report.violations.push(msg);
+pub fn verify_family<F: ComponentFamily + Sync>(family: &F, samples: &[Instance]) -> FamilyReport {
+    verify_family_with(family, samples, compview_parallel::num_threads())
+}
 
-    for (si, base) in samples.iter().enumerate() {
-        for mask in 0..=family.full_mask() {
-            report.checked += 1;
-            let part = family.endo(mask, base);
-            let co = family.endo(family.complement(mask), base);
-            // (1) lossless.
-            if &family.reconstruct(&part, &co) != base {
-                fail(
-                    format!("sample {si}, mask {mask:#b}: decomposition not lossless"),
-                    &mut report,
-                );
-                continue;
-            }
-            // (2) parts are component states.
-            if !family.is_component_state(mask, &part) {
-                fail(
-                    format!("sample {si}, mask {mask:#b}: endo image not a component state"),
-                    &mut report,
-                );
-            }
-            // (3) identity update.
-            match family.translate(mask, base, &part) {
-                Ok(same) if &same == base => {}
-                Ok(_) => fail(
-                    format!("sample {si}, mask {mask:#b}: identity update changed the state"),
-                    &mut report,
-                ),
-                Err(e) => fail(
-                    format!("sample {si}, mask {mask:#b}: identity update rejected: {e}"),
-                    &mut report,
-                ),
-            }
-            // (4)+(5) against every other sample's part as the target.
-            for (sj, other) in samples.iter().enumerate() {
-                let target = family.endo(mask, other);
-                let Ok(updated) = family.translate(mask, base, &target) else {
-                    fail(
-                        format!("samples {si}→{sj}, mask {mask:#b}: translation rejected"),
-                        &mut report,
-                    );
-                    continue;
-                };
-                if family.endo(mask, &updated) != target {
-                    fail(
-                        format!("samples {si}→{sj}, mask {mask:#b}: not exact"),
-                        &mut report,
-                    );
-                }
-                if family.endo(family.complement(mask), &updated) != co {
-                    fail(
-                        format!("samples {si}→{sj}, mask {mask:#b}: complement moved"),
-                        &mut report,
-                    );
-                }
-                // Symmetry: undo.
-                match family.translate(mask, &updated, &part) {
-                    Ok(back) if &back == base => {}
-                    _ => fail(
-                        format!("samples {si}→{sj}, mask {mask:#b}: undo failed"),
-                        &mut report,
-                    ),
-                }
-                // Functoriality: direct = via the update.
-                let direct = family.translate(mask, base, &target).expect("checked");
-                let via = family.translate(mask, &updated, &target).expect("checked");
-                if direct != via {
-                    fail(
-                        format!("samples {si}→{sj}, mask {mask:#b}: not functorial"),
-                        &mut report,
-                    );
-                }
-            }
+/// [`verify_family`] with an explicit worker count.  The `(sample, mask)`
+/// law cells are independent, so they are sharded; per-cell violation lists
+/// concatenate in cell order, making the report byte-identical to the
+/// sequential scan for every thread count.
+pub fn verify_family_with<F: ComponentFamily + Sync>(
+    family: &F,
+    samples: &[Instance],
+    threads: usize,
+) -> FamilyReport {
+    let masks = family.full_mask() as usize + 1;
+    let cells = samples.len() * masks;
+    let per_cell: Vec<Vec<String>> = compview_parallel::sharded_collect(cells, threads, |range| {
+        range
+            .map(|cell| verify_cell(family, samples, cell / masks, (cell % masks) as u32))
+            .collect()
+    });
+    FamilyReport {
+        violations: per_cell.into_iter().flatten().collect(),
+        checked: cells,
+    }
+}
+
+/// The checks of one `(sample, mask)` law cell, violations in sequential
+/// order.
+fn verify_cell<F: ComponentFamily>(
+    family: &F,
+    samples: &[Instance],
+    si: usize,
+    mask: u32,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let base = &samples[si];
+    let part = family.endo(mask, base);
+    let co = family.endo(family.complement(mask), base);
+    // (1) lossless.
+    if &family.reconstruct(&part, &co) != base {
+        violations.push(format!(
+            "sample {si}, mask {mask:#b}: decomposition not lossless"
+        ));
+        return violations;
+    }
+    // (2) parts are component states.
+    if !family.is_component_state(mask, &part) {
+        violations.push(format!(
+            "sample {si}, mask {mask:#b}: endo image not a component state"
+        ));
+    }
+    // (3) identity update.
+    match family.translate(mask, base, &part) {
+        Ok(same) if &same == base => {}
+        Ok(_) => violations.push(format!(
+            "sample {si}, mask {mask:#b}: identity update changed the state"
+        )),
+        Err(e) => violations.push(format!(
+            "sample {si}, mask {mask:#b}: identity update rejected: {e}"
+        )),
+    }
+    // (4)+(5) against every other sample's part as the target.
+    for (sj, other) in samples.iter().enumerate() {
+        let target = family.endo(mask, other);
+        let Ok(updated) = family.translate(mask, base, &target) else {
+            violations.push(format!(
+                "samples {si}→{sj}, mask {mask:#b}: translation rejected"
+            ));
+            continue;
+        };
+        if family.endo(mask, &updated) != target {
+            violations.push(format!("samples {si}→{sj}, mask {mask:#b}: not exact"));
+        }
+        if family.endo(family.complement(mask), &updated) != co {
+            violations.push(format!(
+                "samples {si}→{sj}, mask {mask:#b}: complement moved"
+            ));
+        }
+        // Symmetry: undo.
+        match family.translate(mask, &updated, &part) {
+            Ok(back) if &back == base => {}
+            _ => violations.push(format!("samples {si}→{sj}, mask {mask:#b}: undo failed")),
+        }
+        // Functoriality: direct = via the update.
+        let direct = family.translate(mask, base, &target).expect("checked");
+        let via = family.translate(mask, &updated, &target).expect("checked");
+        if direct != via {
+            violations.push(format!("samples {si}→{sj}, mask {mask:#b}: not functorial"));
         }
     }
-    report
+    violations
 }
 
 #[cfg(test)]

@@ -51,11 +51,11 @@ pub mod xor;
 
 pub use catalog::{Catalog, CatalogError, UpdateReport};
 pub use components::ComponentAlgebra;
-pub use family::{verify_family, ComponentFamily, FamilyReport, PairFamily};
+pub use family::{verify_family, verify_family_with, ComponentFamily, FamilyReport, PairFamily};
 pub use filtered::{FilteredOutcome, FilteredView};
 pub use horizontal::HorizontalComponents;
 pub use pathview::{PathComponents, PathTranslateError};
-pub use space::StateSpace;
+pub use space::{EditError, EditReport, StateSpace};
 pub use strategy::{AdmissibilityReport, Strategy};
 pub use subschema::SubschemaComponents;
 pub use translate::TranslateError;

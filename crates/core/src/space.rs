@@ -6,13 +6,46 @@
 //! Notation 1.2.3 as a [`FinPoset`], which makes every definition of
 //! §§1–3 — kernels, complements, strong views, admissibility — *decidable*
 //! on the space.
+//!
+//! # Incremental maintenance
+//!
+//! A space built by [`StateSpace::enumerate`] keeps its enumeration
+//! provenance (the tuple pools, each relation's legal blocks, and which
+//! block each state draws per relation).  [`StateSpace::insert_tuple`] and
+//! [`StateSpace::remove_tuple`] use it to *patch* the space in place:
+//!
+//! - **Insert** appends the tuple to the end of its relation's pool.  Block
+//!   legality depends only on the tuple set, so every old block stays legal
+//!   and the new block list is `old ++ fresh` where `fresh` are exactly the
+//!   blocks containing the new tuple (a seeded DFS,
+//!   `Schema::legal_blocks_seeded`).  In the cross-product combo order the
+//!   old states of each suffix chunk stay contiguous and in order, so the
+//!   new state list is produced by splicing assembled-and-filtered new
+//!   combos between preserved old states — no old state is rebuilt or
+//!   re-checked.
+//! - **Remove** drops every block whose submask uses the removed pool bit.
+//!   Surviving states are a pure filter of the old list (no instance
+//!   assembly, no constraint checks), and the poset is a restriction.
+//!
+//! Both patch the poset bitrows via [`FinPoset::patched`], comparing states
+//! by per-relation pool submasks (word tests) instead of `is_subinstance`
+//! B-tree walks.  Submask inclusion coincides with relation inclusion here
+//! because a pool tuple whose bit appears in any legal block is necessarily
+//! unduplicated — a duplicate would pack two distinct submasks to equal
+//! relations, hence equal states, which `FinPoset::from_leq` rejects as an
+//! antisymmetry violation at construction.
+//!
+//! The result is checked byte-identical to a fresh enumeration by
+//! [`StateSpace::validate_against_full`] (used by the cross-validation
+//! tests and `compview-session`'s paranoid mode).
 
 use compview_lattice::FinPoset;
-use compview_logic::Schema;
+use compview_logic::{EnumerationConfig, LegalBlock, Schema};
 use compview_relation::{Instance, Tuple};
 use std::collections::BTreeMap;
 
 /// An explicitly enumerated `LDB(D, μ)` with its inclusion order.
+#[derive(Clone)]
 pub struct StateSpace {
     schema: Schema,
     states: Vec<Instance>,
@@ -21,7 +54,103 @@ pub struct StateSpace {
     /// `Instance` into a hash map.
     index: Vec<usize>,
     poset: FinPoset,
+    /// Enumeration provenance for incremental edits; `None` when the space
+    /// was built from an explicit state list.
+    inc: Option<IncState>,
 }
+
+/// Enumeration provenance: what [`StateSpace::insert_tuple`] /
+/// [`StateSpace::remove_tuple`] patch instead of re-deriving.
+#[derive(Clone)]
+struct IncState {
+    /// The per-relation tuple pools the space was enumerated from.
+    pools: BTreeMap<String, Vec<Tuple>>,
+    /// The enumeration guard the space was built under (edits re-check it).
+    max_bits: usize,
+    /// Per declared relation, the legal blocks in enumeration order.
+    blocks: Vec<Vec<LegalBlock>>,
+    /// Flattened per-state block indices: entry `s * n_rels + r` indexes
+    /// `blocks[r]` for state `s`.
+    state_blocks: Vec<u32>,
+}
+
+/// Outcome of a successful pool edit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EditReport {
+    /// States in the space before the edit.
+    pub states_before: usize,
+    /// States after the edit.
+    pub states_after: usize,
+}
+
+/// A rejected pool edit.  The space is untouched when any of these is
+/// returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditError {
+    /// The space was built from an explicit state list
+    /// ([`StateSpace::from_states`]) and has no pools to edit.
+    NotEditable,
+    /// No declared relation has this name.
+    UnknownRelation(String),
+    /// The tuple's arity does not match the relation's.
+    ArityMismatch {
+        /// The relation being edited.
+        relation: String,
+        /// The relation's declared arity.
+        expected: usize,
+        /// The offered tuple's arity.
+        got: usize,
+    },
+    /// The tuple is already in the relation's pool (pools are
+    /// duplicate-free sets).
+    DuplicateTuple {
+        /// The relation being edited.
+        relation: String,
+    },
+    /// The tuple to remove is not in the relation's pool.
+    MissingTuple {
+        /// The relation being edited.
+        relation: String,
+    },
+    /// The insert would push the raw pool bits past the enumeration guard.
+    TooLarge {
+        /// Raw pool bits after the edit.
+        bits: usize,
+        /// The guard the space was built under.
+        max_bits: usize,
+    },
+}
+
+impl std::fmt::Display for EditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EditError::NotEditable => {
+                write!(f, "space was built from explicit states; no pools to edit")
+            }
+            EditError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            EditError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for {relation:?}: expected {expected}, got {got}"
+            ),
+            EditError::DuplicateTuple { relation } => {
+                write!(f, "tuple already in the pool of {relation:?}")
+            }
+            EditError::MissingTuple { relation } => {
+                write!(f, "tuple not in the pool of {relation:?}")
+            }
+            EditError::TooLarge { bits, max_bits } => write!(
+                f,
+                "edited space 2^{bits} exceeds the enumeration guard (max_bits = {max_bits})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
 
 /// Sorted-id index over `states` (uses `Instance`'s derived total order).
 fn id_index(states: &[Instance]) -> Vec<usize> {
@@ -38,24 +167,53 @@ impl StateSpace {
     /// `compview-logic`, or if the schema lacks the null model property —
     /// §3's standing assumption, required for the ↓-poset structure.
     pub fn enumerate(schema: Schema, pools: &BTreeMap<String, Vec<Tuple>>) -> StateSpace {
+        StateSpace::enumerate_with(schema, pools, &EnumerationConfig::default())
+    }
+
+    /// [`StateSpace::enumerate`] with explicit enumeration limits and
+    /// thread count.  The limits are remembered and re-enforced by the
+    /// incremental edit methods.
+    pub fn enumerate_with(
+        schema: Schema,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        config: &EnumerationConfig,
+    ) -> StateSpace {
         assert!(
             schema.has_null_model_property(),
             "schema lacks the null model property (§2.3); \
              the state space would not be a ↓-poset"
         );
-        let states = schema.enumerate_ldb(pools);
-        let index = id_index(&states);
+        let detail = schema.enumerate_ldb_detailed(pools, config);
+        let n_rels = detail.blocks.len();
+        let mut state_blocks = Vec::with_capacity(detail.states.len() * n_rels);
+        for &combo in &detail.state_combos {
+            let mut rest = combo;
+            for b in &detail.blocks {
+                state_blocks.push((rest % b.len()) as u32);
+                rest /= b.len();
+            }
+        }
+        let index = id_index(&detail.states);
+        let states = detail.states;
         let poset = FinPoset::from_leq(states.len(), |a, b| states[a].is_subinstance(&states[b]));
         StateSpace {
             schema,
             states,
             index,
             poset,
+            inc: Some(IncState {
+                pools: pools.clone(),
+                max_bits: config.max_bits,
+                blocks: detail.blocks,
+                state_blocks,
+            }),
         }
     }
 
     /// Build a space from an explicit list of legal states (used when the
     /// legal set is constructed directly, e.g. closed path-schema states).
+    /// Such a space has no pools, so the incremental edit methods return
+    /// [`EditError::NotEditable`].
     ///
     /// # Panics
     /// Panics if any state is illegal, states repeat, or the null model is
@@ -79,6 +237,7 @@ impl StateSpace {
             states,
             index,
             poset,
+            inc: None,
         }
     }
 
@@ -132,6 +291,384 @@ impl StateSpace {
             .bottom()
             .expect("null model guaranteed at construction")
     }
+
+    /// The tuple pools the space was enumerated from, if it was.
+    pub fn pools(&self) -> Option<&BTreeMap<String, Vec<Tuple>>> {
+        self.inc.as_ref().map(|inc| &inc.pools)
+    }
+
+    /// Validate an edit target and tuple shape; returns the relation's
+    /// declaration position.
+    fn check_edit(&self, rel: &str, t: &Tuple) -> Result<usize, EditError> {
+        if self.inc.is_none() {
+            return Err(EditError::NotEditable);
+        }
+        let decls = self.schema.sig().decls();
+        let k = decls
+            .iter()
+            .position(|d| d.name() == rel)
+            .ok_or_else(|| EditError::UnknownRelation(rel.to_owned()))?;
+        if t.arity() != decls[k].arity() {
+            return Err(EditError::ArityMismatch {
+                relation: rel.to_owned(),
+                expected: decls[k].arity(),
+                got: t.arity(),
+            });
+        }
+        Ok(k)
+    }
+
+    fn check_insert(&self, rel: &str, t: &Tuple) -> Result<usize, EditError> {
+        let k = self.check_edit(rel, t)?;
+        let inc = self.inc.as_ref().expect("checked editable");
+        if inc.pools[rel].contains(t) {
+            return Err(EditError::DuplicateTuple {
+                relation: rel.to_owned(),
+            });
+        }
+        let bits: usize = inc.pools.values().map(Vec::len).sum();
+        if bits + 1 > inc.max_bits {
+            return Err(EditError::TooLarge {
+                bits: bits + 1,
+                max_bits: inc.max_bits,
+            });
+        }
+        Ok(k)
+    }
+
+    fn check_remove(&self, rel: &str, t: &Tuple) -> Result<(usize, usize), EditError> {
+        let k = self.check_edit(rel, t)?;
+        let inc = self.inc.as_ref().expect("checked editable");
+        let p =
+            inc.pools[rel]
+                .iter()
+                .position(|u| u == t)
+                .ok_or_else(|| EditError::MissingTuple {
+                    relation: rel.to_owned(),
+                })?;
+        Ok((k, p))
+    }
+
+    /// Append `t` to relation `rel`'s pool and patch the space in place:
+    /// states, id index, and poset end up byte-identical to a fresh
+    /// [`StateSpace::enumerate`] on the grown pools, without re-enumerating
+    /// or re-checking any surviving state (see the module docs for the
+    /// splice argument).
+    ///
+    /// On error the space is untouched.
+    pub fn insert_tuple(&mut self, rel: &str, t: Tuple) -> Result<EditReport, EditError> {
+        let k = self.check_insert(rel, &t)?;
+        let n_old = self.states.len();
+        let inc = self.inc.take().expect("checked editable");
+        // Blocks gained: exactly the legal subsets of the grown pool that
+        // contain t, in ascending submask order, appended after the old
+        // blocks (t's bit is the new highest).
+        let fresh = self.schema.legal_blocks_seeded(rel, &inc.pools[rel], &t);
+        if fresh.is_empty() {
+            // No legal block uses t: only the pool grows; every existing
+            // submask ignores the new bit.
+            let mut inc = inc;
+            inc.pools.get_mut(rel).expect("checked relation").push(t);
+            self.inc = Some(inc);
+            return Ok(EditReport {
+                states_before: n_old,
+                states_after: n_old,
+            });
+        }
+
+        let decls = self.schema.sig().decls();
+        let n_rels = decls.len();
+        let s_k = inc.blocks[k].len();
+        // Combo strides around relation k: combo = pre + P·(i_k + S_k·suf).
+        let p_stride: usize = inc.blocks[..k].iter().map(Vec::len).product();
+        let suf_count: usize = inc.blocks[k + 1..].iter().map(Vec::len).product();
+        let sig = self.schema.sig();
+        let mu = self.schema.assignment();
+        let globals = self.schema.global_constraints();
+
+        // Assemble-and-filter one candidate new state, exactly as
+        // enumeration does.
+        let assemble = |a: usize, pre: usize, suf: usize| -> Option<(Instance, Vec<u32>)> {
+            let mut inst = Instance::null_model(sig);
+            let mut row = vec![0u32; n_rels];
+            let mut rest = pre;
+            for r in 0..k {
+                let len = inc.blocks[r].len();
+                let i = rest % len;
+                rest /= len;
+                inst.set(decls[r].name(), inc.blocks[r][i].rel.clone());
+                row[r] = i as u32;
+            }
+            inst.set(decls[k].name(), fresh[a].rel.clone());
+            row[k] = (s_k + a) as u32;
+            let mut rest = suf;
+            for r in k + 1..n_rels {
+                let len = inc.blocks[r].len();
+                let i = rest % len;
+                rest /= len;
+                inst.set(decls[r].name(), inc.blocks[r][i].rel.clone());
+                row[r] = i as u32;
+            }
+            (inst.conforms_to(sig) && globals.iter().all(|c| c.satisfied(&inst, mu)))
+                .then_some((inst, row))
+        };
+        // Suffix-chunk index of an old state (relations after k, in combo
+        // encoding).  Nondecreasing along the old state order.
+        let suf_of = |s: usize| -> usize {
+            let mut suf = 0usize;
+            for r in (k + 1..n_rels).rev() {
+                suf = suf * inc.blocks[r].len() + inc.state_blocks[s * n_rels + r] as usize;
+            }
+            suf
+        };
+
+        // Splice: per suffix chunk, old states first (combo order puts all
+        // old i_k below all fresh i_k), then new combos with i_k major and
+        // pre minor — matching ascending new-combo order.
+        let old_states = std::mem::take(&mut self.states);
+        let mut new_states: Vec<Instance> = Vec::with_capacity(n_old);
+        let mut new_state_blocks: Vec<u32> = Vec::with_capacity(n_old * n_rels);
+        let mut origin: Vec<Option<usize>> = Vec::with_capacity(n_old);
+        let mut old_iter = old_states.into_iter().enumerate().peekable();
+        for suf in 0..suf_count {
+            while old_iter.peek().is_some_and(|&(i, _)| suf_of(i) == suf) {
+                let (i, st) = old_iter.next().expect("peeked");
+                origin.push(Some(i));
+                new_state_blocks.extend_from_slice(&inc.state_blocks[i * n_rels..(i + 1) * n_rels]);
+                new_states.push(st);
+            }
+            for a in 0..fresh.len() {
+                for pre in 0..p_stride {
+                    if let Some((inst, row)) = assemble(a, pre, suf) {
+                        origin.push(None);
+                        new_state_blocks.extend(row);
+                        new_states.push(inst);
+                    }
+                }
+            }
+        }
+        debug_assert!(old_iter.next().is_none(), "old states not exhausted");
+        let n_new = new_states.len();
+
+        // Id index: the old index is still sorted after remapping to new
+        // positions; sort only the fresh states and merge the two runs.
+        let mut pos_of_old = vec![usize::MAX; n_old];
+        let mut fresh_pos: Vec<usize> = Vec::with_capacity(n_new - n_old);
+        for (j, o) in origin.iter().enumerate() {
+            match o {
+                Some(i) => pos_of_old[*i] = j,
+                None => fresh_pos.push(j),
+            }
+        }
+        let old_sorted: Vec<usize> = self.index.iter().map(|&i| pos_of_old[i]).collect();
+        fresh_pos.sort_unstable_by(|&a, &b| new_states[a].cmp(&new_states[b]));
+        let mut index = Vec::with_capacity(n_new);
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < old_sorted.len() && y < fresh_pos.len() {
+            if new_states[old_sorted[x]] < new_states[fresh_pos[y]] {
+                index.push(old_sorted[x]);
+                x += 1;
+            } else {
+                index.push(fresh_pos[y]);
+                y += 1;
+            }
+        }
+        index.extend_from_slice(&old_sorted[x..]);
+        index.extend_from_slice(&fresh_pos[y..]);
+
+        // Poset: copy survivor-survivor bits, compute pairs involving fresh
+        // states by per-relation submask inclusion (valid here — see the
+        // module docs).
+        let submask = |s: usize, r: usize| -> u64 {
+            let bi = new_state_blocks[s * n_rels + r] as usize;
+            if r == k && bi >= s_k {
+                fresh[bi - s_k].submask
+            } else {
+                inc.blocks[r][bi].submask
+            }
+        };
+        let poset = self.poset.patched(&origin, |a, b| {
+            (0..n_rels).all(|r| submask(a, r) & !submask(b, r) == 0)
+        });
+
+        let mut inc = inc;
+        inc.blocks[k].extend(fresh);
+        inc.pools.get_mut(rel).expect("checked relation").push(t);
+        inc.state_blocks = new_state_blocks;
+        self.states = new_states;
+        self.index = index;
+        self.poset = poset;
+        self.inc = Some(inc);
+        Ok(EditReport {
+            states_before: n_old,
+            states_after: n_new,
+        })
+    }
+
+    /// Remove `t` from relation `rel`'s pool and patch the space in place:
+    /// drop every block using the tuple's bit, filter the states (no
+    /// instance is rebuilt or re-checked), restrict the poset.  Result is
+    /// byte-identical to a fresh [`StateSpace::enumerate`] on the shrunk
+    /// pools.
+    ///
+    /// On error the space is untouched.  Note the current state of a
+    /// catalog layered on this space may leave the space — callers who care
+    /// (e.g. `compview-session`) must reject that case themselves.
+    pub fn remove_tuple(&mut self, rel: &str, t: &Tuple) -> Result<EditReport, EditError> {
+        let (k, p) = self.check_remove(rel, t)?;
+        let n_old = self.states.len();
+        let inc = self.inc.take().expect("checked editable");
+        let n_rels = self.schema.sig().decls().len();
+
+        // Surviving blocks: submask bit p clear; recompact the bits above p.
+        let bit = 1u64 << p;
+        let low = bit - 1;
+        let mut remap = vec![u32::MAX; inc.blocks[k].len()];
+        let mut kept: Vec<LegalBlock> = Vec::new();
+        for (i, b) in inc.blocks[k].iter().enumerate() {
+            if b.submask & bit == 0 {
+                remap[i] = kept.len() as u32;
+                kept.push(LegalBlock {
+                    submask: ((b.submask >> (p + 1)) << p) | (b.submask & low),
+                    rel: b.rel.clone(),
+                });
+            }
+        }
+
+        // Filter states: a state survives iff its relation-k block does.
+        // Ascending (suf, i_k, pre) order is preserved by a monotone block
+        // remap, so the filtered list is exactly the fresh enumeration.
+        let old_states = std::mem::take(&mut self.states);
+        let mut new_states: Vec<Instance> = Vec::with_capacity(n_old);
+        let mut new_state_blocks: Vec<u32> = Vec::with_capacity(n_old * n_rels);
+        let mut origin: Vec<Option<usize>> = Vec::with_capacity(n_old);
+        for (i, st) in old_states.into_iter().enumerate() {
+            let bi = inc.state_blocks[i * n_rels + k] as usize;
+            let nb = remap[bi];
+            if nb != u32::MAX {
+                origin.push(Some(i));
+                for r in 0..n_rels {
+                    new_state_blocks.push(if r == k {
+                        nb
+                    } else {
+                        inc.state_blocks[i * n_rels + r]
+                    });
+                }
+                new_states.push(st);
+            }
+        }
+        let n_new = new_states.len();
+
+        let mut pos_of_old = vec![usize::MAX; n_old];
+        for (j, o) in origin.iter().enumerate() {
+            pos_of_old[o.expect("pure removal")] = j;
+        }
+        let index: Vec<usize> = self
+            .index
+            .iter()
+            .filter(|&&i| pos_of_old[i] != usize::MAX)
+            .map(|&i| pos_of_old[i])
+            .collect();
+        // Pure removal: every new element is a survivor, so the patch is a
+        // bit remap and leq is never consulted.
+        let poset = self
+            .poset
+            .patched(&origin, |_, _| unreachable!("pure removal never compares"));
+
+        let mut inc = inc;
+        inc.blocks[k] = kept;
+        inc.pools.get_mut(rel).expect("checked relation").remove(p);
+        inc.state_blocks = new_state_blocks;
+        self.states = new_states;
+        self.index = index;
+        self.poset = poset;
+        self.inc = Some(inc);
+        Ok(EditReport {
+            states_before: n_old,
+            states_after: n_new,
+        })
+    }
+
+    /// [`StateSpace::insert_tuple`] by full re-enumeration — same
+    /// validation and result, none of the patching.  The baseline the
+    /// incremental path is benchmarked against, and `compview-session`'s
+    /// `incremental: false` mode.
+    pub fn insert_tuple_full(&mut self, rel: &str, t: Tuple) -> Result<EditReport, EditError> {
+        self.check_insert(rel, &t)?;
+        let inc = self.inc.as_ref().expect("checked editable");
+        let mut pools = inc.pools.clone();
+        pools.get_mut(rel).expect("checked relation").push(t);
+        self.replace_from(pools, inc.max_bits)
+    }
+
+    /// [`StateSpace::remove_tuple`] by full re-enumeration.
+    pub fn remove_tuple_full(&mut self, rel: &str, t: &Tuple) -> Result<EditReport, EditError> {
+        let (_, p) = self.check_remove(rel, t)?;
+        let inc = self.inc.as_ref().expect("checked editable");
+        let mut pools = inc.pools.clone();
+        pools.get_mut(rel).expect("checked relation").remove(p);
+        self.replace_from(pools, inc.max_bits)
+    }
+
+    /// Re-enumerate this space from its recorded pools, discarding any
+    /// incremental structure (the recovery path when a cross-validation
+    /// fails).
+    pub fn rebuild(&mut self) -> Result<(), EditError> {
+        let inc = self.inc.as_ref().ok_or(EditError::NotEditable)?;
+        let pools = inc.pools.clone();
+        let max_bits = inc.max_bits;
+        self.replace_from(pools, max_bits)?;
+        Ok(())
+    }
+
+    fn replace_from(
+        &mut self,
+        pools: BTreeMap<String, Vec<Tuple>>,
+        max_bits: usize,
+    ) -> Result<EditReport, EditError> {
+        let before = self.states.len();
+        let cfg = EnumerationConfig {
+            max_bits,
+            threads: compview_parallel::num_threads(),
+        };
+        *self = StateSpace::enumerate_with(self.schema.clone(), &pools, &cfg);
+        Ok(EditReport {
+            states_before: before,
+            states_after: self.states.len(),
+        })
+    }
+
+    /// Assert this (incrementally edited) space is byte-identical to a
+    /// fresh enumeration of its pools: states, id index, poset bitrows,
+    /// legal blocks, and per-state block assignments.
+    pub fn validate_against_full(&self) -> Result<(), String> {
+        let inc = self
+            .inc
+            .as_ref()
+            .ok_or_else(|| "space has no pools (built from explicit states)".to_owned())?;
+        let cfg = EnumerationConfig {
+            max_bits: inc.max_bits,
+            threads: compview_parallel::num_threads(),
+        };
+        let fresh = StateSpace::enumerate_with(self.schema.clone(), &inc.pools, &cfg);
+        if fresh.states != self.states {
+            return Err("incremental states differ from fresh enumeration".to_owned());
+        }
+        if fresh.index != self.index {
+            return Err("incremental id index differs from fresh enumeration".to_owned());
+        }
+        if fresh.poset != self.poset {
+            return Err("incremental poset bitrows differ from fresh enumeration".to_owned());
+        }
+        let finc = fresh.inc.as_ref().expect("enumerate keeps provenance");
+        if finc.blocks != inc.blocks {
+            return Err("incremental legal-block lists differ from fresh enumeration".to_owned());
+        }
+        if finc.state_blocks != inc.state_blocks {
+            return Err("incremental block assignments differ from fresh enumeration".to_owned());
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for StateSpace {
@@ -143,7 +680,7 @@ impl std::fmt::Debug for StateSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use compview_logic::{Constraint, Jd};
+    use compview_logic::{Constraint, Fd, Jd};
     use compview_relation::{rel, v, RelDecl, Signature};
 
     fn two_unary_space() -> StateSpace {
@@ -222,6 +759,7 @@ mod tests {
         assert_eq!(sp.len(), 2);
         assert_eq!(sp.bottom(), 0);
         assert!(sp.poset().leq(0, 1));
+        assert!(sp.pools().is_none());
     }
 
     #[test]
@@ -230,5 +768,146 @@ mod tests {
         let schema = Schema::unconstrained(Signature::new([RelDecl::new("R", ["A"])]));
         let states = vec![Instance::null_model(schema.sig()).with("R", rel(1, [["x"]]))];
         StateSpace::from_states(schema, states);
+    }
+
+    #[test]
+    fn insert_tuple_matches_fresh_enumeration() {
+        let mut sp = two_unary_space();
+        let report = sp.insert_tuple("R", Tuple::new([v("a3")])).unwrap();
+        assert_eq!(report.states_before, 16);
+        assert_eq!(report.states_after, 32);
+        sp.validate_against_full().unwrap();
+        // Ids still round-trip through the merged index.
+        for i in 0..sp.len() {
+            assert_eq!(sp.id_of(sp.state(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn remove_tuple_matches_fresh_enumeration() {
+        let mut sp = two_unary_space();
+        let report = sp.remove_tuple("S", &Tuple::new([v("a1")])).unwrap();
+        assert_eq!(report.states_before, 16);
+        assert_eq!(report.states_after, 8);
+        sp.validate_against_full().unwrap();
+        assert!(sp.state(sp.bottom()).is_null_model());
+    }
+
+    #[test]
+    fn insert_then_remove_round_trips() {
+        let reference = two_unary_space();
+        let mut sp = two_unary_space();
+        let t = Tuple::new([v("a3")]);
+        sp.insert_tuple("R", t.clone()).unwrap();
+        sp.remove_tuple("R", &t).unwrap();
+        assert_eq!(sp.states(), reference.states());
+        assert!(sp.poset() == reference.poset());
+        sp.validate_against_full().unwrap();
+    }
+
+    #[test]
+    fn constrained_insert_splices_only_legal_states() {
+        // FD K→V: inserting a second value for an existing key adds states
+        // that use the new tuple *instead of* the clashing one.
+        let sig = Signature::new([RelDecl::new("R", ["K", "V"])]);
+        let schema = Schema::new(sig, vec![Constraint::Fd(Fd::new("R", vec![0], vec![1]))]);
+        let pools: BTreeMap<String, Vec<Tuple>> = [(
+            "R".to_owned(),
+            vec![Tuple::new([v("a"), v("x")]), Tuple::new([v("b"), v("x")])],
+        )]
+        .into();
+        let mut sp = StateSpace::enumerate(schema, &pools);
+        assert_eq!(sp.len(), 4);
+        let report = sp.insert_tuple("R", Tuple::new([v("a"), v("y")])).unwrap();
+        // Keys a ∈ {∅, x, y}, b ∈ {∅, x}: 3·2 = 6 states.
+        assert_eq!(report.states_after, 6);
+        sp.validate_against_full().unwrap();
+        // And full removal of the original clashing tuple.
+        sp.remove_tuple("R", &Tuple::new([v("a"), v("x")])).unwrap();
+        assert_eq!(sp.len(), 4);
+        sp.validate_against_full().unwrap();
+    }
+
+    #[test]
+    fn edit_errors_leave_space_untouched() {
+        let mut sp = two_unary_space();
+        let before_states = sp.states().to_vec();
+        assert_eq!(
+            sp.insert_tuple("X", Tuple::new([v("a")])),
+            Err(EditError::UnknownRelation("X".to_owned()))
+        );
+        assert_eq!(
+            sp.insert_tuple("R", Tuple::new([v("a"), v("b")])),
+            Err(EditError::ArityMismatch {
+                relation: "R".to_owned(),
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            sp.insert_tuple("R", Tuple::new([v("a1")])),
+            Err(EditError::DuplicateTuple {
+                relation: "R".to_owned()
+            })
+        );
+        assert_eq!(
+            sp.remove_tuple("R", &Tuple::new([v("zz")])),
+            Err(EditError::MissingTuple {
+                relation: "R".to_owned()
+            })
+        );
+        assert_eq!(sp.states(), &before_states[..]);
+        sp.validate_against_full().unwrap();
+
+        // Explicit-state spaces are not editable.
+        let schema = Schema::unconstrained(Signature::new([RelDecl::new("R", ["A"])]));
+        let states = vec![
+            Instance::null_model(schema.sig()),
+            Instance::null_model(schema.sig()).with("R", rel(1, [["x"]])),
+        ];
+        let mut fixed = StateSpace::from_states(schema, states);
+        assert_eq!(
+            fixed.insert_tuple("R", Tuple::new([v("y")])),
+            Err(EditError::NotEditable)
+        );
+    }
+
+    #[test]
+    fn insert_past_guard_is_rejected() {
+        let schema = Schema::unconstrained(Signature::new([RelDecl::new("R", ["A"])]));
+        let pools: BTreeMap<String, Vec<Tuple>> = [(
+            "R".to_owned(),
+            vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+        )]
+        .into();
+        let cfg = EnumerationConfig {
+            max_bits: 2,
+            threads: 1,
+        };
+        let mut sp = StateSpace::enumerate_with(schema, &pools, &cfg);
+        assert_eq!(
+            sp.insert_tuple("R", Tuple::new([v("a3")])),
+            Err(EditError::TooLarge {
+                bits: 3,
+                max_bits: 2
+            })
+        );
+    }
+
+    #[test]
+    fn full_edit_paths_agree_with_incremental() {
+        let mut inc_sp = two_unary_space();
+        let mut full_sp = two_unary_space();
+        let t = Tuple::new([v("a3")]);
+        let ri = inc_sp.insert_tuple("S", t.clone()).unwrap();
+        let rf = full_sp.insert_tuple_full("S", t.clone()).unwrap();
+        assert_eq!(ri, rf);
+        assert_eq!(inc_sp.states(), full_sp.states());
+        assert!(inc_sp.poset() == full_sp.poset());
+        let ri = inc_sp.remove_tuple("S", &t).unwrap();
+        let rf = full_sp.remove_tuple_full("S", &t).unwrap();
+        assert_eq!(ri, rf);
+        assert_eq!(inc_sp.states(), full_sp.states());
+        inc_sp.validate_against_full().unwrap();
     }
 }

@@ -7,8 +7,8 @@
 //! that the structural effects the paper describes (join side effects,
 //! extraneous XOR reflections) actually occur at a controllable rate.
 
-use compview_logic::PathSchema;
-use compview_relation::{Instance, Relation, Value};
+use compview_logic::{var, Atom, PathSchema, Tgd};
+use compview_relation::{Instance, Relation, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -95,6 +95,49 @@ pub fn mutate_component_state(
     ps.close(&Relation::from_tuples(ps.arity(), gens))
 }
 
+/// TGDs with **wide bodies** (3 and 4 atoms) over an edge relation
+/// `E[Src,Dst]`: 3-hop projection, a recursive 3-atom extension, and a
+/// 4-hop projection.
+///
+/// Wide bodies are where the chase's join planning matters — each atom
+/// after the first must pick an index bucket from several bound columns —
+/// so these rules stress `TupleIndex` bucket selection in a way the
+/// 2-atom transitivity workloads cannot.  Derived relations are `T`
+/// (reachable in 3 + 2k hops) and `Q` (4-hop pairs); the state space is
+/// bounded by nodes², so the chase terminates.
+pub fn wide_join_tgds() -> Vec<Tgd> {
+    let e = |a: u32, b: u32| Atom::new("E", vec![var(a), var(b)]);
+    let t = |a: u32, b: u32| Atom::new("T", vec![var(a), var(b)]);
+    let q = |a: u32, b: u32| Atom::new("Q", vec![var(a), var(b)]);
+    vec![
+        Tgd::new("three-hop", vec![e(0, 1), e(1, 2), e(2, 3)], vec![t(0, 3)]),
+        Tgd::new("extend-hop", vec![t(0, 1), e(1, 2), e(2, 3)], vec![t(0, 3)]),
+        Tgd::new(
+            "four-hop",
+            vec![e(0, 1), e(1, 2), e(2, 3), e(3, 4)],
+            vec![q(0, 4)],
+        ),
+    ]
+}
+
+/// A random edge instance for [`wide_join_tgds`]: `n_edges` distinct edges
+/// over `n_nodes` node symbols, with the derived relations `T` and `Q`
+/// bound empty.  Smaller `n_nodes` means denser graphs, hence more
+/// multi-hop matches.
+pub fn random_edge_instance(n_edges: usize, n_nodes: usize, rng: &mut StdRng) -> Instance {
+    let mut e = Relation::empty(2);
+    let cap = n_edges.min(n_nodes * n_nodes);
+    while e.len() < cap {
+        let a = Value::sym(&format!("n{}", rng.random_range(0..n_nodes)));
+        let b = Value::sym(&format!("n{}", rng.random_range(0..n_nodes)));
+        e.insert(Tuple::new([a, b]));
+    }
+    Instance::new()
+        .with("E", e)
+        .with("T", Relation::empty(2))
+        .with("Q", Relation::empty(2))
+}
+
 /// Generate the two-unary-relation base instance of Example 1.3.6 at
 /// scale: `R`, `S` each of size `n` over a domain of `dom` values, so the
 /// expected overlap `|R ∩ S|` is `n²/dom`.
@@ -179,6 +222,54 @@ mod tests {
         }
         // The mutated state is a valid translation target.
         assert!(pc.translate(0b001, &base, &mutated).is_ok());
+    }
+
+    #[test]
+    fn wide_join_chase_agrees_with_naive_and_is_correct() {
+        use compview_logic::{chase, chase_naive, ChaseConfig};
+        // A 5-node path: n0 → n1 → n2 → n3 → n4.
+        let edges = Relation::from_tuples(
+            2,
+            (0..4).map(|i| {
+                Tuple::new([
+                    Value::sym(&format!("n{i}")),
+                    Value::sym(&format!("n{}", i + 1)),
+                ])
+            }),
+        );
+        let inst = Instance::new()
+            .with("E", edges)
+            .with("T", Relation::empty(2))
+            .with("Q", Relation::empty(2));
+        let rules = wide_join_tgds();
+        let cfg = ChaseConfig::default();
+        let fast = chase(&inst, &rules, &[], &cfg).unwrap();
+        let slow = chase_naive(&inst, &rules, &[], &cfg).unwrap();
+        assert_eq!(fast, slow);
+        // 3-hop pairs on the path: (n0,n3), (n1,n4); no 5-hop, so the
+        // recursive rule adds nothing further.
+        let pair = |a: &str, b: &str| Tuple::new([Value::sym(a), Value::sym(b)]);
+        assert_eq!(fast.rel("T").len(), 2);
+        assert!(fast.rel("T").contains(&pair("n0", "n3")));
+        assert!(fast.rel("T").contains(&pair("n1", "n4")));
+        // 4-hop pairs: only (n0,n4).
+        assert_eq!(fast.rel("Q").len(), 1);
+        assert!(fast.rel("Q").contains(&pair("n0", "n4")));
+    }
+
+    #[test]
+    fn random_edge_instances_are_reproducible_and_chaseable() {
+        use compview_logic::{chase, chase_naive, ChaseConfig};
+        let a = random_edge_instance(20, 6, &mut rng(5));
+        let b = random_edge_instance(20, 6, &mut rng(5));
+        assert_eq!(a, b, "deterministic per seed");
+        assert_eq!(a.rel("E").len(), 20);
+        let rules = wide_join_tgds();
+        let cfg = ChaseConfig::default();
+        let fast = chase(&a, &rules, &[], &cfg).unwrap();
+        let slow = chase_naive(&a, &rules, &[], &cfg).unwrap();
+        assert_eq!(fast, slow);
+        assert!(!fast.rel("T").is_empty(), "dense graphs have 3-hop paths");
     }
 
     #[test]

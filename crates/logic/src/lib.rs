@@ -40,6 +40,6 @@ pub use constraint::Constraint;
 pub use dep::{attribute_closure, fd_implies, Fd, Ind, Jd};
 pub use nulls::PathSchema;
 pub use rule::{cst, var, Atom, Egd, Substitution, Term, Tgd, TupleIndex};
-pub use schema::{EnumerationConfig, Schema};
+pub use schema::{EnumerationConfig, LdbDetail, LegalBlock, Schema};
 pub use tree::TreeSchema;
 pub use typealg::{TypeAlgebra, TypeAssignment, TypeExpr};

@@ -211,54 +211,69 @@ impl PathSchema {
     /// Specialised closure: the least relation containing `r` closed under
     /// subsumption and join-completion.
     ///
-    /// Worklist algorithm with endpoint indexes: an object ending at column
-    /// `m` with value `v` composes exactly with objects starting at `(m, v)`.
+    /// Worklist algorithm with **dense** endpoint indexes: endpoint values
+    /// are interned to small ids per call, and the objects starting
+    /// (ending) at column `c` with value id `vid` live in the flat bucket
+    /// `vid * k + c` — one hash per endpoint instead of one per candidate
+    /// lookup, and buckets hold arena ids instead of tuple clones.  An
+    /// object ending at column `m` with value `v` composes exactly with
+    /// objects starting at `(m, v)`.
     ///
     /// # Panics
     /// Panics if `r` contains an illegal (non-contiguous / too-short) tuple.
     pub fn close(&self, r: &Relation) -> Relation {
-        let mut out = Relation::empty(self.arity());
-        // Index objects by (endpoint column, value at that column).
-        let mut starters: HashMap<(usize, Value), Vec<Tuple>> = HashMap::new();
-        let mut enders: HashMap<(usize, Value), Vec<Tuple>> = HashMap::new();
-        let mut work: Vec<Tuple> = Vec::new();
-
-        let push = |t: Tuple, out: &mut Relation, work: &mut Vec<Tuple>| {
-            if out.insert(t.clone()) {
-                work.push(t);
-            }
-        };
+        let k = self.arity();
+        let mut out = Relation::empty(k);
+        let mut index = EndpointIndex::new(k);
+        // Every object ever enqueued, addressed by the ids the buckets hold.
+        let mut arena: Vec<Tuple> = Vec::new();
+        let mut work: Vec<u32> = Vec::new();
 
         for t in r.iter() {
             assert!(
                 self.interval(t).is_some(),
                 "illegal object {t} in path-schema relation"
             );
-            push(t.clone(), &mut out, &mut work);
+            if out.insert(t.clone()) {
+                work.push(arena.len() as u32);
+                arena.push(t.clone());
+            }
         }
 
-        while let Some(t) = work.pop() {
-            let (i, j) = self.interval(&t).expect("already validated");
-            // Subsumption.
-            if j - i >= 2 {
-                push(self.shrink(&t, i, j - 1), &mut out, &mut work);
-                push(self.shrink(&t, i + 1, j), &mut out, &mut work);
-            }
-            // Composition with previously indexed objects.
-            if let Some(rights) = starters.get(&(j, t[j])) {
-                let combos: Vec<Tuple> = rights.iter().map(|u| self.combine(&t, u)).collect();
-                for c in combos {
-                    push(c, &mut out, &mut work);
+        let mut fresh: Vec<Tuple> = Vec::new();
+        while let Some(id) = work.pop() {
+            let (i, j) = self
+                .interval(&arena[id as usize])
+                .expect("already validated");
+            let (svid, evid) = {
+                let t = &arena[id as usize];
+                (index.vid(t[i]), index.vid(t[j]))
+            };
+            {
+                let t = &arena[id as usize];
+                // Subsumption.
+                if j - i >= 2 {
+                    fresh.push(self.shrink(t, i, j - 1));
+                    fresh.push(self.shrink(t, i + 1, j));
+                }
+                // Composition with previously indexed objects: `t` ends at
+                // `(j, t[j])`, so its right partners start there; and starts
+                // at `(i, t[i])`, where its left partners end.
+                for &rid in &index.starters[evid * k + j] {
+                    fresh.push(self.combine(t, &arena[rid as usize]));
+                }
+                for &lid in &index.enders[svid * k + i] {
+                    fresh.push(self.combine(&arena[lid as usize], t));
                 }
             }
-            if let Some(lefts) = enders.get(&(i, t[i])) {
-                let combos: Vec<Tuple> = lefts.iter().map(|u| self.combine(u, &t)).collect();
-                for c in combos {
-                    push(c, &mut out, &mut work);
+            for c in fresh.drain(..) {
+                if out.insert(c.clone()) {
+                    work.push(arena.len() as u32);
+                    arena.push(c);
                 }
             }
-            starters.entry((i, t[i])).or_default().push(t.clone());
-            enders.entry((j, t[j])).or_default().push(t);
+            index.starters[svid * k + i].push(id);
+            index.enders[evid * k + j].push(id);
         }
         out
     }
@@ -305,6 +320,40 @@ impl PathSchema {
                 ps.object(2, &[v("c4"), v("d4")]),
             ],
         )
+    }
+}
+
+/// The dense endpoint indexes of [`PathSchema::close`]: a per-call value
+/// interner plus flat `vid * k + col` buckets of arena ids.
+struct EndpointIndex {
+    ids: HashMap<Value, u32>,
+    starters: Vec<Vec<u32>>,
+    enders: Vec<Vec<u32>>,
+    k: usize,
+}
+
+impl EndpointIndex {
+    fn new(k: usize) -> EndpointIndex {
+        EndpointIndex {
+            ids: HashMap::new(),
+            starters: Vec::new(),
+            enders: Vec::new(),
+            k,
+        }
+    }
+
+    /// Intern `v`, growing both bucket tables by one row of `k` columns
+    /// when the value is new.
+    fn vid(&mut self, v: Value) -> usize {
+        let next = self.ids.len() as u32;
+        let vid = *self.ids.entry(v).or_insert(next);
+        if vid == next {
+            self.starters
+                .resize_with(self.starters.len() + self.k, Vec::new);
+            self.enders
+                .resize_with(self.enders.len() + self.k, Vec::new);
+        }
+        vid as usize
     }
 }
 

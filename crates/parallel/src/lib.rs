@@ -106,6 +106,59 @@ where
     });
 }
 
+/// Run `f(i, &mut items[i])` for every item, sharding the slice across
+/// threads, and collect the per-item results **in index order**.
+///
+/// Each item is visited exactly once by exactly one thread, so `f` may
+/// mutate its item freely; provided `f(i, item)` depends only on `(i,
+/// item)`, both the final slice contents and the returned vector are
+/// identical for every thread count.  Runs inline when one shard suffices.
+///
+/// This is the worker pool of `compview-session`'s batch dispatcher:
+/// sessions are independent `&mut` items, and each serves its own request
+/// queue in order on one worker.
+pub fn sharded_map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let parts = shards(n, threads);
+    if parts.len() <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let mut chunks: Vec<Vec<R>> = Vec::with_capacity(parts.len());
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut handles = Vec::with_capacity(parts.len());
+        for r in &parts {
+            let (head, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let start = r.start;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                head.iter_mut()
+                    .enumerate()
+                    .map(|(i, item)| f(start + i, item))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for h in handles {
+            chunks.push(h.join().expect("sharded_map_mut worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
 /// Find the **lowest** `i` in `0..n` with `f(i) = Some(r)`, in parallel,
 /// with early exit.
 ///
@@ -205,5 +258,22 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn sharded_map_mut_mutates_and_collects_in_order() {
+        let reference: Vec<usize> = (0..100).map(|i| i * 3).collect();
+        for t in [1usize, 2, 3, 8, 17] {
+            let mut items: Vec<usize> = (0..100).collect();
+            let out = sharded_map_mut(&mut items, t, |i, x| {
+                *x *= 3;
+                i * 3
+            });
+            assert_eq!(items, reference);
+            assert_eq!(out, reference);
+        }
+        // Empty slice.
+        let mut empty: Vec<usize> = Vec::new();
+        assert!(sharded_map_mut(&mut empty, 4, |_, _| 0).is_empty());
     }
 }

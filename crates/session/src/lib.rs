@@ -1,0 +1,626 @@
+//! # compview-session
+//!
+//! A multi-session **view-update service** layered on `compview-core`:
+//! the paper's machinery packaged the way a deployment would actually
+//! consume it under sustained traffic.
+//!
+//! Each [`Session`] owns a schema, its tuple pools, an enumerated
+//! [`StateSpace`], a [`Catalog`] of registered component views, and a
+//! typed request interface ([`SessionRequest`]).  Three properties make
+//! it a service rather than a demo:
+//!
+//! * **Incremental state-space maintenance** — pool edits
+//!   ([`SessionRequest::InsertPoolTuple`] / `RemovePoolTuple`) patch the
+//!   LDB enumeration and ↓-poset in place through
+//!   [`StateSpace::insert_tuple`] / [`StateSpace::remove_tuple`] instead
+//!   of re-enumerating, with an optional cross-validation mode that
+//!   asserts the patched space is byte-identical to a fresh enumeration.
+//! * **Component caching** — the per-view strong endomorphisms (state →
+//!   state maps on the space) are computed once per mask, verified to be
+//!   strong endomorphisms (Thm 2.3.3's characterisation — an arbitrary
+//!   [`ComponentFamily`] implementation is *checked*, not trusted), and
+//!   invalidated precisely when a pool edit changes the space.
+//! * **Exception safety** — every rejected request leaves the session
+//!   state untouched and is tallied per error variant in
+//!   [`SessionStats`]; [`SessionRequest::Stats`] exposes the counters.
+//!
+//! [`service::Service`] multiplexes named sessions and dispatches request
+//! batches across them on the deterministic `compview-parallel` worker
+//! pool: per-session request order is preserved, sessions are
+//! independent, so results are byte-identical for every thread count.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod service;
+
+pub use service::{DispatchError, Service, ServiceError};
+
+use compview_core::{
+    Catalog, CatalogError, ComponentFamily, EditError, EditReport, StateSpace, UpdateReport,
+};
+use compview_lattice::endo;
+use compview_logic::{EnumerationConfig, Schema};
+use compview_relation::{Instance, Tuple};
+use std::collections::BTreeMap;
+
+/// Tuning knobs of a [`Session`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Service pool edits through the incremental `StateSpace` patches
+    /// (`false` falls back to full re-enumeration on every edit).
+    pub incremental: bool,
+    /// After every incremental edit, compare the patched space against a
+    /// fresh enumeration; on mismatch, repair by rebuilding.  Expensive —
+    /// meant for soak tests and debugging, not production paths.
+    pub cross_validate: bool,
+    /// Enumeration guard: inserts that would push the raw pool bits past
+    /// this are rejected with [`EditError::TooLarge`].
+    pub max_bits: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            incremental: true,
+            cross_validate: false,
+            max_bits: 28,
+        }
+    }
+}
+
+/// Per-session observability counters.  All counters are cumulative over
+/// the session's lifetime; [`SessionRequest::Stats`] returns them inside
+/// a [`StatsSnapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests served (accepted + rejected).
+    pub requests: u64,
+    /// Requests that returned a response.
+    pub accepted: u64,
+    /// Requests that returned an error.
+    pub rejected: u64,
+    /// Component-endomorphism cache hits.
+    pub cache_hits: u64,
+    /// Component-endomorphism cache misses (maps computed).
+    pub cache_misses: u64,
+    /// Pool edits serviced by the incremental patch path.
+    pub incremental_edits: u64,
+    /// Pool edits serviced by full re-enumeration (including
+    /// cross-validation repairs).
+    pub full_rebuilds: u64,
+    /// Rejections tallied by error variant label.
+    pub rejected_by_variant: BTreeMap<String, u64>,
+}
+
+/// The answer to [`SessionRequest::Stats`]: counters plus a snapshot of
+/// the session's current shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Cumulative counters over the requests completed before this one.
+    pub counters: SessionStats,
+    /// States in the current space.
+    pub states: usize,
+    /// Registered views.
+    pub views: usize,
+    /// Updates currently undoable.
+    pub undoable: usize,
+    /// Masks with cached endomorphism maps.
+    pub cached_masks: usize,
+}
+
+/// A typed request against one session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionRequest {
+    /// Register `name` as the component view with the given atom mask.
+    RegisterView {
+        /// View name.
+        name: String,
+        /// Component mask.
+        mask: u32,
+    },
+    /// Read a registered view's current state.
+    Read {
+        /// View name.
+        view: String,
+    },
+    /// Replace a view's state through constant-complement translation.
+    Update {
+        /// View name.
+        view: String,
+        /// The requested new view state.
+        new_state: Instance,
+    },
+    /// Grow a relation's tuple pool (the space gains states).
+    InsertPoolTuple {
+        /// Relation name.
+        relation: String,
+        /// The tuple to add to the pool.
+        tuple: Tuple,
+    },
+    /// Shrink a relation's tuple pool (the space loses states).
+    RemovePoolTuple {
+        /// Relation name.
+        relation: String,
+        /// The tuple to remove from the pool.
+        tuple: Tuple,
+    },
+    /// Undo the most recent accepted update.
+    Undo,
+    /// Snapshot the observability counters.
+    Stats,
+}
+
+impl SessionRequest {
+    /// Short label for logs and tallies.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionRequest::RegisterView { .. } => "RegisterView",
+            SessionRequest::Read { .. } => "Read",
+            SessionRequest::Update { .. } => "Update",
+            SessionRequest::InsertPoolTuple { .. } => "InsertPoolTuple",
+            SessionRequest::RemovePoolTuple { .. } => "RemovePoolTuple",
+            SessionRequest::Undo => "Undo",
+            SessionRequest::Stats => "Stats",
+        }
+    }
+}
+
+/// A successful answer to a [`SessionRequest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionResponse {
+    /// The view was registered; its strong complement's mask is included.
+    Registered {
+        /// View name.
+        view: String,
+        /// The registered mask.
+        mask: u32,
+        /// The complementary mask (Thm 2.3.3(b)).
+        complement: u32,
+    },
+    /// A view state.
+    State(Instance),
+    /// An accepted update.
+    Updated(UpdateReport),
+    /// An accepted pool edit.
+    PoolEdited(EditReport),
+    /// The last update was undone.
+    Undone,
+    /// The counters.
+    Stats(StatsSnapshot),
+}
+
+/// A rejected [`SessionRequest`].  Every rejection leaves the session
+/// exactly as it was.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// Catalog-level rejection (unknown/duplicate view, bad mask, illegal
+    /// view state, empty history).
+    Catalog(CatalogError),
+    /// Pool-edit rejection from the state space.
+    Edit(EditError),
+    /// The mask's endomorphism is not a component of the current space:
+    /// an image escapes the space, or the map is not a strong
+    /// endomorphism of the ↓-poset.
+    NotAComponent {
+        /// The offending mask.
+        mask: u32,
+        /// What failed.
+        detail: String,
+    },
+    /// Removing this tuple would invalidate the current base state.
+    TupleInBaseState {
+        /// The relation whose pool was being edited.
+        relation: String,
+    },
+    /// An accepted translation produced a state outside the enumerated
+    /// space (the update was rolled back).
+    StateOutsideSpace {
+        /// The view that was being updated.
+        view: String,
+    },
+}
+
+impl SessionError {
+    /// The variant label used as the key of
+    /// [`SessionStats::rejected_by_variant`].
+    pub fn variant_label(&self) -> &'static str {
+        match self {
+            SessionError::Catalog(CatalogError::UnknownView(_)) => "Catalog::UnknownView",
+            SessionError::Catalog(CatalogError::DuplicateView(_)) => "Catalog::DuplicateView",
+            SessionError::Catalog(CatalogError::BadMask(_)) => "Catalog::BadMask",
+            SessionError::Catalog(CatalogError::IllegalViewState(_)) => "Catalog::IllegalViewState",
+            SessionError::Catalog(CatalogError::EmptyHistory) => "Catalog::EmptyHistory",
+            SessionError::Edit(EditError::NotEditable) => "Edit::NotEditable",
+            SessionError::Edit(EditError::UnknownRelation(_)) => "Edit::UnknownRelation",
+            SessionError::Edit(EditError::ArityMismatch { .. }) => "Edit::ArityMismatch",
+            SessionError::Edit(EditError::DuplicateTuple { .. }) => "Edit::DuplicateTuple",
+            SessionError::Edit(EditError::MissingTuple { .. }) => "Edit::MissingTuple",
+            SessionError::Edit(EditError::TooLarge { .. }) => "Edit::TooLarge",
+            SessionError::NotAComponent { .. } => "NotAComponent",
+            SessionError::TupleInBaseState { .. } => "TupleInBaseState",
+            SessionError::StateOutsideSpace { .. } => "StateOutsideSpace",
+        }
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Catalog(e) => write!(f, "catalog: {e}"),
+            SessionError::Edit(e) => write!(f, "pool edit: {e}"),
+            SessionError::NotAComponent { mask, detail } => {
+                write!(
+                    f,
+                    "mask {mask:#b} is not a component of this space: {detail}"
+                )
+            }
+            SessionError::TupleInBaseState { relation } => {
+                write!(
+                    f,
+                    "tuple is in the base state's {relation:?}; update the owning view first"
+                )
+            }
+            SessionError::StateOutsideSpace { view } => {
+                write!(
+                    f,
+                    "update of {view:?} left the enumerated space; rolled back"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CatalogError> for SessionError {
+    fn from(e: CatalogError) -> SessionError {
+        SessionError::Catalog(e)
+    }
+}
+
+impl From<EditError> for SessionError {
+    fn from(e: EditError) -> SessionError {
+        SessionError::Edit(e)
+    }
+}
+
+/// One client's view-update session: schema + pools + enumerated space +
+/// registered component views + counters.
+///
+/// # Examples
+///
+/// ```
+/// use compview_core::SubschemaComponents;
+/// use compview_logic::Schema;
+/// use compview_relation::{v, Instance, RelDecl, Signature, Tuple};
+/// use compview_session::{Session, SessionConfig, SessionRequest, SessionResponse};
+/// use std::collections::BTreeMap;
+///
+/// let sig = Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["A"])]);
+/// let pools: BTreeMap<String, Vec<Tuple>> = [
+///     ("R".to_owned(), vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])]),
+///     ("S".to_owned(), vec![Tuple::new([v("b1")])]),
+/// ]
+/// .into();
+/// let mut session = Session::open(
+///     SubschemaComponents::singletons(sig.clone()),
+///     Schema::unconstrained(sig.clone()),
+///     &pools,
+///     Instance::null_model(&sig),
+///     SessionConfig::default(),
+/// )
+/// .unwrap();
+///
+/// session
+///     .serve(SessionRequest::RegisterView { name: "r".into(), mask: 0b01 })
+///     .unwrap();
+/// let resp = session.serve(SessionRequest::Read { view: "r".into() }).unwrap();
+/// assert!(matches!(resp, SessionResponse::State(_)));
+/// ```
+pub struct Session<F: ComponentFamily + Sync> {
+    catalog: Catalog<F>,
+    space: StateSpace,
+    base_id: usize,
+    /// mask → (state → state) strong-endomorphism map on the space.
+    cache: BTreeMap<u32, Vec<usize>>,
+    config: SessionConfig,
+    stats: SessionStats,
+}
+
+impl<F: ComponentFamily + Sync> Session<F> {
+    /// Open a session: enumerate the space from `pools` and seat `base`
+    /// in it.
+    ///
+    /// # Errors
+    /// [`SessionError::StateOutsideSpace`] when `base` is not a legal
+    /// state of the enumerated space.
+    ///
+    /// # Panics
+    /// Panics (from [`Catalog::new`]) if `base` does not decompose
+    /// losslessly along the family, or (from the enumerator) if the pools
+    /// exceed `config.max_bits`.
+    pub fn open(
+        family: F,
+        schema: Schema,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        base: Instance,
+        config: SessionConfig,
+    ) -> Result<Session<F>, SessionError> {
+        let ecfg = EnumerationConfig {
+            max_bits: config.max_bits,
+            threads: compview_parallel::num_threads(),
+        };
+        let space = StateSpace::enumerate_with(schema, pools, &ecfg);
+        let base_id = space.id_of(&base).ok_or(SessionError::StateOutsideSpace {
+            view: "<base>".to_owned(),
+        })?;
+        Ok(Session {
+            catalog: Catalog::new(family, base),
+            space,
+            base_id,
+            cache: BTreeMap::new(),
+            config,
+            stats: SessionStats::default(),
+        })
+    }
+
+    /// Serve one request, updating the counters.  A [`SessionRequest::Stats`]
+    /// snapshot reflects the requests *completed before it*.
+    pub fn serve(&mut self, req: SessionRequest) -> Result<SessionResponse, SessionError> {
+        let outcome = self.handle(req);
+        self.stats.requests += 1;
+        match outcome {
+            Ok(resp) => {
+                self.stats.accepted += 1;
+                Ok(resp)
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                *self
+                    .stats
+                    .rejected_by_variant
+                    .entry(e.variant_label().to_owned())
+                    .or_insert(0) += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn handle(&mut self, req: SessionRequest) -> Result<SessionResponse, SessionError> {
+        match req {
+            SessionRequest::RegisterView { name, mask } => self.register_view(name, mask),
+            SessionRequest::Read { view } => self.read(&view),
+            SessionRequest::Update { view, new_state } => self.update(&view, &new_state),
+            SessionRequest::InsertPoolTuple { relation, tuple } => {
+                self.insert_pool_tuple(&relation, tuple)
+            }
+            SessionRequest::RemovePoolTuple { relation, tuple } => {
+                self.remove_pool_tuple(&relation, &tuple)
+            }
+            SessionRequest::Undo => self.undo(),
+            SessionRequest::Stats => Ok(SessionResponse::Stats(self.snapshot())),
+        }
+    }
+
+    fn register_view(&mut self, name: String, mask: u32) -> Result<SessionResponse, SessionError> {
+        let full = self.catalog.family().full_mask();
+        if mask & !full != 0 {
+            return Err(CatalogError::BadMask(mask).into());
+        }
+        if self.catalog.mask_of(&name).is_ok() {
+            return Err(CatalogError::DuplicateView(name).into());
+        }
+        // Verify componentness *before* registering: both the view's endo
+        // and its complement's must be strong endomorphisms of the space.
+        let complement = self.catalog.family().complement(mask);
+        self.ensure_cached(mask)?;
+        self.ensure_cached(complement)?;
+        self.catalog.register(&name, mask).expect("validated above");
+        Ok(SessionResponse::Registered {
+            view: name,
+            mask,
+            complement,
+        })
+    }
+
+    fn read(&mut self, view: &str) -> Result<SessionResponse, SessionError> {
+        let mask = self.catalog.mask_of(view)?;
+        self.ensure_cached(mask)?;
+        let part = self.space.state(self.cache[&mask][self.base_id]).clone();
+        debug_assert_eq!(
+            part,
+            self.catalog.read(view).expect("view exists"),
+            "cached endo disagrees with the family"
+        );
+        Ok(SessionResponse::State(part))
+    }
+
+    fn update(
+        &mut self,
+        view: &str,
+        new_state: &Instance,
+    ) -> Result<SessionResponse, SessionError> {
+        let report = self.catalog.update(view, new_state)?;
+        match self.space.id_of(self.catalog.state()) {
+            Some(id) => {
+                self.base_id = id;
+                Ok(SessionResponse::Updated(report))
+            }
+            None => {
+                // The family accepted a target whose translation is not a
+                // state of the enumerated space (e.g. a tuple outside the
+                // pool).  Roll the catalog back; the session is untouched.
+                self.catalog.undo().expect("update just succeeded");
+                Err(SessionError::StateOutsideSpace {
+                    view: view.to_owned(),
+                })
+            }
+        }
+    }
+
+    fn insert_pool_tuple(
+        &mut self,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<SessionResponse, SessionError> {
+        let report = if self.config.incremental {
+            let r = self.space.insert_tuple(relation, tuple)?;
+            self.stats.incremental_edits += 1;
+            self.after_incremental_edit();
+            r
+        } else {
+            let r = self.space.insert_tuple_full(relation, tuple)?;
+            self.stats.full_rebuilds += 1;
+            r
+        };
+        // Inserts only add states, so undo targets stay legal; the cache
+        // is stale either way (state ids shifted).
+        self.cache.clear();
+        self.reseat_base();
+        Ok(SessionResponse::PoolEdited(report))
+    }
+
+    fn remove_pool_tuple(
+        &mut self,
+        relation: &str,
+        tuple: &Tuple,
+    ) -> Result<SessionResponse, SessionError> {
+        // Reject edits that would delete the ground under the base state
+        // *before* touching the space.
+        let pools = self.space.pools().ok_or(EditError::NotEditable)?;
+        if pools.contains_key(relation) && self.catalog.state().rel(relation).contains(tuple) {
+            return Err(SessionError::TupleInBaseState {
+                relation: relation.to_owned(),
+            });
+        }
+        let report = if self.config.incremental {
+            let r = self.space.remove_tuple(relation, tuple)?;
+            self.stats.incremental_edits += 1;
+            self.after_incremental_edit();
+            r
+        } else {
+            let r = self.space.remove_tuple_full(relation, tuple)?;
+            self.stats.full_rebuilds += 1;
+            r
+        };
+        self.cache.clear();
+        // Removal can delete states the undo history points at; drop it
+        // (the audit log survives).
+        self.catalog.clear_history();
+        self.reseat_base();
+        Ok(SessionResponse::PoolEdited(report))
+    }
+
+    /// Cross-validate a just-patched space when configured; repair by
+    /// rebuilding on mismatch.
+    fn after_incremental_edit(&mut self) {
+        if self.config.cross_validate {
+            if let Err(e) = self.space.validate_against_full() {
+                debug_assert!(false, "incremental edit diverged: {e}");
+                self.space.rebuild().expect("space is editable");
+                self.stats.full_rebuilds += 1;
+            }
+        }
+    }
+
+    /// Re-resolve the base state's id after the space changed shape.
+    fn reseat_base(&mut self) {
+        self.base_id = self.space.expect_id(self.catalog.state());
+    }
+
+    fn undo(&mut self) -> Result<SessionResponse, SessionError> {
+        self.catalog.undo()?;
+        self.reseat_base();
+        Ok(SessionResponse::Undone)
+    }
+
+    /// Compute (or reuse) the endomorphism map of `mask` and verify it is
+    /// a strong endomorphism of the space's ↓-poset.
+    fn ensure_cached(&mut self, mask: u32) -> Result<(), SessionError> {
+        if self.cache.contains_key(&mask) {
+            self.stats.cache_hits += 1;
+            return Ok(());
+        }
+        self.stats.cache_misses += 1;
+        let map = {
+            let family = self.catalog.family();
+            let space = &self.space;
+            let results: Vec<Result<usize, SessionError>> = compview_parallel::sharded_collect(
+                space.len(),
+                compview_parallel::num_threads(),
+                |range| {
+                    range
+                        .map(|s| {
+                            let image = family.endo(mask, space.state(s));
+                            space
+                                .id_of(&image)
+                                .ok_or_else(|| SessionError::NotAComponent {
+                                    mask,
+                                    detail: format!("endo image of state {s} escapes the space"),
+                                })
+                        })
+                        .collect()
+                },
+            );
+            let mut map = Vec::with_capacity(space.len());
+            for r in results {
+                map.push(r?);
+            }
+            map
+        };
+        if !endo::is_strong_endo(self.space.poset(), &map) {
+            return Err(SessionError::NotAComponent {
+                mask,
+                detail: "endo map is not a strong endomorphism of the ↓-poset".to_owned(),
+            });
+        }
+        self.cache.insert(mask, map);
+        Ok(())
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: self.stats.clone(),
+            states: self.space.len(),
+            views: self.catalog.views().count(),
+            undoable: self.catalog.undoable(),
+            cached_masks: self.cache.len(),
+        }
+    }
+
+    /// The current base state.
+    pub fn state(&self) -> &Instance {
+        self.catalog.state()
+    }
+
+    /// The current base state's id in the space.
+    pub fn base_id(&self) -> usize {
+        self.base_id
+    }
+
+    /// The enumerated state space.
+    pub fn space(&self) -> &StateSpace {
+        &self.space
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog<F> {
+        &self.catalog
+    }
+
+    /// The cumulative counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Drop all cached endomorphism maps (they are rebuilt on demand).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+}

@@ -1,0 +1,171 @@
+//! A multi-session front end: named [`Session`]s and deterministic
+//! batch dispatch over the `compview-parallel` worker pool.
+//!
+//! Sessions are fully independent (each owns its schema, pools, space,
+//! and views), so a batch of requests can be fanned out across sessions
+//! concurrently.  Determinism contract: per-session request order is the
+//! batch order, and session handling is sequential within a session, so
+//! the result vector is **byte-identical for every thread count**.
+
+use crate::{Session, SessionError, SessionRequest, SessionResponse};
+use compview_core::ComponentFamily;
+use std::collections::BTreeMap;
+
+/// Session-management errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No session registered under this name.
+    UnknownSession(String),
+    /// A session with this name already exists.
+    DuplicateSession(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession(n) => write!(f, "unknown session {n:?}"),
+            ServiceError::DuplicateSession(n) => write!(f, "session {n:?} already open"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Why one request of a batch failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DispatchError {
+    /// The request named a session the service does not have.
+    UnknownSession(String),
+    /// The session rejected the request.
+    Session(SessionError),
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::UnknownSession(n) => write!(f, "unknown session {n:?}"),
+            DispatchError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+/// A set of named sessions over one component-family type.
+pub struct Service<F: ComponentFamily + Send + Sync> {
+    sessions: BTreeMap<String, Session<F>>,
+}
+
+impl<F: ComponentFamily + Send + Sync> Default for Service<F> {
+    fn default() -> Service<F> {
+        Service::new()
+    }
+}
+
+impl<F: ComponentFamily + Send + Sync> Service<F> {
+    /// An empty service.
+    pub fn new() -> Service<F> {
+        Service {
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// Attach an opened session under `name`.
+    ///
+    /// # Errors
+    /// [`ServiceError::DuplicateSession`] when the name is taken (the
+    /// offered session is dropped).
+    pub fn add_session<S: Into<String>>(
+        &mut self,
+        name: S,
+        session: Session<F>,
+    ) -> Result<(), ServiceError> {
+        let name = name.into();
+        if self.sessions.contains_key(&name) {
+            return Err(ServiceError::DuplicateSession(name));
+        }
+        self.sessions.insert(name, session);
+        Ok(())
+    }
+
+    /// Close and return a session.
+    pub fn remove_session(&mut self, name: &str) -> Result<Session<F>, ServiceError> {
+        self.sessions
+            .remove(name)
+            .ok_or_else(|| ServiceError::UnknownSession(name.to_owned()))
+    }
+
+    /// Borrow a session.
+    pub fn session(&self, name: &str) -> Option<&Session<F>> {
+        self.sessions.get(name)
+    }
+
+    /// Borrow a session mutably (for direct `serve` calls).
+    pub fn session_mut(&mut self, name: &str) -> Option<&mut Session<F>> {
+        self.sessions.get_mut(name)
+    }
+
+    /// Open session names, in order.
+    pub fn session_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.sessions.keys().map(String::as_str)
+    }
+
+    /// Serve one request against one session.
+    pub fn serve(
+        &mut self,
+        session: &str,
+        req: SessionRequest,
+    ) -> Result<SessionResponse, DispatchError> {
+        let s = self
+            .sessions
+            .get_mut(session)
+            .ok_or_else(|| DispatchError::UnknownSession(session.to_owned()))?;
+        s.serve(req).map_err(DispatchError::Session)
+    }
+
+    /// Dispatch a batch of `(session, request)` pairs across the worker
+    /// pool.  Results come back in batch order; requests to the same
+    /// session are served in batch order; sessions run concurrently.
+    /// The output is identical for every thread count.
+    pub fn dispatch(
+        &mut self,
+        batch: Vec<(String, SessionRequest)>,
+    ) -> Vec<Result<SessionResponse, DispatchError>> {
+        let mut out: Vec<Option<Result<SessionResponse, DispatchError>>> =
+            batch.iter().map(|_| None).collect();
+        // Per-session queues, preserving batch order.
+        let mut queues: BTreeMap<String, Vec<(usize, SessionRequest)>> = BTreeMap::new();
+        for (pos, (name, req)) in batch.into_iter().enumerate() {
+            if self.sessions.contains_key(&name) {
+                queues.entry(name).or_default().push((pos, req));
+            } else {
+                out[pos] = Some(Err(DispatchError::UnknownSession(name)));
+            }
+        }
+        type Queued<'a, F> = (&'a mut Session<F>, Vec<(usize, SessionRequest)>);
+        let mut work: Vec<Queued<'_, F>> = Vec::new();
+        for (name, session) in self.sessions.iter_mut() {
+            if let Some(q) = queues.remove(name) {
+                work.push((session, q));
+            }
+        }
+        let results = compview_parallel::sharded_map_mut(
+            &mut work,
+            compview_parallel::num_threads(),
+            |_, (session, queue)| {
+                queue
+                    .iter()
+                    .map(|(pos, req)| (*pos, session.serve(req.clone())))
+                    .collect::<Vec<_>>()
+            },
+        );
+        for chunk in results {
+            for (pos, r) in chunk {
+                out[pos] = Some(r.map_err(DispatchError::Session));
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every batch position answered"))
+            .collect()
+    }
+}

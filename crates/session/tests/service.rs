@@ -1,0 +1,703 @@
+//! Session and service contract tests: every request variant's failure
+//! path leaves the session untouched with consistent counters, the
+//! incremental and full-rebuild edit paths are observably equivalent,
+//! and batch dispatch is thread-count invariant.
+
+use compview_core::{CatalogError, ComponentFamily, EditError, SubschemaComponents};
+use compview_logic::Schema;
+use compview_relation::{rel, v, Instance, RelDecl, Relation, Signature, Tuple};
+use compview_session::{
+    DispatchError, Service, Session, SessionConfig, SessionError, SessionRequest, SessionResponse,
+    SessionStats,
+};
+use std::collections::BTreeMap;
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["A"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+        ),
+        ("S".to_owned(), vec![Tuple::new([v("b1")])]),
+    ]
+    .into()
+}
+
+fn open(config: SessionConfig) -> Session<SubschemaComponents> {
+    let sig = sig();
+    Session::open(
+        SubschemaComponents::singletons(sig.clone()),
+        Schema::unconstrained(sig.clone()),
+        &pools(),
+        Instance::null_model(&sig).with("R", rel(1, [["a1"]])),
+        config,
+    )
+    .unwrap()
+}
+
+fn register(s: &mut Session<SubschemaComponents>, name: &str, mask: u32) {
+    s.serve(SessionRequest::RegisterView {
+        name: name.into(),
+        mask,
+    })
+    .unwrap();
+}
+
+fn assert_consistent(stats: &SessionStats) {
+    assert_eq!(stats.requests, stats.accepted + stats.rejected);
+    assert_eq!(
+        stats.rejected_by_variant.values().sum::<u64>(),
+        stats.rejected
+    );
+}
+
+/// Serve a request expected to fail; assert the error and that nothing
+/// about the session moved except the rejection counters.
+fn assert_rejected(
+    s: &mut Session<SubschemaComponents>,
+    req: SessionRequest,
+    want_label: &str,
+) -> SessionError {
+    let state = s.state().clone();
+    let base_id = s.base_id();
+    let n_states = s.space().len();
+    let views = s.catalog().views().count();
+    let undoable = s.catalog().undoable();
+    let rejected_before = s.stats().rejected;
+    let variant_before = s
+        .stats()
+        .rejected_by_variant
+        .get(want_label)
+        .copied()
+        .unwrap_or(0);
+
+    let err = s.serve(req).unwrap_err();
+    assert_eq!(err.variant_label(), want_label, "{err}");
+    assert_eq!(s.state(), &state, "state moved on rejection");
+    assert_eq!(s.base_id(), base_id, "base id moved on rejection");
+    assert_eq!(s.space().len(), n_states, "space changed on rejection");
+    assert_eq!(s.catalog().views().count(), views, "views changed");
+    assert_eq!(s.catalog().undoable(), undoable, "history changed");
+    assert_eq!(s.stats().rejected, rejected_before + 1);
+    assert_eq!(
+        s.stats().rejected_by_variant.get(want_label).copied(),
+        Some(variant_before + 1)
+    );
+    assert_consistent(s.stats());
+    err
+}
+
+// ------------------------------------------------------------ happy path
+
+#[test]
+fn register_read_update_undo_round_trip() {
+    let mut s = open(SessionConfig::default());
+    assert_eq!(s.space().len(), 8); // 2² R-subsets × 2 S-subsets
+
+    let resp = s
+        .serve(SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b01,
+        })
+        .unwrap();
+    assert_eq!(
+        resp,
+        SessionResponse::Registered {
+            view: "r".into(),
+            mask: 0b01,
+            complement: 0b10,
+        }
+    );
+
+    // First read after registration hits the cache built by registration.
+    let misses = s.stats().cache_misses;
+    let SessionResponse::State(part) = s.serve(SessionRequest::Read { view: "r".into() }).unwrap()
+    else {
+        panic!("read returns a state");
+    };
+    assert_eq!(part.rel("R"), &rel(1, [["a1"]]));
+    assert!(part.rel("S").is_empty());
+    assert_eq!(s.stats().cache_misses, misses, "read reused the cache");
+    assert!(s.stats().cache_hits > 0);
+
+    // Update: swap a1 for a2.
+    let target = Instance::null_model(&sig()).with("R", rel(1, [["a2"]]));
+    let SessionResponse::Updated(report) = s
+        .serve(SessionRequest::Update {
+            view: "r".into(),
+            new_state: target,
+        })
+        .unwrap()
+    else {
+        panic!("update returns a report");
+    };
+    assert_eq!(report.requested_delta, 2);
+    assert_eq!(s.state().rel("R"), &rel(1, [["a2"]]));
+    assert_eq!(s.state(), s.space().state(s.base_id()));
+
+    // Undo restores.
+    assert_eq!(
+        s.serve(SessionRequest::Undo).unwrap(),
+        SessionResponse::Undone
+    );
+    assert_eq!(s.state().rel("R"), &rel(1, [["a1"]]));
+
+    let SessionResponse::Stats(snap) = s.serve(SessionRequest::Stats).unwrap() else {
+        panic!("stats returns a snapshot");
+    };
+    assert_eq!(
+        snap.counters.requests, 4,
+        "snapshot precedes its own request"
+    );
+    assert_eq!(snap.counters.accepted, 4);
+    assert_eq!(snap.counters.rejected, 0);
+    assert_eq!(snap.states, 8);
+    assert_eq!(snap.views, 1);
+    assert_eq!(snap.undoable, 0);
+    assert_consistent(&snap.counters);
+}
+
+#[test]
+fn pool_edits_patch_the_space_and_invalidate_the_cache() {
+    let mut s = open(SessionConfig {
+        cross_validate: true,
+        ..SessionConfig::default()
+    });
+    register(&mut s, "r", 0b01);
+
+    // Insert grows the space 8 → 16 and keeps the base seated.
+    let SessionResponse::PoolEdited(report) = s
+        .serve(SessionRequest::InsertPoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a3")]),
+        })
+        .unwrap()
+    else {
+        panic!("pool edit returns a report");
+    };
+    assert_eq!(report.states_before, 8);
+    assert_eq!(report.states_after, 16);
+    assert_eq!(s.stats().incremental_edits, 1);
+    assert_eq!(
+        s.stats().full_rebuilds,
+        0,
+        "cross-validation found no drift"
+    );
+    assert_eq!(s.state(), s.space().state(s.base_id()));
+
+    // The cache was invalidated: the next read recomputes.
+    let misses = s.stats().cache_misses;
+    s.serve(SessionRequest::Read { view: "r".into() }).unwrap();
+    assert_eq!(s.stats().cache_misses, misses + 1);
+
+    // The new tuple is a legal update target now.
+    let target = Instance::null_model(&sig()).with("R", rel(1, [["a1"], ["a3"]]));
+    s.serve(SessionRequest::Update {
+        view: "r".into(),
+        new_state: target,
+    })
+    .unwrap();
+    assert_eq!(s.state().rel("R"), &rel(1, [["a1"], ["a3"]]));
+
+    // Removing a3 is blocked while the base state holds it …
+    assert_rejected(
+        &mut s,
+        SessionRequest::RemovePoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a3")]),
+        },
+        "TupleInBaseState",
+    );
+    // … until the owning view lets go of it.
+    s.serve(SessionRequest::Update {
+        view: "r".into(),
+        new_state: Instance::null_model(&sig()).with("R", rel(1, [["a1"]])),
+    })
+    .unwrap();
+    let SessionResponse::PoolEdited(report) = s
+        .serve(SessionRequest::RemovePoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a3")]),
+        })
+        .unwrap()
+    else {
+        panic!("pool edit returns a report");
+    };
+    assert_eq!((report.states_before, report.states_after), (16, 8));
+    assert_eq!(s.state(), s.space().state(s.base_id()));
+
+    // Removal dropped the undo history (its targets may be gone).
+    assert_rejected(&mut s, SessionRequest::Undo, "Catalog::EmptyHistory");
+}
+
+// -------------------------------------------------- failure paths, typed
+
+#[test]
+fn register_view_failure_paths() {
+    let mut s = open(SessionConfig::default());
+    register(&mut s, "r", 0b01);
+    assert_rejected(
+        &mut s,
+        SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b10,
+        },
+        "Catalog::DuplicateView",
+    );
+    assert_rejected(
+        &mut s,
+        SessionRequest::RegisterView {
+            name: "huge".into(),
+            mask: 0b100,
+        },
+        "Catalog::BadMask",
+    );
+}
+
+#[test]
+fn read_and_update_failure_paths() {
+    let mut s = open(SessionConfig::default());
+    register(&mut s, "r", 0b01);
+
+    assert_rejected(
+        &mut s,
+        SessionRequest::Read {
+            view: "nope".into(),
+        },
+        "Catalog::UnknownView",
+    );
+    assert_rejected(
+        &mut s,
+        SessionRequest::Update {
+            view: "nope".into(),
+            new_state: Instance::null_model(&sig()),
+        },
+        "Catalog::UnknownView",
+    );
+    // A state with the complement's relation bound is not a component
+    // state of `r`.
+    assert_rejected(
+        &mut s,
+        SessionRequest::Update {
+            view: "r".into(),
+            new_state: Instance::null_model(&sig()).with("S", rel(1, [["b1"]])),
+        },
+        "Catalog::IllegalViewState",
+    );
+    // A legal component state made of tuples outside the pool translates
+    // fine but lands outside the enumerated space: rolled back.
+    let err = assert_rejected(
+        &mut s,
+        SessionRequest::Update {
+            view: "r".into(),
+            new_state: Instance::null_model(&sig()).with("R", rel(1, [["zz"]])),
+        },
+        "StateOutsideSpace",
+    );
+    assert_eq!(err, SessionError::StateOutsideSpace { view: "r".into() });
+}
+
+#[test]
+fn pool_edit_failure_paths() {
+    let mut s = open(SessionConfig::default());
+    register(&mut s, "r", 0b01);
+
+    assert_rejected(
+        &mut s,
+        SessionRequest::InsertPoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a1")]),
+        },
+        "Edit::DuplicateTuple",
+    );
+    assert_rejected(
+        &mut s,
+        SessionRequest::InsertPoolTuple {
+            relation: "T".into(),
+            tuple: Tuple::new([v("a1")]),
+        },
+        "Edit::UnknownRelation",
+    );
+    assert_rejected(
+        &mut s,
+        SessionRequest::InsertPoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a1"), v("a2")]),
+        },
+        "Edit::ArityMismatch",
+    );
+    assert_rejected(
+        &mut s,
+        SessionRequest::RemovePoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("zz")]),
+        },
+        "Edit::MissingTuple",
+    );
+    assert_rejected(
+        &mut s,
+        SessionRequest::RemovePoolTuple {
+            relation: "T".into(),
+            tuple: Tuple::new([v("a1")]),
+        },
+        "Edit::UnknownRelation",
+    );
+    assert_rejected(
+        &mut s,
+        SessionRequest::RemovePoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a1")]),
+        },
+        "TupleInBaseState",
+    );
+    assert_rejected(&mut s, SessionRequest::Undo, "Catalog::EmptyHistory");
+}
+
+#[test]
+fn insert_past_enumeration_guard_is_rejected() {
+    // Pools carry 3 bits; a guard of 3 leaves no headroom.
+    let mut s = open(SessionConfig {
+        max_bits: 3,
+        ..SessionConfig::default()
+    });
+    let err = assert_rejected(
+        &mut s,
+        SessionRequest::InsertPoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a3")]),
+        },
+        "Edit::TooLarge",
+    );
+    assert_eq!(
+        err,
+        SessionError::Edit(EditError::TooLarge {
+            bits: 4,
+            max_bits: 3
+        })
+    );
+}
+
+// --------------------------------------------- componentness is checked
+
+/// A family that passes `Catalog::new`'s losslessness check but whose
+/// proper masks are broken: mask `0b01` swaps the two pool tuples (not
+/// idempotent — not a strong endomorphism), mask `0b10` maps outside the
+/// space.
+struct BrokenFamily;
+
+impl ComponentFamily for BrokenFamily {
+    fn n_atoms(&self) -> usize {
+        2
+    }
+    fn relations(&self) -> Vec<String> {
+        vec!["R".into()]
+    }
+    fn endo(&self, mask: u32, base: &Instance) -> Instance {
+        match mask {
+            0b11 => base.clone(),
+            0b01 => {
+                // Swap a1 ↔ a2.
+                let swapped = Relation::from_tuples(
+                    1,
+                    base.rel("R").iter().map(|t| {
+                        if t == &Tuple::new([v("a1")]) {
+                            Tuple::new([v("a2")])
+                        } else if t == &Tuple::new([v("a2")]) {
+                            Tuple::new([v("a1")])
+                        } else {
+                            t.clone()
+                        }
+                    }),
+                );
+                Instance::new().with("R", swapped)
+            }
+            0b10 => {
+                let mut r = base.rel("R").clone();
+                r.insert(Tuple::new([v("escaped")]));
+                Instance::new().with("R", r)
+            }
+            _ => Instance::new().with("R", Relation::empty(1)),
+        }
+    }
+    fn reconstruct(&self, a: &Instance, b: &Instance) -> Instance {
+        a.union(b)
+    }
+    fn is_component_state(&self, _mask: u32, _part: &Instance) -> bool {
+        true
+    }
+}
+
+#[test]
+fn non_component_masks_are_rejected_at_registration() {
+    let sig = Signature::new([RelDecl::new("R", ["A"])]);
+    let pools: BTreeMap<String, Vec<Tuple>> = [(
+        "R".to_owned(),
+        vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+    )]
+    .into();
+    let mut s = Session::open(
+        BrokenFamily,
+        Schema::unconstrained(sig.clone()),
+        &pools,
+        Instance::null_model(&sig),
+        SessionConfig::default(),
+    )
+    .unwrap();
+
+    // Mask 0b01: every image is in the space, but the map is not a strong
+    // endomorphism (swapping is not idempotent).
+    let state = s.state().clone();
+    let err = s
+        .serve(SessionRequest::RegisterView {
+            name: "swap".into(),
+            mask: 0b01,
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, SessionError::NotAComponent { mask: 0b01, ref detail }
+            if detail.contains("strong endomorphism")),
+        "{err}"
+    );
+    // Mask 0b10's endo maps outside the space entirely.
+    let err = s
+        .serve(SessionRequest::RegisterView {
+            name: "escape".into(),
+            mask: 0b10,
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, SessionError::NotAComponent { mask: 0b10, ref detail }
+            if detail.contains("escapes")),
+        "{err}"
+    );
+    // Neither registration stuck; the session is untouched.
+    assert_eq!(s.state(), &state);
+    assert_eq!(s.catalog().views().count(), 0);
+    assert_eq!(s.stats().rejected, 2);
+    assert_eq!(
+        s.stats().rejected_by_variant.get("NotAComponent").copied(),
+        Some(2)
+    );
+    assert_consistent(s.stats());
+}
+
+#[test]
+fn open_rejects_base_outside_the_space() {
+    let sig = sig();
+    let err = Session::open(
+        SubschemaComponents::singletons(sig.clone()),
+        Schema::unconstrained(sig.clone()),
+        &pools(),
+        Instance::null_model(&sig).with("R", rel(1, [["zz"]])),
+        SessionConfig::default(),
+    )
+    .err()
+    .unwrap();
+    assert!(matches!(err, SessionError::StateOutsideSpace { .. }));
+}
+
+// ------------------------------------- incremental ≡ full, under traffic
+
+/// Drive mirror sessions — one on the incremental edit path (with
+/// cross-validation armed), one on the full-rebuild path — through a
+/// deterministic random request stream.  Every response must agree, and
+/// so must the final spaces.
+#[test]
+fn randomized_soak_incremental_matches_full_rebuild() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    let mut inc = open(SessionConfig {
+        incremental: true,
+        cross_validate: true,
+        ..SessionConfig::default()
+    });
+    let mut full = open(SessionConfig {
+        incremental: false,
+        ..SessionConfig::default()
+    });
+    register(&mut inc, "r", 0b01);
+    register(&mut full, "r", 0b01);
+    register(&mut inc, "s", 0b10);
+    register(&mut full, "s", 0b10);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let domain: Vec<Tuple> = (0..6).map(|i| Tuple::new([v(&format!("a{i}"))])).collect();
+    for step in 0..120 {
+        let req = match rng.random_range(0..10u32) {
+            0..=2 => SessionRequest::InsertPoolTuple {
+                relation: if rng.random_range(0..2u32) == 0 {
+                    "R"
+                } else {
+                    "S"
+                }
+                .into(),
+                tuple: domain[rng.random_range(0..domain.len())].clone(),
+            },
+            3..=4 => SessionRequest::RemovePoolTuple {
+                relation: if rng.random_range(0..2u32) == 0 {
+                    "R"
+                } else {
+                    "S"
+                }
+                .into(),
+                tuple: domain[rng.random_range(0..domain.len())].clone(),
+            },
+            5..=6 => {
+                // Update a view to a random subset of its current pool.
+                let (view, relation, mask) = if rng.random_range(0..2u32) == 0 {
+                    ("r", "R", 0b01u32)
+                } else {
+                    ("s", "S", 0b10u32)
+                };
+                let _ = mask;
+                let pool = inc.space().pools().unwrap()[relation].clone();
+                let picked = Relation::from_tuples(
+                    1,
+                    pool.iter()
+                        .filter(|_| rng.random_range(0..2u32) == 0)
+                        .cloned(),
+                );
+                SessionRequest::Update {
+                    view: view.into(),
+                    new_state: Instance::null_model(&sig()).with(relation, picked),
+                }
+            }
+            7 => SessionRequest::Undo,
+            8 => SessionRequest::Read { view: "r".into() },
+            _ => SessionRequest::Read { view: "s".into() },
+        };
+        let a = inc.serve(req.clone());
+        let b = full.serve(req.clone());
+        assert_eq!(a, b, "step {step}: {req:?}");
+
+        // Invariants after every request, accepted or rejected.
+        assert_eq!(inc.state(), full.state(), "step {step}");
+        assert_eq!(inc.state(), inc.space().state(inc.base_id()), "step {step}");
+        assert_consistent(inc.stats());
+        assert_consistent(full.stats());
+        assert_eq!(
+            inc.space().states(),
+            full.space().states(),
+            "step {step}: spaces diverged"
+        );
+    }
+    assert!(inc.stats().incremental_edits > 10, "soak exercised edits");
+    assert_eq!(inc.stats().full_rebuilds, 0, "no cross-validation repairs");
+    assert!(inc.stats().rejected > 0, "soak exercised failure paths");
+    // One last end-to-end check of the patched space.
+    inc.space().validate_against_full().unwrap();
+}
+
+// --------------------------------------------------- service + dispatch
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("COMPVIEW_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("COMPVIEW_THREADS");
+    out
+}
+
+fn demo_batch() -> Vec<(String, SessionRequest)> {
+    let mut batch = Vec::new();
+    for name in ["alpha", "beta", "gamma"] {
+        batch.push((
+            name.to_owned(),
+            SessionRequest::RegisterView {
+                name: "r".into(),
+                mask: 0b01,
+            },
+        ));
+    }
+    for name in ["alpha", "beta", "gamma", "ghost"] {
+        batch.push((
+            name.to_owned(),
+            SessionRequest::InsertPoolTuple {
+                relation: "R".into(),
+                tuple: Tuple::new([v("a3")]),
+            },
+        ));
+    }
+    for name in ["alpha", "beta", "gamma"] {
+        batch.push((
+            name.to_owned(),
+            SessionRequest::Update {
+                view: "r".into(),
+                new_state: Instance::null_model(&sig()).with("R", rel(1, [["a2"], ["a3"]])),
+            },
+        ));
+        batch.push((name.to_owned(), SessionRequest::Read { view: "r".into() }));
+    }
+    // Failure paths ride along: undo on beta twice (second one empty).
+    batch.push(("beta".to_owned(), SessionRequest::Undo));
+    batch.push(("beta".to_owned(), SessionRequest::Undo));
+    batch.push(("alpha".to_owned(), SessionRequest::Stats));
+    batch
+}
+
+#[test]
+fn dispatch_is_deterministic_across_thread_counts() {
+    let run = || {
+        let mut svc: Service<SubschemaComponents> = Service::new();
+        for name in ["alpha", "beta", "gamma"] {
+            svc.add_session(name, open(SessionConfig::default()))
+                .unwrap();
+        }
+        let results = svc.dispatch(demo_batch());
+        // Sessions diverge meaningfully afterwards too.
+        let states: Vec<Instance> = ["alpha", "beta", "gamma"]
+            .iter()
+            .map(|n| svc.session(n).unwrap().state().clone())
+            .collect();
+        (results, states)
+    };
+    let base = with_threads(1, run);
+    // beta's second undo is the only expected failure besides ghost.
+    let failures: Vec<usize> = base
+        .0
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.is_err().then_some(i))
+        .collect();
+    assert_eq!(failures.len(), 2);
+    assert!(matches!(
+        base.0[failures[0]],
+        Err(DispatchError::UnknownSession(_))
+    ));
+    assert!(matches!(
+        base.0[failures[1]],
+        Err(DispatchError::Session(SessionError::Catalog(
+            CatalogError::EmptyHistory
+        )))
+    ));
+    for threads in [2, 8] {
+        let other = with_threads(threads, run);
+        assert_eq!(base, other, "threads = {threads}");
+    }
+}
+
+#[test]
+fn service_session_management() {
+    let mut svc: Service<SubschemaComponents> = Service::new();
+    svc.add_session("one", open(SessionConfig::default()))
+        .unwrap();
+    assert!(matches!(
+        svc.add_session("one", open(SessionConfig::default())),
+        Err(compview_session::ServiceError::DuplicateSession(_))
+    ));
+    assert!(matches!(
+        svc.serve("two", SessionRequest::Stats),
+        Err(DispatchError::UnknownSession(_))
+    ));
+    assert_eq!(svc.session_names().collect::<Vec<_>>(), vec!["one"]);
+    assert!(svc.session("one").is_some());
+    svc.remove_session("one").unwrap();
+    assert!(matches!(
+        svc.remove_session("one"),
+        Err(compview_session::ServiceError::UnknownSession(_))
+    ));
+}

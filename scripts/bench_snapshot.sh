@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Run the headline Criterion targets (chase, partition_lattice,
-# translate_scaling) and collect the vendored harness's machine-readable
-# result lines ("compview-bench: {...}") into BENCH_PR1.json.
+# translate_scaling, incremental maintenance, session serving) and
+# collect the vendored harness's machine-readable result lines
+# ("compview-bench: {...}") into BENCH_PR2.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
-TARGETS=(chase partition_lattice translate_scaling)
+OUT="${1:-BENCH_PR2.json}"
+TARGETS=(chase partition_lattice translate_scaling incremental session)
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -16,4 +16,11 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> cargo test -p compview-session (service + incremental maintenance)"
+cargo test -q -p compview-session
+
+echo "==> cargo build --example session --benches"
+cargo build --example session
+cargo build --benches -p compview-bench
+
 echo "CI OK"

@@ -20,6 +20,7 @@
 //! | [`logic`] | the free Boolean type algebra, dependencies (FD/JD/IND/TGD/EGD), the chase, schemas, null-augmented path schemas |
 //! | [`lattice`] | partitions & the partition lattice, finite posets, ↓-poset strong morphisms, strong endomorphisms, Boolean-algebra verification |
 //! | [`core`] | views, update strategies & admissibility, complements, strong views, **the component algebra**, constant-complement translation, symbolic path-schema components, workload generators |
+//! | [`session`] | the multi-session view-update service: typed requests, incremental state-space maintenance, component caching, deterministic batch dispatch |
 //!
 //! ## Quickstart
 //!
@@ -49,3 +50,4 @@ pub use compview_core as core;
 pub use compview_lattice as lattice;
 pub use compview_logic as logic;
 pub use compview_relation as relation;
+pub use compview_session as session;

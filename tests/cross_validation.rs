@@ -4,7 +4,10 @@
 //! (`PathComponents` — used at scale).  Both must agree tuple-for-tuple.
 
 use compview::core::paper::{example_1_3_6, example_2_1_1 as ex};
-use compview::core::{strategy, strong, translate, MatView, PathComponents, Strategy, UpdateSpec};
+use compview::core::{
+    strategy, strong, translate, verify_family_with, ComponentAlgebra, ComponentFamily, MatView,
+    PathComponents, Strategy, UpdateSpec,
+};
 use compview::lattice::FinPoset;
 use compview::logic::{
     chase, chase_naive, var, Atom, ChaseConfig, Constraint, EnumerationConfig, Fd, Schema, Tgd,
@@ -216,6 +219,82 @@ proptest! {
         prop_assert_eq!(fast, slow);
     }
 
+    /// Random incremental edit sequences keep the patched `StateSpace` —
+    /// states, ids, poset bitrows, legal blocks — byte-identical to a
+    /// fresh enumeration (checked after every edit), and the whole run is
+    /// thread-count invariant.
+    #[test]
+    fn incremental_edit_sequences_match_fresh_enumeration(
+        script in prop::collection::vec((0u8..2, 0u8..2, 0u8..5), 1..10),
+    ) {
+        let run = || {
+            let sig = Signature::new([
+                RelDecl::new("R", ["A", "B"]),
+                RelDecl::new("S", ["C"]),
+            ]);
+            let schema = Schema::new(sig, vec![Constraint::Fd(Fd::new("R", vec![0], vec![1]))]);
+            let pools: BTreeMap<String, Vec<Tuple>> = [
+                (
+                    "R".to_owned(),
+                    vec![
+                        Tuple::new([v("k0"), v("x0")]),
+                        Tuple::new([v("k1"), v("x1")]),
+                    ],
+                ),
+                ("S".to_owned(), vec![Tuple::new([v("s0")])]),
+            ]
+            .into();
+            let mut space = compview::core::StateSpace::enumerate(schema, &pools);
+            let mut trace: Vec<(usize, usize)> = Vec::new();
+            for &(which, op, val) in &script {
+                let (rel_name, tuple) = if which == 0 {
+                    ("R", Tuple::new([v(&format!("k{}", val % 3)), v(&format!("x{val}"))]))
+                } else {
+                    ("S", Tuple::new([v(&format!("s{val}"))]))
+                };
+                let res = if op == 0 {
+                    space.insert_tuple(rel_name, tuple)
+                } else {
+                    space.remove_tuple(rel_name, &tuple)
+                };
+                if let Ok(r) = res {
+                    trace.push((r.states_before, r.states_after));
+                }
+                // Byte-identical to a fresh enumeration after every edit
+                // — including after rejected ones (space untouched).
+                space.validate_against_full().unwrap();
+            }
+            (space.states().to_vec(), trace)
+        };
+        let base = with_threads(1, run);
+        for threads in [2, 8] {
+            let other = with_threads(threads, run);
+            prop_assert_eq!(&base, &other, "threads = {}", threads);
+        }
+    }
+
+    /// Wide-body (3- and 4-atom) TGDs agree between the indexed semi-naive
+    /// chase and the naive chase on random graphs — the join planner's
+    /// bucket selection over several bound columns is a pure optimisation.
+    #[test]
+    fn wide_join_semi_naive_chase_equals_naive(
+        edges in prop::collection::btree_set((0u8..6, 0u8..6), 0..14),
+    ) {
+        let rows: Vec<[String; 2]> = edges
+            .iter()
+            .map(|&(a, b)| [format!("n{a}"), format!("n{b}")])
+            .collect();
+        let inst = Instance::new()
+            .with("E", rel(2, rows))
+            .with("T", compview::relation::Relation::empty(2))
+            .with("Q", compview::relation::Relation::empty(2));
+        let rules = compview::core::workload::wide_join_tgds();
+        let cfg = ChaseConfig::default();
+        let fast = chase(&inst, &rules, &[], &cfg).unwrap();
+        let slow = chase_naive(&inst, &rules, &[], &cfg).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
     /// Strategy construction and every admissibility checker are
     /// thread-count invariant — including the *reported counterexample
     /// message*, which the sorted-entry scan makes deterministic.
@@ -242,5 +321,126 @@ proptest! {
             let other = with_threads(threads, run);
             prop_assert_eq!(&base, &other, "threads = {}", threads);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded component-algebra generation and family verification.  Both
+// promise the *same result and the same first error message* for every
+// thread count.
+
+/// Component-algebra generation is thread-count invariant: every derived
+/// element's endomorphism and name agree with the sequential build.
+#[test]
+fn parallel_algebra_generation_matches_sequential() {
+    let sp = ex::small_space(&ex::small_generator_pool());
+    let atom = |name: &str, cols: &[usize]| {
+        let mv = MatView::materialise(ex::object_view(name, cols), &sp);
+        (name.to_owned(), strong::endomorphism(&sp, &mv))
+    };
+    let atoms = vec![
+        atom("AB", &[0, 1]),
+        atom("BC", &[1, 2]),
+        atom("CD", &[2, 3]),
+    ];
+    let seq = ComponentAlgebra::generate_with_threads(&sp, atoms.clone(), 1)
+        .expect("segment views generate the component algebra");
+    for threads in [2, 8] {
+        let par = ComponentAlgebra::generate_with_threads(&sp, atoms.clone(), threads)
+            .expect("segment views generate the component algebra");
+        assert_eq!(par.len(), seq.len(), "threads = {threads}");
+        for m in 0..par.len() {
+            assert_eq!(par.endo(m), seq.endo(m), "mask {m:#b}, threads = {threads}");
+            assert_eq!(par.name(m), seq.name(m), "mask {m:#b}, threads = {threads}");
+        }
+        par.verify().unwrap();
+    }
+}
+
+/// Rejection is thread-count invariant too: the sharded independence scan
+/// reports the *lowest-index* violating pair, so the error message is
+/// byte-identical to the sequential one.
+#[test]
+fn parallel_algebra_rejection_is_thread_count_invariant() {
+    let sp = ex::small_space(&ex::small_generator_pool());
+    let ab = MatView::materialise(ex::object_view("AB", &[0, 1]), &sp);
+    let e = strong::endomorphism(&sp, &ab);
+    // The same atom twice: meets are not ⊥̄, so independence fails.
+    let atoms = vec![("X".to_owned(), e.clone()), ("Y".to_owned(), e)];
+    let seq = ComponentAlgebra::generate_with_threads(&sp, atoms.clone(), 1)
+        .expect_err("not independent");
+    assert!(seq.contains("not independent"), "{seq}");
+    for threads in [2, 8] {
+        let par = ComponentAlgebra::generate_with_threads(&sp, atoms.clone(), threads)
+            .expect_err("not independent");
+        assert_eq!(par, seq, "threads = {threads}");
+    }
+}
+
+/// A deliberately lossy family: every proper component part is empty, so
+/// reconstruction loses the base state at the proper masks.  Exercises
+/// the verifier's violation paths deterministically.
+struct HalfLost;
+
+impl ComponentFamily for HalfLost {
+    fn n_atoms(&self) -> usize {
+        2
+    }
+    fn relations(&self) -> Vec<String> {
+        vec!["R".into()]
+    }
+    fn endo(&self, mask: u32, base: &Instance) -> Instance {
+        if mask == self.full_mask() {
+            base.clone()
+        } else {
+            Instance::new().with("R", Relation::empty(1))
+        }
+    }
+    fn reconstruct(&self, a: &Instance, b: &Instance) -> Instance {
+        Instance::new().with("R", a.rel("R").union(b.rel("R")))
+    }
+    fn is_component_state(&self, _mask: u32, _part: &Instance) -> bool {
+        true
+    }
+}
+
+/// The sharded family verifier returns the same report — violations in
+/// the same order — for every thread count, on both failing and passing
+/// families.
+#[test]
+fn parallel_family_verifier_matches_sequential() {
+    // Failing family: per-cell violation lists concatenate in cell order.
+    let mk = |names: &[&str]| {
+        Instance::new().with(
+            "R",
+            Relation::from_tuples(1, names.iter().map(|n| Tuple::new([v(n)]))),
+        )
+    };
+    let samples = vec![mk(&["a", "b"]), mk(&["c"]), mk(&[])];
+    let seq = verify_family_with(&HalfLost, &samples, 1);
+    assert_eq!(seq.checked, 12);
+    assert!(!seq.violations.is_empty());
+    for threads in [2, 8] {
+        let par = verify_family_with(&HalfLost, &samples, threads);
+        assert_eq!(par.checked, seq.checked, "threads = {threads}");
+        assert_eq!(par.violations, seq.violations, "threads = {threads}");
+    }
+
+    // Passing family: the clean report is thread-count invariant too.
+    let ps = ex::path_schema();
+    let pc = PathComponents::new(ps.clone());
+    let mut gens = Relation::empty(4);
+    gens.insert(ps.object(0, &[v("a0"), v("b0")]));
+    gens.insert(ps.object(2, &[v("c0"), v("d0")]));
+    let good = vec![
+        Instance::new().with("R", ps.close(&gens)),
+        Instance::new().with("R", Relation::empty(4)),
+    ];
+    let clean = verify_family_with(&pc, &good, 1);
+    assert!(clean.ok(), "{:?}", clean.violations);
+    for threads in [2, 8] {
+        let par = verify_family_with(&pc, &good, threads);
+        assert_eq!(par.checked, clean.checked);
+        assert!(par.ok(), "threads = {threads}: {:?}", par.violations);
     }
 }
