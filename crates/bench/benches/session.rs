@@ -78,6 +78,61 @@ fn bench_session(c: &mut Criterion) {
             )
         })
     });
+    // Satellite: endo-cache remap across pool inserts.  Both variants run
+    // the same warm-read / insert / read / remove cycle; they differ only
+    // in whether the cache survives the insert (remapped through the
+    // splice trace) or is dropped and recomputed.  The difference is the
+    // measured remap win: (miss) − (remap + hit) per insert.
+    let fresh = Tuple::new([v("zz")]);
+    group.bench_function("insert_cycle_remap", |b| {
+        b.iter(|| {
+            session
+                .serve(SessionRequest::Read { view: "r".into() })
+                .unwrap();
+            session
+                .serve(SessionRequest::InsertPoolTuple {
+                    relation: "R".into(),
+                    tuple: fresh.clone(),
+                })
+                .unwrap();
+            black_box(
+                session
+                    .serve(SessionRequest::Read { view: "r".into() })
+                    .unwrap(),
+            );
+            session
+                .serve(SessionRequest::RemovePoolTuple {
+                    relation: "R".into(),
+                    tuple: fresh.clone(),
+                })
+                .unwrap();
+        })
+    });
+    group.bench_function("insert_cycle_invalidate", |b| {
+        b.iter(|| {
+            session
+                .serve(SessionRequest::Read { view: "r".into() })
+                .unwrap();
+            session
+                .serve(SessionRequest::InsertPoolTuple {
+                    relation: "R".into(),
+                    tuple: fresh.clone(),
+                })
+                .unwrap();
+            session.invalidate_cache();
+            black_box(
+                session
+                    .serve(SessionRequest::Read { view: "r".into() })
+                    .unwrap(),
+            );
+            session
+                .serve(SessionRequest::RemovePoolTuple {
+                    relation: "R".into(),
+                    tuple: fresh.clone(),
+                })
+                .unwrap();
+        })
+    });
     let target =
         Instance::null_model(session.space().schema().sig()).with("R", rel(1, [["a1"], ["a2"]]));
     group.bench_function("update_undo", |b| {

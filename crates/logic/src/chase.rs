@@ -20,7 +20,7 @@ use crate::rule::{
     for_each_match_indexed, has_match, has_match_indexed, Atom, Egd, Substitution, Term, Tgd,
     TupleIndex,
 };
-use compview_relation::{Instance, Tuple, Value};
+use compview_relation::{Instance, Relation, Tuple, Value};
 
 /// Failure modes of the chase.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,15 +83,72 @@ impl FreshGen {
     }
 }
 
+/// The cached join plan of one TGD: everything about driving the rule
+/// semi-naively that does not depend on the round, built once per chase
+/// instead of once per round (Issue: the residual bodies were re-cloned
+/// `rounds × positions` times).
+struct RulePlan {
+    /// Residual body per delta position: the body with atom `pos` removed,
+    /// to be joined around a substitution seeded from a delta tuple.
+    rest: Vec<Vec<Atom>>,
+    /// Whether every head variable is bound by the body.  Only
+    /// existential-free rules may take the dense full-enumeration path:
+    /// it visits matches in a different order, which would renumber
+    /// invented witnesses (the final instance of an existential-free rule
+    /// set is its unique least fixpoint either way).
+    existential_free: bool,
+}
+
+impl RulePlan {
+    fn build(tgd: &Tgd) -> RulePlan {
+        let rest = (0..tgd.body.len())
+            .map(|pos| {
+                tgd.body
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, a)| a.clone())
+                    .collect()
+            })
+            .collect();
+        let body_vars: std::collections::BTreeSet<u32> =
+            tgd.body.iter().flat_map(|a| a.vars()).collect();
+        let existential_free = tgd
+            .head
+            .iter()
+            .flat_map(|a| a.vars())
+            .all(|x| body_vars.contains(&x));
+        RulePlan {
+            rest,
+            existential_free,
+        }
+    }
+}
+
 /// Semi-naive chase: close `inst` under `tgds`, then verify `egds`.
 ///
 /// Each round only considers body matches in which at least one atom is
 /// matched against a tuple added in the previous round, so quiescent parts
-/// of the instance are never re-joined.  Body matching seeds candidates
-/// from a live [`TupleIndex`] kept in sync with the growing instance, so
-/// join fan-out is proportional to matching tuples rather than relation
-/// size; enumeration order (and hence fresh-null numbering and the final
-/// instance) is identical to the unindexed scan.
+/// of the instance are never re-joined.  Per-rule join plans (the residual
+/// bodies of each delta position) are cached across rounds, and the delta
+/// is bucketed by relation so the delta atom is picked by the *current*
+/// delta's shape: positions whose relation gained nothing are skipped
+/// outright, and a rule over a relation the round never touched costs
+/// one map lookup.
+///
+/// **Dense rounds** fall back to a single full enumeration: when every
+/// body atom's delta bucket covers its entire relation (always true in
+/// round 1), the seeded passes would re-enumerate the same join once per
+/// body position, which is how the semi-naive engine lost to the naive
+/// one on dense wide joins (EXPERIMENTS.md, PR 2).  The fallback is taken
+/// only for existential-free rules, so witness numbering stays pinned to
+/// the seeded order.
+///
+/// Body matching seeds candidates from a live [`TupleIndex`] kept in sync
+/// with the growing instance, so join fan-out is proportional to matching
+/// tuples rather than relation size; on the seeded path, enumeration
+/// order (and hence fresh-null numbering and the final instance) is
+/// identical to the unindexed scan.
 pub fn chase(
     inst: &Instance,
     tgds: &[Tgd],
@@ -104,12 +161,19 @@ pub fn chase(
         next: 0,
         max: config.max_fresh,
     };
+    let plans: Vec<RulePlan> = tgds.iter().map(RulePlan::build).collect();
 
-    // Delta = tuples added last round, per relation name.
-    let mut delta: Vec<(String, Tuple)> = out
-        .iter()
-        .flat_map(|(n, r)| r.iter().map(move |t| (n.to_owned(), t.clone())))
-        .collect();
+    // Delta = tuples added last round, bucketed by relation name.  Bucket
+    // order is instance iteration order initially and addition order
+    // afterwards — exactly the order the unbucketed scan visited them.
+    let mut delta: std::collections::BTreeMap<String, Vec<Tuple>> =
+        std::collections::BTreeMap::new();
+    for (n, r) in out.iter() {
+        let bucket: Vec<Tuple> = r.iter().cloned().collect();
+        if !bucket.is_empty() {
+            delta.insert(n.to_owned(), bucket);
+        }
+    }
 
     let mut rounds = 0usize;
     while !delta.is_empty() {
@@ -118,30 +182,73 @@ pub fn chase(
             return Err(ChaseError::StepLimit);
         }
         let mut additions: Vec<(String, Tuple)> = Vec::new();
-        for tgd in tgds {
-            // Require some body atom to match a delta tuple: try each atom
-            // position as the delta position.
-            for pos in 0..tgd.body.len() {
-                let atom = &tgd.body[pos];
-                // The residual body is the same for every delta tuple at
-                // this position; build it once, not per tuple.
-                let rest: Vec<Atom> = tgd
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != pos)
-                    .map(|(_, a)| a.clone())
-                    .collect();
-                for (dn, dt) in &delta {
-                    if *dn != atom.rel {
-                        continue;
+        for (tgd, plan) in tgds.iter().zip(&plans) {
+            // A body atom over an empty (or absent) relation can never
+            // match; the whole rule is dead this round.
+            if tgd
+                .body
+                .iter()
+                .any(|a| out.get(&a.rel).is_none_or(Relation::is_empty))
+            {
+                continue;
+            }
+            // Dense round: every body position that *has* delta is fully
+            // covered by it (its whole relation is new — always true in
+            // round 1).  The seeded passes would then each re-enumerate
+            // the same full join, once per such position; one full
+            // enumeration over the current instance sees a superset of
+            // every seeded match exactly once.
+            let mut any_delta = false;
+            let dense = plan.existential_free
+                && tgd.body.iter().all(|a| match delta.get(&a.rel) {
+                    None => true,
+                    Some(d) => {
+                        any_delta = true;
+                        d.len() == out.rel(&a.rel).len()
                     }
+                })
+                && any_delta;
+            if dense {
+                let mut pending: Vec<Substitution> = Vec::new();
+                for_each_match_indexed(
+                    &tgd.body,
+                    &out,
+                    &index,
+                    &Substitution::default(),
+                    &mut |sub| {
+                        if tgd.guard_ok(sub) && !has_match_indexed(&tgd.head, &out, &index, sub) {
+                            pending.push(sub.clone());
+                        }
+                        true
+                    },
+                );
+                for sub in pending {
+                    apply_head(
+                        &tgd.head,
+                        &sub,
+                        &mut out,
+                        &mut index,
+                        &mut additions,
+                        &mut fresh,
+                    )?;
+                }
+                continue;
+            }
+            // Seeded passes: each position whose relation actually gained
+            // tuples plays the delta atom; the rest of the body joins
+            // around the seed.
+            for (pos, atom) in tgd.body.iter().enumerate() {
+                let Some(bucket) = delta.get(&atom.rel) else {
+                    continue;
+                };
+                let rest = &plan.rest[pos];
+                for dt in bucket {
                     // Seed a substitution from the delta tuple.
                     let Some(seed) = seed_from(atom, dt) else {
                         continue;
                     };
                     let mut pending: Vec<Substitution> = Vec::new();
-                    for_each_match_indexed(&rest, &out, &index, &seed, &mut |sub| {
+                    for_each_match_indexed(rest, &out, &index, &seed, &mut |sub| {
                         if tgd.guard_ok(sub) && !has_match_indexed(&tgd.head, &out, &index, sub) {
                             pending.push(sub.clone());
                         }
@@ -160,7 +267,10 @@ pub fn chase(
                 }
             }
         }
-        delta = additions;
+        delta.clear();
+        for (n, t) in additions {
+            delta.entry(n).or_default().push(t);
+        }
     }
 
     for egd in egds {

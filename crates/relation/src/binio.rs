@@ -1,0 +1,446 @@
+//! Std-only binary serialisation of the relational substrate.
+//!
+//! The write-ahead log and state-space snapshots (`compview-session`,
+//! `compview-core`) need a byte format that survives a process restart.
+//! The text format of [`crate::textio`] is lossy for that purpose (it
+//! cannot express symbols that look like integers), and the container has
+//! no serialisation framework, so this module provides a tiny fixed-width
+//! little-endian codec for the types a log record can contain.
+//!
+//! **Symbols are serialised by name, never by interned id.**  [`Value::Sym`]
+//! ids are handed out by a process-global interner in first-use order, so
+//! the same symbol generally has a *different* id in the process that
+//! replays a log than in the process that wrote it.  Decoding re-interns
+//! the name, which is the only representation that is stable across
+//! processes.
+//!
+//! Layout conventions (all integers little-endian, no varints):
+//!
+//! | type | encoding |
+//! |---|---|
+//! | `u8`/`u32`/`u64`/`i64` | fixed-width LE |
+//! | `str` | `u32` byte length, then UTF-8 bytes |
+//! | [`Value`] | tag `u8` (0 = η, 1 = `Int` + `i64`, 2 = `Sym` + `str`) |
+//! | [`Tuple`] | `u32` arity, then values |
+//! | [`Relation`] | `u32` arity, `u64` count, then value rows |
+//! | [`Instance`] | `u32` relation count, then (`str` name, [`Relation`]) |
+//!
+//! Decoding is total: every failure is a typed [`DecodeError`] carrying the
+//! byte offset, never a panic — corrupt log payloads must degrade into
+//! recovery reports, not crashes.
+
+use crate::instance::Instance;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A failed decode, with the byte offset where it was detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value did.
+    Eof {
+        /// Offset at which more bytes were needed.
+        at: usize,
+    },
+    /// An enum tag byte had no meaning.
+    BadTag {
+        /// Offset of the tag byte.
+        at: usize,
+        /// The unrecognised tag.
+        tag: u8,
+    },
+    /// A string's bytes were not UTF-8.
+    BadUtf8 {
+        /// Offset of the string's length prefix.
+        at: usize,
+    },
+    /// A length or arity field was implausible for the remaining buffer
+    /// (guards against huge allocations from corrupt lengths).
+    BadLength {
+        /// Offset of the length field.
+        at: usize,
+        /// The decoded length.
+        len: u64,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Eof { at } => write!(f, "unexpected end of buffer at byte {at}"),
+            DecodeError::BadTag { at, tag } => write!(f, "unknown tag {tag} at byte {at}"),
+            DecodeError::BadUtf8 { at } => write!(f, "invalid UTF-8 in string at byte {at}"),
+            DecodeError::BadLength { at, len } => {
+                write!(f, "implausible length {len} at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A byte-slice cursor for decoding.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Start decoding at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the buffer is fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Eof { at: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decode one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Decode a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Decode a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Decode a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Decode a `u64` count that must be achievable with at least
+    /// `min_bytes_per_item` remaining bytes per item.
+    pub fn count(&mut self, min_bytes_per_item: usize) -> Result<usize, DecodeError> {
+        let at = self.pos;
+        let n = self.u64()?;
+        let cap = (self.remaining() / min_bytes_per_item.max(1)) as u64;
+        if n > cap {
+            return Err(DecodeError::BadLength { at, len: n });
+        }
+        Ok(n as usize)
+    }
+
+    /// Decode a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let at = self.pos;
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(DecodeError::BadLength {
+                at,
+                len: len as u64,
+            });
+        }
+        std::str::from_utf8(self.take(len)?)
+            .map(str::to_owned)
+            .map_err(|_| DecodeError::BadUtf8 { at })
+    }
+
+    /// Decode a [`Value`] (symbols are re-interned from their names).
+    pub fn value(&mut self) -> Result<Value, DecodeError> {
+        let at = self.pos;
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::sym(&self.str()?)),
+            tag => Err(DecodeError::BadTag { at, tag }),
+        }
+    }
+
+    /// Decode a [`Tuple`].
+    pub fn tuple(&mut self) -> Result<Tuple, DecodeError> {
+        let at = self.pos;
+        let arity = self.u32()? as usize;
+        if arity > self.remaining() {
+            return Err(DecodeError::BadLength {
+                at,
+                len: arity as u64,
+            });
+        }
+        let mut vals = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            vals.push(self.value()?);
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    /// Decode a [`Relation`].
+    pub fn relation(&mut self) -> Result<Relation, DecodeError> {
+        let arity = self.u32()? as usize;
+        let n = self.count(1)?;
+        let mut rel = Relation::empty(arity);
+        for _ in 0..n {
+            let at = self.pos;
+            let t = self.tuple()?;
+            if t.arity() != arity {
+                return Err(DecodeError::BadLength {
+                    at,
+                    len: t.arity() as u64,
+                });
+            }
+            rel.insert(t);
+        }
+        Ok(rel)
+    }
+
+    /// Decode an [`Instance`].
+    pub fn instance(&mut self) -> Result<Instance, DecodeError> {
+        let at = self.pos;
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(DecodeError::BadLength { at, len: n as u64 });
+        }
+        let mut inst = Instance::new();
+        for _ in 0..n {
+            let name = self.str()?;
+            let rel = self.relation()?;
+            inst.set(name, rel);
+        }
+        Ok(inst)
+    }
+
+    /// Decode a tuple list (e.g. a pool) — order-preserving, unlike
+    /// [`Dec::relation`], because pool order defines enumeration bits.
+    pub fn tuples(&mut self) -> Result<Vec<Tuple>, DecodeError> {
+        let n = self.count(4)?;
+        let mut ts = Vec::with_capacity(n);
+        for _ in 0..n {
+            ts.push(self.tuple()?);
+        }
+        Ok(ts)
+    }
+}
+
+/// Encode one byte.
+pub fn put_u8(out: &mut Vec<u8>, b: u8) {
+    out.push(b);
+}
+
+/// Encode a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Encode a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Encode a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, x: i64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Encode a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, u32::try_from(s.len()).expect("string fits u32"));
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a [`Value`] (symbols by name — ids are process-local).
+pub fn put_value(out: &mut Vec<u8>, v: Value) {
+    match v {
+        Value::Null => put_u8(out, 0),
+        Value::Int(i) => {
+            put_u8(out, 1);
+            put_i64(out, i);
+        }
+        Value::Sym(_) => {
+            put_u8(out, 2);
+            put_str(out, &v.render());
+        }
+    }
+}
+
+/// Encode a [`Tuple`].
+pub fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+    put_u32(out, u32::try_from(t.arity()).expect("arity fits u32"));
+    for &v in t.values() {
+        put_value(out, v);
+    }
+}
+
+/// Encode a [`Relation`].
+pub fn put_relation(out: &mut Vec<u8>, r: &Relation) {
+    put_u32(out, u32::try_from(r.arity()).expect("arity fits u32"));
+    put_u64(out, r.len() as u64);
+    for t in r.iter() {
+        put_tuple(out, t);
+    }
+}
+
+/// Encode an [`Instance`] (relations in name order — the iteration order of
+/// the backing B-tree, so encoding is deterministic).
+pub fn put_instance(out: &mut Vec<u8>, inst: &Instance) {
+    let n = inst.iter().count();
+    put_u32(out, u32::try_from(n).expect("relation count fits u32"));
+    for (name, rel) in inst.iter() {
+        put_str(out, name);
+        put_relation(out, rel);
+    }
+}
+
+/// Encode a tuple list in order (see [`Dec::tuples`]).
+pub fn put_tuples(out: &mut Vec<u8>, ts: &[Tuple]) {
+    put_u64(out, ts.len() as u64);
+    for t in ts {
+        put_tuple(out, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::rel;
+    use crate::value::v;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 7);
+        put_u32(&mut out, 0xDEAD_BEEF);
+        put_u64(&mut out, u64::MAX - 1);
+        put_i64(&mut out, -42);
+        put_str(&mut out, "héllo η");
+        let mut d = Dec::new(&out);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.str().unwrap(), "héllo η");
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn values_round_trip_including_awkward_symbols() {
+        // Symbols that the text format cannot express are fine here.
+        for val in [
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Int(0),
+            v("plain"),
+            v("123"),
+            v("_"),
+            v("η"),
+            v(""),
+        ] {
+            let mut out = Vec::new();
+            put_value(&mut out, val);
+            assert_eq!(Dec::new(&out).value().unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn tuple_relation_instance_round_trip() {
+        let t = Tuple::new([v("a"), Value::Null, Value::Int(9)]);
+        let mut out = Vec::new();
+        put_tuple(&mut out, &t);
+        assert_eq!(Dec::new(&out).tuple().unwrap(), t);
+
+        let r = rel(2, [["a", "b"], ["c", "d"]]);
+        let mut out = Vec::new();
+        put_relation(&mut out, &r);
+        assert_eq!(Dec::new(&out).relation().unwrap(), r);
+
+        let inst = Instance::new()
+            .with("R", rel(1, [["x"], ["y"]]))
+            .with("Empty", Relation::empty(3));
+        let mut out = Vec::new();
+        put_instance(&mut out, &inst);
+        let back = Dec::new(&out).instance().unwrap();
+        assert_eq!(back, inst);
+        assert_eq!(back.rel("Empty").arity(), 3, "empty arity survives");
+    }
+
+    #[test]
+    fn pool_order_is_preserved() {
+        // Pools are *ordered* (order defines enumeration bits); the tuple
+        // list codec must not sort.
+        let pool = vec![Tuple::new([v("z")]), Tuple::new([v("a")])];
+        let mut out = Vec::new();
+        put_tuples(&mut out, &pool);
+        assert_eq!(Dec::new(&out).tuples().unwrap(), pool);
+    }
+
+    #[test]
+    fn truncated_buffers_error_not_panic() {
+        let mut out = Vec::new();
+        put_instance(
+            &mut out,
+            &Instance::new().with("R", rel(2, [["a", "b"], ["c", "d"]])),
+        );
+        for cut in 0..out.len() {
+            let err = Dec::new(&out[..cut]).instance();
+            assert!(err.is_err(), "cut at {cut} must fail, got {err:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_lengths_and_tags_error_not_allocate() {
+        // A huge count must be rejected by plausibility, not attempted.
+        let mut out = Vec::new();
+        put_u32(&mut out, 1); // arity
+        put_u64(&mut out, u64::MAX); // tuple count
+        assert!(matches!(
+            Dec::new(&out).relation(),
+            Err(DecodeError::BadLength { .. })
+        ));
+        // Unknown value tag.
+        assert!(matches!(
+            Dec::new(&[9u8]).value(),
+            Err(DecodeError::BadTag { at: 0, tag: 9 })
+        ));
+        // Non-UTF-8 string bytes.
+        let mut out = Vec::new();
+        put_u32(&mut out, 2);
+        out.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            Dec::new(&out).str(),
+            Err(DecodeError::BadUtf8 { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected_or_decodes_cleanly() {
+        // The codec itself need not detect corruption (the WAL's CRC does),
+        // but it must never panic on it.
+        let mut out = Vec::new();
+        put_instance(
+            &mut out,
+            &Instance::new()
+                .with("R", rel(2, [["a", "b"]]))
+                .with("S", rel(1, [["77"]])),
+        );
+        for bit in 0..out.len() * 8 {
+            let mut bad = out.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let _ = Dec::new(&bad).instance(); // must not panic
+        }
+    }
+}

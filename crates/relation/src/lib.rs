@@ -19,7 +19,10 @@
 //! * [`RaExpr`] relational-algebra expressions for the database mappings
 //!   `γ : D → V`, including the restriction/object mappings `ρ(R(τ…))` of
 //!   Example 2.3.4;
-//! * paper-style table rendering ([`display`]).
+//! * paper-style table rendering ([`display`]);
+//! * a std-only binary codec ([`binio`]) used by write-ahead logs and
+//!   state-space snapshots (symbols serialise by *name* — interner ids are
+//!   process-local).
 //!
 //! Constraints (`Con(D)`) live in `compview-logic`; views, components, and
 //! the update theory live in `compview-core`.
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod binio;
 pub mod display;
 pub mod instance;
 pub mod ra;

@@ -28,13 +28,26 @@
 //! batches across them on the deterministic `compview-parallel` worker
 //! pool: per-session request order is preserved, sessions are
 //! independent, so results are byte-identical for every thread count.
+//!
+//! Sessions opened through [`Session::open_durable`] additionally keep a
+//! **write-ahead log** ([`wal`]) on a pluggable [`store::LogStore`]:
+//! every state-changing request is appended (checksummed and
+//! sequence-numbered) *before* it is applied, and
+//! [`Session::recover`] replays the log through the ordinary `serve`
+//! path to rebuild the exact session after a crash — truncating at the
+//! first torn or corrupt record and reporting what was salvaged in a
+//! typed [`wal::RecoveryReport`] instead of failing.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod service;
+pub mod store;
+pub mod wal;
 
 pub use service::{DispatchError, Service, ServiceError};
+pub use store::{FaultPlan, FaultyStore, FsStore, LogStore, MemStore, SharedBytes};
+pub use wal::{RecoverError, RecoveryReport, RecoveryStop, SyncPolicy};
 
 use compview_core::{
     Catalog, CatalogError, ComponentFamily, EditError, EditReport, StateSpace, UpdateReport,
@@ -84,6 +97,9 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Component-endomorphism cache misses (maps computed).
     pub cache_misses: u64,
+    /// Cached endomorphism maps carried across a pool insert by
+    /// id-remapping (one per surviving mask) instead of recomputation.
+    pub cache_remaps: u64,
     /// Pool edits serviced by the incremental patch path.
     pub incremental_edits: u64,
     /// Pool edits serviced by full re-enumeration (including
@@ -152,6 +168,13 @@ pub enum SessionRequest {
 }
 
 impl SessionRequest {
+    /// Whether this request changes durable session state — and so must
+    /// be written to the log before it is applied.  `Read` and `Stats`
+    /// change nothing and are never logged.
+    pub fn is_durable(&self) -> bool {
+        !matches!(self, SessionRequest::Read { .. } | SessionRequest::Stats)
+    }
+
     /// Short label for logs and tallies.
     pub fn label(&self) -> &'static str {
         match self {
@@ -219,6 +242,14 @@ pub enum SessionError {
         /// The view that was being updated.
         view: String,
     },
+    /// The request could not be made durable: the write-ahead log append
+    /// (or its rollback) failed, so the request was rejected *before*
+    /// touching the session.  The in-memory state and the log still
+    /// agree.
+    Durability {
+        /// What the store reported.
+        detail: String,
+    },
 }
 
 impl SessionError {
@@ -240,6 +271,7 @@ impl SessionError {
             SessionError::NotAComponent { .. } => "NotAComponent",
             SessionError::TupleInBaseState { .. } => "TupleInBaseState",
             SessionError::StateOutsideSpace { .. } => "StateOutsideSpace",
+            SessionError::Durability { .. } => "Durability",
         }
     }
 }
@@ -266,6 +298,9 @@ impl std::fmt::Display for SessionError {
                     f,
                     "update of {view:?} left the enumerated space; rolled back"
                 )
+            }
+            SessionError::Durability { detail } => {
+                write!(f, "request could not be made durable: {detail}")
             }
         }
     }
@@ -326,6 +361,8 @@ pub struct Session<F: ComponentFamily + Sync> {
     cache: BTreeMap<u32, Vec<usize>>,
     config: SessionConfig,
     stats: SessionStats,
+    /// The write-ahead log, when this session is durable.
+    wal: Option<wal::WalWriter>,
 }
 
 impl<F: ComponentFamily + Sync> Session<F> {
@@ -362,13 +399,229 @@ impl<F: ComponentFamily + Sync> Session<F> {
             cache: BTreeMap::new(),
             config,
             stats: SessionStats::default(),
+            wal: None,
         })
+    }
+
+    /// Open a *durable* session: like [`Session::open`], then seed the
+    /// (required-empty) `store` with a write-ahead log whose first record
+    /// snapshots the fresh session.  Every state-changing request served
+    /// afterwards is logged before it is applied, under `policy`.
+    ///
+    /// # Errors
+    /// Everything [`Session::open`] rejects, plus
+    /// [`SessionError::Durability`] when the store is non-empty (use
+    /// [`Session::recover`] for existing logs) or the initial snapshot
+    /// cannot be written.
+    pub fn open_durable(
+        family: F,
+        schema: Schema,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        base: Instance,
+        config: SessionConfig,
+        mut store: Box<dyn LogStore>,
+        policy: SyncPolicy,
+    ) -> Result<Session<F>, SessionError> {
+        let empty = store.is_empty().map_err(|e| SessionError::Durability {
+            detail: e.to_string(),
+        })?;
+        if !empty {
+            return Err(SessionError::Durability {
+                detail: "log store is not empty; recover the existing log instead".to_owned(),
+            });
+        }
+        let mut session = Session::open(family, schema, pools, base, config)?;
+        let snapshot = wal::encode_snapshot(&session.snapshot_parts()?);
+        let mut writer = wal::WalWriter::new(store, policy, 0, 0);
+        writer
+            .reset_with(&snapshot)
+            .map_err(|e| SessionError::Durability {
+                detail: e.to_string(),
+            })?;
+        session.wal = Some(writer);
+        Ok(session)
+    }
+
+    /// Rebuild a session from its write-ahead log.
+    ///
+    /// Parses the log, restores the record-0 snapshot (re-enumerating the
+    /// state space from the snapshotted pools, so the poset and index are
+    /// exactly what any thread count derives), then **replays** every
+    /// following request through the ordinary [`Session::serve`] path —
+    /// rejections replay to the same rejections, so the counters match
+    /// too.  Reading stops at the first torn or corrupt record; the log
+    /// is truncated there and the session continues logging after it.
+    ///
+    /// Corruption of the *tail* is reported, not fatal: the returned
+    /// [`RecoveryReport`] says how many records were applied, how many
+    /// bytes survived, and why reading stopped.  Only a log whose header
+    /// or snapshot record is unusable fails outright, with a typed
+    /// [`RecoverError`].
+    ///
+    /// # Errors
+    /// See [`RecoverError`].
+    pub fn recover(
+        family: F,
+        schema: Schema,
+        mut store: Box<dyn LogStore>,
+        policy: SyncPolicy,
+    ) -> Result<(Session<F>, RecoveryReport), RecoverError> {
+        let bytes = store
+            .read_all()
+            .map_err(|e| RecoverError::Io(e.to_string()))?;
+        let bytes_total = bytes.len() as u64;
+        let parsed = wal::parse_log(&bytes)?;
+        let Some(first) = parsed.records.first() else {
+            return Err(RecoverError::BadSnapshot {
+                detail: format!("no snapshot record ({})", parsed.stop),
+            });
+        };
+        let snap = wal::decode_snapshot(&first.payload).map_err(|e| RecoverError::BadSnapshot {
+            detail: e.to_string(),
+        })?;
+        let mut dec = compview_relation::binio::Dec::new(&snap.space);
+        let space = StateSpace::decode_snapshot(schema, &mut dec).map_err(|e| {
+            RecoverError::BadSnapshot {
+                detail: format!("state space: {e}"),
+            }
+        })?;
+        let base_id = space
+            .id_of(&snap.base)
+            .ok_or(RecoverError::BaseOutsideSpace)?;
+        let catalog = Catalog::restore(family, snap.base, snap.views, snap.log, snap.history)
+            .map_err(RecoverError::Catalog)?;
+        let mut session = Session {
+            catalog,
+            space,
+            base_id,
+            cache: BTreeMap::new(),
+            config: snap.config,
+            stats: snap.stats,
+            wal: None,
+        };
+        let mut applied = 0u64;
+        let mut salvaged = parsed.salvaged;
+        let mut stopped = parsed.stop;
+        for (seq, rec) in parsed.records.iter().enumerate().skip(1) {
+            match wal::decode_request(&rec.payload) {
+                Ok(req) => {
+                    // Replaying a rejection re-rejects deterministically;
+                    // both outcomes re-tally the same counters.
+                    let _ = session.serve(req);
+                    applied += 1;
+                }
+                Err(e) => {
+                    // CRC-valid but undecodable (version skew, or
+                    // corruption colliding with the checksum): salvage
+                    // everything before it.
+                    salvaged = rec.offset;
+                    stopped = RecoveryStop::BadPayload {
+                        offset: rec.offset,
+                        seq: seq as u64,
+                        detail: e.to_string(),
+                    };
+                    break;
+                }
+            }
+        }
+        if salvaged < bytes_total {
+            store
+                .truncate(salvaged)
+                .map_err(|e| RecoverError::Io(e.to_string()))?;
+        }
+        session.wal = Some(wal::WalWriter::new(store, policy, applied + 1, salvaged));
+        Ok((
+            session,
+            RecoveryReport {
+                records_applied: applied,
+                bytes_salvaged: salvaged,
+                bytes_total,
+                stopped,
+            },
+        ))
+    }
+
+    /// Compact the write-ahead log: atomically replace it with a single
+    /// fresh snapshot record capturing the session as it stands, and
+    /// restart sequence numbering.  Recovery cost drops to snapshot
+    /// decoding; nothing else about the session changes.
+    ///
+    /// # Errors
+    /// [`SessionError::Durability`] when the session has no log or the
+    /// replacement write fails (the old log is left intact in that case —
+    /// the store's `replace` is atomic).
+    pub fn checkpoint(&mut self) -> Result<(), SessionError> {
+        if self.wal.is_none() {
+            return Err(SessionError::Durability {
+                detail: "session has no write-ahead log".to_owned(),
+            });
+        }
+        let snapshot = wal::encode_snapshot(&self.snapshot_parts()?);
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .reset_with(&snapshot)
+            .map_err(|e| SessionError::Durability {
+                detail: e.to_string(),
+            })
+    }
+
+    /// Whether this session keeps a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Capture everything a snapshot record needs from the live session.
+    fn snapshot_parts(&self) -> Result<wal::SessionSnapshot, SessionError> {
+        let mut space = Vec::new();
+        self.space
+            .encode_snapshot(&mut space)
+            .map_err(|e| SessionError::Durability {
+                detail: format!("space is not snapshottable: {e}"),
+            })?;
+        Ok(wal::SessionSnapshot {
+            config: self.config,
+            space,
+            base: self.catalog.state().clone(),
+            views: self
+                .catalog
+                .views()
+                .map(|(n, m)| (n.to_owned(), m))
+                .collect(),
+            stats: self.stats.clone(),
+            log: self.catalog.log().to_vec(),
+            history: self.catalog.history().to_vec(),
+        })
+    }
+
+    /// Log a durable request before applying it; a store failure rejects
+    /// the request without touching the session.
+    fn log_request(&mut self, req: &SessionRequest) -> Result<(), SessionError> {
+        let Some(writer) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let Some(payload) = wal::encode_request(req) else {
+            return Ok(());
+        };
+        writer
+            .append_payload(&payload)
+            .map_err(|e| SessionError::Durability {
+                detail: e.to_string(),
+            })
     }
 
     /// Serve one request, updating the counters.  A [`SessionRequest::Stats`]
     /// snapshot reflects the requests *completed before it*.
+    ///
+    /// On a durable session, state-changing requests are appended to the
+    /// write-ahead log *before* they are applied; a request that cannot
+    /// be logged is rejected with [`SessionError::Durability`] and never
+    /// touches the session.
     pub fn serve(&mut self, req: SessionRequest) -> Result<SessionResponse, SessionError> {
-        let outcome = self.handle(req);
+        let outcome = match self.log_request(&req) {
+            Ok(()) => self.handle(req),
+            Err(e) => Err(e),
+        };
         self.stats.requests += 1;
         match outcome {
             Ok(resp) => {
@@ -465,20 +718,67 @@ impl<F: ComponentFamily + Sync> Session<F> {
         tuple: Tuple,
     ) -> Result<SessionResponse, SessionError> {
         let report = if self.config.incremental {
-            let r = self.space.insert_tuple(relation, tuple)?;
+            let (r, trace) = self.space.insert_tuple_traced(relation, tuple)?;
             self.stats.incremental_edits += 1;
-            self.after_incremental_edit();
+            let repaired = self.after_incremental_edit();
+            // Inserts only add states; surviving states keep their
+            // instances under new ids, so cached endo maps can be
+            // *remapped* through the splice trace instead of recomputed.
+            // A cross-validation repair re-enumerated from scratch,
+            // invalidating the trace.
+            if repaired {
+                self.cache.clear();
+            } else {
+                self.remap_cache(&trace);
+            }
             r
         } else {
             let r = self.space.insert_tuple_full(relation, tuple)?;
             self.stats.full_rebuilds += 1;
+            self.cache.clear();
             r
         };
-        // Inserts only add states, so undo targets stay legal; the cache
-        // is stale either way (state ids shifted).
-        self.cache.clear();
+        // Inserts only add states, so undo targets stay legal.
         self.reseat_base();
         Ok(SessionResponse::PoolEdited(report))
+    }
+
+    /// Carry cached endomorphism maps across a pool insert by renaming
+    /// state ids through the splice `trace` (old id → new id, injective).
+    ///
+    /// Old states keep their instances, so for an old state `s`,
+    /// `new[trace[s]] = trace[old[s]]` — the same function under new
+    /// names.  Fresh states get their endo image computed individually.
+    /// Each carried map is re-verified against the new ↓-poset; a mask
+    /// that fails (its endo is no longer a component of the grown space)
+    /// is dropped and will be rebuilt — and properly rejected — on next
+    /// use.
+    fn remap_cache(&mut self, trace: &[usize]) {
+        if self.cache.is_empty() {
+            return;
+        }
+        let n_new = self.space.len();
+        let old = std::mem::take(&mut self.cache);
+        'masks: for (mask, old_map) in old {
+            let mut new_map = vec![usize::MAX; n_new];
+            for (s_old, &s_new) in trace.iter().enumerate() {
+                new_map[s_new] = trace[old_map[s_old]];
+            }
+            for (s, slot) in new_map.iter_mut().enumerate() {
+                if *slot != usize::MAX {
+                    continue;
+                }
+                let image = self.catalog.family().endo(mask, self.space.state(s));
+                match self.space.id_of(&image) {
+                    Some(id) => *slot = id,
+                    None => continue 'masks,
+                }
+            }
+            if endo::is_strong_endo(self.space.poset(), &new_map) {
+                self.stats.cache_remaps += 1;
+                self.cache.insert(mask, new_map);
+            }
+        }
     }
 
     fn remove_pool_tuple(
@@ -513,15 +813,18 @@ impl<F: ComponentFamily + Sync> Session<F> {
     }
 
     /// Cross-validate a just-patched space when configured; repair by
-    /// rebuilding on mismatch.
-    fn after_incremental_edit(&mut self) {
+    /// rebuilding on mismatch.  Returns whether a repair re-enumerated
+    /// the space (invalidating any splice trace).
+    fn after_incremental_edit(&mut self) -> bool {
         if self.config.cross_validate {
             if let Err(e) = self.space.validate_against_full() {
                 debug_assert!(false, "incremental edit diverged: {e}");
                 self.space.rebuild().expect("space is editable");
                 self.stats.full_rebuilds += 1;
+                return true;
             }
         }
+        false
     }
 
     /// Re-resolve the base state's id after the space changed shape.

@@ -6,10 +6,21 @@
 //! concurrently.  Determinism contract: per-session request order is the
 //! batch order, and session handling is sequential within a session, so
 //! the result vector is **byte-identical for every thread count**.
+//!
+//! Durability is per-session too: [`Service::open_dir`] recovers every
+//! `*.wal` log in a directory, and a log that cannot be recovered
+//! degrades *that session only* — the rest of the service comes up, and
+//! the failure is reported next to the successes.
 
-use crate::{Session, SessionError, SessionRequest, SessionResponse};
+use crate::store::FsStore;
+use crate::wal::{RecoverError, RecoveryReport};
+use crate::{Session, SessionConfig, SessionError, SessionRequest, SessionResponse, SyncPolicy};
 use compview_core::ComponentFamily;
+use compview_logic::Schema;
+use compview_relation::{Instance, Tuple};
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 
 /// Session-management errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,6 +29,9 @@ pub enum ServiceError {
     UnknownSession(String),
     /// A session with this name already exists.
     DuplicateSession(String),
+    /// A session-level failure while managing the session (opening a
+    /// durable session, checkpointing its log).
+    Session(SessionError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -25,6 +39,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownSession(n) => write!(f, "unknown session {n:?}"),
             ServiceError::DuplicateSession(n) => write!(f, "session {n:?} already open"),
+            ServiceError::Session(e) => write!(f, "{e}"),
         }
     }
 }
@@ -108,6 +123,107 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
     /// Open session names, in order.
     pub fn session_names(&self) -> impl Iterator<Item = &str> + '_ {
         self.sessions.keys().map(String::as_str)
+    }
+
+    /// Open (creating if needed) a durable session logging to
+    /// `dir/<name>.wal`.
+    ///
+    /// # Errors
+    /// [`ServiceError::DuplicateSession`] when the name is taken;
+    /// [`ServiceError::Session`] when the session cannot be opened or its
+    /// initial snapshot cannot be written.
+    #[allow(clippy::too_many_arguments)] // mirrors Session::open_durable + (dir, name)
+    pub fn create_durable_session<P: AsRef<Path>>(
+        &mut self,
+        dir: P,
+        name: &str,
+        family: F,
+        schema: Schema,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        base: Instance,
+        config: SessionConfig,
+        policy: SyncPolicy,
+    ) -> Result<(), ServiceError> {
+        if self.sessions.contains_key(name) {
+            return Err(ServiceError::DuplicateSession(name.to_owned()));
+        }
+        let store = FsStore::open(dir.as_ref().join(format!("{name}.wal"))).map_err(|e| {
+            ServiceError::Session(SessionError::Durability {
+                detail: e.to_string(),
+            })
+        })?;
+        let session =
+            Session::open_durable(family, schema, pools, base, config, Box::new(store), policy)
+                .map_err(ServiceError::Session)?;
+        self.sessions.insert(name.to_owned(), session);
+        Ok(())
+    }
+
+    /// Recover every `*.wal` log in `dir` into a service, one session per
+    /// log (the file stem is the session name), calling `mk(name)` for
+    /// each to supply its component family and schema.
+    ///
+    /// Recovery is **per session**: a log that cannot be recovered is
+    /// skipped — the session simply does not come up — and its error is
+    /// reported in the returned map alongside the [`RecoveryReport`]s of
+    /// the sessions that did.  One corrupt log never takes down its
+    /// neighbours.
+    ///
+    /// # Errors
+    /// Only directory-level I/O fails the whole call (the directory is
+    /// unreadable); everything per-log is captured in the report map.
+    #[allow(clippy::type_complexity)]
+    pub fn open_dir<P: AsRef<Path>>(
+        dir: P,
+        policy: SyncPolicy,
+        mut mk: impl FnMut(&str) -> (F, Schema),
+    ) -> io::Result<(
+        Service<F>,
+        BTreeMap<String, Result<RecoveryReport, RecoverError>>,
+    )> {
+        let mut service = Service::new();
+        let mut reports = BTreeMap::new();
+        // Sort for a deterministic recovery order.
+        let mut paths: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "wal"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(str::to_owned) else {
+                continue;
+            };
+            let (family, schema) = mk(&name);
+            let outcome = match FsStore::open(&path) {
+                Ok(store) => Session::recover(family, schema, Box::new(store), policy),
+                Err(e) => Err(RecoverError::Io(e.to_string())),
+            };
+            match outcome {
+                Ok((session, report)) => {
+                    service.sessions.insert(name.clone(), session);
+                    reports.insert(name, Ok(report));
+                }
+                Err(e) => {
+                    reports.insert(name, Err(e));
+                }
+            }
+        }
+        Ok((service, reports))
+    }
+
+    /// Checkpoint one session's log (see [`Session::checkpoint`]).
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownSession`]; [`ServiceError::Session`] when
+    /// the session has no log or the snapshot write fails.
+    pub fn checkpoint(&mut self, name: &str) -> Result<(), ServiceError> {
+        let session = self
+            .sessions
+            .get_mut(name)
+            .ok_or_else(|| ServiceError::UnknownSession(name.to_owned()))?;
+        session.checkpoint().map_err(ServiceError::Session)
     }
 
     /// Serve one request against one session.

@@ -1,0 +1,339 @@
+//! Pluggable log storage: the byte-level substrate under the WAL.
+//!
+//! [`LogStore`] is the narrow interface the write-ahead log needs —
+//! append, sync, read-everything, truncate, and atomic replace — with
+//! three implementations:
+//!
+//! * [`FsStore`] — a real `std::fs` file.  Appends write through a plain
+//!   file handle; [`LogStore::replace`] (checkpointing) writes a sibling
+//!   temp file and renames it over the log so a crash mid-checkpoint
+//!   leaves either the old log or the new one, never a hybrid.
+//! * [`MemStore`] — a `Vec<u8>` behind a shared handle, for tests and
+//!   benchmarks that want to inspect or corrupt the bytes.
+//! * [`FaultyStore`] — [`MemStore`] plus a programmable [`FaultPlan`]:
+//!   fail the Nth append (optionally leaving a *short write* — a torn
+//!   prefix of the record — behind), fail the Nth sync, fail truncation.
+//!   This is how recovery is tested against every crash shape the fs can
+//!   produce, deterministically and in memory.
+//!
+//! Stores are deliberately dumb: framing, checksums, sequence numbers,
+//! and recovery semantics all live in [`crate::wal`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Byte-level storage for one log.
+pub trait LogStore: Send {
+    /// The entire current contents of the log.
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+    /// Append bytes at the end.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Flush appended bytes to durable storage.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Drop everything past `len` bytes (recovery chops torn tails).
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+    /// Atomically replace the whole log with `bytes` (checkpointing).
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Current length in bytes.
+    fn len(&mut self) -> io::Result<u64>;
+    /// Whether the log is empty.
+    fn is_empty(&mut self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// A log in a real file.
+pub struct FsStore {
+    path: PathBuf,
+    file: File,
+}
+
+impl FsStore {
+    /// Open (creating if absent) the log at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<FsStore> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        Ok(FsStore { path, file })
+    }
+
+    /// The file path this store writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl LogStore for FsStore {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        self.file.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write_all(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        // Write-then-rename: a crash leaves the old log or the new one.
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The old handle may point at the unlinked inode; reopen.
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+/// A shared handle onto an in-memory log's bytes, for inspection and
+/// corruption from tests while a session owns the store.
+pub type SharedBytes = Arc<Mutex<Vec<u8>>>;
+
+/// An in-memory log.
+pub struct MemStore {
+    bytes: SharedBytes,
+}
+
+impl MemStore {
+    /// An empty in-memory log plus a shared handle to its bytes.
+    pub fn new() -> (MemStore, SharedBytes) {
+        let bytes: SharedBytes = Arc::new(Mutex::new(Vec::new()));
+        (
+            MemStore {
+                bytes: Arc::clone(&bytes),
+            },
+            bytes,
+        )
+    }
+
+    /// A log pre-seeded with `bytes` (e.g. a corrupted copy).
+    pub fn from_bytes(bytes: Vec<u8>) -> MemStore {
+        MemStore {
+            bytes: Arc::new(Mutex::new(bytes)),
+        }
+    }
+}
+
+impl LogStore for MemStore {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.bytes.lock().expect("log mutex").clone())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.bytes
+            .lock()
+            .expect("log mutex")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.bytes.lock().expect("log mutex").truncate(len as usize);
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        *self.bytes.lock().expect("log mutex") = bytes.to_vec();
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.bytes.lock().expect("log mutex").len() as u64)
+    }
+}
+
+/// What a [`FaultyStore`] should break, counted in calls since creation.
+/// `None` everywhere means behave exactly like [`MemStore`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Fail the Nth `append` (1-based).
+    pub fail_append_at: Option<u64>,
+    /// When the failing append fires, first write this many bytes of the
+    /// record — a *short write*, leaving a torn tail in the log.
+    pub short_write_bytes: u64,
+    /// Fail the Nth `sync` (1-based).
+    pub fail_sync_at: Option<u64>,
+    /// Fail every `truncate` (models an fs that cannot repair a torn
+    /// tail, which must poison the writer rather than corrupt the log).
+    pub fail_truncate: bool,
+}
+
+/// [`MemStore`] with programmable write-path faults.
+pub struct FaultyStore {
+    bytes: SharedBytes,
+    plan: FaultPlan,
+    appends: u64,
+    syncs: u64,
+}
+
+impl FaultyStore {
+    /// A faulty in-memory log plus a shared handle to its bytes.
+    pub fn new(plan: FaultPlan) -> (FaultyStore, SharedBytes) {
+        let bytes: SharedBytes = Arc::new(Mutex::new(Vec::new()));
+        (
+            FaultyStore {
+                bytes: Arc::clone(&bytes),
+                plan,
+                appends: 0,
+                syncs: 0,
+            },
+            bytes,
+        )
+    }
+
+    fn injected(kind: &str) -> io::Error {
+        io::Error::other(format!("injected fault: {kind}"))
+    }
+}
+
+impl LogStore for FaultyStore {
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        Ok(self.bytes.lock().expect("log mutex").clone())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.appends += 1;
+        if self.plan.fail_append_at == Some(self.appends) {
+            let keep = (self.plan.short_write_bytes as usize).min(bytes.len());
+            self.bytes
+                .lock()
+                .expect("log mutex")
+                .extend_from_slice(&bytes[..keep]);
+            return Err(FaultyStore::injected("append"));
+        }
+        self.bytes
+            .lock()
+            .expect("log mutex")
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.syncs += 1;
+        if self.plan.fail_sync_at == Some(self.syncs) {
+            return Err(FaultyStore::injected("sync"));
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        if self.plan.fail_truncate {
+            return Err(FaultyStore::injected("truncate"));
+        }
+        self.bytes.lock().expect("log mutex").truncate(len as usize);
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        *self.bytes.lock().expect("log mutex") = bytes.to_vec();
+        Ok(())
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.bytes.lock().expect("log mutex").len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "compview-store-{}-{tag}-{n}.wal",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn fs_store_append_read_truncate_replace() {
+        let path = temp_path("basic");
+        let mut s = FsStore::open(&path).unwrap();
+        s.append(b"hello ").unwrap();
+        s.append(b"world").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.read_all().unwrap(), b"hello world");
+        assert_eq!(s.len().unwrap(), 11);
+        s.truncate(5).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"hello");
+        s.replace(b"fresh").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"fresh");
+        // Replace is durable through reopen.
+        drop(s);
+        let mut s = FsStore::open(&path).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"fresh");
+        s.append(b"!").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"fresh!");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mem_store_shares_bytes() {
+        let (mut s, shared) = MemStore::new();
+        s.append(b"abc").unwrap();
+        assert_eq!(&*shared.lock().unwrap(), b"abc");
+        shared.lock().unwrap().push(b'!');
+        assert_eq!(s.read_all().unwrap(), b"abc!");
+        assert!(!s.is_empty().unwrap());
+    }
+
+    #[test]
+    fn faulty_store_short_write_then_recovers() {
+        let (mut s, shared) = FaultyStore::new(FaultPlan {
+            fail_append_at: Some(2),
+            short_write_bytes: 3,
+            ..FaultPlan::default()
+        });
+        s.append(b"first").unwrap();
+        let err = s.append(b"second").unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        // The torn prefix landed.
+        assert_eq!(&*shared.lock().unwrap(), b"firstsec");
+        // Later appends succeed (the plan fires once).
+        s.truncate(5).unwrap();
+        s.append(b"third").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"firstthird");
+    }
+
+    #[test]
+    fn faulty_store_sync_and_truncate_faults() {
+        let (mut s, _) = FaultyStore::new(FaultPlan {
+            fail_sync_at: Some(1),
+            fail_truncate: true,
+            ..FaultPlan::default()
+        });
+        assert!(s.sync().is_err());
+        assert!(s.sync().is_ok(), "sync fault is one-shot");
+        assert!(s.truncate(0).is_err(), "truncate fault is persistent");
+    }
+}

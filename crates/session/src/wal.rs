@@ -1,0 +1,897 @@
+//! The write-ahead log: durable session state over a [`LogStore`].
+//!
+//! # Record format
+//!
+//! ```text
+//! file   := magic records*          magic  := "CVWAL1"  (6 bytes)
+//! record := len seq crc payload     len    := u32 LE, payload byte count
+//!                                   seq    := u64 LE, 0,1,2,… per file
+//!                                   crc    := u32 LE, CRC-32 (IEEE) of
+//!                                             seq bytes ++ payload
+//! ```
+//!
+//! Record 0 is always a **snapshot** (the session's enumeration
+//! provenance, base state, views, stats, audit log, and undo history);
+//! every later record is one state-changing [`SessionRequest`].  The
+//! payloads use `compview_relation::binio`, so symbols are serialised by
+//! name — interner ids do not survive a process restart.
+//!
+//! # Crash consistency
+//!
+//! A record is appended (and synced per [`SyncPolicy`]) *before* the
+//! in-memory mutation it describes is attempted.  Because `serve` is
+//! deterministic, replaying the logged requests through the ordinary
+//! `serve` path reproduces the exact session — including rejections,
+//! which are replayed to the same rejection and tallied identically.
+//! Recovery parses records until the first torn or corrupt one,
+//! truncates there, and reports *why* it stopped in a typed
+//! [`RecoveryReport`]; corruption can cost the tail of a log, never a
+//! panic and never a plausible-but-wrong state (every payload is
+//! CRC-gated, and the state space is re-derived from pools rather than
+//! trusted from bytes).
+//!
+//! If an append or sync *fails while the session is live*, the write is
+//! rolled back (truncate to the last durable length) and the request is
+//! rejected with `SessionError::Durability` — the log and the in-memory
+//! state never diverge.  If even the rollback fails, the writer is
+//! poisoned and every later state-changing request is rejected, leaving
+//! the log a valid prefix of the session.
+
+use crate::store::LogStore;
+use crate::{SessionConfig, SessionRequest, SessionStats};
+use compview_core::{CatalogError, UpdateReport};
+use compview_relation::binio::{self, Dec, DecodeError};
+use compview_relation::Instance;
+use std::collections::BTreeMap;
+use std::io;
+
+/// The 6-byte file magic ("CVWAL" + format version 1).
+pub const MAGIC: &[u8; 6] = b"CVWAL1";
+
+/// Bytes of framing per record ahead of the payload (`len` + `seq` + `crc`).
+const FRAME: usize = 4 + 8 + 4;
+
+/// When appended records are flushed to durable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Sync after every record: nothing acknowledged is ever lost.
+    Always,
+    /// Sync after every Nth record: bounded loss window, amortised cost.
+    EveryN(u64),
+    /// Never sync explicitly (the OS flushes eventually): fastest, loses
+    /// the unflushed tail on a crash — which recovery then truncates.
+    Never,
+}
+
+/// CRC-32 (IEEE 802.3, reflected, poly `0xEDB88320`) — the std-only
+/// checksum gating every record payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Why recovery stopped reading the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryStop {
+    /// The log ended exactly at a record boundary: nothing was lost.
+    CleanEnd,
+    /// The log ended mid-record (a torn write); the tail was truncated.
+    TornTail {
+        /// Byte offset of the torn record's frame.
+        offset: u64,
+    },
+    /// A record's checksum did not match its bytes (corruption or a torn
+    /// write that happened to leave a full-length frame).
+    BadChecksum {
+        /// Byte offset of the corrupt record.
+        offset: u64,
+        /// The sequence number this record should have carried.
+        seq: u64,
+    },
+    /// A record carried the wrong sequence number (lost or reordered
+    /// write).
+    BadSequence {
+        /// Byte offset of the record.
+        offset: u64,
+        /// The expected sequence number.
+        expected: u64,
+        /// The sequence number found.
+        found: u64,
+    },
+    /// A record's checksum was valid but its payload did not decode (a
+    /// format-version skew, or corruption colliding with the CRC).
+    BadPayload {
+        /// Byte offset of the record.
+        offset: u64,
+        /// The record's sequence number.
+        seq: u64,
+        /// The decode failure.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RecoveryStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryStop::CleanEnd => write!(f, "clean end of log"),
+            RecoveryStop::TornTail { offset } => write!(f, "torn record at byte {offset}"),
+            RecoveryStop::BadChecksum { offset, seq } => {
+                write!(f, "checksum mismatch at byte {offset} (record {seq})")
+            }
+            RecoveryStop::BadSequence {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "sequence gap at byte {offset}: expected {expected}, found {found}"
+            ),
+            RecoveryStop::BadPayload {
+                offset,
+                seq,
+                detail,
+            } => write!(
+                f,
+                "undecodable payload at byte {offset} (record {seq}): {detail}"
+            ),
+        }
+    }
+}
+
+/// What [`crate::Session::recover`] did, instead of failing: how much of
+/// the log survived and why the rest (if any) did not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Request records replayed through `serve` (the snapshot record is
+    /// not counted).
+    pub records_applied: u64,
+    /// Bytes of the log that survived (the file was truncated here).
+    pub bytes_salvaged: u64,
+    /// Bytes the log held before recovery.
+    pub bytes_total: u64,
+    /// Why reading stopped.
+    pub stopped: RecoveryStop,
+}
+
+/// A log that could not be recovered *at all* — nothing before the first
+/// request record was readable, so there is no state to rebuild.  A
+/// multi-session `Service` degrades just the session that owns the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The store could not be read (or truncated after salvage).
+    Io(String),
+    /// The file does not start with the WAL magic — not a log, or its
+    /// first bytes were destroyed.
+    BadHeader {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The snapshot record (record 0) was missing, torn, or undecodable.
+    BadSnapshot {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The snapshot decoded, but its base state is not a state of the
+    /// re-enumerated space — the log was written under a different schema
+    /// or family than the one supplied to `recover`.
+    BaseOutsideSpace,
+    /// The snapshot's views failed catalog validation (same cause:
+    /// schema/family mismatch).
+    Catalog(CatalogError),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "log i/o failed: {e}"),
+            RecoverError::BadHeader { detail } => write!(f, "bad log header: {detail}"),
+            RecoverError::BadSnapshot { detail } => {
+                write!(f, "unrecoverable snapshot record: {detail}")
+            }
+            RecoverError::BaseOutsideSpace => write!(
+                f,
+                "snapshot base state is outside the re-enumerated space \
+                 (schema or family mismatch)"
+            ),
+            RecoverError::Catalog(e) => write!(f, "snapshot failed catalog validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// One CRC-valid record pulled off the log.
+pub(crate) struct RawRecord {
+    /// Byte offset of the record's frame in the file.
+    pub offset: u64,
+    /// The validated payload.
+    pub payload: Vec<u8>,
+}
+
+/// The outcome of framing-level log parsing: every CRC-valid record in
+/// sequence order, plus where and why reading stopped.
+pub(crate) struct ParsedLog {
+    pub records: Vec<RawRecord>,
+    /// Byte offset just past the last valid record.
+    pub salvaged: u64,
+    pub stop: RecoveryStop,
+}
+
+/// Parse the framing of a log image.  Fails only when the magic itself is
+/// unreadable; anything past it degrades into `stop`.
+pub(crate) fn parse_log(bytes: &[u8]) -> Result<ParsedLog, RecoverError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(RecoverError::BadHeader {
+            detail: format!(
+                "expected {:?}, found {:?}",
+                MAGIC,
+                &bytes[..bytes.len().min(MAGIC.len())]
+            ),
+        });
+    }
+    let mut records = Vec::new();
+    let mut o = MAGIC.len();
+    let stop = loop {
+        if o == bytes.len() {
+            break RecoveryStop::CleanEnd;
+        }
+        if bytes.len() - o < FRAME {
+            break RecoveryStop::TornTail { offset: o as u64 };
+        }
+        let len = u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4")) as usize;
+        if bytes.len() - o - FRAME < len {
+            break RecoveryStop::TornTail { offset: o as u64 };
+        }
+        let seq = u64::from_le_bytes(bytes[o + 4..o + 12].try_into().expect("8"));
+        let crc = u32::from_le_bytes(bytes[o + 12..o + 16].try_into().expect("4"));
+        let body = &bytes[o + 4..o + 16 + len]; // seq bytes ++ crc ++ payload
+        let mut checked = Vec::with_capacity(8 + len);
+        checked.extend_from_slice(&body[..8]);
+        checked.extend_from_slice(&bytes[o + 16..o + 16 + len]);
+        let expected_seq = records.len() as u64;
+        if crc32(&checked) != crc {
+            break RecoveryStop::BadChecksum {
+                offset: o as u64,
+                seq: expected_seq,
+            };
+        }
+        if seq != expected_seq {
+            break RecoveryStop::BadSequence {
+                offset: o as u64,
+                expected: expected_seq,
+                found: seq,
+            };
+        }
+        records.push(RawRecord {
+            offset: o as u64,
+            payload: bytes[o + 16..o + 16 + len].to_vec(),
+        });
+        o += FRAME + len;
+    };
+    Ok(ParsedLog {
+        records,
+        salvaged: o as u64,
+        stop,
+    })
+}
+
+/// Frame a payload into record bytes.
+pub(crate) fn frame_record(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut checked = Vec::with_capacity(8 + payload.len());
+    checked.extend_from_slice(&seq.to_le_bytes());
+    checked.extend_from_slice(payload);
+    let crc = crc32(&checked);
+    let mut rec = Vec::with_capacity(FRAME + payload.len());
+    rec.extend_from_slice(&(u32::try_from(payload.len()).expect("payload fits u32")).to_le_bytes());
+    rec.extend_from_slice(&seq.to_le_bytes());
+    rec.extend_from_slice(&crc.to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
+}
+
+// ---------------------------------------------------------------------
+// Payload codecs.
+// ---------------------------------------------------------------------
+
+/// Payload kind tags.
+const KIND_SNAPSHOT: u8 = 0;
+const KIND_REQUEST: u8 = 1;
+
+/// Request tags (KIND_REQUEST payloads).
+const REQ_REGISTER: u8 = 1;
+const REQ_UPDATE: u8 = 2;
+const REQ_INSERT: u8 = 3;
+const REQ_REMOVE: u8 = 4;
+const REQ_UNDO: u8 = 5;
+
+/// Encode a state-changing request.  Returns `None` for requests that are
+/// not logged (`Read`, `Stats` — they change no durable state).
+pub(crate) fn encode_request(req: &SessionRequest) -> Option<Vec<u8>> {
+    let mut out = vec![KIND_REQUEST];
+    match req {
+        SessionRequest::RegisterView { name, mask } => {
+            binio::put_u8(&mut out, REQ_REGISTER);
+            binio::put_str(&mut out, name);
+            binio::put_u32(&mut out, *mask);
+        }
+        SessionRequest::Update { view, new_state } => {
+            binio::put_u8(&mut out, REQ_UPDATE);
+            binio::put_str(&mut out, view);
+            binio::put_instance(&mut out, new_state);
+        }
+        SessionRequest::InsertPoolTuple { relation, tuple } => {
+            binio::put_u8(&mut out, REQ_INSERT);
+            binio::put_str(&mut out, relation);
+            binio::put_tuple(&mut out, tuple);
+        }
+        SessionRequest::RemovePoolTuple { relation, tuple } => {
+            binio::put_u8(&mut out, REQ_REMOVE);
+            binio::put_str(&mut out, relation);
+            binio::put_tuple(&mut out, tuple);
+        }
+        SessionRequest::Undo => {
+            binio::put_u8(&mut out, REQ_UNDO);
+        }
+        SessionRequest::Read { .. } | SessionRequest::Stats => return None,
+    }
+    Some(out)
+}
+
+/// Decode a request payload (inverse of [`encode_request`]).
+pub(crate) fn decode_request(payload: &[u8]) -> Result<SessionRequest, DecodeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8()?;
+    if kind != KIND_REQUEST {
+        return Err(DecodeError::BadTag { at: 0, tag: kind });
+    }
+    let at = d.pos();
+    let req = match d.u8()? {
+        REQ_REGISTER => SessionRequest::RegisterView {
+            name: d.str()?,
+            mask: d.u32()?,
+        },
+        REQ_UPDATE => SessionRequest::Update {
+            view: d.str()?,
+            new_state: d.instance()?,
+        },
+        REQ_INSERT => SessionRequest::InsertPoolTuple {
+            relation: d.str()?,
+            tuple: d.tuple()?,
+        },
+        REQ_REMOVE => SessionRequest::RemovePoolTuple {
+            relation: d.str()?,
+            tuple: d.tuple()?,
+        },
+        REQ_UNDO => SessionRequest::Undo,
+        tag => return Err(DecodeError::BadTag { at, tag }),
+    };
+    if !d.is_done() {
+        return Err(DecodeError::BadLength {
+            at: d.pos(),
+            len: d.remaining() as u64,
+        });
+    }
+    Ok(req)
+}
+
+/// The decoded parts of a snapshot record — everything a session needs to
+/// rebuild besides the schema and family (supplied by the caller of
+/// `recover`; component families are code, not data).
+pub(crate) struct SessionSnapshot {
+    pub config: SessionConfig,
+    /// `StateSpace::encode_snapshot` bytes (pools + enumeration guard).
+    pub space: Vec<u8>,
+    pub base: Instance,
+    pub views: BTreeMap<String, u32>,
+    pub stats: SessionStats,
+    pub log: Vec<UpdateReport>,
+    pub history: Vec<Instance>,
+}
+
+/// Encode a snapshot payload.
+pub(crate) fn encode_snapshot(snap: &SessionSnapshot) -> Vec<u8> {
+    let mut out = vec![KIND_SNAPSHOT];
+    binio::put_u8(&mut out, snap.config.incremental as u8);
+    binio::put_u8(&mut out, snap.config.cross_validate as u8);
+    binio::put_u64(&mut out, snap.config.max_bits as u64);
+    binio::put_u32(
+        &mut out,
+        u32::try_from(snap.space.len()).expect("space snapshot fits u32"),
+    );
+    out.extend_from_slice(&snap.space);
+    binio::put_instance(&mut out, &snap.base);
+    binio::put_u32(
+        &mut out,
+        u32::try_from(snap.views.len()).expect("view count fits u32"),
+    );
+    for (name, mask) in &snap.views {
+        binio::put_str(&mut out, name);
+        binio::put_u32(&mut out, *mask);
+    }
+    encode_stats(&mut out, &snap.stats);
+    binio::put_u32(
+        &mut out,
+        u32::try_from(snap.log.len()).expect("log count fits u32"),
+    );
+    for r in &snap.log {
+        binio::put_str(&mut out, &r.view);
+        binio::put_u64(&mut out, r.requested_delta as u64);
+        binio::put_u64(&mut out, r.reflected_delta as u64);
+    }
+    binio::put_u32(
+        &mut out,
+        u32::try_from(snap.history.len()).expect("history count fits u32"),
+    );
+    for h in &snap.history {
+        binio::put_instance(&mut out, h);
+    }
+    out
+}
+
+/// Decode a snapshot payload (inverse of [`encode_snapshot`]).
+pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SessionSnapshot, DecodeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8()?;
+    if kind != KIND_SNAPSHOT {
+        return Err(DecodeError::BadTag { at: 0, tag: kind });
+    }
+    let incremental = d.u8()? != 0;
+    let cross_validate = d.u8()? != 0;
+    let max_bits = d.u64()? as usize;
+    let config = SessionConfig {
+        incremental,
+        cross_validate,
+        max_bits,
+    };
+    let space_at = d.pos();
+    let space_len = d.u32()? as usize;
+    if space_len > d.remaining() {
+        return Err(DecodeError::BadLength {
+            at: space_at,
+            len: space_len as u64,
+        });
+    }
+    let mut space = Vec::with_capacity(space_len);
+    for _ in 0..space_len {
+        space.push(d.u8()?);
+    }
+    let base = d.instance()?;
+    let n_views = d.u32()? as usize;
+    let mut views = BTreeMap::new();
+    for _ in 0..n_views {
+        let name = d.str()?;
+        let mask = d.u32()?;
+        views.insert(name, mask);
+    }
+    let stats = decode_stats(&mut d)?;
+    let n_log = d.u32()? as usize;
+    let mut log = Vec::with_capacity(n_log.min(d.remaining()));
+    for _ in 0..n_log {
+        log.push(UpdateReport {
+            view: d.str()?,
+            requested_delta: d.u64()? as usize,
+            reflected_delta: d.u64()? as usize,
+        });
+    }
+    let n_hist = d.u32()? as usize;
+    let mut history = Vec::with_capacity(n_hist.min(d.remaining()));
+    for _ in 0..n_hist {
+        history.push(d.instance()?);
+    }
+    if !d.is_done() {
+        return Err(DecodeError::BadLength {
+            at: d.pos(),
+            len: d.remaining() as u64,
+        });
+    }
+    Ok(SessionSnapshot {
+        config,
+        space,
+        base,
+        views,
+        stats,
+        log,
+        history,
+    })
+}
+
+fn encode_stats(out: &mut Vec<u8>, s: &SessionStats) {
+    binio::put_u64(out, s.requests);
+    binio::put_u64(out, s.accepted);
+    binio::put_u64(out, s.rejected);
+    binio::put_u64(out, s.cache_hits);
+    binio::put_u64(out, s.cache_misses);
+    binio::put_u64(out, s.cache_remaps);
+    binio::put_u64(out, s.incremental_edits);
+    binio::put_u64(out, s.full_rebuilds);
+    binio::put_u32(
+        out,
+        u32::try_from(s.rejected_by_variant.len()).expect("variant count fits u32"),
+    );
+    for (k, v) in &s.rejected_by_variant {
+        binio::put_str(out, k);
+        binio::put_u64(out, *v);
+    }
+}
+
+fn decode_stats(d: &mut Dec<'_>) -> Result<SessionStats, DecodeError> {
+    let mut s = SessionStats {
+        requests: d.u64()?,
+        accepted: d.u64()?,
+        rejected: d.u64()?,
+        cache_hits: d.u64()?,
+        cache_misses: d.u64()?,
+        cache_remaps: d.u64()?,
+        incremental_edits: d.u64()?,
+        full_rebuilds: d.u64()?,
+        rejected_by_variant: BTreeMap::new(),
+    };
+    let n = d.u32()? as usize;
+    for _ in 0..n {
+        let k = d.str()?;
+        let v = d.u64()?;
+        s.rejected_by_variant.insert(k, v);
+    }
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------
+// The writer.
+// ---------------------------------------------------------------------
+
+/// Appends framed records to a [`LogStore`] under a [`SyncPolicy`],
+/// maintaining the invariant that the log is always a valid prefix of the
+/// session's accepted history.
+pub(crate) struct WalWriter {
+    store: Box<dyn LogStore>,
+    policy: SyncPolicy,
+    next_seq: u64,
+    durable_len: u64,
+    since_sync: u64,
+    poisoned: bool,
+}
+
+impl WalWriter {
+    /// Wrap a store positioned at `len` bytes with `next_seq` records
+    /// already present.
+    pub fn new(store: Box<dyn LogStore>, policy: SyncPolicy, next_seq: u64, len: u64) -> WalWriter {
+        WalWriter {
+            store,
+            policy,
+            next_seq,
+            durable_len: len,
+            since_sync: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Whether a failed rollback has disabled this writer.
+    #[cfg(test)]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Append one payload as the next record, rolling back on any write or
+    /// sync failure so the log never holds half a record.
+    pub fn append_payload(&mut self, payload: &[u8]) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "write-ahead log poisoned by an earlier failed rollback",
+            ));
+        }
+        let rec = frame_record(self.next_seq, payload);
+        let result = self.store.append(&rec).and_then(|()| {
+            self.since_sync += 1;
+            let due = match self.policy {
+                SyncPolicy::Always => true,
+                SyncPolicy::EveryN(n) => self.since_sync >= n.max(1),
+                SyncPolicy::Never => false,
+            };
+            if due {
+                self.store.sync()?;
+                self.since_sync = 0;
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => {
+                self.next_seq += 1;
+                self.durable_len += rec.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // Undo the (possibly partial) append; if that is also
+                // impossible the log may end in a torn record, so poison
+                // the writer — recovery handles the tail.
+                if self.store.truncate(self.durable_len).is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Replace the log wholesale with `magic ++ record0` (checkpointing),
+    /// resetting sequence numbering.  On success a previously poisoned
+    /// writer is healthy again — the log is fresh.
+    pub fn reset_with(&mut self, record0_payload: &[u8]) -> io::Result<()> {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&frame_record(0, record0_payload));
+        self.store.replace(&bytes)?;
+        if matches!(self.policy, SyncPolicy::Always) {
+            self.store.sync()?;
+        }
+        self.next_seq = 1;
+        self.durable_len = bytes.len() as u64;
+        self.since_sync = 0;
+        self.poisoned = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use compview_relation::{rel, v, Instance, Tuple};
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    fn sample_requests() -> Vec<SessionRequest> {
+        vec![
+            SessionRequest::RegisterView {
+                name: "r".into(),
+                mask: 0b01,
+            },
+            SessionRequest::Update {
+                view: "r".into(),
+                new_state: Instance::new().with("R", rel(1, [["a1"]])),
+            },
+            SessionRequest::InsertPoolTuple {
+                relation: "R".into(),
+                tuple: Tuple::new([v("a3")]),
+            },
+            SessionRequest::RemovePoolTuple {
+                relation: "R".into(),
+                tuple: Tuple::new([v("a3")]),
+            },
+            SessionRequest::Undo,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let payload = encode_request(&req).expect("durable request");
+            assert_eq!(decode_request(&payload).unwrap(), req);
+        }
+        // Reads and stats are not logged.
+        assert!(encode_request(&SessionRequest::Read { view: "r".into() }).is_none());
+        assert!(encode_request(&SessionRequest::Stats).is_none());
+    }
+
+    #[test]
+    fn request_decode_rejects_trailing_garbage() {
+        let mut payload = encode_request(&SessionRequest::Undo).unwrap();
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+    }
+
+    #[test]
+    fn writer_then_parser_round_trips() {
+        let (store, shared) = MemStore::new();
+        let mut w = WalWriter::new(Box::new(store), SyncPolicy::Always, 0, 0);
+        // Manually lay the magic like open_durable does.
+        shared.lock().unwrap().extend_from_slice(MAGIC);
+        w.durable_len = MAGIC.len() as u64;
+        let payloads: Vec<Vec<u8>> = sample_requests()
+            .iter()
+            .map(|r| encode_request(r).unwrap())
+            .collect();
+        for p in &payloads {
+            w.append_payload(p).unwrap();
+        }
+        let bytes = shared.lock().unwrap().clone();
+        let parsed = parse_log(&bytes).unwrap();
+        assert_eq!(parsed.stop, RecoveryStop::CleanEnd);
+        assert_eq!(parsed.salvaged, bytes.len() as u64);
+        assert_eq!(parsed.records.len(), payloads.len());
+        for (rec, p) in parsed.records.iter().zip(&payloads) {
+            assert_eq!(&rec.payload, p);
+        }
+    }
+
+    #[test]
+    fn every_truncation_parses_to_a_valid_prefix() {
+        let (store, shared) = MemStore::new();
+        shared.lock().unwrap().extend_from_slice(MAGIC);
+        let mut w = WalWriter::new(
+            Box::new(store),
+            SyncPolicy::EveryN(2),
+            0,
+            MAGIC.len() as u64,
+        );
+        for req in sample_requests() {
+            w.append_payload(&encode_request(&req).unwrap()).unwrap();
+        }
+        let bytes = shared.lock().unwrap().clone();
+        let full = parse_log(&bytes).unwrap().records.len();
+        for cut in MAGIC.len()..bytes.len() {
+            let parsed = parse_log(&bytes[..cut]).unwrap();
+            assert!(parsed.records.len() <= full);
+            assert!(parsed.salvaged <= cut as u64);
+            if cut as u64 > parsed.salvaged {
+                assert!(matches!(parsed.stop, RecoveryStop::TornTail { .. }));
+            }
+        }
+        // Cuts inside the magic fail as BadHeader.
+        for cut in 0..MAGIC.len() {
+            assert!(parse_log(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught_or_isolated() {
+        let (store, shared) = MemStore::new();
+        shared.lock().unwrap().extend_from_slice(MAGIC);
+        let mut w = WalWriter::new(Box::new(store), SyncPolicy::Never, 0, MAGIC.len() as u64);
+        let payloads: Vec<Vec<u8>> = sample_requests()
+            .iter()
+            .map(|r| encode_request(r).unwrap())
+            .collect();
+        for p in &payloads {
+            w.append_payload(p).unwrap();
+        }
+        let bytes = shared.lock().unwrap().clone();
+        for bit in 0..bytes.len() * 8 {
+            let mut bad = bytes.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            match parse_log(&bad) {
+                Err(RecoverError::BadHeader { .. }) => assert!(bit < MAGIC.len() * 8),
+                Ok(parsed) => {
+                    // Every salvaged record must be one we wrote, in order.
+                    assert!(parsed.records.len() <= payloads.len());
+                    for (rec, p) in parsed.records.iter().zip(&payloads) {
+                        assert_eq!(&rec.payload, p, "bit {bit} corrupted a salvaged record");
+                    }
+                    // A flip strictly inside a record's bytes must stop
+                    // parsing at or before that record.  (A flip in a LEN
+                    // field can absorb following records into a checksum
+                    // failure, which still stops before yielding them.)
+                    assert_ne!(
+                        (parsed.stop == RecoveryStop::CleanEnd),
+                        parsed.records.len() < payloads.len(),
+                        "bit {bit}: stop {:?} inconsistent with {} records",
+                        parsed.stop,
+                        parsed.records.len(),
+                    );
+                }
+                Err(e) => panic!("unexpected recover error for bit {bit}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn writer_rolls_back_failed_appends() {
+        use crate::store::{FaultPlan, FaultyStore};
+        let (store, shared) = FaultyStore::new(FaultPlan {
+            fail_append_at: Some(3), // magic is appended by hand below
+            short_write_bytes: 7,
+            ..FaultPlan::default()
+        });
+        shared.lock().unwrap().extend_from_slice(MAGIC);
+        let mut w = WalWriter::new(Box::new(store), SyncPolicy::Never, 0, MAGIC.len() as u64);
+        let p0 = encode_request(&SessionRequest::Undo).unwrap();
+        w.append_payload(&p0).unwrap();
+        w.append_payload(&p0).unwrap();
+        let before = shared.lock().unwrap().clone();
+        assert!(w.append_payload(&p0).is_err());
+        assert_eq!(
+            shared.lock().unwrap().clone(),
+            before,
+            "failed append must leave no torn bytes"
+        );
+        assert!(!w.is_poisoned());
+        w.append_payload(&p0).unwrap();
+        let parsed = parse_log(&shared.lock().unwrap()).unwrap();
+        assert_eq!(parsed.records.len(), 3);
+        assert_eq!(parsed.stop, RecoveryStop::CleanEnd);
+    }
+
+    #[test]
+    fn writer_poisons_when_rollback_fails() {
+        use crate::store::{FaultPlan, FaultyStore};
+        let (store, shared) = FaultyStore::new(FaultPlan {
+            fail_append_at: Some(2),
+            short_write_bytes: 5,
+            fail_truncate: true,
+            ..FaultPlan::default()
+        });
+        shared.lock().unwrap().extend_from_slice(MAGIC);
+        let mut w = WalWriter::new(Box::new(store), SyncPolicy::Never, 0, MAGIC.len() as u64);
+        let p = encode_request(&SessionRequest::Undo).unwrap();
+        w.append_payload(&p).unwrap();
+        assert!(w.append_payload(&p).is_err());
+        assert!(w.is_poisoned());
+        assert!(w.append_payload(&p).is_err(), "poisoned writer stays shut");
+        // The log now has a torn tail, which the parser isolates.
+        let parsed = parse_log(&shared.lock().unwrap()).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert!(matches!(parsed.stop, RecoveryStop::TornTail { .. }));
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = SessionSnapshot {
+            config: SessionConfig {
+                incremental: true,
+                cross_validate: false,
+                max_bits: 22,
+            },
+            space: vec![1, 2, 3, 4],
+            base: Instance::new().with("R", rel(1, [["a1"]])),
+            views: [("r".to_owned(), 0b01u32), ("s".to_owned(), 0b10u32)].into(),
+            stats: SessionStats {
+                requests: 9,
+                accepted: 7,
+                rejected: 2,
+                cache_hits: 5,
+                cache_misses: 2,
+                cache_remaps: 1,
+                incremental_edits: 3,
+                full_rebuilds: 0,
+                rejected_by_variant: [("Catalog::UnknownView".to_owned(), 2u64)].into(),
+            },
+            log: vec![UpdateReport {
+                view: "r".to_owned(),
+                requested_delta: 1,
+                reflected_delta: 2,
+            }],
+            history: vec![Instance::new().with("R", rel(1, Vec::<[&str; 1]>::new()))],
+        };
+        let payload = encode_snapshot(&snap);
+        let back = decode_snapshot(&payload).unwrap();
+        assert_eq!(back.config, snap.config);
+        assert_eq!(back.space, snap.space);
+        assert_eq!(back.base, snap.base);
+        assert_eq!(back.views, snap.views);
+        assert_eq!(back.stats, snap.stats);
+        assert_eq!(back.log, snap.log);
+        assert_eq!(back.history, snap.history);
+        // Truncations never panic.
+        for cut in 0..payload.len() {
+            assert!(decode_snapshot(&payload[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,813 @@
+//! Crash-recovery contract tests for the write-ahead log.
+//!
+//! The invariant under test, everywhere: **recovery never panics, always
+//! yields a valid session, and the recovered session is byte-identical —
+//! state, base id, space, views, audit log, undo history, and counters —
+//! to an uncrashed session that served exactly the requests the log
+//! durably holds.**  Crash points, bit flips, fault-injected writes, and
+//! checkpoints only ever move *which* prefix that is, never whether it
+//! holds.
+//!
+//! The fault-injection cases honour `COMPVIEW_FAULT_SEED` (see
+//! `scripts/ci.sh`), so a failing seed can be replayed exactly.
+
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview_session::{
+    FaultPlan, FaultyStore, FsStore, MemStore, RecoverError, RecoveryStop, Service, Session,
+    SessionConfig, SessionError, SessionRequest, SyncPolicy,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+type S = Session<SubschemaComponents>;
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["A"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+        ),
+        ("S".to_owned(), vec![Tuple::new([v("b1")])]),
+    ]
+    .into()
+}
+
+fn base() -> Instance {
+    Instance::null_model(&sig()).with("R", rel(1, [["a1"]]))
+}
+
+fn family() -> SubschemaComponents {
+    SubschemaComponents::singletons(sig())
+}
+
+fn schema() -> Schema {
+    Schema::unconstrained(sig())
+}
+
+fn config() -> SessionConfig {
+    SessionConfig::default()
+}
+
+/// A fresh durable session over an in-memory store, plus the handle to
+/// the log bytes.
+fn open_durable_mem() -> (S, compview_session::SharedBytes) {
+    let (store, shared) = MemStore::new();
+    let s = Session::open_durable(
+        family(),
+        schema(),
+        &pools(),
+        base(),
+        config(),
+        Box::new(store),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    (s, shared)
+}
+
+/// A fresh *non-durable* shadow session with the same opening conditions.
+fn open_shadow() -> S {
+    Session::open(family(), schema(), &pools(), base(), config()).unwrap()
+}
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("COMPVIEW_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("COMPVIEW_THREADS");
+    out
+}
+
+/// `COMPVIEW_FAULT_SEED` (decimal) mixed into the fault-injection RNGs so
+/// CI can sweep seeds and a failure names its own reproduction.
+fn fault_seed() -> u64 {
+    std::env::var("COMPVIEW_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+/// One step of a recovery workload: a durable request, or a checkpoint.
+#[derive(Clone, Debug)]
+enum Op {
+    Req(SessionRequest),
+    Checkpoint,
+}
+
+/// Byte offset one past the end of the log's snapshot record: the magic
+/// (6 bytes), the frame (16 bytes: len, seq, crc), and the snapshot
+/// payload whose length the frame declares.  Cuts at or beyond this
+/// offset must always recover; cuts inside it may only fail with a typed
+/// error.
+fn end_of_snapshot(bytes: &[u8]) -> usize {
+    let len = u32::from_le_bytes(bytes[6..10].try_into().unwrap()) as usize;
+    6 + 16 + len
+}
+
+/// A deterministic random stream of **durable-only** requests (plus
+/// optional checkpoints) with both accept and reject paths: inserts and
+/// removals (duplicates, base-state conflicts), updates on registered and
+/// unknown views (legal and illegal targets), undo with and without
+/// history, and re-registrations.
+fn random_ops(rng: &mut StdRng, n: usize, with_checkpoints: bool) -> Vec<Op> {
+    let r_dom: Vec<Tuple> = (1..=4).map(|i| Tuple::new([v(&format!("a{i}"))])).collect();
+    let s_dom: Vec<Tuple> = (1..=3).map(|i| Tuple::new([v(&format!("b{i}"))])).collect();
+    let mut ops = vec![Op::Req(SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    })];
+    for _ in 0..n {
+        let op = match rng.random_range(0..12u32) {
+            0..=2 => {
+                let (reln, dom) = if rng.random_range(0..2u32) == 0 {
+                    ("R", &r_dom)
+                } else {
+                    ("S", &s_dom)
+                };
+                Op::Req(SessionRequest::InsertPoolTuple {
+                    relation: reln.into(),
+                    tuple: dom[rng.random_range(0..dom.len())].clone(),
+                })
+            }
+            3..=4 => {
+                let (reln, dom) = if rng.random_range(0..2u32) == 0 {
+                    ("R", &r_dom)
+                } else {
+                    ("S", &s_dom)
+                };
+                Op::Req(SessionRequest::RemovePoolTuple {
+                    relation: reln.into(),
+                    tuple: dom[rng.random_range(0..dom.len())].clone(),
+                })
+            }
+            5..=8 => {
+                // Update "r" (registered up front), "s" (registered by a
+                // later op, maybe), or a ghost view.
+                let view = ["r", "s", "ghost"][rng.random_range(0..3) as usize];
+                let k = rng.random_range(0..3u32) as usize;
+                let mut target = rel(1, Vec::<[&str; 1]>::new());
+                for _ in 0..k {
+                    target.insert(r_dom[rng.random_range(0..r_dom.len())].clone());
+                }
+                let target = if view == "s" {
+                    Instance::null_model(&sig()).with("S", {
+                        let mut t = rel(1, Vec::<[&str; 1]>::new());
+                        if k > 0 {
+                            t.insert(s_dom[rng.random_range(0..s_dom.len())].clone());
+                        }
+                        t
+                    })
+                } else {
+                    Instance::null_model(&sig()).with("R", target)
+                };
+                Op::Req(SessionRequest::Update {
+                    view: view.into(),
+                    new_state: target,
+                })
+            }
+            9 => Op::Req(SessionRequest::Undo),
+            10 => Op::Req(SessionRequest::RegisterView {
+                name: ["r", "s"][rng.random_range(0..2) as usize].into(),
+                mask: [0b01u32, 0b10][rng.random_range(0..2) as usize],
+            }),
+            _ => {
+                if with_checkpoints && rng.random_range(0..3u32) == 0 {
+                    Op::Checkpoint
+                } else {
+                    Op::Req(SessionRequest::Undo)
+                }
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Run `ops` on a live durable session.  Returns, for diffing against
+/// recovery: the number of requests served before the most recent
+/// checkpoint (requests the current log no longer holds as records).
+fn drive(session: &mut S, ops: &[Op]) -> usize {
+    let mut before_checkpoint = 0;
+    let mut served = 0;
+    for op in ops {
+        match op {
+            Op::Req(req) => {
+                let _ = session.serve(req.clone());
+                served += 1;
+            }
+            Op::Checkpoint => {
+                session.checkpoint().unwrap();
+                before_checkpoint = served;
+            }
+        }
+    }
+    before_checkpoint
+}
+
+/// The shadow of a log prefix: a fresh non-durable session that served
+/// the first `n` requests of the stream.
+fn shadow_of(ops: &[Op], n: usize) -> S {
+    let mut s = open_shadow();
+    let mut served = 0;
+    for op in ops {
+        if served == n {
+            break;
+        }
+        if let Op::Req(req) = op {
+            let _ = s.serve(req.clone());
+            served += 1;
+        }
+    }
+    assert_eq!(served, n, "stream holds at least {n} requests");
+    s
+}
+
+/// Byte-identity of everything a session is made of, including every
+/// counter.  Holds whenever no checkpoint separates the two histories.
+fn assert_same(a: &S, b: &S, ctx: &str) {
+    assert_same_logical(a, b, ctx);
+    assert_eq!(a.stats(), b.stats(), "{ctx}: counters");
+}
+
+/// Byte-identity of the session's *logical* state.  The endo-cache is
+/// derived and never serialized, so a session recovered from a
+/// checkpoint replays the log tail on a cold cache: its cache telemetry
+/// (hits, misses, remaps) may lawfully differ from the uncrashed
+/// session's, and only those counters are exempted here.
+fn assert_same_logical(a: &S, b: &S, ctx: &str) {
+    assert_eq!(a.state(), b.state(), "{ctx}: base state");
+    assert_eq!(a.base_id(), b.base_id(), "{ctx}: base id");
+    assert_eq!(a.space().states(), b.space().states(), "{ctx}: spaces");
+    assert_eq!(
+        a.catalog().views().collect::<Vec<_>>(),
+        b.catalog().views().collect::<Vec<_>>(),
+        "{ctx}: views"
+    );
+    assert_eq!(a.catalog().log(), b.catalog().log(), "{ctx}: audit log");
+    assert_eq!(
+        a.catalog().history(),
+        b.catalog().history(),
+        "{ctx}: undo history"
+    );
+    let strip = |s: &compview_session::SessionStats| {
+        let mut s = s.clone();
+        s.cache_hits = 0;
+        s.cache_misses = 0;
+        s.cache_remaps = 0;
+        s
+    };
+    assert_eq!(
+        strip(a.stats()),
+        strip(b.stats()),
+        "{ctx}: logical counters"
+    );
+}
+
+// ----------------------------------------------------------- happy path
+
+#[test]
+fn full_log_recovers_the_exact_session() {
+    let (mut live, shared) = open_durable_mem();
+    let ops = random_ops(&mut StdRng::seed_from_u64(11), 14, false);
+    drive(&mut live, &ops);
+
+    let bytes = shared.lock().unwrap().clone();
+    let (recovered, report) = Session::recover(
+        family(),
+        schema(),
+        Box::new(MemStore::from_bytes(bytes.clone())),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+
+    assert_eq!(report.stopped, RecoveryStop::CleanEnd);
+    assert_eq!(report.records_applied as usize, ops.len());
+    assert_eq!(report.bytes_salvaged, report.bytes_total);
+    assert_same(&recovered, &live, "full log");
+    recovered.space().validate_against_full().unwrap();
+    assert!(recovered.is_durable());
+}
+
+#[test]
+fn recovered_session_keeps_logging_where_the_log_left_off() {
+    let (mut live, shared) = open_durable_mem();
+    live.serve(SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    })
+    .unwrap();
+
+    let bytes = shared.lock().unwrap().clone();
+    let store = MemStore::from_bytes(bytes);
+    let (mut recovered, _) =
+        Session::recover(family(), schema(), Box::new(store), SyncPolicy::Always).unwrap();
+
+    // Serve more on both; the recovered session's log keeps growing and a
+    // second recovery sees everything.
+    for s in [&mut live, &mut recovered] {
+        s.serve(SessionRequest::InsertPoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a3")]),
+        })
+        .unwrap();
+        s.serve(SessionRequest::Update {
+            view: "r".into(),
+            new_state: Instance::null_model(&sig()).with("R", rel(1, [["a3"]])),
+        })
+        .unwrap();
+    }
+    assert_same(&recovered, &live, "post-recovery serving");
+}
+
+// ------------------------------------------- crash points & corruptions
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn crash_at_any_point_recovers_the_durable_prefix(
+        seed in 0u64..1 << 32,
+        cut_frac in 0u32..=1000,
+    ) {
+        let (mut live, shared) = open_durable_mem();
+        let ops = random_ops(&mut StdRng::seed_from_u64(seed), 12, false);
+        drive(&mut live, &ops);
+        let bytes = shared.lock().unwrap().clone();
+
+        // Baseline: the log right after open (magic + snapshot record).
+        let baseline = end_of_snapshot(&bytes);
+        let cut = baseline + ((bytes.len() - baseline) as u64 * cut_frac as u64 / 1000) as usize;
+        let torn = bytes[..cut].to_vec();
+
+        // The same torn log must recover identically at 1, 2, and 8
+        // threads (the space is re-derived, never trusted from bytes).
+        let mut recovered_states = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let (recovered, report) = with_threads(threads, || {
+                Session::recover(
+                    family(),
+                    schema(),
+                    Box::new(MemStore::from_bytes(torn.clone())),
+                    SyncPolicy::Always,
+                )
+            })
+            .unwrap_or_else(|e| panic!("cut {cut} of {} at {threads}t: {e}", bytes.len()));
+            prop_assert!(report.bytes_salvaged <= cut as u64);
+            if cut == bytes.len() {
+                prop_assert_eq!(&report.stopped, &RecoveryStop::CleanEnd);
+            }
+            recovered.space().validate_against_full().unwrap();
+            let shadow = with_threads(threads, || {
+                shadow_of(&ops, report.records_applied as usize)
+            });
+            assert_same(&recovered, &shadow, &format!("cut {cut} @ {threads}t"));
+            recovered_states.push((
+                report.clone(),
+                recovered.state().clone(),
+                recovered.base_id(),
+            ));
+        }
+        // All three thread counts agreed with their shadows *and* each other.
+        prop_assert_eq!(&recovered_states[0], &recovered_states[1]);
+        prop_assert_eq!(&recovered_states[0], &recovered_states[2]);
+    }
+
+    #[test]
+    fn corruption_is_detected_never_obeyed(
+        seed in 0u64..1 << 32,
+        flip_frac in 0u32..1000,
+        n_flips in 1usize..4,
+    ) {
+        let (mut live, shared) = open_durable_mem();
+        let ops = random_ops(&mut StdRng::seed_from_u64(seed), 10, false);
+        drive(&mut live, &ops);
+        let mut bytes = shared.lock().unwrap().clone();
+
+        let mut flip_rng = StdRng::seed_from_u64(seed ^ ((flip_frac as u64) << 32));
+        let first_bit = (bytes.len() * 8) as u64 * flip_frac as u64 / 1000;
+        bytes[first_bit as usize / 8] ^= 1 << (first_bit % 8);
+        for _ in 1..n_flips {
+            let bit = flip_rng.random_range(0..bytes.len() * 8);
+            bytes[bit / 8] ^= 1 << (bit % 8);
+        }
+
+        match Session::recover(
+            family(),
+            schema(),
+            Box::new(MemStore::from_bytes(bytes)),
+            SyncPolicy::Always,
+        ) {
+            // Salvaged prefix: must be *some* durable prefix, exactly.
+            Ok((recovered, report)) => {
+                prop_assert!(report.records_applied as usize <= ops.len());
+                recovered.space().validate_against_full().unwrap();
+                let shadow = shadow_of(&ops, report.records_applied as usize);
+                assert_same(&recovered, &shadow, "after corruption");
+            }
+            // Destroyed header/snapshot: a typed refusal, not a panic.
+            Err(e) => prop_assert!(
+                matches!(
+                    e,
+                    RecoverError::BadHeader { .. } | RecoverError::BadSnapshot { .. }
+                ),
+                "unexpected recover error: {}", e
+            ),
+        }
+    }
+}
+
+// ----------------------------------------- checkpoints & undo interplay
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn undo_and_checkpoints_interleave_with_replay(
+        seed in 0u64..1 << 32,
+        cut_frac in 0u32..=1000,
+    ) {
+        // Undo-heavy stream *with checkpoints*: undo-past-log-start (the
+        // history crossing a checkpoint survives via the snapshot),
+        // undo-on-empty-history, undo-after-rejection.
+        let (mut live, shared) = open_durable_mem();
+        let ops = random_ops(&mut StdRng::seed_from_u64(seed), 14, true);
+        let before_checkpoint = drive(&mut live, &ops);
+        let bytes = shared.lock().unwrap().clone();
+
+        // Crash anywhere in the *current* log (which starts at the last
+        // checkpoint's snapshot): the shadow serves everything up to the
+        // checkpoint (compacted into the snapshot) plus the replayed tail.
+        let prefix_res = Session::recover(
+            family(),
+            schema(),
+            Box::new(MemStore::from_bytes(bytes.clone())),
+            SyncPolicy::Always,
+        );
+        let (recovered, report) = prefix_res.unwrap();
+        assert_eq!(report.stopped, RecoveryStop::CleanEnd);
+        assert_same_logical(&recovered, &live, "full log with checkpoints");
+
+        // Torn variant.
+        let baseline = end_of_snapshot(&bytes);
+        if bytes.len() > baseline {
+            let cut = baseline
+                + ((bytes.len() - baseline) as u64 * cut_frac as u64 / 1000) as usize;
+            let (recovered, report) = Session::recover(
+                family(),
+                schema(),
+                Box::new(MemStore::from_bytes(bytes[..cut].to_vec())),
+                SyncPolicy::Always,
+            )
+            .unwrap_or_else(|e| panic!("torn checkpointed log at {cut}: {e}"));
+            let shadow = shadow_of(
+                &ops,
+                before_checkpoint + report.records_applied as usize,
+            );
+            assert_same_logical(&recovered, &shadow, "torn checkpointed log");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_compacts_and_preserves_undo_past_log_start() {
+    let (mut live, shared) = open_durable_mem();
+    live.serve(SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    })
+    .unwrap();
+    for target in [vec!["a1", "a2"], vec!["a2"]] {
+        let rows: Vec<[&str; 1]> = target.iter().map(|s| [*s]).collect();
+        live.serve(SessionRequest::Update {
+            view: "r".into(),
+            new_state: Instance::null_model(&sig()).with("R", rel(1, rows)),
+        })
+        .unwrap();
+    }
+    let before = shared.lock().unwrap().len();
+    live.checkpoint().unwrap();
+    let after = shared.lock().unwrap().len();
+    assert!(after < before, "checkpoint compacted {before} -> {after}");
+
+    // Recover from the compacted log and undo past its start: both
+    // updates predate the snapshot, yet the history rode along in it.
+    let bytes = shared.lock().unwrap().clone();
+    let (mut recovered, report) = Session::recover(
+        family(),
+        schema(),
+        Box::new(MemStore::from_bytes(bytes)),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    assert_eq!(report.records_applied, 0, "log is one snapshot record");
+    assert_eq!(recovered.catalog().undoable(), 2);
+    recovered.serve(SessionRequest::Undo).unwrap();
+    recovered.serve(SessionRequest::Undo).unwrap();
+    live.serve(SessionRequest::Undo).unwrap();
+    live.serve(SessionRequest::Undo).unwrap();
+    assert_same_logical(&recovered, &live, "undo past checkpoint");
+    assert_eq!(recovered.state(), &base());
+}
+
+// --------------------------------------------------- injected fs faults
+
+#[test]
+fn failed_append_rejects_the_request_and_recovery_skips_it() {
+    let mut rng = StdRng::seed_from_u64(fault_seed());
+    for _round in 0..8 {
+        // open_durable writes its snapshot via replace(), not append(), so
+        // append #N is the Nth request; fail one somewhere in the middle.
+        let fail_at = rng.random_range(2..8u64);
+        let short = rng.random_range(0..20u64);
+        let (store, shared) = FaultyStore::new(FaultPlan {
+            fail_append_at: Some(fail_at),
+            short_write_bytes: short,
+            ..FaultPlan::default()
+        });
+        let mut live = Session::open_durable(
+            family(),
+            schema(),
+            &pools(),
+            base(),
+            config(),
+            Box::new(store),
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        let ops = random_ops(
+            &mut StdRng::seed_from_u64(rng.random_range(0..1 << 20)),
+            10,
+            false,
+        );
+
+        let mut logged: Vec<SessionRequest> = Vec::new();
+        let mut saw_fault = false;
+        for op in &ops {
+            let Op::Req(req) = op else { unreachable!() };
+            let state_before = live.state().clone();
+            match live.serve(req.clone()) {
+                Err(SessionError::Durability { .. }) => {
+                    // The failed request vanished without a trace.
+                    saw_fault = true;
+                    assert_eq!(live.state(), &state_before, "fault mutated the session");
+                }
+                _ => logged.push(req.clone()),
+            }
+        }
+        assert!(saw_fault, "fault plan fired");
+
+        // Recovery sees every request except the one that failed to log.
+        let bytes = shared.lock().unwrap().clone();
+        let (recovered, report) = Session::recover(
+            family(),
+            schema(),
+            Box::new(MemStore::from_bytes(bytes)),
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        assert_eq!(
+            report.stopped,
+            RecoveryStop::CleanEnd,
+            "rollback left no tear"
+        );
+        assert_eq!(report.records_applied as usize, logged.len());
+        let mut shadow = open_shadow();
+        for req in &logged {
+            let _ = shadow.serve(req.clone());
+        }
+        // The live session tallied the Durability rejection; recovery
+        // cannot know about a request that never reached the log.  Only
+        // those counters may differ.
+        assert_eq!(recovered.state(), shadow.state());
+        assert_eq!(recovered.base_id(), shadow.base_id());
+        assert_eq!(recovered.space().states(), shadow.space().states());
+        assert_eq!(recovered.catalog().log(), shadow.catalog().log());
+        assert_eq!(recovered.catalog().history(), shadow.catalog().history());
+        assert_eq!(recovered.stats(), shadow.stats());
+        assert_eq!(recovered.state(), live.state(), "live == recovered state");
+    }
+}
+
+#[test]
+fn failed_rollback_poisons_durability_but_never_the_session() {
+    let (store, shared) = FaultyStore::new(FaultPlan {
+        fail_append_at: Some(2),
+        short_write_bytes: 9, // torn frame
+        fail_truncate: true,
+        ..FaultPlan::default()
+    });
+    let mut live = Session::open_durable(
+        family(),
+        schema(),
+        &pools(),
+        base(),
+        config(),
+        Box::new(store),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    live.serve(SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    })
+    .unwrap();
+    // This append fails AND its rollback fails: the wal is poisoned.
+    let err = live
+        .serve(SessionRequest::InsertPoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a3")]),
+        })
+        .unwrap_err();
+    assert_eq!(err.variant_label(), "Durability");
+    // Every durable request is now refused…
+    let err = live.serve(SessionRequest::Undo).unwrap_err();
+    assert_eq!(err.variant_label(), "Durability");
+    // …but reads still serve from the intact in-memory session.
+    live.serve(SessionRequest::Read { view: "r".into() })
+        .unwrap();
+
+    // And the torn log still recovers its durable prefix.
+    let bytes = shared.lock().unwrap().clone();
+    let (recovered, report) = Session::recover(
+        family(),
+        schema(),
+        Box::new(MemStore::from_bytes(bytes)),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    assert!(matches!(report.stopped, RecoveryStop::TornTail { .. }));
+    assert_eq!(report.records_applied, 1, "the registration survived");
+    assert_eq!(recovered.catalog().views().count(), 1);
+}
+
+#[test]
+fn failed_sync_rejects_under_always_policy() {
+    let seed = fault_seed();
+    let (store, _shared) = FaultyStore::new(FaultPlan {
+        // Sync #1 serves open_durable's snapshot; fail the first request's.
+        fail_sync_at: Some(2),
+        ..FaultPlan::default()
+    });
+    let mut live = Session::open_durable(
+        family(),
+        schema(),
+        &pools(),
+        base(),
+        config(),
+        Box::new(store),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    let err = live
+        .serve(SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b01,
+        })
+        .unwrap_err();
+    assert_eq!(err.variant_label(), "Durability", "seed {seed}");
+    assert_eq!(live.catalog().views().count(), 0, "rejection left no view");
+    // One-shot fault: the same request goes through afterwards.
+    live.serve(SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    })
+    .unwrap();
+}
+
+// -------------------------------------------- multi-session degradation
+
+#[test]
+fn open_dir_degrades_only_the_corrupt_session() {
+    let dir = std::env::temp_dir().join(format!(
+        "compview-recovery-{}-{}",
+        std::process::id(),
+        fault_seed()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut service: Service<SubschemaComponents> = Service::new();
+    for name in ["alpha", "beta", "gamma"] {
+        service
+            .create_durable_session(
+                &dir,
+                name,
+                family(),
+                schema(),
+                &pools(),
+                base(),
+                config(),
+                SyncPolicy::Always,
+            )
+            .unwrap();
+        service
+            .serve(
+                name,
+                SessionRequest::RegisterView {
+                    name: "r".into(),
+                    mask: 0b01,
+                },
+            )
+            .unwrap();
+    }
+    service
+        .serve(
+            "beta",
+            SessionRequest::InsertPoolTuple {
+                relation: "R".into(),
+                tuple: Tuple::new([v("a3")]),
+            },
+        )
+        .unwrap();
+    drop(service);
+
+    // Destroy beta's snapshot region (past the magic, inside record 0).
+    let beta = dir.join("beta.wal");
+    let mut bytes = std::fs::read(&beta).unwrap();
+    for b in bytes.iter_mut().skip(8).take(24) {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&beta, &bytes).unwrap();
+
+    let (mut service, reports) =
+        Service::<SubschemaComponents>::open_dir(&dir, SyncPolicy::Always, |_| {
+            (family(), schema())
+        })
+        .unwrap();
+
+    assert_eq!(reports.len(), 3);
+    assert!(reports["alpha"].is_ok());
+    assert!(reports["gamma"].is_ok());
+    assert!(
+        matches!(reports["beta"], Err(RecoverError::BadSnapshot { .. })),
+        "beta: {:?}",
+        reports["beta"]
+    );
+    // The survivors are up and serving; beta is simply absent.
+    assert_eq!(
+        service.session_names().collect::<Vec<_>>(),
+        ["alpha", "gamma"]
+    );
+    service
+        .serve("alpha", SessionRequest::Read { view: "r".into() })
+        .unwrap();
+    assert!(service
+        .serve("beta", SessionRequest::Read { view: "r".into() })
+        .is_err());
+
+    // Checkpoint through the service and recover once more.
+    service.checkpoint("gamma").unwrap();
+    drop(service);
+    let (service, reports) =
+        Service::<SubschemaComponents>::open_dir(&dir, SyncPolicy::Always, |_| {
+            (family(), schema())
+        })
+        .unwrap();
+    assert!(reports["gamma"].is_ok());
+    assert_eq!(
+        service.session("gamma").unwrap().catalog().views().count(),
+        1
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fs_store_round_trips_like_mem_store() {
+    let path = std::env::temp_dir().join(format!(
+        "compview-recovery-fs-{}-{}.wal",
+        std::process::id(),
+        fault_seed()
+    ));
+    std::fs::remove_file(&path).ok();
+
+    let mut live = Session::open_durable(
+        family(),
+        schema(),
+        &pools(),
+        base(),
+        config(),
+        Box::new(FsStore::open(&path).unwrap()),
+        SyncPolicy::EveryN(2),
+    )
+    .unwrap();
+    let ops = random_ops(&mut StdRng::seed_from_u64(5), 10, false);
+    drive(&mut live, &ops);
+
+    let (recovered, report) = Session::recover(
+        family(),
+        schema(),
+        Box::new(FsStore::open(&path).unwrap()),
+        SyncPolicy::EveryN(2),
+    )
+    .unwrap();
+    assert_eq!(report.stopped, RecoveryStop::CleanEnd);
+    assert_same(&recovered, &live, "fs round trip");
+    std::fs::remove_file(&path).ok();
+}

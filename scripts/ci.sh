@@ -19,8 +19,16 @@ cargo test -q --workspace
 echo "==> cargo test -p compview-session (service + incremental maintenance)"
 cargo test -q -p compview-session
 
-echo "==> cargo build --example session --benches"
-cargo build --example session
+# Fault-injection sweep: the recovery suite derives its injected-fault
+# plans (failing append/sync/truncate points, short-write lengths) from
+# COMPVIEW_FAULT_SEED, so CI can rotate seeds and a failure names its own
+# reproduction.  Defaults to a fixed seed for run-to-run determinism.
+echo "==> recovery fault-injection suite (COMPVIEW_FAULT_SEED=${COMPVIEW_FAULT_SEED:-20260806})"
+COMPVIEW_FAULT_SEED="${COMPVIEW_FAULT_SEED:-20260806}" \
+    cargo test -q -p compview-session --test recovery
+
+echo "==> cargo build --example session --example recovery --benches"
+cargo build --example session --example recovery
 cargo build --benches -p compview-bench
 
 echo "CI OK"
