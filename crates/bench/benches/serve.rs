@@ -1,0 +1,132 @@
+//! E13: wire-protocol costs — codec throughput, loopback round-trip
+//! latency, and pipelining.
+//!
+//! `codec_request` prices the frame payload codec alone (encode + decode
+//! of an `Update` request, no I/O).  `roundtrip` is one `Read` request
+//! call-and-wait over a loopback TCP connection: wire framing, CRC,
+//! thread hand-off to the dispatcher, and back.  `pipelined_16` sends 16
+//! `Read`s before collecting any response, so its mean divided by 16 is
+//! the per-request cost once the connection's FIFO is kept full — the
+//! client-side face of the server's batch dispatcher.
+
+use compview_bench::header;
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview_serve::proto::{decode_request_payload, encode_request_payload};
+use compview_serve::{Client, Server};
+use compview_session::{Service, Session, SessionConfig, SessionRequest};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["B"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            (0..5).map(|i| Tuple::new([v(&format!("a{i}"))])).collect(),
+        ),
+        (
+            "S".to_owned(),
+            (0..3).map(|i| Tuple::new([v(&format!("b{i}"))])).collect(),
+        ),
+    ]
+    .into()
+}
+
+/// An in-memory service with one session and the view `r` registered —
+/// the same 256-state space as the `session` and `wal` benches.
+fn demo_service() -> Service<SubschemaComponents> {
+    let sig = sig();
+    let mut session = Session::open(
+        SubschemaComponents::singletons(sig.clone()),
+        Schema::unconstrained(sig.clone()),
+        &pools(),
+        Instance::null_model(&sig).with("R", rel(1, [["a0"]])),
+        SessionConfig::default(),
+    )
+    .unwrap();
+    session
+        .serve(SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b01,
+        })
+        .unwrap();
+    let mut svc = Service::new();
+    svc.add_session("w", session).unwrap();
+    svc
+}
+
+fn bench_serve(c: &mut Criterion) {
+    header(
+        "E13",
+        "serve: wire codec, loopback round-trip, pipelining amortisation",
+    );
+    let mut group = c.benchmark_group("serve");
+
+    // Codec alone: encode + decode the largest common payload, an Update
+    // carrying a full view state.
+    {
+        let update = SessionRequest::Update {
+            view: "r".into(),
+            new_state: Instance::null_model(&sig()).with("R", rel(1, [["a1"], ["a2"]])),
+        };
+        group.bench_function("codec_request", |b| {
+            b.iter(|| {
+                let payload = encode_request_payload("w", &update);
+                black_box(decode_request_payload(&payload).unwrap())
+            })
+        });
+    }
+
+    let read = SessionRequest::Read { view: "r".into() };
+
+    // One call-and-wait request over loopback TCP.
+    {
+        let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        group.bench_function("roundtrip", |b| {
+            b.iter(|| {
+                let res = client.request("w", &read).unwrap();
+                assert!(res.is_ok());
+                black_box(res)
+            })
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // 16 pipelined requests: divide by 16 for the amortised per-request
+    // cost with the connection FIFO kept full.
+    {
+        let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        group.bench_function("pipelined_16", |b| {
+            b.iter(|| {
+                for _ in 0..16 {
+                    client.send("w", &read).unwrap();
+                }
+                for _ in 0..16 {
+                    assert!(client.recv().unwrap().is_ok());
+                }
+            })
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_serve
+}
+criterion_main!(benches);

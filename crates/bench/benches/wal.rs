@@ -1,20 +1,26 @@
-//! E12: durability costs — WAL append throughput per fsync policy, and
-//! recovery latency.
+//! E12: durability costs — WAL append throughput per fsync policy,
+//! group-commit amortisation, and recovery latency.
 //!
 //! `append_*` legs run the same `Update`/`Undo` round trip as
 //! `session/update_undo`, but on a durable session logging to a real
 //! file, so the difference prices the log: serialization + append per
 //! request, plus an fsync per record (`always`), per 8th record
 //! (`every8`), or never (`never` — the OS flushes, recovery truncates
-//! whatever had not landed).  `recover_64` is the full crash-restart
-//! path: read the log, decode the snapshot, re-enumerate the state
-//! space, and replay 64 logged requests through `serve`.
+//! whatever had not landed).  `group_commit_16` dispatches a 16-request
+//! batch through `Service::dispatch` on an `Always` session: the
+//! deferred-sync window coalesces the 16 per-record fsyncs into one, so
+//! its mean **divided by 16** is the per-request cost to compare against
+//! the `append_*` ladder.  `recover_64` is the full crash-restart path:
+//! read the log, decode the snapshot, re-enumerate the state space, and
+//! replay 64 logged requests through `serve`.
 
 use compview_bench::header;
 use compview_core::SubschemaComponents;
 use compview_logic::Schema;
 use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
-use compview_session::{LogStore, MemStore, Session, SessionConfig, SessionRequest, SyncPolicy};
+use compview_session::{
+    LogStore, MemStore, Service, Session, SessionConfig, SessionRequest, SyncPolicy,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -94,6 +100,40 @@ fn bench_wal(c: &mut Criterion) {
         let store = compview_session::FsStore::open(&path).unwrap();
         let mut session = open_durable(Box::new(store), policy);
         group.bench_function(leg, |b| b.iter(|| update_undo(&mut session)));
+    }
+
+    // Group commit: the same update/undo traffic under SyncPolicy::Always,
+    // but dispatched as one 16-request batch — one fsync per batch instead
+    // of one per record.  Compare (mean / 16) against append_always and
+    // append_never.
+    {
+        let path = tmp.join("group_commit.wal");
+        std::fs::remove_file(&path).ok();
+        let store = compview_session::FsStore::open(&path).unwrap();
+        let session = open_durable(Box::new(store), SyncPolicy::Always);
+        let mut service: Service<SubschemaComponents> = Service::new();
+        service.add_session("w", session).unwrap();
+        let batch: Vec<(String, SessionRequest)> = (0..8)
+            .flat_map(|_| {
+                [
+                    (
+                        "w".to_owned(),
+                        SessionRequest::Update {
+                            view: "r".into(),
+                            new_state: target.clone(),
+                        },
+                    ),
+                    ("w".to_owned(), SessionRequest::Undo),
+                ]
+            })
+            .collect();
+        group.bench_function("group_commit_16", |b| {
+            b.iter(|| {
+                let results = service.dispatch(batch.clone());
+                assert!(results.iter().all(Result::is_ok));
+                black_box(results)
+            })
+        });
     }
 
     // Recovery latency: a log holding the snapshot plus 64 update/undo

@@ -1,0 +1,68 @@
+//! A blocking client for the wire protocol.
+//!
+//! [`Client::request`] is the simple call-and-wait path.  For batching —
+//! the whole point of the server's dispatcher — use [`Client::send`] to
+//! pipeline many requests and [`Client::recv`] to collect the responses:
+//! the server answers one connection's requests strictly in order.
+
+use crate::proto::{
+    decode_result_payload, encode_request_payload, expect_handshake, read_frame, send_handshake,
+    write_frame, ProtoError,
+};
+use compview_session::{DispatchError, SessionRequest, SessionResponse};
+use std::io::{self, ErrorKind};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One outcome off the wire: the service's per-request answer (itself a
+/// `Result`, exactly what `Service::dispatch` produced on the far side).
+pub type WireResult = Result<SessionResponse, DispatchError>;
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and exchange handshakes.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ProtoError> {
+        let mut stream = TcpStream::connect(addr)?;
+        // Small request frames must leave as soon as they're written —
+        // Nagle + the peer's delayed ACK would add ~40 ms per round trip.
+        let _ = stream.set_nodelay(true);
+        send_handshake(&mut stream)?;
+        expect_handshake(&mut stream)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request without waiting for its response (pipelining).
+    /// Responses arrive in send order; collect them with
+    /// [`Client::recv`].
+    pub fn send(&mut self, session: &str, req: &SessionRequest) -> Result<(), ProtoError> {
+        write_frame(&mut self.stream, &encode_request_payload(session, req))
+    }
+
+    /// Receive the next response.
+    ///
+    /// # Errors
+    /// [`ProtoError::Io`] with [`ErrorKind::UnexpectedEof`] when the
+    /// server hung up with responses still owed.
+    pub fn recv(&mut self) -> Result<WireResult, ProtoError> {
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ProtoError::Io(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection with a response still owed",
+            ))
+        })?;
+        Ok(decode_result_payload(&payload)?)
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(
+        &mut self,
+        session: &str,
+        req: &SessionRequest,
+    ) -> Result<WireResult, ProtoError> {
+        self.send(session, req)?;
+        self.recv()
+    }
+}

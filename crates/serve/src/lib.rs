@@ -1,0 +1,35 @@
+//! Network front end for `compview-session`: a length-prefixed,
+//! CRC-checksummed wire protocol ([`proto`]), a threaded TCP server that
+//! amortises concurrent requests into deterministic
+//! [`Service::dispatch`](compview_session::Service::dispatch) batches
+//! ([`server`]), and a blocking, pipelining client ([`client`]).
+//!
+//! The wire format reuses the session crate's canonical binary codec: a
+//! request's bytes on the wire are exactly its bytes in the write-ahead
+//! log, and every frame is CRC-gated before interpretation, so the same
+//! corruption discipline governs disk and network.  Batching composes
+//! with the service's group commit — each dispatched batch costs one
+//! fsync per touched session, so N concurrent durable clients pay ~1
+//! fsync each per *batch*, not per request.
+//!
+//! ```no_run
+//! use compview_serve::{Client, Server};
+//! use compview_session::{Service, SessionRequest};
+//! # use compview_core::SubschemaComponents;
+//! # fn demo(service: Service<SubschemaComponents>) -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::bind("127.0.0.1:0", service)?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let answer = client.request("alpha", &SessionRequest::Stats)?;
+//! let service = server.shutdown(); // take the sessions back
+//! # Ok(()) }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, WireResult};
+pub use proto::{ProtoError, HANDSHAKE, MAX_FRAME};
+pub use server::Server;

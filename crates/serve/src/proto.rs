@@ -1,0 +1,213 @@
+//! The wire format: CRC-checksummed, length-prefixed frames over the
+//! canonical binary codec of `compview_session::wal`.
+//!
+//! ```text
+//! connection := handshake frame*     handshake := "CVRPC1", sent by BOTH
+//!                                                 sides before anything
+//! frame      := len crc payload      len  := u32 LE, payload byte count
+//!                                    crc  := u32 LE, CRC-32 (IEEE) of
+//!                                            the payload bytes
+//! ```
+//!
+//! Request payloads are `str session ++ wal::encode_request` bytes;
+//! response payloads are `wal::encode_result` bytes — the *same* codec
+//! the write-ahead log uses, so a request's wire form and its log-record
+//! form are byte-identical.  Every frame is gated by its checksum and a
+//! hard size limit ([`MAX_FRAME`]) before a single payload byte is
+//! interpreted, mirroring how WAL recovery treats on-disk records:
+//! corruption is detected and refused, never obeyed, and never a panic.
+
+use compview_relation::binio::{self, Dec, DecodeError};
+use compview_session::wal::{self, crc32};
+use compview_session::{DispatchError, SessionRequest, SessionResponse};
+use std::io::{self, Read, Write};
+
+/// The 6-byte connection handshake ("CVRPC" + protocol version 1),
+/// exchanged in both directions before the first frame.
+pub const HANDSHAKE: &[u8; 6] = b"CVRPC1";
+
+/// Hard per-frame payload limit (64 MiB): a frame declaring more is
+/// refused *before* any allocation, so a corrupt or hostile length
+/// prefix cannot balloon memory.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Bytes of framing ahead of the payload (`len` + `crc`).
+pub const FRAME_HEADER: usize = 4 + 4;
+
+/// Why a connection's byte stream was refused.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed (including truncation inside a
+    /// frame: the peer vanished mid-record).
+    Io(io::Error),
+    /// The peer did not open with [`HANDSHAKE`].
+    BadHandshake {
+        /// The bytes received instead.
+        got: [u8; 6],
+    },
+    /// A frame declared a payload larger than [`MAX_FRAME`].
+    TooLarge {
+        /// The declared payload length.
+        len: u32,
+    },
+    /// A frame's payload did not match its checksum.
+    BadCrc {
+        /// The checksum the frame carried.
+        carried: u32,
+        /// The checksum of the bytes actually received.
+        computed: u32,
+    },
+    /// The frame was sound but its payload did not decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport failed: {e}"),
+            ProtoError::BadHandshake { got } => {
+                write!(f, "bad handshake: expected {HANDSHAKE:?}, got {got:?}")
+            }
+            ProtoError::TooLarge { len } => {
+                write!(f, "frame declares {len} bytes, limit is {MAX_FRAME}")
+            }
+            ProtoError::BadCrc { carried, computed } => write!(
+                f,
+                "frame checksum mismatch: carried {carried:#010x}, computed {computed:#010x}"
+            ),
+            ProtoError::Decode(e) => write!(f, "undecodable payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ProtoError {
+    fn from(e: DecodeError) -> ProtoError {
+        ProtoError::Decode(e)
+    }
+}
+
+/// Send the handshake bytes.
+pub fn send_handshake(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(HANDSHAKE)
+}
+
+/// Read and verify the peer's handshake.
+pub fn expect_handshake(r: &mut impl Read) -> Result<(), ProtoError> {
+    let mut got = [0u8; 6];
+    r.read_exact(&mut got)?;
+    if &got != HANDSHAKE {
+        return Err(ProtoError::BadHandshake { got });
+    }
+    Ok(())
+}
+
+/// Write one frame around `payload`.
+///
+/// # Errors
+/// [`ProtoError::TooLarge`] when the payload exceeds [`MAX_FRAME`]
+/// (nothing is written); otherwise any transport error.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtoError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or(ProtoError::TooLarge {
+            len: payload.len().min(u32::MAX as usize) as u32,
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Fill `buf` exactly, or report a clean end-of-stream (`Ok(false)`) when
+/// the stream ends *before the first byte*.  Ending mid-buffer is an
+/// [`io::ErrorKind::UnexpectedEof`] — the peer died inside a frame.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("stream ended {filled} bytes into a {}-byte read", buf.len()),
+            ));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Read one frame; `Ok(None)` on a clean end-of-stream at a frame
+/// boundary (the peer hung up between requests).
+///
+/// # Errors
+/// [`ProtoError::TooLarge`] before allocating anything for an over-limit
+/// length; [`ProtoError::BadCrc`] when the payload bytes do not match
+/// their checksum; [`ProtoError::Io`] on transport failure or truncation
+/// inside the frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut header = [0u8; FRAME_HEADER];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    let carried = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(ProtoError::TooLarge { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_exact_or_eof(r, &mut payload)? && len != 0 {
+        return Err(ProtoError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ended between a frame's header and its payload",
+        )));
+    }
+    let computed = crc32(&payload);
+    if computed != carried {
+        return Err(ProtoError::BadCrc { carried, computed });
+    }
+    Ok(Some(payload))
+}
+
+/// Encode a request frame payload: the target session's name, then the
+/// request in its canonical (WAL-identical) binary form.
+pub fn encode_request_payload(session: &str, req: &SessionRequest) -> Vec<u8> {
+    let mut out = Vec::new();
+    binio::put_str(&mut out, session);
+    out.extend_from_slice(&wal::encode_request(req));
+    out
+}
+
+/// Decode a request frame payload (inverse of
+/// [`encode_request_payload`]).
+pub fn decode_request_payload(payload: &[u8]) -> Result<(String, SessionRequest), DecodeError> {
+    let mut d = Dec::new(payload);
+    let session = d.str()?;
+    let req = wal::decode_request(&payload[d.pos()..])?;
+    Ok((session, req))
+}
+
+/// Encode a response frame payload: one dispatch outcome in its
+/// canonical binary form.
+pub fn encode_result_payload(res: &Result<SessionResponse, DispatchError>) -> Vec<u8> {
+    wal::encode_result(res)
+}
+
+/// Decode a response frame payload (inverse of
+/// [`encode_result_payload`]).
+pub fn decode_result_payload(
+    payload: &[u8],
+) -> Result<Result<SessionResponse, DispatchError>, DecodeError> {
+    wal::decode_result(payload)
+}

@@ -1,0 +1,225 @@
+//! The threaded TCP front end: concurrent connections, one deterministic
+//! batch dispatcher.
+//!
+//! # Architecture
+//!
+//! ```text
+//! conn 1 ──reader──┐                       ┌──► responses, conn 1
+//! conn 2 ──reader──┼──► queue ──dispatcher─┼──► responses, conn 2
+//! conn 3 ──reader──┘    (mutex+condvar)    └──► responses, conn 3
+//! ```
+//!
+//! One reader thread per connection decodes frames and pushes
+//! `(conn, session, request)` onto a shared queue.  A single dispatcher
+//! thread owns the [`Service`]; each time it wakes it drains the *whole*
+//! queue as one batch, runs [`Service::dispatch`] (which fans sessions
+//! out across the worker pool and group-commits each touched log with a
+//! single fsync), and writes the responses back — so concurrently
+//! arriving requests are amortised into batches exactly as large as the
+//! server is busy.
+//!
+//! # Ordering
+//!
+//! Within one connection, responses come back in request order: the
+//! reader pushes in arrival order, the queue preserves it, and the
+//! dispatcher answers each batch in batch order.  Across connections no
+//! order is promised (none exists to preserve).  Because
+//! `Service::dispatch` serves each session's queue sequentially and
+//! deterministically, how arrivals happen to split into batches can
+//! never change any response — only how many fsyncs amortise.
+
+use crate::proto::{
+    decode_request_payload, encode_result_payload, expect_handshake, read_frame, send_handshake,
+    write_frame,
+};
+use compview_core::ComponentFamily;
+use compview_session::{Service, SessionRequest};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued request: which connection sent it, for which session.
+type QueuedRequest = (u64, String, SessionRequest);
+
+/// State shared between the accept loop, the readers, and the
+/// dispatcher.
+struct Shared {
+    queue: Mutex<VecDeque<QueuedRequest>>,
+    wake: Condvar,
+    stop: AtomicBool,
+    /// Write halves, keyed by connection id.  Only the dispatcher writes
+    /// frames; the accept loop inserts, and whoever sees a dead
+    /// connection removes.
+    writers: Mutex<BTreeMap<u64, TcpStream>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server: call [`Server::shutdown`] to stop it and take the
+/// [`Service`] (with every session's final state) back.
+pub struct Server<F: ComponentFamily + Send + Sync + 'static> {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    dispatcher: JoinHandle<Service<F>>,
+}
+
+impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `service`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: Service<F>) -> io::Result<Server<F>> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            writers: Mutex::new(BTreeMap::new()),
+            readers: Mutex::new(Vec::new()),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatch_loop(service, &shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept,
+            dispatcher,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close every connection, drain the queue, and
+    /// return the service with every session's final state.
+    pub fn shutdown(self) -> Service<F> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Close the sockets out from under the readers…
+        for stream in self.shared.writers.lock().expect("writers").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // …poke the accept loop awake (it checks `stop` per accept)…
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        let readers = std::mem::take(&mut *self.shared.readers.lock().expect("readers"));
+        for r in readers {
+            let _ = r.join();
+        }
+        // …and let the dispatcher drain what is left, then exit.
+        self.shared.wake.notify_all();
+        self.dispatcher.join().expect("dispatcher thread")
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_conn: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Responses are small frames written exactly when they're ready:
+        // leaving Nagle on stalls every ping-pong client on the
+        // delayed-ACK timer (~40 ms per round trip).
+        let _ = stream.set_nodelay(true);
+        // Handshake both ways before the connection exists at all.
+        if send_handshake(&mut stream).is_err() || expect_handshake(&mut stream).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        let Ok(writer) = stream.try_clone() else {
+            continue;
+        };
+        let conn = next_conn;
+        next_conn += 1;
+        shared.writers.lock().expect("writers").insert(conn, writer);
+        let reader = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || read_loop(conn, stream, &shared))
+        };
+        shared.readers.lock().expect("readers").push(reader);
+    }
+}
+
+fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(payload)) => match decode_request_payload(&payload) {
+                Ok((session, req)) => {
+                    let mut q = shared.queue.lock().expect("queue");
+                    q.push_back((conn, session, req));
+                    drop(q);
+                    shared.wake.notify_one();
+                }
+                // A CRC-valid frame that does not decode is a protocol
+                // violation, not line noise: drop the connection.
+                Err(_) => {
+                    drop_connection(conn, shared);
+                    return;
+                }
+            },
+            // Clean hangup between frames.
+            Ok(None) => return,
+            // Torn frame, bad CRC, over-limit length, transport failure:
+            // nothing after this point can be trusted.
+            Err(_) => {
+                drop_connection(conn, shared);
+                return;
+            }
+        }
+    }
+}
+
+fn drop_connection(conn: u64, shared: &Shared) {
+    if let Some(stream) = shared.writers.lock().expect("writers").remove(&conn) {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn dispatch_loop<F: ComponentFamily + Send + Sync>(
+    mut service: Service<F>,
+    shared: &Shared,
+) -> Service<F> {
+    loop {
+        let drained: Vec<QueuedRequest> = {
+            let mut q = shared.queue.lock().expect("queue");
+            while q.is_empty() && !shared.stop.load(Ordering::SeqCst) {
+                q = shared.wake.wait(q).expect("queue");
+            }
+            if q.is_empty() {
+                // Only reachable with `stop` set: drained and done.
+                return service;
+            }
+            q.drain(..).collect()
+        };
+        let conns: Vec<u64> = drained.iter().map(|(c, _, _)| *c).collect();
+        let batch: Vec<(String, SessionRequest)> =
+            drained.into_iter().map(|(_, s, r)| (s, r)).collect();
+        let results = service.dispatch(batch);
+        // Batch order within one connection IS its request order, so
+        // writing in batch order preserves per-connection FIFO.
+        let mut writers = shared.writers.lock().expect("writers");
+        for (conn, res) in conns.into_iter().zip(&results) {
+            if let Some(stream) = writers.get_mut(&conn) {
+                if write_frame(stream, &encode_result_payload(res)).is_err() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    writers.remove(&conn);
+                }
+            }
+        }
+    }
+}

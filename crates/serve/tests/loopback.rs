@@ -1,0 +1,241 @@
+//! Loopback integration: a batch sent over TCP produces **byte-identical**
+//! results to in-process `Service::dispatch`, at 1, 2, and 8 worker
+//! threads — the wire adds transport, never semantics.
+
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview_serve::{Client, Server};
+use compview_session::wal;
+use compview_session::{Service, Session, SessionConfig, SessionRequest};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Serialises the env-twiddling tests (COMPVIEW_THREADS is process-global).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["A"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+        ),
+        ("S".to_owned(), vec![Tuple::new([v("b1")])]),
+    ]
+    .into()
+}
+
+fn open() -> Session<SubschemaComponents> {
+    let sig = sig();
+    Session::open(
+        SubschemaComponents::singletons(sig.clone()),
+        Schema::unconstrained(sig.clone()),
+        &pools(),
+        Instance::null_model(&sig).with("R", rel(1, [["a1"]])),
+        SessionConfig::default(),
+    )
+    .unwrap()
+}
+
+fn demo_service() -> Service<SubschemaComponents> {
+    let mut svc = Service::new();
+    for name in ["alpha", "beta", "gamma"] {
+        svc.add_session(name, open()).unwrap();
+    }
+    svc
+}
+
+/// The service.rs demo batch: every request variant, successes and
+/// failures (a ghost session, an undo on empty history) included.
+fn demo_batch() -> Vec<(String, SessionRequest)> {
+    let mut batch = Vec::new();
+    for name in ["alpha", "beta", "gamma"] {
+        batch.push((
+            name.to_owned(),
+            SessionRequest::RegisterView {
+                name: "r".into(),
+                mask: 0b01,
+            },
+        ));
+    }
+    for name in ["alpha", "beta", "gamma", "ghost"] {
+        batch.push((
+            name.to_owned(),
+            SessionRequest::InsertPoolTuple {
+                relation: "R".into(),
+                tuple: Tuple::new([v("a3")]),
+            },
+        ));
+    }
+    for name in ["alpha", "beta", "gamma"] {
+        batch.push((
+            name.to_owned(),
+            SessionRequest::Update {
+                view: "r".into(),
+                new_state: Instance::null_model(&sig()).with("R", rel(1, [["a2"], ["a3"]])),
+            },
+        ));
+        batch.push((name.to_owned(), SessionRequest::Read { view: "r".into() }));
+    }
+    batch.push(("beta".to_owned(), SessionRequest::Undo));
+    batch.push(("beta".to_owned(), SessionRequest::Undo));
+    batch.push(("alpha".to_owned(), SessionRequest::Stats));
+    batch
+}
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("COMPVIEW_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("COMPVIEW_THREADS");
+    out
+}
+
+/// Everything observable about a service after a batch, for diffing the
+/// remote run against the in-process run.
+fn fingerprint(svc: &Service<SubschemaComponents>) -> Vec<(String, Instance, u64)> {
+    svc.session_names()
+        .map(|n| {
+            let s = svc.session(n).unwrap();
+            (n.to_owned(), s.state().clone(), s.stats().requests)
+        })
+        .collect()
+}
+
+#[test]
+fn remote_batch_is_byte_identical_to_in_process_dispatch() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for threads in [1usize, 2, 8] {
+        with_threads(threads, || {
+            let batch = demo_batch();
+
+            // In-process reference.
+            let mut local = demo_service();
+            let expected = local.dispatch(batch.clone());
+
+            // The same batch over TCP: one connection, pipelined, so the
+            // per-connection FIFO carries the batch order.
+            let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            for (session, req) in &batch {
+                client.send(session, req).unwrap();
+            }
+            let got: Vec<_> = (0..batch.len()).map(|_| client.recv().unwrap()).collect();
+            let remote = server.shutdown();
+
+            assert_eq!(got.len(), expected.len());
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                assert_eq!(
+                    wal::encode_result(g),
+                    wal::encode_result(e),
+                    "{threads} threads, position {i}: {g:?} vs {e:?}"
+                );
+            }
+            // And the services themselves ended up in the same place.
+            assert_eq!(
+                fingerprint(&remote),
+                fingerprint(&local),
+                "{threads} threads: final states"
+            );
+        });
+    }
+}
+
+#[test]
+fn concurrent_connections_each_see_their_own_session_in_order() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    with_threads(4, || {
+        // Reference: each session's request stream served in-process.
+        let per_session: Vec<(String, Vec<SessionRequest>)> = ["alpha", "beta", "gamma"]
+            .iter()
+            .map(|name| {
+                (
+                    (*name).to_owned(),
+                    vec![
+                        SessionRequest::RegisterView {
+                            name: "r".into(),
+                            mask: 0b01,
+                        },
+                        SessionRequest::InsertPoolTuple {
+                            relation: "R".into(),
+                            tuple: Tuple::new([v("a3")]),
+                        },
+                        SessionRequest::Update {
+                            view: "r".into(),
+                            new_state: Instance::null_model(&sig())
+                                .with("R", rel(1, [["a2"], ["a3"]])),
+                        },
+                        SessionRequest::Read { view: "r".into() },
+                        SessionRequest::Undo,
+                    ],
+                )
+            })
+            .collect();
+        let mut local = demo_service();
+        let expected: Vec<Vec<_>> = per_session
+            .iter()
+            .map(|(name, reqs)| reqs.iter().map(|r| local.serve(name, r.clone())).collect())
+            .collect();
+
+        // Three concurrent clients, one per session.  Whatever batches
+        // the arrivals land in, each session's order is its connection's
+        // order, so every client must see exactly the reference answers.
+        let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = per_session
+            .iter()
+            .cloned()
+            .map(|(name, reqs)| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for req in &reqs {
+                        client.send(&name, req).unwrap();
+                    }
+                    (0..reqs.len())
+                        .map(|_| client.recv().unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let got: Vec<Vec<_>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let remote = server.shutdown();
+
+        for ((name, _), (g, e)) in per_session.iter().zip(got.iter().zip(&expected)) {
+            assert_eq!(g, e, "session {name}");
+        }
+        assert_eq!(fingerprint(&remote), fingerprint(&local));
+    });
+}
+
+#[test]
+fn malformed_frame_drops_only_that_connection() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
+    let addr = server.local_addr();
+
+    // A healthy client…
+    let mut good = Client::connect(addr).unwrap();
+    let first = good.request("alpha", &SessionRequest::Stats).unwrap();
+    assert!(first.is_ok());
+
+    // …and a raw socket that handshakes, then sends garbage framing.
+    {
+        use std::io::{Read, Write};
+        let mut bad = std::net::TcpStream::connect(addr).unwrap();
+        let mut hs = [0u8; 6];
+        bad.read_exact(&mut hs).unwrap();
+        bad.write_all(b"CVRPC1").unwrap();
+        bad.write_all(&[0xFF; 32]).unwrap(); // nonsense length + checksum
+                                             // The server closes this connection; the read eventually sees EOF.
+        let mut sink = Vec::new();
+        let _ = bad.read_to_end(&mut sink);
+    }
+
+    // The healthy connection is unaffected.
+    let again = good.request("alpha", &SessionRequest::Stats).unwrap();
+    assert!(again.is_ok());
+    server.shutdown();
+}

@@ -1,0 +1,327 @@
+//! Wire-format contract tests: every request/response variant round-trips
+//! through the codec, and malformed frames — bad checksums, truncated or
+//! over-limit lengths, arbitrary bit flips — are refused with typed
+//! errors, never obeyed and never a panic.  Mirrors the recovery suite's
+//! treatment of on-disk corruption.
+
+use compview_core::{CatalogError, EditError, EditReport, UpdateReport};
+use compview_relation::{v, Instance, Relation, Tuple};
+use compview_serve::proto::{
+    decode_request_payload, decode_result_payload, encode_request_payload, encode_result_payload,
+    read_frame, write_frame, FRAME_HEADER, MAX_FRAME,
+};
+use compview_serve::ProtoError;
+use compview_session::{
+    DispatchError, SessionError, SessionRequest, SessionResponse, SessionStats, StatsSnapshot,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+use std::io::Cursor;
+
+fn rand_name(rng: &mut StdRng) -> String {
+    let n = rng.random_range(0..12usize);
+    (0..n)
+        .map(|_| (b'a' + rng.random_range(0..26u32) as u8) as char)
+        .collect()
+}
+
+fn rand_tuple(rng: &mut StdRng, arity: usize) -> Tuple {
+    Tuple::new((0..arity).map(|_| v(&rand_name(rng))))
+}
+
+fn rand_instance(rng: &mut StdRng) -> Instance {
+    let mut inst = Instance::new();
+    for _ in 0..rng.random_range(0..3u32) {
+        let arity = rng.random_range(1..3u32) as usize;
+        let rows = (0..rng.random_range(0..4u32))
+            .map(|_| rand_tuple(rng, arity))
+            .collect::<Vec<_>>();
+        inst = inst.with(rand_name(rng), Relation::from_tuples(arity, rows));
+    }
+    inst
+}
+
+/// One of each [`SessionRequest`] variant, contents randomised by `rng`.
+fn every_request(rng: &mut StdRng) -> Vec<SessionRequest> {
+    vec![
+        SessionRequest::RegisterView {
+            name: rand_name(rng),
+            mask: rng.random_range(0..1u64 << 32) as u32,
+        },
+        SessionRequest::Update {
+            view: rand_name(rng),
+            new_state: rand_instance(rng),
+        },
+        {
+            let arity = rng.random_range(1..4u32) as usize;
+            SessionRequest::InsertPoolTuple {
+                relation: rand_name(rng),
+                tuple: rand_tuple(rng, arity),
+            }
+        },
+        {
+            let arity = rng.random_range(1..4u32) as usize;
+            SessionRequest::RemovePoolTuple {
+                relation: rand_name(rng),
+                tuple: rand_tuple(rng, arity),
+            }
+        },
+        SessionRequest::Undo,
+        SessionRequest::Read {
+            view: rand_name(rng),
+        },
+        SessionRequest::Stats,
+    ]
+}
+
+fn rand_stats(rng: &mut StdRng) -> StatsSnapshot {
+    let mut counters = SessionStats {
+        requests: rng.next_u64(),
+        accepted: rng.next_u64(),
+        rejected: rng.next_u64(),
+        cache_hits: rng.next_u64(),
+        cache_misses: rng.next_u64(),
+        cache_remaps: rng.next_u64(),
+        incremental_edits: rng.next_u64(),
+        full_rebuilds: rng.next_u64(),
+        ..SessionStats::default()
+    };
+    for _ in 0..rng.random_range(0..4u32) {
+        let key = rand_name(rng);
+        counters.rejected_by_variant.insert(key, rng.next_u64());
+    }
+    StatsSnapshot {
+        counters,
+        states: rng.random_range(0..1 << 20) as usize,
+        views: rng.random_range(0..64u32) as usize,
+        undoable: rng.random_range(0..64u32) as usize,
+        cached_masks: rng.random_range(0..64u32) as usize,
+    }
+}
+
+/// One of each [`SessionResponse`] variant and one of each error shape a
+/// dispatch can answer with — every [`DispatchError`], [`SessionError`],
+/// [`CatalogError`], and [`EditError`] variant appears.
+fn every_result(rng: &mut StdRng) -> Vec<Result<SessionResponse, DispatchError>> {
+    let session_errors = vec![
+        SessionError::Catalog(CatalogError::UnknownView(rand_name(rng))),
+        SessionError::Catalog(CatalogError::DuplicateView(rand_name(rng))),
+        SessionError::Catalog(CatalogError::BadMask(rng.random_range(0..1u64 << 32) as u32)),
+        SessionError::Catalog(CatalogError::IllegalViewState(rand_name(rng))),
+        SessionError::Catalog(CatalogError::EmptyHistory),
+        SessionError::Edit(EditError::NotEditable),
+        SessionError::Edit(EditError::UnknownRelation(rand_name(rng))),
+        SessionError::Edit(EditError::ArityMismatch {
+            relation: rand_name(rng),
+            expected: rng.random_range(0..8u32) as usize,
+            got: rng.random_range(0..8u32) as usize,
+        }),
+        SessionError::Edit(EditError::DuplicateTuple {
+            relation: rand_name(rng),
+        }),
+        SessionError::Edit(EditError::MissingTuple {
+            relation: rand_name(rng),
+        }),
+        SessionError::Edit(EditError::TooLarge {
+            bits: rng.random_range(0..64u32) as usize,
+            max_bits: rng.random_range(0..64u32) as usize,
+        }),
+        SessionError::NotAComponent {
+            mask: rng.random_range(0..1u64 << 32) as u32,
+            detail: rand_name(rng),
+        },
+        SessionError::TupleInBaseState {
+            relation: rand_name(rng),
+        },
+        SessionError::StateOutsideSpace {
+            view: rand_name(rng),
+        },
+        SessionError::Durability {
+            detail: rand_name(rng),
+        },
+        SessionError::StaleLog {
+            detail: rand_name(rng),
+        },
+    ];
+    let mut out = vec![
+        Ok(SessionResponse::Registered {
+            view: rand_name(rng),
+            mask: rng.random_range(0..1u64 << 32) as u32,
+            complement: rng.random_range(0..1u64 << 32) as u32,
+        }),
+        Ok(SessionResponse::State(rand_instance(rng))),
+        Ok(SessionResponse::Updated(UpdateReport {
+            view: rand_name(rng),
+            requested_delta: rng.random_range(0..1 << 20) as usize,
+            reflected_delta: rng.random_range(0..1 << 20) as usize,
+        })),
+        Ok(SessionResponse::PoolEdited(EditReport {
+            states_before: rng.random_range(0..1 << 20) as usize,
+            states_after: rng.random_range(0..1 << 20) as usize,
+        })),
+        Ok(SessionResponse::Undone),
+        Ok(SessionResponse::Stats(rand_stats(rng))),
+        Err(DispatchError::UnknownSession(rand_name(rng))),
+    ];
+    out.extend(
+        session_errors
+            .into_iter()
+            .map(|e| Err(DispatchError::Session(e))),
+    );
+    out
+}
+
+/// A full frame's bytes for one request.
+fn framed(session: &str, req: &SessionRequest) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &encode_request_payload(session, req)).unwrap();
+    bytes
+}
+
+// ------------------------------------------------------------ round trips
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_request_variant_round_trips(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = rand_name(&mut rng);
+        for req in every_request(&mut rng) {
+            let payload = encode_request_payload(&session, &req);
+            let (s2, r2) = decode_request_payload(&payload).unwrap();
+            prop_assert_eq!(&s2, &session);
+            prop_assert_eq!(&r2, &req);
+
+            // And through a full frame, too.
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, &payload).unwrap();
+            let read = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+            prop_assert_eq!(&read, &payload);
+        }
+    }
+
+    #[test]
+    fn every_result_variant_round_trips(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for res in every_result(&mut rng) {
+            let payload = encode_result_payload(&res);
+            let back = decode_result_payload(&payload).unwrap();
+            prop_assert_eq!(&back, &res);
+
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, &payload).unwrap();
+            let read = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+            prop_assert_eq!(&read, &payload);
+        }
+    }
+
+    // ------------------------------------------------- corruption refusal
+
+    /// Any single bit flip anywhere in a frame is caught: the checksum
+    /// refuses the payload, the length prefix trips the frame reader, or
+    /// — if the flip lands in the header fields in a way that still
+    /// frames — the decoder refuses the payload.  Never a panic, never a
+    /// silently different request.
+    #[test]
+    fn any_bit_flip_is_refused_or_detected(
+        seed in 0u64..1 << 32,
+        flip_frac in 0u32..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = rand_name(&mut rng);
+        let reqs = every_request(&mut rng);
+        let req = &reqs[rng.random_range(0..reqs.len())];
+        let mut bytes = framed(&session, req);
+        let bit = (bytes.len() * 8 - 1).min(
+            ((bytes.len() * 8) as u64 * flip_frac as u64 / 1000) as usize,
+        );
+        bytes[bit / 8] ^= 1 << (bit % 8);
+
+        match read_frame(&mut Cursor::new(&bytes)) {
+            Ok(Some(payload)) => {
+                // The frame survived: the flip was in the payload *and*
+                // collided with the CRC (impossible for one flip), or in
+                // a header byte that still frames — then the payload is
+                // either intact or refused by the decoder.
+                // A typed decode refusal is fine; a *different* request
+                // sneaking through is not.
+                if let Ok((s2, r2)) = decode_request_payload(&payload) {
+                    prop_assert_eq!(&(s2, r2), &(session.clone(), req.clone()));
+                }
+            }
+            Ok(None) => {} // flip shortened the stream to a clean EOF? impossible, but not a panic
+            Err(_) => {}   // typed refusal (BadCrc / TooLarge / Io)
+        }
+    }
+}
+
+// ----------------------------------------------------- malformed framing
+
+#[test]
+fn bad_crc_is_refused() {
+    let mut bytes = framed("alpha", &SessionRequest::Undo);
+    *bytes.last_mut().unwrap() ^= 0xFF; // corrupt the payload's last byte
+    let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+    assert!(matches!(err, ProtoError::BadCrc { .. }), "{err}");
+}
+
+#[test]
+fn truncated_frames_are_refused_at_every_cut() {
+    let bytes = framed("alpha", &SessionRequest::Stats);
+    for cut in 1..bytes.len() {
+        match read_frame(&mut Cursor::new(&bytes[..cut])) {
+            Err(ProtoError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}");
+            }
+            other => panic!("cut {cut}: expected UnexpectedEof, got {other:?}"),
+        }
+    }
+    // Cut 0 is a clean end-of-stream, not an error.
+    assert!(read_frame(&mut Cursor::new(&bytes[..0])).unwrap().is_none());
+}
+
+#[test]
+fn over_limit_length_is_refused_before_allocation() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    // No payload bytes behind the huge claim: if the reader tried to
+    // allocate-and-read it would report EOF; the limit must fire first.
+    let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+    assert!(
+        matches!(err, ProtoError::TooLarge { len } if len == MAX_FRAME + 1),
+        "{err}"
+    );
+}
+
+#[test]
+fn oversized_payload_is_refused_on_write() {
+    let payload = vec![0u8; MAX_FRAME as usize + 1];
+    let mut sink = Vec::new();
+    let err = write_frame(&mut sink, &payload).unwrap_err();
+    assert!(matches!(err, ProtoError::TooLarge { .. }), "{err}");
+    assert!(sink.is_empty(), "nothing written for a refused frame");
+}
+
+#[test]
+fn empty_frame_round_trips() {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &[]).unwrap();
+    assert_eq!(bytes.len(), FRAME_HEADER);
+    let payload = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+    assert!(payload.is_empty());
+    // An empty payload is still gated by the decoder.
+    assert!(decode_request_payload(&payload).is_err());
+}
+
+#[test]
+fn request_payload_rejects_trailing_garbage() {
+    let mut payload = encode_request_payload("alpha", &SessionRequest::Undo);
+    payload.push(0);
+    assert!(decode_request_payload(&payload).is_err());
+    let mut payload = encode_result_payload(&Ok(SessionResponse::Undone));
+    payload.push(0);
+    assert!(decode_result_payload(&payload).is_err());
+}

@@ -250,6 +250,14 @@ pub enum SessionError {
         /// What the store reported.
         detail: String,
     },
+    /// A *create* was pointed at a non-empty log from a previous run.
+    /// Creating would clobber (or worse, silently extend) recoverable
+    /// state, so it is refused outright — recover the log instead, via
+    /// [`Session::recover`] or `Service::open_dir`.
+    StaleLog {
+        /// What was found in the store.
+        detail: String,
+    },
 }
 
 impl SessionError {
@@ -272,6 +280,7 @@ impl SessionError {
             SessionError::TupleInBaseState { .. } => "TupleInBaseState",
             SessionError::StateOutsideSpace { .. } => "StateOutsideSpace",
             SessionError::Durability { .. } => "Durability",
+            SessionError::StaleLog { .. } => "StaleLog",
         }
     }
 }
@@ -301,6 +310,13 @@ impl std::fmt::Display for SessionError {
             }
             SessionError::Durability { detail } => {
                 write!(f, "request could not be made durable: {detail}")
+            }
+            SessionError::StaleLog { detail } => {
+                write!(
+                    f,
+                    "refusing to create over an existing log ({detail}); \
+                     recover it instead (Session::recover / Service::open_dir)"
+                )
             }
         }
     }
@@ -422,12 +438,12 @@ impl<F: ComponentFamily + Sync> Session<F> {
         mut store: Box<dyn LogStore>,
         policy: SyncPolicy,
     ) -> Result<Session<F>, SessionError> {
-        let empty = store.is_empty().map_err(|e| SessionError::Durability {
+        let len = store.len().map_err(|e| SessionError::Durability {
             detail: e.to_string(),
         })?;
-        if !empty {
-            return Err(SessionError::Durability {
-                detail: "log store is not empty; recover the existing log instead".to_owned(),
+        if len != 0 {
+            return Err(SessionError::StaleLog {
+                detail: format!("store already holds {len} bytes"),
             });
         }
         let mut session = Session::open(family, schema, pools, base, config)?;
@@ -600,14 +616,44 @@ impl<F: ComponentFamily + Sync> Session<F> {
         let Some(writer) = self.wal.as_mut() else {
             return Ok(());
         };
-        let Some(payload) = wal::encode_request(req) else {
+        if !req.is_durable() {
             return Ok(());
-        };
+        }
         writer
-            .append_payload(&payload)
+            .append_payload(&wal::encode_request(req))
             .map_err(|e| SessionError::Durability {
                 detail: e.to_string(),
             })
+    }
+
+    /// Enter or leave **group-commit** mode on the write-ahead log: while
+    /// on, fsyncs the [`SyncPolicy`] would issue per record are deferred
+    /// until [`Session::flush_wal`], which issues a single fsync covering
+    /// every record appended in between.  `Service::dispatch` brackets
+    /// each session's batch queue with this, so a batch costs one fsync
+    /// per touched session instead of one per record.  No-op on
+    /// non-durable sessions.
+    pub fn set_deferred_sync(&mut self, on: bool) {
+        if let Some(writer) = self.wal.as_mut() {
+            writer.set_deferred(on);
+        }
+    }
+
+    /// Issue the one deferred fsync of a group-commit window (see
+    /// [`Session::set_deferred_sync`]).  No-op when nothing is pending.
+    ///
+    /// # Errors
+    /// [`SessionError::Durability`] when the store's sync fails: records
+    /// appended during the window are in the log but not known durable,
+    /// exactly as under [`SyncPolicy::Never`] — the caller decides
+    /// whether to retract acknowledgements.
+    pub fn flush_wal(&mut self) -> Result<(), SessionError> {
+        let Some(writer) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        writer.flush().map_err(|e| SessionError::Durability {
+            detail: e.to_string(),
+        })
     }
 
     /// Serve one request, updating the counters.  A [`SessionRequest::Stats`]

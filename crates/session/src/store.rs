@@ -50,16 +50,48 @@ pub struct FsStore {
     file: File,
 }
 
+/// Fsync the directory holding `path`, making a just-created or
+/// just-renamed entry durable.  Creating or renaming a file writes the
+/// *directory*, and directories need their own fsync: without it a crash
+/// can forget the new name entirely (losing a freshly created log) or
+/// resurrect the old inode under it (undoing a checkpoint).
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let Some(dir) = dir else {
+        // A bare file name: the entry lives in the CWD, which we cannot
+        // name portably without canonicalising; use ".".
+        return File::open(".").and_then(|d| d.sync_all());
+    };
+    File::open(dir)?.sync_all()
+}
+
 impl FsStore {
     /// Open (creating if absent) the log at `path`.
+    ///
+    /// When the call *creates* the file, the parent directory is fsynced
+    /// so the new (empty) log survives a crash — otherwise a post-crash
+    /// `open_dir` would not even see the session existed.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<FsStore> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
+        // `create_new` first so we *know* whether we created the entry
+        // (an exists()-then-open probe would race with siblings).
+        let created = OpenOptions::new()
             .read(true)
             .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
+            .create_new(true)
+            .open(&path);
+        let file = match created {
+            Ok(file) => {
+                sync_parent_dir(&path)?;
+                file
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => OpenOptions::new()
+                .read(true)
+                .write(true)
+                .truncate(false)
+                .open(&path)?,
+            Err(e) => return Err(e),
+        };
         Ok(FsStore { path, file })
     }
 
@@ -99,6 +131,9 @@ impl LogStore for FsStore {
             f.sync_data()?;
         }
         std::fs::rename(&tmp, &self.path)?;
+        // The rename rewrote the *directory*; fsync it, or a crash can
+        // bring the old (pre-checkpoint) log back from the dead.
+        sync_parent_dir(&self.path)?;
         // The old handle may point at the unlinked inode; reopen.
         self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         Ok(())
@@ -184,6 +219,13 @@ pub struct FaultPlan {
     /// Fail every `truncate` (models an fs that cannot repair a torn
     /// tail, which must poison the writer rather than corrupt the log).
     pub fail_truncate: bool,
+    /// Fail the Nth `replace` (1-based), leaving the bytes untouched —
+    /// the atomic-failure half of [`FsStore`]'s write-then-rename
+    /// contract (a crash mid-checkpoint keeps the *old* log).  Note
+    /// `Session::open_durable` itself issues replace #1 for the initial
+    /// snapshot, so the first *checkpoint* of a fresh session is
+    /// replace #2.
+    pub fail_replace_at: Option<u64>,
 }
 
 /// [`MemStore`] with programmable write-path faults.
@@ -192,6 +234,7 @@ pub struct FaultyStore {
     plan: FaultPlan,
     appends: u64,
     syncs: u64,
+    replaces: u64,
 }
 
 impl FaultyStore {
@@ -204,6 +247,7 @@ impl FaultyStore {
                 plan,
                 appends: 0,
                 syncs: 0,
+                replaces: 0,
             },
             bytes,
         )
@@ -253,6 +297,12 @@ impl LogStore for FaultyStore {
     }
 
     fn replace(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.replaces += 1;
+        if self.plan.fail_replace_at == Some(self.replaces) {
+            // Atomic failure: like FsStore's write-then-rename, a failed
+            // replace leaves the previous bytes fully intact.
+            return Err(FaultyStore::injected("replace"));
+        }
         *self.bytes.lock().expect("log mutex") = bytes.to_vec();
         Ok(())
     }
@@ -323,6 +373,37 @@ mod tests {
         s.truncate(5).unwrap();
         s.append(b"third").unwrap();
         assert_eq!(s.read_all().unwrap(), b"firstthird");
+    }
+
+    #[test]
+    fn faulty_store_replace_fault_is_atomic() {
+        let (mut s, shared) = FaultyStore::new(FaultPlan {
+            fail_replace_at: Some(2),
+            ..FaultPlan::default()
+        });
+        s.append(b"old log").unwrap();
+        s.replace(b"checkpoint one").unwrap();
+        let err = s.replace(b"checkpoint two").unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        // Atomic failure: the previous contents are fully intact.
+        assert_eq!(&*shared.lock().unwrap(), b"checkpoint one");
+        // The fault is one-shot.
+        s.replace(b"checkpoint three").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"checkpoint three");
+    }
+
+    #[test]
+    fn fs_store_open_is_durable_and_reopens_existing() {
+        let path = temp_path("create");
+        let s = FsStore::open(&path).unwrap();
+        drop(s);
+        // Re-opening an existing log must not truncate it.
+        let mut s = FsStore::open(&path).unwrap();
+        s.append(b"keep").unwrap();
+        drop(s);
+        let mut s = FsStore::open(&path).unwrap();
+        assert_eq!(s.read_all().unwrap(), b"keep");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -37,9 +37,12 @@
 //! poisoned and every later state-changing request is rejected, leaving
 //! the log a valid prefix of the session.
 
+use crate::service::DispatchError;
 use crate::store::LogStore;
-use crate::{SessionConfig, SessionRequest, SessionStats};
-use compview_core::{CatalogError, UpdateReport};
+use crate::{
+    SessionConfig, SessionError, SessionRequest, SessionResponse, SessionStats, StatsSnapshot,
+};
+use compview_core::{CatalogError, EditError, EditReport, UpdateReport};
 use compview_relation::binio::{self, Dec, DecodeError};
 use compview_relation::Instance;
 use std::collections::BTreeMap;
@@ -200,6 +203,13 @@ pub enum RecoverError {
     /// The snapshot's views failed catalog validation (same cause:
     /// schema/family mismatch).
     Catalog(CatalogError),
+    /// The log's file name cannot name a session (e.g. a non-UTF-8
+    /// stem), so the log was not opened at all.  Raised by
+    /// `Service::open_dir`, which refuses to skip such a log silently.
+    BadName {
+        /// The offending path, rendered lossily.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RecoverError {
@@ -216,6 +226,9 @@ impl std::fmt::Display for RecoverError {
                  (schema or family mismatch)"
             ),
             RecoverError::Catalog(e) => write!(f, "snapshot failed catalog validation: {e}"),
+            RecoverError::BadName { detail } => {
+                write!(f, "log file name cannot name a session: {detail}")
+            }
         }
     }
 }
@@ -318,6 +331,7 @@ pub(crate) fn frame_record(seq: u64, payload: &[u8]) -> Vec<u8> {
 /// Payload kind tags.
 const KIND_SNAPSHOT: u8 = 0;
 const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
 
 /// Request tags (KIND_REQUEST payloads).
 const REQ_REGISTER: u8 = 1;
@@ -325,10 +339,14 @@ const REQ_UPDATE: u8 = 2;
 const REQ_INSERT: u8 = 3;
 const REQ_REMOVE: u8 = 4;
 const REQ_UNDO: u8 = 5;
+const REQ_READ: u8 = 6;
+const REQ_STATS: u8 = 7;
 
-/// Encode a state-changing request.  Returns `None` for requests that are
-/// not logged (`Read`, `Stats` — they change no durable state).
-pub(crate) fn encode_request(req: &SessionRequest) -> Option<Vec<u8>> {
+/// Encode any [`SessionRequest`] — the canonical binary form shared by
+/// the write-ahead log and the wire protocol (`compview-serve`).  The WAL
+/// only ever writes durable requests (see [`SessionRequest::is_durable`]),
+/// but `Read` and `Stats` encode too so remote clients can send them.
+pub fn encode_request(req: &SessionRequest) -> Vec<u8> {
     let mut out = vec![KIND_REQUEST];
     match req {
         SessionRequest::RegisterView { name, mask } => {
@@ -354,13 +372,19 @@ pub(crate) fn encode_request(req: &SessionRequest) -> Option<Vec<u8>> {
         SessionRequest::Undo => {
             binio::put_u8(&mut out, REQ_UNDO);
         }
-        SessionRequest::Read { .. } | SessionRequest::Stats => return None,
+        SessionRequest::Read { view } => {
+            binio::put_u8(&mut out, REQ_READ);
+            binio::put_str(&mut out, view);
+        }
+        SessionRequest::Stats => {
+            binio::put_u8(&mut out, REQ_STATS);
+        }
     }
-    Some(out)
+    out
 }
 
 /// Decode a request payload (inverse of [`encode_request`]).
-pub(crate) fn decode_request(payload: &[u8]) -> Result<SessionRequest, DecodeError> {
+pub fn decode_request(payload: &[u8]) -> Result<SessionRequest, DecodeError> {
     let mut d = Dec::new(payload);
     let kind = d.u8()?;
     if kind != KIND_REQUEST {
@@ -385,6 +409,8 @@ pub(crate) fn decode_request(payload: &[u8]) -> Result<SessionRequest, DecodeErr
             tuple: d.tuple()?,
         },
         REQ_UNDO => SessionRequest::Undo,
+        REQ_READ => SessionRequest::Read { view: d.str()? },
+        REQ_STATS => SessionRequest::Stats,
         tag => return Err(DecodeError::BadTag { at, tag }),
     };
     if !d.is_done() {
@@ -394,6 +420,301 @@ pub(crate) fn decode_request(payload: &[u8]) -> Result<SessionRequest, DecodeErr
         });
     }
     Ok(req)
+}
+
+/// Response tags (the `Ok` arm of a KIND_RESPONSE payload).
+const RESP_REGISTERED: u8 = 1;
+const RESP_STATE: u8 = 2;
+const RESP_UPDATED: u8 = 3;
+const RESP_POOL_EDITED: u8 = 4;
+const RESP_UNDONE: u8 = 5;
+const RESP_STATS: u8 = 6;
+
+/// Dispatch-error tags (the `Err` arm of a KIND_RESPONSE payload).
+const ERR_UNKNOWN_SESSION: u8 = 1;
+const ERR_SESSION: u8 = 2;
+
+/// Session-error tags.
+const SERR_CATALOG: u8 = 1;
+const SERR_EDIT: u8 = 2;
+const SERR_NOT_A_COMPONENT: u8 = 3;
+const SERR_TUPLE_IN_BASE: u8 = 4;
+const SERR_OUTSIDE_SPACE: u8 = 5;
+const SERR_DURABILITY: u8 = 6;
+const SERR_STALE_LOG: u8 = 7;
+
+/// Catalog-error tags.
+const CERR_UNKNOWN_VIEW: u8 = 1;
+const CERR_DUPLICATE_VIEW: u8 = 2;
+const CERR_BAD_MASK: u8 = 3;
+const CERR_ILLEGAL_STATE: u8 = 4;
+const CERR_EMPTY_HISTORY: u8 = 5;
+
+/// Edit-error tags.
+const EERR_NOT_EDITABLE: u8 = 1;
+const EERR_UNKNOWN_RELATION: u8 = 2;
+const EERR_ARITY: u8 = 3;
+const EERR_DUPLICATE_TUPLE: u8 = 4;
+const EERR_MISSING_TUPLE: u8 = 5;
+const EERR_TOO_LARGE: u8 = 6;
+
+/// Encode one dispatch outcome — the canonical binary form of what
+/// [`crate::Service::dispatch`] answers per request, shared with the wire
+/// protocol (`compview-serve`).
+pub fn encode_result(res: &Result<SessionResponse, DispatchError>) -> Vec<u8> {
+    let mut out = vec![KIND_RESPONSE];
+    match res {
+        Ok(resp) => {
+            binio::put_u8(&mut out, 0);
+            encode_response(&mut out, resp);
+        }
+        Err(e) => {
+            binio::put_u8(&mut out, 1);
+            encode_dispatch_error(&mut out, e);
+        }
+    }
+    out
+}
+
+/// Decode one dispatch outcome (inverse of [`encode_result`]).
+pub fn decode_result(
+    payload: &[u8],
+) -> Result<Result<SessionResponse, DispatchError>, DecodeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8()?;
+    if kind != KIND_RESPONSE {
+        return Err(DecodeError::BadTag { at: 0, tag: kind });
+    }
+    let at = d.pos();
+    let res = match d.u8()? {
+        0 => Ok(decode_response(&mut d)?),
+        1 => Err(decode_dispatch_error(&mut d)?),
+        tag => return Err(DecodeError::BadTag { at, tag }),
+    };
+    if !d.is_done() {
+        return Err(DecodeError::BadLength {
+            at: d.pos(),
+            len: d.remaining() as u64,
+        });
+    }
+    Ok(res)
+}
+
+fn encode_response(out: &mut Vec<u8>, resp: &SessionResponse) {
+    match resp {
+        SessionResponse::Registered {
+            view,
+            mask,
+            complement,
+        } => {
+            binio::put_u8(out, RESP_REGISTERED);
+            binio::put_str(out, view);
+            binio::put_u32(out, *mask);
+            binio::put_u32(out, *complement);
+        }
+        SessionResponse::State(inst) => {
+            binio::put_u8(out, RESP_STATE);
+            binio::put_instance(out, inst);
+        }
+        SessionResponse::Updated(r) => {
+            binio::put_u8(out, RESP_UPDATED);
+            binio::put_str(out, &r.view);
+            binio::put_u64(out, r.requested_delta as u64);
+            binio::put_u64(out, r.reflected_delta as u64);
+        }
+        SessionResponse::PoolEdited(r) => {
+            binio::put_u8(out, RESP_POOL_EDITED);
+            binio::put_u64(out, r.states_before as u64);
+            binio::put_u64(out, r.states_after as u64);
+        }
+        SessionResponse::Undone => binio::put_u8(out, RESP_UNDONE),
+        SessionResponse::Stats(snap) => {
+            binio::put_u8(out, RESP_STATS);
+            encode_stats(out, &snap.counters);
+            binio::put_u64(out, snap.states as u64);
+            binio::put_u64(out, snap.views as u64);
+            binio::put_u64(out, snap.undoable as u64);
+            binio::put_u64(out, snap.cached_masks as u64);
+        }
+    }
+}
+
+fn decode_response(d: &mut Dec<'_>) -> Result<SessionResponse, DecodeError> {
+    let at = d.pos();
+    Ok(match d.u8()? {
+        RESP_REGISTERED => SessionResponse::Registered {
+            view: d.str()?,
+            mask: d.u32()?,
+            complement: d.u32()?,
+        },
+        RESP_STATE => SessionResponse::State(d.instance()?),
+        RESP_UPDATED => SessionResponse::Updated(UpdateReport {
+            view: d.str()?,
+            requested_delta: d.u64()? as usize,
+            reflected_delta: d.u64()? as usize,
+        }),
+        RESP_POOL_EDITED => SessionResponse::PoolEdited(EditReport {
+            states_before: d.u64()? as usize,
+            states_after: d.u64()? as usize,
+        }),
+        RESP_UNDONE => SessionResponse::Undone,
+        RESP_STATS => SessionResponse::Stats(StatsSnapshot {
+            counters: decode_stats(d)?,
+            states: d.u64()? as usize,
+            views: d.u64()? as usize,
+            undoable: d.u64()? as usize,
+            cached_masks: d.u64()? as usize,
+        }),
+        tag => return Err(DecodeError::BadTag { at, tag }),
+    })
+}
+
+fn encode_dispatch_error(out: &mut Vec<u8>, e: &DispatchError) {
+    match e {
+        DispatchError::UnknownSession(name) => {
+            binio::put_u8(out, ERR_UNKNOWN_SESSION);
+            binio::put_str(out, name);
+        }
+        DispatchError::Session(e) => {
+            binio::put_u8(out, ERR_SESSION);
+            encode_session_error(out, e);
+        }
+    }
+}
+
+fn decode_dispatch_error(d: &mut Dec<'_>) -> Result<DispatchError, DecodeError> {
+    let at = d.pos();
+    Ok(match d.u8()? {
+        ERR_UNKNOWN_SESSION => DispatchError::UnknownSession(d.str()?),
+        ERR_SESSION => DispatchError::Session(decode_session_error(d)?),
+        tag => return Err(DecodeError::BadTag { at, tag }),
+    })
+}
+
+fn encode_session_error(out: &mut Vec<u8>, e: &SessionError) {
+    match e {
+        SessionError::Catalog(c) => {
+            binio::put_u8(out, SERR_CATALOG);
+            match c {
+                CatalogError::UnknownView(n) => {
+                    binio::put_u8(out, CERR_UNKNOWN_VIEW);
+                    binio::put_str(out, n);
+                }
+                CatalogError::DuplicateView(n) => {
+                    binio::put_u8(out, CERR_DUPLICATE_VIEW);
+                    binio::put_str(out, n);
+                }
+                CatalogError::BadMask(m) => {
+                    binio::put_u8(out, CERR_BAD_MASK);
+                    binio::put_u32(out, *m);
+                }
+                CatalogError::IllegalViewState(s) => {
+                    binio::put_u8(out, CERR_ILLEGAL_STATE);
+                    binio::put_str(out, s);
+                }
+                CatalogError::EmptyHistory => binio::put_u8(out, CERR_EMPTY_HISTORY),
+            }
+        }
+        SessionError::Edit(ed) => {
+            binio::put_u8(out, SERR_EDIT);
+            match ed {
+                EditError::NotEditable => binio::put_u8(out, EERR_NOT_EDITABLE),
+                EditError::UnknownRelation(r) => {
+                    binio::put_u8(out, EERR_UNKNOWN_RELATION);
+                    binio::put_str(out, r);
+                }
+                EditError::ArityMismatch {
+                    relation,
+                    expected,
+                    got,
+                } => {
+                    binio::put_u8(out, EERR_ARITY);
+                    binio::put_str(out, relation);
+                    binio::put_u64(out, *expected as u64);
+                    binio::put_u64(out, *got as u64);
+                }
+                EditError::DuplicateTuple { relation } => {
+                    binio::put_u8(out, EERR_DUPLICATE_TUPLE);
+                    binio::put_str(out, relation);
+                }
+                EditError::MissingTuple { relation } => {
+                    binio::put_u8(out, EERR_MISSING_TUPLE);
+                    binio::put_str(out, relation);
+                }
+                EditError::TooLarge { bits, max_bits } => {
+                    binio::put_u8(out, EERR_TOO_LARGE);
+                    binio::put_u64(out, *bits as u64);
+                    binio::put_u64(out, *max_bits as u64);
+                }
+            }
+        }
+        SessionError::NotAComponent { mask, detail } => {
+            binio::put_u8(out, SERR_NOT_A_COMPONENT);
+            binio::put_u32(out, *mask);
+            binio::put_str(out, detail);
+        }
+        SessionError::TupleInBaseState { relation } => {
+            binio::put_u8(out, SERR_TUPLE_IN_BASE);
+            binio::put_str(out, relation);
+        }
+        SessionError::StateOutsideSpace { view } => {
+            binio::put_u8(out, SERR_OUTSIDE_SPACE);
+            binio::put_str(out, view);
+        }
+        SessionError::Durability { detail } => {
+            binio::put_u8(out, SERR_DURABILITY);
+            binio::put_str(out, detail);
+        }
+        SessionError::StaleLog { detail } => {
+            binio::put_u8(out, SERR_STALE_LOG);
+            binio::put_str(out, detail);
+        }
+    }
+}
+
+fn decode_session_error(d: &mut Dec<'_>) -> Result<SessionError, DecodeError> {
+    let at = d.pos();
+    Ok(match d.u8()? {
+        SERR_CATALOG => {
+            let at = d.pos();
+            SessionError::Catalog(match d.u8()? {
+                CERR_UNKNOWN_VIEW => CatalogError::UnknownView(d.str()?),
+                CERR_DUPLICATE_VIEW => CatalogError::DuplicateView(d.str()?),
+                CERR_BAD_MASK => CatalogError::BadMask(d.u32()?),
+                CERR_ILLEGAL_STATE => CatalogError::IllegalViewState(d.str()?),
+                CERR_EMPTY_HISTORY => CatalogError::EmptyHistory,
+                tag => return Err(DecodeError::BadTag { at, tag }),
+            })
+        }
+        SERR_EDIT => {
+            let at = d.pos();
+            SessionError::Edit(match d.u8()? {
+                EERR_NOT_EDITABLE => EditError::NotEditable,
+                EERR_UNKNOWN_RELATION => EditError::UnknownRelation(d.str()?),
+                EERR_ARITY => EditError::ArityMismatch {
+                    relation: d.str()?,
+                    expected: d.u64()? as usize,
+                    got: d.u64()? as usize,
+                },
+                EERR_DUPLICATE_TUPLE => EditError::DuplicateTuple { relation: d.str()? },
+                EERR_MISSING_TUPLE => EditError::MissingTuple { relation: d.str()? },
+                EERR_TOO_LARGE => EditError::TooLarge {
+                    bits: d.u64()? as usize,
+                    max_bits: d.u64()? as usize,
+                },
+                tag => return Err(DecodeError::BadTag { at, tag }),
+            })
+        }
+        SERR_NOT_A_COMPONENT => SessionError::NotAComponent {
+            mask: d.u32()?,
+            detail: d.str()?,
+        },
+        SERR_TUPLE_IN_BASE => SessionError::TupleInBaseState { relation: d.str()? },
+        SERR_OUTSIDE_SPACE => SessionError::StateOutsideSpace { view: d.str()? },
+        SERR_DURABILITY => SessionError::Durability { detail: d.str()? },
+        SERR_STALE_LOG => SessionError::StaleLog { detail: d.str()? },
+        tag => return Err(DecodeError::BadTag { at, tag }),
+    })
 }
 
 /// The decoded parts of a snapshot record — everything a session needs to
@@ -571,6 +892,10 @@ pub(crate) struct WalWriter {
     durable_len: u64,
     since_sync: u64,
     poisoned: bool,
+    /// Group-commit mode: policy-due syncs are *deferred* — recorded in
+    /// `sync_pending` instead of issued — until [`WalWriter::flush`].
+    deferred: bool,
+    sync_pending: bool,
 }
 
 impl WalWriter {
@@ -584,7 +909,30 @@ impl WalWriter {
             durable_len: len,
             since_sync: 0,
             poisoned: false,
+            deferred: false,
+            sync_pending: false,
         }
+    }
+
+    /// Enter or leave group-commit mode.  While deferred, appends that
+    /// would sync under the [`SyncPolicy`] only *mark* a sync as pending;
+    /// [`WalWriter::flush`] issues the one real fsync.  Leaving the mode
+    /// does not flush — callers pair `set_deferred(false)` with `flush()`.
+    pub fn set_deferred(&mut self, on: bool) {
+        self.deferred = on;
+    }
+
+    /// Issue the deferred fsync, if any appends since the last sync asked
+    /// for one.  One call covers every record appended while deferred —
+    /// this is the group-commit point.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.sync_pending {
+            return Ok(());
+        }
+        self.store.sync()?;
+        self.sync_pending = false;
+        self.since_sync = 0;
+        Ok(())
     }
 
     /// Whether a failed rollback has disabled this writer.
@@ -602,6 +950,8 @@ impl WalWriter {
             ));
         }
         let rec = frame_record(self.next_seq, payload);
+        let deferred = self.deferred;
+        let sync_pending = &mut self.sync_pending;
         let result = self.store.append(&rec).and_then(|()| {
             self.since_sync += 1;
             let due = match self.policy {
@@ -610,8 +960,12 @@ impl WalWriter {
                 SyncPolicy::Never => false,
             };
             if due {
-                self.store.sync()?;
-                self.since_sync = 0;
+                if deferred {
+                    *sync_pending = true;
+                } else {
+                    self.store.sync()?;
+                    self.since_sync = 0;
+                }
             }
             Ok(())
         });
@@ -646,6 +1000,7 @@ impl WalWriter {
         self.next_seq = 1;
         self.durable_len = bytes.len() as u64;
         self.since_sync = 0;
+        self.sync_pending = false;
         self.poisoned = false;
         Ok(())
     }
@@ -693,17 +1048,24 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         for req in sample_requests() {
-            let payload = encode_request(&req).expect("durable request");
+            let payload = encode_request(&req);
             assert_eq!(decode_request(&payload).unwrap(), req);
         }
-        // Reads and stats are not logged.
-        assert!(encode_request(&SessionRequest::Read { view: "r".into() }).is_none());
-        assert!(encode_request(&SessionRequest::Stats).is_none());
+        // Reads and stats are not *logged* (is_durable is false), but
+        // they still round-trip through the codec for the wire protocol.
+        for req in [
+            SessionRequest::Read { view: "r".into() },
+            SessionRequest::Stats,
+        ] {
+            assert!(!req.is_durable());
+            let payload = encode_request(&req);
+            assert_eq!(decode_request(&payload).unwrap(), req);
+        }
     }
 
     #[test]
     fn request_decode_rejects_trailing_garbage() {
-        let mut payload = encode_request(&SessionRequest::Undo).unwrap();
+        let mut payload = encode_request(&SessionRequest::Undo);
         payload.push(0);
         assert!(decode_request(&payload).is_err());
     }
@@ -715,10 +1077,7 @@ mod tests {
         // Manually lay the magic like open_durable does.
         shared.lock().unwrap().extend_from_slice(MAGIC);
         w.durable_len = MAGIC.len() as u64;
-        let payloads: Vec<Vec<u8>> = sample_requests()
-            .iter()
-            .map(|r| encode_request(r).unwrap())
-            .collect();
+        let payloads: Vec<Vec<u8>> = sample_requests().iter().map(encode_request).collect();
         for p in &payloads {
             w.append_payload(p).unwrap();
         }
@@ -743,7 +1102,7 @@ mod tests {
             MAGIC.len() as u64,
         );
         for req in sample_requests() {
-            w.append_payload(&encode_request(&req).unwrap()).unwrap();
+            w.append_payload(&encode_request(&req)).unwrap();
         }
         let bytes = shared.lock().unwrap().clone();
         let full = parse_log(&bytes).unwrap().records.len();
@@ -766,10 +1125,7 @@ mod tests {
         let (store, shared) = MemStore::new();
         shared.lock().unwrap().extend_from_slice(MAGIC);
         let mut w = WalWriter::new(Box::new(store), SyncPolicy::Never, 0, MAGIC.len() as u64);
-        let payloads: Vec<Vec<u8>> = sample_requests()
-            .iter()
-            .map(|r| encode_request(r).unwrap())
-            .collect();
+        let payloads: Vec<Vec<u8>> = sample_requests().iter().map(encode_request).collect();
         for p in &payloads {
             w.append_payload(p).unwrap();
         }
@@ -812,7 +1168,7 @@ mod tests {
         });
         shared.lock().unwrap().extend_from_slice(MAGIC);
         let mut w = WalWriter::new(Box::new(store), SyncPolicy::Never, 0, MAGIC.len() as u64);
-        let p0 = encode_request(&SessionRequest::Undo).unwrap();
+        let p0 = encode_request(&SessionRequest::Undo);
         w.append_payload(&p0).unwrap();
         w.append_payload(&p0).unwrap();
         let before = shared.lock().unwrap().clone();
@@ -840,7 +1196,7 @@ mod tests {
         });
         shared.lock().unwrap().extend_from_slice(MAGIC);
         let mut w = WalWriter::new(Box::new(store), SyncPolicy::Never, 0, MAGIC.len() as u64);
-        let p = encode_request(&SessionRequest::Undo).unwrap();
+        let p = encode_request(&SessionRequest::Undo);
         w.append_payload(&p).unwrap();
         assert!(w.append_payload(&p).is_err());
         assert!(w.is_poisoned());

@@ -681,7 +681,227 @@ fn failed_sync_rejects_under_always_policy() {
     .unwrap();
 }
 
+// ----------------------------------------- mid-checkpoint crash faults
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Crash **mid-checkpoint**: the replace that installs the snapshot
+    /// fails atomically (write-then-rename keeps the old log), the live
+    /// session reports `Durability` but keeps serving, and recovery from
+    /// the untouched old log reproduces every request served — the
+    /// failed checkpoint is invisible.
+    #[test]
+    fn failed_checkpoint_keeps_the_old_log_and_the_session(
+        seed in 0u64..1 << 32,
+        split in 1usize..10,
+    ) {
+        let seed = seed ^ fault_seed();
+        // Replace #1 is open_durable's initial snapshot; #2 is the first
+        // checkpoint of the session's life.
+        let (store, shared) = FaultyStore::new(FaultPlan {
+            fail_replace_at: Some(2),
+            ..FaultPlan::default()
+        });
+        let mut live = Session::open_durable(
+            family(),
+            schema(),
+            &pools(),
+            base(),
+            config(),
+            Box::new(store),
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        let ops = random_ops(&mut StdRng::seed_from_u64(seed), 10, false);
+        let (before, after) = ops.split_at(split.min(ops.len()));
+        for op in before {
+            let Op::Req(req) = op else { unreachable!() };
+            let _ = live.serve(req.clone());
+        }
+        let err = live.checkpoint().unwrap_err();
+        prop_assert_eq!(err.variant_label(), "Durability");
+        // The session survives the failed checkpoint and keeps logging.
+        for op in after {
+            let Op::Req(req) = op else { unreachable!() };
+            let _ = live.serve(req.clone());
+        }
+
+        // "Crash": recover from the store's bytes.  The old log is fully
+        // intact (atomic replace failure), so every request is there.
+        let bytes = shared.lock().unwrap().clone();
+        let (recovered, report) = Session::recover(
+            family(),
+            schema(),
+            Box::new(MemStore::from_bytes(bytes)),
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        prop_assert_eq!(&report.stopped, &RecoveryStop::CleanEnd);
+        prop_assert_eq!(report.records_applied as usize, ops.len());
+        let shadow = shadow_of(&ops, ops.len());
+        assert_same(&recovered, &shadow, "after failed checkpoint");
+        assert_same_logical(&recovered, &live, "live vs recovered");
+    }
+}
+
+// ----------------------------------------------- create-vs-recover guard
+
+#[test]
+fn create_over_existing_log_is_a_typed_refusal() {
+    let dir = std::env::temp_dir().join(format!(
+        "compview-stale-{}-{}",
+        std::process::id(),
+        fault_seed()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut service: Service<SubschemaComponents> = Service::new();
+    service
+        .create_durable_session(
+            &dir,
+            "alpha",
+            family(),
+            schema(),
+            &pools(),
+            base(),
+            config(),
+            SyncPolicy::Always,
+        )
+        .unwrap();
+    service
+        .serve(
+            "alpha",
+            SessionRequest::RegisterView {
+                name: "r".into(),
+                mask: 0b01,
+            },
+        )
+        .unwrap();
+    drop(service);
+
+    // A second *create* over the same log must fail with the typed
+    // StaleLog error — not silently append a fresh snapshot record onto
+    // the old history.
+    let before = std::fs::read(dir.join("alpha.wal")).unwrap();
+    let mut service: Service<SubschemaComponents> = Service::new();
+    let err = service
+        .create_durable_session(
+            &dir,
+            "alpha",
+            family(),
+            schema(),
+            &pools(),
+            base(),
+            config(),
+            SyncPolicy::Always,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            compview_session::ServiceError::Session(SessionError::StaleLog { .. })
+        ),
+        "expected StaleLog, got {err:?}"
+    );
+    let after = std::fs::read(dir.join("alpha.wal")).unwrap();
+    assert_eq!(before, after, "refused create left the log untouched");
+
+    // The pointed-at recovery path works and sees the original session.
+    let (service, reports) =
+        Service::<SubschemaComponents>::open_dir(&dir, SyncPolicy::Always, |_| {
+            (family(), schema())
+        })
+        .unwrap();
+    assert!(reports["alpha"].is_ok());
+    assert_eq!(
+        service.session("alpha").unwrap().catalog().views().count(),
+        1
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn create_over_nonempty_mem_store_is_stale_log() {
+    let (mut store, _) = MemStore::new();
+    compview_session::LogStore::append(&mut store, b"leftovers").unwrap();
+    let err = match Session::open_durable(
+        family(),
+        schema(),
+        &pools(),
+        base(),
+        config(),
+        Box::new(store),
+        SyncPolicy::Always,
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("create over a non-empty store must fail"),
+    };
+    assert_eq!(err.variant_label(), "StaleLog");
+    assert!(
+        err.to_string().contains("recover"),
+        "points at recovery: {err}"
+    );
+}
+
 // -------------------------------------------- multi-session degradation
+
+#[cfg(unix)]
+#[test]
+fn open_dir_reports_logs_it_cannot_name() {
+    use std::ffi::OsStr;
+    use std::os::unix::ffi::OsStrExt;
+
+    let dir = std::env::temp_dir().join(format!(
+        "compview-badname-{}-{}",
+        std::process::id(),
+        fault_seed()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // One healthy log…
+    let mut service: Service<SubschemaComponents> = Service::new();
+    service
+        .create_durable_session(
+            &dir,
+            "alpha",
+            family(),
+            schema(),
+            &pools(),
+            base(),
+            config(),
+            SyncPolicy::Always,
+        )
+        .unwrap();
+    drop(service);
+    // …and one whose stem is not valid UTF-8 (0xFF cannot appear in
+    // UTF-8), which therefore cannot name a session.
+    let bad = dir.join(OsStr::from_bytes(b"bad\xFFname.wal"));
+    std::fs::write(&bad, b"not a log").unwrap();
+
+    let (service, reports) =
+        Service::<SubschemaComponents>::open_dir(&dir, SyncPolicy::Always, |_| {
+            (family(), schema())
+        })
+        .unwrap();
+
+    // The healthy session came up; the unnameable log was *reported*,
+    // not silently skipped.
+    assert_eq!(service.session_names().collect::<Vec<_>>(), ["alpha"]);
+    assert_eq!(reports.len(), 2, "both logs accounted for: {reports:?}");
+    let bad_report = reports
+        .iter()
+        .find(|(name, _)| name.as_str() != "alpha")
+        .expect("the unnameable log has a report entry");
+    assert!(
+        matches!(bad_report.1, Err(RecoverError::BadName { .. })),
+        "expected BadName, got {:?}",
+        bad_report.1
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
 
 #[test]
 fn open_dir_degrades_only_the_corrupt_session() {

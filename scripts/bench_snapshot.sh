@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # Run the headline Criterion targets (chase, partition_lattice,
 # translate_scaling, incremental maintenance, session serving, WAL
-# append throughput + recovery latency) and collect the vendored
-# harness's machine-readable result lines ("compview-bench: {...}")
-# into BENCH_PR3.json.
+# append throughput + group commit + recovery latency, wire protocol)
+# and collect the vendored harness's machine-readable result lines
+# ("compview-bench: {...}") into BENCH_PR4.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
-TARGETS=(chase partition_lattice translate_scaling incremental session wal)
+OUT="${1:-BENCH_PR4.json}"
+TARGETS=(chase partition_lattice translate_scaling incremental session wal serve)
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -27,8 +27,15 @@ echo "==> recovery fault-injection suite (COMPVIEW_FAULT_SEED=${COMPVIEW_FAULT_S
 COMPVIEW_FAULT_SEED="${COMPVIEW_FAULT_SEED:-20260806}" \
     cargo test -q -p compview-session --test recovery
 
-echo "==> cargo build --example session --example recovery --benches"
-cargo build --example session --example recovery
+# The wire protocol's contract is byte-identity with in-process dispatch;
+# the loopback suite proves it at 1, 2, and 8 worker threads, plus
+# connection isolation under malformed frames.
+echo "==> cargo test -p compview-serve (wire codec + loopback server)"
+cargo test -q -p compview-serve
+cargo test -q -p compview-serve --test loopback
+
+echo "==> cargo build --example session --example recovery --example serve --benches"
+cargo build --example session --example recovery --example serve
 cargo build --benches -p compview-bench
 
 echo "CI OK"

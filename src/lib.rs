@@ -21,6 +21,7 @@
 //! | [`lattice`] | partitions & the partition lattice, finite posets, ↓-poset strong morphisms, strong endomorphisms, Boolean-algebra verification |
 //! | [`core`] | views, update strategies & admissibility, complements, strong views, **the component algebra**, constant-complement translation, symbolic path-schema components, workload generators |
 //! | [`session`] | the multi-session view-update service: typed requests, incremental state-space maintenance, component caching, deterministic batch dispatch |
+//! | [`serve`] | the network front end: CRC-framed wire protocol over the session codec, threaded batch server with group commit, blocking client |
 //!
 //! ## Quickstart
 //!
@@ -50,4 +51,5 @@ pub use compview_core as core;
 pub use compview_lattice as lattice;
 pub use compview_logic as logic;
 pub use compview_relation as relation;
+pub use compview_serve as serve;
 pub use compview_session as session;
