@@ -1,0 +1,168 @@
+//! E14: instrumentation overhead — the same hot paths as E11/E12, run
+//! once against a **no-op** registry (every handle is `None`; recording
+//! is a branch) and once against a **live** one (a few relaxed atomic
+//! ops plus two `Instant::now()` calls per timed section).
+//!
+//! Legs pair up: `read_hit_noop` vs `read_hit_observed` prices the
+//! per-request cost on E11's cached-read path; `group_commit_16_noop`
+//! vs `group_commit_16_observed` prices it on E12's batch-dispatch path
+//! (16 durable requests, one deferred fsync).  The acceptance bar is
+//! observed/noop < 1.03 on both pairs.  `counter_inc` and
+//! `histogram_record` are the primitive costs for reference.
+
+use compview_bench::header;
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_obs::Registry;
+use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview_session::{MemStore, Service, Session, SessionConfig, SessionRequest, SyncPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["B"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            (0..5).map(|i| Tuple::new([v(&format!("a{i}"))])).collect(),
+        ),
+        (
+            "S".to_owned(),
+            (0..3).map(|i| Tuple::new([v(&format!("b{i}"))])).collect(),
+        ),
+    ]
+    .into()
+}
+
+fn base() -> Instance {
+    Instance::null_model(&sig()).with("R", rel(1, [["a0"]]))
+}
+
+/// The E11 session (256 states, view `r` registered), bound to `registry`.
+fn open_session(registry: &Registry) -> Session<SubschemaComponents> {
+    let mut session = Session::open_observed(
+        SubschemaComponents::singletons(sig()),
+        Schema::unconstrained(sig()),
+        &pools(),
+        base(),
+        SessionConfig::default(),
+        registry,
+    )
+    .expect("base state is in the space");
+    session
+        .serve(SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b01,
+        })
+        .expect("R is a subschema component");
+    session
+}
+
+/// The E12 group-commit service: one durable `Always` session over a
+/// `MemStore` (no disk noise — this prices the bookkeeping, not the
+/// fsync), observing itself on `registry`.
+fn open_service(registry: Registry) -> Service<SubschemaComponents> {
+    let (store, _shared) = MemStore::new();
+    let mut service = Service::with_registry(registry);
+    let session = Session::open_durable(
+        SubschemaComponents::singletons(sig()),
+        Schema::unconstrained(sig()),
+        &pools(),
+        base(),
+        SessionConfig::default(),
+        Box::new(store),
+        SyncPolicy::Always,
+    )
+    .expect("fresh store opens");
+    service.add_session("w", session).unwrap();
+    service
+        .session_mut("w")
+        .unwrap()
+        .serve(SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b01,
+        })
+        .expect("R is a subschema component");
+    service
+}
+
+fn batch_16(target: &Instance) -> Vec<(String, SessionRequest)> {
+    (0..8)
+        .flat_map(|_| {
+            [
+                (
+                    "w".to_owned(),
+                    SessionRequest::Update {
+                        view: "r".into(),
+                        new_state: target.clone(),
+                    },
+                ),
+                ("w".to_owned(), SessionRequest::Undo),
+            ]
+        })
+        .collect()
+}
+
+fn bench_obs(c: &mut Criterion) {
+    header(
+        "E14",
+        "obs: instrumentation overhead, no-op vs live registry",
+    );
+    let mut group = c.benchmark_group("obs");
+
+    // Primitive costs.
+    let registry = Registry::new();
+    let counter = registry.counter("bench.counter");
+    let hist = registry.histogram("bench.hist");
+    group.bench_function("counter_inc", |b| b.iter(|| black_box(&counter).inc()));
+    group.bench_function("histogram_record", |b| {
+        let mut x = 1u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(&hist).record(x >> 32)
+        })
+    });
+
+    // E11's cached-read path, both ways.
+    for (leg, registry) in [
+        ("read_hit_noop", Registry::disabled()),
+        ("read_hit_observed", Registry::new()),
+    ] {
+        let mut session = open_session(&registry);
+        group.bench_function(leg, |b| {
+            b.iter(|| {
+                black_box(
+                    session
+                        .serve(SessionRequest::Read { view: "r".into() })
+                        .unwrap(),
+                )
+            })
+        });
+    }
+
+    // E12's group-commit path, both ways.
+    let target = Instance::null_model(&sig()).with("R", rel(1, [["a1"], ["a2"]]));
+    for (leg, registry) in [
+        ("group_commit_16_noop", Registry::disabled()),
+        ("group_commit_16_observed", Registry::new()),
+    ] {
+        let mut service = open_service(registry);
+        let batch = batch_16(&target);
+        group.bench_function(leg, |b| {
+            b.iter(|| {
+                let results = service.dispatch(batch.clone());
+                assert!(results.iter().all(Result::is_ok));
+                black_box(results)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

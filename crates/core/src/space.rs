@@ -178,12 +178,24 @@ impl StateSpace {
         pools: &BTreeMap<String, Vec<Tuple>>,
         config: &EnumerationConfig,
     ) -> StateSpace {
+        StateSpace::enumerate_observed(schema, pools, config, &compview_logic::EnumObs::noop())
+    }
+
+    /// [`StateSpace::enumerate_with`] with enumeration instrumentation
+    /// (run/state tallies, per-shard and whole-run timings).  The space
+    /// built is byte-identical to the unobserved call.
+    pub fn enumerate_observed(
+        schema: Schema,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        config: &EnumerationConfig,
+        obs: &compview_logic::EnumObs,
+    ) -> StateSpace {
         assert!(
             schema.has_null_model_property(),
             "schema lacks the null model property (§2.3); \
              the state space would not be a ↓-poset"
         );
-        let detail = schema.enumerate_ldb_detailed(pools, config);
+        let detail = schema.enumerate_ldb_observed(pools, config, obs);
         let n_rels = detail.blocks.len();
         let mut state_blocks = Vec::with_capacity(detail.states.len() * n_rels);
         for &combo in &detail.state_combos {
@@ -701,6 +713,17 @@ impl StateSpace {
         schema: Schema,
         dec: &mut binio::Dec<'_>,
     ) -> Result<StateSpace, binio::DecodeError> {
+        StateSpace::decode_snapshot_observed(schema, dec, &compview_logic::EnumObs::noop())
+    }
+
+    /// [`StateSpace::decode_snapshot`] with enumeration instrumentation
+    /// (recovery re-derives the space by enumerating the decoded pools,
+    /// which is the dominant cost of bringing a session back up).
+    pub fn decode_snapshot_observed(
+        schema: Schema,
+        dec: &mut binio::Dec<'_>,
+        obs: &compview_logic::EnumObs,
+    ) -> Result<StateSpace, binio::DecodeError> {
         let max_bits = dec.u64()? as usize;
         let n = dec.u32()? as usize;
         let mut pools: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
@@ -713,7 +736,7 @@ impl StateSpace {
             max_bits,
             threads: compview_parallel::num_threads(),
         };
-        Ok(StateSpace::enumerate_with(schema, &pools, &cfg))
+        Ok(StateSpace::enumerate_observed(schema, &pools, &cfg, obs))
     }
 
     /// Assert this (incrementally edited) space is byte-identical to a

@@ -30,15 +30,17 @@ pub mod chase;
 pub mod constraint;
 pub mod dep;
 pub mod nulls;
+pub mod obs;
 pub mod rule;
 pub mod schema;
 pub mod tree;
 pub mod typealg;
 
-pub use chase::{chase, chase_naive, ChaseConfig, ChaseError};
+pub use chase::{chase, chase_naive, chase_observed, ChaseConfig, ChaseError};
 pub use constraint::Constraint;
 pub use dep::{attribute_closure, fd_implies, Fd, Ind, Jd};
 pub use nulls::PathSchema;
+pub use obs::{ChaseObs, EnumObs};
 pub use rule::{cst, var, Atom, Egd, Substitution, Term, Tgd, TupleIndex};
 pub use schema::{EnumerationConfig, LdbDetail, LegalBlock, Schema};
 pub use tree::TreeSchema;

@@ -282,6 +282,23 @@ impl Schema {
         pools: &BTreeMap<String, Vec<Tuple>>,
         config: &EnumerationConfig,
     ) -> LdbDetail {
+        self.enumerate_ldb_observed(pools, config, &crate::obs::EnumObs::noop())
+    }
+
+    /// [`Schema::enumerate_ldb_detailed`] with instrumentation: tallies
+    /// runs and produced states, records per-shard and whole-run wall
+    /// times, and emits an `"enum"` span carrying the combo count when
+    /// the bundle's tracer is enabled.  The output is byte-identical to
+    /// the unobserved call — per-shard timing happens inside each
+    /// worker's closure and never affects the shard-ordered
+    /// concatenation.
+    pub fn enumerate_ldb_observed(
+        &self,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        config: &EnumerationConfig,
+        obs: &crate::obs::EnumObs,
+    ) -> LdbDetail {
+        let run_timer = obs.run_ns.start();
         let decls = self.sig.decls();
         let mut total_bits = 0usize;
         for d in decls {
@@ -309,13 +326,17 @@ impl Schema {
         // per-block-legal states, so order matches the sequential scan.
         let combos: usize = blocks.iter().map(Vec::len).product();
         if blocks.iter().any(Vec::is_empty) {
+            obs.runs.inc();
+            obs.run_ns.stop(run_timer);
             return LdbDetail {
                 states: Vec::new(),
                 blocks,
                 state_combos: Vec::new(),
             };
         }
+        let _span = obs.tracer.span("enum", combos as u64);
         let picked = compview_parallel::sharded_collect(combos, config.threads, |range| {
+            let shard_timer = obs.shard_ns.start();
             let mut out = Vec::new();
             for idx in range {
                 let mut rest = idx;
@@ -330,6 +351,7 @@ impl Schema {
                     out.push((inst, idx));
                 }
             }
+            obs.shard_ns.stop(shard_timer);
             out
         });
         let mut states = Vec::with_capacity(picked.len());
@@ -338,6 +360,9 @@ impl Schema {
             states.push(inst);
             state_combos.push(idx);
         }
+        obs.runs.inc();
+        obs.states.add(states.len() as u64);
+        obs.run_ns.stop(run_timer);
         LdbDetail {
             states,
             blocks,

@@ -1,0 +1,283 @@
+//! Log-bucketed latency histograms.
+//!
+//! Values land in power-of-two buckets: bucket 0 holds the value 0 and
+//! bucket `i` (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)`.  That gives
+//! a fixed 65-slot layout covering the whole `u64` range with ~2×
+//! relative error — plenty for latency work, where the interesting
+//! signal is orders of magnitude (ns vs µs vs ms), and cheap enough to
+//! record with two relaxed atomic adds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub(crate) const BUCKETS: usize = 65;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The smallest value in bucket `i` (the bucket's lower boundary).
+#[inline]
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for HistCore {
+    fn default() -> HistCore {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistCore {
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let mut count = 0;
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n != 0 {
+                count += n;
+                buckets.push((bucket_floor(i), n));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A handle onto a log-bucketed histogram (see module docs); `None`
+/// inside means a no-op handle.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistCore>>);
+
+impl Histogram {
+    /// A handle that records nothing.
+    pub fn noop() -> Histogram {
+        Histogram(None)
+    }
+
+    pub(crate) fn from_core(core: Arc<HistCore>) -> Histogram {
+        Histogram(Some(core))
+    }
+
+    /// Record one value (two relaxed atomic adds).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Start timing: `Some(now)` on a live handle, `None` on a no-op —
+    /// so a disabled registry skips the `Instant::now()` call too.
+    #[inline]
+    pub fn start(&self) -> Option<std::time::Instant> {
+        self.0.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Record the nanoseconds elapsed since [`Histogram::start`]
+    /// (saturating at `u64::MAX`); a no-op when `started` is `None`.
+    #[inline]
+    pub fn stop(&self, started: Option<std::time::Instant>) {
+        if let Some(t) = started {
+            self.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map(|core| core.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+/// A frozen histogram: total count, sum of recorded values, and the
+/// non-empty buckets as `(lower boundary, count)` pairs in ascending
+/// boundary order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// `(bucket lower boundary, count)` for each non-empty bucket,
+    /// boundaries strictly ascending.  Boundary 0 is the zero bucket;
+    /// every other boundary is a power of two and the bucket covers
+    /// `[b, 2b)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Merge another snapshot into this one (bucket-wise addition).
+    /// Merging the snapshots of two histograms equals the snapshot of
+    /// one histogram that recorded both value streams, in any
+    /// interleaving — the proptests in `tests/props.rs` pin this.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => break,
+                (Some(&&(lo, n)), None) => {
+                    merged.push((lo, n));
+                    a.next();
+                }
+                (None, Some(&&(lo, n))) => {
+                    merged.push((lo, n));
+                    b.next();
+                }
+                (Some(&&(la, na)), Some(&&(lb, nb))) => {
+                    if la < lb {
+                        merged.push((la, na));
+                        a.next();
+                    } else if lb < la {
+                        merged.push((lb, nb));
+                        b.next();
+                    } else {
+                        merged.push((la, na + nb));
+                        a.next();
+                        b.next();
+                    }
+                }
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Mean of the recorded values, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// An upper bound on the `q`-quantile (0.0 ≤ q ≤ 1.0): the exclusive
+    /// upper boundary of the bucket where the quantile falls.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(lo, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return if lo == 0 { 0 } else { lo.saturating_mul(2) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's floor lands back in that bucket, and floor-1 in
+        // the previous one.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i);
+            if i > 1 {
+                assert_eq!(bucket_index(bucket_floor(i) - 1), i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let reg = crate::Registry::new();
+        let h = reg.histogram("t");
+        for v in [0, 0, 1, 3, 3, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.buckets, vec![(0, 2), (1, 1), (2, 3), (512, 1)]);
+        assert_eq!(s.mean(), 144);
+    }
+
+    #[test]
+    fn merge_matches_interleaved() {
+        let reg = crate::Registry::new();
+        let a = reg.histogram("a");
+        let b = reg.histogram("b");
+        let both = reg.histogram("both");
+        for v in [5u64, 9, 0, 77] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 1 << 40, 3] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, both.snapshot());
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let reg = crate::Registry::new();
+        let h = reg.histogram("q");
+        for _ in 0..99 {
+            h.record(10); // bucket [8,16)
+        }
+        h.record(1 << 20);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_bound(0.5), 15);
+        assert_eq!(s.quantile_upper_bound(1.0), (1 << 21) - 1);
+        assert_eq!(s.quantile_upper_bound(0.0), 15);
+    }
+
+    #[test]
+    fn timing_helpers() {
+        let reg = crate::Registry::new();
+        let h = reg.histogram("lat");
+        let t = h.start();
+        assert!(t.is_some());
+        h.stop(t);
+        assert_eq!(h.snapshot().count, 1);
+        let noop = Histogram::noop();
+        assert!(noop.start().is_none());
+        noop.stop(None);
+        assert_eq!(noop.snapshot().count, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! A fixed-capacity ring-buffer event tracer.
+//!
+//! [`Tracer::span`] records a start event and its guard records the
+//! matching end event on drop; [`Tracer::instant`] records a single
+//! point event.  Events carry a `&'static str` label (no allocation on
+//! the hot path), a monotonic nanosecond timestamp measured from the
+//! tracer's epoch, and one free `u64` argument (a byte count, a round
+//! number, a cache verdict).
+//!
+//! The buffer is a preallocated ring guarded by a mutex: when full, new
+//! events overwrite the oldest — tracing a long run keeps the *recent*
+//! window, which is the one a per-request breakdown needs.  Tracing is
+//! off until [`Tracer::enable`] is called; when off, recording is one
+//! relaxed atomic load.  This deliberately is not a `tracing`-crate
+//! subscriber: the workspace is offline/std-only, and a bounded ring of
+//! POD events is all the flame-style breakdown requires (DESIGN.md §11).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span opened.
+    Start,
+    /// The most recently opened span with this label closed.
+    End,
+    /// A point event.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Static label, e.g. `"wal.fsync"`.
+    pub label: &'static str,
+    /// Start/end/point marker.
+    pub kind: TraceKind,
+    /// Nanoseconds since the tracer's epoch (monotonic clock).
+    pub at_ns: u64,
+    /// Free argument: bytes, rounds, hit/miss flag — label-dependent.
+    pub arg: u64,
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    /// Next write position.
+    head: usize,
+    /// Capacity (0 until enabled).
+    cap: usize,
+    /// Total events ever recorded (so readers can tell how many were
+    /// overwritten).
+    recorded: u64,
+}
+
+struct TracerInner {
+    enabled: AtomicBool,
+    epoch: Instant,
+    ring: Mutex<Ring>,
+}
+
+/// Handle onto a shared ring-buffer tracer; `None` inside means a
+/// permanent no-op (from a disabled registry).  `Default` is the no-op.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    pub(crate) fn new() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                enabled: AtomicBool::new(false),
+                epoch: Instant::now(),
+                ring: Mutex::new(Ring {
+                    events: Vec::new(),
+                    head: 0,
+                    cap: 0,
+                    recorded: 0,
+                }),
+            })),
+        }
+    }
+
+    /// A handle that never records.
+    pub fn noop() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Turn tracing on with room for `capacity` events (older events are
+    /// overwritten once full).  Clears anything previously recorded.
+    pub fn enable(&self, capacity: usize) {
+        if let Some(inner) = &self.inner {
+            let mut ring = inner.ring.lock().expect("trace lock");
+            ring.events.clear();
+            ring.events.reserve_exact(capacity);
+            ring.head = 0;
+            ring.cap = capacity;
+            ring.recorded = 0;
+            inner.enabled.store(capacity > 0, Ordering::Release);
+        }
+    }
+
+    /// Turn tracing off (recorded events stay readable).
+    pub fn disable(&self) {
+        if let Some(inner) = &self.inner {
+            inner.enabled.store(false, Ordering::Release);
+        }
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.enabled.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn push(&self, label: &'static str, kind: TraceKind, arg: u64) {
+        let Some(inner) = &self.inner else { return };
+        if !inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let at_ns = u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let ev = TraceEvent {
+            label,
+            kind,
+            at_ns,
+            arg,
+        };
+        let mut ring = inner.ring.lock().expect("trace lock");
+        if ring.cap == 0 {
+            return;
+        }
+        let head = ring.head;
+        if ring.events.len() < ring.cap {
+            ring.events.push(ev);
+        } else {
+            ring.events[head] = ev;
+        }
+        ring.head = (head + 1) % ring.cap;
+        ring.recorded += 1;
+    }
+
+    /// Record a point event.
+    #[inline]
+    pub fn instant(&self, label: &'static str, arg: u64) {
+        self.push(label, TraceKind::Instant, arg);
+    }
+
+    /// Open a span: records a start event now and the matching end event
+    /// when the guard drops.  `arg` is attached to both.
+    #[inline]
+    pub fn span(&self, label: &'static str, arg: u64) -> SpanGuard {
+        let live = self
+            .inner
+            .as_ref()
+            .is_some_and(|i| i.enabled.load(Ordering::Relaxed));
+        if live {
+            self.push(label, TraceKind::Start, arg);
+            SpanGuard {
+                tracer: self.clone(),
+                label,
+                arg,
+                live: true,
+            }
+        } else {
+            SpanGuard {
+                tracer: Tracer::noop(),
+                label,
+                arg,
+                live: false,
+            }
+        }
+    }
+
+    /// The recorded events, oldest first, plus the count of events that
+    /// were recorded in total (including any the ring overwrote).
+    pub fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
+        let Some(inner) = &self.inner else {
+            return (Vec::new(), 0);
+        };
+        let ring = inner.ring.lock().expect("trace lock");
+        let mut out = Vec::with_capacity(ring.events.len());
+        if ring.events.len() == ring.cap && ring.cap > 0 {
+            out.extend_from_slice(&ring.events[ring.head..]);
+            out.extend_from_slice(&ring.events[..ring.head]);
+        } else {
+            out.extend_from_slice(&ring.events);
+        }
+        (out, ring.recorded)
+    }
+}
+
+/// Closes its span on drop (see [`Tracer::span`]).
+pub struct SpanGuard {
+    tracer: Tracer,
+    label: &'static str,
+    arg: u64,
+    live: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.live {
+            self.tracer.push(self.label, TraceKind::End, self.arg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_instants_record_in_order() {
+        let t = Tracer::new();
+        t.enable(16);
+        {
+            let _g = t.span("outer", 1);
+            t.instant("tick", 42);
+        }
+        let (events, recorded) = t.snapshot();
+        assert_eq!(recorded, 3);
+        assert_eq!(
+            events.iter().map(|e| (e.label, e.kind)).collect::<Vec<_>>(),
+            vec![
+                ("outer", TraceKind::Start),
+                ("tick", TraceKind::Instant),
+                ("outer", TraceKind::End),
+            ]
+        );
+        // Monotonic timestamps.
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(events[1].arg, 42);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let t = Tracer::new();
+        t.enable(4);
+        for i in 0..10u64 {
+            t.instant("e", i);
+        }
+        let (events, recorded) = t.snapshot();
+        assert_eq!(recorded, 10);
+        assert_eq!(
+            events.iter().map(|e| e.arg).collect::<Vec<_>>(),
+            [6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Tracer::new();
+        {
+            let _g = t.span("s", 0);
+            t.instant("i", 0);
+        }
+        assert_eq!(t.snapshot().1, 0);
+        t.enable(8);
+        t.instant("on", 0);
+        t.disable();
+        t.instant("off", 0);
+        let (events, _) = t.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "on");
+
+        let noop = Tracer::noop();
+        noop.enable(8);
+        noop.instant("x", 0);
+        assert!(!noop.is_enabled());
+        assert_eq!(noop.snapshot().0.len(), 0);
+    }
+
+    #[test]
+    fn span_guard_outlives_disable() {
+        let t = Tracer::new();
+        t.enable(8);
+        let g = t.span("s", 0);
+        t.disable();
+        drop(g); // end event suppressed because tracing is off
+        let (events, _) = t.snapshot();
+        assert_eq!(events.len(), 1);
+    }
+}

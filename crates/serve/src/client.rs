@@ -6,9 +6,10 @@
 //! the server answers one connection's requests strictly in order.
 
 use crate::proto::{
-    decode_result_payload, encode_request_payload, expect_handshake, read_frame, send_handshake,
-    write_frame, ProtoError,
+    decode_metrics_response_payload, decode_result_payload, encode_metrics_request_payload,
+    encode_request_payload, expect_handshake, read_frame, send_handshake, write_frame, ProtoError,
 };
+use compview_obs::MetricsSnapshot;
 use compview_session::{DispatchError, SessionRequest, SessionResponse};
 use std::io::{self, ErrorKind};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -64,5 +65,35 @@ impl Client {
     ) -> Result<WireResult, ProtoError> {
         self.send(session, req)?;
         self.recv()
+    }
+
+    /// Send a metrics-snapshot request without waiting (pipelining);
+    /// collect the answer with [`Client::recv_metrics`].  The response
+    /// slots into this connection's FIFO like any other request, so a
+    /// probe pipelined behind N requests observes all N.
+    pub fn send_metrics(&mut self) -> Result<(), ProtoError> {
+        write_frame(&mut self.stream, &encode_metrics_request_payload())
+    }
+
+    /// Receive the response to a [`Client::send_metrics`].
+    ///
+    /// # Errors
+    /// As [`Client::recv`], plus [`ProtoError::Metrics`] when the frame
+    /// does not hold a valid metrics snapshot (e.g. the next owed
+    /// response was for an ordinary request — calls must pair up).
+    pub fn recv_metrics(&mut self) -> Result<MetricsSnapshot, ProtoError> {
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ProtoError::Io(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection with a metrics response still owed",
+            ))
+        })?;
+        Ok(decode_metrics_response_payload(&payload)?)
+    }
+
+    /// Fetch the service-wide metrics snapshot.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ProtoError> {
+        self.send_metrics()?;
+        self.recv_metrics()
     }
 }

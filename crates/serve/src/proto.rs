@@ -17,6 +17,7 @@
 //! interpreted, mirroring how WAL recovery treats on-disk records:
 //! corruption is detected and refused, never obeyed, and never a panic.
 
+use compview_obs::{DecodeMetricsError, MetricsSnapshot};
 use compview_relation::binio::{self, Dec, DecodeError};
 use compview_session::wal::{self, crc32};
 use compview_session::{DispatchError, SessionRequest, SessionResponse};
@@ -33,6 +34,16 @@ pub const MAX_FRAME: u32 = 64 << 20;
 
 /// Bytes of framing ahead of the payload (`len` + `crc`).
 pub const FRAME_HEADER: usize = 4 + 4;
+
+/// Marker byte of a `Metrics` request payload and of its response.
+///
+/// A metrics request is the single byte `[KIND_METRICS]` — no session
+/// name, because the metrics registry aggregates the whole service.  It
+/// cannot collide with an ordinary request payload: those open with a
+/// u32 length-prefixed session name, so they are at least 4 bytes.  The
+/// response is `KIND_METRICS ++ MetricsSnapshot::encode()` and is
+/// answered in per-connection FIFO order like every other request.
+pub const KIND_METRICS: u8 = 3;
 
 /// Why a connection's byte stream was refused.
 #[derive(Debug)]
@@ -59,6 +70,9 @@ pub enum ProtoError {
     },
     /// The frame was sound but its payload did not decode.
     Decode(DecodeError),
+    /// A metrics response frame failed its own (CRC-gated, strictly
+    /// validated) codec.
+    Metrics(DecodeMetricsError),
 }
 
 impl std::fmt::Display for ProtoError {
@@ -76,6 +90,7 @@ impl std::fmt::Display for ProtoError {
                 "frame checksum mismatch: carried {carried:#010x}, computed {computed:#010x}"
             ),
             ProtoError::Decode(e) => write!(f, "undecodable payload: {e}"),
+            ProtoError::Metrics(e) => write!(f, "undecodable metrics snapshot: {e}"),
         }
     }
 }
@@ -91,6 +106,12 @@ impl From<io::Error> for ProtoError {
 impl From<DecodeError> for ProtoError {
     fn from(e: DecodeError) -> ProtoError {
         ProtoError::Decode(e)
+    }
+}
+
+impl From<DecodeMetricsError> for ProtoError {
+    fn from(e: DecodeMetricsError) -> ProtoError {
+        ProtoError::Metrics(e)
     }
 }
 
@@ -196,6 +217,58 @@ pub fn decode_request_payload(payload: &[u8]) -> Result<(String, SessionRequest)
     let session = d.str()?;
     let req = wal::decode_request(&payload[d.pos()..])?;
     Ok((session, req))
+}
+
+/// Everything a request frame can carry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireRequest {
+    /// An ordinary session request, dispatched through the service.
+    Dispatch(String, SessionRequest),
+    /// A metrics-snapshot request for the whole service.
+    Metrics,
+}
+
+/// Encode a metrics request frame payload.
+pub fn encode_metrics_request_payload() -> Vec<u8> {
+    vec![KIND_METRICS]
+}
+
+/// Decode any request frame payload: the one-byte metrics marker, or a
+/// session-addressed request.
+///
+/// # Errors
+/// Whatever [`decode_request_payload`] rejects (the metrics marker is
+/// unambiguous — see [`KIND_METRICS`]).
+pub fn decode_wire_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
+    if payload == [KIND_METRICS] {
+        return Ok(WireRequest::Metrics);
+    }
+    let (session, req) = decode_request_payload(payload)?;
+    Ok(WireRequest::Dispatch(session, req))
+}
+
+/// Encode a metrics response frame payload around an already-encoded
+/// [`MetricsSnapshot`].
+pub fn encode_metrics_response_payload(snapshot: &MetricsSnapshot) -> Vec<u8> {
+    let mut out = vec![KIND_METRICS];
+    out.extend_from_slice(&snapshot.encode());
+    out
+}
+
+/// Decode a metrics response frame payload (inverse of
+/// [`encode_metrics_response_payload`]).
+///
+/// # Errors
+/// [`DecodeMetricsError`] when the marker byte is missing or the
+/// snapshot codec rejects the remainder.
+pub fn decode_metrics_response_payload(
+    payload: &[u8],
+) -> Result<MetricsSnapshot, DecodeMetricsError> {
+    match payload.split_first() {
+        Some((&KIND_METRICS, rest)) => MetricsSnapshot::decode(rest),
+        Some((&other, _)) => Err(DecodeMetricsError::BadVersion(other)),
+        None => Err(DecodeMetricsError::TooShort),
+    }
 }
 
 /// Encode a response frame payload: one dispatch outcome in its

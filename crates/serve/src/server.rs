@@ -29,10 +29,11 @@
 //! never change any response — only how many fsyncs amortise.
 
 use crate::proto::{
-    decode_request_payload, encode_result_payload, expect_handshake, read_frame, send_handshake,
-    write_frame,
+    decode_wire_request, encode_metrics_response_payload, encode_result_payload, expect_handshake,
+    read_frame, send_handshake, write_frame, WireRequest,
 };
 use compview_core::ComponentFamily;
+use compview_obs::{Counter, Gauge, Registry};
 use compview_session::{Service, SessionRequest};
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
@@ -41,8 +42,39 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One queued request: which connection sent it, for which session.
-type QueuedRequest = (u64, String, SessionRequest);
+/// One queued request: which connection sent it, and what it asked.
+type QueuedRequest = (u64, WireRequest);
+
+/// Server-side instruments, registered on the service's [`Registry`] at
+/// bind time so they land in the same snapshot as the session and WAL
+/// metrics.
+#[derive(Clone, Default)]
+struct ServeObs {
+    /// Connections accepted (post-handshake).
+    connections: Counter,
+    /// Request frames decoded off the wire.
+    frames_in: Counter,
+    /// Response frames written to the wire.
+    frames_out: Counter,
+    /// Frames (or CRC-valid payloads) refused: bad CRC, over-limit
+    /// length, torn stream, undecodable payload.  Each costs its
+    /// connection.
+    malformed_frames: Counter,
+    /// High-water mark of the dispatcher queue depth.
+    queue_depth_hwm: Gauge,
+}
+
+impl ServeObs {
+    fn new(registry: &Registry) -> ServeObs {
+        ServeObs {
+            connections: registry.counter("serve.connections"),
+            frames_in: registry.counter("serve.frames_in"),
+            frames_out: registry.counter("serve.frames_out"),
+            malformed_frames: registry.counter("serve.malformed_frames"),
+            queue_depth_hwm: registry.gauge("serve.queue_depth_hwm"),
+        }
+    }
+}
 
 /// State shared between the accept loop, the readers, and the
 /// dispatcher.
@@ -55,6 +87,7 @@ struct Shared {
     /// connection removes.
     writers: Mutex<BTreeMap<u64, TcpStream>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    obs: ServeObs,
 }
 
 /// A running server: call [`Server::shutdown`] to stop it and take the
@@ -78,6 +111,7 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
             stop: AtomicBool::new(false),
             writers: Mutex::new(BTreeMap::new()),
             readers: Mutex::new(Vec::new()),
+            obs: ServeObs::new(service.registry()),
         });
 
         let accept = {
@@ -143,6 +177,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         };
         let conn = next_conn;
         next_conn += 1;
+        shared.obs.connections.inc();
         shared.writers.lock().expect("writers").insert(conn, writer);
         let reader = {
             let shared = Arc::clone(shared);
@@ -158,16 +193,19 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
         match read_frame(&mut stream) {
-            Ok(Some(payload)) => match decode_request_payload(&payload) {
-                Ok((session, req)) => {
+            Ok(Some(payload)) => match decode_wire_request(&payload) {
+                Ok(req) => {
+                    shared.obs.frames_in.inc();
                     let mut q = shared.queue.lock().expect("queue");
-                    q.push_back((conn, session, req));
+                    q.push_back((conn, req));
+                    shared.obs.queue_depth_hwm.raise(q.len() as u64);
                     drop(q);
                     shared.wake.notify_one();
                 }
                 // A CRC-valid frame that does not decode is a protocol
                 // violation, not line noise: drop the connection.
                 Err(_) => {
+                    shared.obs.malformed_frames.inc();
                     drop_connection(conn, shared);
                     return;
                 }
@@ -176,12 +214,21 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok(None) => return,
             // Torn frame, bad CRC, over-limit length, transport failure:
             // nothing after this point can be trusted.
-            Err(_) => {
+            Err(e) => {
+                if !shared.stop.load(Ordering::SeqCst) && !is_disconnect(&e) {
+                    shared.obs.malformed_frames.inc();
+                }
                 drop_connection(conn, shared);
                 return;
             }
         }
     }
+}
+
+/// Whether a read error is an ordinary transport drop (peer vanished,
+/// socket shut down) rather than bytes that were wrong.
+fn is_disconnect(e: &crate::proto::ProtoError) -> bool {
+    matches!(e, crate::proto::ProtoError::Io(_))
 }
 
 fn drop_connection(conn: u64, shared: &Shared) {
@@ -206,18 +253,42 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
             }
             q.drain(..).collect()
         };
-        let conns: Vec<u64> = drained.iter().map(|(c, _, _)| *c).collect();
-        let batch: Vec<(String, SessionRequest)> =
-            drained.into_iter().map(|(_, s, r)| (s, r)).collect();
+        // Split the drain into the dispatchable batch and the metrics
+        // probes, remembering where each answer goes.
+        let mut batch: Vec<(String, SessionRequest)> = Vec::new();
+        let mut slots: Vec<(u64, Option<usize>)> = Vec::with_capacity(drained.len());
+        for (conn, wire) in drained {
+            match wire {
+                WireRequest::Dispatch(session, req) => {
+                    slots.push((conn, Some(batch.len())));
+                    batch.push((session, req));
+                }
+                WireRequest::Metrics => slots.push((conn, None)),
+            }
+        }
         let results = service.dispatch(batch);
+        // One snapshot answers every metrics probe of the batch, taken
+        // after the batch applied — a probe pipelined behind N requests
+        // on one connection observes all N (FIFO makes that a guarantee
+        // worth having).
+        let metrics = slots
+            .iter()
+            .any(|(_, s)| s.is_none())
+            .then(|| encode_metrics_response_payload(&service.registry().snapshot()));
         // Batch order within one connection IS its request order, so
         // writing in batch order preserves per-connection FIFO.
         let mut writers = shared.writers.lock().expect("writers");
-        for (conn, res) in conns.into_iter().zip(&results) {
+        for (conn, slot) in slots {
+            let payload = match slot {
+                Some(i) => encode_result_payload(&results[i]),
+                None => metrics.clone().expect("snapshot taken above"),
+            };
             if let Some(stream) = writers.get_mut(&conn) {
-                if write_frame(stream, &encode_result_payload(res)).is_err() {
+                if write_frame(stream, &payload).is_err() {
                     let _ = stream.shutdown(Shutdown::Both);
                     writers.remove(&conn);
+                } else {
+                    shared.obs.frames_out.inc();
                 }
             }
         }

@@ -211,6 +211,68 @@ fn concurrent_connections_each_see_their_own_session_in_order() {
 }
 
 #[test]
+fn metrics_round_trip_with_deterministic_content_ordering() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut orderings: Vec<String> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        with_threads(threads, || {
+            let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
+            let mut client = Client::connect(server.local_addr()).unwrap();
+            let batch = demo_batch();
+            for (session, req) in &batch {
+                client.send(session, req).unwrap();
+            }
+            // Pipeline the probe behind the whole batch: FIFO means the
+            // snapshot must observe every request above it.
+            client.send_metrics().unwrap();
+            for _ in 0..batch.len() {
+                // The ghost request's Err is expected; only FIFO matters.
+                let _ = client.recv().unwrap();
+            }
+            let snap = client.recv_metrics().unwrap();
+            let svc = server.shutdown();
+
+            // The wire snapshot observed the pipelined batch: every
+            // request that reached a session is counted (the one "ghost"
+            // request fails session lookup before any session sees it).
+            let counter = |name: &str| {
+                snap.counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .unwrap_or_else(|| panic!("counter {name} missing"))
+                    .1
+            };
+            assert_eq!(counter("session.requests"), batch.len() as u64 - 1);
+            assert!(counter("serve.frames_in") >= batch.len() as u64);
+            assert_eq!(counter("serve.connections"), 1);
+
+            // Round trip: the wire codec reproduces the snapshot exactly.
+            assert_eq!(
+                compview_obs::MetricsSnapshot::decode(&snap.encode()).as_ref(),
+                Ok(&snap)
+            );
+            // The server-side registry agrees on the instrument set
+            // (values keep moving — the response frame itself counts —
+            // but the content ordering is pinned).
+            assert_eq!(
+                svc.registry().snapshot().content_ordering(),
+                snap.content_ordering(),
+                "{threads} threads: wire vs in-process instrument set"
+            );
+            orderings.push(snap.content_ordering());
+        });
+    }
+    assert_eq!(
+        orderings[0], orderings[1],
+        "content ordering differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        orderings[0], orderings[2],
+        "content ordering differs between 1 and 8 threads"
+    );
+}
+
+#[test]
 fn malformed_frame_drops_only_that_connection() {
     let _guard = ENV_LOCK.lock().unwrap();
     let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
@@ -237,5 +299,15 @@ fn malformed_frame_drops_only_that_connection() {
     // The healthy connection is unaffected.
     let again = good.request("alpha", &SessionRequest::Stats).unwrap();
     assert!(again.is_ok());
-    server.shutdown();
+    let svc = server.shutdown();
+
+    // The refusal is on the books.
+    let snap = svc.registry().snapshot();
+    let malformed = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == "serve.malformed_frames")
+        .expect("counter registered")
+        .1;
+    assert_eq!(malformed, 1);
 }

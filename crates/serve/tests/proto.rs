@@ -7,8 +7,10 @@
 use compview_core::{CatalogError, EditError, EditReport, UpdateReport};
 use compview_relation::{v, Instance, Relation, Tuple};
 use compview_serve::proto::{
-    decode_request_payload, decode_result_payload, encode_request_payload, encode_result_payload,
-    read_frame, write_frame, FRAME_HEADER, MAX_FRAME,
+    decode_metrics_response_payload, decode_request_payload, decode_result_payload,
+    decode_wire_request, encode_metrics_request_payload, encode_metrics_response_payload,
+    encode_request_payload, encode_result_payload, read_frame, write_frame, WireRequest,
+    FRAME_HEADER, MAX_FRAME,
 };
 use compview_serve::ProtoError;
 use compview_session::{
@@ -97,6 +99,9 @@ fn rand_stats(rng: &mut StdRng) -> StatsSnapshot {
         views: rng.random_range(0..64u32) as usize,
         undoable: rng.random_range(0..64u32) as usize,
         cached_masks: rng.random_range(0..64u32) as usize,
+        session_id: rng.next_u64(),
+        wal_seq: rng.next_u64(),
+        log_bytes: rng.next_u64(),
     }
 }
 
@@ -324,4 +329,81 @@ fn request_payload_rejects_trailing_garbage() {
     let mut payload = encode_result_payload(&Ok(SessionResponse::Undone));
     payload.push(0);
     assert!(decode_result_payload(&payload).is_err());
+}
+
+// ------------------------------------------------------------ metrics wire
+
+/// A metrics snapshot with every instrument kind populated.
+fn demo_metrics() -> compview_obs::MetricsSnapshot {
+    let registry = compview_obs::Registry::new();
+    registry.counter("serve.frames_in").add(17);
+    registry.counter("session.requests").add(5);
+    registry.gauge("wal.log_bytes").set(4096);
+    let h = registry.histogram("wal.fsync_ns");
+    for v in [0u64, 1, 3, 900, 1 << 40] {
+        h.record(v);
+    }
+    registry.snapshot()
+}
+
+#[test]
+fn metrics_request_marker_cannot_be_an_ordinary_request() {
+    let payload = encode_metrics_request_payload();
+    assert_eq!(decode_wire_request(&payload).unwrap(), WireRequest::Metrics);
+    // The ordinary decoder refuses it (too short for a session name), so
+    // the marker can never be misread as a session-addressed request…
+    assert!(decode_request_payload(&payload).is_err());
+    // …and every ordinary request payload is ≥ 4 bytes, so the reverse
+    // collision is impossible too.
+    let mut rng = StdRng::seed_from_u64(7);
+    for req in every_request(&mut rng) {
+        let ordinary = encode_request_payload("alpha", &req);
+        assert!(ordinary.len() >= 4);
+        assert!(matches!(
+            decode_wire_request(&ordinary).unwrap(),
+            WireRequest::Dispatch(_, _)
+        ));
+    }
+}
+
+#[test]
+fn metrics_response_round_trips_and_rejects_every_truncation() {
+    let snap = demo_metrics();
+    let payload = encode_metrics_response_payload(&snap);
+    assert_eq!(
+        decode_metrics_response_payload(&payload).as_ref(),
+        Ok(&snap)
+    );
+    for cut in 0..payload.len() {
+        assert!(
+            decode_metrics_response_payload(&payload[..cut]).is_err(),
+            "truncation at {cut} accepted"
+        );
+    }
+    // A wrong marker byte is refused before the codec runs.
+    let mut wrong = payload.clone();
+    wrong[0] = 9;
+    assert!(decode_metrics_response_payload(&wrong).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single bit flip in a metrics response payload is refused: the
+    /// marker check, the snapshot CRC, or the strict structural
+    /// validation catches it.
+    #[test]
+    fn metrics_response_bit_flips_are_refused(flip_frac in 0u32..1000) {
+        let snap = demo_metrics();
+        let payload = encode_metrics_response_payload(&snap);
+        let bit = (payload.len() * 8 - 1).min(
+            ((payload.len() * 8) as u64 * u64::from(flip_frac) / 1000) as usize,
+        );
+        let mut bytes = payload.clone();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            decode_metrics_response_payload(&bytes).is_err(),
+            "bit {bit} flip accepted"
+        );
+    }
 }

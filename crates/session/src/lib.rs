@@ -41,13 +41,17 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod obs;
 pub mod service;
 pub mod store;
 pub mod wal;
 
+pub use obs::{SessionObs, WalObs};
 pub use service::{DispatchError, Service, ServiceError};
 pub use store::{FaultPlan, FaultyStore, FsStore, LogStore, MemStore, SharedBytes};
 pub use wal::{RecoverError, RecoveryReport, RecoveryStop, SyncPolicy};
+
+use compview_obs::Registry;
 
 use compview_core::{
     Catalog, CatalogError, ComponentFamily, EditError, EditReport, StateSpace, UpdateReport,
@@ -56,6 +60,37 @@ use compview_lattice::endo;
 use compview_logic::{EnumerationConfig, Schema};
 use compview_relation::{Instance, Tuple};
 use std::collections::BTreeMap;
+
+/// When a durable session checkpoints its write-ahead log on its own.
+///
+/// Checked after every applied durable record (driven by the WAL's
+/// records-since-snapshot and log-length tracking): crossing either
+/// threshold triggers [`Session::checkpoint`], which compacts the log to
+/// a single fresh snapshot record so recovery replays only the tail
+/// written afterwards.  A threshold of 0 disables that trigger; the
+/// default policy is fully manual.
+///
+/// An automatic checkpoint that *fails* does not fail the request that
+/// triggered it — the request is already applied and logged, and the old
+/// log is intact (`replace` is atomic) — it is tallied on the
+/// `session.checkpoints.auto_failures` counter and retried after the
+/// next applied record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many records follow the snapshot (0 = off).
+    pub max_records: u64,
+    /// Checkpoint once the log exceeds this many bytes (0 = off).
+    pub max_log_bytes: u64,
+}
+
+impl CheckpointPolicy {
+    /// Whether `records` since the last snapshot or a log of `log_bytes`
+    /// crosses a configured threshold.
+    pub fn due(&self, records: u64, log_bytes: u64) -> bool {
+        (self.max_records > 0 && records >= self.max_records)
+            || (self.max_log_bytes > 0 && log_bytes >= self.max_log_bytes)
+    }
+}
 
 /// Tuning knobs of a [`Session`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,6 +105,8 @@ pub struct SessionConfig {
     /// Enumeration guard: inserts that would push the raw pool bits past
     /// this are rejected with [`EditError::TooLarge`].
     pub max_bits: usize,
+    /// Automatic checkpointing thresholds (default: manual only).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for SessionConfig {
@@ -78,6 +115,7 @@ impl Default for SessionConfig {
             incremental: true,
             cross_validate: false,
             max_bits: 28,
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -123,6 +161,19 @@ pub struct StatsSnapshot {
     pub undoable: usize,
     /// Masks with cached endomorphism maps.
     pub cached_masks: usize,
+    /// Content-derived durable identity: the CRC-32 of the session's
+    /// initial snapshot record, fixed at [`Session::open_durable`] time
+    /// and persisted across checkpoints and recoveries, so a remote
+    /// operator can correlate these counters with on-disk recovery
+    /// reports.  0 on non-durable sessions.
+    pub session_id: u64,
+    /// Sequence number of the last write-ahead-log record — also the
+    /// record count recovery would replay after the snapshot.  0 on
+    /// non-durable sessions (and right after a checkpoint).
+    pub wal_seq: u64,
+    /// Current write-ahead-log length in bytes.  0 on non-durable
+    /// sessions.
+    pub log_bytes: u64,
 }
 
 /// A typed request against one session.
@@ -379,6 +430,12 @@ pub struct Session<F: ComponentFamily + Sync> {
     stats: SessionStats,
     /// The write-ahead log, when this session is durable.
     wal: Option<wal::WalWriter>,
+    /// Content-derived durable identity (0 for non-durable sessions);
+    /// see [`StatsSnapshot::session_id`].
+    session_id: u64,
+    /// Instrument handles (all no-op unless bound to an enabled
+    /// [`Registry`]).
+    obs: Box<SessionObs>,
 }
 
 impl<F: ComponentFamily + Sync> Session<F> {
@@ -400,11 +457,32 @@ impl<F: ComponentFamily + Sync> Session<F> {
         base: Instance,
         config: SessionConfig,
     ) -> Result<Session<F>, SessionError> {
+        Session::open_observed(family, schema, pools, base, config, &Registry::disabled())
+    }
+
+    /// [`Session::open`] with its instruments registered on `registry`
+    /// (see the `compview-obs` crate; a disabled registry makes every
+    /// handle a no-op).
+    ///
+    /// # Errors
+    /// As [`Session::open`].
+    ///
+    /// # Panics
+    /// As [`Session::open`].
+    pub fn open_observed(
+        family: F,
+        schema: Schema,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        base: Instance,
+        config: SessionConfig,
+        registry: &Registry,
+    ) -> Result<Session<F>, SessionError> {
+        let obs = SessionObs::new(registry);
         let ecfg = EnumerationConfig {
             max_bits: config.max_bits,
             threads: compview_parallel::num_threads(),
         };
-        let space = StateSpace::enumerate_with(schema, pools, &ecfg);
+        let space = StateSpace::enumerate_observed(schema, pools, &ecfg, &obs.enum_obs);
         let base_id = space.id_of(&base).ok_or(SessionError::StateOutsideSpace {
             view: "<base>".to_owned(),
         })?;
@@ -416,6 +494,8 @@ impl<F: ComponentFamily + Sync> Session<F> {
             config,
             stats: SessionStats::default(),
             wal: None,
+            session_id: 0,
+            obs: Box::new(obs),
         })
     }
 
@@ -435,8 +515,36 @@ impl<F: ComponentFamily + Sync> Session<F> {
         pools: &BTreeMap<String, Vec<Tuple>>,
         base: Instance,
         config: SessionConfig,
+        store: Box<dyn LogStore>,
+        policy: SyncPolicy,
+    ) -> Result<Session<F>, SessionError> {
+        Session::open_durable_observed(
+            family,
+            schema,
+            pools,
+            base,
+            config,
+            store,
+            policy,
+            &Registry::disabled(),
+        )
+    }
+
+    /// [`Session::open_durable`] with its instruments registered on
+    /// `registry`.
+    ///
+    /// # Errors
+    /// As [`Session::open_durable`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_durable_observed(
+        family: F,
+        schema: Schema,
+        pools: &BTreeMap<String, Vec<Tuple>>,
+        base: Instance,
+        config: SessionConfig,
         mut store: Box<dyn LogStore>,
         policy: SyncPolicy,
+        registry: &Registry,
     ) -> Result<Session<F>, SessionError> {
         let len = store.len().map_err(|e| SessionError::Durability {
             detail: e.to_string(),
@@ -446,9 +554,18 @@ impl<F: ComponentFamily + Sync> Session<F> {
                 detail: format!("store already holds {len} bytes"),
             });
         }
-        let mut session = Session::open(family, schema, pools, base, config)?;
+        let mut session = Session::open_observed(family, schema, pools, base, config, registry)?;
+        // Derive the durable identity from the session's initial content
+        // (id field zeroed during the derivation), so the same opening —
+        // at any thread count — yields the same id, and recovery reads
+        // the identical value back out of the snapshot record.
+        let seed = wal::encode_snapshot(&session.snapshot_parts()?);
+        // Bit 32 keeps a (vanishingly unlikely) all-zero CRC from
+        // colliding with 0, the "non-durable" marker.
+        session.session_id = u64::from(wal::crc32(&seed)) | 1 << 32;
         let snapshot = wal::encode_snapshot(&session.snapshot_parts()?);
         let mut writer = wal::WalWriter::new(store, policy, 0, 0);
+        writer.set_obs(session.obs.wal.clone());
         writer
             .reset_with(&snapshot)
             .map_err(|e| SessionError::Durability {
@@ -479,9 +596,28 @@ impl<F: ComponentFamily + Sync> Session<F> {
     pub fn recover(
         family: F,
         schema: Schema,
-        mut store: Box<dyn LogStore>,
+        store: Box<dyn LogStore>,
         policy: SyncPolicy,
     ) -> Result<(Session<F>, RecoveryReport), RecoverError> {
+        Session::recover_observed(family, schema, store, policy, &Registry::disabled())
+    }
+
+    /// [`Session::recover`] with its instruments registered on
+    /// `registry`; the whole replay is timed onto `wal.replay_ns` and
+    /// every replayed record tallies `wal.replay.records`.
+    ///
+    /// # Errors
+    /// As [`Session::recover`].
+    pub fn recover_observed(
+        family: F,
+        schema: Schema,
+        mut store: Box<dyn LogStore>,
+        policy: SyncPolicy,
+        registry: &Registry,
+    ) -> Result<(Session<F>, RecoveryReport), RecoverError> {
+        let obs = SessionObs::new(registry);
+        let replay_timer = obs.replay_ns.start();
+        let _replay_span = obs.tracer.span("wal.replay", 0);
         let bytes = store
             .read_all()
             .map_err(|e| RecoverError::Io(e.to_string()))?;
@@ -496,11 +632,12 @@ impl<F: ComponentFamily + Sync> Session<F> {
             detail: e.to_string(),
         })?;
         let mut dec = compview_relation::binio::Dec::new(&snap.space);
-        let space = StateSpace::decode_snapshot(schema, &mut dec).map_err(|e| {
-            RecoverError::BadSnapshot {
-                detail: format!("state space: {e}"),
-            }
-        })?;
+        let space =
+            StateSpace::decode_snapshot_observed(schema, &mut dec, &obs.enum_obs).map_err(|e| {
+                RecoverError::BadSnapshot {
+                    detail: format!("state space: {e}"),
+                }
+            })?;
         let base_id = space
             .id_of(&snap.base)
             .ok_or(RecoverError::BaseOutsideSpace)?;
@@ -514,6 +651,8 @@ impl<F: ComponentFamily + Sync> Session<F> {
             config: snap.config,
             stats: snap.stats,
             wal: None,
+            session_id: snap.session_id,
+            obs: Box::new(obs),
         };
         let mut applied = 0u64;
         let mut salvaged = parsed.salvaged;
@@ -545,7 +684,11 @@ impl<F: ComponentFamily + Sync> Session<F> {
                 .truncate(salvaged)
                 .map_err(|e| RecoverError::Io(e.to_string()))?;
         }
-        session.wal = Some(wal::WalWriter::new(store, policy, applied + 1, salvaged));
+        let mut writer = wal::WalWriter::new(store, policy, applied + 1, salvaged);
+        writer.set_obs(session.obs.wal.clone());
+        session.wal = Some(writer);
+        session.obs.replay_records.add(applied);
+        session.obs.replay_ns.stop(replay_timer);
         Ok((
             session,
             RecoveryReport {
@@ -572,6 +715,8 @@ impl<F: ComponentFamily + Sync> Session<F> {
                 detail: "session has no write-ahead log".to_owned(),
             });
         }
+        let timer = self.obs.checkpoint_ns.start();
+        let _span = self.obs.tracer.span("session.checkpoint", 0);
         let snapshot = wal::encode_snapshot(&self.snapshot_parts()?);
         self.wal
             .as_mut()
@@ -579,7 +724,34 @@ impl<F: ComponentFamily + Sync> Session<F> {
             .reset_with(&snapshot)
             .map_err(|e| SessionError::Durability {
                 detail: e.to_string(),
-            })
+            })?;
+        self.obs.checkpoints.inc();
+        self.obs.checkpoint_ns.stop(timer);
+        Ok(())
+    }
+
+    /// Take a checkpoint when [`CheckpointPolicy`] says one is due.
+    /// Called after every applied durable record; does nothing on
+    /// non-durable sessions, during replay (the log is detached then),
+    /// or under a `0/0` policy.
+    fn maybe_auto_checkpoint(&mut self) {
+        let Some(writer) = self.wal.as_ref() else {
+            return;
+        };
+        if !self
+            .config
+            .checkpoint
+            .due(writer.last_seq(), writer.durable_len())
+        {
+            return;
+        }
+        match self.checkpoint() {
+            Ok(()) => self.obs.auto_checkpoints.inc(),
+            // Non-fatal: the triggering request is already applied and
+            // logged, and `reset_with` left the old log intact.  The
+            // policy stays due, so the next applied record retries.
+            Err(_) => self.obs.auto_checkpoint_failures.inc(),
+        }
     }
 
     /// Whether this session keeps a write-ahead log.
@@ -597,6 +769,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
             })?;
         Ok(wal::SessionSnapshot {
             config: self.config,
+            session_id: self.session_id,
             space,
             base: self.catalog.state().clone(),
             views: self
@@ -613,14 +786,15 @@ impl<F: ComponentFamily + Sync> Session<F> {
     /// Log a durable request before applying it; a store failure rejects
     /// the request without touching the session.
     fn log_request(&mut self, req: &SessionRequest) -> Result<(), SessionError> {
-        let Some(writer) = self.wal.as_mut() else {
-            return Ok(());
-        };
-        if !req.is_durable() {
+        if self.wal.is_none() || !req.is_durable() {
             return Ok(());
         }
-        writer
-            .append_payload(&wal::encode_request(req))
+        let payload = wal::encode_request(req);
+        self.obs.tracer.instant("wal.encode", payload.len() as u64);
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .append_payload(&payload)
             .map_err(|e| SessionError::Durability {
                 detail: e.to_string(),
             })
@@ -664,18 +838,28 @@ impl<F: ComponentFamily + Sync> Session<F> {
     /// be logged is rejected with [`SessionError::Durability`] and never
     /// touches the session.
     pub fn serve(&mut self, req: SessionRequest) -> Result<SessionResponse, SessionError> {
+        let variant = SessionObs::variant_index(&req);
+        let timer = self.obs.variant_hist_at(variant).start();
+        let span = self.obs.tracer.span("session.serve", 0);
+        let durable = req.is_durable() && self.wal.is_some();
         let outcome = match self.log_request(&req) {
             Ok(()) => self.handle(req),
             Err(e) => Err(e),
         };
         self.stats.requests += 1;
-        match outcome {
+        self.obs.requests.inc();
+        let outcome = match outcome {
             Ok(resp) => {
                 self.stats.accepted += 1;
+                self.obs.accepted.inc();
+                if durable {
+                    self.maybe_auto_checkpoint();
+                }
                 Ok(resp)
             }
             Err(e) => {
                 self.stats.rejected += 1;
+                self.obs.rejected.inc();
                 *self
                     .stats
                     .rejected_by_variant
@@ -683,7 +867,10 @@ impl<F: ComponentFamily + Sync> Session<F> {
                     .or_insert(0) += 1;
                 Err(e)
             }
-        }
+        };
+        drop(span);
+        self.obs.variant_hist_at(variant).stop(timer);
+        outcome
     }
 
     fn handle(&mut self, req: SessionRequest) -> Result<SessionResponse, SessionError> {
@@ -822,6 +1009,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
             }
             if endo::is_strong_endo(self.space.poset(), &new_map) {
                 self.stats.cache_remaps += 1;
+                self.obs.cache_remaps.inc();
                 self.cache.insert(mask, new_map);
             }
         }
@@ -889,9 +1077,13 @@ impl<F: ComponentFamily + Sync> Session<F> {
     fn ensure_cached(&mut self, mask: u32) -> Result<(), SessionError> {
         if self.cache.contains_key(&mask) {
             self.stats.cache_hits += 1;
+            self.obs.cache_hits.inc();
+            self.obs.tracer.instant("cache.hit", u64::from(mask));
             return Ok(());
         }
         self.stats.cache_misses += 1;
+        self.obs.cache_misses.inc();
+        self.obs.tracer.instant("cache.miss", u64::from(mask));
         let map = {
             let family = self.catalog.family();
             let space = &self.space;
@@ -935,6 +1127,26 @@ impl<F: ComponentFamily + Sync> Session<F> {
             views: self.catalog.views().count(),
             undoable: self.catalog.undoable(),
             cached_masks: self.cache.len(),
+            session_id: self.session_id,
+            wal_seq: self.wal.as_ref().map_or(0, wal::WalWriter::last_seq),
+            log_bytes: self.wal.as_ref().map_or(0, wal::WalWriter::durable_len),
+        }
+    }
+
+    /// The session's durable identity (0 when non-durable); see
+    /// [`StatsSnapshot::session_id`].
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Re-register this session's instruments on `registry` (used by
+    /// `Service` to adopt sessions opened without one).  Counters start
+    /// from the registry's cells, not this session's history: instruments
+    /// are service-wide aggregates.
+    pub fn bind_registry(&mut self, registry: &Registry) {
+        *self.obs = SessionObs::new(registry);
+        if let Some(writer) = self.wal.as_mut() {
+            writer.set_obs(self.obs.wal.clone());
         }
     }
 

@@ -1,0 +1,176 @@
+//! Instrument bundles for the session layer: per-variant request
+//! latencies, endo-cache hit ratios, WAL append/fsync/replay timings,
+//! group-commit flush sizes, and checkpoint progress.
+//!
+//! All bundles register their instruments **eagerly** (see
+//! `compview_logic::obs`) so a metrics snapshot's name set never depends
+//! on which requests happened to arrive or on the thread count.  Metric
+//! names are service-wide aggregates — every session bound to one
+//! registry shares the same cells, keeping cardinality flat no matter
+//! how many sessions a service hosts.
+
+use compview_logic::EnumObs;
+use compview_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+
+/// Instruments owned by a [`crate::Session`].
+#[derive(Clone, Default)]
+pub struct SessionObs {
+    /// Requests served (accepted + rejected), mirroring
+    /// [`crate::SessionStats::requests`].
+    pub requests: Counter,
+    /// Requests that returned a response.
+    pub accepted: Counter,
+    /// Requests that returned an error.
+    pub rejected: Counter,
+    /// Endo-cache hits / misses / remaps-across-insert.
+    pub cache_hits: Counter,
+    /// See [`SessionObs::cache_hits`].
+    pub cache_misses: Counter,
+    /// See [`SessionObs::cache_hits`].
+    pub cache_remaps: Counter,
+    /// Per-variant request latency, nanoseconds.
+    pub register_ns: Histogram,
+    /// See [`SessionObs::register_ns`].
+    pub read_ns: Histogram,
+    /// See [`SessionObs::register_ns`].
+    pub update_ns: Histogram,
+    /// See [`SessionObs::register_ns`].
+    pub insert_ns: Histogram,
+    /// See [`SessionObs::register_ns`].
+    pub remove_ns: Histogram,
+    /// See [`SessionObs::register_ns`].
+    pub undo_ns: Histogram,
+    /// See [`SessionObs::register_ns`].
+    pub stats_ns: Histogram,
+    /// Whole-replay wall time during recovery, nanoseconds.
+    pub replay_ns: Histogram,
+    /// Records replayed during recovery.
+    pub replay_records: Counter,
+    /// Checkpoints taken (manual + automatic).
+    pub checkpoints: Counter,
+    /// Checkpoints triggered by [`crate::CheckpointPolicy`].
+    pub auto_checkpoints: Counter,
+    /// Automatic checkpoints that failed (the log keeps growing; the
+    /// triggering request itself already succeeded and stays applied).
+    pub auto_checkpoint_failures: Counter,
+    /// Wall time of checkpoint snapshot-encode + replace, nanoseconds.
+    pub checkpoint_ns: Histogram,
+    /// Enumeration instruments (space build at open and during
+    /// recovery's snapshot decode).
+    pub enum_obs: EnumObs,
+    /// WAL writer instruments (shared with the session's
+    /// `wal::WalWriter`).
+    pub wal: WalObs,
+    /// Span/instant sink ("session.serve" spans labelled per request,
+    /// "cache.hit"/"cache.miss" instants carrying the mask).
+    pub tracer: Tracer,
+}
+
+impl SessionObs {
+    /// Handles that record nothing.
+    pub fn noop() -> SessionObs {
+        SessionObs::default()
+    }
+
+    /// Register every session instrument on `registry`.
+    pub fn new(registry: &Registry) -> SessionObs {
+        SessionObs {
+            requests: registry.counter("session.requests"),
+            accepted: registry.counter("session.accepted"),
+            rejected: registry.counter("session.rejected"),
+            cache_hits: registry.counter("session.cache.hits"),
+            cache_misses: registry.counter("session.cache.misses"),
+            cache_remaps: registry.counter("session.cache.remaps"),
+            register_ns: registry.histogram("session.serve.register_view_ns"),
+            read_ns: registry.histogram("session.serve.read_ns"),
+            update_ns: registry.histogram("session.serve.update_ns"),
+            insert_ns: registry.histogram("session.serve.insert_pool_tuple_ns"),
+            remove_ns: registry.histogram("session.serve.remove_pool_tuple_ns"),
+            undo_ns: registry.histogram("session.serve.undo_ns"),
+            stats_ns: registry.histogram("session.serve.stats_ns"),
+            replay_ns: registry.histogram("wal.replay_ns"),
+            replay_records: registry.counter("wal.replay.records"),
+            checkpoints: registry.counter("session.checkpoints"),
+            auto_checkpoints: registry.counter("session.checkpoints.auto"),
+            auto_checkpoint_failures: registry.counter("session.checkpoints.auto_failures"),
+            checkpoint_ns: registry.histogram("session.checkpoint_ns"),
+            enum_obs: EnumObs::new(registry),
+            wal: WalObs::new(registry),
+            tracer: registry.tracer(),
+        }
+    }
+
+    /// The latency-histogram index for one request variant.  Split from
+    /// [`SessionObs::variant_hist_at`] so `serve` can pick the histogram
+    /// before the request is moved into its handler and find it again
+    /// after — two integer matches instead of string comparisons on a
+    /// path that runs on every request.
+    pub fn variant_index(req: &crate::SessionRequest) -> usize {
+        match req {
+            crate::SessionRequest::RegisterView { .. } => 0,
+            crate::SessionRequest::Read { .. } => 1,
+            crate::SessionRequest::Update { .. } => 2,
+            crate::SessionRequest::InsertPoolTuple { .. } => 3,
+            crate::SessionRequest::RemovePoolTuple { .. } => 4,
+            crate::SessionRequest::Undo => 5,
+            crate::SessionRequest::Stats => 6,
+        }
+    }
+
+    /// The latency histogram at a [`SessionObs::variant_index`].
+    pub fn variant_hist_at(&self, index: usize) -> &Histogram {
+        match index {
+            0 => &self.register_ns,
+            1 => &self.read_ns,
+            2 => &self.update_ns,
+            3 => &self.insert_ns,
+            4 => &self.remove_ns,
+            5 => &self.undo_ns,
+            _ => &self.stats_ns,
+        }
+    }
+}
+
+/// Instruments threaded into the `wal::WalWriter`.
+#[derive(Clone, Default)]
+pub struct WalObs {
+    /// Store-append wall time per record, nanoseconds.
+    pub append_ns: Histogram,
+    /// fsync wall time, nanoseconds (per-record syncs and group-commit
+    /// flushes alike).
+    pub fsync_ns: Histogram,
+    /// Bytes appended to the log.
+    pub appended_bytes: Counter,
+    /// Records covered by each group-commit flush (the flush sizes the
+    /// batch dispatcher achieves).
+    pub flush_records: Histogram,
+    /// Records appended since the last snapshot record — what
+    /// [`crate::CheckpointPolicy::max_records`] watches.
+    pub records_since_checkpoint: Gauge,
+    /// Current log length in bytes — what
+    /// [`crate::CheckpointPolicy::max_log_bytes`] watches.
+    pub log_bytes: Gauge,
+    /// Span sink ("wal.append" / "wal.fsync" spans carrying byte and
+    /// record counts).
+    pub tracer: Tracer,
+}
+
+impl WalObs {
+    /// Handles that record nothing.
+    pub fn noop() -> WalObs {
+        WalObs::default()
+    }
+
+    /// Register every WAL instrument on `registry`.
+    pub fn new(registry: &Registry) -> WalObs {
+        WalObs {
+            append_ns: registry.histogram("wal.append_ns"),
+            fsync_ns: registry.histogram("wal.fsync_ns"),
+            appended_bytes: registry.counter("wal.appended_bytes"),
+            flush_records: registry.histogram("wal.flush_records"),
+            records_since_checkpoint: registry.gauge("wal.records_since_checkpoint"),
+            log_bytes: registry.gauge("wal.log_bytes"),
+            tracer: registry.tracer(),
+        }
+    }
+}

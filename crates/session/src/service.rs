@@ -17,6 +17,7 @@ use crate::wal::{RecoverError, RecoveryReport};
 use crate::{Session, SessionConfig, SessionError, SessionRequest, SessionResponse, SyncPolicy};
 use compview_core::ComponentFamily;
 use compview_logic::Schema;
+use compview_obs::{Histogram, Registry};
 use compview_relation::{Instance, Tuple};
 use std::collections::BTreeMap;
 use std::io;
@@ -67,8 +68,18 @@ impl std::fmt::Display for DispatchError {
 impl std::error::Error for DispatchError {}
 
 /// A set of named sessions over one component-family type.
+///
+/// Every service carries a [`Registry`] (live by default; swap in
+/// [`Registry::disabled`] via [`Service::with_registry`] to strip the
+/// instrumentation to no-ops).  Sessions attached to the service are
+/// bound to it, so one snapshot aggregates the whole service.
 pub struct Service<F: ComponentFamily + Send + Sync> {
     sessions: BTreeMap<String, Session<F>>,
+    registry: Registry,
+    /// Wall time of each [`Service::dispatch`] call, nanoseconds.
+    dispatch_ns: Histogram,
+    /// Requests per dispatched batch.
+    batch_requests: Histogram,
 }
 
 impl<F: ComponentFamily + Send + Sync> Default for Service<F> {
@@ -78,14 +89,29 @@ impl<F: ComponentFamily + Send + Sync> Default for Service<F> {
 }
 
 impl<F: ComponentFamily + Send + Sync> Service<F> {
-    /// An empty service.
+    /// An empty service with a live metrics registry.
     pub fn new() -> Service<F> {
+        Service::with_registry(Registry::new())
+    }
+
+    /// An empty service observing itself on `registry`.
+    pub fn with_registry(registry: Registry) -> Service<F> {
         Service {
             sessions: BTreeMap::new(),
+            dispatch_ns: registry.histogram("service.dispatch_ns"),
+            batch_requests: registry.histogram("service.batch_requests"),
+            registry,
         }
     }
 
-    /// Attach an opened session under `name`.
+    /// The service's metrics registry (snapshot it for the `Metrics`
+    /// wire request or [`Registry::render_text`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Attach an opened session under `name`, binding its instruments to
+    /// the service registry.
     ///
     /// # Errors
     /// [`ServiceError::DuplicateSession`] when the name is taken (the
@@ -93,12 +119,13 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
     pub fn add_session<S: Into<String>>(
         &mut self,
         name: S,
-        session: Session<F>,
+        mut session: Session<F>,
     ) -> Result<(), ServiceError> {
         let name = name.into();
         if self.sessions.contains_key(&name) {
             return Err(ServiceError::DuplicateSession(name));
         }
+        session.bind_registry(&self.registry);
         self.sessions.insert(name, session);
         Ok(())
     }
@@ -152,9 +179,17 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
                 detail: e.to_string(),
             })
         })?;
-        let session =
-            Session::open_durable(family, schema, pools, base, config, Box::new(store), policy)
-                .map_err(ServiceError::Session)?;
+        let session = Session::open_durable_observed(
+            family,
+            schema,
+            pools,
+            base,
+            config,
+            Box::new(store),
+            policy,
+            &self.registry,
+        )
+        .map_err(ServiceError::Session)?;
         self.sessions.insert(name.to_owned(), session);
         Ok(())
     }
@@ -176,12 +211,31 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
     pub fn open_dir<P: AsRef<Path>>(
         dir: P,
         policy: SyncPolicy,
-        mut mk: impl FnMut(&str) -> (F, Schema),
+        mk: impl FnMut(&str) -> (F, Schema),
     ) -> io::Result<(
         Service<F>,
         BTreeMap<String, Result<RecoveryReport, RecoverError>>,
     )> {
-        let mut service = Service::new();
+        Service::open_dir_observed(dir, policy, mk, Registry::new())
+    }
+
+    /// [`Service::open_dir`] with a caller-supplied [`Registry`] — every
+    /// recovery (replay timings included) and the resulting service
+    /// report to it.
+    ///
+    /// # Errors
+    /// As [`Service::open_dir`].
+    #[allow(clippy::type_complexity)]
+    pub fn open_dir_observed<P: AsRef<Path>>(
+        dir: P,
+        policy: SyncPolicy,
+        mut mk: impl FnMut(&str) -> (F, Schema),
+        registry: Registry,
+    ) -> io::Result<(
+        Service<F>,
+        BTreeMap<String, Result<RecoveryReport, RecoverError>>,
+    )> {
+        let mut service = Service::with_registry(registry);
         let mut reports = BTreeMap::new();
         // Sort for a deterministic recovery order.
         let mut paths: Vec<_> = std::fs::read_dir(dir)?
@@ -201,7 +255,13 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
             };
             let (family, schema) = mk(&name);
             let outcome = match FsStore::open(&path) {
-                Ok(store) => Session::recover(family, schema, Box::new(store), policy),
+                Ok(store) => Session::recover_observed(
+                    family,
+                    schema,
+                    Box::new(store),
+                    policy,
+                    &service.registry,
+                ),
                 Err(e) => Err(RecoverError::Io(e.to_string())),
             };
             match outcome {
@@ -260,6 +320,8 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
         &mut self,
         batch: Vec<(String, SessionRequest)>,
     ) -> Vec<Result<SessionResponse, DispatchError>> {
+        let timer = self.dispatch_ns.start();
+        self.batch_requests.record(batch.len() as u64);
         let mut out: Vec<Option<Result<SessionResponse, DispatchError>>> =
             batch.iter().map(|_| None).collect();
         // Per-session queues, preserving batch order.
@@ -306,8 +368,11 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
                 out[pos] = Some(r.map_err(DispatchError::Session));
             }
         }
-        out.into_iter()
+        let answers = out
+            .into_iter()
             .map(|slot| slot.expect("every batch position answered"))
-            .collect()
+            .collect();
+        self.dispatch_ns.stop(timer);
+        answers
     }
 }

@@ -67,33 +67,10 @@ pub enum SyncPolicy {
 }
 
 /// CRC-32 (IEEE 802.3, reflected, poly `0xEDB88320`) — the std-only
-/// checksum gating every record payload.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 {
-                    0xEDB8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-                k += 1;
-            }
-            table[i] = c;
-            i += 1;
-        }
-        table
-    };
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+/// checksum gating every record payload.  One implementation serves the
+/// whole stack; it lives in `compview-obs` (the bottom of the dependency
+/// graph) and is re-exported here for the wire protocol.
+pub use compview_obs::crc32;
 
 /// Why recovery stopped reading the log.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -535,6 +512,9 @@ fn encode_response(out: &mut Vec<u8>, resp: &SessionResponse) {
             binio::put_u64(out, snap.views as u64);
             binio::put_u64(out, snap.undoable as u64);
             binio::put_u64(out, snap.cached_masks as u64);
+            binio::put_u64(out, snap.session_id);
+            binio::put_u64(out, snap.wal_seq);
+            binio::put_u64(out, snap.log_bytes);
         }
     }
 }
@@ -564,6 +544,9 @@ fn decode_response(d: &mut Dec<'_>) -> Result<SessionResponse, DecodeError> {
             views: d.u64()? as usize,
             undoable: d.u64()? as usize,
             cached_masks: d.u64()? as usize,
+            session_id: d.u64()?,
+            wal_seq: d.u64()?,
+            log_bytes: d.u64()?,
         }),
         tag => return Err(DecodeError::BadTag { at, tag }),
     })
@@ -722,6 +705,8 @@ fn decode_session_error(d: &mut Dec<'_>) -> Result<SessionError, DecodeError> {
 /// `recover`; component families are code, not data).
 pub(crate) struct SessionSnapshot {
     pub config: SessionConfig,
+    /// Content-derived session identity (see `Session::session_id`).
+    pub session_id: u64,
     /// `StateSpace::encode_snapshot` bytes (pools + enumeration guard).
     pub space: Vec<u8>,
     pub base: Instance,
@@ -737,6 +722,9 @@ pub(crate) fn encode_snapshot(snap: &SessionSnapshot) -> Vec<u8> {
     binio::put_u8(&mut out, snap.config.incremental as u8);
     binio::put_u8(&mut out, snap.config.cross_validate as u8);
     binio::put_u64(&mut out, snap.config.max_bits as u64);
+    binio::put_u64(&mut out, snap.config.checkpoint.max_records);
+    binio::put_u64(&mut out, snap.config.checkpoint.max_log_bytes);
+    binio::put_u64(&mut out, snap.session_id);
     binio::put_u32(
         &mut out,
         u32::try_from(snap.space.len()).expect("space snapshot fits u32"),
@@ -781,11 +769,17 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SessionSnapshot, DecodeE
     let incremental = d.u8()? != 0;
     let cross_validate = d.u8()? != 0;
     let max_bits = d.u64()? as usize;
+    let checkpoint = crate::CheckpointPolicy {
+        max_records: d.u64()?,
+        max_log_bytes: d.u64()?,
+    };
     let config = SessionConfig {
         incremental,
         cross_validate,
         max_bits,
+        checkpoint,
     };
+    let session_id = d.u64()?;
     let space_at = d.pos();
     let space_len = d.u32()? as usize;
     if space_len > d.remaining() {
@@ -829,6 +823,7 @@ pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<SessionSnapshot, DecodeE
     }
     Ok(SessionSnapshot {
         config,
+        session_id,
         space,
         base,
         views,
@@ -896,6 +891,10 @@ pub(crate) struct WalWriter {
     /// `sync_pending` instead of issued — until [`WalWriter::flush`].
     deferred: bool,
     sync_pending: bool,
+    /// Records appended since this window's last issued sync (group-commit
+    /// flush size).
+    since_flush: u64,
+    obs: crate::obs::WalObs,
 }
 
 impl WalWriter {
@@ -911,7 +910,30 @@ impl WalWriter {
             poisoned: false,
             deferred: false,
             sync_pending: false,
+            since_flush: 0,
+            obs: crate::obs::WalObs::noop(),
         }
+    }
+
+    /// Replace the writer's instrument bundle (no-op handles by default).
+    pub fn set_obs(&mut self, obs: crate::obs::WalObs) {
+        self.obs = obs;
+        self.obs
+            .records_since_checkpoint
+            .set(self.next_seq.saturating_sub(1));
+        self.obs.log_bytes.set(self.durable_len);
+    }
+
+    /// Sequence number of the last appended record (0 = just the
+    /// snapshot record) — also the count of records since the last
+    /// checkpoint.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq.saturating_sub(1)
+    }
+
+    /// Current log length in bytes.
+    pub fn durable_len(&self) -> u64 {
+        self.durable_len
     }
 
     /// Enter or leave group-commit mode.  While deferred, appends that
@@ -927,9 +949,15 @@ impl WalWriter {
     /// this is the group-commit point.
     pub fn flush(&mut self) -> io::Result<()> {
         if !self.sync_pending {
+            self.since_flush = 0;
             return Ok(());
         }
+        let _span = self.obs.tracer.span("wal.fsync", self.since_flush);
+        let timer = self.obs.fsync_ns.start();
         self.store.sync()?;
+        self.obs.fsync_ns.stop(timer);
+        self.obs.flush_records.record(self.since_flush);
+        self.since_flush = 0;
         self.sync_pending = false;
         self.since_sync = 0;
         Ok(())
@@ -950,29 +978,19 @@ impl WalWriter {
             ));
         }
         let rec = frame_record(self.next_seq, payload);
-        let deferred = self.deferred;
-        let sync_pending = &mut self.sync_pending;
-        let result = self.store.append(&rec).and_then(|()| {
-            self.since_sync += 1;
-            let due = match self.policy {
-                SyncPolicy::Always => true,
-                SyncPolicy::EveryN(n) => self.since_sync >= n.max(1),
-                SyncPolicy::Never => false,
-            };
-            if due {
-                if deferred {
-                    *sync_pending = true;
-                } else {
-                    self.store.sync()?;
-                    self.since_sync = 0;
-                }
-            }
-            Ok(())
-        });
-        match result {
+        let _span = self.obs.tracer.span("wal.append", rec.len() as u64);
+        match self.append_and_maybe_sync(&rec) {
             Ok(()) => {
                 self.next_seq += 1;
                 self.durable_len += rec.len() as u64;
+                if self.deferred {
+                    self.since_flush += 1;
+                }
+                self.obs.appended_bytes.add(rec.len() as u64);
+                self.obs
+                    .records_since_checkpoint
+                    .set(self.next_seq.saturating_sub(1));
+                self.obs.log_bytes.set(self.durable_len);
                 Ok(())
             }
             Err(e) => {
@@ -987,6 +1005,31 @@ impl WalWriter {
         }
     }
 
+    /// The fallible middle of [`WalWriter::append_payload`]: write the
+    /// framed record and issue (or defer) the policy-due sync.
+    fn append_and_maybe_sync(&mut self, rec: &[u8]) -> io::Result<()> {
+        let timer = self.obs.append_ns.start();
+        self.store.append(rec)?;
+        self.obs.append_ns.stop(timer);
+        self.since_sync += 1;
+        let due = match self.policy {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => self.since_sync >= n.max(1),
+            SyncPolicy::Never => false,
+        };
+        if due {
+            if self.deferred {
+                self.sync_pending = true;
+            } else {
+                let timer = self.obs.fsync_ns.start();
+                self.store.sync()?;
+                self.obs.fsync_ns.stop(timer);
+                self.since_sync = 0;
+            }
+        }
+        Ok(())
+    }
+
     /// Replace the log wholesale with `magic ++ record0` (checkpointing),
     /// resetting sequence numbering.  On success a previously poisoned
     /// writer is healthy again — the log is fresh.
@@ -995,13 +1038,18 @@ impl WalWriter {
         bytes.extend_from_slice(&frame_record(0, record0_payload));
         self.store.replace(&bytes)?;
         if matches!(self.policy, SyncPolicy::Always) {
+            let timer = self.obs.fsync_ns.start();
             self.store.sync()?;
+            self.obs.fsync_ns.stop(timer);
         }
         self.next_seq = 1;
         self.durable_len = bytes.len() as u64;
         self.since_sync = 0;
         self.sync_pending = false;
+        self.since_flush = 0;
         self.poisoned = false;
+        self.obs.records_since_checkpoint.set(0);
+        self.obs.log_bytes.set(self.durable_len);
         Ok(())
     }
 }
@@ -1214,7 +1262,12 @@ mod tests {
                 incremental: true,
                 cross_validate: false,
                 max_bits: 22,
+                checkpoint: crate::CheckpointPolicy {
+                    max_records: 64,
+                    max_log_bytes: 1 << 20,
+                },
             },
+            session_id: 0xDEAD_BEEF_0000_0001,
             space: vec![1, 2, 3, 4],
             base: Instance::new().with("R", rel(1, [["a1"]])),
             views: [("r".to_owned(), 0b01u32), ("s".to_owned(), 0b10u32)].into(),
@@ -1239,6 +1292,7 @@ mod tests {
         let payload = encode_snapshot(&snap);
         let back = decode_snapshot(&payload).unwrap();
         assert_eq!(back.config, snap.config);
+        assert_eq!(back.session_id, snap.session_id);
         assert_eq!(back.space, snap.space);
         assert_eq!(back.base, snap.base);
         assert_eq!(back.views, snap.views);

@@ -15,8 +15,8 @@ use compview_core::SubschemaComponents;
 use compview_logic::Schema;
 use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
 use compview_session::{
-    FaultPlan, FaultyStore, FsStore, MemStore, RecoverError, RecoveryStop, Service, Session,
-    SessionConfig, SessionError, SessionRequest, SyncPolicy,
+    CheckpointPolicy, FaultPlan, FaultyStore, FsStore, MemStore, RecoverError, RecoveryStop,
+    Service, Session, SessionConfig, SessionError, SessionRequest, SessionResponse, SyncPolicy,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -1030,4 +1030,168 @@ fn fs_store_round_trips_like_mem_store() {
     assert_eq!(report.stopped, RecoveryStop::CleanEnd);
     assert_same(&recovered, &live, "fs round trip");
     std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------- auto-checkpointing
+
+#[test]
+fn auto_checkpoint_compacts_and_recovery_replays_only_the_tail() {
+    let (store, shared) = MemStore::new();
+    let registry = compview_obs::Registry::new();
+    let mut cfg = config();
+    cfg.checkpoint = CheckpointPolicy {
+        max_records: 3,
+        max_log_bytes: 0,
+    };
+    let mut live = Session::open_durable_observed(
+        family(),
+        schema(),
+        &pools(),
+        base(),
+        cfg,
+        Box::new(store),
+        SyncPolicy::Always,
+        &registry,
+    )
+    .unwrap();
+
+    let reqs = [
+        SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b01,
+        },
+        SessionRequest::InsertPoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a3")]),
+        },
+        SessionRequest::InsertPoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a4")]),
+        },
+        // -- the policy fires here: 3 records since the snapshot --
+        SessionRequest::Update {
+            view: "r".into(),
+            new_state: Instance::null_model(&sig()).with("R", rel(1, [["a2"], ["a3"]])),
+        },
+        SessionRequest::Undo,
+    ];
+    for req in &reqs {
+        live.serve(req.clone()).unwrap();
+    }
+
+    // Exactly one automatic checkpoint fired, and it was counted.
+    let snap = registry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+            .1
+    };
+    assert_eq!(counter("session.checkpoints.auto"), 1);
+    assert_eq!(counter("session.checkpoints"), 1);
+    assert_eq!(counter("session.checkpoints.auto_failures"), 0);
+
+    // Recovery replays only the records written after the checkpoint.
+    let bytes = shared.lock().unwrap().clone();
+    let (recovered, report) = Session::recover(
+        family(),
+        schema(),
+        Box::new(MemStore::from_bytes(bytes)),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    assert_eq!(report.stopped, RecoveryStop::CleanEnd);
+    assert_eq!(
+        report.records_applied, 2,
+        "only the tail after the auto-checkpoint replays"
+    );
+    assert_same_logical(&recovered, &live, "auto checkpoint");
+    assert_eq!(recovered.session_id(), live.session_id());
+    assert_ne!(live.session_id(), 0);
+    assert_eq!(
+        recovered.config().checkpoint,
+        live.config().checkpoint,
+        "the policy itself survives the snapshot codec"
+    );
+}
+
+#[test]
+fn log_size_policy_checkpoints_every_record_once_over_budget() {
+    let (store, shared) = MemStore::new();
+    let mut cfg = config();
+    // A 1-byte budget is always exceeded, so every applied record
+    // triggers a compaction and the log never holds more than a snapshot.
+    cfg.checkpoint = CheckpointPolicy {
+        max_records: 0,
+        max_log_bytes: 1,
+    };
+    let mut live = Session::open_durable(
+        family(),
+        schema(),
+        &pools(),
+        base(),
+        cfg,
+        Box::new(store),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    live.serve(SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    })
+    .unwrap();
+    live.serve(SessionRequest::InsertPoolTuple {
+        relation: "R".into(),
+        tuple: Tuple::new([v("a3")]),
+    })
+    .unwrap();
+
+    let bytes = shared.lock().unwrap().clone();
+    let (recovered, report) = Session::recover(
+        family(),
+        schema(),
+        Box::new(MemStore::from_bytes(bytes)),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    assert_eq!(report.records_applied, 0, "the log is pure snapshot");
+    assert_same_logical(&recovered, &live, "log-size policy");
+}
+
+// ------------------------------------------------------- stats identity
+
+#[test]
+fn stats_snapshot_reports_durable_identity() {
+    let (mut live, _shared) = open_durable_mem();
+    live.serve(SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    })
+    .unwrap();
+    let SessionResponse::Stats(snap) = live.serve(SessionRequest::Stats).unwrap() else {
+        panic!("stats request answers with stats");
+    };
+    assert_ne!(snap.session_id, 0);
+    assert_eq!(snap.session_id, live.session_id());
+    assert_eq!(snap.wal_seq, 1, "one durable record since the snapshot");
+    assert!(snap.log_bytes > 0);
+
+    // The identity is content-derived: an identical opening gets the
+    // same id, at any thread count.
+    for threads in [1usize, 2, 8] {
+        let (twin, _) = with_threads(threads, open_durable_mem);
+        assert_eq!(
+            twin.session_id(),
+            live.session_id(),
+            "{threads} threads: identity"
+        );
+    }
+
+    // Non-durable sessions report zeros across the board.
+    let mut shadow = open_shadow();
+    let SessionResponse::Stats(s2) = shadow.serve(SessionRequest::Stats).unwrap() else {
+        panic!("stats request answers with stats");
+    };
+    assert_eq!((s2.session_id, s2.wal_seq, s2.log_bytes), (0, 0, 0));
 }

@@ -1,0 +1,136 @@
+//! Observability walkthrough: metrics and tracing end to end.
+//!
+//! A durable service (with automatic checkpointing) runs behind the TCP
+//! server; a client pipelines a workload, then asks for the service-wide
+//! metrics snapshot **over the wire** — the `Metrics` request rides the
+//! same CRC-gated frames as everything else.  Afterwards the example
+//! renders the registry in Prometheus text format and prints the
+//! ring-buffer tracer's span breakdown of the workload (DESIGN.md §11).
+//!
+//! Run with: `cargo run --example obs`
+
+use compview::core::SubschemaComponents;
+use compview::logic::Schema;
+use compview::obs::TraceKind;
+use compview::relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview::serve::{Client, Server};
+use compview::session::{CheckpointPolicy, Service, SessionConfig, SessionRequest, SyncPolicy};
+use std::collections::BTreeMap;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("compview-obs-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let sig = Signature::new([
+        RelDecl::new("Suppliers", ["S#"]),
+        RelDecl::new("Parts", ["P#"]),
+    ]);
+    let pools: BTreeMap<String, Vec<Tuple>> = [
+        (
+            "Suppliers".to_owned(),
+            vec![
+                Tuple::new([v("s1")]),
+                Tuple::new([v("s2")]),
+                Tuple::new([v("s3")]),
+            ],
+        ),
+        ("Parts".to_owned(), vec![Tuple::new([v("p1")])]),
+    ]
+    .into();
+    let base = Instance::null_model(&sig).with("Suppliers", rel(1, [["s1"]]));
+
+    // 1. A service (its registry is live by default) hosting one durable
+    //    session that compacts its own log every 8 records.
+    let mut service = Service::new();
+    service.registry().tracer().enable(512);
+    let config = SessionConfig {
+        checkpoint: CheckpointPolicy {
+            max_records: 8,
+            max_log_bytes: 0,
+        },
+        ..SessionConfig::default()
+    };
+    service
+        .create_durable_session(
+            &dir,
+            "orders",
+            SubschemaComponents::singletons(sig.clone()),
+            Schema::unconstrained(sig.clone()),
+            &pools,
+            base,
+            config,
+            SyncPolicy::Always,
+        )
+        .unwrap();
+
+    // 2. Serve a pipelined workload over TCP.
+    let server = Server::bind("127.0.0.1:0", service).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .send(
+            "orders",
+            &SessionRequest::RegisterView {
+                name: "sup".into(),
+                mask: 0b01,
+            },
+        )
+        .unwrap();
+    let mut sent = 1;
+    for round in 0..6 {
+        let tuples: Vec<[&str; 1]> = if round % 2 == 0 {
+            vec![["s1"], ["s2"]]
+        } else {
+            vec![["s1"], ["s3"]]
+        };
+        client
+            .send(
+                "orders",
+                &SessionRequest::Update {
+                    view: "sup".into(),
+                    new_state: Instance::null_model(&sig).with("Suppliers", rel(1, tuples)),
+                },
+            )
+            .unwrap();
+        client
+            .send("orders", &SessionRequest::Read { view: "sup".into() })
+            .unwrap();
+        sent += 2;
+    }
+    for _ in 0..sent {
+        client.recv().unwrap().unwrap();
+    }
+
+    // 3. The metrics snapshot, fetched over the wire like any request.
+    let snapshot = client.metrics().unwrap();
+    println!("=== metrics over the wire (Prometheus text format) ===");
+    print!("{}", snapshot.render_text());
+
+    // 4. Shut down, then read the tracer's recent-event window.
+    drop(client);
+    let service = server.shutdown();
+    let (events, recorded) = service.registry().tracer().snapshot();
+    println!(
+        "=== trace ring: {} of {} events retained ===",
+        events.len(),
+        recorded
+    );
+    let mut starts: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for e in &events {
+        match e.kind {
+            TraceKind::Start => starts.entry(e.label).or_default().2 = e.at_ns,
+            TraceKind::End => {
+                let slot = starts.entry(e.label).or_default();
+                slot.0 += 1;
+                slot.1 += e.at_ns.saturating_sub(slot.2);
+            }
+            TraceKind::Instant => {
+                starts.entry(e.label).or_default().0 += 1;
+            }
+        }
+    }
+    for (label, (count, total_ns, _)) in &starts {
+        println!("  {label:<20} x{count:<4} {total_ns} ns total");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Run the headline Criterion targets (chase, partition_lattice,
 # translate_scaling, incremental maintenance, session serving, WAL
-# append throughput + group commit + recovery latency, wire protocol)
+# append throughput + group commit + recovery latency, wire protocol,
+# instrumentation overhead enabled vs no-op)
 # and collect the vendored harness's machine-readable result lines
-# ("compview-bench: {...}") into BENCH_PR4.json.
+# ("compview-bench: {...}") into BENCH_PR5.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
-TARGETS=(chase partition_lattice translate_scaling incremental session wal serve)
+OUT="${1:-BENCH_PR5.json}"
+TARGETS=(chase partition_lattice translate_scaling incremental session wal serve obs)
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -19,6 +19,9 @@ cargo test -q --workspace
 echo "==> cargo test -p compview-session (service + incremental maintenance)"
 cargo test -q -p compview-session
 
+echo "==> cargo test -p compview-obs (metrics registry, histogram + codec proptests)"
+cargo test -q -p compview-obs
+
 # Fault-injection sweep: the recovery suite derives its injected-fault
 # plans (failing append/sync/truncate points, short-write lengths) from
 # COMPVIEW_FAULT_SEED, so CI can rotate seeds and a failure names its own
@@ -37,5 +40,10 @@ cargo test -q -p compview-serve --test loopback
 echo "==> cargo build --example session --example recovery --example serve --benches"
 cargo build --example session --example recovery --example serve
 cargo build --benches -p compview-bench
+
+# The observability walkthrough doubles as a smoke test: metrics over
+# the wire, Prometheus rendering, and the span tracer end to end.
+echo "==> cargo run --example obs (observability smoke)"
+cargo run -q --example obs > /dev/null
 
 echo "CI OK"

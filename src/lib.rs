@@ -22,6 +22,7 @@
 //! | [`core`] | views, update strategies & admissibility, complements, strong views, **the component algebra**, constant-complement translation, symbolic path-schema components, workload generators |
 //! | [`session`] | the multi-session view-update service: typed requests, incremental state-space maintenance, component caching, deterministic batch dispatch |
 //! | [`serve`] | the network front end: CRC-framed wire protocol over the session codec, threaded batch server with group commit, blocking client |
+//! | [`obs`] | observability: lock-free counters/gauges/histograms, a ring-buffer tracer, wire-codec metrics snapshots, Prometheus-style text rendering |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use compview_core as core;
 pub use compview_lattice as lattice;
 pub use compview_logic as logic;
+pub use compview_obs as obs;
 pub use compview_relation as relation;
 pub use compview_serve as serve;
 pub use compview_session as session;
