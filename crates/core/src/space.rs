@@ -546,6 +546,21 @@ impl StateSpace {
     /// catalog layered on this space may leave the space — callers who care
     /// (e.g. `compview-session`) must reject that case themselves.
     pub fn remove_tuple(&mut self, rel: &str, t: &Tuple) -> Result<EditReport, EditError> {
+        self.remove_tuple_traced(rel, t).map(|(r, _)| r)
+    }
+
+    /// [`StateSpace::remove_tuple`], additionally returning the filter's
+    /// *origin trace*: `trace[old_id] = new_id` for every surviving
+    /// pre-edit state and `usize::MAX` for states the removal dropped
+    /// (removals delete states, so the trace is partial — the sentinel
+    /// marks the holes).  Callers that cache per-state data keyed by id
+    /// — e.g. `compview-session`'s endomorphism maps — can remap the
+    /// surviving entries through it instead of recomputing everything.
+    pub fn remove_tuple_traced(
+        &mut self,
+        rel: &str,
+        t: &Tuple,
+    ) -> Result<(EditReport, Vec<usize>), EditError> {
         let (k, p) = self.check_remove(rel, t)?;
         let n_old = self.states.len();
         let inc = self.inc.take().expect("checked editable");
@@ -614,10 +629,13 @@ impl StateSpace {
         self.index = index;
         self.poset = poset;
         self.inc = Some(inc);
-        Ok(EditReport {
-            states_before: n_old,
-            states_after: n_new,
-        })
+        Ok((
+            EditReport {
+                states_before: n_old,
+                states_after: n_new,
+            },
+            pos_of_old,
+        ))
     }
 
     /// [`StateSpace::insert_tuple`] by full re-enumeration — same
@@ -1053,6 +1071,31 @@ mod tests {
             assert!(!seen[new], "trace must be injective");
             seen[new] = true;
         }
+    }
+
+    #[test]
+    fn remove_trace_maps_survivors_and_marks_dropped() {
+        let mut sp = two_unary_space();
+        let old_states = sp.states().to_vec();
+        let (report, trace) = sp.remove_tuple_traced("R", &Tuple::new([v("a2")])).unwrap();
+        assert_eq!(trace.len(), report.states_before);
+        assert!(report.states_after < report.states_before);
+        let mut survivors = 0;
+        for (old, &new) in trace.iter().enumerate() {
+            if new == usize::MAX {
+                continue; // dropped by the removal
+            }
+            survivors += 1;
+            assert_eq!(sp.state(new), &old_states[old], "trace[{old}] = {new}");
+        }
+        assert_eq!(survivors, report.states_after);
+        // Every post-removal state is the image of exactly one survivor.
+        let mut seen = vec![false; sp.len()];
+        for &new in trace.iter().filter(|&&n| n != usize::MAX) {
+            assert!(!seen[new], "trace must be injective on survivors");
+            seen[new] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

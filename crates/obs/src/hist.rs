@@ -113,6 +113,18 @@ impl Histogram {
             .map(|core| core.snapshot())
             .unwrap_or_default()
     }
+
+    /// Add a frozen snapshot's buckets into the live histogram, so that
+    /// a subsequent [`Histogram::snapshot`] equals the merge of both —
+    /// the registry-merge path ([`crate::Registry::absorb`]).
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        if let Some(core) = &self.0 {
+            for &(lo, n) in &snap.buckets {
+                core.buckets[bucket_index(lo)].fetch_add(n, Ordering::Relaxed);
+            }
+            core.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A frozen histogram: total count, sum of recorded values, and the

@@ -34,10 +34,12 @@
 //! are timings and scheduling-dependent tallies) vary.
 
 mod hist;
+mod reservoir;
 mod snapshot;
 mod trace;
 
 pub use hist::{bucket_floor, bucket_index, Histogram, HistogramSnapshot};
+pub use reservoir::{Reservoir, ReservoirSnapshot, RESERVOIR_CAP};
 pub use snapshot::{DecodeMetricsError, MetricsSnapshot};
 pub use trace::{SpanGuard, TraceEvent, TraceKind, Tracer};
 
@@ -145,6 +147,7 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<hist::HistCore>>>,
+    reservoirs: Mutex<BTreeMap<String, Arc<reservoir::ReservoirCore>>>,
     tracer: Tracer,
 }
 
@@ -176,6 +179,7 @@ impl Registry {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
+                reservoirs: Mutex::new(BTreeMap::new()),
                 tracer: Tracer::new(),
             })),
         }
@@ -225,6 +229,19 @@ impl Registry {
         }
     }
 
+    /// Register (or look up) a quantile reservoir (see
+    /// [`reservoir`](Reservoir) docs for the cost model: a mutex per
+    /// record, so request-grained paths only).
+    pub fn reservoir(&self, name: &str) -> Reservoir {
+        match &self.inner {
+            None => Reservoir::noop(),
+            Some(inner) => {
+                let mut map = inner.reservoirs.lock().expect("obs lock");
+                Reservoir::from_core(Arc::clone(map.entry(name.to_owned()).or_default()))
+            }
+        }
+    }
+
     /// The registry's event tracer (a no-op tracer on a disabled
     /// registry).  Tracing is off until [`Tracer::enable`] is called.
     pub fn tracer(&self) -> Tracer {
@@ -263,10 +280,49 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
+        let quantiles = inner
+            .reservoirs
+            .lock()
+            .expect("obs lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
         MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            quantiles,
+        }
+    }
+
+    /// Fold a frozen snapshot's values into this registry's live cells:
+    /// counters add, gauges raise (high-water-mark semantics),
+    /// histogram buckets add, reservoir samples re-enter Algorithm-R
+    /// acceptance.  Instruments named in the snapshot but not yet
+    /// registered here are registered — so absorbing a shard registry's
+    /// snapshot preserves its full name set.  This is how
+    /// `Service::merge` folds per-shard registries back into one after
+    /// a sharded server shuts down.  No-op on a disabled registry.
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        if self.inner.is_none() {
+            return;
+        }
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name).raise(*v);
+        }
+        for (name, h) in &snap.histograms {
+            self.histogram(name).absorb(h);
+        }
+        for (name, r) in &snap.quantiles {
+            let Some(inner) = &self.inner else { return };
+            let core = {
+                let mut map = inner.reservoirs.lock().expect("obs lock");
+                Arc::clone(map.entry(name.clone()).or_default())
+            };
+            core.absorb(r);
         }
     }
 

@@ -1,0 +1,298 @@
+//! Exact tail-latency quantiles via reservoir sampling.
+//!
+//! Log-bucketed histograms ([`crate::Histogram`]) answer "which order of
+//! magnitude" with ~2× relative error — good enough for dashboards, too
+//! coarse for tail-latency work where p99 vs p999 is the whole question.
+//! A [`Reservoir`] keeps an Algorithm-R sample of up to
+//! [`RESERVOIR_CAP`] raw values: while fewer than that many values have
+//! been recorded the quantiles are *exact*; beyond it each recorded
+//! value has the same probability of being in the sample, so the
+//! quantile estimate is unbiased with error shrinking as `1/√cap`.
+//!
+//! Recording takes a `Mutex`, so a reservoir is meant for request-grained
+//! paths (one `record` per served request), not for inner loops — attach
+//! it next to a histogram on the hottest request variant, not everywhere.
+//! The replacement PRNG is a fixed-seed xorshift so two runs that record
+//! the same value stream produce the same sample: snapshots stay
+//! reproducible for the determinism tests.
+
+use std::sync::{Arc, Mutex};
+
+/// Maximum number of raw values a reservoir retains.  Below this count
+/// the sampled quantiles are exact.
+pub const RESERVOIR_CAP: usize = 512;
+
+#[derive(Debug)]
+struct State {
+    count: u64,
+    samples: Vec<u64>,
+    rng: u64,
+}
+
+pub(crate) struct ReservoirCore {
+    inner: Mutex<State>,
+}
+
+impl Default for ReservoirCore {
+    fn default() -> ReservoirCore {
+        ReservoirCore {
+            inner: Mutex::new(State {
+                count: 0,
+                samples: Vec::new(),
+                // Fixed seed: reservoirs are reproducible per value
+                // stream (see module docs).
+                rng: 0x9E37_79B9_7F4A_7C15,
+            }),
+        }
+    }
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    let mut s = *x;
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    *x = s;
+    s
+}
+
+impl ReservoirCore {
+    /// Algorithm R: the first [`RESERVOIR_CAP`] values are kept; value
+    /// number `n > cap` replaces a random slot with probability `cap/n`.
+    pub(crate) fn record(&self, v: u64) {
+        let mut st = self.inner.lock().expect("obs lock");
+        st.count += 1;
+        if st.samples.len() < RESERVOIR_CAP {
+            st.samples.push(v);
+        } else {
+            let j = (xorshift(&mut st.rng) % st.count) as usize;
+            if j < RESERVOIR_CAP {
+                st.samples[j] = v;
+            }
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> ReservoirSnapshot {
+        let st = self.inner.lock().expect("obs lock");
+        let mut samples = st.samples.clone();
+        samples.sort_unstable();
+        ReservoirSnapshot {
+            count: st.count,
+            samples,
+        }
+    }
+
+    /// Fold a frozen snapshot's samples back into the live reservoir —
+    /// the registry-merge path ([`crate::Registry::absorb`]).  Each
+    /// absorbed sample passes through the same Algorithm-R acceptance as
+    /// a live recording, with the count advanced first so the sample
+    /// stays an (approximately) uniform draw over both streams.
+    pub(crate) fn absorb(&self, snap: &ReservoirSnapshot) {
+        let mut st = self.inner.lock().expect("obs lock");
+        // Values beyond the retained samples are unknown; only their
+        // count survives.  Advance the count by the unsampled remainder
+        // so absorb(count) is exact even when the source overflowed.
+        st.count += snap.count.saturating_sub(snap.samples.len() as u64);
+        for &v in &snap.samples {
+            st.count += 1;
+            if st.samples.len() < RESERVOIR_CAP {
+                st.samples.push(v);
+            } else {
+                let j = (xorshift(&mut st.rng) % st.count) as usize;
+                if j < RESERVOIR_CAP {
+                    st.samples[j] = v;
+                }
+            }
+        }
+    }
+}
+
+/// A handle onto a quantile reservoir; `None` inside means a no-op
+/// handle, same cost model as [`crate::Counter`].
+#[derive(Clone, Default)]
+pub struct Reservoir(Option<Arc<ReservoirCore>>);
+
+impl Reservoir {
+    /// A handle that records nothing.
+    pub fn noop() -> Reservoir {
+        Reservoir(None)
+    }
+
+    pub(crate) fn from_core(core: Arc<ReservoirCore>) -> Reservoir {
+        Reservoir(Some(core))
+    }
+
+    /// Record one value (takes the reservoir mutex — request-grained
+    /// paths only, see module docs).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// A point-in-time copy of the sample, sorted.
+    pub fn snapshot(&self) -> ReservoirSnapshot {
+        self.0
+            .as_ref()
+            .map(|core| core.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+/// A frozen reservoir: total recorded count plus the retained sample in
+/// nondecreasing order.  When `count == samples.len()` the quantiles are
+/// exact; otherwise they are an unbiased estimate.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReservoirSnapshot {
+    /// Total number of recorded values (≥ `samples.len()`).
+    pub count: u64,
+    /// The retained sample, nondecreasing.
+    pub samples: Vec<u64>,
+}
+
+impl ReservoirSnapshot {
+    /// Whether the sample holds every recorded value (quantiles exact).
+    pub fn is_exact(&self) -> bool {
+        self.count == self.samples.len() as u64
+    }
+
+    /// Nearest-rank quantile of the sample (`0.0 ≤ q ≤ 1.0`); 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.samples.len();
+        if n == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Merge another snapshot into this one: counts add, samples are
+    /// merge-sorted.  Merging two exact snapshots stays exact — the
+    /// cross-shard metrics aggregation leans on this.
+    pub fn merge(&mut self, other: &ReservoirSnapshot) {
+        self.count += other.count;
+        let mut merged = Vec::with_capacity(self.samples.len() + other.samples.len());
+        let (mut a, mut b) = (
+            self.samples.iter().copied().peekable(),
+            other.samples.iter().copied().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => break,
+                (Some(&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&y)) => {
+                    merged.push(y);
+                    b.next();
+                }
+                (Some(&x), Some(&y)) => {
+                    if x <= y {
+                        merged.push(x);
+                        a.next();
+                    } else {
+                        merged.push(y);
+                        b.next();
+                    }
+                }
+            }
+        }
+        self.samples = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let reg = crate::Registry::new();
+        let r = reg.reservoir("t");
+        for v in [30u64, 10, 20, 20] {
+            r.record(v);
+        }
+        let s = r.snapshot();
+        assert!(s.is_exact());
+        assert_eq!(s.samples, vec![10, 20, 20, 30]);
+        assert_eq!(s.quantile(0.0), 10);
+        assert_eq!(s.quantile(0.5), 20);
+        assert_eq!(s.quantile(1.0), 30);
+        assert_eq!(ReservoirSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn sampling_beyond_capacity_is_bounded_and_plausible() {
+        let reg = crate::Registry::new();
+        let r = reg.reservoir("big");
+        for v in 0..10_000u64 {
+            r.record(v);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.samples.len(), RESERVOIR_CAP);
+        assert!(!s.is_exact());
+        // The sampled median of a uniform 0..10000 stream lands near
+        // 5000 (±~20% with cap 512 is generous).
+        let med = s.quantile(0.5);
+        assert!((3000..7000).contains(&med), "median {med} implausible");
+        // Deterministic: same stream, same sample.
+        let r2 = reg.reservoir("big2");
+        for v in 0..10_000u64 {
+            r2.record(v);
+        }
+        assert_eq!(s, r2.snapshot());
+    }
+
+    #[test]
+    fn merge_of_exact_snapshots_is_exact() {
+        let reg = crate::Registry::new();
+        let (a, b) = (reg.reservoir("a"), reg.reservoir("b"));
+        for v in [5u64, 1, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 9] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert!(m.is_exact());
+        assert_eq!(m.samples, vec![1, 2, 5, 9, 9]);
+        assert_eq!(m.count, 5);
+    }
+
+    #[test]
+    fn absorb_preserves_count_and_bounds_sample() {
+        let reg = crate::Registry::new();
+        let live = reg.reservoir("live");
+        for v in [7u64, 3] {
+            live.record(v);
+        }
+        let mut frozen = ReservoirSnapshot {
+            count: 4,
+            samples: vec![1, 2, 8, 9],
+        };
+        reg.absorb(&{
+            let mut snap = reg.snapshot();
+            snap.quantiles = vec![("live".into(), frozen.clone())];
+            snap.counters.clear();
+            snap.gauges.clear();
+            snap.histograms.clear();
+            snap
+        });
+        let s = reg.reservoir("live").snapshot();
+        assert_eq!(s.count, 2 + 4);
+        assert_eq!(s.samples, vec![1, 2, 3, 7, 8, 9]);
+        // Absorbing an overflowed snapshot keeps the unsampled remainder
+        // in the count.
+        frozen.count = 1000;
+        let core = ReservoirCore::default();
+        core.absorb(&frozen);
+        let s = core.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.samples.len(), 4);
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::crc32;
 use crate::hist::HistogramSnapshot;
+use crate::reservoir::ReservoirSnapshot;
 
 /// A frozen view of a [`crate::Registry`]: every instrument, sorted by
 /// name within each kind, with the values read at snapshot time.
@@ -22,10 +23,14 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, u64)>,
     /// `(name, snapshot)` for every histogram, names ascending.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, snapshot)` for every quantile reservoir, names ascending.
+    pub quantiles: Vec<(String, ReservoirSnapshot)>,
 }
 
-/// Codec format version.
-const VERSION: u8 = 1;
+/// Codec format version.  Version 2 added the quantile-reservoir
+/// section; version-1 readers reject version-2 bytes outright (the
+/// codec is all-or-nothing, never partially read).
+const VERSION: u8 = 2;
 
 /// Why a metrics snapshot failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +51,9 @@ pub enum DecodeMetricsError {
     /// a boundary that is neither 0 nor a power of two, a zero bucket
     /// count, or bucket counts that do not sum to the total).
     BadHistogram { at: usize },
+    /// A quantile reservoir was malformed (samples not nondecreasing,
+    /// or more samples than the recorded count).
+    BadQuantiles { at: usize },
     /// Bytes remained after the structure was fully decoded.
     TrailingBytes { at: usize },
 }
@@ -68,6 +76,9 @@ impl std::fmt::Display for DecodeMetricsError {
             }
             DecodeMetricsError::BadHistogram { at } => {
                 write!(f, "malformed histogram at {at}")
+            }
+            DecodeMetricsError::BadQuantiles { at } => {
+                write!(f, "malformed quantile reservoir at {at}")
             }
             DecodeMetricsError::TrailingBytes { at } => {
                 write!(f, "trailing bytes after metrics snapshot at {at}")
@@ -142,7 +153,7 @@ impl<'a> Reader<'a> {
 }
 
 impl MetricsSnapshot {
-    /// Encode to bytes: version, the three sections, CRC-32 trailer.
+    /// Encode to bytes: version, the four sections, CRC-32 trailer.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.push(VERSION);
@@ -165,6 +176,15 @@ impl MetricsSnapshot {
             for &(lo, n) in &h.buckets {
                 put_u64(&mut out, lo);
                 put_u64(&mut out, n);
+            }
+        }
+        put_u32(&mut out, u32::try_from(self.quantiles.len()).expect("fits"));
+        for (name, r) in &self.quantiles {
+            put_str(&mut out, name);
+            put_u64(&mut out, r.count);
+            put_u32(&mut out, u32::try_from(r.samples.len()).expect("fits"));
+            for &v in &r.samples {
+                put_u64(&mut out, v);
             }
         }
         let crc = crc32(&out);
@@ -249,6 +269,30 @@ impl MetricsSnapshot {
                 },
             ));
         }
+        let n = r.count(4 + 8 + 4)?;
+        let mut quantiles: Vec<(String, ReservoirSnapshot)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = r.pos;
+            let name = r.str()?;
+            if quantiles.last().is_some_and(|(last, _)| *last >= name) {
+                return Err(DecodeMetricsError::UnsortedNames { at });
+            }
+            let count = r.u64()?;
+            let ns = r.count(8)?;
+            if (ns as u64) > count {
+                return Err(DecodeMetricsError::BadQuantiles { at });
+            }
+            let mut samples = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                let sat = r.pos;
+                let v = r.u64()?;
+                if samples.last().is_some_and(|&last| last > v) {
+                    return Err(DecodeMetricsError::BadQuantiles { at: sat });
+                }
+                samples.push(v);
+            }
+            quantiles.push((name, ReservoirSnapshot { count, samples }));
+        }
         if r.pos != body.len() {
             return Err(DecodeMetricsError::TrailingBytes { at: r.pos });
         }
@@ -256,7 +300,57 @@ impl MetricsSnapshot {
             counters,
             gauges,
             histograms,
+            quantiles,
         })
+    }
+
+    /// Aggregate several snapshots into one: counters add, gauges take
+    /// the maximum (every gauge in the workspace is a high-water mark or
+    /// a size — the maximum is the conservative service-wide reading),
+    /// histograms merge bucket-wise, reservoirs merge-sort their
+    /// samples.  Names union; the result is sorted within each kind, so
+    /// its content ordering is deterministic whenever each part's name
+    /// set is.  This is how a sharded server answers `Metrics` across
+    /// per-shard registries.
+    pub fn merged<'a, I>(parts: I) -> MetricsSnapshot
+    where
+        I: IntoIterator<Item = &'a MetricsSnapshot>,
+    {
+        use std::collections::BTreeMap;
+        let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<&str, HistogramSnapshot> = BTreeMap::new();
+        let mut quantiles: BTreeMap<&str, ReservoirSnapshot> = BTreeMap::new();
+        for part in parts {
+            for (name, v) in &part.counters {
+                *counters.entry(name).or_default() += v;
+            }
+            for (name, v) in &part.gauges {
+                let cell = gauges.entry(name).or_default();
+                *cell = (*cell).max(*v);
+            }
+            for (name, h) in &part.histograms {
+                histograms.entry(name).or_default().merge(h);
+            }
+            for (name, r) in &part.quantiles {
+                quantiles.entry(name).or_default().merge(r);
+            }
+        }
+        MetricsSnapshot {
+            counters: counters
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+            gauges: gauges.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+            quantiles: quantiles
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        }
     }
 
     /// The sorted instrument names, one per line, prefixed by kind —
@@ -276,6 +370,11 @@ impl MetricsSnapshot {
         }
         for (name, _) in &self.histograms {
             out.push_str("histogram ");
+            out.push_str(name);
+            out.push('\n');
+        }
+        for (name, _) in &self.quantiles {
+            out.push_str("quantiles ");
             out.push_str(name);
             out.push('\n');
         }
@@ -320,6 +419,19 @@ impl MetricsSnapshot {
             out.push_str(&format!("{n}_sum {}\n", h.sum));
             out.push_str(&format!("{n}_count {}\n", h.count));
         }
+        for (name, r) in &self.quantiles {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (label, q) in [
+                ("0.5", 0.5),
+                ("0.95", 0.95),
+                ("0.99", 0.99),
+                ("0.999", 0.999),
+            ] {
+                out.push_str(&format!("{n}{{quantile=\"{label}\"}} {}\n", r.quantile(q)));
+            }
+            out.push_str(&format!("{n}_count {}\n", r.count));
+        }
         out
     }
 }
@@ -337,6 +449,10 @@ mod tests {
         let h = reg.histogram("wal.fsync_ns");
         for v in [0u64, 900, 1100, 1 << 33] {
             h.record(v);
+        }
+        let r = reg.reservoir("session.serve.update_tail_ns");
+        for v in [40u64, 10, 99] {
+            r.record(v);
         }
         reg.snapshot()
     }
@@ -413,12 +529,28 @@ mod tests {
             MetricsSnapshot::decode(&reseal(snap.encode())),
             Err(DecodeMetricsError::BadHistogram { .. })
         ));
-        // Bad version byte.
-        let mut bytes = sample().encode();
-        bytes[0] = 9;
+        // Bad version byte (including the retired version 1).
+        for bad in [1u8, 9] {
+            let mut bytes = sample().encode();
+            bytes[0] = bad;
+            assert!(matches!(
+                MetricsSnapshot::decode(&reseal(bytes)),
+                Err(DecodeMetricsError::BadVersion(v)) if v == bad
+            ));
+        }
+        // Reservoir samples out of order.
+        let mut snap = sample();
+        snap.quantiles[0].1.samples.swap(0, 2);
         assert!(matches!(
-            MetricsSnapshot::decode(&reseal(bytes)),
-            Err(DecodeMetricsError::BadVersion(9))
+            MetricsSnapshot::decode(&reseal(snap.encode())),
+            Err(DecodeMetricsError::BadQuantiles { .. })
+        ));
+        // More samples than the recorded count.
+        let mut snap = sample();
+        snap.quantiles[0].1.count = 1;
+        assert!(matches!(
+            MetricsSnapshot::decode(&reseal(snap.encode())),
+            Err(DecodeMetricsError::BadQuantiles { .. })
         ));
         // Trailing garbage inside the CRC'd body.
         let mut bytes = sample().encode();
@@ -438,8 +570,64 @@ mod tests {
         assert_eq!(
             snap.content_ordering(),
             "counter serve.frames_in\ncounter session.requests\n\
-             gauge serve.queue_depth_hwm\nhistogram wal.fsync_ns\n"
+             gauge serve.queue_depth_hwm\nhistogram wal.fsync_ns\n\
+             quantiles session.serve.update_tail_ns\n"
         );
+    }
+
+    #[test]
+    fn merged_aggregates_across_parts() {
+        let a = sample();
+        let reg = Registry::new();
+        reg.counter("session.requests").add(5);
+        reg.counter("shard.only").add(1);
+        reg.gauge("serve.queue_depth_hwm").set(9);
+        reg.histogram("wal.fsync_ns").record(900);
+        reg.reservoir("session.serve.update_tail_ns").record(7);
+        let b = reg.snapshot();
+
+        let m = MetricsSnapshot::merged([&a, &b]);
+        let get = |n: &str| m.counters.iter().find(|(k, _)| k == n).unwrap().1;
+        assert_eq!(get("session.requests"), 12);
+        assert_eq!(get("serve.frames_in"), 12);
+        assert_eq!(get("shard.only"), 1);
+        assert_eq!(m.gauges[0], ("serve.queue_depth_hwm".into(), 9));
+        let h = &m.histograms[0].1;
+        assert_eq!(h.count, 5);
+        // Bucket-wise: the two 900s share the [512, 1024) bucket.
+        assert!(h.buckets.contains(&(512, 2)));
+        let r = &m.quantiles[0].1;
+        assert_eq!(r.count, 4);
+        assert_eq!(r.samples, vec![7, 10, 40, 99]);
+        // Merging encodes/decodes like any snapshot.
+        assert_eq!(MetricsSnapshot::decode(&m.encode()), Ok(m.clone()));
+        // Merge of one part is that part.
+        assert_eq!(MetricsSnapshot::merged([&a]), a);
+    }
+
+    #[test]
+    fn absorb_then_snapshot_equals_merged() {
+        let a = sample();
+        let reg = Registry::new();
+        reg.counter("session.requests").add(5);
+        reg.histogram("wal.fsync_ns").record(900);
+        reg.reservoir("session.serve.update_tail_ns").record(7);
+        reg.absorb(&a);
+        let live = reg.snapshot();
+        let merged = MetricsSnapshot::merged([&reg_before_absorb(), &a]);
+        assert_eq!(live.counters, merged.counters);
+        assert_eq!(live.histograms, merged.histograms);
+        let (lr, mr) = (&live.quantiles[0].1, &merged.quantiles[0].1);
+        assert_eq!(lr.count, mr.count);
+        assert_eq!(lr.samples, mr.samples);
+
+        fn reg_before_absorb() -> MetricsSnapshot {
+            let reg = Registry::new();
+            reg.counter("session.requests").add(5);
+            reg.histogram("wal.fsync_ns").record(900);
+            reg.reservoir("session.serve.update_tail_ns").record(7);
+            reg.snapshot()
+        }
     }
 
     #[test]
@@ -453,5 +641,9 @@ mod tests {
         assert!(text.contains("compview_wal_fsync_ns_bucket{le=\"1023\"} 2"));
         assert!(text.contains("compview_wal_fsync_ns_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("compview_wal_fsync_ns_count 4"));
+        assert!(text.contains("# TYPE compview_session_serve_update_tail_ns summary"));
+        assert!(text.contains("compview_session_serve_update_tail_ns{quantile=\"0.5\"} 40"));
+        assert!(text.contains("compview_session_serve_update_tail_ns{quantile=\"0.999\"} 99"));
+        assert!(text.contains("compview_session_serve_update_tail_ns_count 3"));
     }
 }

@@ -94,6 +94,13 @@ proptest! {
             let n = rng.random_range(0..40usize);
             record_all(&reg, &format!("h{i}"), &rand_values(&mut rng, n));
         }
+        for i in 0..rng.random_range(0..3u32) {
+            let r = reg.reservoir(&format!("r{i}"));
+            let n = rng.random_range(0..30usize);
+            for v in rand_values(&mut rng, n) {
+                r.record(v);
+            }
+        }
         let snap = reg.snapshot();
         let bytes = snap.encode();
         let decoded = MetricsSnapshot::decode(&bytes);

@@ -1,53 +1,85 @@
-//! The threaded TCP front end: concurrent connections, one deterministic
-//! batch dispatcher.
+//! The threaded TCP front end: concurrent connections, a sharded pool of
+//! deterministic batch dispatchers.
 //!
 //! # Architecture
 //!
 //! ```text
-//! conn 1 ──reader──┐                       ┌──► responses, conn 1
-//! conn 2 ──reader──┼──► queue ──dispatcher─┼──► responses, conn 2
-//! conn 3 ──reader──┘    (mutex+condvar)    └──► responses, conn 3
+//! conn 1 ──reader──┐   ┌─► shard queue 0 ──dispatcher 0─► Service part 0 ─┐
+//! conn 2 ──reader──┼──►┤                                                  ├─► per-conn
+//! conn 3 ──reader──┘   └─► shard queue 1 ──dispatcher 1─► Service part 1 ─┘   sequencer
 //! ```
 //!
-//! One reader thread per connection decodes frames and pushes
-//! `(conn, session, request)` onto a shared queue.  A single dispatcher
-//! thread owns the [`Service`]; each time it wakes it drains the *whole*
-//! queue as one batch, runs [`Service::dispatch`] (which fans sessions
-//! out across the worker pool and group-commits each touched log with a
-//! single fsync), and writes the responses back — so concurrently
-//! arriving requests are amortised into batches exactly as large as the
-//! server is busy.
+//! One reader thread per connection decodes frames and pushes each
+//! request onto the queue of the shard that owns its session —
+//! `shard_of(session) % N`, the stable hash partition from
+//! `compview-session`.  Each of the N dispatcher threads owns one
+//! [`Service`] partition; each time it wakes it drains *its whole queue*
+//! as one batch, runs [`Service::dispatch`] (which fans that shard's
+//! sessions across the worker pool and group-commits each touched log
+//! with a single fsync), and hands the responses to the **response
+//! sequencer**.  Sessions never move between shards, so per-session WAL
+//! bytes and responses are byte-identical to a single-dispatcher server
+//! — only the parallelism changes.
 //!
 //! # Ordering
 //!
-//! Within one connection, responses come back in request order: the
-//! reader pushes in arrival order, the queue preserves it, and the
-//! dispatcher answers each batch in batch order.  Across connections no
-//! order is promised (none exists to preserve).  Because
-//! `Service::dispatch` serves each session's queue sequentially and
-//! deterministically, how arrivals happen to split into batches can
-//! never change any response — only how many fsyncs amortise.
+//! Within one connection, responses go out in request order even though
+//! different requests may be answered by different shards: the reader
+//! stamps every request with a per-connection sequence number, and the
+//! sequencer holds each finished response until all lower-numbered ones
+//! have been written.  Across connections no order is promised (none
+//! exists to preserve).  Because `Service::dispatch` serves each
+//! session's queue sequentially and deterministically, how arrivals
+//! split into batches — or across shards — can never change any
+//! response, only how many fsyncs amortise.
+//!
+//! # Metrics across shards
+//!
+//! A `Metrics` probe is a **barrier**: the reader enqueues it on every
+//! shard, each dispatcher passes it only after applying the requests it
+//! drained alongside it, and the last dispatcher through takes one
+//! snapshot per shard registry — each under that shard's snapshot gate,
+//! so it always lands on a batch boundary, never mid-batch — and merges
+//! them ([`MetricsSnapshot::merged`]).  A probe pipelined behind N
+//! requests on one connection therefore observes all N, and every
+//! snapshot it returns is post-batch consistent per shard.
 
 use crate::proto::{
     decode_wire_request, encode_metrics_response_payload, encode_result_payload, expect_handshake,
     read_frame, send_handshake, write_frame, WireRequest,
 };
 use compview_core::ComponentFamily;
-use compview_obs::{Counter, Gauge, Registry};
-use compview_session::{Service, SessionRequest};
+use compview_obs::{Counter, Gauge, MetricsSnapshot, Registry};
+use compview_session::{shard_of, Service, SessionRequest};
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One queued request: which connection sent it, and what it asked.
-type QueuedRequest = (u64, WireRequest);
+/// One item on a shard's queue.
+enum Item {
+    /// A request bound for this shard's service partition.
+    Dispatch {
+        conn: u64,
+        seq: u64,
+        session: String,
+        req: SessionRequest,
+    },
+    /// A metrics probe (enqueued on *every* shard); `left` counts the
+    /// shards that have not yet passed it.  Whoever decrements it to
+    /// zero answers.
+    Probe {
+        conn: u64,
+        seq: u64,
+        left: Arc<AtomicUsize>,
+    },
+}
 
-/// Server-side instruments, registered on the service's [`Registry`] at
-/// bind time so they land in the same snapshot as the session and WAL
-/// metrics.
+/// Server-side instruments, registered on shard 0's [`Registry`] (the
+/// original service registry) at bind time so they land in the same
+/// snapshot as the session and WAL metrics.
 #[derive(Clone, Default)]
 struct ServeObs {
     /// Connections accepted (post-handshake).
@@ -60,7 +92,7 @@ struct ServeObs {
     /// length, torn stream, undecodable payload.  Each costs its
     /// connection.
     malformed_frames: Counter,
-    /// High-water mark of the dispatcher queue depth.
+    /// High-water mark of any one shard queue's depth.
     queue_depth_hwm: Gauge,
 }
 
@@ -76,16 +108,42 @@ impl ServeObs {
     }
 }
 
-/// State shared between the accept loop, the readers, and the
-/// dispatcher.
-struct Shared {
-    queue: Mutex<VecDeque<QueuedRequest>>,
+/// One shard's request queue.
+struct ShardQueue {
+    queue: Mutex<VecDeque<Item>>,
     wake: Condvar,
+}
+
+/// The write half of a connection plus its reorder buffer: responses
+/// finish on whichever dispatcher owned their session, and go out in
+/// request order.
+struct ConnOut {
+    stream: TcpStream,
+    /// The sequence number the wire expects next.
+    next_seq: u64,
+    /// Finished responses waiting for their turn, keyed by sequence.
+    pending: BTreeMap<u64, Vec<u8>>,
+}
+
+/// State shared between the accept loop, the readers, and the
+/// dispatchers.
+struct Shared {
+    shards: Vec<ShardQueue>,
+    /// Per-shard snapshot gates: held by a dispatcher around
+    /// [`Service::dispatch`], taken by a metrics probe around that
+    /// shard's registry snapshot — so a probe snapshot always lands on a
+    /// batch boundary (and the lock handoff makes the shard's relaxed
+    /// counter writes visible to the prober).
+    snap_gates: Vec<Mutex<()>>,
+    /// Per-shard registries, shard 0's being the original service
+    /// registry.  Clones of the live registries — valid even after a
+    /// dispatcher thread has exited with its service.
+    registries: Vec<Registry>,
     stop: AtomicBool,
-    /// Write halves, keyed by connection id.  Only the dispatcher writes
-    /// frames; the accept loop inserts, and whoever sees a dead
-    /// connection removes.
-    writers: Mutex<BTreeMap<u64, TcpStream>>,
+    /// Connection write halves + reorder buffers, keyed by connection
+    /// id.  The accept loop inserts; whoever sees a dead connection
+    /// removes.
+    conns: Mutex<BTreeMap<u64, Arc<Mutex<ConnOut>>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     obs: ServeObs,
 }
@@ -96,37 +154,62 @@ pub struct Server<F: ComponentFamily + Send + Sync + 'static> {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
-    dispatcher: JoinHandle<Service<F>>,
+    dispatchers: Vec<JoinHandle<Service<F>>>,
 }
 
 impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `service`.
+    /// `service` with a single dispatcher.
     pub fn bind<A: ToSocketAddrs>(addr: A, service: Service<F>) -> io::Result<Server<F>> {
+        Server::bind_sharded(addr, service, 1)
+    }
+
+    /// [`Server::bind`] with dispatch sharded across `shards` dispatcher
+    /// threads, sessions hash-partitioned by name (see the module docs).
+    /// `shards == 0` is treated as 1.  Group commit, per-session
+    /// ordering, and response bytes are identical at every shard count;
+    /// the shard count only sets how many cores may dispatch at once.
+    pub fn bind_sharded<A: ToSocketAddrs>(
+        addr: A,
+        service: Service<F>,
+        shards: usize,
+    ) -> io::Result<Server<F>> {
+        let shards = shards.max(1);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let parts = service.split(shards);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            wake: Condvar::new(),
+            shards: (0..shards)
+                .map(|_| ShardQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                    wake: Condvar::new(),
+                })
+                .collect(),
+            snap_gates: (0..shards).map(|_| Mutex::new(())).collect(),
+            registries: parts.iter().map(|p| p.registry().clone()).collect(),
             stop: AtomicBool::new(false),
-            writers: Mutex::new(BTreeMap::new()),
+            conns: Mutex::new(BTreeMap::new()),
             readers: Mutex::new(Vec::new()),
-            obs: ServeObs::new(service.registry()),
+            obs: ServeObs::new(parts[0].registry()),
         });
 
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
-        let dispatcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatch_loop(service, &shared))
-        };
+        let dispatchers = parts
+            .into_iter()
+            .enumerate()
+            .map(|(shard, part)| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || dispatch_loop(shard, part, &shared))
+            })
+            .collect();
         Ok(Server {
             addr,
             shared,
             accept,
-            dispatcher,
+            dispatchers,
         })
     }
 
@@ -135,13 +218,23 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
         self.addr
     }
 
-    /// Stop accepting, close every connection, drain the queue, and
-    /// return the service with every session's final state.
+    /// Number of dispatcher shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Stop accepting, close every connection, drain the shard queues,
+    /// and return the service — shard partitions folded back into one
+    /// ([`Service::merge`]) — with every session's final state.
     pub fn shutdown(self) -> Service<F> {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Close the sockets out from under the readers…
-        for stream in self.shared.writers.lock().expect("writers").values() {
-            let _ = stream.shutdown(Shutdown::Both);
+        for slot in self.shared.conns.lock().expect("conns").values() {
+            let _ = slot
+                .lock()
+                .expect("conn out")
+                .stream
+                .shutdown(Shutdown::Both);
         }
         // …poke the accept loop awake (it checks `stop` per accept)…
         let _ = TcpStream::connect(self.addr);
@@ -150,9 +243,16 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
         for r in readers {
             let _ = r.join();
         }
-        // …and let the dispatcher drain what is left, then exit.
-        self.shared.wake.notify_all();
-        self.dispatcher.join().expect("dispatcher thread")
+        // …and let every dispatcher drain what is left, then exit.
+        for sq in &self.shared.shards {
+            sq.wake.notify_all();
+        }
+        let parts: Vec<Service<F>> = self
+            .dispatchers
+            .into_iter()
+            .map(|d| d.join().expect("dispatcher thread"))
+            .collect();
+        Service::merge(parts)
     }
 }
 
@@ -178,7 +278,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         let conn = next_conn;
         next_conn += 1;
         shared.obs.connections.inc();
-        shared.writers.lock().expect("writers").insert(conn, writer);
+        shared.conns.lock().expect("conns").insert(
+            conn,
+            Arc::new(Mutex::new(ConnOut {
+                stream: writer,
+                next_seq: 0,
+                pending: BTreeMap::new(),
+            })),
+        );
         let reader = {
             let shared = Arc::clone(shared);
             std::thread::spawn(move || read_loop(conn, stream, &shared))
@@ -188,19 +295,49 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
+    let n_shards = shared.shards.len();
+    let mut seq: u64 = 0;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
         match read_frame(&mut stream) {
             Ok(Some(payload)) => match decode_wire_request(&payload) {
-                Ok(req) => {
+                Ok(wire) => {
                     shared.obs.frames_in.inc();
-                    let mut q = shared.queue.lock().expect("queue");
-                    q.push_back((conn, req));
-                    shared.obs.queue_depth_hwm.raise(q.len() as u64);
-                    drop(q);
-                    shared.wake.notify_one();
+                    match wire {
+                        WireRequest::Dispatch(session, req) => {
+                            let shard = shard_of(&session, n_shards);
+                            let sq = &shared.shards[shard];
+                            let mut q = sq.queue.lock().expect("queue");
+                            q.push_back(Item::Dispatch {
+                                conn,
+                                seq,
+                                session,
+                                req,
+                            });
+                            shared.obs.queue_depth_hwm.raise(q.len() as u64);
+                            drop(q);
+                            sq.wake.notify_one();
+                        }
+                        // A metrics probe fans out to every shard as a
+                        // barrier; the countdown picks the answerer.
+                        WireRequest::Metrics => {
+                            let left = Arc::new(AtomicUsize::new(n_shards));
+                            for sq in &shared.shards {
+                                let mut q = sq.queue.lock().expect("queue");
+                                q.push_back(Item::Probe {
+                                    conn,
+                                    seq,
+                                    left: Arc::clone(&left),
+                                });
+                                shared.obs.queue_depth_hwm.raise(q.len() as u64);
+                                drop(q);
+                                sq.wake.notify_one();
+                            }
+                        }
+                    }
+                    seq += 1;
                 }
                 // A CRC-valid frame that does not decode is a protocol
                 // violation, not line noise: drop the connection.
@@ -232,20 +369,64 @@ fn is_disconnect(e: &crate::proto::ProtoError) -> bool {
 }
 
 fn drop_connection(conn: u64, shared: &Shared) {
-    if let Some(stream) = shared.writers.lock().expect("writers").remove(&conn) {
-        let _ = stream.shutdown(Shutdown::Both);
+    if let Some(slot) = shared.conns.lock().expect("conns").remove(&conn) {
+        let _ = slot
+            .lock()
+            .expect("conn out")
+            .stream
+            .shutdown(Shutdown::Both);
+    }
+}
+
+/// Hand a finished response to the connection's sequencer: park it under
+/// its sequence number and flush the run of consecutive responses
+/// starting at `next_seq`.  Any dispatcher may call this for any
+/// connection; the per-connection mutex serialises the writes and the
+/// sequence numbers restore request order.
+fn deliver(shared: &Shared, conn: u64, seq: u64, payload: Vec<u8>) {
+    let Some(slot) = shared
+        .conns
+        .lock()
+        .expect("conns")
+        .get(&conn)
+        .map(Arc::clone)
+    else {
+        return; // connection already gone; drop the response
+    };
+    let mut out = slot.lock().expect("conn out");
+    out.pending.insert(seq, payload);
+    let mut dead = false;
+    loop {
+        let next = out.next_seq;
+        let Some(payload) = out.pending.remove(&next) else {
+            break;
+        };
+        out.next_seq += 1;
+        if write_frame(&mut out.stream, &payload).is_err() {
+            dead = true;
+            break;
+        }
+        shared.obs.frames_out.inc();
+    }
+    if dead {
+        let _ = out.stream.shutdown(Shutdown::Both);
+        drop(out);
+        shared.conns.lock().expect("conns").remove(&conn);
     }
 }
 
 fn dispatch_loop<F: ComponentFamily + Send + Sync>(
+    shard: usize,
     mut service: Service<F>,
     shared: &Shared,
 ) -> Service<F> {
+    let n_shards = shared.shards.len();
     loop {
-        let drained: Vec<QueuedRequest> = {
-            let mut q = shared.queue.lock().expect("queue");
+        let drained: Vec<Item> = {
+            let sq = &shared.shards[shard];
+            let mut q = sq.queue.lock().expect("queue");
             while q.is_empty() && !shared.stop.load(Ordering::SeqCst) {
-                q = shared.wake.wait(q).expect("queue");
+                q = sq.wake.wait(q).expect("queue");
             }
             if q.is_empty() {
                 // Only reachable with `stop` set: drained and done.
@@ -256,40 +437,47 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
         // Split the drain into the dispatchable batch and the metrics
         // probes, remembering where each answer goes.
         let mut batch: Vec<(String, SessionRequest)> = Vec::new();
-        let mut slots: Vec<(u64, Option<usize>)> = Vec::with_capacity(drained.len());
-        for (conn, wire) in drained {
-            match wire {
-                WireRequest::Dispatch(session, req) => {
-                    slots.push((conn, Some(batch.len())));
+        let mut slots: Vec<(u64, u64, usize)> = Vec::new();
+        let mut probes: Vec<(u64, u64, Arc<AtomicUsize>)> = Vec::new();
+        for item in drained {
+            match item {
+                Item::Dispatch {
+                    conn,
+                    seq,
+                    session,
+                    req,
+                } => {
+                    slots.push((conn, seq, batch.len()));
                     batch.push((session, req));
                 }
-                WireRequest::Metrics => slots.push((conn, None)),
+                Item::Probe { conn, seq, left } => probes.push((conn, seq, left)),
             }
         }
-        let results = service.dispatch(batch);
-        // One snapshot answers every metrics probe of the batch, taken
-        // after the batch applied — a probe pipelined behind N requests
-        // on one connection observes all N (FIFO makes that a guarantee
-        // worth having).
-        let metrics = slots
-            .iter()
-            .any(|(_, s)| s.is_none())
-            .then(|| encode_metrics_response_payload(&service.registry().snapshot()));
-        // Batch order within one connection IS its request order, so
-        // writing in batch order preserves per-connection FIFO.
-        let mut writers = shared.writers.lock().expect("writers");
-        for (conn, slot) in slots {
-            let payload = match slot {
-                Some(i) => encode_result_payload(&results[i]),
-                None => metrics.clone().expect("snapshot taken above"),
+        if !batch.is_empty() {
+            // The snapshot gate brackets the batch: a concurrent metrics
+            // probe snapshots this shard either before or after it,
+            // never mid-flight.
+            let results = {
+                let _gate = shared.snap_gates[shard].lock().expect("snap gate");
+                service.dispatch(batch)
             };
-            if let Some(stream) = writers.get_mut(&conn) {
-                if write_frame(stream, &payload).is_err() {
-                    let _ = stream.shutdown(Shutdown::Both);
-                    writers.remove(&conn);
-                } else {
-                    shared.obs.frames_out.inc();
-                }
+            for (conn, seq, i) in slots {
+                deliver(shared, conn, seq, encode_result_payload(&results[i]));
+            }
+        }
+        // Probes pass only after the batch drained alongside them has
+        // been applied — so by the time the countdown hits zero, every
+        // shard has applied everything enqueued before the probe.
+        for (conn, seq, left) in probes {
+            if left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let parts: Vec<MetricsSnapshot> = (0..n_shards)
+                    .map(|j| {
+                        let _gate = shared.snap_gates[j].lock().expect("snap gate");
+                        shared.registries[j].snapshot()
+                    })
+                    .collect();
+                let merged = MetricsSnapshot::merged(parts.iter());
+                deliver(shared, conn, seq, encode_metrics_response_payload(&merged));
             }
         }
     }

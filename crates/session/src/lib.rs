@@ -47,7 +47,7 @@ pub mod store;
 pub mod wal;
 
 pub use obs::{SessionObs, WalObs};
-pub use service::{DispatchError, Service, ServiceError};
+pub use service::{shard_of, DispatchError, Service, ServiceError, ShardedService};
 pub use store::{FaultPlan, FaultyStore, FsStore, LogStore, MemStore, SharedBytes};
 pub use wal::{RecoverError, RecoveryReport, RecoveryStop, SyncPolicy};
 
@@ -869,7 +869,16 @@ impl<F: ComponentFamily + Sync> Session<F> {
             }
         };
         drop(span);
-        self.obs.variant_hist_at(variant).stop(timer);
+        if let Some(t) = timer {
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.obs.variant_hist_at(variant).record(ns);
+            // Update is the hot write path (the E12/E13 workloads are
+            // update streams); its latency additionally feeds the exact
+            // tail-quantile reservoir.
+            if variant == SessionObs::UPDATE_VARIANT {
+                self.obs.update_tail_ns.record(ns);
+            }
+        }
         outcome
     }
 
@@ -976,15 +985,20 @@ impl<F: ComponentFamily + Sync> Session<F> {
         Ok(SessionResponse::PoolEdited(report))
     }
 
-    /// Carry cached endomorphism maps across a pool insert by renaming
-    /// state ids through the splice `trace` (old id → new id, injective).
+    /// Carry cached endomorphism maps across a pool edit by renaming
+    /// state ids through the edit's origin `trace` (old id → new id,
+    /// injective on survivors; `usize::MAX` marks states the edit
+    /// dropped — inserts produce a total trace, removals a partial one).
     ///
-    /// Old states keep their instances, so for an old state `s`,
-    /// `new[trace[s]] = trace[old[s]]` — the same function under new
-    /// names.  Fresh states get their endo image computed individually.
-    /// Each carried map is re-verified against the new ↓-poset; a mask
-    /// that fails (its endo is no longer a component of the grown space)
-    /// is dropped and will be rebuilt — and properly rejected — on next
+    /// Surviving states keep their instances, so for a survivor `s`
+    /// whose old image also survived, `new[trace[s]] = trace[old[s]]` —
+    /// the same function under new names.  Slots with no carried value
+    /// (fresh states after an insert, survivors whose old image was
+    /// dropped by a removal) get their endo image computed individually;
+    /// if any image left the space the mask is dropped.  Each carried
+    /// map is re-verified against the new ↓-poset; a mask that fails
+    /// (its endo is no longer a component of the edited space) is
+    /// dropped and will be rebuilt — and properly rejected — on next
     /// use.
     fn remap_cache(&mut self, trace: &[usize]) {
         if self.cache.is_empty() {
@@ -995,7 +1009,9 @@ impl<F: ComponentFamily + Sync> Session<F> {
         'masks: for (mask, old_map) in old {
             let mut new_map = vec![usize::MAX; n_new];
             for (s_old, &s_new) in trace.iter().enumerate() {
-                new_map[s_new] = trace[old_map[s_old]];
+                if s_new != usize::MAX {
+                    new_map[s_new] = trace[old_map[s_old]];
+                }
             }
             for (s, slot) in new_map.iter_mut().enumerate() {
                 if *slot != usize::MAX {
@@ -1029,16 +1045,26 @@ impl<F: ComponentFamily + Sync> Session<F> {
             });
         }
         let report = if self.config.incremental {
-            let r = self.space.remove_tuple(relation, tuple)?;
+            let (r, trace) = self.space.remove_tuple_traced(relation, tuple)?;
             self.stats.incremental_edits += 1;
-            self.after_incremental_edit();
+            let repaired = self.after_incremental_edit();
+            // Removals only drop states; surviving states keep their
+            // instances under new ids, so cached endo maps remap through
+            // the (partial) trace — only survivors whose old image was
+            // dropped need recomputing.  A cross-validation repair
+            // re-enumerated from scratch, invalidating the trace.
+            if repaired {
+                self.cache.clear();
+            } else {
+                self.remap_cache(&trace);
+            }
             r
         } else {
             let r = self.space.remove_tuple_full(relation, tuple)?;
             self.stats.full_rebuilds += 1;
+            self.cache.clear();
             r
         };
-        self.cache.clear();
         // Removal can delete states the undo history points at; drop it
         // (the audit log survives).
         self.catalog.clear_history();

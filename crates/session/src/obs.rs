@@ -10,7 +10,7 @@
 //! how many sessions a service hosts.
 
 use compview_logic::EnumObs;
-use compview_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+use compview_obs::{Counter, Gauge, Histogram, Registry, Reservoir, Tracer};
 
 /// Instruments owned by a [`crate::Session`].
 #[derive(Clone, Default)]
@@ -42,6 +42,10 @@ pub struct SessionObs {
     pub undo_ns: Histogram,
     /// See [`SessionObs::register_ns`].
     pub stats_ns: Histogram,
+    /// Exact tail-latency quantiles (reservoir sample) for the hottest
+    /// variant, `Update` — the histogram above answers "which order of
+    /// magnitude", this answers p99 vs p999.
+    pub update_tail_ns: Reservoir,
     /// Whole-replay wall time during recovery, nanoseconds.
     pub replay_ns: Histogram,
     /// Records replayed during recovery.
@@ -88,6 +92,7 @@ impl SessionObs {
             remove_ns: registry.histogram("session.serve.remove_pool_tuple_ns"),
             undo_ns: registry.histogram("session.serve.undo_ns"),
             stats_ns: registry.histogram("session.serve.stats_ns"),
+            update_tail_ns: registry.reservoir("session.serve.update_tail_ns"),
             replay_ns: registry.histogram("wal.replay_ns"),
             replay_records: registry.counter("wal.replay.records"),
             checkpoints: registry.counter("session.checkpoints"),
@@ -99,6 +104,11 @@ impl SessionObs {
             tracer: registry.tracer(),
         }
     }
+
+    /// [`SessionObs::variant_index`] of [`crate::SessionRequest::Update`]
+    /// — the variant whose latency also feeds
+    /// [`SessionObs::update_tail_ns`].
+    pub const UPDATE_VARIANT: usize = 2;
 
     /// The latency-histogram index for one request variant.  Split from
     /// [`SessionObs::variant_hist_at`] so `serve` can pick the histogram

@@ -67,6 +67,22 @@ impl std::fmt::Display for DispatchError {
 
 impl std::error::Error for DispatchError {}
 
+/// The dispatcher shard a session routes to when dispatch is partitioned
+/// `shards` ways: FNV-1a 64 of the session name, reduced mod `shards`.
+///
+/// The hash is part of the sharding contract: it is stable across runs,
+/// platforms, and shard-count changes (only the final reduction moves),
+/// so a session's WAL, once written by shard `i`, is found by the same
+/// arithmetic on the next boot.  `shards == 0` is treated as 1.
+pub fn shard_of(session: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in session.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
 /// A set of named sessions over one component-family type.
 ///
 /// Every service carries a [`Registry`] (live by default; swap in
@@ -374,5 +390,152 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
             .collect();
         self.dispatch_ns.stop(timer);
         answers
+    }
+
+    /// Partition the service into `shards` independently owned services,
+    /// routing each session to [`shard_of`]`(name, shards)`.
+    ///
+    /// Shard 0 keeps this service's registry — with every instrument
+    /// name ever registered on it — so `split(1)` is an identity and the
+    /// union of the shard registries' name sets equals the unsharded
+    /// set.  Sessions landing on other shards are rebound to that
+    /// shard's fresh registry, so concurrent dispatchers never contend
+    /// on one another's counter cache lines.  [`Service::merge`] is the
+    /// inverse (up to registry aggregation).
+    pub fn split(mut self, shards: usize) -> Vec<Service<F>> {
+        if shards <= 1 {
+            return vec![self];
+        }
+        let mut parts: Vec<Service<F>> = Vec::with_capacity(shards);
+        parts.push(Service::with_registry(self.registry.clone()));
+        for _ in 1..shards {
+            parts.push(Service::new());
+        }
+        for (name, mut session) in std::mem::take(&mut self.sessions) {
+            let i = shard_of(&name, shards);
+            if i != 0 {
+                session.bind_registry(parts[i].registry());
+            }
+            parts[i].sessions.insert(name, session);
+        }
+        parts
+    }
+
+    /// Fold shard services back into one: sessions move into the first
+    /// shard's service (rebound to its registry) and every other shard's
+    /// metric values are [absorbed](Registry::absorb) into it — counters
+    /// add, gauges keep the maximum, histogram buckets add, reservoir
+    /// samples re-enter the sample.  With `parts` from
+    /// [`Service::split`], the merged registry is the original one,
+    /// holding service-wide aggregates again.
+    ///
+    /// # Panics
+    /// When two shards host a session of the same name (impossible for
+    /// `parts` produced by [`Service::split`]).
+    pub fn merge(parts: Vec<Service<F>>) -> Service<F> {
+        let mut it = parts.into_iter();
+        let Some(mut target) = it.next() else {
+            return Service::new();
+        };
+        for part in it {
+            target.registry.absorb(&part.registry.snapshot());
+            for (name, mut session) in part.sessions {
+                session.bind_registry(&target.registry);
+                let prev = target.sessions.insert(name.clone(), session);
+                assert!(prev.is_none(), "shards must not share session {name:?}");
+            }
+        }
+        target
+    }
+}
+
+/// [`Service`] dispatch partitioned across shard-owned services — the
+/// in-process model of the sharded TCP server's dispatcher pool, and the
+/// determinism baseline its tests compare against.
+///
+/// Requests route to [`shard_of`]`(session, N)`; each shard runs its
+/// sub-batch through its own [`Service::dispatch`] (group commit and
+/// per-session ordering included) on its own thread, and the results are
+/// stitched back into batch positions.  Sessions never move between
+/// shards, and a session's requests keep batch order, so the result
+/// vector — and every session's WAL bytes — is **byte-identical to
+/// unsharded dispatch at any shard count**.
+pub struct ShardedService<F: ComponentFamily + Send + Sync> {
+    shards: Vec<Service<F>>,
+}
+
+impl<F: ComponentFamily + Send + Sync> ShardedService<F> {
+    /// Partition `service` into `shards` dispatch shards (see
+    /// [`Service::split`]).
+    pub fn new(service: Service<F>, shards: usize) -> ShardedService<F> {
+        ShardedService {
+            shards: service.split(shards),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard services, in shard order (shard 0 first).
+    pub fn shards(&self) -> &[Service<F>] {
+        &self.shards
+    }
+
+    /// Fold the shards back into one service ([`Service::merge`]).
+    pub fn into_service(self) -> Service<F> {
+        Service::merge(self.shards)
+    }
+
+    /// [`Service::dispatch`], fanned across the shards: each shard's
+    /// sub-batch runs concurrently on its own thread, results return in
+    /// batch order, byte-identical to unsharded dispatch (see the type
+    /// docs).
+    pub fn dispatch(
+        &mut self,
+        batch: Vec<(String, SessionRequest)>,
+    ) -> Vec<Result<SessionResponse, DispatchError>> {
+        let n = self.shards.len().max(1);
+        let total = batch.len();
+        let mut sub: Vec<Vec<(usize, String, SessionRequest)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (pos, (name, req)) in batch.into_iter().enumerate() {
+            let i = shard_of(&name, n);
+            sub[i].push((pos, name, req));
+        }
+        let mut out: Vec<Option<Result<SessionResponse, DispatchError>>> =
+            (0..total).map(|_| None).collect();
+        type ShardResults = Vec<(Vec<usize>, Vec<Result<SessionResponse, DispatchError>>)>;
+        let results: ShardResults = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(sub)
+                .map(|(service, items)| {
+                    scope.spawn(move || {
+                        let mut positions = Vec::with_capacity(items.len());
+                        let mut shard_batch = Vec::with_capacity(items.len());
+                        for (pos, name, req) in items {
+                            positions.push(pos);
+                            shard_batch.push((name, req));
+                        }
+                        (positions, service.dispatch(shard_batch))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard dispatch panicked"))
+                .collect()
+        });
+        for (positions, answers) in results {
+            for (pos, answer) in positions.into_iter().zip(answers) {
+                out[pos] = Some(answer);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every batch position answered"))
+            .collect()
     }
 }

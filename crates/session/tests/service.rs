@@ -238,6 +238,80 @@ fn pool_edits_patch_the_space_and_invalidate_the_cache() {
     assert_rejected(&mut s, SessionRequest::Undo, "Catalog::EmptyHistory");
 }
 
+#[test]
+fn endo_cache_survives_removal_by_id_remapping() {
+    let registry = compview_obs::Registry::new();
+    let mut s = open(SessionConfig {
+        cross_validate: true,
+        ..SessionConfig::default()
+    });
+    s.bind_registry(&registry);
+    register(&mut s, "r", 0b01);
+    // Warm the cache (the register path cached the view's mask and its
+    // complement), then pin the counters.
+    s.serve(SessionRequest::Read { view: "r".into() }).unwrap();
+    let misses = s.stats().cache_misses;
+    let remaps = s.stats().cache_remaps;
+    assert!(misses > 0, "register/read warmed the cache");
+
+    // Removing a2 (absent from the base state) shrinks the space 8 → 4.
+    let SessionResponse::PoolEdited(report) = s
+        .serve(SessionRequest::RemovePoolTuple {
+            relation: "R".into(),
+            tuple: Tuple::new([v("a2")]),
+        })
+        .unwrap()
+    else {
+        panic!("pool edit returns a report");
+    };
+    assert_eq!((report.states_before, report.states_after), (8, 4));
+
+    // Both cached masks were carried across the removal by id-remapping
+    // (not cleared): the next read is a hit, not a recomputation.
+    assert_eq!(s.stats().cache_remaps, remaps + 2);
+    let hits = s.stats().cache_hits;
+    s.serve(SessionRequest::Read { view: "r".into() }).unwrap();
+    assert_eq!(
+        s.stats().cache_misses,
+        misses,
+        "read after removal reused the cache"
+    );
+    assert_eq!(s.stats().cache_hits, hits + 1);
+    // The service-wide `session.cache.*` counters tell the same story.
+    let snap = registry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, value)| *value)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("session.cache.remaps"), s.stats().cache_remaps);
+    assert_eq!(counter("session.cache.misses"), s.stats().cache_misses);
+    assert_eq!(counter("session.cache.hits"), s.stats().cache_hits);
+
+    // The remapped session reads exactly what a twin that recomputed
+    // from scratch reads (the full-rebuild path clears its cache).
+    let mut twin = open(SessionConfig {
+        incremental: false,
+        ..SessionConfig::default()
+    });
+    register(&mut twin, "r", 0b01);
+    twin.serve(SessionRequest::Read { view: "r".into() })
+        .unwrap();
+    twin.serve(SessionRequest::RemovePoolTuple {
+        relation: "R".into(),
+        tuple: Tuple::new([v("a2")]),
+    })
+    .unwrap();
+    assert_eq!(
+        s.serve(SessionRequest::Read { view: "r".into() }).unwrap(),
+        twin.serve(SessionRequest::Read { view: "r".into() })
+            .unwrap()
+    );
+    assert_eq!(s.space().states(), twin.space().states());
+}
+
 // -------------------------------------------------- failure paths, typed
 
 #[test]
@@ -681,6 +755,80 @@ fn dispatch_is_deterministic_across_thread_counts() {
     for threads in [2, 8] {
         let other = with_threads(threads, run);
         assert_eq!(base, other, "threads = {threads}");
+    }
+}
+
+#[test]
+fn sharded_dispatch_is_byte_identical_to_unsharded() {
+    let build = || {
+        let mut svc: Service<SubschemaComponents> = Service::new();
+        for name in ["alpha", "beta", "gamma"] {
+            svc.add_session(name, open(SessionConfig::default()))
+                .unwrap();
+        }
+        svc
+    };
+    let mut baseline = build();
+    let expect = baseline.dispatch(demo_batch());
+    let expect_states: Vec<Instance> = ["alpha", "beta", "gamma"]
+        .iter()
+        .map(|n| baseline.session(n).unwrap().state().clone())
+        .collect();
+    let base_snap = baseline.registry().snapshot();
+    let counter = |snap: &compview_obs::MetricsSnapshot, name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, value)| *value)
+            .unwrap_or(0)
+    };
+
+    for shards in [1usize, 2, 8] {
+        let mut sharded = compview_session::ShardedService::new(build(), shards);
+        assert_eq!(sharded.shard_count(), shards);
+        let got = sharded.dispatch(demo_batch());
+        assert_eq!(got, expect, "shards = {shards}");
+
+        // Folding the shards back yields the same sessions, states, and
+        // service-wide session counters as the unsharded run.
+        let merged = sharded.into_service();
+        assert_eq!(
+            merged.session_names().collect::<Vec<_>>(),
+            vec!["alpha", "beta", "gamma"]
+        );
+        for (name, want) in ["alpha", "beta", "gamma"].iter().zip(&expect_states) {
+            assert_eq!(merged.session(name).unwrap().state(), want);
+        }
+        let snap = merged.registry().snapshot();
+        assert_eq!(
+            snap.content_ordering(),
+            base_snap.content_ordering(),
+            "shards = {shards}"
+        );
+        for name in [
+            "session.requests",
+            "session.accepted",
+            "session.rejected",
+            "session.cache.hits",
+            "session.cache.misses",
+            "session.cache.remaps",
+        ] {
+            assert_eq!(
+                counter(&snap, name),
+                counter(&base_snap, name),
+                "{name} at shards = {shards}"
+            );
+        }
+    }
+
+    // The routing hash is pinned: stable across runs and platforms.
+    use compview_session::shard_of;
+    assert_eq!(shard_of("alpha", 1), 0);
+    assert_eq!(shard_of("", 4), shard_of("", 4));
+    for name in ["alpha", "beta", "gamma", "orders"] {
+        for shards in [1usize, 2, 4, 8] {
+            assert!(shard_of(name, shards) < shards);
+        }
     }
 }
 

@@ -9,7 +9,13 @@
 //! the session codec's bytes, so what a client receives is byte-for-byte
 //! what an in-process `dispatch` would have returned.
 //!
-//! Run with: `cargo run --example serve`
+//! Dispatch is sharded: `--shards N` (default 1) runs N dispatcher
+//! threads, sessions hash-partitioned by name, so independent sessions
+//! dispatch on independent cores while each connection still receives
+//! its answers in request order.  Responses and WAL bytes are identical
+//! at every shard count.
+//!
+//! Run with: `cargo run --example serve -- --shards 4`
 
 use compview::core::SubschemaComponents;
 use compview::logic::Schema;
@@ -19,6 +25,21 @@ use compview::session::{Service, SessionConfig, SessionRequest, SessionResponse,
 use std::collections::BTreeMap;
 
 fn main() {
+    let mut shards = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--shards takes a positive integer");
+            }
+            other => panic!("unknown argument {other:?} (supported: --shards N)"),
+        }
+    }
+
     let dir = std::env::temp_dir().join(format!("compview-serve-example-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 
@@ -58,10 +79,14 @@ fn main() {
         )
         .unwrap();
 
-    // 2. Put it behind a TCP server on an ephemeral port.
-    let server = Server::bind("127.0.0.1:0", service).unwrap();
+    // 2. Put it behind a TCP server on an ephemeral port, dispatch
+    //    sharded across `--shards` dispatcher threads.
+    let server = Server::bind_sharded("127.0.0.1:0", service, shards).unwrap();
     let addr = server.local_addr();
-    println!("serving on {addr}");
+    println!(
+        "serving on {addr} with {} dispatcher shard(s)",
+        server.shard_count()
+    );
 
     // 3. A client registers a view, pipelines a burst of updates (the
     //    server groups whatever arrives together into one batch — one

@@ -2,14 +2,14 @@
 # Run the headline Criterion targets (chase, partition_lattice,
 # translate_scaling, incremental maintenance, session serving, WAL
 # append throughput + group commit + recovery latency, wire protocol,
-# instrumentation overhead enabled vs no-op)
-# and collect the vendored harness's machine-readable result lines
-# ("compview-bench: {...}") into BENCH_PR5.json.
+# sharded-dispatcher shard-count sweep, instrumentation overhead
+# enabled vs no-op) and collect the vendored harness's machine-readable
+# result lines ("compview-bench: {...}") into BENCH_PR6.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
-TARGETS=(chase partition_lattice translate_scaling incremental session wal serve obs)
+OUT="${1:-BENCH_PR6.json}"
+TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs)
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

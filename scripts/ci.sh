@@ -37,6 +37,13 @@ echo "==> cargo test -p compview-serve (wire codec + loopback server)"
 cargo test -q -p compview-serve
 cargo test -q -p compview-serve --test loopback
 
+# The sharded dispatcher's contract is the same byte-identity at 1, 2,
+# and 8 dispatcher shards — responses, per-session WAL files, and
+# post-batch-consistent metrics snapshots (proptested random
+# interleavings with pipelined probes included).
+echo "==> cargo test -p compview-serve --test sharded (sharded dispatcher)"
+cargo test -q -p compview-serve --test sharded
+
 echo "==> cargo build --example session --example recovery --example serve --benches"
 cargo build --example session --example recovery --example serve
 cargo build --benches -p compview-bench
