@@ -1,0 +1,187 @@
+//! E16: delta subscriptions — fan-out latency and push-vs-poll wire
+//! cost.
+//!
+//! `fanout/subs_N` measures one committed `Update` fanning out to N
+//! subscribed connections: the writer waits for its commit reply, then
+//! every subscriber blocks until its delta event arrives.  Mean divided
+//! by N is the per-subscriber delivery cost; N divided by the mean is
+//! events per second at that fan-out.
+//!
+//! The `subs/bytes/*` result lines are not timings: they price one
+//! *change observed by N subscribers* on the wire, in bytes, under the
+//! two regimes the subsystem replaces and provides.  Polling pays a
+//! `Read` request plus a full-image response per subscriber per probe —
+//! even when nothing changed.  Push pays one delta event frame per
+//! subscriber, only on change.
+
+use compview_bench::header;
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_relation::{v, Instance, RelDecl, Signature, Tuple};
+use compview_serve::proto::{encode_event_payload, encode_request_payload, FRAME_HEADER};
+use compview_serve::{Client, Server};
+use compview_session::sub::{DeltaEvent, DeltaKind};
+use compview_session::{Service, Session, SessionConfig, SessionRequest, SessionResponse};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["B"])])
+}
+
+/// A row wide enough to look like a record, not a token: the poll/push
+/// byte comparison depends on image size versus delta size, so rows
+/// carry an 80-byte payload.
+fn row(i: usize) -> Tuple {
+    Tuple::new([v(&format!("a{i}:{:078}", i))])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        ("R".to_owned(), (0..5).map(row).collect()),
+        (
+            "S".to_owned(),
+            (0..3).map(|i| Tuple::new([v(&format!("b{i}"))])).collect(),
+        ),
+    ]
+    .into()
+}
+
+/// One session, view `r` registered — the same 256-state space as the
+/// `serve` bench (5 + 3 pool bits), but with wide rows.
+fn demo_service() -> Service<SubschemaComponents> {
+    let sig = sig();
+    let mut session = Session::open(
+        SubschemaComponents::singletons(sig.clone()),
+        Schema::unconstrained(sig.clone()),
+        &pools(),
+        Instance::null_model(&sig).with(
+            "R",
+            compview_relation::Relation::from_tuples(1, vec![row(0)]),
+        ),
+        SessionConfig::default(),
+    )
+    .unwrap();
+    session
+        .serve(SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b01,
+        })
+        .unwrap();
+    let mut svc = Service::new();
+    svc.add_session("w", session).unwrap();
+    svc
+}
+
+/// The two states the writer flips between: a one-row delta each way,
+/// over a three-to-four-row image.
+fn states() -> (Instance, Instance) {
+    let a = Instance::null_model(&sig()).with(
+        "R",
+        compview_relation::Relation::from_tuples(1, (0..3).map(row).collect::<Vec<_>>()),
+    );
+    let b = Instance::null_model(&sig()).with(
+        "R",
+        compview_relation::Relation::from_tuples(1, (0..4).map(row).collect::<Vec<_>>()),
+    );
+    (a, b)
+}
+
+fn bench_subs(c: &mut Criterion) {
+    header(
+        "E16",
+        "delta subscriptions: fan-out latency, push vs poll bytes",
+    );
+    let mut group = c.benchmark_group("subs");
+    let (state_a, state_b) = states();
+
+    for n in [1usize, 8, 64] {
+        let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
+        let mut writer = Client::connect(server.local_addr()).unwrap();
+        let mut subscribers: Vec<Client> = (0..n)
+            .map(|_| {
+                let mut cl = Client::connect(server.local_addr()).unwrap();
+                cl.subscribe("w", "r").unwrap().unwrap();
+                cl
+            })
+            .collect();
+        let mut flip = false;
+        group.bench_function(format!("fanout/subs_{n}"), |bch| {
+            bch.iter(|| {
+                flip = !flip;
+                let state = if flip { &state_b } else { &state_a };
+                let reply = writer
+                    .request(
+                        "w",
+                        &SessionRequest::Update {
+                            view: "r".into(),
+                            new_state: state.clone(),
+                        },
+                    )
+                    .unwrap();
+                assert!(reply.is_ok(), "{reply:?}");
+                for cl in &mut subscribers {
+                    black_box(cl.next_event().unwrap());
+                }
+            })
+        });
+        drop(subscribers);
+        drop(writer);
+        server.shutdown();
+    }
+
+    // Wire cost of one observed change, in bytes.  Poll: each subscriber
+    // sends a `Read` and receives the full image.  Push: each subscriber
+    // receives one delta event frame, unasked.
+    {
+        let read_req = encode_request_payload("w", &SessionRequest::Read { view: "r".into() });
+        let read_resp = compview_serve::proto::encode_result_payload(&Ok(SessionResponse::State(
+            state_b.clone(),
+        )));
+        let event = encode_event_payload(
+            "w",
+            &DeltaEvent {
+                sub: 1,
+                view: "r".into(),
+                seq: 1,
+                kind: DeltaKind::Rows {
+                    added: Instance::null_model(&sig()).with(
+                        "R",
+                        compview_relation::Relation::from_tuples(1, vec![row(3)]),
+                    ),
+                    removed: Instance::null_model(&sig()),
+                },
+            },
+        );
+        let poll_one = 2 * FRAME_HEADER + read_req.len() + read_resp.len();
+        let push_one = FRAME_HEADER + event.len();
+        for n in [1usize, 8, 64] {
+            println!(
+                "{} {{\"id\":\"subs/bytes/poll_subs_{n}\",\"bytes\":{}}}",
+                criterion::RESULT_PREFIX,
+                poll_one * n
+            );
+            println!(
+                "{} {{\"id\":\"subs/bytes/push_subs_{n}\",\"bytes\":{}}}",
+                criterion::RESULT_PREFIX,
+                push_one * n
+            );
+        }
+        assert!(
+            push_one < poll_one,
+            "push ({push_one} B) must undercut polling ({poll_one} B) per subscriber"
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_subs
+}
+criterion_main!(benches);

@@ -4,13 +4,25 @@
 //! the whole point of the server's dispatcher — use [`Client::send`] to
 //! pipeline many requests and [`Client::recv`] to collect the responses:
 //! the server answers one connection's requests strictly in order.
+//!
+//! # Delta events
+//!
+//! Once a `Subscribe` request is answered, the server interleaves
+//! unsolicited event frames into the stream.  The client sorts arrivals
+//! into an inbox: [`Client::recv`] returns the next *response* (parking
+//! any events it reads past), [`Client::next_event`] returns the next
+//! *event* (parking responses), and [`Client::recv_message`] returns
+//! whatever comes next, preserving the server's interleaving.  A client
+//! that never subscribes never sees an event and can ignore all of this.
 
 use crate::proto::{
-    decode_metrics_response_payload, decode_result_payload, encode_metrics_request_payload,
-    encode_request_payload, expect_handshake, read_frame, send_handshake, write_frame, ProtoError,
+    decode_event_payload, decode_metrics_response_payload, decode_result_payload,
+    encode_metrics_request_payload, encode_request_payload, expect_handshake, is_event_payload,
+    read_frame, send_handshake, write_frame, ProtoError,
 };
 use compview_obs::MetricsSnapshot;
-use compview_session::{DispatchError, SessionRequest, SessionResponse};
+use compview_session::{DeltaEvent, DispatchError, SessionRequest, SessionResponse};
+use std::collections::VecDeque;
 use std::io::{self, ErrorKind};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -18,9 +30,32 @@ use std::net::{TcpStream, ToSocketAddrs};
 /// `Result`, exactly what `Service::dispatch` produced on the far side).
 pub type WireResult = Result<SessionResponse, DispatchError>;
 
+/// One arrival off the wire, in server order.
+#[derive(Debug)]
+pub enum ServerMessage {
+    /// The answer to the connection's oldest unanswered request.
+    Reply(WireResult),
+    /// An unsolicited delta event, tagged with its owning session.
+    Event {
+        /// The session the subscription lives in.
+        session: String,
+        /// The event itself.
+        event: DeltaEvent,
+    },
+}
+
+/// An inbox entry: events are decoded eagerly (to classify them),
+/// solicited payloads lazily (the consumer knows whether it expects a
+/// result or a metrics snapshot).
+enum Arrival {
+    Event(String, DeltaEvent),
+    Solicited(Vec<u8>),
+}
+
 /// A blocking connection to a [`crate::Server`].
 pub struct Client {
     stream: TcpStream,
+    inbox: VecDeque<Arrival>,
 }
 
 impl Client {
@@ -32,7 +67,10 @@ impl Client {
         let _ = stream.set_nodelay(true);
         send_handshake(&mut stream)?;
         expect_handshake(&mut stream)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            inbox: VecDeque::new(),
+        })
     }
 
     /// Send one request without waiting for its response (pipelining).
@@ -42,19 +80,89 @@ impl Client {
         write_frame(&mut self.stream, &encode_request_payload(session, req))
     }
 
-    /// Receive the next response.
+    /// Read one frame off the wire and classify it.
+    fn read_arrival(&mut self, owed: &str) -> Result<Arrival, ProtoError> {
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ProtoError::Io(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                format!("server closed the connection with {owed} still owed"),
+            ))
+        })?;
+        if is_event_payload(&payload) {
+            let (session, event) = decode_event_payload(&payload)?;
+            Ok(Arrival::Event(session, event))
+        } else {
+            Ok(Arrival::Solicited(payload))
+        }
+    }
+
+    /// The next solicited payload, parking events read past.
+    fn next_solicited(&mut self, owed: &str) -> Result<Vec<u8>, ProtoError> {
+        if let Some(at) = self
+            .inbox
+            .iter()
+            .position(|a| matches!(a, Arrival::Solicited(_)))
+        {
+            let Some(Arrival::Solicited(payload)) = self.inbox.remove(at) else {
+                unreachable!("position() found a solicited arrival");
+            };
+            return Ok(payload);
+        }
+        loop {
+            match self.read_arrival(owed)? {
+                Arrival::Solicited(payload) => return Ok(payload),
+                event => self.inbox.push_back(event),
+            }
+        }
+    }
+
+    /// Receive the next response, parking any delta events that arrive
+    /// first (collect those with [`Client::next_event`]).
     ///
     /// # Errors
     /// [`ProtoError::Io`] with [`ErrorKind::UnexpectedEof`] when the
     /// server hung up with responses still owed.
     pub fn recv(&mut self) -> Result<WireResult, ProtoError> {
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            ProtoError::Io(io::Error::new(
-                ErrorKind::UnexpectedEof,
-                "server closed the connection with a response still owed",
-            ))
-        })?;
+        let payload = self.next_solicited("a response")?;
         Ok(decode_result_payload(&payload)?)
+    }
+
+    /// Receive the next delta event, parking any responses that arrive
+    /// first.  Blocks until an event arrives — only call this when one
+    /// is owed (the stream of a live subscription after a mutation) or
+    /// expected eventually.
+    pub fn next_event(&mut self) -> Result<(String, DeltaEvent), ProtoError> {
+        if let Some(at) = self
+            .inbox
+            .iter()
+            .position(|a| matches!(a, Arrival::Event(_, _)))
+        {
+            let Some(Arrival::Event(session, event)) = self.inbox.remove(at) else {
+                unreachable!("position() found an event arrival");
+            };
+            return Ok((session, event));
+        }
+        loop {
+            match self.read_arrival("an event")? {
+                Arrival::Event(session, event) => return Ok((session, event)),
+                solicited => self.inbox.push_back(solicited),
+            }
+        }
+    }
+
+    /// Receive whatever the server sent next — response or event — in
+    /// exact server order.  Responses are decoded as dispatch outcomes;
+    /// pair metrics probes with [`Client::recv_metrics`] instead of
+    /// interleaving them through this call.
+    pub fn recv_message(&mut self) -> Result<ServerMessage, ProtoError> {
+        let arrival = match self.inbox.pop_front() {
+            Some(a) => a,
+            None => self.read_arrival("a frame")?,
+        };
+        Ok(match arrival {
+            Arrival::Event(session, event) => ServerMessage::Event { session, event },
+            Arrival::Solicited(payload) => ServerMessage::Reply(decode_result_payload(&payload)?),
+        })
     }
 
     /// Send one request and wait for its response.
@@ -75,19 +183,15 @@ impl Client {
         write_frame(&mut self.stream, &encode_metrics_request_payload())
     }
 
-    /// Receive the response to a [`Client::send_metrics`].
+    /// Receive the response to a [`Client::send_metrics`], parking delta
+    /// events read past.
     ///
     /// # Errors
     /// As [`Client::recv`], plus [`ProtoError::Metrics`] when the frame
     /// does not hold a valid metrics snapshot (e.g. the next owed
     /// response was for an ordinary request — calls must pair up).
     pub fn recv_metrics(&mut self) -> Result<MetricsSnapshot, ProtoError> {
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            ProtoError::Io(io::Error::new(
-                ErrorKind::UnexpectedEof,
-                "server closed the connection with a metrics response still owed",
-            ))
-        })?;
+        let payload = self.next_solicited("a metrics response")?;
         Ok(decode_metrics_response_payload(&payload)?)
     }
 
@@ -95,5 +199,32 @@ impl Client {
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ProtoError> {
         self.send_metrics()?;
         self.recv_metrics()
+    }
+
+    /// Open a subscription on `session`/`view`: sends the `Subscribe`
+    /// request and waits for the `Subscribed` response, returning the
+    /// subscription id and the full image at sequence 0.  Delta events
+    /// then arrive via [`Client::next_event`].
+    pub fn subscribe(
+        &mut self,
+        session: &str,
+        view: &str,
+    ) -> Result<Result<(u64, compview_relation::Instance), DispatchError>, ProtoError> {
+        let outcome = self.request(
+            session,
+            &SessionRequest::Subscribe {
+                view: view.to_string(),
+            },
+        )?;
+        Ok(match outcome {
+            Ok(SessionResponse::Subscribed { sub, image, .. }) => Ok((sub, image)),
+            Ok(other) => {
+                return Err(ProtoError::Io(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("expected a Subscribed response, got {other:?}"),
+                )))
+            }
+            Err(e) => Err(e),
+        })
     }
 }

@@ -30,6 +30,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, WireResult};
+pub use client::{Client, ServerMessage, WireResult};
 pub use proto::{ProtoError, HANDSHAKE, MAX_FRAME};
-pub use server::Server;
+pub use server::{ServeOptions, Server};

@@ -45,6 +45,18 @@ pub const FRAME_HEADER: usize = 4 + 4;
 /// answered in per-connection FIFO order like every other request.
 pub const KIND_METRICS: u8 = 3;
 
+/// Marker byte of a server-push **delta event** frame.
+///
+/// Event frames are unsolicited: once a `Subscribe` request is answered,
+/// the server interleaves `[KIND_EVENT] ++ str session ++ event` frames
+/// into the connection's response stream.  They cannot collide with
+/// result payloads (those open with `KIND_RESPONSE` = 2) or metrics
+/// responses ([`KIND_METRICS`]).  Ordering contract: a subscription's
+/// events arrive after its `Subscribed` response, in sequence order,
+/// with no gaps; after an `Unsubscribed` response or a terminal event,
+/// no further frames carry that subscription id.
+pub const KIND_EVENT: u8 = 4;
+
 /// Why a connection's byte stream was refused.
 #[derive(Debug)]
 pub enum ProtoError {
@@ -269,6 +281,45 @@ pub fn decode_metrics_response_payload(
         Some((&other, _)) => Err(DecodeMetricsError::BadVersion(other)),
         None => Err(DecodeMetricsError::TooShort),
     }
+}
+
+/// Encode an event frame payload: the owning session's name, then the
+/// event in its canonical binary form.
+pub fn encode_event_payload(session: &str, event: &compview_session::DeltaEvent) -> Vec<u8> {
+    let mut out = vec![KIND_EVENT];
+    binio::put_str(&mut out, session);
+    compview_session::sub::encode_event_into(&mut out, event);
+    out
+}
+
+/// Decode an event frame payload (inverse of [`encode_event_payload`]).
+///
+/// # Errors
+/// [`DecodeError`] when the marker byte is wrong, the payload is
+/// truncated or malformed, or trailing bytes follow the event.
+pub fn decode_event_payload(
+    payload: &[u8],
+) -> Result<(String, compview_session::DeltaEvent), DecodeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8()?;
+    if kind != KIND_EVENT {
+        return Err(DecodeError::BadTag { at: 0, tag: kind });
+    }
+    let session = d.str()?;
+    let event = compview_session::sub::decode_event_from(&mut d)?;
+    if !d.is_done() {
+        return Err(DecodeError::BadLength {
+            at: d.pos(),
+            len: d.remaining() as u64,
+        });
+    }
+    Ok((session, event))
+}
+
+/// Whether a sound frame from the server is an event frame (vs a result
+/// or metrics response) — the one-byte peek clients use to route.
+pub fn is_event_payload(payload: &[u8]) -> bool {
+    payload.first() == Some(&KIND_EVENT)
 }
 
 /// Encode a response frame payload: one dispatch outcome in its

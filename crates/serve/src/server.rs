@@ -1,12 +1,13 @@
 //! The threaded TCP front end: concurrent connections, a sharded pool of
-//! deterministic batch dispatchers.
+//! deterministic batch dispatchers, and a push path for delta
+//! subscriptions.
 //!
 //! # Architecture
 //!
 //! ```text
 //! conn 1 ──reader──┐   ┌─► shard queue 0 ──dispatcher 0─► Service part 0 ─┐
 //! conn 2 ──reader──┼──►┤                                                  ├─► per-conn
-//! conn 3 ──reader──┘   └─► shard queue 1 ──dispatcher 1─► Service part 1 ─┘   sequencer
+//! conn 3 ──reader──┘   └─► shard queue 1 ──dispatcher 1─► Service part 1 ─┘   writer
 //! ```
 //!
 //! One reader thread per connection decodes frames and pushes each
@@ -16,22 +17,47 @@
 //! [`Service`] partition; each time it wakes it drains *its whole queue*
 //! as one batch, runs [`Service::dispatch`] (which fans that shard's
 //! sessions across the worker pool and group-commits each touched log
-//! with a single fsync), and hands the responses to the **response
-//! sequencer**.  Sessions never move between shards, so per-session WAL
-//! bytes and responses are byte-identical to a single-dispatcher server
-//! — only the parallelism changes.
+//! with a single fsync), drains the delta events the batch committed,
+//! and hands both to the per-connection **writer**.  Sessions never move
+//! between shards, so per-session WAL bytes and responses are
+//! byte-identical to a single-dispatcher server — only the parallelism
+//! changes.
 //!
 //! # Ordering
 //!
 //! Within one connection, responses go out in request order even though
 //! different requests may be answered by different shards: the reader
 //! stamps every request with a per-connection sequence number, and the
-//! sequencer holds each finished response until all lower-numbered ones
-//! have been written.  Across connections no order is promised (none
-//! exists to preserve).  Because `Service::dispatch` serves each
-//! session's queue sequentially and deterministically, how arrivals
-//! split into batches — or across shards — can never change any
-//! response, only how many fsyncs amortise.
+//! writer's reorder buffer holds each finished response until all
+//! lower-numbered ones have been queued.  Across connections no order is
+//! promised (none exists to preserve).
+//!
+//! Delta-event frames are unsolicited and carry no sequence number;
+//! their ordering contract is per subscription: every event goes out
+//! **after** the `Subscribed` response that opened the stream, in
+//! session-commit order with consecutive event sequences, and **never
+//! after** the `Unsubscribed` response or a terminal event.  Two rules
+//! enforce this.  First, a dispatcher delivers a batch's events *before*
+//! the batch's responses — any event it drained was committed by a
+//! request dispatched no later than an `Unsubscribe` answered in the
+//! same batch.  Second, events for a subscription whose `Subscribed`
+//! response is still waiting in the reorder buffer are **parked**, and
+//! released the moment that response is queued to the wire — so a
+//! subscribe pipelined with the updates that follow it still yields a
+//! well-formed stream.
+//!
+//! # Slow consumers
+//!
+//! Each connection has one writer thread; a peer that stops reading
+//! blocks its writer on the socket, never a dispatcher.  Undelivered
+//! event frames queue per subscription up to
+//! [`ServeOptions::event_outbox_cap`]; one past the cap, the server ends
+//! the stream — the overflowing event is replaced by a cap-exempt
+//! `Terminated(SlowConsumer)` event queued behind the frames already
+//! owed, so the delivered prefix stays gapless — and the subscription is
+//! removed from the session (`serve.sub.slow_drops` counts these).  Responses are never dropped — a client that pipelines
+//! requests and reads nothing owes the transport that memory; the cap
+//! bounds only the unsolicited stream.
 //!
 //! # Metrics across shards
 //!
@@ -45,18 +71,46 @@
 //! snapshot it returns is post-batch consistent per shard.
 
 use crate::proto::{
-    decode_wire_request, encode_metrics_response_payload, encode_result_payload, expect_handshake,
-    read_frame, send_handshake, write_frame, WireRequest,
+    decode_wire_request, encode_event_payload, encode_metrics_response_payload,
+    encode_result_payload, expect_handshake, read_frame, send_handshake, write_frame, WireRequest,
 };
 use compview_core::ComponentFamily;
 use compview_obs::{Counter, Gauge, MetricsSnapshot, Registry};
-use compview_session::{shard_of, Service, SessionRequest};
-use std::collections::{BTreeMap, VecDeque};
+use compview_session::{
+    shard_of, DeltaEvent, DeltaKind, Service, SessionRequest, SessionResponse, TerminateReason,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Tuning knobs for [`Server::bind_with`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Dispatcher shard count (0 is treated as 1); see
+    /// [`Server::bind_sharded`].
+    pub shards: usize,
+    /// Undelivered delta-event frames one subscription may queue before
+    /// the server declares its consumer slow and drops the subscription
+    /// with a terminal `SlowConsumer` event.
+    pub event_outbox_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            shards: 1,
+            event_outbox_cap: 1024,
+        }
+    }
+}
+
+/// A subscription's server-side identity: owning session plus the
+/// session-scoped subscription id (ids are never reused within a
+/// session, so a key never aliases a dead stream).
+type SubKey = (String, u64);
 
 /// One item on a shard's queue.
 enum Item {
@@ -75,6 +129,9 @@ enum Item {
         seq: u64,
         left: Arc<AtomicUsize>,
     },
+    /// A connection died (enqueued on *every* shard): drop its
+    /// subscriptions from the sessions so they stop publishing.
+    Cancel { conn: u64 },
 }
 
 /// Server-side instruments, registered on shard 0's [`Registry`] (the
@@ -86,8 +143,13 @@ struct ServeObs {
     connections: Counter,
     /// Request frames decoded off the wire.
     frames_in: Counter,
-    /// Response frames written to the wire.
+    /// Frames written to the wire (responses and events alike).
     frames_out: Counter,
+    /// Delta-event frames accepted into a connection's outbox.
+    events_out: Counter,
+    /// Subscriptions dropped for falling behind
+    /// ([`ServeOptions::event_outbox_cap`]).
+    slow_drops: Counter,
     /// Frames (or CRC-valid payloads) refused: bad CRC, over-limit
     /// length, torn stream, undecodable payload.  Each costs its
     /// connection.
@@ -102,6 +164,8 @@ impl ServeObs {
             connections: registry.counter("serve.connections"),
             frames_in: registry.counter("serve.frames_in"),
             frames_out: registry.counter("serve.frames_out"),
+            events_out: registry.counter("serve.events_out"),
+            slow_drops: registry.counter("serve.sub.slow_drops"),
             malformed_frames: registry.counter("serve.malformed_frames"),
             queue_depth_hwm: registry.gauge("serve.queue_depth_hwm"),
         }
@@ -114,37 +178,88 @@ struct ShardQueue {
     wake: Condvar,
 }
 
-/// The write half of a connection plus its reorder buffer: responses
-/// finish on whichever dispatcher owned their session, and go out in
-/// request order.
-struct ConnOut {
-    stream: TcpStream,
+/// A side effect a response frame carries into the writer: applied at
+/// the moment the frame leaves the reorder buffer, so route state
+/// changes exactly where the frame lands in the wire order.
+enum RouteChange {
+    /// A `Subscribed` response: start the stream — release any parked
+    /// events right behind this frame.
+    Activate(SubKey),
+    /// An `Unsubscribed` response: the stream is over.
+    Deactivate(SubKey),
+}
+
+/// The outbound half of one connection, owned by its writer thread and
+/// fed by dispatchers.
+struct OutState {
     /// The sequence number the wire expects next.
     next_seq: u64,
     /// Finished responses waiting for their turn, keyed by sequence.
-    pending: BTreeMap<u64, Vec<u8>>,
+    pending: BTreeMap<u64, (Vec<u8>, Option<RouteChange>)>,
+    /// Frames in final wire order, waiting for the writer thread.  The
+    /// tag is the subscription whose outbox budget the frame occupies
+    /// (event frames only).
+    ready: VecDeque<(Vec<u8>, Option<SubKey>)>,
+    /// Subscriptions whose `Subscribed` response has been queued; their
+    /// events go straight to `ready`.
+    active: BTreeSet<SubKey>,
+    /// Event frames awaiting their `Subscribed` response, per
+    /// subscription, with their budget flag.
+    parked: BTreeMap<SubKey, Vec<(Vec<u8>, bool)>>,
+    /// Subscriptions already ended by a parked terminal frame: discard
+    /// anything further, clean up at activation.
+    dead: BTreeSet<SubKey>,
+    /// Undelivered event frames per subscription (parked + ready), the
+    /// count [`ServeOptions::event_outbox_cap`] bounds.
+    queued: BTreeMap<SubKey, usize>,
+    /// Set on connection death and server shutdown; the writer exits,
+    /// producers stop queueing.
+    closed: bool,
 }
 
-/// State shared between the accept loop, the readers, and the
-/// dispatchers.
+/// A connection's outbound mailbox plus the handle other threads use to
+/// tear the socket down (the writer thread writes through its own
+/// clone).
+struct ConnSlot {
+    state: Mutex<OutState>,
+    wake: Condvar,
+    stream: TcpStream,
+}
+
+impl ConnSlot {
+    /// Mark the connection closed and release its writer.
+    fn close(&self) {
+        let mut st = self.state.lock().expect("out state");
+        st.closed = true;
+        st.ready.clear();
+        drop(st);
+        self.wake.notify_all();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// State shared between the accept loop, the readers, the writers, and
+/// the dispatchers.
 struct Shared {
     shards: Vec<ShardQueue>,
     /// Per-shard snapshot gates: held by a dispatcher around
-    /// [`Service::dispatch`], taken by a metrics probe around that
-    /// shard's registry snapshot — so a probe snapshot always lands on a
-    /// batch boundary (and the lock handoff makes the shard's relaxed
-    /// counter writes visible to the prober).
+    /// [`Service::dispatch`] (and the event drain that follows it),
+    /// taken by a metrics probe around that shard's registry snapshot —
+    /// so a probe snapshot always lands on a batch boundary (and the
+    /// lock handoff makes the shard's relaxed counter writes visible to
+    /// the prober).
     snap_gates: Vec<Mutex<()>>,
     /// Per-shard registries, shard 0's being the original service
     /// registry.  Clones of the live registries — valid even after a
     /// dispatcher thread has exited with its service.
     registries: Vec<Registry>,
     stop: AtomicBool,
-    /// Connection write halves + reorder buffers, keyed by connection
-    /// id.  The accept loop inserts; whoever sees a dead connection
-    /// removes.
-    conns: Mutex<BTreeMap<u64, Arc<Mutex<ConnOut>>>>,
+    /// Connection outbound slots, keyed by connection id.  The accept
+    /// loop inserts; whoever sees a dead connection removes.
+    conns: Mutex<BTreeMap<u64, Arc<ConnSlot>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+    event_outbox_cap: usize,
     obs: ServeObs,
 }
 
@@ -161,7 +276,7 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
     /// `service` with a single dispatcher.
     pub fn bind<A: ToSocketAddrs>(addr: A, service: Service<F>) -> io::Result<Server<F>> {
-        Server::bind_sharded(addr, service, 1)
+        Server::bind_with(addr, service, ServeOptions::default())
     }
 
     /// [`Server::bind`] with dispatch sharded across `shards` dispatcher
@@ -174,7 +289,23 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
         service: Service<F>,
         shards: usize,
     ) -> io::Result<Server<F>> {
-        let shards = shards.max(1);
+        Server::bind_with(
+            addr,
+            service,
+            ServeOptions {
+                shards,
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// [`Server::bind`] with every knob explicit.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        service: Service<F>,
+        options: ServeOptions,
+    ) -> io::Result<Server<F>> {
+        let shards = options.shards.max(1);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let parts = service.split(shards);
@@ -190,6 +321,8 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
             stop: AtomicBool::new(false),
             conns: Mutex::new(BTreeMap::new()),
             readers: Mutex::new(Vec::new()),
+            writers: Mutex::new(Vec::new()),
+            event_outbox_cap: options.event_outbox_cap.max(1),
             obs: ServeObs::new(parts[0].registry()),
         });
 
@@ -228,13 +361,9 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
     /// ([`Service::merge`]) — with every session's final state.
     pub fn shutdown(self) -> Service<F> {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Close the sockets out from under the readers…
+        // Close the sockets out from under the readers and writers…
         for slot in self.shared.conns.lock().expect("conns").values() {
-            let _ = slot
-                .lock()
-                .expect("conn out")
-                .stream
-                .shutdown(Shutdown::Both);
+            slot.close();
         }
         // …poke the accept loop awake (it checks `stop` per accept)…
         let _ = TcpStream::connect(self.addr);
@@ -242,6 +371,10 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
         let readers = std::mem::take(&mut *self.shared.readers.lock().expect("readers"));
         for r in readers {
             let _ = r.join();
+        }
+        let writers = std::mem::take(&mut *self.shared.writers.lock().expect("writers"));
+        for w in writers {
+            let _ = w.join();
         }
         // …and let every dispatcher drain what is left, then exit.
         for sq in &self.shared.shards {
@@ -272,20 +405,36 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             let _ = stream.shutdown(Shutdown::Both);
             continue;
         }
-        let Ok(writer) = stream.try_clone() else {
+        let (Ok(write_stream), Ok(control)) = (stream.try_clone(), stream.try_clone()) else {
             continue;
         };
         let conn = next_conn;
         next_conn += 1;
         shared.obs.connections.inc();
-        shared.conns.lock().expect("conns").insert(
-            conn,
-            Arc::new(Mutex::new(ConnOut {
-                stream: writer,
+        let slot = Arc::new(ConnSlot {
+            state: Mutex::new(OutState {
                 next_seq: 0,
                 pending: BTreeMap::new(),
-            })),
-        );
+                ready: VecDeque::new(),
+                active: BTreeSet::new(),
+                parked: BTreeMap::new(),
+                dead: BTreeSet::new(),
+                queued: BTreeMap::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            stream: control,
+        });
+        shared
+            .conns
+            .lock()
+            .expect("conns")
+            .insert(conn, Arc::clone(&slot));
+        let writer = {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || write_loop(conn, write_stream, &slot, &shared))
+        };
+        shared.writers.lock().expect("writers").push(writer);
         let reader = {
             let shared = Arc::clone(shared);
             std::thread::spawn(move || read_loop(conn, stream, &shared))
@@ -348,7 +497,10 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
                 }
             },
             // Clean hangup between frames.
-            Ok(None) => return,
+            Ok(None) => {
+                drop_connection(conn, shared);
+                return;
+            }
             // Torn frame, bad CRC, over-limit length, transport failure:
             // nothing after this point can be trusted.
             Err(e) => {
@@ -370,20 +522,73 @@ fn is_disconnect(e: &crate::proto::ProtoError) -> bool {
 
 fn drop_connection(conn: u64, shared: &Shared) {
     if let Some(slot) = shared.conns.lock().expect("conns").remove(&conn) {
-        let _ = slot
-            .lock()
-            .expect("conn out")
-            .stream
-            .shutdown(Shutdown::Both);
+        slot.close();
+    }
+    if shared.stop.load(Ordering::SeqCst) {
+        return; // dispatchers are exiting; shutdown merges state anyway
+    }
+    // Tell every shard to drop the connection's subscriptions, so the
+    // sessions stop deriving deltas nobody will receive.
+    for sq in &shared.shards {
+        let mut q = sq.queue.lock().expect("queue");
+        q.push_back(Item::Cancel { conn });
+        drop(q);
+        sq.wake.notify_one();
     }
 }
 
-/// Hand a finished response to the connection's sequencer: park it under
-/// its sequence number and flush the run of consecutive responses
-/// starting at `next_seq`.  Any dispatcher may call this for any
-/// connection; the per-connection mutex serialises the writes and the
-/// sequence numbers restore request order.
-fn deliver(shared: &Shared, conn: u64, seq: u64, payload: Vec<u8>) {
+/// The per-connection writer: pops wire-ordered frames and writes them.
+/// Socket back-pressure blocks this thread only — dispatchers and
+/// readers never wait on a peer.
+fn write_loop(conn: u64, mut stream: TcpStream, slot: &Arc<ConnSlot>, shared: &Arc<Shared>) {
+    loop {
+        let (payload, budget) = {
+            let mut st = slot.state.lock().expect("out state");
+            loop {
+                if let Some(frame) = st.ready.pop_front() {
+                    break frame;
+                }
+                if st.closed {
+                    return;
+                }
+                st = slot.wake.wait(st).expect("out state");
+            }
+        };
+        let ok = write_frame(&mut stream, &payload).is_ok();
+        let mut st = slot.state.lock().expect("out state");
+        if let Some(key) = budget {
+            if let Some(n) = st.queued.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    st.queued.remove(&key);
+                }
+            }
+        }
+        if ok {
+            shared.obs.frames_out.inc();
+        } else {
+            st.closed = true;
+            st.ready.clear();
+            drop(st);
+            drop_connection(conn, shared);
+            return;
+        }
+    }
+}
+
+/// Hand a finished response to the connection's writer: park it under
+/// its sequence number and queue the run of consecutive responses
+/// starting at `next_seq`, applying each one's route change where it
+/// lands.  Any dispatcher may call this for any connection; the
+/// per-connection mutex serialises the queueing and the sequence numbers
+/// restore request order.
+fn deliver_response(
+    shared: &Shared,
+    conn: u64,
+    seq: u64,
+    payload: Vec<u8>,
+    change: Option<RouteChange>,
+) {
     let Some(slot) = shared
         .conns
         .lock()
@@ -393,26 +598,138 @@ fn deliver(shared: &Shared, conn: u64, seq: u64, payload: Vec<u8>) {
     else {
         return; // connection already gone; drop the response
     };
-    let mut out = slot.lock().expect("conn out");
-    out.pending.insert(seq, payload);
-    let mut dead = false;
+    let mut st = slot.state.lock().expect("out state");
+    if st.closed {
+        return;
+    }
+    st.pending.insert(seq, (payload, change));
+    let mut queued_any = false;
     loop {
-        let next = out.next_seq;
-        let Some(payload) = out.pending.remove(&next) else {
+        let next = st.next_seq;
+        let Some((payload, change)) = st.pending.remove(&next) else {
             break;
         };
-        out.next_seq += 1;
-        if write_frame(&mut out.stream, &payload).is_err() {
-            dead = true;
-            break;
+        st.next_seq += 1;
+        st.ready.push_back((payload, None));
+        queued_any = true;
+        match change {
+            // The `Subscribed` response just landed in wire order:
+            // release the events parked behind it, oldest first.
+            Some(RouteChange::Activate(key)) => {
+                if let Some(frames) = st.parked.remove(&key) {
+                    for (frame, counted) in frames {
+                        let budget = counted.then(|| key.clone());
+                        st.ready.push_back((frame, budget));
+                    }
+                }
+                // A parked terminal frame means the stream already ended
+                // (slow consumer before activation): flush it, forget
+                // the key.
+                if st.dead.remove(&key) {
+                    st.queued.remove(&key);
+                } else {
+                    st.active.insert(key);
+                }
+            }
+            Some(RouteChange::Deactivate(key)) => {
+                st.active.remove(&key);
+                st.parked.remove(&key);
+                st.dead.remove(&key);
+                st.queued.remove(&key);
+            }
+            None => {}
         }
-        shared.obs.frames_out.inc();
     }
-    if dead {
-        let _ = out.stream.shutdown(Shutdown::Both);
-        drop(out);
-        shared.conns.lock().expect("conns").remove(&conn);
+    drop(st);
+    if queued_any {
+        slot.wake.notify_one();
     }
+}
+
+/// What became of one event handed to a connection.
+enum EventOutcome {
+    /// Queued (or parked) for delivery — or discarded because the stream
+    /// already ended with a queued terminal frame.
+    Delivered,
+    /// The connection is gone; the subscription has no consumer.
+    Gone,
+    /// The subscription blew its outbox cap: a terminal `SlowConsumer`
+    /// frame replaced everything owed.  The caller must drop the
+    /// subscription from its session.
+    Overflow,
+}
+
+/// Queue one delta event on `conn`'s writer, parking it if the
+/// subscription's `Subscribed` response has not reached the wire order
+/// yet, and enforcing the per-subscription outbox cap.
+fn deliver_event(shared: &Shared, conn: u64, session: &str, event: &DeltaEvent) -> EventOutcome {
+    let Some(slot) = shared
+        .conns
+        .lock()
+        .expect("conns")
+        .get(&conn)
+        .map(Arc::clone)
+    else {
+        return EventOutcome::Gone;
+    };
+    let mut st = slot.state.lock().expect("out state");
+    if st.closed {
+        return EventOutcome::Gone;
+    }
+    let key = (session.to_string(), event.sub);
+    if st.dead.contains(&key) {
+        return EventOutcome::Delivered; // stream already ended; discard
+    }
+    let terminal = matches!(event.kind, DeltaKind::Terminated { .. });
+    if !terminal && st.queued.get(&key).copied().unwrap_or(0) >= shared.event_outbox_cap {
+        // Cap blown: the overflowing event is replaced by a terminal
+        // frame carrying its sequence, behind the events already queued
+        // — the stream stays gapless and the client sees exactly where
+        // it was cut.
+        let notice = DeltaEvent {
+            sub: event.sub,
+            view: event.view.clone(),
+            seq: event.seq,
+            kind: DeltaKind::Terminated {
+                reason: TerminateReason::SlowConsumer,
+            },
+        };
+        let frame = encode_event_payload(session, &notice);
+        st.dead.insert(key.clone());
+        if st.active.remove(&key) {
+            st.ready.push_back((frame, None));
+            drop(st);
+            slot.wake.notify_one();
+        } else {
+            st.parked.entry(key).or_default().push((frame, false));
+        }
+        shared.obs.slow_drops.inc();
+        return EventOutcome::Overflow;
+    }
+    let frame = encode_event_payload(session, event);
+    shared.obs.events_out.inc();
+    if terminal {
+        // Session-side termination (e.g. the view stopped being a
+        // component): cap-exempt, ends the stream.
+        if st.active.remove(&key) {
+            st.ready.push_back((frame, None));
+            drop(st);
+            slot.wake.notify_one();
+        } else {
+            st.dead.insert(key.clone());
+            st.parked.entry(key).or_default().push((frame, false));
+        }
+    } else {
+        *st.queued.entry(key.clone()).or_insert(0) += 1;
+        if st.active.contains(&key) {
+            st.ready.push_back((frame, Some(key)));
+            drop(st);
+            slot.wake.notify_one();
+        } else {
+            st.parked.entry(key).or_default().push((frame, true));
+        }
+    }
+    EventOutcome::Delivered
 }
 
 fn dispatch_loop<F: ComponentFamily + Send + Sync>(
@@ -421,6 +738,10 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
     shared: &Shared,
 ) -> Service<F> {
     let n_shards = shared.shards.len();
+    // Where each live subscription's events go.  Complete for this
+    // shard: a session lives on exactly one shard, so its `Subscribe`s
+    // were all answered here.
+    let mut routes: BTreeMap<SubKey, u64> = BTreeMap::new();
     loop {
         let drained: Vec<Item> = {
             let sq = &shared.shards[shard];
@@ -434,11 +755,13 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
             }
             q.drain(..).collect()
         };
-        // Split the drain into the dispatchable batch and the metrics
-        // probes, remembering where each answer goes.
+        // Split the drain into the dispatchable batch, the metrics
+        // probes, and connection cancellations, remembering where each
+        // answer goes.
         let mut batch: Vec<(String, SessionRequest)> = Vec::new();
         let mut slots: Vec<(u64, u64, usize)> = Vec::new();
         let mut probes: Vec<(u64, u64, Arc<AtomicUsize>)> = Vec::new();
+        let mut cancels: Vec<u64> = Vec::new();
         for item in drained {
             match item {
                 Item::Dispatch {
@@ -451,18 +774,101 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
                     batch.push((session, req));
                 }
                 Item::Probe { conn, seq, left } => probes.push((conn, seq, left)),
+                Item::Cancel { conn } => cancels.push(conn),
+            }
+        }
+        // A dead connection's subscriptions stop publishing before the
+        // batch runs — nobody is listening.
+        for conn in cancels {
+            let gone: Vec<SubKey> = routes
+                .iter()
+                .filter(|&(_, c)| *c == conn)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in gone {
+                routes.remove(&key);
+                if let Some(session) = service.session_mut(&key.0) {
+                    session.drop_subscription(key.1);
+                }
             }
         }
         if !batch.is_empty() {
-            // The snapshot gate brackets the batch: a concurrent metrics
-            // probe snapshots this shard either before or after it,
-            // never mid-flight.
-            let results = {
+            let sessions: Vec<String> = batch.iter().map(|(s, _)| s.clone()).collect();
+            // The snapshot gate brackets the batch and its event drain:
+            // a concurrent metrics probe snapshots this shard either
+            // before or after it, never mid-flight.
+            let (results, events) = {
                 let _gate = shared.snap_gates[shard].lock().expect("snap gate");
-                service.dispatch(batch)
+                let results = service.dispatch(batch);
+                let events = service.drain_events();
+                (results, events)
             };
-            for (conn, seq, i) in slots {
-                deliver(shared, conn, seq, encode_result_payload(&results[i]));
+            // Learn this batch's route *insertions* before touching any
+            // event, so events for just-opened subscriptions find their
+            // connection.  Removals wait until the events are out: an
+            // `Unsubscribe` in this batch closed its subscription at the
+            // session, so every drained event for it was committed by an
+            // *earlier* request — unlearning first would misroute those
+            // events into the void.
+            let mut changes: Vec<Option<RouteChange>> = Vec::with_capacity(slots.len());
+            let mut unlearned: Vec<SubKey> = Vec::new();
+            for &(conn, _seq, i) in &slots {
+                changes.push(match &results[i] {
+                    Ok(SessionResponse::Subscribed { sub, .. }) => {
+                        let key = (sessions[i].clone(), *sub);
+                        routes.insert(key.clone(), conn);
+                        Some(RouteChange::Activate(key))
+                    }
+                    Ok(SessionResponse::Unsubscribed { sub }) => {
+                        let key = (sessions[i].clone(), *sub);
+                        unlearned.push(key.clone());
+                        Some(RouteChange::Deactivate(key))
+                    }
+                    _ => None,
+                });
+            }
+            // Events go out before responses: every event here was
+            // committed by a request in this batch, so it precedes — in
+            // stream terms — any `Unsubscribed` answered below, and the
+            // writer's parking keeps it behind its own `Subscribed`.
+            for (session, event) in events {
+                let key = (session.clone(), event.sub);
+                let terminal = matches!(event.kind, DeltaKind::Terminated { .. });
+                let Some(&conn) = routes.get(&key) else {
+                    // No consumer (its connection died, or it was
+                    // slow-dropped moments ago): end the stream at the
+                    // session too.
+                    if let Some(s) = service.session_mut(&session) {
+                        s.drop_subscription(event.sub);
+                    }
+                    continue;
+                };
+                match deliver_event(shared, conn, &session, &event) {
+                    EventOutcome::Delivered => {
+                        if terminal {
+                            routes.remove(&key);
+                        }
+                    }
+                    EventOutcome::Gone | EventOutcome::Overflow => {
+                        routes.remove(&key);
+                        if let Some(s) = service.session_mut(&session) {
+                            s.drop_subscription(event.sub);
+                        }
+                    }
+                }
+            }
+            for key in unlearned {
+                routes.remove(&key);
+            }
+            for (slot_i, (conn, seq, i)) in slots.into_iter().enumerate() {
+                let change = changes[slot_i].take();
+                deliver_response(
+                    shared,
+                    conn,
+                    seq,
+                    encode_result_payload(&results[i]),
+                    change,
+                );
             }
         }
         // Probes pass only after the batch drained alongside them has
@@ -477,7 +883,13 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
                     })
                     .collect();
                 let merged = MetricsSnapshot::merged(parts.iter());
-                deliver(shared, conn, seq, encode_metrics_response_payload(&merged));
+                deliver_response(
+                    shared,
+                    conn,
+                    seq,
+                    encode_metrics_response_payload(&merged),
+                    None,
+                );
             }
         }
     }

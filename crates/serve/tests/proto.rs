@@ -7,14 +7,16 @@
 use compview_core::{CatalogError, EditError, EditReport, UpdateReport};
 use compview_relation::{v, Instance, Relation, Tuple};
 use compview_serve::proto::{
-    decode_metrics_response_payload, decode_request_payload, decode_result_payload,
-    decode_wire_request, encode_metrics_request_payload, encode_metrics_response_payload,
-    encode_request_payload, encode_result_payload, read_frame, write_frame, WireRequest,
-    FRAME_HEADER, MAX_FRAME,
+    decode_event_payload, decode_metrics_response_payload, decode_request_payload,
+    decode_result_payload, decode_wire_request, encode_event_payload,
+    encode_metrics_request_payload, encode_metrics_response_payload, encode_request_payload,
+    encode_result_payload, is_event_payload, read_frame, write_frame, WireRequest, FRAME_HEADER,
+    MAX_FRAME,
 };
 use compview_serve::ProtoError;
 use compview_session::{
-    DispatchError, SessionError, SessionRequest, SessionResponse, SessionStats, StatsSnapshot,
+    DeltaEvent, DeltaKind, DispatchError, SessionError, SessionRequest, SessionResponse,
+    SessionStats, StatsSnapshot, TerminateReason,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -74,6 +76,12 @@ fn every_request(rng: &mut StdRng) -> Vec<SessionRequest> {
             view: rand_name(rng),
         },
         SessionRequest::Stats,
+        SessionRequest::Subscribe {
+            view: rand_name(rng),
+        },
+        SessionRequest::Unsubscribe {
+            sub: rng.next_u64(),
+        },
     ]
 }
 
@@ -102,6 +110,7 @@ fn rand_stats(rng: &mut StdRng) -> StatsSnapshot {
         session_id: rng.next_u64(),
         wal_seq: rng.next_u64(),
         log_bytes: rng.next_u64(),
+        active_subs: rng.random_range(0..64u32) as usize,
     }
 }
 
@@ -148,6 +157,9 @@ fn every_result(rng: &mut StdRng) -> Vec<Result<SessionResponse, DispatchError>>
         SessionError::StaleLog {
             detail: rand_name(rng),
         },
+        SessionError::UnknownSubscription {
+            sub: rng.next_u64(),
+        },
     ];
     let mut out = vec![
         Ok(SessionResponse::Registered {
@@ -167,6 +179,14 @@ fn every_result(rng: &mut StdRng) -> Vec<Result<SessionResponse, DispatchError>>
         })),
         Ok(SessionResponse::Undone),
         Ok(SessionResponse::Stats(rand_stats(rng))),
+        Ok(SessionResponse::Subscribed {
+            view: rand_name(rng),
+            sub: rng.next_u64(),
+            image: rand_instance(rng),
+        }),
+        Ok(SessionResponse::Unsubscribed {
+            sub: rng.next_u64(),
+        }),
         Err(DispatchError::UnknownSession(rand_name(rng))),
     ];
     out.extend(
@@ -386,8 +406,119 @@ fn metrics_response_round_trips_and_rejects_every_truncation() {
     assert!(decode_metrics_response_payload(&wrong).is_err());
 }
 
+// ------------------------------------------------------------- event wire
+
+/// One of each [`DeltaEvent`] shape, contents randomised by `rng`.
+fn every_event(rng: &mut StdRng) -> Vec<DeltaEvent> {
+    vec![
+        DeltaEvent {
+            sub: rng.next_u64(),
+            view: rand_name(rng),
+            seq: rng.next_u64(),
+            kind: DeltaKind::Rows {
+                added: rand_instance(rng),
+                removed: rand_instance(rng),
+            },
+        },
+        DeltaEvent {
+            sub: rng.next_u64(),
+            view: rand_name(rng),
+            seq: rng.next_u64(),
+            kind: DeltaKind::Terminated {
+                reason: TerminateReason::NotAComponent {
+                    detail: rand_name(rng),
+                },
+            },
+        },
+        DeltaEvent {
+            sub: rng.next_u64(),
+            view: rand_name(rng),
+            seq: rng.next_u64(),
+            kind: DeltaKind::Terminated {
+                reason: TerminateReason::SlowConsumer,
+            },
+        },
+    ]
+}
+
+#[test]
+fn event_marker_cannot_collide_with_solicited_payloads() {
+    let mut rng = StdRng::seed_from_u64(11);
+    // Every event frame self-identifies…
+    for ev in every_event(&mut rng) {
+        let payload = encode_event_payload("alpha", &ev);
+        assert!(is_event_payload(&payload));
+        // …and the solicited decoders refuse it.
+        assert!(decode_result_payload(&payload).is_err());
+        assert!(decode_metrics_response_payload(&payload).is_err());
+    }
+    // No result or metrics payload ever reads as an event.
+    for res in every_result(&mut rng) {
+        assert!(!is_event_payload(&encode_result_payload(&res)));
+    }
+    assert!(!is_event_payload(&encode_metrics_response_payload(
+        &demo_metrics()
+    )));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_event_shape_round_trips(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = rand_name(&mut rng);
+        for ev in every_event(&mut rng) {
+            let payload = encode_event_payload(&session, &ev);
+            let (s2, e2) = decode_event_payload(&payload).unwrap();
+            prop_assert_eq!(&s2, &session);
+            prop_assert_eq!(&e2, &ev);
+
+            // And through a full frame, too.
+            let mut bytes = Vec::new();
+            write_frame(&mut bytes, &payload).unwrap();
+            let read = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+            prop_assert_eq!(&read, &payload);
+        }
+    }
+
+    #[test]
+    fn every_event_truncation_is_refused(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = rand_name(&mut rng);
+        for ev in every_event(&mut rng) {
+            let payload = encode_event_payload(&session, &ev);
+            for cut in 0..payload.len() {
+                prop_assert!(
+                    decode_event_payload(&payload[..cut]).is_err(),
+                    "truncation at {}/{} decoded",
+                    cut,
+                    payload.len()
+                );
+            }
+            let mut trailing = payload.clone();
+            trailing.push(0);
+            prop_assert!(decode_event_payload(&trailing).is_err());
+        }
+    }
+
+    /// A bit flip in an event payload is either refused or decodes to a
+    /// *different but well-formed* event — never a panic.  (Framing CRC
+    /// catches flips on the wire; this gates the payload decoder alone.)
+    #[test]
+    fn event_payload_bit_flips_never_panic(seed in 0u64..1 << 32, flip_frac in 0u32..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = rand_name(&mut rng);
+        let events = every_event(&mut rng);
+        let ev = &events[rng.random_range(0..events.len())];
+        let payload = encode_event_payload(&session, ev);
+        let bit = (payload.len() * 8 - 1).min(
+            ((payload.len() * 8) as u64 * u64::from(flip_frac) / 1000) as usize,
+        );
+        let mut bytes = payload.clone();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let _ = decode_event_payload(&bytes); // must return, not panic
+    }
 
     /// Any single bit flip in a metrics response payload is refused: the
     /// marker check, the snapshot CRC, or the strict structural

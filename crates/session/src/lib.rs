@@ -44,11 +44,13 @@
 pub mod obs;
 pub mod service;
 pub mod store;
+pub mod sub;
 pub mod wal;
 
 pub use obs::{SessionObs, WalObs};
 pub use service::{shard_of, DispatchError, Service, ServiceError, ShardedService};
 pub use store::{FaultPlan, FaultyStore, FsStore, LogStore, MemStore, SharedBytes};
+pub use sub::{DeltaEvent, DeltaKind, TerminateReason};
 pub use wal::{RecoverError, RecoveryReport, RecoveryStop, SyncPolicy};
 
 use compview_obs::Registry;
@@ -174,6 +176,9 @@ pub struct StatsSnapshot {
     /// Current write-ahead-log length in bytes.  0 on non-durable
     /// sessions.
     pub log_bytes: u64,
+    /// Live delta subscriptions on this session.  Connection-scoped and
+    /// non-durable: always 0 right after recovery.
+    pub active_subs: usize,
 }
 
 /// A typed request against one session.
@@ -216,14 +221,37 @@ pub enum SessionRequest {
     Undo,
     /// Snapshot the observability counters.
     Stats,
+    /// Start a change stream on a registered view: answer with its full
+    /// image now, then push a [`DeltaEvent`] for every commit that moves
+    /// it (see [`sub`]).
+    Subscribe {
+        /// View name.
+        view: String,
+    },
+    /// End a subscription started by [`SessionRequest::Subscribe`].
+    Unsubscribe {
+        /// The subscription id from [`SessionResponse::Subscribed`].
+        sub: u64,
+    },
 }
 
 impl SessionRequest {
     /// Whether this request changes durable session state — and so must
     /// be written to the log before it is applied.  `Read` and `Stats`
-    /// change nothing and are never logged.
+    /// change nothing and are never logged.  `Subscribe`/`Unsubscribe`
+    /// are deliberately non-durable even though they change the session's
+    /// subscription hub: subscriptions are connection-scoped, so logging
+    /// them would make recovery conjure phantom streams with no one
+    /// listening (the recovery proptests assert replay emits zero
+    /// events).
     pub fn is_durable(&self) -> bool {
-        !matches!(self, SessionRequest::Read { .. } | SessionRequest::Stats)
+        !matches!(
+            self,
+            SessionRequest::Read { .. }
+                | SessionRequest::Stats
+                | SessionRequest::Subscribe { .. }
+                | SessionRequest::Unsubscribe { .. }
+        )
     }
 
     /// Short label for logs and tallies.
@@ -236,6 +264,8 @@ impl SessionRequest {
             SessionRequest::RemovePoolTuple { .. } => "RemovePoolTuple",
             SessionRequest::Undo => "Undo",
             SessionRequest::Stats => "Stats",
+            SessionRequest::Subscribe { .. } => "Subscribe",
+            SessionRequest::Unsubscribe { .. } => "Unsubscribe",
         }
     }
 }
@@ -262,6 +292,22 @@ pub enum SessionResponse {
     Undone,
     /// The counters.
     Stats(StatsSnapshot),
+    /// A subscription was opened; `image` is the view's full state at
+    /// sequence 0 — the base every following [`DeltaEvent`] builds on.
+    Subscribed {
+        /// View name.
+        view: String,
+        /// Subscription id, unique within the session, carried by every
+        /// event of this stream.
+        sub: u64,
+        /// The full view image at subscribe time.
+        image: Instance,
+    },
+    /// A subscription was ended by request.
+    Unsubscribed {
+        /// The ended subscription id.
+        sub: u64,
+    },
 }
 
 /// A rejected [`SessionRequest`].  Every rejection leaves the session
@@ -301,6 +347,13 @@ pub enum SessionError {
         /// What the store reported.
         detail: String,
     },
+    /// An [`SessionRequest::Unsubscribe`] named a subscription this
+    /// session does not hold (never issued, already unsubscribed, or
+    /// already terminated by the service).
+    UnknownSubscription {
+        /// The unrecognised subscription id.
+        sub: u64,
+    },
     /// A *create* was pointed at a non-empty log from a previous run.
     /// Creating would clobber (or worse, silently extend) recoverable
     /// state, so it is refused outright — recover the log instead, via
@@ -330,6 +383,7 @@ impl SessionError {
             SessionError::NotAComponent { .. } => "NotAComponent",
             SessionError::TupleInBaseState { .. } => "TupleInBaseState",
             SessionError::StateOutsideSpace { .. } => "StateOutsideSpace",
+            SessionError::UnknownSubscription { .. } => "UnknownSubscription",
             SessionError::Durability { .. } => "Durability",
             SessionError::StaleLog { .. } => "StaleLog",
         }
@@ -358,6 +412,9 @@ impl std::fmt::Display for SessionError {
                     f,
                     "update of {view:?} left the enumerated space; rolled back"
                 )
+            }
+            SessionError::UnknownSubscription { sub } => {
+                write!(f, "no live subscription with id {sub}")
             }
             SessionError::Durability { detail } => {
                 write!(f, "request could not be made durable: {detail}")
@@ -436,6 +493,9 @@ pub struct Session<F: ComponentFamily + Sync> {
     /// Instrument handles (all no-op unless bound to an enabled
     /// [`Registry`]).
     obs: Box<SessionObs>,
+    /// Live delta subscriptions + their event outbox (never snapshotted,
+    /// never recovered — see [`sub`]).
+    subs: sub::SubHub,
 }
 
 impl<F: ComponentFamily + Sync> Session<F> {
@@ -496,6 +556,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
             wal: None,
             session_id: 0,
             obs: Box::new(obs),
+            subs: sub::SubHub::default(),
         })
     }
 
@@ -653,6 +714,10 @@ impl<F: ComponentFamily + Sync> Session<F> {
             wal: None,
             session_id: snap.session_id,
             obs: Box::new(obs),
+            // A fresh, empty hub: subscriptions are connection-scoped, so
+            // replaying the log below cannot create any and emits no
+            // events (`Subscribe` is never logged to begin with).
+            subs: sub::SubHub::default(),
         };
         let mut applied = 0u64;
         let mut salvaged = parsed.salvaged;
@@ -874,9 +939,12 @@ impl<F: ComponentFamily + Sync> Session<F> {
             self.obs.variant_hist_at(variant).record(ns);
             // Update is the hot write path (the E12/E13 workloads are
             // update streams); its latency additionally feeds the exact
-            // tail-quantile reservoir.
+            // tail-quantile reservoir.  Read is the hot poll path and
+            // gets the same treatment.
             if variant == SessionObs::UPDATE_VARIANT {
                 self.obs.update_tail_ns.record(ns);
+            } else if variant == SessionObs::READ_VARIANT {
+                self.obs.read_tail_ns.record(ns);
             }
         }
         outcome
@@ -895,6 +963,8 @@ impl<F: ComponentFamily + Sync> Session<F> {
             }
             SessionRequest::Undo => self.undo(),
             SessionRequest::Stats => Ok(SessionResponse::Stats(self.snapshot())),
+            SessionRequest::Subscribe { view } => self.subscribe(&view),
+            SessionRequest::Unsubscribe { sub } => self.unsubscribe(sub),
         }
     }
 
@@ -936,10 +1006,12 @@ impl<F: ComponentFamily + Sync> Session<F> {
         view: &str,
         new_state: &Instance,
     ) -> Result<SessionResponse, SessionError> {
+        let old_base = self.base_id;
         let report = self.catalog.update(view, new_state)?;
         match self.space.id_of(self.catalog.state()) {
             Some(id) => {
                 self.base_id = id;
+                self.publish_base_moved(old_base);
                 Ok(SessionResponse::Updated(report))
             }
             None => {
@@ -959,6 +1031,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
         relation: &str,
         tuple: Tuple,
     ) -> Result<SessionResponse, SessionError> {
+        let mut edit_trace = None;
         let report = if self.config.incremental {
             let (r, trace) = self.space.insert_tuple_traced(relation, tuple)?;
             self.stats.incremental_edits += 1;
@@ -972,6 +1045,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
                 self.cache.clear();
             } else {
                 self.remap_cache(&trace);
+                edit_trace = Some(trace);
             }
             r
         } else {
@@ -982,6 +1056,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
         };
         // Inserts only add states, so undo targets stay legal.
         self.reseat_base();
+        self.publish_after_pool_edit(edit_trace.as_deref());
         Ok(SessionResponse::PoolEdited(report))
     }
 
@@ -1044,6 +1119,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
                 relation: relation.to_owned(),
             });
         }
+        let mut edit_trace = None;
         let report = if self.config.incremental {
             let (r, trace) = self.space.remove_tuple_traced(relation, tuple)?;
             self.stats.incremental_edits += 1;
@@ -1057,6 +1133,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
                 self.cache.clear();
             } else {
                 self.remap_cache(&trace);
+                edit_trace = Some(trace);
             }
             r
         } else {
@@ -1069,6 +1146,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
         // (the audit log survives).
         self.catalog.clear_history();
         self.reseat_base();
+        self.publish_after_pool_edit(edit_trace.as_deref());
         Ok(SessionResponse::PoolEdited(report))
     }
 
@@ -1093,9 +1171,243 @@ impl<F: ComponentFamily + Sync> Session<F> {
     }
 
     fn undo(&mut self) -> Result<SessionResponse, SessionError> {
+        let old_base = self.base_id;
         self.catalog.undo()?;
         self.reseat_base();
+        self.publish_base_moved(old_base);
         Ok(SessionResponse::Undone)
+    }
+
+    fn subscribe(&mut self, view: &str) -> Result<SessionResponse, SessionError> {
+        let mask = self.catalog.mask_of(view)?;
+        self.ensure_cached(mask)?;
+        let image_id = self.cache[&mask][self.base_id];
+        let sub = self.subs.insert(view.to_owned(), mask, image_id);
+        self.obs.sub_opened.inc();
+        Ok(SessionResponse::Subscribed {
+            view: view.to_owned(),
+            sub,
+            image: self.space.state(image_id).clone(),
+        })
+    }
+
+    fn unsubscribe(&mut self, sub: u64) -> Result<SessionResponse, SessionError> {
+        if self.subs.remove(sub).is_none() {
+            return Err(SessionError::UnknownSubscription { sub });
+        }
+        self.obs.sub_closed.inc();
+        Ok(SessionResponse::Unsubscribed { sub })
+    }
+
+    /// End a subscription with no request and no event — the server's
+    /// cleanup path when a subscriber's connection dies or it is dropped
+    /// for falling behind.  Returns whether the id was live.
+    pub fn drop_subscription(&mut self, sub: u64) -> bool {
+        let live = self.subs.remove(sub).is_some();
+        if live {
+            self.obs.sub_closed.inc();
+        }
+        live
+    }
+
+    /// Number of live subscriptions.
+    pub fn active_subscriptions(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether delta events are waiting to be taken.
+    pub fn has_events(&self) -> bool {
+        self.subs.has_events()
+    }
+
+    /// Take every [`DeltaEvent`] committed since the last take, in commit
+    /// order (within one commit, ascending subscription id).  The caller
+    /// owns delivery; an undelivered event is an event lost, so servers
+    /// drain after every dispatched batch.
+    pub fn take_events(&mut self) -> Vec<DeltaEvent> {
+        self.subs.take_events()
+    }
+
+    /// Publish deltas after a commit moved the base state (`Update` /
+    /// `Undo`).  The space itself did not change, so each subscription's
+    /// new image id is one cached-endo-map lookup — `O(1)`, no diffing —
+    /// and subscriptions whose image id did not move emit nothing.  For
+    /// moved images the delta comes from the **base delta** when the
+    /// family's endo is a per-tuple filter
+    /// ([`ComponentFamily::endo_is_row_local`]): filters distribute over
+    /// set difference, so `endo(m, B') \ endo(m, B) = endo(m, B' \ B)`,
+    /// and the base delta is computed once and shared by every mask.
+    /// Non-row-local families fall back to diffing the two (already
+    /// materialised) image states.  A debug-assert twin checks either
+    /// derivation against the full image diff.
+    fn publish_base_moved(&mut self, old_base: usize) {
+        if self.subs.is_empty() || self.base_id == old_base {
+            return;
+        }
+        let timer = self.obs.publish_ns.start();
+        enum Resolved {
+            Unchanged(usize),
+            Moved(usize, Instance, Instance),
+            Dead(String),
+        }
+        let ids = self.subs.ids();
+        // Distinct subscribed masks and their (shared — see SubEntry
+        // invariant) old image ids.
+        let mut masks: BTreeMap<u32, usize> = BTreeMap::new();
+        for &id in &ids {
+            let e = self.subs.entry(id).expect("listed above");
+            masks.entry(e.mask).or_insert(e.image_id);
+        }
+        let row_local = self.catalog.family().endo_is_row_local();
+        let mut base_delta: Option<(Instance, Instance)> = None;
+        let mut resolved: BTreeMap<u32, Resolved> = BTreeMap::new();
+        for (&mask, &old_img) in &masks {
+            let res = match self.ensure_cached(mask) {
+                Err(e) => Resolved::Dead(e.to_string()),
+                Ok(()) => {
+                    let new_img = self.cache[&mask][self.base_id];
+                    if new_img == old_img {
+                        Resolved::Unchanged(new_img)
+                    } else {
+                        let (added, removed) = if row_local {
+                            let (ba, br) = base_delta.get_or_insert_with(|| {
+                                let old = self.space.state(old_base);
+                                let new = self.space.state(self.base_id);
+                                (new.difference(old), old.difference(new))
+                            });
+                            let family = self.catalog.family();
+                            (family.endo(mask, ba), family.endo(mask, br))
+                        } else {
+                            let old = self.space.state(old_img);
+                            let new = self.space.state(new_img);
+                            (new.difference(old), old.difference(new))
+                        };
+                        #[cfg(debug_assertions)]
+                        {
+                            let old = self.space.state(old_img);
+                            let new = self.space.state(new_img);
+                            debug_assert_eq!(
+                                added,
+                                new.difference(old),
+                                "derived delta (added) diverges from the image diff"
+                            );
+                            debug_assert_eq!(
+                                removed,
+                                old.difference(new),
+                                "derived delta (removed) diverges from the image diff"
+                            );
+                        }
+                        Resolved::Moved(new_img, added, removed)
+                    }
+                }
+            };
+            resolved.insert(mask, res);
+        }
+        for id in ids {
+            let (mask, view) = {
+                let e = self.subs.entry(id).expect("listed above");
+                (e.mask, e.view.clone())
+            };
+            match resolved.get(&mask).expect("resolved above") {
+                Resolved::Unchanged(new_img) => {
+                    self.subs.entry_mut(id).expect("listed above").image_id = *new_img;
+                }
+                Resolved::Moved(new_img, added, removed) => {
+                    let entry = self.subs.entry_mut(id).expect("listed above");
+                    entry.image_id = *new_img;
+                    entry.seq += 1;
+                    let seq = entry.seq;
+                    let rows = added.total_tuples() + removed.total_tuples();
+                    self.obs.sub_events.inc();
+                    self.obs.sub_event_rows.record(rows as u64);
+                    self.subs.emit(DeltaEvent {
+                        sub: id,
+                        view,
+                        seq,
+                        kind: DeltaKind::Rows {
+                            added: added.clone(),
+                            removed: removed.clone(),
+                        },
+                    });
+                }
+                Resolved::Dead(detail) => {
+                    self.obs.sub_terminated.inc();
+                    self.obs.sub_closed.inc();
+                    self.subs.terminate(
+                        id,
+                        TerminateReason::NotAComponent {
+                            detail: detail.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(t) = timer {
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.obs.publish_ns.record(ns);
+            self.obs.publish_tail_ns.record(ns);
+        }
+    }
+
+    /// Re-seat subscriptions after a pool edit.  The base state did not
+    /// move, and `endo(mask, ·)` is a pure function of the base, so **no
+    /// image changed content and no row event is emitted** — but every
+    /// image's state *id* moved with the space, exactly like the cached
+    /// endo maps.  The splice/removal `trace` renames each subscription's
+    /// image id in `O(1)`; an image the edit dropped (possible only on
+    /// removals, for families whose images are not sub-states of the
+    /// base) is re-resolved through the endo cache, and a mask that is no
+    /// longer a component terminates its subscriptions with a typed
+    /// event.  A debug-assert twin checks the remapped id still denotes
+    /// `endo(mask, base)`.
+    fn publish_after_pool_edit(&mut self, trace: Option<&[usize]>) {
+        if self.subs.is_empty() {
+            return;
+        }
+        let timer = self.obs.publish_ns.start();
+        for id in self.subs.ids() {
+            let (mask, old_img) = {
+                let e = self.subs.entry(id).expect("listed above");
+                (e.mask, e.image_id)
+            };
+            let carried = trace
+                .and_then(|t| t.get(old_img).copied())
+                .filter(|&nid| nid != usize::MAX);
+            let new_img = match carried {
+                Some(nid) => Some(nid),
+                None => match self.ensure_cached(mask) {
+                    Ok(()) => Some(self.cache[&mask][self.base_id]),
+                    Err(e) => {
+                        self.obs.sub_terminated.inc();
+                        self.obs.sub_closed.inc();
+                        self.subs.terminate(
+                            id,
+                            TerminateReason::NotAComponent {
+                                detail: e.to_string(),
+                            },
+                        );
+                        None
+                    }
+                },
+            };
+            if let Some(nid) = new_img {
+                #[cfg(debug_assertions)]
+                {
+                    let expect = self.catalog.family().endo(mask, self.catalog.state());
+                    debug_assert_eq!(
+                        self.space.state(nid),
+                        &expect,
+                        "pool-edit image remap diverged from the family's endo"
+                    );
+                }
+                self.subs.entry_mut(id).expect("listed above").image_id = nid;
+            }
+        }
+        if let Some(t) = timer {
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.obs.publish_ns.record(ns);
+            self.obs.publish_tail_ns.record(ns);
+        }
     }
 
     /// Compute (or reuse) the endomorphism map of `mask` and verify it is
@@ -1156,6 +1468,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
             session_id: self.session_id,
             wal_seq: self.wal.as_ref().map_or(0, wal::WalWriter::last_seq),
             log_bytes: self.wal.as_ref().map_or(0, wal::WalWriter::durable_len),
+            active_subs: self.subs.len(),
         }
     }
 

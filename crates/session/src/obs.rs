@@ -42,10 +42,36 @@ pub struct SessionObs {
     pub undo_ns: Histogram,
     /// See [`SessionObs::register_ns`].
     pub stats_ns: Histogram,
+    /// See [`SessionObs::register_ns`].
+    pub subscribe_ns: Histogram,
+    /// See [`SessionObs::register_ns`].
+    pub unsubscribe_ns: Histogram,
     /// Exact tail-latency quantiles (reservoir sample) for the hottest
     /// variant, `Update` — the histogram above answers "which order of
     /// magnitude", this answers p99 vs p999.
     pub update_tail_ns: Reservoir,
+    /// Exact tail quantiles for the `Read` path (the poll-side twin of
+    /// [`SessionObs::update_tail_ns`]).
+    pub read_tail_ns: Reservoir,
+    /// Delta events emitted to subscription outboxes.
+    pub sub_events: Counter,
+    /// Subscriptions ended by the service (not-a-component after a pool
+    /// edit; the server adds its slow-consumer drops here too).
+    pub sub_terminated: Counter,
+    /// Subscriptions opened / closed (for any reason) — the difference
+    /// is the live count, and both stay aggregate-correct when many
+    /// sessions share one registry.
+    pub sub_opened: Counter,
+    /// See [`SessionObs::sub_opened`].
+    pub sub_closed: Counter,
+    /// Rows per emitted delta (added + removed tuple counts).
+    pub sub_event_rows: Histogram,
+    /// Wall time of the post-commit publish step, nanoseconds (zero-cost
+    /// when a session has no subscribers — the timer is not even
+    /// started).
+    pub publish_ns: Histogram,
+    /// Exact tail quantiles of the publish step.
+    pub publish_tail_ns: Reservoir,
     /// Whole-replay wall time during recovery, nanoseconds.
     pub replay_ns: Histogram,
     /// Records replayed during recovery.
@@ -92,7 +118,17 @@ impl SessionObs {
             remove_ns: registry.histogram("session.serve.remove_pool_tuple_ns"),
             undo_ns: registry.histogram("session.serve.undo_ns"),
             stats_ns: registry.histogram("session.serve.stats_ns"),
+            subscribe_ns: registry.histogram("session.serve.subscribe_ns"),
+            unsubscribe_ns: registry.histogram("session.serve.unsubscribe_ns"),
             update_tail_ns: registry.reservoir("session.serve.update_tail_ns"),
+            read_tail_ns: registry.reservoir("session.serve.read_tail_ns"),
+            sub_events: registry.counter("session.sub.events"),
+            sub_terminated: registry.counter("session.sub.terminated"),
+            sub_opened: registry.counter("session.sub.opened"),
+            sub_closed: registry.counter("session.sub.closed"),
+            sub_event_rows: registry.histogram("session.sub.event_rows"),
+            publish_ns: registry.histogram("session.sub.publish_ns"),
+            publish_tail_ns: registry.reservoir("session.sub.publish_tail_ns"),
             replay_ns: registry.histogram("wal.replay_ns"),
             replay_records: registry.counter("wal.replay.records"),
             checkpoints: registry.counter("session.checkpoints"),
@@ -110,6 +146,11 @@ impl SessionObs {
     /// [`SessionObs::update_tail_ns`].
     pub const UPDATE_VARIANT: usize = 2;
 
+    /// [`SessionObs::variant_index`] of [`crate::SessionRequest::Read`] —
+    /// the variant whose latency also feeds
+    /// [`SessionObs::read_tail_ns`].
+    pub const READ_VARIANT: usize = 1;
+
     /// The latency-histogram index for one request variant.  Split from
     /// [`SessionObs::variant_hist_at`] so `serve` can pick the histogram
     /// before the request is moved into its handler and find it again
@@ -124,6 +165,8 @@ impl SessionObs {
             crate::SessionRequest::RemovePoolTuple { .. } => 4,
             crate::SessionRequest::Undo => 5,
             crate::SessionRequest::Stats => 6,
+            crate::SessionRequest::Subscribe { .. } => 7,
+            crate::SessionRequest::Unsubscribe { .. } => 8,
         }
     }
 
@@ -136,7 +179,9 @@ impl SessionObs {
             3 => &self.insert_ns,
             4 => &self.remove_ns,
             5 => &self.undo_ns,
-            _ => &self.stats_ns,
+            6 => &self.stats_ns,
+            7 => &self.subscribe_ns,
+            _ => &self.unsubscribe_ns,
         }
     }
 }

@@ -392,6 +392,25 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
         answers
     }
 
+    /// Drain every session's committed [`crate::DeltaEvent`]s, tagged
+    /// with the session name, in **session-name order** (and commit
+    /// order within a session).  Sessions are independent and each
+    /// subscription's events come from exactly one session, so this
+    /// order is deterministic for a deterministic request stream — the
+    /// same contract at any thread count, and [`ShardedService`]
+    /// re-establishes it at any shard count.
+    pub fn drain_events(&mut self) -> Vec<(String, crate::DeltaEvent)> {
+        let mut out = Vec::new();
+        for (name, session) in self.sessions.iter_mut() {
+            if session.has_events() {
+                for event in session.take_events() {
+                    out.push((name.clone(), event));
+                }
+            }
+        }
+        out
+    }
+
     /// Partition the service into `shards` independently owned services,
     /// routing each session to [`shard_of`]`(name, shards)`.
     ///
@@ -537,5 +556,27 @@ impl<F: ComponentFamily + Send + Sync> ShardedService<F> {
         out.into_iter()
             .map(|slot| slot.expect("every batch position answered"))
             .collect()
+    }
+
+    /// [`Service::drain_events`] across the shards, re-merged into
+    /// session-name order.  Each session lives on exactly one shard and
+    /// shards preserve per-session commit order, so the merged stream is
+    /// byte-identical to unsharded [`Service::drain_events`] for the
+    /// same dispatch history, at any shard count.
+    pub fn drain_events(&mut self) -> Vec<(String, crate::DeltaEvent)> {
+        let mut all: Vec<(String, crate::DeltaEvent)> = Vec::new();
+        for shard in self.shards.iter_mut() {
+            all.extend(shard.drain_events());
+        }
+        // Stable sort: within one session (one shard) commit order is
+        // preserved; across sessions, name order matches `Service`.
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Borrow a session wherever it lives (its owning shard).
+    pub fn session_mut(&mut self, name: &str) -> Option<&mut Session<F>> {
+        let i = shard_of(name, self.shards.len().max(1));
+        self.shards[i].session_mut(name)
     }
 }

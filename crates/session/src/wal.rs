@@ -318,6 +318,8 @@ const REQ_REMOVE: u8 = 4;
 const REQ_UNDO: u8 = 5;
 const REQ_READ: u8 = 6;
 const REQ_STATS: u8 = 7;
+const REQ_SUBSCRIBE: u8 = 8;
+const REQ_UNSUBSCRIBE: u8 = 9;
 
 /// Encode any [`SessionRequest`] — the canonical binary form shared by
 /// the write-ahead log and the wire protocol (`compview-serve`).  The WAL
@@ -356,6 +358,14 @@ pub fn encode_request(req: &SessionRequest) -> Vec<u8> {
         SessionRequest::Stats => {
             binio::put_u8(&mut out, REQ_STATS);
         }
+        SessionRequest::Subscribe { view } => {
+            binio::put_u8(&mut out, REQ_SUBSCRIBE);
+            binio::put_str(&mut out, view);
+        }
+        SessionRequest::Unsubscribe { sub } => {
+            binio::put_u8(&mut out, REQ_UNSUBSCRIBE);
+            binio::put_u64(&mut out, *sub);
+        }
     }
     out
 }
@@ -388,6 +398,8 @@ pub fn decode_request(payload: &[u8]) -> Result<SessionRequest, DecodeError> {
         REQ_UNDO => SessionRequest::Undo,
         REQ_READ => SessionRequest::Read { view: d.str()? },
         REQ_STATS => SessionRequest::Stats,
+        REQ_SUBSCRIBE => SessionRequest::Subscribe { view: d.str()? },
+        REQ_UNSUBSCRIBE => SessionRequest::Unsubscribe { sub: d.u64()? },
         tag => return Err(DecodeError::BadTag { at, tag }),
     };
     if !d.is_done() {
@@ -406,6 +418,8 @@ const RESP_UPDATED: u8 = 3;
 const RESP_POOL_EDITED: u8 = 4;
 const RESP_UNDONE: u8 = 5;
 const RESP_STATS: u8 = 6;
+const RESP_SUBSCRIBED: u8 = 7;
+const RESP_UNSUBSCRIBED: u8 = 8;
 
 /// Dispatch-error tags (the `Err` arm of a KIND_RESPONSE payload).
 const ERR_UNKNOWN_SESSION: u8 = 1;
@@ -419,6 +433,7 @@ const SERR_TUPLE_IN_BASE: u8 = 4;
 const SERR_OUTSIDE_SPACE: u8 = 5;
 const SERR_DURABILITY: u8 = 6;
 const SERR_STALE_LOG: u8 = 7;
+const SERR_UNKNOWN_SUB: u8 = 8;
 
 /// Catalog-error tags.
 const CERR_UNKNOWN_VIEW: u8 = 1;
@@ -515,6 +530,17 @@ fn encode_response(out: &mut Vec<u8>, resp: &SessionResponse) {
             binio::put_u64(out, snap.session_id);
             binio::put_u64(out, snap.wal_seq);
             binio::put_u64(out, snap.log_bytes);
+            binio::put_u64(out, snap.active_subs as u64);
+        }
+        SessionResponse::Subscribed { view, sub, image } => {
+            binio::put_u8(out, RESP_SUBSCRIBED);
+            binio::put_str(out, view);
+            binio::put_u64(out, *sub);
+            binio::put_instance(out, image);
+        }
+        SessionResponse::Unsubscribed { sub } => {
+            binio::put_u8(out, RESP_UNSUBSCRIBED);
+            binio::put_u64(out, *sub);
         }
     }
 }
@@ -547,7 +573,14 @@ fn decode_response(d: &mut Dec<'_>) -> Result<SessionResponse, DecodeError> {
             session_id: d.u64()?,
             wal_seq: d.u64()?,
             log_bytes: d.u64()?,
+            active_subs: d.u64()? as usize,
         }),
+        RESP_SUBSCRIBED => SessionResponse::Subscribed {
+            view: d.str()?,
+            sub: d.u64()?,
+            image: d.instance()?,
+        },
+        RESP_UNSUBSCRIBED => SessionResponse::Unsubscribed { sub: d.u64()? },
         tag => return Err(DecodeError::BadTag { at, tag }),
     })
 }
@@ -652,6 +685,10 @@ fn encode_session_error(out: &mut Vec<u8>, e: &SessionError) {
             binio::put_u8(out, SERR_STALE_LOG);
             binio::put_str(out, detail);
         }
+        SessionError::UnknownSubscription { sub } => {
+            binio::put_u8(out, SERR_UNKNOWN_SUB);
+            binio::put_u64(out, *sub);
+        }
     }
 }
 
@@ -696,6 +733,7 @@ fn decode_session_error(d: &mut Dec<'_>) -> Result<SessionError, DecodeError> {
         SERR_OUTSIDE_SPACE => SessionError::StateOutsideSpace { view: d.str()? },
         SERR_DURABILITY => SessionError::Durability { detail: d.str()? },
         SERR_STALE_LOG => SessionError::StaleLog { detail: d.str()? },
+        SERR_UNKNOWN_SUB => SessionError::UnknownSubscription { sub: d.u64()? },
         tag => return Err(DecodeError::BadTag { at, tag }),
     })
 }

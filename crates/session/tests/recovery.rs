@@ -1195,3 +1195,69 @@ fn stats_snapshot_reports_durable_identity() {
     };
     assert_eq!((s2.session_id, s2.wal_seq, s2.log_bytes), (0, 0, 0));
 }
+
+// ------------------------------------------------ subscriptions + crash
+
+/// Subscriptions are connection-scoped, never durable.  A session that
+/// crashes with live subscriptions recovers its logical state exactly —
+/// but with zero subscriptions and zero pending delta events: WAL replay
+/// re-applies the mutations without re-publishing them, so a subscriber
+/// reconnecting after a crash can never observe a phantom event.
+#[test]
+fn recovery_carries_no_subscriptions_and_publishes_no_events() {
+    let (mut live, shared) = open_durable_mem();
+    live.serve(SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    })
+    .unwrap();
+    let SessionResponse::Subscribed { sub, .. } = live
+        .serve(SessionRequest::Subscribe { view: "r".into() })
+        .unwrap()
+    else {
+        panic!("subscribe answers with Subscribed");
+    };
+
+    // Skip the leading RegisterView (already served above) so the live
+    // session and the log agree on the request stream.
+    let ops = random_ops(&mut StdRng::seed_from_u64(23), 16, false);
+    for op in &ops[1..] {
+        if let Op::Req(req) = op {
+            let _ = live.serve(req.clone());
+        }
+    }
+    // The live subscription really was publishing up to the crash.
+    let published = live.take_events();
+    assert!(
+        published.iter().any(|e| e.sub == sub),
+        "workload committed nothing — events: {published:?}"
+    );
+    assert_eq!(live.active_subscriptions(), 1);
+
+    let bytes = shared.lock().unwrap().clone();
+    let (mut recovered, report) = Session::recover(
+        family(),
+        schema(),
+        Box::new(MemStore::from_bytes(bytes)),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    assert_eq!(report.stopped, RecoveryStop::CleanEnd);
+
+    // A completely silent subscription layer...
+    assert_eq!(recovered.active_subscriptions(), 0, "phantom subscription");
+    assert!(!recovered.has_events(), "phantom events pending");
+    assert_eq!(recovered.take_events(), vec![], "phantom events replayed");
+
+    // ...under byte-identical logical state.  Re-subscribing first
+    // restores request-counter parity (the live `Subscribe` was served
+    // but never logged) and shows ids restart at 1, as on a new session.
+    let SessionResponse::Subscribed { sub, .. } = recovered
+        .serve(SessionRequest::Subscribe { view: "r".into() })
+        .unwrap()
+    else {
+        panic!("subscribe answers with Subscribed");
+    };
+    assert_eq!(sub, 1, "subscription ids restart after recovery");
+    assert_same_logical(&recovered, &live, "crash with live subscription");
+}

@@ -16,6 +16,12 @@
 //! at every shard count.
 //!
 //! Run with: `cargo run --example serve -- --shards 4`
+//!
+//! `--subscribe <session>/<view>` switches to the delta-subscription
+//! walkthrough (DESIGN.md §13): a second connection subscribes to the
+//! view, the writer drives the same burst of updates, and every change
+//! arrives as a pushed, sequence-numbered delta event — no polling.
+//! Try: `cargo run --example serve -- --subscribe orders/sup`
 
 use compview::core::SubschemaComponents;
 use compview::logic::Schema;
@@ -26,6 +32,7 @@ use std::collections::BTreeMap;
 
 fn main() {
     let mut shards = 1usize;
+    let mut subscribe: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,7 +43,16 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .expect("--shards takes a positive integer");
             }
-            other => panic!("unknown argument {other:?} (supported: --shards N)"),
+            "--subscribe" => {
+                let spec = args.next().expect("--subscribe takes <session>/<view>");
+                let (session, view) = spec
+                    .split_once('/')
+                    .expect("--subscribe takes <session>/<view>");
+                subscribe = Some((session.to_owned(), view.to_owned()));
+            }
+            other => panic!(
+                "unknown argument {other:?} (supported: --shards N, --subscribe <session>/<view>)"
+            ),
         }
     }
 
@@ -87,6 +103,13 @@ fn main() {
         "serving on {addr} with {} dispatcher shard(s)",
         server.shard_count()
     );
+
+    if let Some((session, view)) = subscribe {
+        subscribe_demo(addr, &sig, &session, &view);
+        let _ = server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
 
     // 3. A client registers a view, pipelines a burst of updates (the
     //    server groups whatever arrives together into one batch — one
@@ -154,6 +177,83 @@ fn main() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `--subscribe` walkthrough: register the view, open a delta
+/// subscription on a second connection, drive updates from the first,
+/// and print the pushed stream.
+fn subscribe_demo(addr: std::net::SocketAddr, sig: &Signature, session: &str, view: &str) {
+    let mut writer = Client::connect(addr).unwrap();
+    writer
+        .request(
+            "orders",
+            &SessionRequest::RegisterView {
+                name: "sup".into(),
+                mask: 0b01,
+            },
+        )
+        .unwrap()
+        .unwrap();
+
+    let mut subscriber = Client::connect(addr).unwrap();
+    let (sub, image) = match subscriber.subscribe(session, view).unwrap() {
+        Ok(opened) => opened,
+        Err(e) => {
+            // A bad target is an answer, not a dropped connection.
+            println!("subscribe to {session}/{view} refused: {e:?}");
+            return;
+        }
+    };
+    println!(
+        "subscription #{sub} on {session}/{view}: image at seq 0 holds {} tuples",
+        image.rel("Suppliers").len()
+    );
+
+    let states = [
+        Instance::null_model(sig).with("Suppliers", rel(1, [["s1"], ["s2"]])),
+        Instance::null_model(sig).with("Suppliers", rel(1, [["s1"], ["s2"], ["s3"]])),
+        Instance::null_model(sig).with("Suppliers", rel(1, [["s2"], ["s3"]])),
+    ];
+    let changes = states.len();
+    for new_state in states {
+        writer
+            .request(
+                "orders",
+                &SessionRequest::Update {
+                    view: "sup".into(),
+                    new_state,
+                },
+            )
+            .unwrap()
+            .unwrap();
+    }
+
+    // The demo writer only touches orders/sup; a subscription elsewhere
+    // stays silent, so only drain the stream we actually fed.
+    if (session, view) == ("orders", "sup") {
+        for _ in 0..changes {
+            let (from, event) = subscriber.next_event().unwrap();
+            match &event.kind {
+                compview::session::DeltaKind::Rows { added, removed } => println!(
+                    "event seq {} from {from}/{}: +{} -{} tuples",
+                    event.seq,
+                    event.view,
+                    added.rel("Suppliers").len(),
+                    removed.rel("Suppliers").len(),
+                ),
+                other => println!("event seq {} from {from}: {other:?}", event.seq),
+            }
+        }
+    } else {
+        println!("(the demo writer only updates orders/sup — stream stays silent)");
+    }
+
+    let done = subscriber
+        .request(session, &SessionRequest::Unsubscribe { sub })
+        .unwrap()
+        .unwrap();
+    assert!(matches!(done, SessionResponse::Unsubscribed { .. }));
+    println!("unsubscribed: the stream is closed");
 }
 
 fn label(res: &SessionResponse) -> &'static str {

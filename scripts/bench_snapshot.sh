@@ -3,13 +3,14 @@
 # translate_scaling, incremental maintenance, session serving, WAL
 # append throughput + group commit + recovery latency, wire protocol,
 # sharded-dispatcher shard-count sweep, instrumentation overhead
-# enabled vs no-op) and collect the vendored harness's machine-readable
-# result lines ("compview-bench: {...}") into BENCH_PR6.json.
+# enabled vs no-op, delta-subscription fan-out + push-vs-poll bytes) and
+# collect the vendored harness's machine-readable result lines
+# ("compview-bench: {...}") into BENCH_PR7.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
-TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs)
+OUT="${1:-BENCH_PR7.json}"
+TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs subs)
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

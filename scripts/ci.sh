@@ -44,6 +44,13 @@ cargo test -q -p compview-serve --test loopback
 echo "==> cargo test -p compview-serve --test sharded (sharded dispatcher)"
 cargo test -q -p compview-serve --test sharded
 
+# The subscription subsystem's contract: the delta stream replayed over
+# the subscribe-time image reconstructs a fresh read byte-for-byte, at
+# 1/2/8 worker threads x 1/2/8 dispatcher shards (proptested), plus
+# slow-consumer cuts, typed errors, and dead-connection cleanup.
+echo "==> cargo test -p compview-serve --test subs (delta subscriptions)"
+cargo test -q -p compview-serve --test subs
+
 echo "==> cargo build --example session --example recovery --example serve --benches"
 cargo build --example session --example recovery --example serve
 cargo build --benches -p compview-bench
@@ -52,5 +59,11 @@ cargo build --benches -p compview-bench
 # the wire, Prometheus rendering, and the span tracer end to end.
 echo "==> cargo run --example obs (observability smoke)"
 cargo run -q --example obs > /dev/null
+
+# The subscription walkthrough doubles as a push-path smoke test: a live
+# delta stream over TCP must deliver all three updates in sequence.
+echo "==> cargo run --example serve -- --subscribe orders/sup (delta stream smoke)"
+subscribe_out="$(cargo run -q --example serve -- --subscribe orders/sup)"
+grep -q "event seq 3" <<< "$subscribe_out"
 
 echo "CI OK"
