@@ -1,0 +1,217 @@
+//! E17: WAL shipping — replication visibility latency and catch-up
+//! throughput.
+//!
+//! `repl/ship/update_visible` prices the full replication path for one
+//! committed change: the writer's `Update` commits on the leader
+//! (serialize, append, fsync, dispatch), the WAL record ships over
+//! loopback, the follower's dispatcher applies it into local state, and
+//! a delta subscription *on the follower* pushes the resulting event —
+//! the iteration ends only when the change is visible to a follower
+//! client.  Compare against `subs/fanout/subs_1` (same wait, no
+//! replication hop) to isolate the shipping cost.
+//!
+//! `repl/catchup/records_64` is the cold-start path: a fresh follower
+//! with an empty log runs `Replica::start` against a leader holding a
+//! 64-record log, which must ship and apply the whole history before
+//! the replica serves its first read.  Mean divided by 64 is the
+//! per-record catch-up cost; 64 divided by the mean is catch-up
+//! records/second.
+
+use compview_bench::header;
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview_serve::{Client, Replica, ReplicaOptions, Server};
+use compview_session::{Service, SessionConfig, SessionRequest, SyncPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["B"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            (0..5).map(|i| Tuple::new([v(&format!("a{i}"))])).collect(),
+        ),
+        (
+            "S".to_owned(),
+            (0..3).map(|i| Tuple::new([v(&format!("b{i}"))])).collect(),
+        ),
+    ]
+    .into()
+}
+
+fn base() -> Instance {
+    Instance::null_model(&sig()).with("R", rel(1, [["a0"]]))
+}
+
+/// A service with one durable session `w` (view `r` registered) logging
+/// into `dir` — the same 256-state space as the `wal` and `subs`
+/// benches, for comparability.
+fn durable_service(dir: &PathBuf) -> Service<SubschemaComponents> {
+    let mut svc = Service::new();
+    svc.create_durable_session(
+        dir,
+        "w",
+        SubschemaComponents::singletons(sig()),
+        Schema::unconstrained(sig()),
+        &pools(),
+        base(),
+        SessionConfig::default(),
+        SyncPolicy::Always,
+    )
+    .expect("fresh durable session");
+    svc
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("compview-bench-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    dir
+}
+
+fn replica_options() -> ReplicaOptions {
+    ReplicaOptions {
+        retry_base: Duration::from_millis(2),
+        retry_max: Duration::from_millis(50),
+        read_timeout: Duration::from_secs(2),
+        connect_attempts: 50,
+        seed: 0xC0FFEE,
+        ..ReplicaOptions::default()
+    }
+}
+
+/// The two states the writer flips between: a one-row delta each way,
+/// never growing the pool (pool inserts re-enumerate the state space
+/// and would swamp the shipping cost being measured).
+fn states() -> (Instance, Instance) {
+    let a = Instance::null_model(&sig()).with("R", rel(1, [["a0"], ["a1"]]));
+    let b = Instance::null_model(&sig()).with("R", rel(1, [["a0"], ["a2"]]));
+    (a, b)
+}
+
+fn update(new_state: Instance) -> SessionRequest {
+    SessionRequest::Update {
+        view: "r".into(),
+        new_state,
+    }
+}
+
+fn bench_repl(c: &mut Criterion) {
+    header(
+        "E17",
+        "replication: shipped-update visibility, catch-up throughput",
+    );
+    let mut group = c.benchmark_group("repl");
+    let (state_a, state_b) = states();
+
+    // Leader commit → follower-visible event, one iteration per change.
+    {
+        let ldir = bench_dir("ship-l");
+        let fdir = bench_dir("ship-f");
+        let leader = Server::bind("127.0.0.1:0", durable_service(&ldir)).unwrap();
+        let leader_addr = leader.local_addr().to_string();
+        let mut writer = Client::connect(leader.local_addr()).unwrap();
+        writer
+            .request(
+                "w",
+                &SessionRequest::RegisterView {
+                    name: "r".into(),
+                    mask: 0b01,
+                },
+            )
+            .unwrap()
+            .unwrap();
+        let replica = Replica::start(
+            "127.0.0.1:0",
+            &leader_addr,
+            durable_service(&fdir),
+            replica_options(),
+        )
+        .unwrap();
+        let mut observer = Client::connect(replica.local_addr()).unwrap();
+        observer.subscribe("w", "r").unwrap().unwrap();
+        let mut flip = false;
+        group.bench_function("ship/update_visible", |bch| {
+            bch.iter(|| {
+                flip = !flip;
+                let state = if flip { &state_a } else { &state_b };
+                writer
+                    .request("w", &update(state.clone()))
+                    .unwrap()
+                    .unwrap();
+                black_box(observer.next_event().unwrap());
+            })
+        });
+        drop(observer);
+        drop(writer);
+        let _ = replica.shutdown();
+        leader.shutdown();
+        let _ = std::fs::remove_dir_all(&ldir);
+        let _ = std::fs::remove_dir_all(&fdir);
+    }
+
+    // Cold start: sync a fresh follower against a 64-record leader log.
+    {
+        let records = 64usize;
+        let ldir = bench_dir("catchup-l");
+        let leader = Server::bind("127.0.0.1:0", durable_service(&ldir)).unwrap();
+        let leader_addr = leader.local_addr().to_string();
+        let mut writer = Client::connect(leader.local_addr()).unwrap();
+        writer
+            .request(
+                "w",
+                &SessionRequest::RegisterView {
+                    name: "r".into(),
+                    mask: 0b01,
+                },
+            )
+            .unwrap()
+            .unwrap();
+        for i in 0..records {
+            let state = if i % 2 == 0 { &state_a } else { &state_b };
+            writer
+                .request("w", &update(state.clone()))
+                .unwrap()
+                .unwrap();
+        }
+        let mut round = 0usize;
+        group.bench_function(format!("catchup/records_{records}"), |bch| {
+            bch.iter(|| {
+                round += 1;
+                let fdir = bench_dir(&format!("catchup-f{round}"));
+                let replica = Replica::start(
+                    "127.0.0.1:0",
+                    &leader_addr,
+                    durable_service(&fdir),
+                    replica_options(),
+                )
+                .unwrap();
+                let _ = black_box(replica.shutdown());
+                let _ = std::fs::remove_dir_all(&fdir);
+            })
+        });
+        drop(writer);
+        leader.shutdown();
+        let _ = std::fs::remove_dir_all(&ldir);
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_repl
+}
+criterion_main!(benches);

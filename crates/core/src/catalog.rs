@@ -145,6 +145,44 @@ impl<F: ComponentFamily> Catalog<F> {
         Ok(cat)
     }
 
+    /// Replace this catalog's contents in place from previously captured
+    /// parts, keeping the (immovable) component family.
+    ///
+    /// The in-place twin of [`Catalog::restore`], used when a live catalog
+    /// must jump to a different captured state — e.g. a replication
+    /// follower applying a leader checkpoint image.  Performs the same
+    /// validation; on error the catalog is left untouched.
+    ///
+    /// # Errors
+    /// [`CatalogError::BadMask`] when a restored view's mask refers to
+    /// atoms the family does not have.
+    ///
+    /// # Panics
+    /// Panics like [`Catalog::new`] when `state` is not legal for the
+    /// family — a schema/family mismatch, not recoverable corruption.
+    pub fn reset(
+        &mut self,
+        state: Instance,
+        views: BTreeMap<String, u32>,
+        log: Vec<UpdateReport>,
+        history: Vec<Instance>,
+    ) -> Result<(), CatalogError> {
+        let full = self.family.full_mask();
+        if let Some((_, &m)) = views.iter().find(|&(_, &m)| m & !full != 0) {
+            return Err(CatalogError::BadMask(m));
+        }
+        let a = self.family.endo(full, &state);
+        assert!(
+            self.family.reconstruct(&a, &self.family.endo(0, &state)) == state,
+            "reset state is not legal for this component family"
+        );
+        self.state = state;
+        self.views = views;
+        self.log = log;
+        self.history = history;
+        Ok(())
+    }
+
     /// Register a view named `name` as the component with the given mask.
     pub fn register<S: Into<String>>(&mut self, name: S, mask: u32) -> Result<(), CatalogError> {
         let name = name.into();

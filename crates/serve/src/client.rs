@@ -56,6 +56,13 @@ enum Arrival {
 pub struct Client {
     stream: TcpStream,
     inbox: VecDeque<Arrival>,
+    /// Once the transport has failed: why.  Every later send or receive
+    /// returns the same [`ProtoError::ConnectionLost`] instead of a
+    /// fresh (and possibly different) I/O error from a dead socket —
+    /// callers that keep polling after a loss see one deterministic
+    /// answer, never a panic or a shifting errno.  Arrivals parked in
+    /// the inbox *before* the loss stay readable.
+    lost: Option<String>,
 }
 
 impl Client {
@@ -70,24 +77,63 @@ impl Client {
         Ok(Client {
             stream,
             inbox: VecDeque::new(),
+            lost: None,
         })
+    }
+
+    /// The sticky error, if the transport has already failed.
+    fn lost_err(&self) -> Option<ProtoError> {
+        self.lost.as_ref().map(|detail| ProtoError::ConnectionLost {
+            detail: detail.clone(),
+        })
+    }
+
+    /// Poison the connection (first detail wins) and return the sticky
+    /// error.
+    fn mark_lost(&mut self, detail: String) -> ProtoError {
+        let detail = self.lost.get_or_insert(detail).clone();
+        ProtoError::ConnectionLost { detail }
     }
 
     /// Send one request without waiting for its response (pipelining).
     /// Responses arrive in send order; collect them with
     /// [`Client::recv`].
+    ///
+    /// # Errors
+    /// [`ProtoError::ConnectionLost`] — deterministically, on every call
+    /// — once the transport has failed.
     pub fn send(&mut self, session: &str, req: &SessionRequest) -> Result<(), ProtoError> {
-        write_frame(&mut self.stream, &encode_request_payload(session, req))
+        if let Some(e) = self.lost_err() {
+            return Err(e);
+        }
+        write_frame(&mut self.stream, &encode_request_payload(session, req)).map_err(|e| match e {
+            ProtoError::Io(io) => self.mark_lost(format!("send failed: {io}")),
+            other => other,
+        })
     }
 
     /// Read one frame off the wire and classify it.
     fn read_arrival(&mut self, owed: &str) -> Result<Arrival, ProtoError> {
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            ProtoError::Io(io::Error::new(
-                ErrorKind::UnexpectedEof,
-                format!("server closed the connection with {owed} still owed"),
-            ))
-        })?;
+        if let Some(e) = self.lost_err() {
+            return Err(e);
+        }
+        let payload = match read_frame(&mut self.stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                return Err(self.mark_lost(format!(
+                    "server closed the connection with {owed} still owed"
+                )))
+            }
+            Err(ProtoError::Io(io)) => return Err(self.mark_lost(format!("receive failed: {io}"))),
+            // A framing violation (bad CRC, over-limit length, torn
+            // stream): surface it as-is this once, but nothing after it
+            // can be trusted — poison the connection.
+            Err(other) => {
+                self.lost
+                    .get_or_insert_with(|| format!("stream desynchronised: {other}"));
+                return Err(other);
+            }
+        };
         if is_event_payload(&payload) {
             let (session, event) = decode_event_payload(&payload)?;
             Ok(Arrival::Event(session, event))
@@ -120,8 +166,9 @@ impl Client {
     /// first (collect those with [`Client::next_event`]).
     ///
     /// # Errors
-    /// [`ProtoError::Io`] with [`ErrorKind::UnexpectedEof`] when the
-    /// server hung up with responses still owed.
+    /// [`ProtoError::ConnectionLost`] when the server hung up with
+    /// responses still owed — and deterministically on every call after
+    /// any transport loss.
     pub fn recv(&mut self) -> Result<WireResult, ProtoError> {
         let payload = self.next_solicited("a response")?;
         Ok(decode_result_payload(&payload)?)
@@ -180,7 +227,13 @@ impl Client {
     /// slots into this connection's FIFO like any other request, so a
     /// probe pipelined behind N requests observes all N.
     pub fn send_metrics(&mut self) -> Result<(), ProtoError> {
-        write_frame(&mut self.stream, &encode_metrics_request_payload())
+        if let Some(e) = self.lost_err() {
+            return Err(e);
+        }
+        write_frame(&mut self.stream, &encode_metrics_request_payload()).map_err(|e| match e {
+            ProtoError::Io(io) => self.mark_lost(format!("send failed: {io}")),
+            other => other,
+        })
     }
 
     /// Receive the response to a [`Client::send_metrics`], parking delta

@@ -28,8 +28,10 @@
 
 pub mod client;
 pub mod proto;
+pub mod replica;
 pub mod server;
 
 pub use client::{Client, ServerMessage, WireResult};
 pub use proto::{ProtoError, HANDSHAKE, MAX_FRAME};
+pub use replica::{Replica, ReplicaError, ReplicaOptions};
 pub use server::{ServeOptions, Server};

@@ -57,6 +57,46 @@ pub const KIND_METRICS: u8 = 3;
 /// no further frames carry that subscription id.
 pub const KIND_EVENT: u8 = 4;
 
+/// Marker byte of a **replication** handshake: `Replicate` requests and
+/// their acks.
+///
+/// A `Replicate` request payload is
+/// `[0xFF, 0xFF, 0xFF, 0xFF] ++ [KIND_REPLICATE] ++ str session ++
+/// u64 from_seq ++ u64 gen`: the four `0xFF` bytes sit where an ordinary
+/// request carries its session-name length, and no real name can be
+/// `0xFFFF_FFFF` bytes long (payloads are capped at [`MAX_FRAME`]), so
+/// the discrimination is unambiguous.  The solicited ack is
+/// `[KIND_REPLICATE] ++ status ...` — see [`ReplicateAck`].
+pub const KIND_REPLICATE: u8 = 5;
+
+/// Marker byte of an unsolicited **WAL shipment** frame, pushed by a
+/// leader to a follower that sent `Replicate`.  Second byte is one of
+/// [`W_RECORD`], [`W_RESET`], [`W_END`]; see [`WalFrame`].
+pub const KIND_WAL: u8 = 6;
+
+/// [`KIND_WAL`] subtype: one raw framed WAL record, shipped verbatim so
+/// the follower can CRC-verify and byte-mirror it.
+pub const W_RECORD: u8 = 1;
+
+/// [`KIND_WAL`] subtype: the leader checkpointed — a raw framed record-0
+/// snapshot image the follower must reset onto.
+pub const W_RESET: u8 = 2;
+
+/// [`KIND_WAL`] subtype: the leader terminated this session's stream
+/// (e.g. the follower fell too far behind its outbox cap).  The follower
+/// treats it as a disconnect and re-requests.
+pub const W_END: u8 = 3;
+
+/// A single-byte keep-alive frame, sent by the leader on connections
+/// with active replication streams so a follower's read timeout can tell
+/// "idle leader" from "dead link".  Never sent to ordinary clients —
+/// they would misroute it as a solicited response.
+pub const KIND_HEARTBEAT: u8 = 7;
+
+/// The four bytes that open a `Replicate` request payload where an
+/// ordinary request carries its session-name length.
+pub const REPLICATE_SENTINEL: [u8; 4] = [0xFF; 4];
+
 /// Why a connection's byte stream was refused.
 #[derive(Debug)]
 pub enum ProtoError {
@@ -85,6 +125,14 @@ pub enum ProtoError {
     /// A metrics response frame failed its own (CRC-gated, strictly
     /// validated) codec.
     Metrics(DecodeMetricsError),
+    /// The connection died earlier and cannot carry anything further.
+    /// Unlike [`ProtoError::Io`], this is *sticky*: every send or receive
+    /// after the loss reports it again, deterministically, with the
+    /// original failure in `detail`.
+    ConnectionLost {
+        /// The transport failure that killed the connection.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -103,6 +151,9 @@ impl std::fmt::Display for ProtoError {
             ),
             ProtoError::Decode(e) => write!(f, "undecodable payload: {e}"),
             ProtoError::Metrics(e) => write!(f, "undecodable metrics snapshot: {e}"),
+            ProtoError::ConnectionLost { detail } => {
+                write!(f, "connection lost: {detail}")
+            }
         }
     }
 }
@@ -238,6 +289,16 @@ pub enum WireRequest {
     Dispatch(String, SessionRequest),
     /// A metrics-snapshot request for the whole service.
     Metrics,
+    /// A follower asks to tail `session`'s WAL starting at `from_seq`
+    /// of generation `gen` (`0, 0` = from scratch).
+    Replicate {
+        /// The session whose log to stream.
+        session: String,
+        /// The next sequence number the follower wants.
+        from_seq: u64,
+        /// The generation the follower is on (0 = none).
+        gen: u64,
+    },
 }
 
 /// Encode a metrics request frame payload.
@@ -255,8 +316,35 @@ pub fn decode_wire_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
     if payload == [KIND_METRICS] {
         return Ok(WireRequest::Metrics);
     }
+    if payload.len() > 5 && payload[..4] == REPLICATE_SENTINEL && payload[4] == KIND_REPLICATE {
+        let mut d = Dec::new(&payload[5..]);
+        let session = d.str()?;
+        let from_seq = d.u64()?;
+        let gen = d.u64()?;
+        if !d.is_done() {
+            return Err(DecodeError::BadLength {
+                at: d.pos() + 5,
+                len: d.remaining() as u64,
+            });
+        }
+        return Ok(WireRequest::Replicate {
+            session,
+            from_seq,
+            gen,
+        });
+    }
     let (session, req) = decode_request_payload(payload)?;
     Ok(WireRequest::Dispatch(session, req))
+}
+
+/// Encode a `Replicate` request frame payload (see [`KIND_REPLICATE`]).
+pub fn encode_replicate_payload(session: &str, from_seq: u64, gen: u64) -> Vec<u8> {
+    let mut out = REPLICATE_SENTINEL.to_vec();
+    out.push(KIND_REPLICATE);
+    binio::put_str(&mut out, session);
+    binio::put_u64(&mut out, from_seq);
+    binio::put_u64(&mut out, gen);
+    out
 }
 
 /// Encode a metrics response frame payload around an already-encoded
@@ -334,4 +422,216 @@ pub fn decode_result_payload(
     payload: &[u8],
 ) -> Result<Result<SessionResponse, DispatchError>, DecodeError> {
     wal::decode_result(payload)
+}
+
+/// The leader's solicited answer to a `Replicate` request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicateAck {
+    /// The stream is on: catch-up frames (and then live shipments)
+    /// follow as unsolicited [`WalFrame`]s.
+    Streaming {
+        /// The leader log's current generation.
+        gen: u64,
+        /// First sequence number the leader will ship (`0` means a
+        /// [`W_RESET`] snapshot comes first).
+        start_seq: u64,
+        /// The leader log's last sequence number at ack time.
+        last_seq: u64,
+    },
+    /// The leader refuses to stream (unknown or non-durable session, or
+    /// the follower is ahead of the leader — split brain).
+    Refused {
+        /// Why.
+        detail: String,
+    },
+}
+
+/// Ack status bytes.
+const ACK_STREAMING: u8 = 1;
+const ACK_REFUSED: u8 = 2;
+
+/// Encode a [`ReplicateAck`] frame payload.
+pub fn encode_replicate_ack_payload(ack: &ReplicateAck) -> Vec<u8> {
+    let mut out = vec![KIND_REPLICATE];
+    match ack {
+        ReplicateAck::Streaming {
+            gen,
+            start_seq,
+            last_seq,
+        } => {
+            binio::put_u8(&mut out, ACK_STREAMING);
+            binio::put_u64(&mut out, *gen);
+            binio::put_u64(&mut out, *start_seq);
+            binio::put_u64(&mut out, *last_seq);
+        }
+        ReplicateAck::Refused { detail } => {
+            binio::put_u8(&mut out, ACK_REFUSED);
+            binio::put_str(&mut out, detail);
+        }
+    }
+    out
+}
+
+/// Decode a [`ReplicateAck`] frame payload.
+///
+/// # Errors
+/// [`DecodeError`] on a wrong marker, a bad status byte, truncation, or
+/// trailing bytes.
+pub fn decode_replicate_ack_payload(payload: &[u8]) -> Result<ReplicateAck, DecodeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8()?;
+    if kind != KIND_REPLICATE {
+        return Err(DecodeError::BadTag { at: 0, tag: kind });
+    }
+    let at = d.pos();
+    let ack = match d.u8()? {
+        ACK_STREAMING => ReplicateAck::Streaming {
+            gen: d.u64()?,
+            start_seq: d.u64()?,
+            last_seq: d.u64()?,
+        },
+        ACK_REFUSED => ReplicateAck::Refused { detail: d.str()? },
+        tag => return Err(DecodeError::BadTag { at, tag }),
+    };
+    if !d.is_done() {
+        return Err(DecodeError::BadLength {
+            at: d.pos(),
+            len: d.remaining() as u64,
+        });
+    }
+    Ok(ack)
+}
+
+/// One unsolicited WAL shipment frame (see [`KIND_WAL`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalFrame {
+    /// One raw framed WAL record of `session`, shipped verbatim.
+    Record {
+        /// The owning session.
+        session: String,
+        /// The generation the record belongs to.
+        gen: u64,
+        /// The full framed record bytes (still CRC-protected by the WAL
+        /// framing itself, on top of the wire frame's CRC).
+        bytes: Vec<u8>,
+    },
+    /// The leader checkpointed: a raw framed record-0 snapshot image.
+    Reset {
+        /// The owning session.
+        session: String,
+        /// The fresh log's generation.
+        gen: u64,
+        /// The full framed record-0 bytes.
+        record0: Vec<u8>,
+    },
+    /// The leader ended this session's stream; the follower should treat
+    /// the link as lost and re-request.
+    End {
+        /// The owning session.
+        session: String,
+        /// Why the stream ended.
+        reason: String,
+    },
+}
+
+/// Encode a [`WalFrame`] payload.
+pub fn encode_wal_frame_payload(frame: &WalFrame) -> Vec<u8> {
+    let mut out = vec![KIND_WAL];
+    match frame {
+        WalFrame::Record {
+            session,
+            gen,
+            bytes,
+        } => {
+            binio::put_u8(&mut out, W_RECORD);
+            binio::put_str(&mut out, session);
+            binio::put_u64(&mut out, *gen);
+            out.extend_from_slice(bytes);
+        }
+        WalFrame::Reset {
+            session,
+            gen,
+            record0,
+        } => {
+            binio::put_u8(&mut out, W_RESET);
+            binio::put_str(&mut out, session);
+            binio::put_u64(&mut out, *gen);
+            out.extend_from_slice(record0);
+        }
+        WalFrame::End { session, reason } => {
+            binio::put_u8(&mut out, W_END);
+            binio::put_str(&mut out, session);
+            binio::put_str(&mut out, reason);
+        }
+    }
+    out
+}
+
+/// Decode a [`WalFrame`] payload (inverse of
+/// [`encode_wal_frame_payload`]).  The carried record bytes are *not*
+/// validated here — the follower's apply path CRC-checks the WAL framing
+/// itself, so a corrupt record is refused where it can be retried.
+///
+/// # Errors
+/// [`DecodeError`] on a wrong marker or subtype, or truncation of the
+/// leading fields.
+pub fn decode_wal_frame_payload(payload: &[u8]) -> Result<WalFrame, DecodeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8()?;
+    if kind != KIND_WAL {
+        return Err(DecodeError::BadTag { at: 0, tag: kind });
+    }
+    let at = d.pos();
+    match d.u8()? {
+        W_RECORD => {
+            let session = d.str()?;
+            let gen = d.u64()?;
+            Ok(WalFrame::Record {
+                session,
+                gen,
+                bytes: payload[d.pos()..].to_vec(),
+            })
+        }
+        W_RESET => {
+            let session = d.str()?;
+            let gen = d.u64()?;
+            Ok(WalFrame::Reset {
+                session,
+                gen,
+                record0: payload[d.pos()..].to_vec(),
+            })
+        }
+        W_END => {
+            let session = d.str()?;
+            let reason = d.str()?;
+            if !d.is_done() {
+                return Err(DecodeError::BadLength {
+                    at: d.pos(),
+                    len: d.remaining() as u64,
+                });
+            }
+            Ok(WalFrame::End { session, reason })
+        }
+        tag => Err(DecodeError::BadTag { at, tag }),
+    }
+}
+
+/// Whether a sound frame is an unsolicited WAL shipment.
+pub fn is_wal_payload(payload: &[u8]) -> bool {
+    payload.first() == Some(&KIND_WAL)
+}
+
+/// The heartbeat frame payload (see [`KIND_HEARTBEAT`]).
+pub fn encode_heartbeat_payload() -> Vec<u8> {
+    vec![KIND_HEARTBEAT]
+}
+
+/// Whether a sound frame is a heartbeat.
+pub fn is_heartbeat_payload(payload: &[u8]) -> bool {
+    payload == [KIND_HEARTBEAT]
+}
+
+/// Whether a sound frame is a replication ack.
+pub fn is_replicate_ack_payload(payload: &[u8]) -> bool {
+    payload.first() == Some(&KIND_REPLICATE)
 }

@@ -1,0 +1,712 @@
+//! Fault-tolerant read replicas: WAL shipping from a leader
+//! [`Server`](crate::Server) to follower processes.
+//!
+//! A [`Replica`] owns a complete follower: it first **syncs** every
+//! durable session against the leader (connecting, sending `Replicate`
+//! requests, and applying the shipped catch-up through the same replay
+//! path recovery uses), then binds its own server for local reads and
+//! keeps **tailing** the leader's live WAL shipments on a background
+//! thread.  Followers refuse durable writes with a typed
+//! `NotLeader { leader_addr }` rejection; reads, stats, metrics, and
+//! subscriptions are served from local state, which is byte-identical to
+//! the leader's at every applied sequence number — the shipped frames
+//! *are* the leader's WAL bytes, mirrored verbatim into the follower's
+//! log before being replayed.
+//!
+//! # Robustness
+//!
+//! The tail loop assumes the link will fail and the leader will restart:
+//!
+//! - Every transport error, read timeout (missed heartbeats), corrupt or
+//!   gapped record, and leader-sent `W_END` tears the link down; the
+//!   loop reconnects under bounded exponential backoff with
+//!   deterministic jitter and re-requests each session from
+//!   `last_applied + 1` — the position reported back by the apply path
+//!   itself, never the loop's own bookkeeping — so a torn suffix is
+//!   never applied and nothing durable is ever skipped.
+//! - A follower that lags (or is cut off entirely) keeps serving reads
+//!   from its last applied state; `repl.lag_records` / `repl.lag_bytes`
+//!   and `repl.reconnects` make the divergence observable.
+//! - A leader refusal (split brain: the follower holds records the
+//!   leader never wrote) is **fatal**, not retried — it surfaces through
+//!   [`Replica::fault`] instead of silently forking history.
+//!
+//! # Failover
+//!
+//! [`Replica::promote`] is explicit: it stops the tail loop, waits for
+//! in-flight applies to land, fsyncs every session's log, flips the
+//! sessions writable, and hands back the inner [`Server`] — now a
+//! leader.  Nothing implicit ever promotes a follower.
+
+use crate::proto::{
+    decode_replicate_ack_payload, decode_wal_frame_payload, encode_replicate_payload,
+    expect_handshake, is_heartbeat_payload, is_replicate_ack_payload, is_wal_payload, read_frame,
+    send_handshake, write_frame, ProtoError, ReplicateAck, WalFrame,
+};
+use crate::server::{ApplyKind, ApplyReport, ServeOptions, Server};
+use compview_core::ComponentFamily;
+use compview_obs::{Counter, Gauge, Registry};
+use compview_session::{ApplyError, Service};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`Replica::start`].
+#[derive(Clone, Debug)]
+pub struct ReplicaOptions {
+    /// Options for the follower's own read server.
+    pub serve: ServeOptions,
+    /// First reconnect delay; doubles per consecutive failure.
+    pub retry_base: Duration,
+    /// Reconnect delay ceiling (before ±50% jitter).
+    pub retry_max: Duration,
+    /// How long the leader link may stay silent before it is presumed
+    /// dead.  Must comfortably exceed the leader's
+    /// [`ServeOptions::heartbeat_interval`], or a healthy idle link will
+    /// be torn down and redialed on every timeout.
+    pub read_timeout: Duration,
+    /// Transport failures tolerated during the initial sync before
+    /// [`Replica::start`] gives up with [`ReplicaError::Connect`].
+    pub connect_attempts: u32,
+    /// Seed for the backoff jitter (all randomness in this workspace is
+    /// seeded; same seed, same retry schedule).
+    pub seed: u64,
+}
+
+impl Default for ReplicaOptions {
+    fn default() -> ReplicaOptions {
+        ReplicaOptions {
+            serve: ServeOptions::default(),
+            retry_base: Duration::from_millis(50),
+            retry_max: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            connect_attempts: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// Why a [`Replica`] could not start, promote, or keep streaming.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// The leader stayed unreachable through every allowed attempt.
+    Connect {
+        /// The last transport failure.
+        detail: String,
+    },
+    /// The leader refused to stream a session (unknown session, no log,
+    /// or the follower is ahead — split brain).
+    Refused {
+        /// The refused session.
+        session: String,
+        /// The leader's reason.
+        detail: String,
+    },
+    /// The follower's own server could not bind.
+    Bind {
+        /// The bind failure.
+        detail: String,
+    },
+    /// Promotion failed (a session's log could not be fsynced, or the
+    /// server was torn down underneath the replica).
+    Promote {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::Connect { detail } => write!(f, "cannot reach leader: {detail}"),
+            ReplicaError::Refused { session, detail } => {
+                write!(f, "leader refused to replicate {session:?}: {detail}")
+            }
+            ReplicaError::Bind { detail } => write!(f, "cannot bind replica server: {detail}"),
+            ReplicaError::Promote { detail } => write!(f, "promotion failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+/// Follower-side instruments, registered on the service registry before
+/// the server takes it over.
+#[derive(Clone)]
+struct ReplObs {
+    /// Known catch-up distance, in records, summed over sessions (from
+    /// the leader's ack positions; 0 once caught up — live shipments are
+    /// applied as they arrive).
+    lag_records: Gauge,
+    /// Bytes of the shipment currently received but not yet applied
+    /// (pulses per record; a sustained value means the apply path is the
+    /// bottleneck).
+    lag_bytes: Gauge,
+    /// Times the leader link was torn down and redialed.
+    reconnects: Counter,
+    /// 1 while the leader link is up.
+    connected: Gauge,
+    /// Shipped records refused by the apply path (gap, CRC mismatch,
+    /// undecodable payload) — each costs the link and forces a re-sync
+    /// from the last durably applied record.
+    bad_records: Counter,
+}
+
+impl ReplObs {
+    fn new(registry: &Registry) -> ReplObs {
+        ReplObs {
+            lag_records: registry.gauge("repl.lag_records"),
+            lag_bytes: registry.gauge("repl.lag_bytes"),
+            reconnects: registry.counter("repl.reconnects"),
+            connected: registry.gauge("repl.connected"),
+            bad_records: registry.counter("repl.bad_records"),
+        }
+    }
+}
+
+/// One session's authoritative replication position, as reported by the
+/// apply path.
+struct Position {
+    /// The generation of the local log.
+    gen: u64,
+    /// The last sequence number durably applied locally.
+    applied: u64,
+    /// The leader's last known sequence number (from the stream ack).
+    target: u64,
+    /// Whether this connection's ack has arrived.
+    acked: bool,
+    /// Whether the initial sync target has been reached.
+    synced: bool,
+}
+
+impl Position {
+    /// What to ask the leader for: the next record after the applied
+    /// prefix, or everything (`0, 0`) when there is no usable log.
+    fn request(&self) -> (u64, u64) {
+        if self.gen == 0 {
+            (0, 0)
+        } else {
+            (self.applied + 1, self.gen)
+        }
+    }
+}
+
+fn total_lag(positions: &BTreeMap<String, Position>) -> u64 {
+    positions
+        .values()
+        .map(|p| p.target.saturating_sub(p.applied))
+        .sum()
+}
+
+/// The raw leader connection: handshake, `Replicate` requests, and the
+/// mixed stream of acks, WAL shipments, and heartbeats coming back.
+struct LeaderLink {
+    stream: TcpStream,
+}
+
+impl LeaderLink {
+    fn connect(addr: &str, read_timeout: Duration) -> Result<LeaderLink, ProtoError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(read_timeout))?;
+        send_handshake(&mut stream)?;
+        expect_handshake(&mut stream)?;
+        Ok(LeaderLink { stream })
+    }
+
+    fn request(&mut self, session: &str, from_seq: u64, gen: u64) -> Result<(), ProtoError> {
+        write_frame(
+            &mut self.stream,
+            &encode_replicate_payload(session, from_seq, gen),
+        )
+    }
+
+    fn read_payload(&mut self) -> Result<Vec<u8>, ProtoError> {
+        read_frame(&mut self.stream)?.ok_or_else(|| ProtoError::ConnectionLost {
+            detail: "leader closed the stream".to_owned(),
+        })
+    }
+
+    /// A handle [`Replica::promote`] can use to cut a blocked read.
+    fn shutdown_handle(&self) -> Option<TcpStream> {
+        self.stream.try_clone().ok()
+    }
+}
+
+/// Why one streaming pass over a leader connection ended.
+enum StreamBreak {
+    /// Every session reached its sync target (initial sync only).
+    Synced,
+    /// The link died, timed out, desynchronised, shipped something
+    /// unusable, or the leader ended a stream: reconnect and re-request.
+    Lost(String),
+    /// The leader refused a session — fatal, never retried.
+    Refused { session: String, detail: String },
+    /// The stop flag was raised (or the local server is shutting down).
+    Stopped,
+}
+
+/// Run one connection's worth of streaming: request every session,
+/// route acks by request order, apply shipments as they arrive, and keep
+/// the positions authoritative from the apply reports.  With
+/// `until_synced`, returns [`StreamBreak::Synced`] the moment every
+/// session has caught up to its ack's position; otherwise runs until the
+/// link breaks or `stop` is raised.
+fn pump_streams(
+    link: &mut LeaderLink,
+    positions: &mut BTreeMap<String, Position>,
+    mut apply: impl FnMut(&str, ApplyKind) -> Option<ApplyReport>,
+    obs: &ReplObs,
+    stop: &AtomicBool,
+    until_synced: bool,
+) -> StreamBreak {
+    let mut awaiting_ack: VecDeque<String> = VecDeque::new();
+    for (name, pos) in positions.iter_mut() {
+        pos.acked = false;
+        pos.synced = false;
+        let (from_seq, gen) = pos.request();
+        if let Err(e) = link.request(name, from_seq, gen) {
+            return StreamBreak::Lost(format!("cannot request {name:?}: {e}"));
+        }
+        awaiting_ack.push_back(name.clone());
+    }
+    let mut unsynced = positions.len();
+    if until_synced && unsynced == 0 {
+        return StreamBreak::Synced;
+    }
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return StreamBreak::Stopped;
+        }
+        let payload = match link.read_payload() {
+            Ok(p) => p,
+            Err(e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return StreamBreak::Stopped;
+                }
+                return StreamBreak::Lost(e.to_string());
+            }
+        };
+        if is_heartbeat_payload(&payload) {
+            continue;
+        }
+        if is_wal_payload(&payload) {
+            let frame = match decode_wal_frame_payload(&payload) {
+                Ok(f) => f,
+                Err(e) => return StreamBreak::Lost(format!("undecodable WAL frame: {e}")),
+            };
+            let (session, kind, nbytes) = match frame {
+                WalFrame::Record { session, bytes, .. } => {
+                    let n = bytes.len();
+                    (session, ApplyKind::Record(bytes), n)
+                }
+                WalFrame::Reset {
+                    session, record0, ..
+                } => {
+                    let n = record0.len();
+                    (session, ApplyKind::Reset(record0), n)
+                }
+                WalFrame::End { session, reason } => {
+                    return StreamBreak::Lost(format!("leader ended {session:?}: {reason}"));
+                }
+            };
+            obs.lag_bytes.set(nbytes as u64);
+            let Some(report) = apply(&session, kind) else {
+                return StreamBreak::Stopped;
+            };
+            obs.lag_bytes.set(0);
+            let Some(pos) = positions.get_mut(&session) else {
+                // A shipment for a session this replica never asked
+                // about: the stream cannot be trusted.
+                return StreamBreak::Lost(format!("shipment for unknown session {session:?}"));
+            };
+            pos.gen = report.gen;
+            pos.applied = report.last_seq;
+            if let Err(e) = report.outcome {
+                // Gap, CRC mismatch, torn or undecodable record: never
+                // apply a torn suffix — drop the link and re-request
+                // from the durably applied position instead.
+                obs.bad_records.inc();
+                return StreamBreak::Lost(format!("apply refused for {session:?}: {e}"));
+            }
+            pos.target = pos.target.max(pos.applied);
+            obs.lag_records.set(total_lag(positions));
+            let pos = positions.get_mut(&session).expect("position just seen");
+            if until_synced && !pos.synced && pos.acked && pos.applied >= pos.target {
+                pos.synced = true;
+                unsynced -= 1;
+                if unsynced == 0 {
+                    return StreamBreak::Synced;
+                }
+            }
+        } else if is_replicate_ack_payload(&payload) {
+            let ack = match decode_replicate_ack_payload(&payload) {
+                Ok(a) => a,
+                Err(e) => return StreamBreak::Lost(format!("undecodable ack: {e}")),
+            };
+            // Acks are solicited: they come back in request order.
+            let Some(session) = awaiting_ack.pop_front() else {
+                return StreamBreak::Lost("unsolicited replication ack".to_owned());
+            };
+            match ack {
+                ReplicateAck::Refused { detail } => {
+                    return StreamBreak::Refused { session, detail };
+                }
+                ReplicateAck::Streaming { gen, last_seq, .. } => {
+                    let pos = positions.get_mut(&session).expect("requested session");
+                    pos.acked = true;
+                    if gen == pos.gen {
+                        pos.target = pos.target.max(last_seq);
+                    } else {
+                        // The leader is on a different generation: its
+                        // sequence numbering restarted at a checkpoint,
+                        // so the position carried over from the local
+                        // log is meaningless as a target — a stale high
+                        // value would keep `applied >= target` forever
+                        // false and stall the initial sync.  The ack's
+                        // own position is the authoritative goal.
+                        pos.target = last_seq;
+                    }
+                    obs.lag_records.set(total_lag(positions));
+                    let pos = positions.get_mut(&session).expect("requested session");
+                    // Nothing owed (the logs already match): synced on
+                    // the spot.
+                    if until_synced && !pos.synced && gen == pos.gen && pos.applied >= pos.target {
+                        pos.synced = true;
+                        unsynced -= 1;
+                        if unsynced == 0 {
+                            return StreamBreak::Synced;
+                        }
+                    }
+                }
+            }
+        } else {
+            return StreamBreak::Lost("unexpected frame kind from leader".to_owned());
+        }
+    }
+}
+
+/// Apply one shipment synchronously on an unbound service (initial
+/// sync); mirrors what the server's dispatcher does for `Item::Apply`.
+fn apply_direct<F: ComponentFamily + Send + Sync>(
+    service: &mut Service<F>,
+    session: &str,
+    kind: ApplyKind,
+) -> ApplyReport {
+    match service.session_mut(session) {
+        None => ApplyReport {
+            gen: 0,
+            last_seq: 0,
+            outcome: Err(ApplyError::BadRecord {
+                detail: format!("unknown session {session:?}"),
+            }),
+        },
+        Some(s) => {
+            let outcome = match kind {
+                ApplyKind::Record(bytes) => s.apply_replicated(&bytes),
+                ApplyKind::Reset(bytes) => s.apply_reset(&bytes),
+            };
+            ApplyReport {
+                gen: s.wal_gen(),
+                last_seq: s.wal_last_seq(),
+                outcome,
+            }
+        }
+    }
+}
+
+/// The `attempt`-th reconnect delay: bounded exponential backoff with
+/// deterministic ±50% jitter, so a fleet of followers redialing a
+/// restarted leader does not arrive in lockstep.
+fn backoff(rng: &mut StdRng, attempt: u32, base: Duration, max: Duration) -> Duration {
+    let exp = base
+        .saturating_mul(2u32.saturating_pow(attempt.min(16)))
+        .min(max);
+    let ns = exp.as_nanos().min(u128::from(u64::MAX / 2)) as u64;
+    if ns == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_nanos(ns / 2 + rng.random_range(0..ns + 1) / 2)
+}
+
+/// Sleep in short slices so a promotion or shutdown is never stuck
+/// behind a full backoff window.
+fn sleep_with_stop(total: Duration, stop: &AtomicBool) {
+    let slice = Duration::from_millis(20);
+    let mut left = total;
+    while left > Duration::ZERO && !stop.load(Ordering::SeqCst) {
+        let step = left.min(slice);
+        std::thread::sleep(step);
+        left = left.saturating_sub(step);
+    }
+}
+
+/// A running follower: a local read [`Server`] plus the background
+/// thread tailing the leader.  See the module docs.
+pub struct Replica<F: ComponentFamily + Send + Sync + 'static> {
+    server: Arc<Server<F>>,
+    stop: Arc<AtomicBool>,
+    tail: JoinHandle<()>,
+    link: Arc<Mutex<Option<TcpStream>>>,
+    fault: Arc<Mutex<Option<String>>>,
+    leader: String,
+}
+
+impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
+    /// Sync `service` against the leader at `leader_addr`, then bind
+    /// `addr` and serve reads while tailing the leader's live shipments.
+    ///
+    /// Every durable session already open in `service` is replicated
+    /// (sessions without a write-ahead log cannot mirror one and are
+    /// served as-is).  The sessions are flipped read-only — durable
+    /// writes are refused with `NotLeader { leader_addr }` — until
+    /// [`Replica::promote`].
+    ///
+    /// # Errors
+    /// [`ReplicaError::Connect`] when the leader stays unreachable
+    /// through [`ReplicaOptions::connect_attempts`];
+    /// [`ReplicaError::Refused`] when it refuses a session (split
+    /// brain); [`ReplicaError::Bind`] when the local server cannot bind.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        leader_addr: &str,
+        mut service: Service<F>,
+        options: ReplicaOptions,
+    ) -> Result<Replica<F>, ReplicaError> {
+        let obs = ReplObs::new(service.registry());
+        let names: Vec<String> = service
+            .session_names()
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter(|n| service.session(n).is_some_and(|s| s.is_durable()))
+            .collect();
+        let mut positions: BTreeMap<String, Position> = names
+            .iter()
+            .map(|n| {
+                let s = service.session(n).expect("durable session");
+                (
+                    n.clone(),
+                    Position {
+                        gen: s.wal_gen(),
+                        applied: s.wal_last_seq(),
+                        target: s.wal_last_seq(),
+                        acked: false,
+                        synced: false,
+                    },
+                )
+            })
+            .collect();
+
+        // Phase A: initial sync, synchronous, before serving anything —
+        // a read served by this replica is never older than the leader
+        // state at start time.
+        let never_stop = AtomicBool::new(false);
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let mut attempt: u32 = 0;
+        loop {
+            let broke = match LeaderLink::connect(leader_addr, options.read_timeout) {
+                Err(e) => StreamBreak::Lost(e.to_string()),
+                Ok(mut link) => {
+                    obs.connected.set(1);
+                    let broke = pump_streams(
+                        &mut link,
+                        &mut positions,
+                        |session, kind| Some(apply_direct(&mut service, session, kind)),
+                        &obs,
+                        &never_stop,
+                        true,
+                    );
+                    obs.connected.set(0);
+                    broke
+                }
+            };
+            match broke {
+                StreamBreak::Synced => break,
+                StreamBreak::Refused { session, detail } => {
+                    return Err(ReplicaError::Refused { session, detail });
+                }
+                StreamBreak::Lost(detail) => {
+                    attempt += 1;
+                    if attempt >= options.connect_attempts.max(1) {
+                        return Err(ReplicaError::Connect { detail });
+                    }
+                    obs.reconnects.inc();
+                    std::thread::sleep(backoff(
+                        &mut rng,
+                        attempt - 1,
+                        options.retry_base,
+                        options.retry_max,
+                    ));
+                }
+                StreamBreak::Stopped => unreachable!("stop is never raised during initial sync"),
+            }
+        }
+        obs.connected.set(1);
+
+        // Phase B: flip read-only, serve, tail.
+        for name in &names {
+            if let Some(s) = service.session_mut(name) {
+                s.set_read_only(Some(leader_addr.to_owned()));
+            }
+        }
+        let server = Arc::new(
+            Server::bind_with(addr, service, options.serve.clone()).map_err(|e| {
+                ReplicaError::Bind {
+                    detail: e.to_string(),
+                }
+            })?,
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let link = Arc::new(Mutex::new(None));
+        let fault = Arc::new(Mutex::new(None));
+        let tail = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let link = Arc::clone(&link);
+            let fault = Arc::clone(&fault);
+            let obs = obs.clone();
+            let leader = leader_addr.to_owned();
+            let options = options.clone();
+            std::thread::spawn(move || {
+                tail_loop(
+                    &server, positions, &leader, &stop, &link, &fault, &obs, &options,
+                );
+            })
+        };
+        Ok(Replica {
+            server,
+            stop,
+            tail,
+            link,
+            fault,
+            leader: leader_addr.to_owned(),
+        })
+    }
+
+    /// The address the follower is serving reads on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The leader address this replica follows (what `NotLeader`
+    /// rejections point writers at).
+    pub fn leader_addr(&self) -> &str {
+        &self.leader
+    }
+
+    /// Why the tail loop stopped for good, if it has (a leader refusal —
+    /// split brain — is fatal and never retried).  `None` while healthy
+    /// or merely reconnecting.
+    pub fn fault(&self) -> Option<String> {
+        self.fault.lock().expect("fault").clone()
+    }
+
+    /// Stop the tail loop and cut any blocked leader read.
+    fn stop_tail(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(s) = self.link.lock().expect("link").take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Promote this follower to a leader: stop tailing (pending applies
+    /// land first), fsync every session's log, flip the sessions
+    /// writable, and hand back the server — same address, now accepting
+    /// durable writes.  Explicit and safe: nothing the old leader acked
+    /// and shipped here is lost, and nothing unshipped can be invented.
+    ///
+    /// # Errors
+    /// [`ReplicaError::Promote`] when a log cannot be fsynced.
+    pub fn promote(self) -> Result<Server<F>, ReplicaError> {
+        self.stop_tail();
+        let _ = self.tail.join();
+        self.server
+            .promote_partitions()
+            .map_err(|detail| ReplicaError::Promote { detail })?;
+        Arc::try_unwrap(self.server).map_err(|_| ReplicaError::Promote {
+            detail: "replica server still shared after tail join".to_owned(),
+        })
+    }
+
+    /// Stop tailing and shut the read server down, returning the
+    /// follower's service (sessions still read-only).
+    ///
+    /// # Panics
+    /// Panics if the inner server is still shared after the tail thread
+    /// joined (cannot happen through this API).
+    pub fn shutdown(self) -> Service<F> {
+        self.stop_tail();
+        let _ = self.tail.join();
+        match Arc::try_unwrap(self.server) {
+            Ok(server) => server.shutdown(),
+            Err(_) => panic!("replica server still shared after tail join"),
+        }
+    }
+}
+
+/// The background tail: reconnect-and-stream until stopped or fatally
+/// refused.
+#[allow(clippy::too_many_arguments)] // internal plumbing for one thread
+fn tail_loop<F: ComponentFamily + Send + Sync + 'static>(
+    server: &Arc<Server<F>>,
+    mut positions: BTreeMap<String, Position>,
+    leader: &str,
+    stop: &AtomicBool,
+    link_slot: &Mutex<Option<TcpStream>>,
+    fault: &Mutex<Option<String>>,
+    obs: &ReplObs,
+    options: &ReplicaOptions,
+) {
+    if positions.is_empty() {
+        return; // nothing to tail
+    }
+    let mut rng = StdRng::seed_from_u64(options.seed ^ 0x7461_696c); // "tail"
+    let mut attempt: u32 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        match LeaderLink::connect(leader, options.read_timeout) {
+            Err(_) => {
+                obs.reconnects.inc();
+            }
+            Ok(mut link) => {
+                *link_slot.lock().expect("link") = link.shutdown_handle();
+                obs.connected.set(1);
+                attempt = 0;
+                let broke = pump_streams(
+                    &mut link,
+                    &mut positions,
+                    |session, kind| server.enqueue_apply(session, kind).recv().ok(),
+                    obs,
+                    stop,
+                    false,
+                );
+                obs.connected.set(0);
+                *link_slot.lock().expect("link") = None;
+                match broke {
+                    StreamBreak::Stopped | StreamBreak::Synced => return,
+                    StreamBreak::Refused { session, detail } => {
+                        *fault.lock().expect("fault") =
+                            Some(format!("leader refused {session:?}: {detail}"));
+                        return;
+                    }
+                    StreamBreak::Lost(_) => {
+                        obs.reconnects.inc();
+                    }
+                }
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        sleep_with_stop(
+            backoff(&mut rng, attempt, options.retry_base, options.retry_max),
+            stop,
+        );
+        attempt = attempt.saturating_add(1);
+    }
+}

@@ -71,20 +71,24 @@
 //! snapshot it returns is post-batch consistent per shard.
 
 use crate::proto::{
-    decode_wire_request, encode_event_payload, encode_metrics_response_payload,
-    encode_result_payload, expect_handshake, read_frame, send_handshake, write_frame, WireRequest,
+    decode_wire_request, encode_event_payload, encode_heartbeat_payload,
+    encode_metrics_response_payload, encode_replicate_ack_payload, encode_result_payload,
+    encode_wal_frame_payload, expect_handshake, read_frame, send_handshake, write_frame,
+    ReplicateAck, WalFrame, WireRequest,
 };
 use compview_core::ComponentFamily;
 use compview_obs::{Counter, Gauge, MetricsSnapshot, Registry};
 use compview_session::{
-    shard_of, DeltaEvent, DeltaKind, Service, SessionRequest, SessionResponse, TerminateReason,
+    shard_of, ApplyError, CatchupPlan, DeltaEvent, DeltaKind, Service, SessionRequest,
+    SessionResponse, TerminateReason, WalShipment,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Tuning knobs for [`Server::bind_with`].
 #[derive(Clone, Debug)]
@@ -96,6 +100,24 @@ pub struct ServeOptions {
     /// the server declares its consumer slow and drops the subscription
     /// with a terminal `SlowConsumer` event.
     pub event_outbox_cap: usize,
+    /// Undelivered WAL-shipment frames one replication stream may queue
+    /// before the leader ends the stream with a `W_END` frame (the
+    /// follower re-requests and catches up from its log instead).
+    /// Catch-up tails queue here too, so this should comfortably exceed
+    /// the longest expected log tail.
+    pub repl_outbox_cap: usize,
+    /// Drop a connection whose socket has been idle (no complete frame)
+    /// for this long — half-open peers stop pinning reader threads.
+    /// Connections with an active replication stream are exempt: a
+    /// follower legitimately sends nothing for hours.  `None` (the
+    /// default) waits forever.
+    pub read_timeout: Option<Duration>,
+    /// How often the writer of a connection with active replication
+    /// streams emits a heartbeat frame when it has nothing else to send,
+    /// so the follower's read timeout can tell an idle leader from a
+    /// dead link.  Never sent on ordinary connections.  `None` disables
+    /// heartbeats.
+    pub heartbeat_interval: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -103,14 +125,49 @@ impl Default for ServeOptions {
         ServeOptions {
             shards: 1,
             event_outbox_cap: 1024,
+            repl_outbox_cap: 1 << 16,
+            read_timeout: None,
+            heartbeat_interval: Some(Duration::from_millis(500)),
         }
     }
 }
 
-/// A subscription's server-side identity: owning session plus the
-/// session-scoped subscription id (ids are never reused within a
-/// session, so a key never aliases a dead stream).
-type SubKey = (String, u64);
+/// One outbound stream's server-side identity on a connection.
+///
+/// Two namespaces share the writer's parking/budget machinery:
+/// subscription event streams (keyed by session + session-scoped
+/// subscription id) and replication WAL streams (keyed by session + the
+/// connection-local sequence number of the `Replicate` request that
+/// opened them).  A session-scoped sub id and a connection-scoped
+/// request seq could collide as bare numbers, so the key carries which
+/// kind it is.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum StreamKey {
+    /// A delta-subscription stream.
+    Sub(String, u64),
+    /// A replication WAL stream.
+    Repl(String, u64),
+}
+
+/// What a follower asks its dispatcher to apply (see [`Item::Apply`]).
+pub(crate) enum ApplyKind {
+    /// One raw framed WAL record.
+    Record(Vec<u8>),
+    /// A raw framed record-0 checkpoint image.
+    Reset(Vec<u8>),
+}
+
+/// What came of one [`Item::Apply`]: the session's authoritative
+/// position after the attempt, success or not — the replica's tail loop
+/// resumes from *this*, never from its own bookkeeping.
+pub(crate) struct ApplyReport {
+    /// The session's WAL generation after the attempt.
+    pub gen: u64,
+    /// The session's last WAL sequence number after the attempt.
+    pub last_seq: u64,
+    /// The applied sequence number, or why the record was refused.
+    pub outcome: Result<u64, ApplyError>,
+}
 
 /// One item on a shard's queue.
 enum Item {
@@ -132,6 +189,29 @@ enum Item {
     /// A connection died (enqueued on *every* shard): drop its
     /// subscriptions from the sessions so they stop publishing.
     Cancel { conn: u64 },
+    /// A follower asks to tail `session`'s WAL: answer with an ack, ship
+    /// the catch-up, keep shipping live writes until the stream dies.
+    Replicate {
+        conn: u64,
+        seq: u64,
+        session: String,
+        from_seq: u64,
+        gen: u64,
+    },
+    /// (Follower side) apply one leader shipment to the local session;
+    /// the report goes back to the replica's tail loop.
+    Apply {
+        session: String,
+        kind: ApplyKind,
+        done: mpsc::Sender<ApplyReport>,
+    },
+    /// (Follower side) promotion barrier, enqueued on *every* shard
+    /// after the tail loop has stopped: fsync every session of this
+    /// shard's partition and flip it writable.  Queue order guarantees
+    /// pending `Apply` items land first.
+    Promote {
+        done: mpsc::Sender<Result<(), String>>,
+    },
 }
 
 /// Server-side instruments, registered on shard 0's [`Registry`] (the
@@ -156,6 +236,17 @@ struct ServeObs {
     malformed_frames: Counter,
     /// High-water mark of any one shard queue's depth.
     queue_depth_hwm: Gauge,
+    /// Connections dropped for sitting idle past
+    /// [`ServeOptions::read_timeout`].
+    idle_disconnects: Counter,
+    /// Replication streams opened / closed (for any reason) — the
+    /// difference is the live count.
+    repl_streams_opened: Counter,
+    /// See [`ServeObs::repl_streams_opened`].
+    repl_streams_closed: Counter,
+    /// WAL frames (records, resets, catch-up included) accepted into
+    /// connection outboxes for followers.
+    repl_records_out: Counter,
 }
 
 impl ServeObs {
@@ -168,6 +259,10 @@ impl ServeObs {
             slow_drops: registry.counter("serve.sub.slow_drops"),
             malformed_frames: registry.counter("serve.malformed_frames"),
             queue_depth_hwm: registry.gauge("serve.queue_depth_hwm"),
+            idle_disconnects: registry.counter("serve.idle_disconnects"),
+            repl_streams_opened: registry.counter("serve.repl.streams_opened"),
+            repl_streams_closed: registry.counter("serve.repl.streams_closed"),
+            repl_records_out: registry.counter("serve.repl.records_out"),
         }
     }
 }
@@ -182,11 +277,11 @@ struct ShardQueue {
 /// the moment the frame leaves the reorder buffer, so route state
 /// changes exactly where the frame lands in the wire order.
 enum RouteChange {
-    /// A `Subscribed` response: start the stream — release any parked
-    /// events right behind this frame.
-    Activate(SubKey),
+    /// A `Subscribed` response (or a streaming `Replicate` ack): start
+    /// the stream — release any parked frames right behind this one.
+    Activate(StreamKey),
     /// An `Unsubscribed` response: the stream is over.
-    Deactivate(SubKey),
+    Deactivate(StreamKey),
 }
 
 /// The outbound half of one connection, owned by its writer thread and
@@ -197,21 +292,22 @@ struct OutState {
     /// Finished responses waiting for their turn, keyed by sequence.
     pending: BTreeMap<u64, (Vec<u8>, Option<RouteChange>)>,
     /// Frames in final wire order, waiting for the writer thread.  The
-    /// tag is the subscription whose outbox budget the frame occupies
-    /// (event frames only).
-    ready: VecDeque<(Vec<u8>, Option<SubKey>)>,
-    /// Subscriptions whose `Subscribed` response has been queued; their
-    /// events go straight to `ready`.
-    active: BTreeSet<SubKey>,
-    /// Event frames awaiting their `Subscribed` response, per
-    /// subscription, with their budget flag.
-    parked: BTreeMap<SubKey, Vec<(Vec<u8>, bool)>>,
-    /// Subscriptions already ended by a parked terminal frame: discard
+    /// tag is the stream whose outbox budget the frame occupies
+    /// (unsolicited event / WAL frames only).
+    ready: VecDeque<(Vec<u8>, Option<StreamKey>)>,
+    /// Streams whose opening response has been queued; their frames go
+    /// straight to `ready`.
+    active: BTreeSet<StreamKey>,
+    /// Unsolicited frames awaiting their opening response, per stream,
+    /// with their budget flag.
+    parked: BTreeMap<StreamKey, Vec<(Vec<u8>, bool)>>,
+    /// Streams already ended by a parked terminal frame: discard
     /// anything further, clean up at activation.
-    dead: BTreeSet<SubKey>,
-    /// Undelivered event frames per subscription (parked + ready), the
-    /// count [`ServeOptions::event_outbox_cap`] bounds.
-    queued: BTreeMap<SubKey, usize>,
+    dead: BTreeSet<StreamKey>,
+    /// Undelivered frames per stream (parked + ready), the count the
+    /// outbox caps bound ([`ServeOptions::event_outbox_cap`] for
+    /// subscriptions, [`ServeOptions::repl_outbox_cap`] for replication).
+    queued: BTreeMap<StreamKey, usize>,
     /// Set on connection death and server shutdown; the writer exits,
     /// producers stop queueing.
     closed: bool,
@@ -260,7 +356,35 @@ struct Shared {
     readers: Mutex<Vec<JoinHandle<()>>>,
     writers: Mutex<Vec<JoinHandle<()>>>,
     event_outbox_cap: usize,
+    repl_outbox_cap: usize,
+    read_timeout: Option<Duration>,
+    heartbeat_interval: Option<Duration>,
+    /// Connections with live replication streams (refcounted per
+    /// stream): exempt from the idle read timeout, since a streaming
+    /// follower legitimately sends nothing for hours.
+    repl_conns: Mutex<BTreeMap<u64, usize>>,
     obs: ServeObs,
+}
+
+/// Count one more live replication stream against `conn`.
+fn repl_conn_add(shared: &Shared, conn: u64) {
+    *shared
+        .repl_conns
+        .lock()
+        .expect("repl conns")
+        .entry(conn)
+        .or_insert(0) += 1;
+}
+
+/// Release one replication stream's claim on `conn`.
+fn repl_conn_remove(shared: &Shared, conn: u64) {
+    let mut conns = shared.repl_conns.lock().expect("repl conns");
+    if let Some(n) = conns.get_mut(&conn) {
+        *n -= 1;
+        if *n == 0 {
+            conns.remove(&conn);
+        }
+    }
 }
 
 /// A running server: call [`Server::shutdown`] to stop it and take the
@@ -323,6 +447,10 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
             readers: Mutex::new(Vec::new()),
             writers: Mutex::new(Vec::new()),
             event_outbox_cap: options.event_outbox_cap.max(1),
+            repl_outbox_cap: options.repl_outbox_cap.max(1),
+            read_timeout: options.read_timeout,
+            heartbeat_interval: options.heartbeat_interval,
+            repl_conns: Mutex::new(BTreeMap::new()),
             obs: ServeObs::new(parts[0].registry()),
         });
 
@@ -349,6 +477,50 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
     /// The address the server is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// (Replica plumbing) hand one leader shipment to the owning shard's
+    /// dispatcher; the report arrives on the returned channel once the
+    /// apply has run.
+    pub(crate) fn enqueue_apply(
+        &self,
+        session: &str,
+        kind: ApplyKind,
+    ) -> mpsc::Receiver<ApplyReport> {
+        let (tx, rx) = mpsc::channel();
+        let shard = shard_of(session, self.shared.shards.len());
+        let sq = &self.shared.shards[shard];
+        let mut q = sq.queue.lock().expect("queue");
+        q.push_back(Item::Apply {
+            session: session.to_string(),
+            kind,
+            done: tx,
+        });
+        self.shared.obs.queue_depth_hwm.raise(q.len() as u64);
+        drop(q);
+        sq.wake.notify_one();
+        rx
+    }
+
+    /// (Replica plumbing) promotion barrier: enqueue a `Promote` on
+    /// every shard — behind any pending applies — and wait for each to
+    /// fsync its partition and flip its sessions writable.
+    pub(crate) fn promote_partitions(&self) -> Result<(), String> {
+        let (tx, rx) = mpsc::channel();
+        for sq in &self.shared.shards {
+            let mut q = sq.queue.lock().expect("queue");
+            q.push_back(Item::Promote { done: tx.clone() });
+            drop(q);
+            sq.wake.notify_one();
+        }
+        drop(tx);
+        let mut result = Ok(());
+        for r in rx {
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
     }
 
     /// Number of dispatcher shards.
@@ -400,6 +572,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         // leaving Nagle on stalls every ping-pong client on the
         // delayed-ACK timer (~40 ms per round trip).
         let _ = stream.set_nodelay(true);
+        // Idle-connection hygiene: a peer that goes silent past the
+        // timeout is dropped instead of pinning a reader thread forever
+        // (replication streams are exempted in `read_loop`).
+        let _ = stream.set_read_timeout(shared.read_timeout);
         // Handshake both ways before the connection exists at all.
         if send_handshake(&mut stream).is_err() || expect_handshake(&mut stream).is_err() {
             let _ = stream.shutdown(Shutdown::Both);
@@ -469,6 +645,25 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
                             drop(q);
                             sq.wake.notify_one();
                         }
+                        WireRequest::Replicate {
+                            session,
+                            from_seq,
+                            gen,
+                        } => {
+                            let shard = shard_of(&session, n_shards);
+                            let sq = &shared.shards[shard];
+                            let mut q = sq.queue.lock().expect("queue");
+                            q.push_back(Item::Replicate {
+                                conn,
+                                seq,
+                                session,
+                                from_seq,
+                                gen,
+                            });
+                            shared.obs.queue_depth_hwm.raise(q.len() as u64);
+                            drop(q);
+                            sq.wake.notify_one();
+                        }
                         // A metrics probe fans out to every shard as a
                         // barrier; the countdown picks the answerer.
                         WireRequest::Metrics => {
@@ -504,6 +699,25 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
             // Torn frame, bad CRC, over-limit length, transport failure:
             // nothing after this point can be trusted.
             Err(e) => {
+                if is_idle_timeout(&e) {
+                    // A follower legitimately goes quiet once its
+                    // streams are up; everyone else idle past the
+                    // timeout is dropped.  (A *partial* frame followed
+                    // by a stall still lands in the torn-stream arm: a
+                    // timeout mid-`read_exact` surfaces as a plain read
+                    // error only between frames.)
+                    if shared
+                        .repl_conns
+                        .lock()
+                        .expect("repl conns")
+                        .contains_key(&conn)
+                    {
+                        continue;
+                    }
+                    shared.obs.idle_disconnects.inc();
+                    drop_connection(conn, shared);
+                    return;
+                }
                 if !shared.stop.load(Ordering::SeqCst) && !is_disconnect(&e) {
                     shared.obs.malformed_frames.inc();
                 }
@@ -517,7 +731,17 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
 /// Whether a read error is an ordinary transport drop (peer vanished,
 /// socket shut down) rather than bytes that were wrong.
 fn is_disconnect(e: &crate::proto::ProtoError) -> bool {
-    matches!(e, crate::proto::ProtoError::Io(_))
+    matches!(
+        e,
+        crate::proto::ProtoError::Io(_) | crate::proto::ProtoError::ConnectionLost { .. }
+    )
+}
+
+/// Whether a read error is the socket's idle timer expiring
+/// ([`ServeOptions::read_timeout`]) rather than data or a drop.
+fn is_idle_timeout(e: &crate::proto::ProtoError) -> bool {
+    matches!(e, crate::proto::ProtoError::Io(io)
+        if matches!(io.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut))
 }
 
 fn drop_connection(conn: u64, shared: &Shared) {
@@ -551,7 +775,25 @@ fn write_loop(conn: u64, mut stream: TcpStream, slot: &Arc<ConnSlot>, shared: &A
                 if st.closed {
                     return;
                 }
-                st = slot.wake.wait(st).expect("out state");
+                // On a connection streaming replication, an idle writer
+                // wakes on a timer and emits a heartbeat so the
+                // follower's read timeout can tell an idle leader from a
+                // dead link.  Ordinary connections never see one — a
+                // client would misroute an unsolicited frame it is not
+                // expecting.
+                let hb = shared
+                    .heartbeat_interval
+                    .filter(|_| st.active.iter().any(|k| matches!(k, StreamKey::Repl(..))));
+                match hb {
+                    Some(iv) => {
+                        let (guard, res) = slot.wake.wait_timeout(st, iv).expect("out state");
+                        st = guard;
+                        if res.timed_out() && st.ready.is_empty() && !st.closed {
+                            break (encode_heartbeat_payload(), None);
+                        }
+                    }
+                    None => st = slot.wake.wait(st).expect("out state"),
+                }
             }
         };
         let ok = write_frame(&mut stream, &payload).is_ok();
@@ -676,7 +918,7 @@ fn deliver_event(shared: &Shared, conn: u64, session: &str, event: &DeltaEvent) 
     if st.closed {
         return EventOutcome::Gone;
     }
-    let key = (session.to_string(), event.sub);
+    let key = StreamKey::Sub(session.to_string(), event.sub);
     if st.dead.contains(&key) {
         return EventOutcome::Delivered; // stream already ended; discard
     }
@@ -732,6 +974,93 @@ fn deliver_event(shared: &Shared, conn: u64, session: &str, event: &DeltaEvent) 
     EventOutcome::Delivered
 }
 
+/// Queue one WAL shipment frame on `conn`'s writer for the replication
+/// stream `key`, parking it if the stream's ack has not reached the wire
+/// order yet, and enforcing [`ServeOptions::repl_outbox_cap`].  On
+/// overflow a terminal `W_END` frame replaces everything owed — the
+/// follower treats it as a lost link and re-requests from its own log,
+/// so nothing is lost, only re-shipped.
+fn deliver_repl_frame(
+    shared: &Shared,
+    conn: u64,
+    session: &str,
+    key: &StreamKey,
+    frame: Vec<u8>,
+) -> EventOutcome {
+    let Some(slot) = shared
+        .conns
+        .lock()
+        .expect("conns")
+        .get(&conn)
+        .map(Arc::clone)
+    else {
+        return EventOutcome::Gone;
+    };
+    let mut st = slot.state.lock().expect("out state");
+    if st.closed {
+        return EventOutcome::Gone;
+    }
+    if st.dead.contains(key) {
+        return EventOutcome::Delivered; // stream already ended; discard
+    }
+    if st.queued.get(key).copied().unwrap_or(0) >= shared.repl_outbox_cap {
+        let end = encode_wal_frame_payload(&WalFrame::End {
+            session: session.to_string(),
+            reason: "replication outbox overflow (follower too far behind)".to_owned(),
+        });
+        st.dead.insert(key.clone());
+        if st.active.remove(key) {
+            st.ready.push_back((end, None));
+            drop(st);
+            slot.wake.notify_one();
+        } else {
+            st.parked.entry(key.clone()).or_default().push((end, false));
+        }
+        return EventOutcome::Overflow;
+    }
+    shared.obs.repl_records_out.inc();
+    *st.queued.entry(key.clone()).or_insert(0) += 1;
+    if st.active.contains(key) {
+        st.ready.push_back((frame, Some(key.clone())));
+        drop(st);
+        slot.wake.notify_one();
+    } else {
+        st.parked
+            .entry(key.clone())
+            .or_default()
+            .push((frame, true));
+    }
+    EventOutcome::Delivered
+}
+
+/// Forget one replication stream target: release its idle-timeout
+/// exemption, and turn the session's shipment tap off when nobody is
+/// listening any more.
+fn remove_repl_target<F: ComponentFamily + Send + Sync>(
+    repl_routes: &mut BTreeMap<String, Vec<(u64, StreamKey)>>,
+    service: &mut Service<F>,
+    shared: &Shared,
+    session: &str,
+    conn: u64,
+    key: &StreamKey,
+) {
+    let Some(targets) = repl_routes.get_mut(session) else {
+        return;
+    };
+    let before = targets.len();
+    targets.retain(|(c, k)| !(*c == conn && k == key));
+    if targets.len() < before {
+        repl_conn_remove(shared, conn);
+        shared.obs.repl_streams_closed.inc();
+    }
+    if targets.is_empty() {
+        repl_routes.remove(session);
+        if let Some(s) = service.session_mut(session) {
+            s.set_repl_tap(false);
+        }
+    }
+}
+
 fn dispatch_loop<F: ComponentFamily + Send + Sync>(
     shard: usize,
     mut service: Service<F>,
@@ -741,7 +1070,11 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
     // Where each live subscription's events go.  Complete for this
     // shard: a session lives on exactly one shard, so its `Subscribe`s
     // were all answered here.
-    let mut routes: BTreeMap<SubKey, u64> = BTreeMap::new();
+    let mut routes: BTreeMap<StreamKey, u64> = BTreeMap::new();
+    // Live replication streams per session of this shard's partition:
+    // which connections tail it, under which stream key.  A session's
+    // shipment tap is on exactly while it has an entry here.
+    let mut repl_routes: BTreeMap<String, Vec<(u64, StreamKey)>> = BTreeMap::new();
     loop {
         let drained: Vec<Item> = {
             let sq = &shared.shards[shard];
@@ -762,6 +1095,9 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
         let mut slots: Vec<(u64, u64, usize)> = Vec::new();
         let mut probes: Vec<(u64, u64, Arc<AtomicUsize>)> = Vec::new();
         let mut cancels: Vec<u64> = Vec::new();
+        let mut replicates: Vec<(u64, u64, String, u64, u64)> = Vec::new();
+        let mut applies: Vec<(String, ApplyKind, mpsc::Sender<ApplyReport>)> = Vec::new();
+        let mut promotes: Vec<mpsc::Sender<Result<(), String>>> = Vec::new();
         for item in drained {
             match item {
                 Item::Dispatch {
@@ -775,31 +1111,177 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
                 }
                 Item::Probe { conn, seq, left } => probes.push((conn, seq, left)),
                 Item::Cancel { conn } => cancels.push(conn),
+                Item::Replicate {
+                    conn,
+                    seq,
+                    session,
+                    from_seq,
+                    gen,
+                } => replicates.push((conn, seq, session, from_seq, gen)),
+                Item::Apply {
+                    session,
+                    kind,
+                    done,
+                } => applies.push((session, kind, done)),
+                Item::Promote { done } => promotes.push(done),
             }
         }
         // A dead connection's subscriptions stop publishing before the
         // batch runs — nobody is listening.
         for conn in cancels {
-            let gone: Vec<SubKey> = routes
+            let gone: Vec<StreamKey> = routes
                 .iter()
                 .filter(|&(_, c)| *c == conn)
                 .map(|(k, _)| k.clone())
                 .collect();
             for key in gone {
                 routes.remove(&key);
-                if let Some(session) = service.session_mut(&key.0) {
-                    session.drop_subscription(key.1);
+                if let StreamKey::Sub(session, sub) = &key {
+                    if let Some(session) = service.session_mut(session) {
+                        session.drop_subscription(*sub);
+                    }
                 }
             }
+            // …and its replication streams stop shipping.
+            let tailed: Vec<(String, StreamKey)> = repl_routes
+                .iter()
+                .flat_map(|(session, targets)| {
+                    targets
+                        .iter()
+                        .filter(|(c, _)| *c == conn)
+                        .map(|(_, k)| (session.clone(), k.clone()))
+                })
+                .collect();
+            for (session, key) in tailed {
+                remove_repl_target(&mut repl_routes, &mut service, shared, &session, conn, &key);
+            }
         }
-        if !batch.is_empty() {
+        // Open replication streams before running the batch: the
+        // catch-up covers the log as it stands, and the tap (enabled
+        // here, under the single-owner dispatcher) captures everything
+        // the batch appends — no gap, no overlap.
+        for (conn, seq, session, from_seq, follower_gen) in replicates {
+            let plan = match service.session_mut(&session) {
+                None => Err(format!("unknown session {session:?}")),
+                Some(s) if !s.is_durable() => {
+                    Err(format!("session {session:?} keeps no write-ahead log"))
+                }
+                Some(s) => {
+                    s.set_repl_tap(true);
+                    s.replication_catchup(from_seq, follower_gen)
+                        .map_err(|e| e.to_string())
+                }
+            };
+            let (gen, record0, frames, start_seq) = match plan {
+                Err(detail) | Ok(CatchupPlan::Refused { detail }) => {
+                    if !repl_routes.contains_key(&session) {
+                        if let Some(s) = service.session_mut(&session) {
+                            s.set_repl_tap(false);
+                        }
+                    }
+                    let ack = ReplicateAck::Refused { detail };
+                    deliver_response(shared, conn, seq, encode_replicate_ack_payload(&ack), None);
+                    continue;
+                }
+                Ok(CatchupPlan::Tail { gen, frames }) => (gen, None, frames, from_seq),
+                Ok(CatchupPlan::Reset {
+                    gen,
+                    record0,
+                    frames,
+                }) => (gen, Some(record0), frames, 0),
+            };
+            let last_seq = service
+                .session_mut(&session)
+                .map_or(0, |s| s.wal_last_seq());
+            let key = StreamKey::Repl(session.clone(), seq);
+            repl_routes
+                .entry(session.clone())
+                .or_default()
+                .push((conn, key.clone()));
+            repl_conn_add(shared, conn);
+            shared.obs.repl_streams_opened.inc();
+            let ack = ReplicateAck::Streaming {
+                gen,
+                start_seq,
+                last_seq,
+            };
+            deliver_response(
+                shared,
+                conn,
+                seq,
+                encode_replicate_ack_payload(&ack),
+                Some(RouteChange::Activate(key.clone())),
+            );
+            // Catch-up frames park behind the ack and flush with it.
+            let mut alive = true;
+            if let Some(record0) = record0 {
+                let frame = encode_wal_frame_payload(&WalFrame::Reset {
+                    session: session.clone(),
+                    gen,
+                    record0,
+                });
+                alive = matches!(
+                    deliver_repl_frame(shared, conn, &session, &key, frame),
+                    EventOutcome::Delivered
+                );
+            }
+            for bytes in frames {
+                if !alive {
+                    break;
+                }
+                let frame = encode_wal_frame_payload(&WalFrame::Record {
+                    session: session.clone(),
+                    gen,
+                    bytes,
+                });
+                alive = matches!(
+                    deliver_repl_frame(shared, conn, &session, &key, frame),
+                    EventOutcome::Delivered
+                );
+            }
+            if !alive {
+                remove_repl_target(&mut repl_routes, &mut service, shared, &session, conn, &key);
+            }
+        }
+        if !batch.is_empty() || !applies.is_empty() {
             let sessions: Vec<String> = batch.iter().map(|(s, _)| s.clone()).collect();
             // The snapshot gate brackets the batch and its event drain:
             // a concurrent metrics probe snapshots this shard either
             // before or after it, never mid-flight.
             let (results, events) = {
                 let _gate = shared.snap_gates[shard].lock().expect("snap gate");
-                let results = service.dispatch(batch);
+                // (Follower side) leader shipments land first, in the
+                // tail loop's queue order — the leader's commit order.
+                // The report goes straight back so the tail loop can
+                // resume from the session's authoritative position.
+                for (session, kind, done) in applies {
+                    let report = match service.session_mut(&session) {
+                        None => ApplyReport {
+                            gen: 0,
+                            last_seq: 0,
+                            outcome: Err(ApplyError::BadRecord {
+                                detail: format!("unknown session {session:?}"),
+                            }),
+                        },
+                        Some(s) => {
+                            let outcome = match kind {
+                                ApplyKind::Record(bytes) => s.apply_replicated(&bytes),
+                                ApplyKind::Reset(bytes) => s.apply_reset(&bytes),
+                            };
+                            ApplyReport {
+                                gen: s.wal_gen(),
+                                last_seq: s.wal_last_seq(),
+                                outcome,
+                            }
+                        }
+                    };
+                    let _ = done.send(report);
+                }
+                let results = if batch.is_empty() {
+                    Vec::new()
+                } else {
+                    service.dispatch(batch)
+                };
                 let events = service.drain_events();
                 (results, events)
             };
@@ -811,16 +1293,16 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
             // *earlier* request — unlearning first would misroute those
             // events into the void.
             let mut changes: Vec<Option<RouteChange>> = Vec::with_capacity(slots.len());
-            let mut unlearned: Vec<SubKey> = Vec::new();
+            let mut unlearned: Vec<StreamKey> = Vec::new();
             for &(conn, _seq, i) in &slots {
                 changes.push(match &results[i] {
                     Ok(SessionResponse::Subscribed { sub, .. }) => {
-                        let key = (sessions[i].clone(), *sub);
+                        let key = StreamKey::Sub(sessions[i].clone(), *sub);
                         routes.insert(key.clone(), conn);
                         Some(RouteChange::Activate(key))
                     }
                     Ok(SessionResponse::Unsubscribed { sub }) => {
-                        let key = (sessions[i].clone(), *sub);
+                        let key = StreamKey::Sub(sessions[i].clone(), *sub);
                         unlearned.push(key.clone());
                         Some(RouteChange::Deactivate(key))
                     }
@@ -832,7 +1314,7 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
             // stream terms — any `Unsubscribed` answered below, and the
             // writer's parking keeps it behind its own `Subscribed`.
             for (session, event) in events {
-                let key = (session.clone(), event.sub);
+                let key = StreamKey::Sub(session.clone(), event.sub);
                 let terminal = matches!(event.kind, DeltaKind::Terminated { .. });
                 let Some(&conn) = routes.get(&key) else {
                     // No consumer (its connection died, or it was
@@ -871,6 +1353,65 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
                 );
             }
         }
+        // Ship what the batch appended (records, plus any checkpoint's
+        // reset image) to every live replication stream.  The tap only
+        // runs while `repl_routes` has the session, so this drain sees
+        // exactly the records committed since the stream's catch-up.
+        if !repl_routes.is_empty() {
+            let tapped: Vec<String> = repl_routes.keys().cloned().collect();
+            for session in tapped {
+                let Some(s) = service.session_mut(&session) else {
+                    continue;
+                };
+                let shipments = s.take_wal_shipments();
+                if shipments.is_empty() {
+                    continue;
+                }
+                let frames: Vec<Vec<u8>> = shipments
+                    .into_iter()
+                    .map(|sh| match sh {
+                        WalShipment::Record { gen, bytes } => {
+                            encode_wal_frame_payload(&WalFrame::Record {
+                                session: session.clone(),
+                                gen,
+                                bytes,
+                            })
+                        }
+                        WalShipment::Reset { gen, record0 } => {
+                            encode_wal_frame_payload(&WalFrame::Reset {
+                                session: session.clone(),
+                                gen,
+                                record0,
+                            })
+                        }
+                    })
+                    .collect();
+                let targets: Vec<(u64, StreamKey)> =
+                    repl_routes.get(&session).cloned().unwrap_or_default();
+                for (conn, key) in targets {
+                    let mut alive = true;
+                    for frame in &frames {
+                        if !alive {
+                            break;
+                        }
+                        alive = matches!(
+                            deliver_repl_frame(shared, conn, &session, &key, frame.clone()),
+                            EventOutcome::Delivered
+                        );
+                    }
+                    if !alive {
+                        remove_repl_target(
+                            &mut repl_routes,
+                            &mut service,
+                            shared,
+                            &session,
+                            conn,
+                            &key,
+                        );
+                    }
+                }
+            }
+        }
         // Probes pass only after the batch drained alongside them has
         // been applied — so by the time the countdown hits zero, every
         // shard has applied everything enqueued before the probe.
@@ -891,6 +1432,24 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
                     None,
                 );
             }
+        }
+        // (Follower side) promotion barrier, dead last: every `Apply`
+        // drained alongside it has already landed, so fsync this
+        // partition's logs and flip its sessions writable.
+        for done in promotes {
+            let mut result: Result<(), String> = Ok(());
+            let names: Vec<String> = service.session_names().map(str::to_owned).collect();
+            for name in names {
+                let Some(s) = service.session_mut(&name) else {
+                    continue;
+                };
+                if let Err(e) = s.sync_wal() {
+                    result = Err(format!("{name}: {e}"));
+                    break;
+                }
+                s.set_read_only(None);
+            }
+            let _ = done.send(result);
         }
     }
 }

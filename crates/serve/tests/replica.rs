@@ -1,0 +1,990 @@
+//! Replication end to end: WAL shipping from a leader server to a
+//! [`Replica`] follower stays **byte-identical** — same WAL files, same
+//! `Read` responses, same final states — across injected stream cuts,
+//! bit flips, and a leader restart, at 1, 2, and 8 worker threads and 1
+//! and 2 dispatcher shards.  Failover is explicit: a promoted follower
+//! accepts writes on the same address with nothing acked lost.
+
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_obs::MetricsSnapshot;
+use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview_serve::{Client, ProtoError, Replica, ReplicaOptions, ServeOptions, Server};
+use compview_session::{
+    wal, ApplyError, CatchupPlan, CheckpointPolicy, DispatchError, MemStore, Service, Session,
+    SessionConfig, SessionError, SessionRequest, SyncPolicy,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Serialises the env-twiddling tests (COMPVIEW_THREADS is process-global).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+const SESSIONS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+fn fault_seed() -> u64 {
+    std::env::var("COMPVIEW_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["A"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            vec![Tuple::new([v("a1")]), Tuple::new([v("a2")])],
+        ),
+        ("S".to_owned(), vec![Tuple::new([v("b1")])]),
+    ]
+    .into()
+}
+
+fn base() -> Instance {
+    Instance::null_model(&sig()).with("R", rel(1, [["a1"]]))
+}
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("COMPVIEW_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("COMPVIEW_THREADS");
+    out
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("compview-replica-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable_service(dir: &Path, checkpoint: CheckpointPolicy) -> Service<SubschemaComponents> {
+    let mut svc = Service::new();
+    for name in SESSIONS {
+        let sig = sig();
+        svc.create_durable_session(
+            dir,
+            name,
+            SubschemaComponents::singletons(sig.clone()),
+            Schema::unconstrained(sig.clone()),
+            &pools(),
+            base(),
+            SessionConfig {
+                checkpoint,
+                ..SessionConfig::default()
+            },
+            SyncPolicy::Always,
+        )
+        .unwrap();
+    }
+    svc
+}
+
+/// A non-durable service for the transport-only tests.
+fn demo_service() -> Service<SubschemaComponents> {
+    let mut svc = Service::new();
+    for name in SESSIONS {
+        let sig = sig();
+        let session = Session::open(
+            SubschemaComponents::singletons(sig.clone()),
+            Schema::unconstrained(sig.clone()),
+            &pools(),
+            base(),
+            SessionConfig::default(),
+        )
+        .unwrap();
+        svc.add_session(name, session).unwrap();
+    }
+    svc
+}
+
+fn wal_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    SESSIONS
+        .iter()
+        .map(|n| {
+            (
+                (*n).to_owned(),
+                std::fs::read(dir.join(format!("{n}.wal"))).unwrap_or_default(),
+            )
+        })
+        .collect()
+}
+
+/// Poll until the follower's WAL files are byte-identical to the
+/// leader's (writes must have quiesced on the leader side).
+fn wait_converged(ldir: &Path, fdir: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if wal_files(ldir) == wal_files(fdir) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never converged: leader {:?} vs follower {:?}",
+            wal_files(ldir)
+                .iter()
+                .map(|(n, b)| (n.clone(), b.len()))
+                .collect::<Vec<_>>(),
+            wal_files(fdir)
+                .iter()
+                .map(|(n, b)| (n.clone(), b.len()))
+                .collect::<Vec<_>>()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn replica_options(seed: u64) -> ReplicaOptions {
+    ReplicaOptions {
+        serve: ServeOptions::default(),
+        retry_base: Duration::from_millis(2),
+        retry_max: Duration::from_millis(40),
+        read_timeout: Duration::from_millis(500),
+        connect_attempts: 500,
+        seed,
+    }
+}
+
+fn leader_options(shards: usize) -> ServeOptions {
+    ServeOptions {
+        shards,
+        heartbeat_interval: Some(Duration::from_millis(25)),
+        ..ServeOptions::default()
+    }
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, value)| *value)
+}
+
+fn gauge(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.gauges
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, value)| *value)
+}
+
+fn insert(relation: &str, value: &str) -> SessionRequest {
+    SessionRequest::InsertPoolTuple {
+        relation: relation.into(),
+        tuple: Tuple::new([v(value)]),
+    }
+}
+
+fn register_r() -> SessionRequest {
+    SessionRequest::RegisterView {
+        name: "r".into(),
+        mask: 0b01,
+    }
+}
+
+fn update_r(tuples: &[&str]) -> SessionRequest {
+    SessionRequest::Update {
+        view: "r".into(),
+        new_state: Instance::null_model(&sig())
+            .with("R", rel(1, tuples.iter().map(|t| [(*t).to_owned()]))),
+    }
+}
+
+fn read_r() -> SessionRequest {
+    SessionRequest::Read { view: "r".into() }
+}
+
+// ---------------------------------------------------------------------
+// Fault-injecting TCP proxy
+// ---------------------------------------------------------------------
+
+/// What to do to one proxied connection's leader→follower byte stream.
+#[derive(Clone, Copy, Debug)]
+enum Plan {
+    /// Forward verbatim.
+    Clean,
+    /// Sever the connection after this many leader→follower bytes — the
+    /// follower sees a cut mid-frame at an arbitrary byte prefix.
+    CutAfter(usize),
+    /// XOR one bit into the byte at this offset of the leader→follower
+    /// stream — the follower must detect the corruption (wire CRC or
+    /// apply-path CRC) and never apply the damage.
+    FlipAt(usize),
+}
+
+/// A byte-level TCP proxy between follower and leader that applies one
+/// [`Plan`] per accepted connection (popped from a queue; `Clean` once
+/// the queue is empty).  The upstream address is swappable, so a leader
+/// restarted on a fresh port stays reachable through the same proxy
+/// address the follower was given.
+struct Proxy {
+    addr: SocketAddr,
+    upstream: Arc<Mutex<String>>,
+    plans: Arc<Mutex<VecDeque<Plan>>>,
+    live: Arc<Mutex<Vec<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Proxy {
+    fn start(upstream_addr: String) -> Proxy {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let upstream = Arc::new(Mutex::new(upstream_addr));
+        let plans: Arc<Mutex<VecDeque<Plan>>> = Arc::default();
+        let live: Arc<Mutex<Vec<TcpStream>>> = Arc::default();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let upstream = Arc::clone(&upstream);
+            let plans = Arc::clone(&plans);
+            let live = Arc::clone(&live);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let _ = client.set_nonblocking(false);
+                        let plan = plans.lock().unwrap().pop_front().unwrap_or(Plan::Clean);
+                        let target = upstream.lock().unwrap().clone();
+                        if let Ok(clone) = client.try_clone() {
+                            live.lock().unwrap().push(clone);
+                        }
+                        thread::spawn(move || pipe_conn(client, &target, plan));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => return,
+                }
+            })
+        };
+        Proxy {
+            addr,
+            upstream,
+            plans,
+            live,
+            stop,
+            accept: Some(accept),
+        }
+    }
+
+    fn push_plans(&self, plans: impl IntoIterator<Item = Plan>) {
+        self.plans.lock().unwrap().extend(plans);
+    }
+
+    fn set_upstream(&self, addr: String) {
+        *self.upstream.lock().unwrap() = addr;
+    }
+
+    /// Sever every live proxied connection, forcing the follower to
+    /// redial (and hit whatever plans are queued).
+    fn sever_live(&self) {
+        for s in self.live.lock().unwrap().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Proxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.sever_live();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn pipe_conn(client: TcpStream, target: &str, plan: Plan) {
+    let Ok(upstream) = TcpStream::connect(target) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    // follower → leader: always verbatim (faults model a lossy *feed*).
+    if let (Ok(mut from), Ok(to)) = (client.try_clone(), upstream.try_clone()) {
+        thread::spawn(move || copy_dir(&mut from, to, Plan::Clean));
+    }
+    // leader → follower: through the fault plan.
+    let mut from = upstream;
+    copy_dir(&mut from, client, plan);
+}
+
+fn copy_dir(from: &mut TcpStream, mut to: TcpStream, plan: Plan) {
+    let mut buf = [0u8; 2048];
+    let mut seen: usize = 0;
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let mut chunk = buf[..n].to_vec();
+        if let Plan::FlipAt(at) = plan {
+            if at >= seen && at < seen + n {
+                chunk[at - seen] ^= 0x10;
+            }
+        }
+        let cut = match plan {
+            Plan::CutAfter(limit) if seen + n >= limit => {
+                chunk.truncate(limit.saturating_sub(seen));
+                true
+            }
+            _ => false,
+        };
+        seen += n;
+        if to.write_all(&chunk).is_err() || cut {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+// ---------------------------------------------------------------------
+// Headline: byte-identical convergence under faults + leader restart
+// ---------------------------------------------------------------------
+
+#[test]
+fn follower_converges_byte_identical_under_cuts_flips_and_leader_restart() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for (threads, shards) in [(1usize, 1usize), (2, 2), (8, 2)] {
+        with_threads(threads, || run_fault_scenario(threads, shards));
+    }
+}
+
+fn run_fault_scenario(threads: usize, shards: usize) {
+    let seed = fault_seed() ^ (((threads as u64) << 32) | shards as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ldir = test_dir(&format!("hl-leader-{threads}-{shards}"));
+    let fdir = test_dir(&format!("hl-follower-{threads}-{shards}"));
+
+    let opts = leader_options(shards);
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        opts.clone(),
+    )
+    .unwrap();
+    let proxy = Proxy::start(server.local_addr().to_string());
+    let proxy_addr = proxy.addr.to_string();
+
+    // The follower only ever knows the proxy's address.
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &proxy_addr,
+        durable_service(&fdir, CheckpointPolicy::default()),
+        replica_options(seed),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for name in SESSIONS {
+        client.request(name, &register_r()).unwrap().unwrap();
+    }
+
+    // Queue a run of cuts and bit flips for the follower's next
+    // connections, then sever the live (clean) link to make it redial.
+    proxy.push_plans((0..6).map(|i| {
+        if i % 2 == 0 {
+            Plan::CutAfter(rng.random_range(40..3000))
+        } else {
+            Plan::FlipAt(rng.random_range(16..1500))
+        }
+    }));
+    proxy.sever_live();
+
+    // Keep writing while the follower fights through the fault plans.
+    // Early rounds grow the pools a little; later rounds are updates
+    // (durable records without pool growth — enumeration stays small).
+    for round in 0..6u32 {
+        for name in SESSIONS {
+            let req = if round < 2 {
+                insert("R", &format!("w{round}"))
+            } else if round % 2 == 0 {
+                update_r(&["a1", "w0"])
+            } else {
+                update_r(&["a2", "w1"])
+            };
+            client.request(name, &req).unwrap().unwrap();
+        }
+        // A rejected durable write replicates too (the rejection is in
+        // the leader's log; follower outcomes must match bit for bit).
+        let rejected = client.request("beta", &update_r(&["nope"])).unwrap();
+        assert!(rejected.is_err(), "update to a non-pool tuple must fail");
+        thread::sleep(Duration::from_millis(15));
+    }
+
+    // Leader restart: kill it, verify the follower keeps serving reads
+    // and refuses writes with a typed redirect, then bring the leader
+    // back on a fresh port behind the same proxy address.
+    drop(client);
+    let svc = server.shutdown();
+
+    let mut fclient = Client::connect(replica.local_addr()).unwrap();
+    let during = fclient.request("alpha", &read_r()).unwrap();
+    assert!(
+        during.is_ok(),
+        "follower must serve reads while the leader is down: {during:?}"
+    );
+    match fclient.request("alpha", &insert("R", "refused")).unwrap() {
+        Err(DispatchError::Session(SessionError::NotLeader { leader_addr })) => {
+            assert_eq!(leader_addr, proxy_addr);
+        }
+        other => panic!("follower must refuse writes with NotLeader, got {other:?}"),
+    }
+
+    let server = Server::bind_with("127.0.0.1:0", svc, opts).unwrap();
+    proxy.set_upstream(server.local_addr().to_string());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client
+        .request("alpha", &insert("R", "post"))
+        .unwrap()
+        .unwrap();
+    client
+        .request("alpha", &update_r(&["post"]))
+        .unwrap()
+        .unwrap();
+    for round in 6..9u32 {
+        for name in SESSIONS {
+            let req = if round % 2 == 0 {
+                update_r(&["a1", "w0"])
+            } else {
+                update_r(&["w0", "w1"])
+            };
+            client.request(name, &req).unwrap().unwrap();
+        }
+    }
+
+    wait_converged(&ldir, &fdir);
+
+    // Read responses are byte-identical, leader vs follower.
+    for name in SESSIONS {
+        let l = client.request(name, &read_r()).unwrap();
+        let f = fclient.request(name, &read_r()).unwrap();
+        assert_eq!(
+            wal::encode_result(&l),
+            wal::encode_result(&f),
+            "{name}: leader read {l:?} vs follower read {f:?}"
+        );
+    }
+
+    let snap = fclient.metrics().unwrap();
+    assert!(
+        counter(&snap, "repl.reconnects") >= 1,
+        "injected faults must show up as reconnects: {:?}",
+        snap.counters
+    );
+    assert_eq!(
+        gauge(&snap, "repl.lag_records"),
+        0,
+        "converged means no lag"
+    );
+    assert!(
+        replica.fault().is_none(),
+        "transport faults must never be fatal: {:?}",
+        replica.fault()
+    );
+
+    drop(client);
+    drop(fclient);
+    let fsvc = replica.shutdown();
+    let lsvc = server.shutdown();
+    for name in SESSIONS {
+        assert_eq!(
+            lsvc.session(name).unwrap().state(),
+            fsvc.session(name).unwrap().state(),
+            "{name}: final states must match"
+        );
+    }
+    drop(proxy);
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+// ---------------------------------------------------------------------
+// Explicit failover
+// ---------------------------------------------------------------------
+
+#[test]
+fn promotion_after_leader_kill_accepts_writes_and_loses_nothing() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("promo-leader");
+    let fdir = test_dir("promo-follower");
+
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        leader_options(1),
+    )
+    .unwrap();
+    let leader_addr = server.local_addr().to_string();
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &leader_addr,
+        durable_service(&fdir, CheckpointPolicy::default()),
+        replica_options(fault_seed()),
+    )
+    .unwrap();
+    let faddr = replica.local_addr();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    client
+        .request("alpha", &insert("R", "z1"))
+        .unwrap()
+        .unwrap();
+
+    // Pre-promotion, the follower is read-only with a typed redirect.
+    let mut fclient = Client::connect(faddr).unwrap();
+    match fclient.request("alpha", &insert("R", "z2")).unwrap() {
+        Err(DispatchError::Session(SessionError::NotLeader { leader_addr: at })) => {
+            assert_eq!(at, leader_addr);
+        }
+        other => panic!("want NotLeader before promotion, got {other:?}"),
+    }
+
+    wait_converged(&ldir, &fdir);
+    drop(client);
+    server.shutdown(); // leader killed
+    let leader_wals = wal_files(&ldir);
+
+    // Promote: same address, now a leader.
+    drop(fclient);
+    let promoted = replica.promote().unwrap();
+    assert_eq!(promoted.local_addr(), faddr);
+    let mut pclient = Client::connect(faddr).unwrap();
+    pclient
+        .request("alpha", &insert("R", "z2"))
+        .unwrap()
+        .unwrap();
+    pclient
+        .request("alpha", &update_r(&["a1", "z1", "z2"]))
+        .unwrap()
+        .unwrap();
+
+    drop(pclient);
+    let fsvc = promoted.shutdown();
+    // The update went through pool tuples from before AND after the
+    // failover: nothing the old leader acked was lost.
+    assert_eq!(
+        fsvc.session("alpha").unwrap().state(),
+        &Instance::null_model(&sig()).with("R", rel(1, [["a1"], ["z1"], ["z2"]]))
+    );
+    // And the old leader's log is a byte prefix of the promoted log.
+    let promoted_wals = wal_files(&fdir);
+    for (name, bytes) in &leader_wals {
+        assert!(
+            promoted_wals[name].starts_with(bytes),
+            "{name}: promoted log must extend the old leader's log"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint interactions
+// ---------------------------------------------------------------------
+
+#[test]
+fn follower_behind_the_checkpoint_horizon_resyncs_via_reset() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("hzn-leader");
+    let fdir = test_dir("hzn-follower");
+
+    let ckpt = CheckpointPolicy {
+        max_records: 4,
+        max_log_bytes: 0,
+    };
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, ckpt),
+        leader_options(1),
+    )
+    .unwrap();
+    let leader_addr = server.local_addr().to_string();
+
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &leader_addr,
+        durable_service(&fdir, CheckpointPolicy::default()),
+        replica_options(fault_seed()),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    client
+        .request("alpha", &insert("R", "p0"))
+        .unwrap()
+        .unwrap();
+    wait_converged(&ldir, &fdir);
+
+    // Take the follower down, then advance the leader far enough that
+    // auto-checkpoints compact away everything the follower has.
+    drop(replica.shutdown());
+    client
+        .request("alpha", &insert("R", "q0"))
+        .unwrap()
+        .unwrap();
+    for i in 0..10u32 {
+        let req = if i % 2 == 0 {
+            update_r(&["q0"])
+        } else {
+            update_r(&["a1", "p0"])
+        };
+        client.request("alpha", &req).unwrap().unwrap();
+    }
+
+    // Reopen the follower from its own directory: its generation is now
+    // behind the horizon, so the leader must answer with a Reset.
+    let (svc, reports) = Service::open_dir(&fdir, SyncPolicy::Always, |_| {
+        (
+            SubschemaComponents::singletons(sig()),
+            Schema::unconstrained(sig()),
+        )
+    })
+    .unwrap();
+    assert!(reports.values().all(|r| r.is_ok()), "{reports:?}");
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &leader_addr,
+        svc,
+        replica_options(fault_seed() ^ 1),
+    )
+    .unwrap();
+    wait_converged(&ldir, &fdir);
+
+    let mut fclient = Client::connect(replica.local_addr()).unwrap();
+    let snap = fclient.metrics().unwrap();
+    assert!(
+        counter(&snap, "repl.resets") >= 1,
+        "the re-sync must have gone through a snapshot reset: {:?}",
+        snap.counters
+    );
+    let l = client.request("alpha", &read_r()).unwrap();
+    let f = fclient.request("alpha", &read_r()).unwrap();
+    assert_eq!(wal::encode_result(&l), wal::encode_result(&f));
+
+    drop(client);
+    drop(fclient);
+    replica.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+#[test]
+fn live_tail_survives_leader_auto_checkpoints() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("live-ckpt-leader");
+    let fdir = test_dir("live-ckpt-follower");
+
+    let ckpt = CheckpointPolicy {
+        max_records: 3,
+        max_log_bytes: 0,
+    };
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, ckpt),
+        leader_options(1),
+    )
+    .unwrap();
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &server.local_addr().to_string(),
+        durable_service(&fdir, CheckpointPolicy::default()),
+        replica_options(fault_seed()),
+    )
+    .unwrap();
+
+    // Every third record triggers a checkpoint on the leader, shipping
+    // live Reset frames through the attached follower's stream.
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    client
+        .request("alpha", &insert("R", "c0"))
+        .unwrap()
+        .unwrap();
+    for i in 0..12u32 {
+        let req = if i % 2 == 0 {
+            update_r(&["a1", "c0"])
+        } else {
+            update_r(&["a2"])
+        };
+        client.request("alpha", &req).unwrap().unwrap();
+    }
+    wait_converged(&ldir, &fdir);
+    assert!(replica.fault().is_none(), "{:?}", replica.fault());
+
+    let mut fclient = Client::connect(replica.local_addr()).unwrap();
+    let snap = fclient.metrics().unwrap();
+    assert!(
+        counter(&snap, "repl.resets") >= 1,
+        "live checkpoints must arrive as resets: {:?}",
+        snap.counters
+    );
+    let l = client.request("alpha", &read_r()).unwrap();
+    let f = fclient.request("alpha", &read_r()).unwrap();
+    assert_eq!(wal::encode_result(&l), wal::encode_result(&f));
+
+    drop(client);
+    drop(fclient);
+    replica.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+// ---------------------------------------------------------------------
+// Follower subscriptions
+// ---------------------------------------------------------------------
+
+#[test]
+fn follower_subscribers_see_deltas_from_replicated_records() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("sub-leader");
+    let fdir = test_dir("sub-follower");
+
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        leader_options(1),
+    )
+    .unwrap();
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &server.local_addr().to_string(),
+        durable_service(&fdir, CheckpointPolicy::default()),
+        replica_options(fault_seed()),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    client
+        .request("alpha", &insert("R", "s1"))
+        .unwrap()
+        .unwrap();
+    wait_converged(&ldir, &fdir);
+
+    // Subscribe on the *follower*; mutate on the *leader*.
+    let mut fclient = Client::connect(replica.local_addr()).unwrap();
+    let (sub, image) = fclient.subscribe("alpha", "r").unwrap().unwrap();
+    assert_eq!(
+        image,
+        Instance::null_model(&sig()).with("R", rel(1, [["a1"]]))
+    );
+    client
+        .request("alpha", &update_r(&["s1"]))
+        .unwrap()
+        .unwrap();
+
+    let (session, event) = fclient.next_event().unwrap();
+    assert_eq!(session, "alpha");
+    assert_eq!(event.sub, sub, "delta must land on the follower's sub");
+
+    drop(client);
+    drop(fclient);
+    replica.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: idle-connection hygiene
+// ---------------------------------------------------------------------
+
+#[test]
+fn idle_connections_are_reaped_and_counted() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let opts = ServeOptions {
+        read_timeout: Some(Duration::from_millis(80)),
+        ..ServeOptions::default()
+    };
+    let server = Server::bind_with("127.0.0.1:0", demo_service(), opts).unwrap();
+    let addr = server.local_addr();
+
+    // A peer that completes the handshake, then stalls forever.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    let mut hs = [0u8; 6];
+    stalled.read_exact(&mut hs).unwrap();
+    stalled.write_all(b"CVRPC1").unwrap();
+
+    // A healthy client keeps talking through the idle window unharmed.
+    let mut healthy = Client::connect(addr).unwrap();
+    for _ in 0..8 {
+        healthy
+            .request("alpha", &SessionRequest::Stats)
+            .unwrap()
+            .unwrap();
+        thread::sleep(Duration::from_millis(25));
+    }
+
+    let snap = healthy.metrics().unwrap();
+    assert!(
+        counter(&snap, "serve.idle_disconnects") >= 1,
+        "the stalled peer must be reaped and counted: {:?}",
+        snap.counters
+    );
+    // The server hung up on the stalled socket.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let n = stalled.read(&mut hs).unwrap_or(0);
+    assert_eq!(n, 0, "stalled connection must be closed by the server");
+
+    drop(healthy);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Satellite: typed, sticky connection loss
+// ---------------------------------------------------------------------
+
+#[test]
+fn lost_connection_yields_one_sticky_typed_error() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let server = Server::bind("127.0.0.1:0", demo_service()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    let (sub, _image) = client.subscribe("alpha", "r").unwrap().unwrap();
+
+    // Park one delta event in the inbox: pipeline an update and a
+    // metrics probe, then collect the probe — the event frame sits
+    // between the two responses and gets read past.
+    client.send("alpha", &update_r(&["a2"])).unwrap();
+    client.send_metrics().unwrap();
+    client.recv().unwrap().unwrap();
+    let _ = client.recv_metrics().unwrap();
+
+    server.shutdown();
+
+    // Every receive after the loss is the same typed error — never a
+    // panic, never a shifting raw io::Error.
+    let errs: Vec<String> = (0..3)
+        .map(|_| match client.recv() {
+            Err(ProtoError::ConnectionLost { detail }) => detail,
+            other => panic!("want ConnectionLost, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(errs[0], errs[1]);
+    assert_eq!(errs[1], errs[2]);
+
+    // Arrivals parked before the loss stay readable…
+    let (session, event) = client.next_event().unwrap();
+    assert_eq!(session, "alpha");
+    assert_eq!(event.sub, sub);
+    // …and once drained, the sticky error is back.
+    match client.next_event() {
+        Err(ProtoError::ConnectionLost { .. }) => {}
+        other => panic!("want ConnectionLost after the inbox drains, got {other:?}"),
+    }
+    match client.send("alpha", &SessionRequest::Stats) {
+        Err(ProtoError::ConnectionLost { .. }) => {}
+        other => panic!("sends must be refused the same way, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Apply path: byte-identical at every prefix, corruption refused
+// ---------------------------------------------------------------------
+
+#[test]
+fn replicated_apply_is_byte_identical_at_every_prefix_and_refuses_corruption() {
+    let open_mem = || {
+        let (store, bytes) = MemStore::new();
+        let sig = sig();
+        let session = Session::open_durable(
+            SubschemaComponents::singletons(sig.clone()),
+            Schema::unconstrained(sig.clone()),
+            &pools(),
+            base(),
+            SessionConfig::default(),
+            Box::new(store),
+            SyncPolicy::Always,
+        )
+        .unwrap();
+        (session, bytes)
+    };
+
+    let (mut leader, leader_bytes) = open_mem();
+    leader.serve(register_r()).unwrap();
+    for i in 0..5u32 {
+        leader.serve(insert("R", &format!("m{i}"))).unwrap();
+    }
+    leader.serve(update_r(&["a2"])).unwrap();
+
+    // A brand-new follower (generation 0) must be offered a Reset.
+    let plan = leader.replication_catchup(0, 0).unwrap();
+    let CatchupPlan::Reset {
+        gen,
+        record0,
+        frames,
+    } = plan
+    else {
+        panic!("fresh follower must get a Reset catch-up plan");
+    };
+    assert_ne!(gen, 0);
+    assert!(!frames.is_empty());
+    let want = leader_bytes.lock().unwrap().clone();
+    assert_eq!(
+        wal::MAGIC.len() + record0.len() + frames.iter().map(Vec::len).sum::<usize>(),
+        want.len(),
+        "catch-up must cover the whole leader log after the file magic"
+    );
+
+    let (mut follower, follower_bytes) = open_mem();
+    follower.apply_reset(&record0).unwrap();
+    let mut upto = wal::MAGIC.len() + record0.len();
+    assert_eq!(&follower_bytes.lock().unwrap()[..], &want[..upto]);
+
+    for (k, frame) in frames.iter().enumerate() {
+        // A flipped payload byte is refused with a typed error, and
+        // writes nothing.
+        let mut bad = frame.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        let before = follower_bytes.lock().unwrap().clone();
+        match follower.apply_replicated(&bad) {
+            Err(ApplyError::BadRecord { .. } | ApplyError::BadPayload { .. }) => {}
+            other => panic!("corrupt record must be refused, got {other:?}"),
+        }
+        assert_eq!(
+            *follower_bytes.lock().unwrap(),
+            before,
+            "a refused record must write nothing"
+        );
+        // Skipping ahead is a typed gap, also refused.
+        if k + 1 < frames.len() {
+            match follower.apply_replicated(&frames[k + 1]) {
+                Err(ApplyError::Gap { .. }) => {}
+                other => panic!("skipped record must be a Gap, got {other:?}"),
+            }
+        }
+        let seq = follower.apply_replicated(frame).unwrap();
+        assert_eq!(seq, k as u64 + 1);
+        upto += frame.len();
+        assert_eq!(follower_bytes.lock().unwrap().len(), upto);
+        assert_eq!(&follower_bytes.lock().unwrap()[..], &want[..upto]);
+    }
+
+    assert_eq!(*follower_bytes.lock().unwrap(), want);
+    assert_eq!(follower.state(), leader.state());
+    assert_eq!(follower.wal_gen(), leader.wal_gen());
+    assert_eq!(follower.wal_last_seq(), leader.wal_last_seq());
+}

@@ -391,6 +391,7 @@ fn slow_consumer_is_cut_with_a_terminal_event() {
         ServeOptions {
             shards: 1,
             event_outbox_cap: 1,
+            ..ServeOptions::default()
         },
     )
     .unwrap();

@@ -362,6 +362,14 @@ pub enum SessionError {
         /// What was found in the store.
         detail: String,
     },
+    /// A state-changing request hit a read-only replication follower.
+    /// Followers apply only records shipped from their leader; local
+    /// writes would fork the log.  The client should retry against
+    /// `leader_addr`.
+    NotLeader {
+        /// Where writes go: the leader address this follower tails.
+        leader_addr: String,
+    },
 }
 
 impl SessionError {
@@ -386,6 +394,7 @@ impl SessionError {
             SessionError::UnknownSubscription { .. } => "UnknownSubscription",
             SessionError::Durability { .. } => "Durability",
             SessionError::StaleLog { .. } => "StaleLog",
+            SessionError::NotLeader { .. } => "NotLeader",
         }
     }
 }
@@ -426,6 +435,12 @@ impl std::fmt::Display for SessionError {
                      recover it instead (Session::recover / Service::open_dir)"
                 )
             }
+            SessionError::NotLeader { leader_addr } => {
+                write!(
+                    f,
+                    "session is a read-only replication follower; write to the leader at {leader_addr}"
+                )
+            }
         }
     }
 }
@@ -442,6 +457,127 @@ impl From<EditError> for SessionError {
     fn from(e: EditError) -> SessionError {
         SessionError::Edit(e)
     }
+}
+
+/// Why a replicated record could not be applied to a follower session.
+///
+/// Apply errors are **stream** errors, not session errors: a record the
+/// leader *rejected* still applies cleanly (the rejection replays, like
+/// recovery).  Every variant leaves the session and its log exactly as
+/// they were — a torn or out-of-order suffix is never half-applied — so
+/// the follower can re-request from its last good sequence number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The session keeps no write-ahead log; only durable sessions can
+    /// mirror a leader's.
+    NotDurable,
+    /// The record skips ahead of (or repeats into) the local log.
+    Gap {
+        /// The sequence number the log expects next.
+        expected: u64,
+        /// The sequence number the record carried.
+        found: u64,
+    },
+    /// The record frame is malformed: bad length or CRC mismatch.
+    BadRecord {
+        /// What failed.
+        detail: String,
+    },
+    /// The frame verified but its payload is not a decodable request.
+    BadPayload {
+        /// What failed.
+        detail: String,
+    },
+    /// A reset record's snapshot could not be decoded or rebuilt.
+    BadSnapshot {
+        /// What failed.
+        detail: String,
+    },
+    /// The local store refused the mirrored append or reset.
+    Durability {
+        /// What the store reported.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::NotDurable => write!(f, "session has no write-ahead log to mirror into"),
+            ApplyError::Gap { expected, found } => {
+                write!(
+                    f,
+                    "replicated record out of sequence: expected {expected}, got {found}"
+                )
+            }
+            ApplyError::BadRecord { detail } => write!(f, "bad replicated record: {detail}"),
+            ApplyError::BadPayload { detail } => {
+                write!(f, "undecodable replicated payload: {detail}")
+            }
+            ApplyError::BadSnapshot { detail } => {
+                write!(f, "bad replicated checkpoint image: {detail}")
+            }
+            ApplyError::Durability { detail } => {
+                write!(f, "replicated record could not be made durable: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// One WAL write captured by the leader's replication tap (see
+/// [`Session::set_repl_tap`]): the exact framed bytes that went to the
+/// local log, ready to ship so follower logs stay byte-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalShipment {
+    /// An ordinary appended record.
+    Record {
+        /// Generation the record belongs to.
+        gen: u64,
+        /// The full framed record bytes.
+        bytes: Vec<u8>,
+    },
+    /// A checkpoint replaced the log; followers must reset onto this
+    /// record-0 image (sequence numbering restarts after it).
+    Reset {
+        /// The fresh log's generation.
+        gen: u64,
+        /// The full framed record-0 bytes.
+        record0: Vec<u8>,
+    },
+}
+
+/// The leader's answer to a follower's catch-up request (see
+/// [`Session::replication_catchup`]).
+pub enum CatchupPlan {
+    /// The follower is on the current generation: ship these raw record
+    /// frames (`from_seq..` in order) and it is caught up.
+    Tail {
+        /// The current log generation.
+        gen: u64,
+        /// Raw framed records to ship.
+        frames: Vec<Vec<u8>>,
+    },
+    /// The follower is behind the checkpoint horizon (or brand new): its
+    /// records were compacted away, so ship the record-0 snapshot image
+    /// first, then the tail.
+    Reset {
+        /// The current log generation.
+        gen: u64,
+        /// The full framed record-0 bytes.
+        record0: Vec<u8>,
+        /// Raw framed records following the snapshot.
+        frames: Vec<Vec<u8>>,
+    },
+    /// The follower claims records this leader never wrote (it is *ahead*
+    /// on the same generation) — replicating would fork history, so the
+    /// leader refuses and the follower reports a split brain instead of
+    /// silently diverging.
+    Refused {
+        /// Why.
+        detail: String,
+    },
 }
 
 /// One client's view-update session: schema + pools + enumerated space +
@@ -496,6 +632,15 @@ pub struct Session<F: ComponentFamily + Sync> {
     /// Live delta subscriptions + their event outbox (never snapshotted,
     /// never recovered — see [`sub`]).
     subs: sub::SubHub,
+    /// `Some(leader_addr)` makes this a read-only replication follower:
+    /// durable requests are refused with [`SessionError::NotLeader`] and
+    /// state only moves through [`Session::apply_replicated`].
+    read_only: Option<String>,
+    /// Leader-side replication tap: when on, every WAL write is also
+    /// pushed onto `shipments` for the server to forward to followers.
+    repl_tap: bool,
+    /// WAL writes captured since the last [`Session::take_wal_shipments`].
+    shipments: Vec<WalShipment>,
 }
 
 impl<F: ComponentFamily + Sync> Session<F> {
@@ -557,6 +702,9 @@ impl<F: ComponentFamily + Sync> Session<F> {
             session_id: 0,
             obs: Box::new(obs),
             subs: sub::SubHub::default(),
+            read_only: None,
+            repl_tap: false,
+            shipments: Vec::new(),
         })
     }
 
@@ -692,6 +840,9 @@ impl<F: ComponentFamily + Sync> Session<F> {
         let snap = wal::decode_snapshot(&first.payload).map_err(|e| RecoverError::BadSnapshot {
             detail: e.to_string(),
         })?;
+        // Re-frame record 0 (framing is deterministic) to recover the
+        // log's replication generation id.
+        let wal_gen = wal::gen_of_record0_frame(&wal::frame_record(0, &first.payload));
         let mut dec = compview_relation::binio::Dec::new(&snap.space);
         let space =
             StateSpace::decode_snapshot_observed(schema, &mut dec, &obs.enum_obs).map_err(|e| {
@@ -718,6 +869,9 @@ impl<F: ComponentFamily + Sync> Session<F> {
             // replaying the log below cannot create any and emits no
             // events (`Subscribe` is never logged to begin with).
             subs: sub::SubHub::default(),
+            read_only: None,
+            repl_tap: false,
+            shipments: Vec::new(),
         };
         let mut applied = 0u64;
         let mut salvaged = parsed.salvaged;
@@ -751,6 +905,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
         }
         let mut writer = wal::WalWriter::new(store, policy, applied + 1, salvaged);
         writer.set_obs(session.obs.wal.clone());
+        writer.set_gen(wal_gen);
         session.wal = Some(writer);
         session.obs.replay_records.add(applied);
         session.obs.replay_ns.stop(replay_timer);
@@ -783,13 +938,21 @@ impl<F: ComponentFamily + Sync> Session<F> {
         let timer = self.obs.checkpoint_ns.start();
         let _span = self.obs.tracer.span("session.checkpoint", 0);
         let snapshot = wal::encode_snapshot(&self.snapshot_parts()?);
-        self.wal
-            .as_mut()
-            .expect("checked above")
+        let writer = self.wal.as_mut().expect("checked above");
+        writer
             .reset_with(&snapshot)
             .map_err(|e| SessionError::Durability {
                 detail: e.to_string(),
             })?;
+        if self.repl_tap {
+            // Followers must jump generations with us: ship the exact
+            // record-0 bytes the reset just wrote (framing is
+            // deterministic, so re-framing reproduces them).
+            self.shipments.push(WalShipment::Reset {
+                gen: writer.gen(),
+                record0: wal::frame_record(0, &snapshot),
+            });
+        }
         self.obs.checkpoints.inc();
         self.obs.checkpoint_ns.stop(timer);
         Ok(())
@@ -856,13 +1019,19 @@ impl<F: ComponentFamily + Sync> Session<F> {
         }
         let payload = wal::encode_request(req);
         self.obs.tracer.instant("wal.encode", payload.len() as u64);
-        self.wal
-            .as_mut()
-            .expect("checked above")
+        let writer = self.wal.as_mut().expect("checked above");
+        let rec = writer
             .append_payload(&payload)
             .map_err(|e| SessionError::Durability {
                 detail: e.to_string(),
-            })
+            })?;
+        if self.repl_tap {
+            self.shipments.push(WalShipment::Record {
+                gen: writer.gen(),
+                bytes: rec,
+            });
+        }
+        Ok(())
     }
 
     /// Enter or leave **group-commit** mode on the write-ahead log: while
@@ -907,9 +1076,17 @@ impl<F: ComponentFamily + Sync> Session<F> {
         let timer = self.obs.variant_hist_at(variant).start();
         let span = self.obs.tracer.span("session.serve", 0);
         let durable = req.is_durable() && self.wal.is_some();
-        let outcome = match self.log_request(&req) {
-            Ok(()) => self.handle(req),
-            Err(e) => Err(e),
+        let outcome = if let (true, Some(leader)) = (req.is_durable(), self.read_only.as_ref()) {
+            // A follower refuses writes *before* logging: locally logged
+            // records would fork the mirrored log.
+            Err(SessionError::NotLeader {
+                leader_addr: leader.clone(),
+            })
+        } else {
+            match self.log_request(&req) {
+                Ok(()) => self.handle(req),
+                Err(e) => Err(e),
+            }
         };
         self.stats.requests += 1;
         self.obs.requests.inc();
@@ -1522,5 +1699,303 @@ impl<F: ComponentFamily + Sync> Session<F> {
     /// Drop all cached endomorphism maps (they are rebuilt on demand).
     pub fn invalidate_cache(&mut self) {
         self.cache.clear();
+    }
+
+    // -----------------------------------------------------------------
+    // Replication: leader-side WAL shipping and follower-side apply.
+    // -----------------------------------------------------------------
+
+    /// Make this session a read-only replication follower
+    /// (`Some(leader_addr)`) or flip it back to writable (`None`, the
+    /// promotion path).  While read-only, durable requests are refused
+    /// with [`SessionError::NotLeader`] *before* logging; reads, stats,
+    /// and subscriptions serve locally.
+    pub fn set_read_only(&mut self, leader_addr: Option<String>) {
+        self.read_only = leader_addr;
+    }
+
+    /// The leader address this session follows, when read-only.
+    pub fn leader_addr(&self) -> Option<&str> {
+        self.read_only.as_deref()
+    }
+
+    /// Turn the leader-side replication tap on or off.  While on, every
+    /// WAL write (append or checkpoint reset) is also captured as a
+    /// [`WalShipment`]; turning it off discards anything uncollected.
+    pub fn set_repl_tap(&mut self, on: bool) {
+        self.repl_tap = on;
+        if !on {
+            self.shipments.clear();
+        }
+    }
+
+    /// Collect the WAL writes captured since the last call (empty unless
+    /// the tap is on).  The server forwards these to live followers after
+    /// each dispatched batch.
+    pub fn take_wal_shipments(&mut self) -> Vec<WalShipment> {
+        std::mem::take(&mut self.shipments)
+    }
+
+    /// The replication generation id of the current log (0 when
+    /// non-durable).  Checkpoints restart sequence numbering, so
+    /// `(generation, seq)` — not seq alone — names a record.
+    pub fn wal_gen(&self) -> u64 {
+        self.wal.as_ref().map_or(0, wal::WalWriter::gen)
+    }
+
+    /// Sequence number of the last record in the log (0 = just the
+    /// snapshot; also 0 when non-durable).
+    pub fn wal_last_seq(&self) -> u64 {
+        self.wal.as_ref().map_or(0, wal::WalWriter::last_seq)
+    }
+
+    /// Force an fsync of the write-ahead log regardless of policy — the
+    /// promotion barrier: everything applied from the old leader is made
+    /// durable before the session starts accepting writes of its own.
+    ///
+    /// # Errors
+    /// [`SessionError::Durability`] when the store's sync fails.
+    pub fn sync_wal(&mut self) -> Result<(), SessionError> {
+        let Some(writer) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        writer.sync_all().map_err(|e| SessionError::Durability {
+            detail: e.to_string(),
+        })
+    }
+
+    /// Plan a follower's catch-up: given where the follower stands
+    /// (`from_seq` is the next record it wants, `follower_gen` the
+    /// generation it is on; `0, 0` = brand new), decide what to ship.
+    /// See [`CatchupPlan`] for the three outcomes.
+    ///
+    /// # Errors
+    /// [`SessionError::Durability`] when the session has no log or the
+    /// log image cannot be read back.
+    pub fn replication_catchup(
+        &mut self,
+        from_seq: u64,
+        follower_gen: u64,
+    ) -> Result<CatchupPlan, SessionError> {
+        let writer = self.wal.as_mut().ok_or_else(|| SessionError::Durability {
+            detail: "session has no write-ahead log to replicate".to_owned(),
+        })?;
+        let gen = writer.gen();
+        let last = writer.last_seq();
+        let image = writer.log_image().map_err(|e| SessionError::Durability {
+            detail: e.to_string(),
+        })?;
+        if follower_gen == gen && follower_gen != 0 {
+            if from_seq > last + 1 {
+                return Ok(CatchupPlan::Refused {
+                    detail: format!(
+                        "follower asks from seq {from_seq} but generation {gen:#x} \
+                         ends at {last}: follower is ahead (split brain?)"
+                    ),
+                });
+            }
+            let frames =
+                wal::tail_frames(&image, from_seq).map_err(|e| SessionError::Durability {
+                    detail: format!("leader log unreadable: {e}"),
+                })?;
+            Ok(CatchupPlan::Tail { gen, frames })
+        } else {
+            // Different (or no) generation: whatever the follower holds
+            // was checkpointed away or never ours.  Full resync.
+            let mut frames = wal::tail_frames(&image, 0).map_err(|e| SessionError::Durability {
+                detail: format!("leader log unreadable: {e}"),
+            })?;
+            if frames.is_empty() {
+                return Err(SessionError::Durability {
+                    detail: "leader log has no snapshot record".to_owned(),
+                });
+            }
+            let record0 = frames.remove(0);
+            Ok(CatchupPlan::Reset {
+                gen,
+                record0,
+                frames,
+            })
+        }
+    }
+
+    /// Apply one leader-shipped record to this follower: verify the
+    /// frame, mirror the exact bytes into the local log, then run the
+    /// request through the ordinary handler — a record the leader
+    /// rejected replays to the same rejection, exactly like recovery.
+    /// Returns the applied sequence number.
+    ///
+    /// Auto-checkpointing is deliberately *not* consulted: checkpoints
+    /// are log rewrites, and only the leader rewrites the log (followers
+    /// jump generations via [`Session::apply_reset`]) — otherwise the
+    /// byte-identity of leader and follower logs would fork.
+    ///
+    /// # Errors
+    /// See [`ApplyError`]; every error leaves session and log untouched.
+    pub fn apply_replicated(&mut self, rec: &[u8]) -> Result<u64, ApplyError> {
+        let timer = self.obs.repl_apply_ns.start();
+        let writer = self.wal.as_mut().ok_or(ApplyError::NotDurable)?;
+        let (seq, payload) =
+            wal::parse_record(rec).map_err(|detail| ApplyError::BadRecord { detail })?;
+        let expected = writer.last_seq() + 1;
+        if seq != expected {
+            return Err(ApplyError::Gap {
+                expected,
+                found: seq,
+            });
+        }
+        // Decode before touching the log, so an undecodable payload
+        // costs nothing.
+        let req = wal::decode_request(&payload).map_err(|e| ApplyError::BadPayload {
+            detail: e.to_string(),
+        })?;
+        writer
+            .append_raw_record(rec)
+            .map_err(|e| ApplyError::Durability {
+                detail: e.to_string(),
+            })?;
+        let outcome = self.handle(req);
+        self.stats.requests += 1;
+        self.obs.requests.inc();
+        match outcome {
+            Ok(_) => {
+                self.stats.accepted += 1;
+                self.obs.accepted.inc();
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                self.obs.rejected.inc();
+                *self
+                    .stats
+                    .rejected_by_variant
+                    .entry(e.variant_label().to_owned())
+                    .or_insert(0) += 1;
+            }
+        }
+        self.obs.repl_applied.inc();
+        if let Some(t) = timer {
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.obs.repl_apply_ns.record(ns);
+            self.obs.repl_apply_tail_ns.record(ns);
+        }
+        Ok(seq)
+    }
+
+    /// Apply a leader checkpoint to this follower: rebuild the whole
+    /// session from the shipped record-0 snapshot image and replace the
+    /// local log with it (sequence numbering restarts, the generation id
+    /// becomes the leader's).  Live subscriptions survive: each one's
+    /// image is re-resolved against the rebuilt state, and if it moved, a
+    /// catch-up [`DeltaEvent`] carries the difference so streams stay
+    /// gapless across the jump.
+    ///
+    /// # Errors
+    /// See [`ApplyError`].  A decode/rebuild error leaves the session
+    /// untouched; only a store failure on the final log replace can leave
+    /// the rebuilt state ahead of the (still intact, old) log.
+    pub fn apply_reset(&mut self, record0: &[u8]) -> Result<u64, ApplyError> {
+        let timer = self.obs.repl_apply_ns.start();
+        if self.wal.is_none() {
+            return Err(ApplyError::NotDurable);
+        }
+        let (seq, payload) =
+            wal::parse_record(record0).map_err(|detail| ApplyError::BadRecord { detail })?;
+        if seq != 0 {
+            return Err(ApplyError::BadRecord {
+                detail: format!("reset record carries seq {seq}, want 0"),
+            });
+        }
+        let snap = wal::decode_snapshot(&payload).map_err(|e| ApplyError::BadSnapshot {
+            detail: e.to_string(),
+        })?;
+        let schema = self.space.schema().clone();
+        let mut dec = compview_relation::binio::Dec::new(&snap.space);
+        let space = StateSpace::decode_snapshot_observed(schema, &mut dec, &self.obs.enum_obs)
+            .map_err(|e| ApplyError::BadSnapshot {
+                detail: format!("state space: {e}"),
+            })?;
+        let base_id = space
+            .id_of(&snap.base)
+            .ok_or_else(|| ApplyError::BadSnapshot {
+                detail: "snapshot base state is outside its own space".to_owned(),
+            })?;
+        // Capture current subscription images before the state jumps, so
+        // the catch-up deltas below can be derived.
+        let sub_images: Vec<(u64, Instance)> = self
+            .subs
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let e = self.subs.entry(id)?;
+                Some((id, self.space.state(e.image_id).clone()))
+            })
+            .collect();
+        self.catalog
+            .reset(snap.base, snap.views, snap.log, snap.history)
+            .map_err(|e| ApplyError::BadSnapshot {
+                detail: format!("catalog: {e}"),
+            })?;
+        self.space = space;
+        self.base_id = base_id;
+        self.cache.clear();
+        self.config = snap.config;
+        self.stats = snap.stats;
+        self.session_id = snap.session_id;
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .reset_with(&payload)
+            .map_err(|e| ApplyError::Durability {
+                detail: e.to_string(),
+            })?;
+        // Re-seat live subscriptions on the rebuilt state; emit the jump
+        // as an ordinary row delta where an image changed.
+        for (id, old_image) in sub_images {
+            let Some(e) = self.subs.entry(id) else {
+                continue;
+            };
+            let (mask, view) = (e.mask, e.view.clone());
+            match self.ensure_cached(mask) {
+                Ok(()) => {
+                    let nid = self.cache[&mask][self.base_id];
+                    let new_image = self.space.state(nid).clone();
+                    let entry = self.subs.entry_mut(id).expect("listed above");
+                    entry.image_id = nid;
+                    if new_image != old_image {
+                        entry.seq += 1;
+                        let seq = entry.seq;
+                        let added = new_image.difference(&old_image);
+                        let removed = old_image.difference(&new_image);
+                        self.obs.sub_events.inc();
+                        self.obs
+                            .sub_event_rows
+                            .record((added.total_tuples() + removed.total_tuples()) as u64);
+                        self.subs.emit(DeltaEvent {
+                            sub: id,
+                            view,
+                            seq,
+                            kind: DeltaKind::Rows { added, removed },
+                        });
+                    }
+                }
+                Err(e) => {
+                    self.obs.sub_terminated.inc();
+                    self.obs.sub_closed.inc();
+                    self.subs.terminate(
+                        id,
+                        TerminateReason::NotAComponent {
+                            detail: e.to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        self.obs.repl_resets.inc();
+        if let Some(t) = timer {
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.obs.repl_apply_ns.record(ns);
+            self.obs.repl_apply_tail_ns.record(ns);
+        }
+        Ok(0)
     }
 }

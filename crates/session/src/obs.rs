@@ -85,6 +85,16 @@ pub struct SessionObs {
     pub auto_checkpoint_failures: Counter,
     /// Wall time of checkpoint snapshot-encode + replace, nanoseconds.
     pub checkpoint_ns: Histogram,
+    /// Leader-shipped records applied by this follower session
+    /// ([`crate::Session::apply_replicated`]).
+    pub repl_applied: Counter,
+    /// Leader checkpoint images applied ([`crate::Session::apply_reset`]).
+    pub repl_resets: Counter,
+    /// Wall time of one replicated apply (record or reset), nanoseconds.
+    pub repl_apply_ns: Histogram,
+    /// Exact tail quantiles of the replicated apply path — the follower
+    /// twin of [`SessionObs::update_tail_ns`].
+    pub repl_apply_tail_ns: Reservoir,
     /// Enumeration instruments (space build at open and during
     /// recovery's snapshot decode).
     pub enum_obs: EnumObs,
@@ -135,6 +145,10 @@ impl SessionObs {
             auto_checkpoints: registry.counter("session.checkpoints.auto"),
             auto_checkpoint_failures: registry.counter("session.checkpoints.auto_failures"),
             checkpoint_ns: registry.histogram("session.checkpoint_ns"),
+            repl_applied: registry.counter("repl.records_applied"),
+            repl_resets: registry.counter("repl.resets"),
+            repl_apply_ns: registry.histogram("repl.apply_ns"),
+            repl_apply_tail_ns: registry.reservoir("repl.apply_tail_ns"),
             enum_obs: EnumObs::new(registry),
             wal: WalObs::new(registry),
             tracer: registry.tracer(),

@@ -287,6 +287,56 @@ pub(crate) fn parse_log(bytes: &[u8]) -> Result<ParsedLog, RecoverError> {
     })
 }
 
+/// Parse one shipped record frame on its own: framing lengths and CRC,
+/// but *not* sequence contiguity (that is the applier's gap check).
+/// Returns `(seq, payload)`.
+pub(crate) fn parse_record(bytes: &[u8]) -> Result<(u64, Vec<u8>), String> {
+    if bytes.len() < FRAME {
+        return Err(format!("record frame too short: {} bytes", bytes.len()));
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4")) as usize;
+    if bytes.len() - FRAME != len {
+        return Err(format!(
+            "record length mismatch: header says {len}, frame carries {}",
+            bytes.len() - FRAME
+        ));
+    }
+    let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("8"));
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4"));
+    let mut checked = Vec::with_capacity(8 + len);
+    checked.extend_from_slice(&bytes[4..12]);
+    checked.extend_from_slice(&bytes[16..]);
+    let computed = crc32(&checked);
+    if computed != crc {
+        return Err(format!(
+            "record checksum mismatch: carried {crc:#010x}, computed {computed:#010x}"
+        ));
+    }
+    Ok((seq, bytes[16..].to_vec()))
+}
+
+/// Replication generation id of a log whose record 0 frames to `record0`
+/// (the full framed bytes, not just the payload).  Checkpoints reset the
+/// sequence space to 0, so `(gen, seq)` — not seq alone — names a record;
+/// the snapshot embeds advancing stats counters, making successive
+/// checkpoint record-0 bytes (and hence gens) distinct.  `| 1 << 32`
+/// keeps 0 free as "no log yet".
+pub(crate) fn gen_of_record0_frame(record0: &[u8]) -> u64 {
+    crc32(record0) as u64 | 1 << 32
+}
+
+/// Raw framed record bytes of every record with `seq >= from_seq` in a
+/// log image — the leader's catch-up tail for a `Replicate` request.
+pub(crate) fn tail_frames(bytes: &[u8], from_seq: u64) -> Result<Vec<Vec<u8>>, RecoverError> {
+    let parsed = parse_log(bytes)?;
+    let mut out = Vec::new();
+    for rec in parsed.records.iter().skip(from_seq as usize) {
+        let start = rec.offset as usize;
+        out.push(bytes[start..start + FRAME + rec.payload.len()].to_vec());
+    }
+    Ok(out)
+}
+
 /// Frame a payload into record bytes.
 pub(crate) fn frame_record(seq: u64, payload: &[u8]) -> Vec<u8> {
     let mut checked = Vec::with_capacity(8 + payload.len());
@@ -434,6 +484,7 @@ const SERR_OUTSIDE_SPACE: u8 = 5;
 const SERR_DURABILITY: u8 = 6;
 const SERR_STALE_LOG: u8 = 7;
 const SERR_UNKNOWN_SUB: u8 = 8;
+const SERR_NOT_LEADER: u8 = 9;
 
 /// Catalog-error tags.
 const CERR_UNKNOWN_VIEW: u8 = 1;
@@ -689,6 +740,10 @@ fn encode_session_error(out: &mut Vec<u8>, e: &SessionError) {
             binio::put_u8(out, SERR_UNKNOWN_SUB);
             binio::put_u64(out, *sub);
         }
+        SessionError::NotLeader { leader_addr } => {
+            binio::put_u8(out, SERR_NOT_LEADER);
+            binio::put_str(out, leader_addr);
+        }
     }
 }
 
@@ -734,6 +789,9 @@ fn decode_session_error(d: &mut Dec<'_>) -> Result<SessionError, DecodeError> {
         SERR_DURABILITY => SessionError::Durability { detail: d.str()? },
         SERR_STALE_LOG => SessionError::StaleLog { detail: d.str()? },
         SERR_UNKNOWN_SUB => SessionError::UnknownSubscription { sub: d.u64()? },
+        SERR_NOT_LEADER => SessionError::NotLeader {
+            leader_addr: d.str()?,
+        },
         tag => return Err(DecodeError::BadTag { at, tag }),
     })
 }
@@ -932,6 +990,9 @@ pub(crate) struct WalWriter {
     /// Records appended since this window's last issued sync (group-commit
     /// flush size).
     since_flush: u64,
+    /// Replication generation id of the current log (see
+    /// [`gen_of_record0_frame`]); 0 until set by recovery or a reset.
+    gen: u64,
     obs: crate::obs::WalObs,
 }
 
@@ -949,8 +1010,20 @@ impl WalWriter {
             deferred: false,
             sync_pending: false,
             since_flush: 0,
+            gen: 0,
             obs: crate::obs::WalObs::noop(),
         }
+    }
+
+    /// The replication generation id of the current log.
+    pub fn gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// Install the generation id recovered from an existing log's
+    /// record 0 (resets compute their own via [`WalWriter::reset_with`]).
+    pub fn set_gen(&mut self, gen: u64) {
+        self.gen = gen;
     }
 
     /// Replace the writer's instrument bundle (no-op handles by default).
@@ -1008,14 +1081,32 @@ impl WalWriter {
     }
 
     /// Append one payload as the next record, rolling back on any write or
-    /// sync failure so the log never holds half a record.
-    pub fn append_payload(&mut self, payload: &[u8]) -> io::Result<()> {
+    /// sync failure so the log never holds half a record.  Returns the
+    /// framed record bytes — the leader's replication tap ships them
+    /// verbatim so follower logs stay byte-identical.
+    pub fn append_payload(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
         if self.poisoned {
             return Err(io::Error::other(
                 "write-ahead log poisoned by an earlier failed rollback",
             ));
         }
         let rec = frame_record(self.next_seq, payload);
+        self.append_framed(rec)
+    }
+
+    /// Append an already-framed record verbatim — the follower's apply
+    /// path, which mirrors the leader's bytes exactly.  The caller vouches
+    /// the frame is valid and carries `seq == next_seq`.
+    pub fn append_raw_record(&mut self, rec: &[u8]) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "write-ahead log poisoned by an earlier failed rollback",
+            ));
+        }
+        self.append_framed(rec.to_vec()).map(|_| ())
+    }
+
+    fn append_framed(&mut self, rec: Vec<u8>) -> io::Result<Vec<u8>> {
         let _span = self.obs.tracer.span("wal.append", rec.len() as u64);
         match self.append_and_maybe_sync(&rec) {
             Ok(()) => {
@@ -1029,7 +1120,7 @@ impl WalWriter {
                     .records_since_checkpoint
                     .set(self.next_seq.saturating_sub(1));
                 self.obs.log_bytes.set(self.durable_len);
-                Ok(())
+                Ok(rec)
             }
             Err(e) => {
                 // Undo the (possibly partial) append; if that is also
@@ -1041,6 +1132,22 @@ impl WalWriter {
                 Err(e)
             }
         }
+    }
+
+    /// The entire current log image — the leader reads this to ship a
+    /// catch-up tail to a follower.
+    pub fn log_image(&mut self) -> io::Result<Vec<u8>> {
+        self.store.read_all()
+    }
+
+    /// Unconditionally fsync the store (the promotion barrier), clearing
+    /// any deferred-sync debt.
+    pub fn sync_all(&mut self) -> io::Result<()> {
+        self.store.sync()?;
+        self.sync_pending = false;
+        self.since_sync = 0;
+        self.since_flush = 0;
+        Ok(())
     }
 
     /// The fallible middle of [`WalWriter::append_payload`]: write the
@@ -1072,8 +1179,9 @@ impl WalWriter {
     /// resetting sequence numbering.  On success a previously poisoned
     /// writer is healthy again — the log is fresh.
     pub fn reset_with(&mut self, record0_payload: &[u8]) -> io::Result<()> {
+        let record0 = frame_record(0, record0_payload);
         let mut bytes = MAGIC.to_vec();
-        bytes.extend_from_slice(&frame_record(0, record0_payload));
+        bytes.extend_from_slice(&record0);
         self.store.replace(&bytes)?;
         if matches!(self.policy, SyncPolicy::Always) {
             let timer = self.obs.fsync_ns.start();
@@ -1086,6 +1194,7 @@ impl WalWriter {
         self.sync_pending = false;
         self.since_flush = 0;
         self.poisoned = false;
+        self.gen = gen_of_record0_frame(&record0);
         self.obs.records_since_checkpoint.set(0);
         self.obs.log_bytes.set(self.durable_len);
         Ok(())

@@ -22,17 +22,33 @@
 //! view, the writer drives the same burst of updates, and every change
 //! arrives as a pushed, sequence-numbered delta event — no polling.
 //! Try: `cargo run --example serve -- --subscribe orders/sup`
+//!
+//! `--follow <addr>` switches to the replication walkthrough (DESIGN.md
+//! §14): instead of leading, the process syncs a fresh durable service
+//! against the leader at `<addr>`, serves reads from its own port, and
+//! shows the typed `NotLeader` refusal a write receives.  Pair it with a
+//! leader kept alive by `--hold <seconds>`:
+//!
+//! ```text
+//! terminal 1:  cargo run --example serve -- --hold 60
+//! terminal 2:  cargo run --example serve -- --follow 127.0.0.1:<port>
+//! ```
 
 use compview::core::SubschemaComponents;
 use compview::logic::Schema;
 use compview::relation::{rel, v, Instance, RelDecl, Signature, Tuple};
-use compview::serve::{Client, Server};
-use compview::session::{Service, SessionConfig, SessionRequest, SessionResponse, SyncPolicy};
+use compview::serve::{Client, Replica, ReplicaOptions, Server};
+use compview::session::{
+    DispatchError, Service, SessionConfig, SessionError, SessionRequest, SessionResponse,
+    SyncPolicy,
+};
 use std::collections::BTreeMap;
 
 fn main() {
     let mut shards = 1usize;
     let mut subscribe: Option<(String, String)> = None;
+    let mut follow: Option<String> = None;
+    let mut hold = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,8 +66,18 @@ fn main() {
                     .expect("--subscribe takes <session>/<view>");
                 subscribe = Some((session.to_owned(), view.to_owned()));
             }
+            "--follow" => {
+                follow = Some(args.next().expect("--follow takes the leader's <addr>"));
+            }
+            "--hold" => {
+                hold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--hold takes a number of seconds");
+            }
             other => panic!(
-                "unknown argument {other:?} (supported: --shards N, --subscribe <session>/<view>)"
+                "unknown argument {other:?} (supported: --shards N, \
+                 --subscribe <session>/<view>, --follow <addr>, --hold <seconds>)"
             ),
         }
     }
@@ -94,6 +120,12 @@ fn main() {
             SyncPolicy::Always,
         )
         .unwrap();
+
+    if let Some(leader) = follow {
+        follow_demo(&leader, service);
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
 
     // 2. Put it behind a TCP server on an ephemeral port, dispatch
     //    sharded across `--shards` dispatcher threads.
@@ -163,8 +195,15 @@ fn main() {
     let ghost = client.request("ghost", &SessionRequest::Stats).unwrap();
     println!("request to unknown session: {:?}", ghost.unwrap_err());
 
-    // 4. Shut down and take the service back: everything the clients did
-    //    is in it — and, being durable, also in orders.wal on disk.
+    // 4. Keep serving if asked (so a `--follow` process in another
+    //    terminal can attach), then shut down and take the service back:
+    //    everything the clients did is in it — and, being durable, also
+    //    in orders.wal on disk.
+    if hold > 0 {
+        println!("holding the leader open on {addr} for {hold}s — follow it with:");
+        println!("    cargo run --example serve -- --follow {addr}");
+        std::thread::sleep(std::time::Duration::from_secs(hold));
+    }
     drop(client);
     let service = server.shutdown();
     let stats = service.session("orders").unwrap().stats();
@@ -177,6 +216,69 @@ fn main() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `--follow` walkthrough: sync the fresh durable service against
+/// the leader, serve reads from a local port, and show the follower
+/// contract — reads answered locally, writes refused with a typed
+/// `NotLeader` pointing back at the leader.
+fn follow_demo(leader: &str, service: Service<SubschemaComponents>) {
+    let replica = Replica::start("127.0.0.1:0", leader, service, ReplicaOptions::default())
+        .unwrap_or_else(|e| panic!("cannot follow {leader}: {e}"));
+    println!(
+        "following {} — serving reads on {}",
+        replica.leader_addr(),
+        replica.local_addr()
+    );
+
+    let mut client = Client::connect(replica.local_addr()).unwrap();
+    match client
+        .request("orders", &SessionRequest::Read { view: "sup".into() })
+        .unwrap()
+    {
+        Ok(SessionResponse::State(state)) => println!(
+            "replicated view 'sup' holds {} tuples",
+            state.rel("Suppliers").len()
+        ),
+        other => println!("view 'sup' not readable yet: {other:?}"),
+    }
+
+    // A follower refuses durable writes with an answer, not a dropped
+    // connection — and the answer names the leader to retry against.
+    let refused = client
+        .request(
+            "orders",
+            &SessionRequest::Update {
+                view: "sup".into(),
+                new_state: Instance::null_model(&Signature::new([
+                    RelDecl::new("Suppliers", ["S#"]),
+                    RelDecl::new("Parts", ["P#"]),
+                ])),
+            },
+        )
+        .unwrap();
+    match refused {
+        Err(DispatchError::Session(SessionError::NotLeader { leader_addr })) => {
+            println!("write refused: not the leader — retry against {leader_addr}")
+        }
+        other => println!("unexpected write outcome: {other:?}"),
+    }
+
+    let snap = client.metrics().unwrap();
+    for name in ["repl.reconnects", "repl.resets"] {
+        if let Some((_, v)) = snap.counters.iter().find(|(n, _)| n == name) {
+            println!("{name} = {v}");
+        }
+    }
+    for name in ["repl.lag_records", "repl.connected"] {
+        if let Some((_, v)) = snap.gauges.iter().find(|(n, _)| n == name) {
+            println!("{name} = {v}");
+        }
+    }
+
+    drop(client);
+    let _ = replica.shutdown();
+    println!("follower drained");
 }
 
 /// The `--subscribe` walkthrough: register the view, open a delta

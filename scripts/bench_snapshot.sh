@@ -3,14 +3,15 @@
 # translate_scaling, incremental maintenance, session serving, WAL
 # append throughput + group commit + recovery latency, wire protocol,
 # sharded-dispatcher shard-count sweep, instrumentation overhead
-# enabled vs no-op, delta-subscription fan-out + push-vs-poll bytes) and
+# enabled vs no-op, delta-subscription fan-out + push-vs-poll bytes,
+# replication visibility latency + catch-up throughput) and
 # collect the vendored harness's machine-readable result lines
-# ("compview-bench: {...}") into BENCH_PR7.json.
+# ("compview-bench: {...}") into BENCH_PR8.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
-TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs subs)
+OUT="${1:-BENCH_PR8.json}"
+TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs subs repl)
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -51,6 +51,17 @@ cargo test -q -p compview-serve --test sharded
 echo "==> cargo test -p compview-serve --test subs (delta subscriptions)"
 cargo test -q -p compview-serve --test subs
 
+# The replication subsystem's contract: a follower ends byte-identical
+# to the leader (state, WAL file, Read responses) at the same applied
+# sequence, across cut/bit-flipped streams and a leader restart, at
+# 1/2/8 worker threads x 1/2 dispatcher shards — and promotion after a
+# leader kill accepts writes having lost nothing acked.  The headline
+# fault scenario derives its cut/flip plan from COMPVIEW_FAULT_SEED,
+# same rotation discipline as the recovery suite.
+echo "==> cargo test -p compview-serve --test replica (WAL shipping, COMPVIEW_FAULT_SEED=${COMPVIEW_FAULT_SEED:-20260806})"
+COMPVIEW_FAULT_SEED="${COMPVIEW_FAULT_SEED:-20260806}" \
+    cargo test -q -p compview-serve --test replica
+
 echo "==> cargo build --example session --example recovery --example serve --benches"
 cargo build --example session --example recovery --example serve
 cargo build --benches -p compview-bench
@@ -65,5 +76,29 @@ cargo run -q --example obs > /dev/null
 echo "==> cargo run --example serve -- --subscribe orders/sup (delta stream smoke)"
 subscribe_out="$(cargo run -q --example serve -- --subscribe orders/sup)"
 grep -q "event seq 3" <<< "$subscribe_out"
+
+# The replication walkthrough doubles as a cross-process smoke test: a
+# held leader in one process, a follower in another, over real loopback
+# TCP — the follower must serve the leader's data and refuse a write
+# with the typed NotLeader answer.  (The in-process failover path —
+# write leader, read follower, kill leader, promote, write promoted —
+# is the `promotion_after_leader_kill` case in the replica suite above.)
+echo "==> cargo run --example serve -- --follow (leader+follower loopback smoke)"
+leader_out="$(mktemp)"
+cargo run -q --example serve -- --hold 30 > "$leader_out" &
+leader_pid=$!
+leader_addr=""
+for _ in $(seq 1 100); do
+    leader_addr="$(sed -n 's/^serving on \([0-9.:]*\) .*/\1/p' "$leader_out")"
+    [ -n "$leader_addr" ] && break
+    sleep 0.1
+done
+[ -n "$leader_addr" ] || { echo "leader never came up"; kill "$leader_pid"; exit 1; }
+follow_out="$(cargo run -q --example serve -- --follow "$leader_addr")"
+kill "$leader_pid" 2>/dev/null || true
+wait "$leader_pid" 2>/dev/null || true
+rm -f "$leader_out"
+grep -q "replicated view 'sup' holds 2 tuples" <<< "$follow_out"
+grep -q "write refused: not the leader" <<< "$follow_out"
 
 echo "CI OK"
