@@ -1,0 +1,389 @@
+//! E18: replication topology — fan-out visibility latency and leader
+//! egress, flat vs chained.
+//!
+//! `fanout/visible_all/followers_N` prices one committed change made
+//! visible on *every* follower of a flat 1→N fan-out: the writer's
+//! `Update` commits on the leader, the WAL record ships to N followers
+//! over loopback, and a delta subscription on each follower pushes the
+//! resulting event — the iteration ends when all N follower clients
+//! have seen it.  Compare N=1 against E17's `repl/ship/update_visible`
+//! (same topology) and watch how the slowest-of-N tail grows with N.
+//!
+//! `fanout/chain_visible/depth_D` is the same wait at the *tail* of a
+//! D-deep chain (leader → f1 → … → fD, each hop re-shipping its
+//! mirrored log downstream): per-hop shipping latency compounds, but
+//! the leader only feeds one stream.
+//!
+//! The `fanout/egress/*` result lines are not timings: they price the
+//! **leader's** replication egress (`serve.repl.bytes_out`, measured,
+//! not computed) per committed change.  Flat 1→4 makes the leader ship
+//! every record four times; a 3-deep chain serving the same four nodes
+//! (leader → f1 → f2 → f3, one direct follower) ships it once and lets
+//! the intermediate hops pay the rest — the bandwidth argument for
+//! chaining.
+
+use compview_bench::header;
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_obs::MetricsSnapshot;
+use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview_serve::{Client, Replica, ReplicaOptions, ServeOptions, Server};
+use compview_session::{Service, SessionConfig, SessionRequest, SyncPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["B"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            (0..5).map(|i| Tuple::new([v(&format!("a{i}"))])).collect(),
+        ),
+        (
+            "S".to_owned(),
+            (0..3).map(|i| Tuple::new([v(&format!("b{i}"))])).collect(),
+        ),
+    ]
+    .into()
+}
+
+fn base() -> Instance {
+    Instance::null_model(&sig()).with("R", rel(1, [["a0"]]))
+}
+
+/// One durable session `w` logging into `dir` — the E17 workload, for
+/// comparability.
+fn durable_service(dir: &PathBuf) -> Service<SubschemaComponents> {
+    let mut svc = Service::new();
+    svc.create_durable_session(
+        dir,
+        "w",
+        SubschemaComponents::singletons(sig()),
+        Schema::unconstrained(sig()),
+        &pools(),
+        base(),
+        SessionConfig::default(),
+        SyncPolicy::Always,
+    )
+    .expect("fresh durable session");
+    svc
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "compview-bench-fanout-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    dir
+}
+
+fn replica_options(seed: u64) -> ReplicaOptions {
+    ReplicaOptions {
+        retry_base: Duration::from_millis(2),
+        retry_max: Duration::from_millis(50),
+        read_timeout: Duration::from_secs(2),
+        connect_attempts: 50,
+        seed,
+        ..ReplicaOptions::default()
+    }
+}
+
+/// A follower that is itself an upstream must heartbeat its own
+/// downstream faster than the downstream's read timeout.
+fn upstream_options(seed: u64) -> ReplicaOptions {
+    ReplicaOptions {
+        serve: ServeOptions {
+            heartbeat_interval: Some(Duration::from_millis(100)),
+            ..ServeOptions::default()
+        },
+        ..replica_options(seed)
+    }
+}
+
+fn states() -> (Instance, Instance) {
+    let a = Instance::null_model(&sig()).with("R", rel(1, [["a0"], ["a1"]]));
+    let b = Instance::null_model(&sig()).with("R", rel(1, [["a0"], ["a2"]]));
+    (a, b)
+}
+
+fn update(new_state: Instance) -> SessionRequest {
+    SessionRequest::Update {
+        view: "r".into(),
+        new_state,
+    }
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, value)| *value)
+}
+
+/// Leader plus a writer client with view `r` registered.
+fn leader(tag: &str) -> (Server<SubschemaComponents>, Client, PathBuf) {
+    let ldir = bench_dir(tag);
+    let server = Server::bind("127.0.0.1:0", durable_service(&ldir)).unwrap();
+    let mut writer = Client::connect(server.local_addr()).unwrap();
+    writer
+        .request(
+            "w",
+            &SessionRequest::RegisterView {
+                name: "r".into(),
+                mask: 0b01,
+            },
+        )
+        .unwrap()
+        .unwrap();
+    (server, writer, ldir)
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    header(
+        "E18",
+        "replication topology: fan-out visibility, chain depth, leader egress",
+    );
+    let mut group = c.benchmark_group("fanout");
+    let (state_a, state_b) = states();
+
+    // Flat fan-out: one change visible on ALL of N followers.
+    for n in [1usize, 2, 4, 8] {
+        let (server, mut writer, ldir) = leader(&format!("flat{n}-l"));
+        let leader_addr = server.local_addr().to_string();
+        let fdirs: Vec<PathBuf> = (0..n)
+            .map(|i| bench_dir(&format!("flat{n}-f{i}")))
+            .collect();
+        let replicas: Vec<Replica<SubschemaComponents>> = fdirs
+            .iter()
+            .enumerate()
+            .map(|(i, fdir)| {
+                Replica::start(
+                    "127.0.0.1:0",
+                    &leader_addr,
+                    durable_service(fdir),
+                    replica_options(0xC0FFEE ^ i as u64),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut observers: Vec<Client> = replicas
+            .iter()
+            .map(|r| {
+                let mut cl = Client::connect(r.local_addr()).unwrap();
+                cl.subscribe("w", "r").unwrap().unwrap();
+                cl
+            })
+            .collect();
+        let mut flip = false;
+        group.bench_function(format!("visible_all/followers_{n}"), |bch| {
+            bch.iter(|| {
+                flip = !flip;
+                let state = if flip { &state_a } else { &state_b };
+                writer
+                    .request("w", &update(state.clone()))
+                    .unwrap()
+                    .unwrap();
+                for obs in &mut observers {
+                    black_box(obs.next_event().unwrap());
+                }
+            })
+        });
+        drop(observers);
+        drop(writer);
+        for r in replicas {
+            let _ = r.shutdown();
+        }
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&ldir);
+        for d in fdirs {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    // Chained shipping: one change visible at the tail of a D-deep
+    // chain, each hop re-shipping its mirrored log.
+    for depth in [1usize, 3] {
+        let (server, mut writer, ldir) = leader(&format!("chain{depth}-l"));
+        let mut upstream = server.local_addr().to_string();
+        let mut dirs = vec![ldir];
+        let mut hops: Vec<Replica<SubschemaComponents>> = Vec::new();
+        for hop in 0..depth {
+            let fdir = bench_dir(&format!("chain{depth}-h{hop}"));
+            let replica = Replica::start(
+                "127.0.0.1:0",
+                &upstream,
+                durable_service(&fdir),
+                upstream_options(0xC0FFEE ^ hop as u64),
+            )
+            .unwrap();
+            upstream = replica.local_addr().to_string();
+            hops.push(replica);
+            dirs.push(fdir);
+        }
+        let mut observer = Client::connect(hops.last().unwrap().local_addr()).unwrap();
+        observer.subscribe("w", "r").unwrap().unwrap();
+        let mut flip = false;
+        group.bench_function(format!("chain_visible/depth_{depth}"), |bch| {
+            bch.iter(|| {
+                flip = !flip;
+                let state = if flip { &state_a } else { &state_b };
+                writer
+                    .request("w", &update(state.clone()))
+                    .unwrap()
+                    .unwrap();
+                black_box(observer.next_event().unwrap());
+            })
+        });
+        drop(observer);
+        drop(writer);
+        for r in hops.into_iter().rev() {
+            let _ = r.shutdown();
+        }
+        server.shutdown();
+        for d in dirs {
+            let _ = std::fs::remove_dir_all(&d);
+        }
+    }
+
+    // Leader egress per committed change, measured off the leader's
+    // `serve.repl.bytes_out` counter: flat 1→4 vs a 3-deep chain
+    // serving the same four nodes off one direct follower.
+    {
+        const ROUNDS: u64 = 32;
+
+        // Flat: four direct followers, observe on all four.
+        let flat_per_change = {
+            let (server, mut writer, ldir) = leader("egress-flat-l");
+            let leader_addr = server.local_addr().to_string();
+            let fdirs: Vec<PathBuf> = (0..4)
+                .map(|i| bench_dir(&format!("egress-flat-f{i}")))
+                .collect();
+            let replicas: Vec<Replica<SubschemaComponents>> = fdirs
+                .iter()
+                .enumerate()
+                .map(|(i, fdir)| {
+                    Replica::start(
+                        "127.0.0.1:0",
+                        &leader_addr,
+                        durable_service(fdir),
+                        replica_options(0xBEEF ^ i as u64),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let mut observers: Vec<Client> = replicas
+                .iter()
+                .map(|r| {
+                    let mut cl = Client::connect(r.local_addr()).unwrap();
+                    cl.subscribe("w", "r").unwrap().unwrap();
+                    cl
+                })
+                .collect();
+            let before = counter(&writer.metrics().unwrap(), "serve.repl.bytes_out");
+            let mut flip = false;
+            for _ in 0..ROUNDS {
+                flip = !flip;
+                let state = if flip { &state_a } else { &state_b };
+                writer
+                    .request("w", &update(state.clone()))
+                    .unwrap()
+                    .unwrap();
+                for obs in &mut observers {
+                    obs.next_event().unwrap();
+                }
+            }
+            let after = counter(&writer.metrics().unwrap(), "serve.repl.bytes_out");
+            drop(observers);
+            drop(writer);
+            for r in replicas {
+                let _ = r.shutdown();
+            }
+            server.shutdown();
+            let _ = std::fs::remove_dir_all(&ldir);
+            for d in fdirs {
+                let _ = std::fs::remove_dir_all(&d);
+            }
+            (after - before) / ROUNDS
+        };
+
+        // Chain: leader feeds one follower; three more nodes hang off
+        // the chain (depth 3 below the leader), observe at the tail so
+        // every hop has applied before the next change.
+        let chain_per_change = {
+            let (server, mut writer, ldir) = leader("egress-chain-l");
+            let mut upstream = server.local_addr().to_string();
+            let mut dirs = vec![ldir];
+            let mut hops: Vec<Replica<SubschemaComponents>> = Vec::new();
+            for hop in 0..3usize {
+                let fdir = bench_dir(&format!("egress-chain-h{hop}"));
+                let replica = Replica::start(
+                    "127.0.0.1:0",
+                    &upstream,
+                    durable_service(&fdir),
+                    upstream_options(0xBEEF ^ hop as u64),
+                )
+                .unwrap();
+                upstream = replica.local_addr().to_string();
+                hops.push(replica);
+                dirs.push(fdir);
+            }
+            let mut observer = Client::connect(hops.last().unwrap().local_addr()).unwrap();
+            observer.subscribe("w", "r").unwrap().unwrap();
+            let before = counter(&writer.metrics().unwrap(), "serve.repl.bytes_out");
+            let mut flip = false;
+            for _ in 0..ROUNDS {
+                flip = !flip;
+                let state = if flip { &state_a } else { &state_b };
+                writer
+                    .request("w", &update(state.clone()))
+                    .unwrap()
+                    .unwrap();
+                observer.next_event().unwrap();
+            }
+            let after = counter(&writer.metrics().unwrap(), "serve.repl.bytes_out");
+            drop(observer);
+            drop(writer);
+            for r in hops.into_iter().rev() {
+                let _ = r.shutdown();
+            }
+            server.shutdown();
+            for d in dirs {
+                let _ = std::fs::remove_dir_all(&d);
+            }
+            (after - before) / ROUNDS
+        };
+
+        println!(
+            "{} {{\"id\":\"fanout/egress/flat_followers_4\",\"bytes_per_change\":{flat_per_change}}}",
+            criterion::RESULT_PREFIX,
+        );
+        println!(
+            "{} {{\"id\":\"fanout/egress/chain_depth_3\",\"bytes_per_change\":{chain_per_change}}}",
+            criterion::RESULT_PREFIX,
+        );
+        assert!(
+            chain_per_change < flat_per_change,
+            "chaining must cut leader egress: chain {chain_per_change} B/change \
+             vs flat {flat_per_change} B/change"
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_fanout
+}
+criterion_main!(benches);

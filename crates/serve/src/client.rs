@@ -17,8 +17,9 @@
 
 use crate::proto::{
     decode_event_payload, decode_metrics_response_payload, decode_result_payload,
-    encode_metrics_request_payload, encode_request_payload, expect_handshake, is_event_payload,
-    read_frame, send_handshake, write_frame, ProtoError,
+    decode_sessions_reply_payload, encode_metrics_request_payload, encode_read_at_payload,
+    encode_request_payload, encode_sessions_payload, expect_handshake, is_event_payload,
+    read_frame, send_handshake, write_frame, ProtoError, SessionsReply,
 };
 use compview_obs::MetricsSnapshot;
 use compview_session::{DeltaEvent, DispatchError, SessionRequest, SessionResponse};
@@ -252,6 +253,80 @@ impl Client {
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ProtoError> {
         self.send_metrics()?;
         self.recv_metrics()
+    }
+
+    /// Send a `Sessions` listing request without waiting (pipelining);
+    /// collect the answer with [`Client::recv_sessions`].
+    pub fn send_sessions(&mut self) -> Result<(), ProtoError> {
+        if let Some(e) = self.lost_err() {
+            return Err(e);
+        }
+        write_frame(&mut self.stream, &encode_sessions_payload()).map_err(|e| match e {
+            ProtoError::Io(io) => self.mark_lost(format!("send failed: {io}")),
+            other => other,
+        })
+    }
+
+    /// Receive the response to a [`Client::send_sessions`], parking
+    /// delta events read past.
+    ///
+    /// # Errors
+    /// As [`Client::recv`], plus [`ProtoError::Decode`] when the next
+    /// owed response is not a sessions reply (calls must pair up).
+    pub fn recv_sessions(&mut self) -> Result<SessionsReply, ProtoError> {
+        let payload = self.next_solicited("a sessions reply")?;
+        Ok(decode_sessions_reply_payload(&payload)?)
+    }
+
+    /// Fetch the server's durable session names and its root-leader
+    /// hint: `leader` is `None` when the server *is* the leader, and the
+    /// root's address when it is a follower (possibly chained).
+    pub fn sessions(&mut self) -> Result<SessionsReply, ProtoError> {
+        self.send_sessions()?;
+        self.recv_sessions()
+    }
+
+    /// Send a read-your-writes `ReadAt` without waiting (pipelining):
+    /// the server answers `Read { view }` on `session` once its WAL
+    /// position reaches `(gen, min_seq)` — the position a leader's write
+    /// response or `Stats` reported — or refuses with a typed
+    /// `DispatchError::Lagging` after `wait` elapses.  Collect the
+    /// answer with [`Client::recv`]; it slots into the connection's FIFO
+    /// like any other request.
+    pub fn send_read_at(
+        &mut self,
+        session: &str,
+        view: &str,
+        gen: u64,
+        min_seq: u64,
+        wait: std::time::Duration,
+    ) -> Result<(), ProtoError> {
+        if let Some(e) = self.lost_err() {
+            return Err(e);
+        }
+        let wait_ms = u64::try_from(wait.as_millis()).unwrap_or(u64::MAX);
+        write_frame(
+            &mut self.stream,
+            &encode_read_at_payload(session, view, gen, min_seq, wait_ms),
+        )
+        .map_err(|e| match e {
+            ProtoError::Io(io) => self.mark_lost(format!("send failed: {io}")),
+            other => other,
+        })
+    }
+
+    /// Send one read-your-writes read and wait for its answer (see
+    /// [`Client::send_read_at`]).
+    pub fn read_at(
+        &mut self,
+        session: &str,
+        view: &str,
+        gen: u64,
+        min_seq: u64,
+        wait: std::time::Duration,
+    ) -> Result<WireResult, ProtoError> {
+        self.send_read_at(session, view, gen, min_seq, wait)?;
+        self.recv()
     }
 
     /// Open a subscription on `session`/`view`: sends the `Subscribe`

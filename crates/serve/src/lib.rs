@@ -33,5 +33,5 @@ pub mod server;
 
 pub use client::{Client, ServerMessage, WireResult};
 pub use proto::{ProtoError, HANDSHAKE, MAX_FRAME};
-pub use replica::{Replica, ReplicaError, ReplicaOptions};
+pub use replica::{Mirror, MirrorSpec, Replica, ReplicaError, ReplicaOptions};
 pub use server::{ServeOptions, Server};

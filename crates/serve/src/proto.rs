@@ -93,6 +93,26 @@ pub const W_END: u8 = 3;
 /// they would misroute it as a solicited response.
 pub const KIND_HEARTBEAT: u8 = 7;
 
+/// Marker byte of a **read-your-writes** request and the first byte of
+/// nothing else: a `ReadAt` is an ordinary `Read` that names a durable
+/// position `(gen, min_seq)` the server must have applied before
+/// answering, plus a wait budget.  The request payload is
+/// `[0xFF × 4] ++ [KIND_READAT] ++ str session ++ str view ++ u64 gen ++
+/// u64 min_seq ++ u64 wait_ms` (same sentinel discrimination as
+/// `Replicate`).  The solicited answer is an ordinary result payload —
+/// the view's bytes exactly as a plain `Read` would produce them, or a
+/// typed `Lagging` dispatch error when the deadline passes first.
+pub const KIND_READAT: u8 = 8;
+
+/// Marker byte of a **session-listing** request and of its reply: the
+/// request payload is `[0xFF × 4] ++ [KIND_SESSIONS]`; the solicited
+/// reply is `[KIND_SESSIONS] ++ str leader ++ u64 count ++ str × count`
+/// — the address of the *root* leader this node forwards writes to
+/// (empty when this node itself accepts writes) and the names of every
+/// durable session this node serves.  Followers poll it mid-tail to
+/// discover sessions created upstream after they started.
+pub const KIND_SESSIONS: u8 = 9;
+
 /// The four bytes that open a `Replicate` request payload where an
 /// ordinary request carries its session-name length.
 pub const REPLICATE_SENTINEL: [u8; 4] = [0xFF; 4];
@@ -299,6 +319,24 @@ pub enum WireRequest {
         /// The generation the follower is on (0 = none).
         gen: u64,
     },
+    /// A read that waits (bounded) until this node has applied the named
+    /// durable position, then answers exactly like `Read` — see
+    /// [`KIND_READAT`].
+    ReadAt {
+        /// The session to read.
+        session: String,
+        /// The registered view to read.
+        view: String,
+        /// The WAL generation the client's token names.
+        gen: u64,
+        /// The minimum applied sequence number within that generation.
+        min_seq: u64,
+        /// Wait budget in milliseconds before a `Lagging` refusal.
+        wait_ms: u64,
+    },
+    /// List this node's durable sessions and its root leader — see
+    /// [`KIND_SESSIONS`].
+    Sessions,
 }
 
 /// Encode a metrics request frame payload.
@@ -316,22 +354,57 @@ pub fn decode_wire_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
     if payload == [KIND_METRICS] {
         return Ok(WireRequest::Metrics);
     }
-    if payload.len() > 5 && payload[..4] == REPLICATE_SENTINEL && payload[4] == KIND_REPLICATE {
-        let mut d = Dec::new(&payload[5..]);
-        let session = d.str()?;
-        let from_seq = d.u64()?;
-        let gen = d.u64()?;
-        if !d.is_done() {
-            return Err(DecodeError::BadLength {
-                at: d.pos() + 5,
-                len: d.remaining() as u64,
-            });
+    if payload.len() > 4 && payload[..4] == REPLICATE_SENTINEL {
+        match payload[4] {
+            KIND_REPLICATE => {
+                let mut d = Dec::new(&payload[5..]);
+                let session = d.str()?;
+                let from_seq = d.u64()?;
+                let gen = d.u64()?;
+                if !d.is_done() {
+                    return Err(DecodeError::BadLength {
+                        at: d.pos() + 5,
+                        len: d.remaining() as u64,
+                    });
+                }
+                return Ok(WireRequest::Replicate {
+                    session,
+                    from_seq,
+                    gen,
+                });
+            }
+            KIND_READAT => {
+                let mut d = Dec::new(&payload[5..]);
+                let session = d.str()?;
+                let view = d.str()?;
+                let gen = d.u64()?;
+                let min_seq = d.u64()?;
+                let wait_ms = d.u64()?;
+                if !d.is_done() {
+                    return Err(DecodeError::BadLength {
+                        at: d.pos() + 5,
+                        len: d.remaining() as u64,
+                    });
+                }
+                return Ok(WireRequest::ReadAt {
+                    session,
+                    view,
+                    gen,
+                    min_seq,
+                    wait_ms,
+                });
+            }
+            KIND_SESSIONS => {
+                if payload.len() != 5 {
+                    return Err(DecodeError::BadLength {
+                        at: 5,
+                        len: (payload.len() - 5) as u64,
+                    });
+                }
+                return Ok(WireRequest::Sessions);
+            }
+            tag => return Err(DecodeError::BadTag { at: 4, tag }),
         }
-        return Ok(WireRequest::Replicate {
-            session,
-            from_seq,
-            gen,
-        });
     }
     let (session, req) = decode_request_payload(payload)?;
     Ok(WireRequest::Dispatch(session, req))
@@ -345,6 +418,87 @@ pub fn encode_replicate_payload(session: &str, from_seq: u64, gen: u64) -> Vec<u
     binio::put_u64(&mut out, from_seq);
     binio::put_u64(&mut out, gen);
     out
+}
+
+/// Encode a `ReadAt` request frame payload (see [`KIND_READAT`]).
+pub fn encode_read_at_payload(
+    session: &str,
+    view: &str,
+    gen: u64,
+    min_seq: u64,
+    wait_ms: u64,
+) -> Vec<u8> {
+    let mut out = REPLICATE_SENTINEL.to_vec();
+    out.push(KIND_READAT);
+    binio::put_str(&mut out, session);
+    binio::put_str(&mut out, view);
+    binio::put_u64(&mut out, gen);
+    binio::put_u64(&mut out, min_seq);
+    binio::put_u64(&mut out, wait_ms);
+    out
+}
+
+/// Encode a `Sessions` request frame payload (see [`KIND_SESSIONS`]).
+pub fn encode_sessions_payload() -> Vec<u8> {
+    let mut out = REPLICATE_SENTINEL.to_vec();
+    out.push(KIND_SESSIONS);
+    out
+}
+
+/// The solicited answer to a `Sessions` request (see [`KIND_SESSIONS`]).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SessionsReply {
+    /// Where writes go: the *root* leader's address forwarded through
+    /// however many chain hops sit between — or `None` when the answering
+    /// node itself accepts writes.
+    pub leader: Option<String>,
+    /// Every durable session this node serves, sorted by name.
+    pub sessions: Vec<String>,
+}
+
+/// Encode a [`SessionsReply`] frame payload.
+pub fn encode_sessions_reply_payload(reply: &SessionsReply) -> Vec<u8> {
+    let mut out = vec![KIND_SESSIONS];
+    binio::put_str(&mut out, reply.leader.as_deref().unwrap_or(""));
+    binio::put_u64(&mut out, reply.sessions.len() as u64);
+    for name in &reply.sessions {
+        binio::put_str(&mut out, name);
+    }
+    out
+}
+
+/// Decode a [`SessionsReply`] frame payload (inverse of
+/// [`encode_sessions_reply_payload`]).
+///
+/// # Errors
+/// [`DecodeError`] on a wrong marker, truncation, or trailing bytes.
+pub fn decode_sessions_reply_payload(payload: &[u8]) -> Result<SessionsReply, DecodeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8()?;
+    if kind != KIND_SESSIONS {
+        return Err(DecodeError::BadTag { at: 0, tag: kind });
+    }
+    let leader = d.str()?;
+    let count = d.u64()?;
+    let mut sessions = Vec::new();
+    for _ in 0..count {
+        sessions.push(d.str()?);
+    }
+    if !d.is_done() {
+        return Err(DecodeError::BadLength {
+            at: d.pos(),
+            len: d.remaining() as u64,
+        });
+    }
+    Ok(SessionsReply {
+        leader: Some(leader).filter(|l| !l.is_empty()),
+        sessions,
+    })
+}
+
+/// Whether a sound frame is a sessions reply.
+pub fn is_sessions_reply_payload(payload: &[u8]) -> bool {
+    payload.first() == Some(&KIND_SESSIONS)
 }
 
 /// Encode a metrics response frame payload around an already-encoded

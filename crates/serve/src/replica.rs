@@ -31,30 +31,55 @@
 //!   leader never wrote) is **fatal**, not retried — it surfaces through
 //!   [`Replica::fault`] instead of silently forking history.
 //!
+//! # Topology
+//!
+//! Replication composes into a tree.  One leader streams any number of
+//! followers concurrently (fan-out), and a follower is itself a valid
+//! upstream (chaining): it re-ships the exact bytes it mirrors, so a
+//! downstream tailing a mid-chain node converges to the same
+//! byte-identical state as one tailing the root.  At connect time a
+//! follower exchanges a `Sessions` listing with its upstream, which
+//! carries two things: the upstream's own root-leader hint — so
+//! `NotLeader` rejections anywhere in the chain name the *root*, not the
+//! next hop — and the upstream's durable session names.  With a
+//! [`Mirror`] configured ([`Replica::start_with_mirror`]), sessions the
+//! follower has never seen — including ones created on the leader
+//! *after* the follower started — are opened locally from the mirror
+//! spec, adopted into the running server, and tailed like any other; the
+//! listing is re-polled on a [`ReplicaOptions::discover_interval`]
+//! cadence while streaming.
+//!
 //! # Failover
 //!
 //! [`Replica::promote`] is explicit: it stops the tail loop, waits for
 //! in-flight applies to land, fsyncs every session's log, flips the
-//! sessions writable, and hands back the inner [`Server`] — now a
-//! leader.  Nothing implicit ever promotes a follower.
+//! sessions writable, clears the root-leader hint, and hands back the
+//! inner [`Server`] — now a leader.  Nothing implicit ever promotes a
+//! follower.
 
 use crate::proto::{
-    decode_replicate_ack_payload, decode_wal_frame_payload, encode_replicate_payload,
-    expect_handshake, is_heartbeat_payload, is_replicate_ack_payload, is_wal_payload, read_frame,
-    send_handshake, write_frame, ProtoError, ReplicateAck, WalFrame,
+    decode_replicate_ack_payload, decode_sessions_reply_payload, decode_wal_frame_payload,
+    encode_replicate_payload, encode_sessions_payload, expect_handshake, is_heartbeat_payload,
+    is_replicate_ack_payload, is_sessions_reply_payload, is_wal_payload, read_frame,
+    send_handshake, write_frame, ProtoError, ReplicateAck, SessionsReply, WalFrame,
 };
 use crate::server::{ApplyKind, ApplyReport, ServeOptions, Server};
 use compview_core::ComponentFamily;
+use compview_logic::Schema;
 use compview_obs::{Counter, Gauge, Registry};
-use compview_session::{ApplyError, Service};
+use compview_relation::{Instance, Tuple};
+use compview_session::{
+    ApplyError, FsStore, LogStore, Service, Session, SessionConfig, SyncPolicy,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Replica::start`].
 #[derive(Clone, Debug)]
@@ -76,6 +101,11 @@ pub struct ReplicaOptions {
     /// Seed for the backoff jitter (all randomness in this workspace is
     /// seeded; same seed, same retry schedule).
     pub seed: u64,
+    /// How often the tail loop re-polls the upstream's `Sessions`
+    /// listing while streaming, so sessions created on the leader after
+    /// this follower started are discovered and mirrored without a
+    /// reconnect.  Only meaningful with a [`Mirror`] configured.
+    pub discover_interval: Duration,
 }
 
 impl Default for ReplicaOptions {
@@ -87,8 +117,97 @@ impl Default for ReplicaOptions {
             read_timeout: Duration::from_secs(2),
             connect_attempts: 10,
             seed: 0,
+            discover_interval: Duration::from_millis(500),
         }
     }
+}
+
+/// How a follower opens local mirrors for sessions it discovers on its
+/// upstream but does not hold itself (see the module docs).
+///
+/// The [`MirrorSpec`] the factory returns must describe the session *as
+/// the leader originally created it* — same family, schema, pools, base,
+/// and config.  Durable identity is content-derived, so an identical
+/// spec yields an identical generation and the leader answers the first
+/// `Replicate` with a pure tail; a differing spec merely costs a full
+/// reset shipment, after which the mirrored log is byte-identical either
+/// way.
+pub struct Mirror<F> {
+    /// Directory for the mirrored write-ahead logs (`<name>.wal`).  Must
+    /// not be shared with the leader or another follower.
+    pub dir: PathBuf,
+    /// Sync policy for the mirrored logs.
+    pub policy: SyncPolicy,
+    /// Per-session spec factory; `None` excludes the session from
+    /// mirroring (it keeps being skipped, not an error).
+    #[allow(clippy::type_complexity)]
+    pub spec: Arc<dyn Fn(&str) -> Option<MirrorSpec<F>> + Send + Sync>,
+}
+
+impl<F> Clone for Mirror<F> {
+    fn clone(&self) -> Mirror<F> {
+        Mirror {
+            dir: self.dir.clone(),
+            policy: self.policy,
+            spec: Arc::clone(&self.spec),
+        }
+    }
+}
+
+/// Everything needed to open one mirrored session — the same arguments
+/// the leader's `create_durable_session` took.
+pub struct MirrorSpec<F> {
+    /// The component family.
+    pub family: F,
+    /// The schema.
+    pub schema: Schema,
+    /// The value pools.
+    pub pools: BTreeMap<String, Vec<Tuple>>,
+    /// The base instance.
+    pub base: Instance,
+    /// The session config.
+    pub config: SessionConfig,
+}
+
+/// Open (or re-open) the local mirror for a discovered session: a fresh
+/// store goes through the durable-create path (deterministic identity),
+/// a non-empty one through recovery — a follower restarting with mirrors
+/// on disk resumes from its applied prefix instead of re-shipping
+/// everything.
+fn open_mirror_session<F: ComponentFamily + Sync>(
+    mirror: &Mirror<F>,
+    name: &str,
+) -> Result<Option<Session<F>>, String> {
+    let Some(spec) = (mirror.spec)(name) else {
+        return Ok(None);
+    };
+    let path = mirror.dir.join(format!("{name}.wal"));
+    let mut store = FsStore::open(&path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let len = store.len().map_err(|e| e.to_string())?;
+    let session = if len == 0 {
+        Session::open_durable_observed(
+            spec.family,
+            spec.schema,
+            &spec.pools,
+            spec.base,
+            spec.config,
+            Box::new(store),
+            mirror.policy,
+            &Registry::disabled(),
+        )
+        .map_err(|e| e.to_string())?
+    } else {
+        Session::recover_observed(
+            spec.family,
+            spec.schema,
+            Box::new(store),
+            mirror.policy,
+            &Registry::disabled(),
+        )
+        .map(|(s, _)| s)
+        .map_err(|e| e.to_string())?
+    };
+    Ok(Some(session))
 }
 
 /// Why a [`Replica`] could not start, promote, or keep streaming.
@@ -155,6 +274,13 @@ struct ReplObs {
     /// undecodable payload) — each costs the link and forces a re-sync
     /// from the last durably applied record.
     bad_records: Counter,
+    /// Sessions discovered on the upstream and opened locally from the
+    /// [`Mirror`] spec.
+    mirrored: Counter,
+    /// Discovered sessions whose local mirror could not be opened or
+    /// adopted (bad spec, unwritable dir, name collision) — skipped, not
+    /// fatal, but worth alerting on.
+    mirror_failures: Counter,
 }
 
 impl ReplObs {
@@ -165,6 +291,8 @@ impl ReplObs {
             reconnects: registry.counter("repl.reconnects"),
             connected: registry.gauge("repl.connected"),
             bad_records: registry.counter("repl.bad_records"),
+            mirrored: registry.counter("repl.sessions_mirrored"),
+            mirror_failures: registry.counter("repl.mirror_failures"),
         }
     }
 }
@@ -232,6 +360,35 @@ impl LeaderLink {
         })
     }
 
+    /// Ask for the upstream's `Sessions` listing without waiting for the
+    /// reply (it arrives in the mixed stream, routed by payload kind).
+    fn request_sessions(&mut self) -> Result<(), ProtoError> {
+        write_frame(&mut self.stream, &encode_sessions_payload())
+    }
+
+    /// Connect-time `Sessions` exchange: ask and block for the listing.
+    /// Valid only before any `Replicate` is outstanding — the listing is
+    /// then the first substantive frame back (heartbeats tolerated).
+    fn learn_sessions(&mut self) -> Result<SessionsReply, ProtoError> {
+        self.request_sessions()?;
+        loop {
+            let payload = self.read_payload()?;
+            if is_heartbeat_payload(&payload) {
+                continue;
+            }
+            if is_sessions_reply_payload(&payload) {
+                return decode_sessions_reply_payload(&payload).map_err(|e| {
+                    ProtoError::ConnectionLost {
+                        detail: format!("undecodable sessions reply: {e}"),
+                    }
+                });
+            }
+            return Err(ProtoError::ConnectionLost {
+                detail: "unexpected frame before the sessions reply".to_owned(),
+            });
+        }
+    }
+
     /// A handle [`Replica::promote`] can use to cut a blocked read.
     fn shutdown_handle(&self) -> Option<TcpStream> {
         self.stream.try_clone().ok()
@@ -251,20 +408,37 @@ enum StreamBreak {
     Stopped,
 }
 
+/// Mid-stream session discovery for [`pump_streams`]: re-poll the
+/// upstream's listing every `interval`, and for each name the positions
+/// map has never seen, `adopt` opens + adopts a local mirror and returns
+/// its starting [`Position`] (or `None` to skip).  Newly adopted
+/// sessions are requested on the same link, joining the live stream.
+struct Discover<'a> {
+    adopt: &'a mut dyn FnMut(&str) -> Option<Position>,
+    interval: Duration,
+}
+
 /// Run one connection's worth of streaming: request every session,
 /// route acks by request order, apply shipments as they arrive, and keep
 /// the positions authoritative from the apply reports.  With
 /// `until_synced`, returns [`StreamBreak::Synced`] the moment every
 /// session has caught up to its ack's position; otherwise runs until the
-/// link breaks or `stop` is raised.
+/// link breaks or `stop` is raised.  `discover` (tail phase only — never
+/// combined with `until_synced`) grows the position map mid-stream.
 fn pump_streams(
     link: &mut LeaderLink,
     positions: &mut BTreeMap<String, Position>,
     mut apply: impl FnMut(&str, ApplyKind) -> Option<ApplyReport>,
+    mut discover: Option<Discover<'_>>,
     obs: &ReplObs,
     stop: &AtomicBool,
     until_synced: bool,
 ) -> StreamBreak {
+    debug_assert!(
+        !(until_synced && discover.is_some()),
+        "discovery would disturb the sync countdown"
+    );
+    let mut last_poll = Instant::now();
     let mut awaiting_ack: VecDeque<String> = VecDeque::new();
     for (name, pos) in positions.iter_mut() {
         pos.acked = false;
@@ -282,6 +456,14 @@ fn pump_streams(
     loop {
         if stop.load(Ordering::SeqCst) {
             return StreamBreak::Stopped;
+        }
+        if let Some(d) = &discover {
+            if last_poll.elapsed() >= d.interval {
+                last_poll = Instant::now();
+                if let Err(e) = link.request_sessions() {
+                    return StreamBreak::Lost(format!("cannot poll sessions: {e}"));
+                }
+            }
         }
         let payload = match link.read_payload() {
             Ok(p) => p,
@@ -385,6 +567,27 @@ fn pump_streams(
                     }
                 }
             }
+        } else if is_sessions_reply_payload(&payload) {
+            let reply = match decode_sessions_reply_payload(&payload) {
+                Ok(r) => r,
+                Err(e) => return StreamBreak::Lost(format!("undecodable sessions reply: {e}")),
+            };
+            if let Some(d) = discover.as_mut() {
+                for name in &reply.sessions {
+                    if positions.contains_key(name) {
+                        continue;
+                    }
+                    let Some(pos) = (d.adopt)(name) else {
+                        continue;
+                    };
+                    let (from_seq, gen) = pos.request();
+                    positions.insert(name.clone(), pos);
+                    if let Err(e) = link.request(name, from_seq, gen) {
+                        return StreamBreak::Lost(format!("cannot request {name:?}: {e}"));
+                    }
+                    awaiting_ack.push_back(name.clone());
+                }
+            }
         } else {
             return StreamBreak::Lost("unexpected frame kind from leader".to_owned());
         }
@@ -420,6 +623,44 @@ fn apply_direct<F: ComponentFamily + Send + Sync>(
     }
 }
 
+/// Phase-A discovery: open a local mirror for every upstream-listed
+/// session the service does not hold, add it to the (still unbound)
+/// service, and give it a starting position so the same sync pass
+/// catches it up.  Failures skip the session and count on
+/// `repl.mirror_failures`.
+fn discover_into_service<F: ComponentFamily + Send + Sync>(
+    mirror: &Mirror<F>,
+    names: &[String],
+    service: &mut Service<F>,
+    positions: &mut BTreeMap<String, Position>,
+    obs: &ReplObs,
+) {
+    for name in names {
+        if positions.contains_key(name) || service.session(name).is_some() {
+            continue;
+        }
+        match open_mirror_session(mirror, name) {
+            Ok(None) => {}
+            Ok(Some(session)) => {
+                let pos = Position {
+                    gen: session.wal_gen(),
+                    applied: session.wal_last_seq(),
+                    target: session.wal_last_seq(),
+                    acked: false,
+                    synced: false,
+                };
+                if service.add_session(name.clone(), session).is_ok() {
+                    obs.mirrored.inc();
+                    positions.insert(name.clone(), pos);
+                } else {
+                    obs.mirror_failures.inc();
+                }
+            }
+            Err(_) => obs.mirror_failures.inc(),
+        }
+    }
+}
+
 /// The `attempt`-th reconnect delay: bounded exponential backoff with
 /// deterministic ±50% jitter, so a fleet of followers redialing a
 /// restarted leader does not arrive in lockstep.
@@ -431,7 +672,10 @@ fn backoff(rng: &mut StdRng, attempt: u32, base: Duration, max: Duration) -> Dur
     if ns == 0 {
         return Duration::ZERO;
     }
-    Duration::from_nanos(ns / 2 + rng.random_range(0..ns + 1) / 2)
+    // exp/2 plus a uniform draw over a full exp: [exp/2, 3·exp/2], i.e.
+    // exp ± 50%.  (Halving the draw instead would squeeze the band to
+    // [exp/2, exp] — upward jitter gone, fleet half-synchronised.)
+    Duration::from_nanos(ns / 2 + rng.random_range(0..ns + 1))
 }
 
 /// Sleep in short slices so a promotion or shutdown is never stuck
@@ -455,6 +699,7 @@ pub struct Replica<F: ComponentFamily + Send + Sync + 'static> {
     link: Arc<Mutex<Option<TcpStream>>>,
     fault: Arc<Mutex<Option<String>>>,
     leader: String,
+    root: Arc<Mutex<String>>,
 }
 
 impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
@@ -475,8 +720,35 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
     pub fn start<A: ToSocketAddrs>(
         addr: A,
         leader_addr: &str,
+        service: Service<F>,
+        options: ReplicaOptions,
+    ) -> Result<Replica<F>, ReplicaError> {
+        Replica::start_inner(addr, leader_addr, service, options, None)
+    }
+
+    /// [`Replica::start`] with a [`Mirror`]: sessions this follower does
+    /// not hold — listed by the upstream now or created on the leader
+    /// later — are opened locally from the mirror spec, adopted, and
+    /// tailed.  See the module docs' *Topology* section.
+    ///
+    /// # Errors
+    /// As [`Replica::start`].
+    pub fn start_with_mirror<A: ToSocketAddrs>(
+        addr: A,
+        leader_addr: &str,
+        service: Service<F>,
+        options: ReplicaOptions,
+        mirror: Mirror<F>,
+    ) -> Result<Replica<F>, ReplicaError> {
+        Replica::start_inner(addr, leader_addr, service, options, Some(mirror))
+    }
+
+    fn start_inner<A: ToSocketAddrs>(
+        addr: A,
+        leader_addr: &str,
         mut service: Service<F>,
         options: ReplicaOptions,
+        mirror: Option<Mirror<F>>,
     ) -> Result<Replica<F>, ReplicaError> {
         let obs = ReplObs::new(service.registry());
         let names: Vec<String> = service
@@ -509,19 +781,42 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
         let never_stop = AtomicBool::new(false);
         let mut rng = StdRng::seed_from_u64(options.seed);
         let mut attempt: u32 = 0;
+        let mut root = leader_addr.to_owned();
         loop {
             let broke = match LeaderLink::connect(leader_addr, options.read_timeout) {
                 Err(e) => StreamBreak::Lost(e.to_string()),
                 Ok(mut link) => {
                     obs.connected.set(1);
-                    let broke = pump_streams(
-                        &mut link,
-                        &mut positions,
-                        |session, kind| Some(apply_direct(&mut service, session, kind)),
-                        &obs,
-                        &never_stop,
-                        true,
-                    );
+                    let broke = match link.learn_sessions() {
+                        Err(e) => StreamBreak::Lost(format!("sessions exchange failed: {e}")),
+                        Ok(reply) => {
+                            // A chained upstream forwards the *root*
+                            // leader's address; an upstream that is
+                            // itself the root forwards nothing.
+                            root = reply
+                                .leader
+                                .clone()
+                                .unwrap_or_else(|| leader_addr.to_owned());
+                            if let Some(m) = &mirror {
+                                discover_into_service(
+                                    m,
+                                    &reply.sessions,
+                                    &mut service,
+                                    &mut positions,
+                                    &obs,
+                                );
+                            }
+                            pump_streams(
+                                &mut link,
+                                &mut positions,
+                                |session, kind| Some(apply_direct(&mut service, session, kind)),
+                                None,
+                                &obs,
+                                &never_stop,
+                                true,
+                            )
+                        }
+                    };
                     obs.connected.set(0);
                     broke
                 }
@@ -549,10 +844,12 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
         }
         obs.connected.set(1);
 
-        // Phase B: flip read-only, serve, tail.
-        for name in &names {
+        // Phase B: flip read-only (pointing writers at the *root*
+        // leader, not the next hop), serve, tail.
+        let replicated: Vec<String> = positions.keys().cloned().collect();
+        for name in &replicated {
             if let Some(s) = service.session_mut(name) {
-                s.set_read_only(Some(leader_addr.to_owned()));
+                s.set_read_only(Some(root.clone()));
             }
         }
         let server = Arc::new(
@@ -562,6 +859,8 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
                 }
             })?,
         );
+        server.set_leader_hint(Some(root.clone()));
+        let root = Arc::new(Mutex::new(root));
         let stop = Arc::new(AtomicBool::new(false));
         let link = Arc::new(Mutex::new(None));
         let fault = Arc::new(Mutex::new(None));
@@ -570,12 +869,14 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
             let stop = Arc::clone(&stop);
             let link = Arc::clone(&link);
             let fault = Arc::clone(&fault);
+            let root = Arc::clone(&root);
             let obs = obs.clone();
             let leader = leader_addr.to_owned();
             let options = options.clone();
             std::thread::spawn(move || {
                 tail_loop(
-                    &server, positions, &leader, &stop, &link, &fault, &obs, &options,
+                    &server, positions, &leader, &stop, &link, &fault, &obs, &options, mirror,
+                    &root,
                 );
             })
         };
@@ -586,6 +887,7 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
             link,
             fault,
             leader: leader_addr.to_owned(),
+            root,
         })
     }
 
@@ -594,10 +896,18 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
         self.server.local_addr()
     }
 
-    /// The leader address this replica follows (what `NotLeader`
-    /// rejections point writers at).
+    /// The upstream address this replica tails — in a chain, the next
+    /// hop, not necessarily the root.
     pub fn leader_addr(&self) -> &str {
         &self.leader
+    }
+
+    /// The *root* leader's address, as forwarded down the chain by the
+    /// upstream's `Sessions` exchange (what `NotLeader` rejections point
+    /// writers at).  Equals [`Replica::leader_addr`] when the upstream
+    /// is itself the root; re-learned on every tail reconnect.
+    pub fn root_addr(&self) -> String {
+        self.root.lock().expect("root").clone()
     }
 
     /// Why the tail loop stopped for good, if it has (a leader refusal —
@@ -626,6 +936,8 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
     pub fn promote(self) -> Result<Server<F>, ReplicaError> {
         self.stop_tail();
         let _ = self.tail.join();
+        // A leader forwards no hint: its own address is the answer.
+        self.server.set_leader_hint(None);
         self.server
             .promote_partitions()
             .map_err(|detail| ReplicaError::Promote { detail })?;
@@ -651,7 +963,11 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
 }
 
 /// The background tail: reconnect-and-stream until stopped or fatally
-/// refused.
+/// refused.  Each connection starts with a `Sessions` exchange — the
+/// root-leader hint is re-learned (and propagated to the local sessions
+/// and the local server's own hint when it moved), and new upstream
+/// sessions are mirrored when a [`Mirror`] is configured; the listing is
+/// then re-polled on `discover_interval` while streaming.
 #[allow(clippy::too_many_arguments)] // internal plumbing for one thread
 fn tail_loop<F: ComponentFamily + Send + Sync + 'static>(
     server: &Arc<Server<F>>,
@@ -662,9 +978,11 @@ fn tail_loop<F: ComponentFamily + Send + Sync + 'static>(
     fault: &Mutex<Option<String>>,
     obs: &ReplObs,
     options: &ReplicaOptions,
+    mirror: Option<Mirror<F>>,
+    root_slot: &Mutex<String>,
 ) {
-    if positions.is_empty() {
-        return; // nothing to tail
+    if positions.is_empty() && mirror.is_none() {
+        return; // nothing to tail, nothing to discover
     }
     let mut rng = StdRng::seed_from_u64(options.seed ^ 0x7461_696c); // "tail"
     let mut attempt: u32 = 0;
@@ -677,14 +995,74 @@ fn tail_loop<F: ComponentFamily + Send + Sync + 'static>(
                 *link_slot.lock().expect("link") = link.shutdown_handle();
                 obs.connected.set(1);
                 attempt = 0;
-                let broke = pump_streams(
-                    &mut link,
-                    &mut positions,
-                    |session, kind| server.enqueue_apply(session, kind).recv().ok(),
-                    obs,
-                    stop,
-                    false,
-                );
+                let broke = match link.learn_sessions() {
+                    Err(e) => StreamBreak::Lost(format!("sessions exchange failed: {e}")),
+                    Ok(reply) => {
+                        let new_root = reply.leader.clone().unwrap_or_else(|| leader.to_owned());
+                        {
+                            let mut cur = root_slot.lock().expect("root");
+                            if *cur != new_root {
+                                // The root moved (an upstream promoted):
+                                // repoint the hint this node forwards and
+                                // every local `NotLeader` target.
+                                *cur = new_root.clone();
+                                server.set_leader_hint(Some(new_root.clone()));
+                                server.retarget(new_root.clone());
+                            }
+                        }
+                        let mut adopt = |name: &str| -> Option<Position> {
+                            let m = mirror.as_ref()?;
+                            match open_mirror_session(m, name) {
+                                Ok(None) => None,
+                                Ok(Some(mut session)) => {
+                                    session.set_read_only(Some(
+                                        root_slot.lock().expect("root").clone(),
+                                    ));
+                                    let pos = Position {
+                                        gen: session.wal_gen(),
+                                        applied: session.wal_last_seq(),
+                                        target: session.wal_last_seq(),
+                                        acked: false,
+                                        synced: false,
+                                    };
+                                    match server.adopt_session(name, session) {
+                                        Ok(()) => {
+                                            obs.mirrored.inc();
+                                            Some(pos)
+                                        }
+                                        Err(_) => {
+                                            obs.mirror_failures.inc();
+                                            None
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    obs.mirror_failures.inc();
+                                    None
+                                }
+                            }
+                        };
+                        for name in &reply.sessions {
+                            if !positions.contains_key(name) {
+                                if let Some(pos) = adopt(name) {
+                                    positions.insert(name.clone(), pos);
+                                }
+                            }
+                        }
+                        pump_streams(
+                            &mut link,
+                            &mut positions,
+                            |session, kind| server.enqueue_apply(session, kind).recv().ok(),
+                            Some(Discover {
+                                adopt: &mut adopt,
+                                interval: options.discover_interval,
+                            }),
+                            obs,
+                            stop,
+                            false,
+                        )
+                    }
+                };
                 obs.connected.set(0);
                 *link_slot.lock().expect("link") = None;
                 match broke {
@@ -708,5 +1086,54 @@ fn tail_loop<F: ComponentFamily + Send + Sync + 'static>(
             stop,
         );
         attempt = attempt.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The documented contract: bounded exponential with ±50% jitter —
+    /// every draw lands in [exp/2, 3·exp/2] and, crucially, both halves
+    /// of the band are actually reachable (the pre-fix formula never
+    /// jittered upward, so a fleet's retries bunched at the low end).
+    #[test]
+    fn backoff_jitter_spans_plus_minus_half() {
+        let base = Duration::from_millis(50);
+        let max = Duration::from_secs(2);
+        for seed in 0..32u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for attempt in 0..12u32 {
+                let exp = base
+                    .saturating_mul(2u32.saturating_pow(attempt.min(16)))
+                    .min(max);
+                let d = backoff(&mut rng, attempt, base, max);
+                assert!(
+                    d >= exp / 2 && d <= exp * 3 / 2,
+                    "attempt {attempt}: {d:?} outside [{:?}, {:?}]",
+                    exp / 2,
+                    exp * 3 / 2
+                );
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let exp = Duration::from_millis(50);
+        let (mut below, mut above) = (false, false);
+        for _ in 0..256 {
+            let d = backoff(&mut rng, 0, exp, max);
+            below |= d < exp;
+            above |= d > exp;
+        }
+        assert!(below && above, "jitter never left one side of the band");
+    }
+
+    /// A zero base never divides by zero or sleeps.
+    #[test]
+    fn backoff_zero_base_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            backoff(&mut rng, 0, Duration::ZERO, Duration::ZERO),
+            Duration::ZERO
+        );
     }
 }

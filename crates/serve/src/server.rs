@@ -73,22 +73,23 @@
 use crate::proto::{
     decode_wire_request, encode_event_payload, encode_heartbeat_payload,
     encode_metrics_response_payload, encode_replicate_ack_payload, encode_result_payload,
-    encode_wal_frame_payload, expect_handshake, read_frame, send_handshake, write_frame,
-    ReplicateAck, WalFrame, WireRequest,
+    encode_sessions_reply_payload, encode_wal_frame_payload, expect_handshake, read_frame,
+    send_handshake, write_frame, ReplicateAck, SessionsReply, WalFrame, WireRequest,
 };
 use compview_core::ComponentFamily;
 use compview_obs::{Counter, Gauge, MetricsSnapshot, Registry};
 use compview_session::{
-    shard_of, ApplyError, CatchupPlan, DeltaEvent, DeltaKind, Service, SessionRequest,
-    SessionResponse, TerminateReason, WalShipment,
+    shard_of, ApplyError, CatchupPlan, DeltaEvent, DeltaKind, DispatchError, Service, Session,
+    SessionRequest, SessionResponse, TerminateReason, WalShipment,
 };
+use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::bind_with`].
 #[derive(Clone, Debug)]
@@ -169,6 +170,18 @@ pub(crate) struct ApplyReport {
     pub outcome: Result<u64, ApplyError>,
 }
 
+/// A parked `Sessions` listing mid-fan-out: the requesting connection
+/// and seq, the countdown across shards, and the accumulated names.
+type ListingSlot = (u64, u64, Arc<AtomicUsize>, Arc<Mutex<Vec<String>>>);
+
+/// A parked session adoption: the name, the boxed `Session<F>` in
+/// transit to its shard, and the channel the outcome is acked on.
+type AdoptSlot = (
+    String,
+    Box<dyn Any + Send>,
+    mpsc::Sender<Result<(), String>>,
+);
+
 /// One item on a shard's queue.
 enum Item {
     /// A request bound for this shard's service partition.
@@ -212,6 +225,42 @@ enum Item {
     Promote {
         done: mpsc::Sender<Result<(), String>>,
     },
+    /// A session-listing barrier (enqueued on *every* shard, like
+    /// [`Item::Probe`]): each dispatcher appends its partition's durable
+    /// session names to `acc`; whoever decrements `left` to zero answers
+    /// with the merged, sorted list plus the root-leader hint.
+    Sessions {
+        conn: u64,
+        seq: u64,
+        left: Arc<AtomicUsize>,
+        acc: Arc<Mutex<Vec<String>>>,
+    },
+    /// Adopt a freshly opened session into this shard's running service
+    /// partition (`Server::adopt_session`).  The box holds a
+    /// `Session<F>`, type-erased so this queue stays monomorphic.
+    Adopt {
+        name: String,
+        session: Box<dyn Any + Send>,
+        done: mpsc::Sender<Result<(), String>>,
+    },
+    /// A read-your-writes read: answer `Read { view }` on `session` once
+    /// its WAL position reaches `(gen, min_seq)`, or refuse with a typed
+    /// `Lagging` error when `deadline` passes first.  Waiting happens in
+    /// dispatcher-local state — the queue is never blocked.
+    ReadAt {
+        conn: u64,
+        seq: u64,
+        session: String,
+        view: String,
+        gen: u64,
+        min_seq: u64,
+        deadline: Instant,
+    },
+    /// (Follower side) repoint this shard's read-only sessions'
+    /// `NotLeader { leader_addr }` target at a new root leader (enqueued
+    /// on *every* shard when a chained upstream learns its root moved).
+    /// Writable sessions are untouched.
+    Retarget { leader: String },
 }
 
 /// Server-side instruments, registered on shard 0's [`Registry`] (the
@@ -247,6 +296,9 @@ struct ServeObs {
     /// WAL frames (records, resets, catch-up included) accepted into
     /// connection outboxes for followers.
     repl_records_out: Counter,
+    /// Payload bytes of those frames — the node's replication egress,
+    /// the quantity chaining exists to take off the root leader.
+    repl_bytes_out: Counter,
 }
 
 impl ServeObs {
@@ -263,6 +315,7 @@ impl ServeObs {
             repl_streams_opened: registry.counter("serve.repl.streams_opened"),
             repl_streams_closed: registry.counter("serve.repl.streams_closed"),
             repl_records_out: registry.counter("serve.repl.records_out"),
+            repl_bytes_out: registry.counter("serve.repl.bytes_out"),
         }
     }
 }
@@ -363,6 +416,11 @@ struct Shared {
     /// stream): exempt from the idle read timeout, since a streaming
     /// follower legitimately sends nothing for hours.
     repl_conns: Mutex<BTreeMap<u64, usize>>,
+    /// The *root* leader's address when this node is a follower (set by
+    /// the replica's tail machinery, cleared on promote) — what a
+    /// `Sessions` reply forwards so chained followers can name where
+    /// writes actually go.  `None` on a writable node.
+    leader_hint: Mutex<Option<String>>,
     obs: ServeObs,
 }
 
@@ -451,6 +509,7 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
             read_timeout: options.read_timeout,
             heartbeat_interval: options.heartbeat_interval,
             repl_conns: Mutex::new(BTreeMap::new()),
+            leader_hint: Mutex::new(None),
             obs: ServeObs::new(parts[0].registry()),
         });
 
@@ -523,9 +582,56 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
         result
     }
 
+    /// (Replica plumbing) repoint every read-only session's `NotLeader`
+    /// target at a new root leader address: enqueued on every shard,
+    /// fire-and-forget — queue order puts it ahead of any write that
+    /// would be rejected with the stale address.
+    pub(crate) fn retarget(&self, leader: String) {
+        for sq in &self.shared.shards {
+            let mut q = sq.queue.lock().expect("queue");
+            q.push_back(Item::Retarget {
+                leader: leader.clone(),
+            });
+            drop(q);
+            sq.wake.notify_one();
+        }
+    }
+
     /// Number of dispatcher shards.
     pub fn shard_count(&self) -> usize {
         self.shared.shards.len()
+    }
+
+    /// (Replica plumbing) set or clear the root-leader address the
+    /// `Sessions` verb forwards — see [`Shared::leader_hint`].
+    pub(crate) fn set_leader_hint(&self, addr: Option<String>) {
+        *self.shared.leader_hint.lock().expect("leader hint") = addr;
+    }
+
+    /// Adopt a freshly opened session into the running server under
+    /// `name`, routed to the shard that owns the name.  The session joins
+    /// the dispatcher's partition exactly like one opened at bind time:
+    /// it is registry-rebound, serveable, and replicable the moment this
+    /// returns.
+    ///
+    /// # Errors
+    /// The name being taken, or the server shutting down before the
+    /// owning dispatcher processed the adoption.
+    pub fn adopt_session(&self, name: &str, session: Session<F>) -> Result<(), String> {
+        let (tx, rx) = mpsc::channel();
+        let shard = shard_of(name, self.shared.shards.len());
+        let sq = &self.shared.shards[shard];
+        let mut q = sq.queue.lock().expect("queue");
+        q.push_back(Item::Adopt {
+            name: name.to_owned(),
+            session: Box::new(session),
+            done: tx,
+        });
+        self.shared.obs.queue_depth_hwm.raise(q.len() as u64);
+        drop(q);
+        sq.wake.notify_one();
+        rx.recv()
+            .map_err(|_| "server stopped before the adoption ran".to_owned())?
     }
 
     /// Stop accepting, close every connection, drain the shard queues,
@@ -664,6 +770,32 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
                             drop(q);
                             sq.wake.notify_one();
                         }
+                        WireRequest::ReadAt {
+                            session,
+                            view,
+                            gen,
+                            min_seq,
+                            wait_ms,
+                        } => {
+                            let shard = shard_of(&session, n_shards);
+                            let sq = &shared.shards[shard];
+                            let mut q = sq.queue.lock().expect("queue");
+                            q.push_back(Item::ReadAt {
+                                conn,
+                                seq,
+                                session,
+                                view,
+                                gen,
+                                min_seq,
+                                // Clamped so a hostile wait cannot
+                                // overflow `Instant` arithmetic.
+                                deadline: Instant::now()
+                                    + Duration::from_millis(wait_ms.min(86_400_000)),
+                            });
+                            shared.obs.queue_depth_hwm.raise(q.len() as u64);
+                            drop(q);
+                            sq.wake.notify_one();
+                        }
                         // A metrics probe fans out to every shard as a
                         // barrier; the countdown picks the answerer.
                         WireRequest::Metrics => {
@@ -674,6 +806,24 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
                                     conn,
                                     seq,
                                     left: Arc::clone(&left),
+                                });
+                                shared.obs.queue_depth_hwm.raise(q.len() as u64);
+                                drop(q);
+                                sq.wake.notify_one();
+                            }
+                        }
+                        // A session listing is a barrier too: every
+                        // shard contributes its partition's names.
+                        WireRequest::Sessions => {
+                            let left = Arc::new(AtomicUsize::new(n_shards));
+                            let acc = Arc::new(Mutex::new(Vec::new()));
+                            for sq in &shared.shards {
+                                let mut q = sq.queue.lock().expect("queue");
+                                q.push_back(Item::Sessions {
+                                    conn,
+                                    seq,
+                                    left: Arc::clone(&left),
+                                    acc: Arc::clone(&acc),
                                 });
                                 shared.obs.queue_depth_hwm.raise(q.len() as u64);
                                 drop(q);
@@ -895,9 +1045,10 @@ enum EventOutcome {
     Delivered,
     /// The connection is gone; the subscription has no consumer.
     Gone,
-    /// The subscription blew its outbox cap: a terminal `SlowConsumer`
-    /// frame replaced everything owed.  The caller must drop the
-    /// subscription from its session.
+    /// The stream blew its outbox cap: a cap-exempt terminal frame was
+    /// queued *behind* everything already owed, so the delivered prefix
+    /// stays gapless and the terminal is the last frame the stream ever
+    /// carries.  The caller must drop the stream from its session.
     Overflow,
 }
 
@@ -977,9 +1128,11 @@ fn deliver_event(shared: &Shared, conn: u64, session: &str, event: &DeltaEvent) 
 /// Queue one WAL shipment frame on `conn`'s writer for the replication
 /// stream `key`, parking it if the stream's ack has not reached the wire
 /// order yet, and enforcing [`ServeOptions::repl_outbox_cap`].  On
-/// overflow a terminal `W_END` frame replaces everything owed — the
-/// follower treats it as a lost link and re-requests from its own log,
-/// so nothing is lost, only re-shipped.
+/// overflow the overflowing frame is dropped and a terminal `W_END` is
+/// queued *behind* everything already owed (parked or ready), so the
+/// follower receives a gapless prefix ending in the `End` — it treats
+/// that as a lost link and re-requests from its own log, so nothing is
+/// lost, only re-shipped.
 fn deliver_repl_frame(
     shared: &Shared,
     conn: u64,
@@ -1019,6 +1172,7 @@ fn deliver_repl_frame(
         return EventOutcome::Overflow;
     }
     shared.obs.repl_records_out.inc();
+    shared.obs.repl_bytes_out.add(frame.len() as u64);
     *st.queued.entry(key.clone()).or_insert(0) += 1;
     if st.active.contains(key) {
         st.ready.push_back((frame, Some(key.clone())));
@@ -1061,7 +1215,20 @@ fn remove_repl_target<F: ComponentFamily + Send + Sync>(
     }
 }
 
-fn dispatch_loop<F: ComponentFamily + Send + Sync>(
+/// One read-your-writes wait parked at a dispatcher (see
+/// [`Item::ReadAt`]): re-evaluated after every drain, expired by a timed
+/// queue wait when the shard goes idle.
+struct WaitingRead {
+    conn: u64,
+    seq: u64,
+    session: String,
+    view: String,
+    gen: u64,
+    min_seq: u64,
+    deadline: Instant,
+}
+
+fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
     shard: usize,
     mut service: Service<F>,
     shared: &Shared,
@@ -1075,15 +1242,28 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
     // which connections tail it, under which stream key.  A session's
     // shipment tap is on exactly while it has an entry here.
     let mut repl_routes: BTreeMap<String, Vec<(u64, StreamKey)>> = BTreeMap::new();
+    // Read-your-writes waits parked at this shard.
+    let mut waiting_reads: Vec<WaitingRead> = Vec::new();
     loop {
         let drained: Vec<Item> = {
             let sq = &shared.shards[shard];
             let mut q = sq.queue.lock().expect("queue");
             while q.is_empty() && !shared.stop.load(Ordering::SeqCst) {
-                q = sq.wake.wait(q).expect("queue");
+                // With read-your-writes waits parked here, sleep only
+                // until the nearest deadline so an idle shard still
+                // turns expiry into a typed `Lagging` answer.
+                let Some(next) = waiting_reads.iter().map(|w| w.deadline).min() else {
+                    q = sq.wake.wait(q).expect("queue");
+                    continue;
+                };
+                let dur = next.saturating_duration_since(Instant::now());
+                if dur.is_zero() {
+                    break;
+                }
+                q = sq.wake.wait_timeout(q, dur).expect("queue").0;
             }
-            if q.is_empty() {
-                // Only reachable with `stop` set: drained and done.
+            if q.is_empty() && shared.stop.load(Ordering::SeqCst) {
+                // Drained and done.
                 return service;
             }
             q.drain(..).collect()
@@ -1098,6 +1278,9 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
         let mut replicates: Vec<(u64, u64, String, u64, u64)> = Vec::new();
         let mut applies: Vec<(String, ApplyKind, mpsc::Sender<ApplyReport>)> = Vec::new();
         let mut promotes: Vec<mpsc::Sender<Result<(), String>>> = Vec::new();
+        let mut listings: Vec<ListingSlot> = Vec::new();
+        let mut adopts: Vec<AdoptSlot> = Vec::new();
+        let mut retargets: Vec<String> = Vec::new();
         for item in drained {
             match item {
                 Item::Dispatch {
@@ -1124,6 +1307,57 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
                     done,
                 } => applies.push((session, kind, done)),
                 Item::Promote { done } => promotes.push(done),
+                Item::Sessions {
+                    conn,
+                    seq,
+                    left,
+                    acc,
+                } => listings.push((conn, seq, left, acc)),
+                Item::Adopt {
+                    name,
+                    session,
+                    done,
+                } => adopts.push((name, session, done)),
+                Item::ReadAt {
+                    conn,
+                    seq,
+                    session,
+                    view,
+                    gen,
+                    min_seq,
+                    deadline,
+                } => waiting_reads.push(WaitingRead {
+                    conn,
+                    seq,
+                    session,
+                    view,
+                    gen,
+                    min_seq,
+                    deadline,
+                }),
+                Item::Retarget { leader } => retargets.push(leader),
+            }
+        }
+        // Adoptions land before anything else in this drain that might
+        // name the new session (a `Replicate`, a dispatch, a listing).
+        for (name, session, done) in adopts {
+            let result = match session.downcast::<Session<F>>() {
+                Ok(s) => service.add_session(name, *s).map_err(|e| e.to_string()),
+                Err(_) => Err("adopted session is not this service's family type".to_owned()),
+            };
+            let _ = done.send(result);
+        }
+        // Retargets repoint read-only sessions at the new root leader
+        // before this drain's dispatches run, so a `NotLeader` rejection
+        // never names an address already known to be stale.
+        for leader in retargets {
+            let names: Vec<String> = service.session_names().map(str::to_owned).collect();
+            for name in names {
+                if let Some(s) = service.session_mut(&name) {
+                    if s.leader_addr().is_some() {
+                        s.set_read_only(Some(leader.clone()));
+                    }
+                }
             }
         }
         // A dead connection's subscriptions stop publishing before the
@@ -1412,6 +1646,82 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
                 }
             }
         }
+        // Re-evaluate read-your-writes waits against the positions this
+        // drain's applies and batch just advanced; answer what is
+        // satisfied, refuse (typed) what expired, keep the rest parked.
+        if !waiting_reads.is_empty() {
+            let now = Instant::now();
+            let mut parked = Vec::new();
+            for w in waiting_reads.drain(..) {
+                let Some(pos) = service
+                    .session(&w.session)
+                    .map(|s| (s.wal_gen(), s.wal_last_seq()))
+                else {
+                    let err: Result<SessionResponse, DispatchError> =
+                        Err(DispatchError::UnknownSession(w.session.clone()));
+                    deliver_response(shared, w.conn, w.seq, encode_result_payload(&err), None);
+                    continue;
+                };
+                if pos.0 == w.gen && pos.1 >= w.min_seq {
+                    // Caught up: answer exactly as a plain `Read` would,
+                    // under the snapshot gate like any batch.
+                    let results = {
+                        let _gate = shared.snap_gates[shard].lock().expect("snap gate");
+                        service.dispatch(vec![(
+                            w.session.clone(),
+                            SessionRequest::Read { view: w.view },
+                        )])
+                    };
+                    deliver_response(
+                        shared,
+                        w.conn,
+                        w.seq,
+                        encode_result_payload(&results[0]),
+                        None,
+                    );
+                } else if now >= w.deadline {
+                    let err: Result<SessionResponse, DispatchError> = Err(DispatchError::Lagging {
+                        want_gen: w.gen,
+                        want_seq: w.min_seq,
+                        gen: pos.0,
+                        seq: pos.1,
+                    });
+                    deliver_response(shared, w.conn, w.seq, encode_result_payload(&err), None);
+                } else {
+                    parked.push(w);
+                }
+            }
+            waiting_reads = parked;
+        }
+        // Session listings pass with the same barrier discipline as
+        // probes: each shard contributes after applying its share of the
+        // drain, the last one through answers.
+        for (conn, seq, left, acc) in listings {
+            {
+                let names: Vec<String> = service.session_names().map(str::to_owned).collect();
+                let mut acc = acc.lock().expect("sessions acc");
+                for name in names {
+                    if service.session(&name).is_some_and(|s| s.is_durable()) {
+                        acc.push(name);
+                    }
+                }
+            }
+            if left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut sessions = std::mem::take(&mut *acc.lock().expect("sessions acc"));
+                sessions.sort();
+                let reply = SessionsReply {
+                    leader: shared.leader_hint.lock().expect("leader hint").clone(),
+                    sessions,
+                };
+                deliver_response(
+                    shared,
+                    conn,
+                    seq,
+                    encode_sessions_reply_payload(&reply),
+                    None,
+                );
+            }
+        }
         // Probes pass only after the batch drained alongside them has
         // been applied — so by the time the countdown hits zero, every
         // shard has applied everything enqueued before the probe.
@@ -1451,5 +1761,155 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync>(
             }
             let _ = done.send(result);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::decode_wal_frame_payload;
+
+    /// A `Shared` with no shards and no threads: just enough for the
+    /// writer-side delivery functions under test.
+    fn test_shared(repl_outbox_cap: usize) -> Arc<Shared> {
+        let registry = Registry::new();
+        Arc::new(Shared {
+            shards: Vec::new(),
+            snap_gates: Vec::new(),
+            registries: Vec::new(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(BTreeMap::new()),
+            readers: Mutex::new(Vec::new()),
+            writers: Mutex::new(Vec::new()),
+            event_outbox_cap: 1,
+            repl_outbox_cap,
+            read_timeout: None,
+            heartbeat_interval: None,
+            repl_conns: Mutex::new(BTreeMap::new()),
+            leader_hint: Mutex::new(None),
+            obs: ServeObs::new(&registry),
+        })
+    }
+
+    /// A conn slot over a real loopback socket pair (no writer thread, so
+    /// queued frames stay inspectable in `ready`).  Returns the slot and
+    /// the far end (kept alive so the socket stays up).
+    fn test_conn(shared: &Shared, conn: u64) -> (Arc<ConnSlot>, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let far = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (near, _) = listener.accept().expect("accept");
+        let slot = Arc::new(ConnSlot {
+            state: Mutex::new(OutState {
+                next_seq: 0,
+                pending: BTreeMap::new(),
+                ready: VecDeque::new(),
+                active: BTreeSet::new(),
+                parked: BTreeMap::new(),
+                dead: BTreeSet::new(),
+                queued: BTreeMap::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            stream: near,
+        });
+        shared
+            .conns
+            .lock()
+            .expect("conns")
+            .insert(conn, Arc::clone(&slot));
+        (slot, far)
+    }
+
+    fn record_frame(session: &str, seq: u64) -> Vec<u8> {
+        encode_wal_frame_payload(&WalFrame::Record {
+            session: session.to_owned(),
+            gen: 1,
+            bytes: vec![seq as u8; 4],
+        })
+    }
+
+    /// Overflow while the stream is still parked (its ack not yet in
+    /// wire order): the terminal `End` queues BEHIND the parked catch-up
+    /// frames, and activation flushes the owed frames first, `End` last —
+    /// a gapless prefix, exactly what the delivery contract promises.
+    #[test]
+    fn repl_overflow_while_parked_flushes_owed_frames_then_end() {
+        let shared = test_shared(2);
+        let (slot, _far) = test_conn(&shared, 7);
+        let key = StreamKey::Repl("s".to_owned(), 0);
+
+        for seq in 0..2 {
+            let out = deliver_repl_frame(&shared, 7, "s", &key, record_frame("s", seq));
+            assert!(matches!(out, EventOutcome::Delivered));
+        }
+        // One past the cap: refused, stream marked dead.
+        let out = deliver_repl_frame(&shared, 7, "s", &key, record_frame("s", 2));
+        assert!(matches!(out, EventOutcome::Overflow));
+        // Anything further is discarded without growing the backlog.
+        let out = deliver_repl_frame(&shared, 7, "s", &key, record_frame("s", 3));
+        assert!(matches!(out, EventOutcome::Delivered));
+        assert_eq!(
+            slot.state.lock().expect("state").parked[&key].len(),
+            3,
+            "two owed records plus the terminal End"
+        );
+
+        // The ack lands in wire order: owed frames flush oldest-first,
+        // End last, and the dead stream is forgotten.
+        deliver_response(
+            &shared,
+            7,
+            0,
+            vec![0xAA],
+            Some(RouteChange::Activate(key.clone())),
+        );
+        let st = slot.state.lock().expect("state");
+        let frames: Vec<&Vec<u8>> = st.ready.iter().map(|(f, _)| f).collect();
+        assert_eq!(frames.len(), 4, "ack + 2 records + End");
+        assert_eq!(frames[0], &vec![0xAA]);
+        for (i, frame) in frames[1..3].iter().enumerate() {
+            match decode_wal_frame_payload(frame).expect("wal frame") {
+                WalFrame::Record { bytes, .. } => assert_eq!(bytes, vec![i as u8; 4]),
+                other => panic!("expected Record, got {other:?}"),
+            }
+        }
+        match decode_wal_frame_payload(frames[3]).expect("wal frame") {
+            WalFrame::End { .. } => {}
+            other => panic!("expected End last, got {other:?}"),
+        }
+        assert!(!st.dead.contains(&key), "activation reaps the dead key");
+        assert!(!st.active.contains(&key), "an ended stream never activates");
+        assert!(!st.queued.contains_key(&key), "budget forgotten");
+    }
+
+    /// Overflow on an already-active stream: the `End` goes to the wire
+    /// queue behind the frames already owed there.
+    #[test]
+    fn repl_overflow_while_active_queues_end_behind_owed_frames() {
+        let shared = test_shared(2);
+        let (slot, _far) = test_conn(&shared, 3);
+        let key = StreamKey::Repl("s".to_owned(), 0);
+        deliver_response(
+            &shared,
+            3,
+            0,
+            vec![0xAA],
+            Some(RouteChange::Activate(key.clone())),
+        );
+        for seq in 0..2 {
+            let out = deliver_repl_frame(&shared, 3, "s", &key, record_frame("s", seq));
+            assert!(matches!(out, EventOutcome::Delivered));
+        }
+        let out = deliver_repl_frame(&shared, 3, "s", &key, record_frame("s", 2));
+        assert!(matches!(out, EventOutcome::Overflow));
+        let st = slot.state.lock().expect("state");
+        let frames: Vec<&Vec<u8>> = st.ready.iter().map(|(f, _)| f).collect();
+        assert_eq!(frames.len(), 4, "ack + 2 records + End");
+        match decode_wal_frame_payload(frames[3]).expect("wal frame") {
+            WalFrame::End { .. } => {}
+            other => panic!("expected End last, got {other:?}"),
+        }
+        assert!(st.dead.contains(&key));
+        assert!(!st.active.contains(&key));
     }
 }

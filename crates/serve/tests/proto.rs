@@ -8,10 +8,11 @@ use compview_core::{CatalogError, EditError, EditReport, UpdateReport};
 use compview_relation::{v, Instance, Relation, Tuple};
 use compview_serve::proto::{
     decode_event_payload, decode_metrics_response_payload, decode_request_payload,
-    decode_result_payload, decode_wire_request, encode_event_payload,
-    encode_metrics_request_payload, encode_metrics_response_payload, encode_request_payload,
-    encode_result_payload, is_event_payload, read_frame, write_frame, WireRequest, FRAME_HEADER,
-    MAX_FRAME,
+    decode_result_payload, decode_sessions_reply_payload, decode_wire_request,
+    encode_event_payload, encode_metrics_request_payload, encode_metrics_response_payload,
+    encode_read_at_payload, encode_request_payload, encode_result_payload, encode_sessions_payload,
+    encode_sessions_reply_payload, is_event_payload, is_sessions_reply_payload, read_frame,
+    write_frame, SessionsReply, WireRequest, FRAME_HEADER, MAX_FRAME,
 };
 use compview_serve::ProtoError;
 use compview_session::{
@@ -108,6 +109,7 @@ fn rand_stats(rng: &mut StdRng) -> StatsSnapshot {
         undoable: rng.random_range(0..64u32) as usize,
         cached_masks: rng.random_range(0..64u32) as usize,
         session_id: rng.next_u64(),
+        wal_gen: rng.next_u64(),
         wal_seq: rng.next_u64(),
         log_bytes: rng.next_u64(),
         active_subs: rng.random_range(0..64u32) as usize,
@@ -188,6 +190,12 @@ fn every_result(rng: &mut StdRng) -> Vec<Result<SessionResponse, DispatchError>>
             sub: rng.next_u64(),
         }),
         Err(DispatchError::UnknownSession(rand_name(rng))),
+        Err(DispatchError::Lagging {
+            want_gen: rng.next_u64(),
+            want_seq: rng.next_u64(),
+            gen: rng.next_u64(),
+            seq: rng.next_u64(),
+        }),
     ];
     out.extend(
         session_errors
@@ -518,6 +526,55 @@ proptest! {
         let mut bytes = payload.clone();
         bytes[bit / 8] ^= 1 << (bit % 8);
         let _ = decode_event_payload(&bytes); // must return, not panic
+    }
+
+    /// The `ReadAt` and `Sessions` sentinel requests round-trip through
+    /// the wire-request decoder, and a `SessionsReply` round-trips with
+    /// and without a forwarded root-leader address.
+    #[test]
+    fn topology_verbs_round_trip(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = rand_name(&mut rng);
+        let view = rand_name(&mut rng);
+        let (gen, min_seq, wait_ms) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        let payload = encode_read_at_payload(&session, &view, gen, min_seq, wait_ms);
+        prop_assert_eq!(
+            decode_wire_request(&payload).unwrap(),
+            WireRequest::ReadAt {
+                session: session.clone(),
+                view,
+                gen,
+                min_seq,
+                wait_ms
+            }
+        );
+        for cut in 5..payload.len() {
+            prop_assert!(decode_wire_request(&payload[..cut]).is_err());
+        }
+
+        prop_assert_eq!(
+            decode_wire_request(&encode_sessions_payload()).unwrap(),
+            WireRequest::Sessions
+        );
+
+        let replies = [
+            SessionsReply { leader: None, sessions: vec![] },
+            SessionsReply {
+                leader: Some("127.0.0.1:7000".to_owned()),
+                sessions: (0..rng.random_range(1..5u32)).map(|_| rand_name(&mut rng)).collect(),
+            },
+        ];
+        for reply in replies {
+            let bytes = encode_sessions_reply_payload(&reply);
+            prop_assert!(is_sessions_reply_payload(&bytes));
+            prop_assert_eq!(decode_sessions_reply_payload(&bytes).unwrap(), reply);
+            for cut in 0..bytes.len() {
+                prop_assert!(decode_sessions_reply_payload(&bytes[..cut]).is_err());
+            }
+            let mut trailing = bytes.clone();
+            trailing.push(0);
+            prop_assert!(decode_sessions_reply_payload(&trailing).is_err());
+        }
     }
 
     /// Any single bit flip in a metrics response payload is refused: the

@@ -9,10 +9,12 @@ use compview_core::SubschemaComponents;
 use compview_logic::Schema;
 use compview_obs::MetricsSnapshot;
 use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
-use compview_serve::{Client, ProtoError, Replica, ReplicaOptions, ServeOptions, Server};
+use compview_serve::{
+    Client, Mirror, MirrorSpec, ProtoError, Replica, ReplicaOptions, ServeOptions, Server,
+};
 use compview_session::{
-    wal, ApplyError, CatchupPlan, CheckpointPolicy, DispatchError, MemStore, Service, Session,
-    SessionConfig, SessionError, SessionRequest, SyncPolicy,
+    wal, ApplyError, CatchupPlan, CheckpointPolicy, DispatchError, FsStore, MemStore, Service,
+    Session, SessionConfig, SessionError, SessionRequest, SyncPolicy,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -154,6 +156,7 @@ fn replica_options(seed: u64) -> ReplicaOptions {
         read_timeout: Duration::from_millis(500),
         connect_attempts: 500,
         seed,
+        discover_interval: Duration::from_millis(50),
     }
 }
 
@@ -162,6 +165,34 @@ fn leader_options(shards: usize) -> ServeOptions {
         shards,
         heartbeat_interval: Some(Duration::from_millis(25)),
         ..ServeOptions::default()
+    }
+}
+
+/// Options for a follower that is itself an upstream: its own server
+/// must heartbeat fast enough for a downstream's 500 ms read timeout.
+fn follower_options(seed: u64) -> ReplicaOptions {
+    ReplicaOptions {
+        serve: leader_options(1),
+        ..replica_options(seed)
+    }
+}
+
+/// A [`Mirror`] reproducing exactly what [`durable_service`] creates, so
+/// discovered sessions take the pure-tail catch-up path.
+fn mirror_for(dir: &Path) -> Mirror<SubschemaComponents> {
+    Mirror {
+        dir: dir.to_path_buf(),
+        policy: SyncPolicy::Always,
+        spec: Arc::new(|_name: &str| {
+            let sig = sig();
+            Some(MirrorSpec {
+                family: SubschemaComponents::singletons(sig.clone()),
+                schema: Schema::unconstrained(sig),
+                pools: pools(),
+                base: base(),
+                config: SessionConfig::default(),
+            })
+        }),
     }
 }
 
@@ -987,4 +1018,715 @@ fn replicated_apply_is_byte_identical_at_every_prefix_and_refuses_corruption() {
     assert_eq!(follower.state(), leader.state());
     assert_eq!(follower.wal_gen(), leader.wal_gen());
     assert_eq!(follower.wal_last_seq(), leader.wal_last_seq());
+}
+
+// ---------------------------------------------------------------------
+// Headline: fan-out + chaining, byte-identical under faults and a
+// mid-chain node kill
+// ---------------------------------------------------------------------
+
+/// Poll until every follower directory's WAL files are byte-identical
+/// to the leader's.
+fn wait_converged_all(ldir: &Path, fdirs: &[&Path]) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let want = wal_files(ldir);
+        if fdirs.iter().all(|d| wal_files(d) == want) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "topology never converged: leader {:?} vs followers {:?}",
+            want.iter()
+                .map(|(n, b)| (n.clone(), b.len()))
+                .collect::<Vec<_>>(),
+            fdirs
+                .iter()
+                .map(|d| wal_files(d)
+                    .iter()
+                    .map(|(n, b)| (n.clone(), b.len()))
+                    .collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn fanout_and_chain_converge_byte_identical_under_faults() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for (threads, shards) in [(1usize, 1usize), (2, 2), (8, 2)] {
+        with_threads(threads, || run_topology_scenario(threads, shards));
+    }
+}
+
+/// One leader fans out to four direct followers (one behind a faulty
+/// feed); the faulty one is additionally the head of a three-deep chain
+/// whose middle node gets killed and revived.  Everything — WAL files,
+/// Read bytes, final states — must converge byte-identical everywhere.
+fn run_topology_scenario(threads: usize, shards: usize) {
+    let seed = fault_seed() ^ 0x70 ^ (((threads as u64) << 32) | shards as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tag = format!("topo-{threads}-{shards}");
+    let ldir = test_dir(&format!("{tag}-leader"));
+    let fdirs: Vec<PathBuf> = (1..=4).map(|i| test_dir(&format!("{tag}-f{i}"))).collect();
+    let c2dir = test_dir(&format!("{tag}-c2"));
+    let c3dir = test_dir(&format!("{tag}-c3"));
+
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        leader_options(shards),
+    )
+    .unwrap();
+    let laddr = server.local_addr().to_string();
+
+    // Fan-out: f1 reaches the leader only through a fault-injecting
+    // proxy; f2..f4 connect clean.
+    let proxy = Proxy::start(laddr.clone());
+    let f1 = Replica::start(
+        "127.0.0.1:0",
+        &proxy.addr.to_string(),
+        durable_service(&fdirs[0], CheckpointPolicy::default()),
+        follower_options(seed ^ 1),
+    )
+    .unwrap();
+    let direct: Vec<Replica<SubschemaComponents>> = (1..4)
+        .map(|i| {
+            Replica::start(
+                "127.0.0.1:0",
+                &laddr,
+                durable_service(&fdirs[i], CheckpointPolicy::default()),
+                replica_options(seed ^ (i as u64 + 1)),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Chain: c2 tails f1 (through a second proxy so f1 can be revived
+    // on a fresh port), c3 tails c2.  Both start *empty* and mirror
+    // everything they discover.
+    let proxy2 = Proxy::start(f1.local_addr().to_string());
+    let c2 = Replica::start_with_mirror(
+        "127.0.0.1:0",
+        &proxy2.addr.to_string(),
+        Service::new(),
+        follower_options(seed ^ 10),
+        mirror_for(&c2dir),
+    )
+    .unwrap();
+    let c3 = Replica::start_with_mirror(
+        "127.0.0.1:0",
+        &c2.local_addr().to_string(),
+        Service::new(),
+        follower_options(seed ^ 11),
+        mirror_for(&c3dir),
+    )
+    .unwrap();
+
+    // The chain forwards the *root* leader's address, not the next hop:
+    // both chained nodes point writers at f1's upstream (the proxy).
+    assert_eq!(c2.root_addr(), proxy.addr.to_string());
+    assert_eq!(c3.root_addr(), proxy.addr.to_string());
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for name in SESSIONS {
+        client.request(name, &register_r()).unwrap().unwrap();
+    }
+
+    // Faults on f1's feed while every node tails.
+    proxy.push_plans((0..4).map(|i| {
+        if i % 2 == 0 {
+            Plan::CutAfter(rng.random_range(40..3000))
+        } else {
+            Plan::FlipAt(rng.random_range(16..1500))
+        }
+    }));
+    proxy.sever_live();
+    for round in 0..4u32 {
+        for name in SESSIONS {
+            let req = if round < 2 {
+                insert("R", &format!("t{round}"))
+            } else if round % 2 == 0 {
+                update_r(&["a1", "t0"])
+            } else {
+                update_r(&["a2", "t1"])
+            };
+            client.request(name, &req).unwrap().unwrap();
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // Mid-chain node kill: take f1 down while the leader keeps writing
+    // and c2/c3 keep serving reads from their last applied state.
+    let f1svc = f1.shutdown();
+    for name in SESSIONS {
+        client
+            .request(name, &update_r(&["a1", "t1"]))
+            .unwrap()
+            .unwrap();
+    }
+    let mut c3client = Client::connect(c3.local_addr()).unwrap();
+    assert!(
+        c3client.request("alpha", &read_r()).unwrap().is_ok(),
+        "chain tail must keep serving reads while its feed is down"
+    );
+    match c3client.request("alpha", &insert("R", "no")).unwrap() {
+        Err(DispatchError::Session(SessionError::NotLeader { leader_addr })) => {
+            assert_eq!(
+                leader_addr,
+                proxy.addr.to_string(),
+                "chained NotLeader must name the root, not the next hop"
+            );
+        }
+        other => panic!("chained follower must refuse writes, got {other:?}"),
+    }
+
+    // Revive f1 on a fresh port from its own (read-only) sessions and
+    // repoint the chain proxy at it.
+    let f1 = Replica::start(
+        "127.0.0.1:0",
+        &proxy.addr.to_string(),
+        f1svc,
+        follower_options(seed ^ 12),
+    )
+    .unwrap();
+    proxy2.set_upstream(f1.local_addr().to_string());
+    proxy2.sever_live();
+
+    for name in SESSIONS {
+        client
+            .request(name, &update_r(&["t0", "t1"]))
+            .unwrap()
+            .unwrap();
+    }
+
+    let all_dirs: Vec<&Path> = fdirs
+        .iter()
+        .map(PathBuf::as_path)
+        .chain([c2dir.as_path(), c3dir.as_path()])
+        .collect();
+    wait_converged_all(&ldir, &all_dirs);
+
+    // Read bytes identical on every node of the tree.
+    let want = wal::encode_result(&client.request("alpha", &read_r()).unwrap());
+    for addr in [f1.local_addr(), c2.local_addr(), c3.local_addr()]
+        .into_iter()
+        .chain(direct.iter().map(Replica::local_addr))
+    {
+        let mut c = Client::connect(addr).unwrap();
+        let got = c.request("alpha", &read_r()).unwrap();
+        assert_eq!(
+            wal::encode_result(&got),
+            want,
+            "node at {addr} read diverged"
+        );
+    }
+
+    // The leader's egress went to its direct followers only; the chain
+    // hops shipped their own bytes (f1 re-ships to c2, c2 to c3).
+    let mut f1c = Client::connect(f1.local_addr()).unwrap();
+    let f1snap = f1c.metrics().unwrap();
+    assert!(
+        counter(&f1snap, "serve.repl.bytes_out") > 0,
+        "a chained upstream must re-ship the bytes it mirrors: {:?}",
+        f1snap.counters
+    );
+    assert!(
+        counter(&f1snap, "repl.sessions_mirrored") == 0,
+        "f1 holds its sessions durably; nothing to mirror"
+    );
+    let lsnap = client.metrics().unwrap();
+    assert!(counter(&lsnap, "serve.repl.bytes_out") > 0);
+
+    assert!(c2.fault().is_none(), "{:?}", c2.fault());
+    assert!(c3.fault().is_none(), "{:?}", c3.fault());
+
+    drop(client);
+    drop(c3client);
+    drop(f1c);
+    let lsvc = server.shutdown();
+    let f1svc = f1.shutdown();
+    let c2svc = c2.shutdown();
+    let c3svc = c3.shutdown();
+    for name in SESSIONS {
+        let want = lsvc.session(name).unwrap().state();
+        assert_eq!(f1svc.session(name).unwrap().state(), want);
+        assert_eq!(c2svc.session(name).unwrap().state(), want);
+        assert_eq!(c3svc.session(name).unwrap().state(), want);
+    }
+    for r in direct {
+        let svc = r.shutdown();
+        for name in SESSIONS {
+            assert_eq!(
+                svc.session(name).unwrap().state(),
+                lsvc.session(name).unwrap().state()
+            );
+        }
+    }
+    drop(proxy);
+    drop(proxy2);
+    let _ = std::fs::remove_dir_all(&ldir);
+    for d in fdirs.iter().chain([&c2dir, &c3dir]) {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: sessions created mid-tail are discovered everywhere
+// ---------------------------------------------------------------------
+
+#[test]
+fn sessions_created_mid_tail_are_discovered_and_mirrored_down_the_chain() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("disc-leader");
+    let f1dir = test_dir("disc-f1");
+    let c2dir = test_dir("disc-c2");
+
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        leader_options(2),
+    )
+    .unwrap();
+    let laddr = server.local_addr().to_string();
+    let f1 = Replica::start_with_mirror(
+        "127.0.0.1:0",
+        &laddr,
+        durable_service(&f1dir, CheckpointPolicy::default()),
+        follower_options(fault_seed()),
+        mirror_for(&f1dir),
+    )
+    .unwrap();
+    let c2 = Replica::start_with_mirror(
+        "127.0.0.1:0",
+        &f1.local_addr().to_string(),
+        Service::new(),
+        follower_options(fault_seed() ^ 1),
+        mirror_for(&c2dir),
+    )
+    .unwrap();
+
+    // The leader gains a session *after* every follower started — the
+    // exact case the start-time snapshot used to miss forever.
+    let sig_ = sig();
+    let delta = Session::open_durable(
+        SubschemaComponents::singletons(sig_.clone()),
+        Schema::unconstrained(sig_),
+        &pools(),
+        base(),
+        SessionConfig::default(),
+        Box::new(FsStore::open(ldir.join("delta.wal")).unwrap()),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    server.adopt_session("delta", delta).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("delta", &register_r()).unwrap().unwrap();
+    client
+        .request("delta", &insert("R", "d0"))
+        .unwrap()
+        .unwrap();
+    client
+        .request("delta", &update_r(&["a1", "d0"]))
+        .unwrap()
+        .unwrap();
+
+    // Both hops discover, mirror, and converge byte-identically.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let l = std::fs::read(ldir.join("delta.wal")).unwrap_or_default();
+        let f = std::fs::read(f1dir.join("delta.wal")).unwrap_or_default();
+        let c = std::fs::read(c2dir.join("delta.wal")).unwrap_or_default();
+        if !l.is_empty() && l == f && l == c {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "mid-tail session never mirrored: leader {} vs f1 {} vs c2 {}",
+            l.len(),
+            f.len(),
+            c.len()
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    // Pre-existing sessions converged too, and reads on the discovered
+    // session are byte-identical at every hop.
+    wait_converged(&ldir, &f1dir);
+    let want = wal::encode_result(&client.request("delta", &read_r()).unwrap());
+    for addr in [f1.local_addr(), c2.local_addr()] {
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(
+            wal::encode_result(&c.request("delta", &read_r()).unwrap()),
+            want
+        );
+    }
+
+    let mut f1c = Client::connect(f1.local_addr()).unwrap();
+    let snap = f1c.metrics().unwrap();
+    assert!(
+        counter(&snap, "repl.sessions_mirrored") >= 1,
+        "discovery must be counted: {:?}",
+        snap.counters
+    );
+    // The listing verb itself reports the topology: a follower names the
+    // root leader, the leader names nobody.
+    let reply = f1c.sessions().unwrap();
+    assert_eq!(reply.leader.as_deref(), Some(laddr.as_str()));
+    assert!(reply.sessions.iter().any(|s| s == "delta"));
+    let lreply = client.sessions().unwrap();
+    assert_eq!(lreply.leader, None);
+
+    drop(client);
+    drop(f1c);
+    c2.shutdown();
+    f1.shutdown();
+    server.shutdown();
+    for d in [&ldir, &f1dir, &c2dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: follower Stats — content identical, runtime divergent
+// ---------------------------------------------------------------------
+
+#[test]
+fn follower_stats_content_matches_leader_byte_for_byte() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("stats-leader");
+    let fdir = test_dir("stats-follower");
+
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        leader_options(1),
+    )
+    .unwrap();
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &server.local_addr().to_string(),
+        durable_service(&fdir, CheckpointPolicy::default()),
+        replica_options(fault_seed()),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    client
+        .request("alpha", &insert("R", "s0"))
+        .unwrap()
+        .unwrap();
+    client
+        .request("alpha", &update_r(&["a1", "s0"]))
+        .unwrap()
+        .unwrap();
+    wait_converged(&ldir, &fdir);
+
+    // Follower-local runtime activity that must NOT show up in the
+    // content-derived fields: reads warm the mask cache, a subscription
+    // raises active_subs.
+    let mut fclient = Client::connect(replica.local_addr()).unwrap();
+    for _ in 0..3 {
+        fclient.request("alpha", &read_r()).unwrap().unwrap();
+    }
+    let _sub = fclient.subscribe("alpha", "r").unwrap().unwrap();
+
+    let lstats = match client.request("alpha", &SessionRequest::Stats).unwrap() {
+        Ok(compview_session::SessionResponse::Stats(s)) => s,
+        other => panic!("want Stats, got {other:?}"),
+    };
+    let fstats = match fclient.request("alpha", &SessionRequest::Stats).unwrap() {
+        Ok(compview_session::SessionResponse::Stats(s)) => s,
+        other => panic!("want Stats, got {other:?}"),
+    };
+
+    // Content-derived fields are byte-for-byte equal at the same applied
+    // sequence: states, views, undoable, session identity, WAL position
+    // and size.
+    assert_eq!(lstats.content(), fstats.content());
+    assert_ne!(fstats.wal_gen, 0, "durable sessions carry a generation");
+    assert_eq!(fstats.wal_gen, lstats.wal_gen);
+    assert_eq!(fstats.wal_seq, lstats.wal_seq);
+    assert_eq!(fstats.log_bytes, lstats.log_bytes);
+    assert_eq!(fstats.session_id, lstats.session_id);
+
+    // Runtime fields legitimately diverge: the follower's subscription
+    // is local, and its read-path cache warmed independently.
+    assert_eq!(fstats.active_subs, 1);
+    assert_eq!(lstats.active_subs, 0);
+
+    drop(client);
+    drop(fclient);
+    replica.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: promotion under load — downstream stream + live subscriber
+// ---------------------------------------------------------------------
+
+#[test]
+fn promote_with_downstream_stream_and_live_subscriber_never_tears() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for threads in [1usize, 2, 8] {
+        with_threads(threads, || run_promote_under_load(threads));
+    }
+}
+
+fn run_promote_under_load(threads: usize) {
+    let seed = fault_seed() ^ 0x9000 ^ threads as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ldir = test_dir(&format!("pul-leader-{threads}"));
+    let f1dir = test_dir(&format!("pul-f1-{threads}"));
+    let f2dir = test_dir(&format!("pul-f2-{threads}"));
+
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        leader_options(1),
+    )
+    .unwrap();
+    let proxy = Proxy::start(server.local_addr().to_string());
+    let f1 = Replica::start(
+        "127.0.0.1:0",
+        &proxy.addr.to_string(),
+        durable_service(&f1dir, CheckpointPolicy::default()),
+        follower_options(seed ^ 1),
+    )
+    .unwrap();
+    let f1addr = f1.local_addr();
+    // The downstream reaches f1 through its own proxy, so its link can
+    // be severed to force a root re-learn after the promotion.
+    let proxy2 = Proxy::start(f1addr.to_string());
+    let f2 = Replica::start(
+        "127.0.0.1:0",
+        &proxy2.addr.to_string(),
+        durable_service(&f2dir, CheckpointPolicy::default()),
+        replica_options(seed ^ 2),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    client
+        .request("alpha", &insert("R", "p0"))
+        .unwrap()
+        .unwrap();
+
+    // A live subscriber on the node about to be promoted.
+    let mut subclient = Client::connect(f1addr).unwrap();
+    let (sub, _image) = subclient.subscribe("alpha", "r").unwrap().unwrap();
+
+    // Writes under a faulty feed, right up to the kill.
+    proxy.push_plans((0..2).map(|_| Plan::CutAfter(rng.random_range(60..2000))));
+    proxy.sever_live();
+    for round in 0..4u32 {
+        let req = if round % 2 == 0 {
+            update_r(&["a1", "p0"])
+        } else {
+            update_r(&["a2"])
+        };
+        client.request("alpha", &req).unwrap().unwrap();
+        thread::sleep(Duration::from_millis(10));
+    }
+    wait_converged(&ldir, &f1dir);
+    drop(client);
+    server.shutdown(); // leader killed
+
+    // Promote f1 while f2's replication stream and the subscriber are
+    // both live on its server.
+    let promoted = f1.promote().unwrap();
+    assert_eq!(promoted.local_addr(), f1addr);
+
+    // The promoted node accepts writes; the subscriber sees the
+    // post-promotion delta on the same connection — never torn down.
+    let mut pclient = Client::connect(f1addr).unwrap();
+    pclient
+        .request("alpha", &insert("R", "p9"))
+        .unwrap()
+        .unwrap();
+    pclient
+        .request("alpha", &update_r(&["p0", "p9"]))
+        .unwrap()
+        .unwrap();
+    let (session, event) = subclient.next_event().unwrap();
+    assert_eq!(session, "alpha");
+    assert_eq!(event.sub, sub);
+
+    // Sever f2's link: on redial it learns the root moved (f1 forwards
+    // no hint now — it IS the root) and repoints its NotLeader target.
+    proxy2.sever_live();
+    wait_converged(&f1dir, &f2dir);
+    let mut f2client = Client::connect(f2.local_addr()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match f2client.request("alpha", &insert("R", "no")).unwrap() {
+            Err(DispatchError::Session(SessionError::NotLeader { leader_addr }))
+                if leader_addr == proxy2.addr.to_string() =>
+            {
+                break;
+            }
+            Err(DispatchError::Session(SessionError::NotLeader { .. })) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "downstream never repointed its NotLeader at the new root"
+                );
+                thread::sleep(Duration::from_millis(10));
+            }
+            other => panic!("downstream must refuse writes, got {other:?}"),
+        }
+    }
+    assert!(f2.fault().is_none(), "{:?}", f2.fault());
+
+    // Byte-identical reads, promoted vs downstream.
+    let want = wal::encode_result(&pclient.request("alpha", &read_r()).unwrap());
+    assert_eq!(
+        wal::encode_result(&f2client.request("alpha", &read_r()).unwrap()),
+        want
+    );
+
+    drop(pclient);
+    drop(subclient);
+    drop(f2client);
+    f2.shutdown();
+    promoted.shutdown();
+    drop(proxy);
+    drop(proxy2);
+    for d in [&ldir, &f1dir, &f2dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Read-your-writes: ReadAt satisfied or typed Lagging
+// ---------------------------------------------------------------------
+
+#[test]
+fn read_at_waits_for_the_token_and_refuses_when_lagging() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("ryw-leader");
+    let fdir = test_dir("ryw-follower");
+
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        leader_options(2),
+    )
+    .unwrap();
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &server.local_addr().to_string(),
+        durable_service(&fdir, CheckpointPolicy::default()),
+        replica_options(fault_seed()),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    client
+        .request("alpha", &insert("R", "w0"))
+        .unwrap()
+        .unwrap();
+    client
+        .request("alpha", &update_r(&["a1", "w0"]))
+        .unwrap()
+        .unwrap();
+
+    // The write token: the leader's WAL position after the update.
+    let stats = match client.request("alpha", &SessionRequest::Stats).unwrap() {
+        Ok(compview_session::SessionResponse::Stats(s)) => s,
+        other => panic!("want Stats, got {other:?}"),
+    };
+    assert_ne!(stats.wal_gen, 0);
+
+    // Read-your-writes on the follower: waits for replication to reach
+    // the token, then answers with bytes identical to the leader's.
+    let mut fclient = Client::connect(replica.local_addr()).unwrap();
+    let got = fclient
+        .read_at(
+            "alpha",
+            "r",
+            stats.wal_gen,
+            stats.wal_seq,
+            Duration::from_secs(10),
+        )
+        .unwrap();
+    assert!(got.is_ok(), "token within reach must be served: {got:?}");
+    let want = client.request("alpha", &read_r()).unwrap();
+    assert_eq!(wal::encode_result(&got), wal::encode_result(&want));
+
+    // A token the follower cannot reach: typed Lagging after the
+    // bounded wait, reporting both the want and the actual position.
+    match fclient
+        .read_at(
+            "alpha",
+            "r",
+            stats.wal_gen,
+            stats.wal_seq + 1000,
+            Duration::from_millis(80),
+        )
+        .unwrap()
+    {
+        Err(DispatchError::Lagging {
+            want_gen,
+            want_seq,
+            gen,
+            seq,
+        }) => {
+            assert_eq!(want_gen, stats.wal_gen);
+            assert_eq!(want_seq, stats.wal_seq + 1000);
+            assert_eq!(gen, stats.wal_gen);
+            assert_eq!(seq, stats.wal_seq);
+        }
+        other => panic!("unreachable token must refuse with Lagging, got {other:?}"),
+    }
+
+    // A token from another generation: also Lagging (gen mismatch keeps
+    // the wait unsatisfied regardless of seq).
+    match fclient
+        .read_at(
+            "alpha",
+            "r",
+            stats.wal_gen ^ 1,
+            0,
+            Duration::from_millis(40),
+        )
+        .unwrap()
+    {
+        Err(DispatchError::Lagging { gen, .. }) => assert_eq!(gen, stats.wal_gen),
+        other => panic!("wrong-generation token must refuse with Lagging, got {other:?}"),
+    }
+
+    // Unknown session: typed immediately, not a hang.
+    match fclient
+        .read_at("nope", "r", 1, 1, Duration::from_millis(40))
+        .unwrap()
+    {
+        Err(DispatchError::UnknownSession(n)) => assert_eq!(n, "nope"),
+        other => panic!("unknown session must refuse, got {other:?}"),
+    }
+
+    // ReadAt against the leader itself is satisfied immediately.
+    let got = client
+        .read_at(
+            "alpha",
+            "r",
+            stats.wal_gen,
+            stats.wal_seq,
+            Duration::from_millis(200),
+        )
+        .unwrap();
+    assert!(got.is_ok(), "{got:?}");
+
+    drop(client);
+    drop(fclient);
+    replica.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
 }

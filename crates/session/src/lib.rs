@@ -151,9 +151,22 @@ pub struct SessionStats {
 
 /// The answer to [`SessionRequest::Stats`]: counters plus a snapshot of
 /// the session's current shape.
+///
+/// Fields split into two classes.  **Content-derived** fields are fully
+/// determined by the durable record stream, so a follower that has
+/// applied the same records as the leader reports them byte-for-byte
+/// identical: `states`, `views`, `undoable`, `session_id`, `wal_gen`,
+/// `wal_seq`, `log_bytes` — see [`StatsSnapshot::content`].  **Runtime**
+/// fields describe *this node's* service history and legitimately
+/// diverge between replicas: `counters` (a follower tallies its own
+/// local reads, and replicated writes arrive pre-validated so its
+/// rejection counters stay at zero), `cached_masks` (cache population
+/// depends on which views were read here), and `active_subs`
+/// (subscriptions are connection-scoped).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Cumulative counters over the requests completed before this one.
+    /// Runtime: describes this node's own service history.
     pub counters: SessionStats,
     /// States in the current space.
     pub states: usize,
@@ -161,7 +174,8 @@ pub struct StatsSnapshot {
     pub views: usize,
     /// Updates currently undoable.
     pub undoable: usize,
-    /// Masks with cached endomorphism maps.
+    /// Masks with cached endomorphism maps.  Runtime: population depends
+    /// on which views this node was asked to read.
     pub cached_masks: usize,
     /// Content-derived durable identity: the CRC-32 of the session's
     /// initial snapshot record, fixed at [`Session::open_durable`] time
@@ -169,6 +183,12 @@ pub struct StatsSnapshot {
     /// operator can correlate these counters with on-disk recovery
     /// reports.  0 on non-durable sessions.
     pub session_id: u64,
+    /// Generation of the current write-ahead log (CRC-derived from its
+    /// record-0 frame; changes on every checkpoint).  Together with
+    /// `wal_seq` this addresses the session's durable position — the
+    /// token a client hands to a follower for a read-your-writes
+    /// [`serve`]-level `ReadAt`.  0 on non-durable sessions.
+    pub wal_gen: u64,
     /// Sequence number of the last write-ahead-log record — also the
     /// record count recovery would replay after the snapshot.  0 on
     /// non-durable sessions (and right after a checkpoint).
@@ -179,6 +199,26 @@ pub struct StatsSnapshot {
     /// Live delta subscriptions on this session.  Connection-scoped and
     /// non-durable: always 0 right after recovery.
     pub active_subs: usize,
+}
+
+impl StatsSnapshot {
+    /// The content-derived projection: every field here is fully
+    /// determined by the durable record stream, so replicas at the same
+    /// applied position agree on it byte-for-byte.  Returns
+    /// `(states, views, undoable, session_id, wal_gen, wal_seq,
+    /// log_bytes)`.
+    #[must_use]
+    pub fn content(&self) -> (usize, usize, usize, u64, u64, u64, u64) {
+        (
+            self.states,
+            self.views,
+            self.undoable,
+            self.session_id,
+            self.wal_gen,
+            self.wal_seq,
+            self.log_bytes,
+        )
+    }
 }
 
 /// A typed request against one session.
@@ -1643,6 +1683,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
             undoable: self.catalog.undoable(),
             cached_masks: self.cache.len(),
             session_id: self.session_id,
+            wal_gen: self.wal.as_ref().map_or(0, wal::WalWriter::gen),
             wal_seq: self.wal.as_ref().map_or(0, wal::WalWriter::last_seq),
             log_bytes: self.wal.as_ref().map_or(0, wal::WalWriter::durable_len),
             active_subs: self.subs.len(),
@@ -1854,6 +1895,16 @@ impl<F: ComponentFamily + Sync> Session<F> {
             .map_err(|e| ApplyError::Durability {
                 detail: e.to_string(),
             })?;
+        let gen = writer.gen();
+        if self.repl_tap {
+            // A follower that is itself an upstream re-ships the exact
+            // bytes it just mirrored, so a chained downstream tails this
+            // node instead of the root leader.
+            self.shipments.push(WalShipment::Record {
+                gen,
+                bytes: rec.to_vec(),
+            });
+        }
         let outcome = self.handle(req);
         self.stats.requests += 1;
         self.obs.requests.inc();
@@ -1948,6 +1999,14 @@ impl<F: ComponentFamily + Sync> Session<F> {
             .map_err(|e| ApplyError::Durability {
                 detail: e.to_string(),
             })?;
+        if self.repl_tap {
+            // Chained downstreams jump generations exactly as this node
+            // just did: forward the reset verbatim.
+            self.shipments.push(WalShipment::Reset {
+                gen: self.wal.as_ref().expect("checked above").gen(),
+                record0: record0.to_vec(),
+            });
+        }
         // Re-seat live subscriptions on the rebuilt state; emit the jump
         // as an ordinary row delta where an image changed.
         for (id, old_image) in sub_images {

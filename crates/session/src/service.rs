@@ -54,6 +54,20 @@ pub enum DispatchError {
     UnknownSession(String),
     /// The session rejected the request.
     Session(SessionError),
+    /// A read-your-writes `ReadAt` could not be satisfied within its
+    /// deadline: this replica has not caught up to the requested
+    /// position.  `gen`/`seq` report where the replica actually was when
+    /// it gave up (its WAL generation and applied sequence number).
+    Lagging {
+        /// The generation the client's token demanded.
+        want_gen: u64,
+        /// The sequence number the client's token demanded.
+        want_seq: u64,
+        /// This replica's WAL generation at refusal time.
+        gen: u64,
+        /// This replica's applied sequence number at refusal time.
+        seq: u64,
+    },
 }
 
 impl std::fmt::Display for DispatchError {
@@ -61,6 +75,15 @@ impl std::fmt::Display for DispatchError {
         match self {
             DispatchError::UnknownSession(n) => write!(f, "unknown session {n:?}"),
             DispatchError::Session(e) => write!(f, "{e}"),
+            DispatchError::Lagging {
+                want_gen,
+                want_seq,
+                gen,
+                seq,
+            } => write!(
+                f,
+                "replica lagging: want gen {want_gen} seq {want_seq}, at gen {gen} seq {seq}"
+            ),
         }
     }
 }

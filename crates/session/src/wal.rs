@@ -474,6 +474,7 @@ const RESP_UNSUBSCRIBED: u8 = 8;
 /// Dispatch-error tags (the `Err` arm of a KIND_RESPONSE payload).
 const ERR_UNKNOWN_SESSION: u8 = 1;
 const ERR_SESSION: u8 = 2;
+const ERR_LAGGING: u8 = 3;
 
 /// Session-error tags.
 const SERR_CATALOG: u8 = 1;
@@ -579,6 +580,7 @@ fn encode_response(out: &mut Vec<u8>, resp: &SessionResponse) {
             binio::put_u64(out, snap.undoable as u64);
             binio::put_u64(out, snap.cached_masks as u64);
             binio::put_u64(out, snap.session_id);
+            binio::put_u64(out, snap.wal_gen);
             binio::put_u64(out, snap.wal_seq);
             binio::put_u64(out, snap.log_bytes);
             binio::put_u64(out, snap.active_subs as u64);
@@ -622,6 +624,7 @@ fn decode_response(d: &mut Dec<'_>) -> Result<SessionResponse, DecodeError> {
             undoable: d.u64()? as usize,
             cached_masks: d.u64()? as usize,
             session_id: d.u64()?,
+            wal_gen: d.u64()?,
             wal_seq: d.u64()?,
             log_bytes: d.u64()?,
             active_subs: d.u64()? as usize,
@@ -646,6 +649,18 @@ fn encode_dispatch_error(out: &mut Vec<u8>, e: &DispatchError) {
             binio::put_u8(out, ERR_SESSION);
             encode_session_error(out, e);
         }
+        DispatchError::Lagging {
+            want_gen,
+            want_seq,
+            gen,
+            seq,
+        } => {
+            binio::put_u8(out, ERR_LAGGING);
+            binio::put_u64(out, *want_gen);
+            binio::put_u64(out, *want_seq);
+            binio::put_u64(out, *gen);
+            binio::put_u64(out, *seq);
+        }
     }
 }
 
@@ -654,6 +669,12 @@ fn decode_dispatch_error(d: &mut Dec<'_>) -> Result<DispatchError, DecodeError> 
     Ok(match d.u8()? {
         ERR_UNKNOWN_SESSION => DispatchError::UnknownSession(d.str()?),
         ERR_SESSION => DispatchError::Session(decode_session_error(d)?),
+        ERR_LAGGING => DispatchError::Lagging {
+            want_gen: d.u64()?,
+            want_seq: d.u64()?,
+            gen: d.u64()?,
+            seq: d.u64()?,
+        },
         tag => return Err(DecodeError::BadTag { at, tag }),
     })
 }

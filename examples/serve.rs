@@ -33,6 +33,11 @@
 //! terminal 1:  cargo run --example serve -- --hold 60
 //! terminal 2:  cargo run --example serve -- --follow 127.0.0.1:<port>
 //! ```
+//!
+//! `--follow` composes with `--hold`: a held follower is itself an
+//! upstream, so a third process can chain off it (DESIGN.md §15) —
+//! `--follow 127.0.0.1:<follower-port>` — and its write refusals name
+//! the *root* leader, not the follower it tails.
 
 use compview::core::SubschemaComponents;
 use compview::logic::Schema;
@@ -122,7 +127,7 @@ fn main() {
         .unwrap();
 
     if let Some(leader) = follow {
-        follow_demo(&leader, service);
+        follow_demo(&leader, service, hold);
         std::fs::remove_dir_all(&dir).ok();
         return;
     }
@@ -219,15 +224,17 @@ fn main() {
 }
 
 /// The `--follow` walkthrough: sync the fresh durable service against
-/// the leader, serve reads from a local port, and show the follower
+/// the upstream, serve reads from a local port, and show the follower
 /// contract — reads answered locally, writes refused with a typed
-/// `NotLeader` pointing back at the leader.
-fn follow_demo(leader: &str, service: Service<SubschemaComponents>) {
+/// `NotLeader` naming the *root* leader (which differs from the
+/// upstream when this follower is chained off another follower).
+fn follow_demo(leader: &str, service: Service<SubschemaComponents>, hold: u64) {
     let replica = Replica::start("127.0.0.1:0", leader, service, ReplicaOptions::default())
         .unwrap_or_else(|e| panic!("cannot follow {leader}: {e}"));
     println!(
-        "following {} — serving reads on {}",
+        "following {} (root leader {}) — serving reads on {}",
         replica.leader_addr(),
+        replica.root_addr(),
         replica.local_addr()
     );
 
@@ -277,6 +284,12 @@ fn follow_demo(leader: &str, service: Service<SubschemaComponents>) {
     }
 
     drop(client);
+    if hold > 0 {
+        let addr = replica.local_addr();
+        println!("holding the follower open on {addr} for {hold}s — chain off it with:");
+        println!("    cargo run --example serve -- --follow {addr}");
+        std::thread::sleep(std::time::Duration::from_secs(hold));
+    }
     let _ = replica.shutdown();
     println!("follower drained");
 }

@@ -4,14 +4,15 @@
 # append throughput + group commit + recovery latency, wire protocol,
 # sharded-dispatcher shard-count sweep, instrumentation overhead
 # enabled vs no-op, delta-subscription fan-out + push-vs-poll bytes,
-# replication visibility latency + catch-up throughput) and
+# replication visibility latency + catch-up throughput, topology
+# fan-out visibility + chained leader egress) and
 # collect the vendored harness's machine-readable result lines
-# ("compview-bench: {...}") into BENCH_PR8.json.
+# ("compview-bench: {...}") into BENCH_PR9.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
-TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs subs repl)
+OUT="${1:-BENCH_PR9.json}"
+TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs subs repl fanout)
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

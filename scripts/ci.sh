@@ -51,13 +51,17 @@ cargo test -q -p compview-serve --test sharded
 echo "==> cargo test -p compview-serve --test subs (delta subscriptions)"
 cargo test -q -p compview-serve --test subs
 
-# The replication subsystem's contract: a follower ends byte-identical
-# to the leader (state, WAL file, Read responses) at the same applied
-# sequence, across cut/bit-flipped streams and a leader restart, at
-# 1/2/8 worker threads x 1/2 dispatcher shards — and promotion after a
-# leader kill accepts writes having lost nothing acked.  The headline
-# fault scenario derives its cut/flip plan from COMPVIEW_FAULT_SEED,
-# same rotation discipline as the recovery suite.
+# The replication subsystem's contract: every follower ends
+# byte-identical to the leader (state, WAL file, Read responses) at the
+# same applied sequence — including a 1->4 fan-out and a 3-deep chain
+# with a mid-chain node kill — across cut/bit-flipped streams and a
+# leader restart, at 1/2/8 worker threads x 1/2 dispatcher shards.
+# Promotion after a leader kill accepts writes having lost nothing
+# acked, with a downstream replication stream and a live subscriber
+# attached; sessions created mid-tail are discovered and mirrored down
+# the chain; ReadAt answers at the token or refuses with typed Lagging.
+# The fault scenarios derive their cut/flip plans from
+# COMPVIEW_FAULT_SEED, same rotation discipline as the recovery suite.
 echo "==> cargo test -p compview-serve --test replica (WAL shipping, COMPVIEW_FAULT_SEED=${COMPVIEW_FAULT_SEED:-20260806})"
 COMPVIEW_FAULT_SEED="${COMPVIEW_FAULT_SEED:-20260806}" \
     cargo test -q -p compview-serve --test replica
@@ -77,15 +81,18 @@ echo "==> cargo run --example serve -- --subscribe orders/sup (delta stream smok
 subscribe_out="$(cargo run -q --example serve -- --subscribe orders/sup)"
 grep -q "event seq 3" <<< "$subscribe_out"
 
-# The replication walkthrough doubles as a cross-process smoke test: a
-# held leader in one process, a follower in another, over real loopback
-# TCP — the follower must serve the leader's data and refuse a write
-# with the typed NotLeader answer.  (The in-process failover path —
-# write leader, read follower, kill leader, promote, write promoted —
-# is the `promotion_after_leader_kill` case in the replica suite above.)
-echo "==> cargo run --example serve -- --follow (leader+follower loopback smoke)"
+# The replication walkthrough doubles as a cross-process topology smoke
+# test: a held leader, two direct followers (one held open as an
+# upstream), and a third follower chained off the held one — all over
+# real loopback TCP.  Every follower must serve the leader's data and
+# refuse a write with the typed NotLeader answer; the *chained*
+# follower's refusal must name the root leader, not its upstream
+# (DESIGN.md §15).  (The in-process failover path — write leader, read
+# follower, kill leader, promote, write promoted — is the
+# `promotion_after_leader_kill` case in the replica suite above.)
+echo "==> cargo run --example serve -- --follow (leader + 2 followers + chained follower smoke)"
 leader_out="$(mktemp)"
-cargo run -q --example serve -- --hold 30 > "$leader_out" &
+cargo run -q --example serve -- --hold 60 > "$leader_out" &
 leader_pid=$!
 leader_addr=""
 for _ in $(seq 1 100); do
@@ -94,11 +101,32 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [ -n "$leader_addr" ] || { echo "leader never came up"; kill "$leader_pid"; exit 1; }
+
+# Follower 1: plain follow, runs to completion.
 follow_out="$(cargo run -q --example serve -- --follow "$leader_addr")"
-kill "$leader_pid" 2>/dev/null || true
-wait "$leader_pid" 2>/dev/null || true
-rm -f "$leader_out"
 grep -q "replicated view 'sup' holds 2 tuples" <<< "$follow_out"
-grep -q "write refused: not the leader" <<< "$follow_out"
+grep -q "write refused: not the leader — retry against $leader_addr" <<< "$follow_out"
+
+# Follower 2: held open so a third process can chain off it.
+f2_out="$(mktemp)"
+cargo run -q --example serve -- --follow "$leader_addr" --hold 60 > "$f2_out" &
+f2_pid=$!
+f2_addr=""
+for _ in $(seq 1 100); do
+    f2_addr="$(sed -n 's/.*serving reads on \([0-9.:]*\)$/\1/p' "$f2_out")"
+    [ -n "$f2_addr" ] && break
+    sleep 0.1
+done
+[ -n "$f2_addr" ] || { echo "follower 2 never came up"; kill "$leader_pid" "$f2_pid"; exit 1; }
+
+# Chained follower: tails follower 2, but its refusal and root hint
+# must name the ROOT leader.
+chain_out="$(cargo run -q --example serve -- --follow "$f2_addr")"
+kill "$f2_pid" "$leader_pid" 2>/dev/null || true
+wait "$f2_pid" "$leader_pid" 2>/dev/null || true
+rm -f "$leader_out" "$f2_out"
+grep -q "replicated view 'sup' holds 2 tuples" <<< "$chain_out"
+grep -q "following $f2_addr (root leader $leader_addr)" <<< "$chain_out"
+grep -q "write refused: not the leader — retry against $leader_addr" <<< "$chain_out"
 
 echo "CI OK"
