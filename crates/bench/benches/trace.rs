@@ -1,0 +1,179 @@
+//! E19: distributed-tracing overhead — what trace-context tagging costs
+//! on the E12 group-commit batch, per sampling rate.
+//!
+//! Every leg dispatches the same 16-request update/undo batch as
+//! `wal/group_commit_16` on an `Always` durable session, so the numbers
+//! divide by 16 for per-request cost and compare directly against E12.
+//! `untraced` is the plain `dispatch` baseline.  `tag_off` tags every
+//! request with a trace context while sampling is off (rate 0): the head
+//! sampler drops everything, so this prices the tagging plumbing alone
+//! and must sit at noise level.  `tag_1in64` samples one trace in 64 —
+//! the recommended production rate.  `tag_on` samples every request
+//! (rate 1) and drains the span buffer each iteration, the worst case a
+//! collector would ever see; the acceptance bar is ≤ 5% over the
+//! baseline.  `snapshot_codec_1k` prices the `TraceSnapshot` wire codec
+//! (encode + decode of a 1024-span drain) that a `Trace` request pays.
+
+use compview_bench::header;
+use compview_core::SubschemaComponents;
+use compview_logic::Schema;
+use compview_obs::{DistTracer, TraceCtx, TraceSnapshot};
+use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
+use compview_session::{Service, Session, SessionConfig, SessionRequest, SyncPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn sig() -> Signature {
+    Signature::new([RelDecl::new("R", ["A"]), RelDecl::new("S", ["B"])])
+}
+
+fn pools() -> BTreeMap<String, Vec<Tuple>> {
+    [
+        (
+            "R".to_owned(),
+            (0..5).map(|i| Tuple::new([v(&format!("a{i}"))])).collect(),
+        ),
+        (
+            "S".to_owned(),
+            (0..3).map(|i| Tuple::new([v(&format!("b{i}"))])).collect(),
+        ),
+    ]
+    .into()
+}
+
+/// A one-session durable service logging to `path` under
+/// `SyncPolicy::Always` — the E12 `group_commit_16` setup, verbatim.
+fn durable_service(path: &std::path::Path) -> Service<SubschemaComponents> {
+    std::fs::remove_file(path).ok();
+    let store = compview_session::FsStore::open(path).unwrap();
+    let mut session = Session::open_durable(
+        SubschemaComponents::singletons(sig()),
+        Schema::unconstrained(sig()),
+        &pools(),
+        Instance::null_model(&sig()).with("R", rel(1, [["a0"]])),
+        SessionConfig::default(),
+        Box::new(store),
+        SyncPolicy::Always,
+    )
+    .unwrap();
+    session
+        .serve(SessionRequest::RegisterView {
+            name: "r".into(),
+            mask: 0b01,
+        })
+        .unwrap();
+    let mut svc = Service::new();
+    svc.add_session("w", session).unwrap();
+    svc
+}
+
+/// The E12 16-request group-commit batch: 8 × (update, undo).
+fn batch() -> Vec<(String, SessionRequest)> {
+    let target = Instance::null_model(&sig()).with("R", rel(1, [["a1"], ["a2"]]));
+    (0..8)
+        .flat_map(|_| {
+            [
+                (
+                    "w".to_owned(),
+                    SessionRequest::Update {
+                        view: "r".into(),
+                        new_state: target.clone(),
+                    },
+                ),
+                ("w".to_owned(), SessionRequest::Undo),
+            ]
+        })
+        .collect()
+}
+
+fn bench_trace(c: &mut Criterion) {
+    header(
+        "E19",
+        "trace: context-tagging overhead on the E12 group-commit batch",
+    );
+    let mut group = c.benchmark_group("trace");
+    let tmp = std::env::temp_dir().join(format!("compview-bench-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let batch = batch();
+
+    // Baseline: the untraced dispatch path, same bytes as E12.
+    {
+        let mut service = durable_service(&tmp.join("untraced.wal"));
+        group.bench_function("group_commit_16_untraced", |b| {
+            b.iter(|| {
+                let results = service.dispatch(batch.clone());
+                assert!(results.iter().all(Result::is_ok));
+                black_box(results)
+            })
+        });
+    }
+
+    // Tagged legs: every request carries a trace context; the sampling
+    // rate decides how many actually record spans.
+    for (leg, rate) in [
+        ("group_commit_16_tag_off", 0u64),
+        ("group_commit_16_tag_1in64", 64),
+        ("group_commit_16_tag_on", 1),
+    ] {
+        let mut service = durable_service(&tmp.join(format!("{leg}.wal")));
+        let tracer = service.registry().dtracer();
+        tracer.configure("bench", rate);
+        group.bench_function(leg, |b| {
+            b.iter(|| {
+                let tagged: Vec<(String, SessionRequest, Option<TraceCtx>)> = batch
+                    .iter()
+                    .map(|(name, req)| {
+                        let ctx = TraceCtx {
+                            trace_id: tracer.new_trace_id(),
+                            parent_span: 7,
+                        };
+                        (name.clone(), req.clone(), Some(ctx))
+                    })
+                    .collect();
+                let results = service.dispatch_traced(tagged);
+                assert!(results.iter().all(Result::is_ok));
+                // A live collector drains as it goes; fold that cost in
+                // so the sampled legs price the whole pipeline.
+                if rate != 0 {
+                    black_box(service.registry().dtracer().drain());
+                }
+                black_box(results)
+            })
+        });
+    }
+
+    // The wire codec a `Trace` request pays: encode + decode a
+    // 1024-span drain.
+    {
+        let tracer = DistTracer::new();
+        tracer.configure("127.0.0.1:9999", 1);
+        for i in 0..1024u64 {
+            let ctx = TraceCtx {
+                trace_id: tracer.sampled_trace_id(),
+                parent_span: i,
+            };
+            tracer.record(ctx, "wal.append", i * 100, 42);
+        }
+        let snap = tracer.drain();
+        assert_eq!(snap.spans.len(), 1024);
+        group.bench_function("snapshot_codec_1k", |b| {
+            b.iter(|| {
+                let bytes = snap.encode();
+                black_box(TraceSnapshot::decode(&bytes).unwrap())
+            })
+        });
+    }
+
+    group.finish();
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_trace
+}
+criterion_main!(benches);

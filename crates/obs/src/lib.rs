@@ -33,11 +33,15 @@
 //! byte-identical at every thread count.  Only the recorded values (which
 //! are timings and scheduling-dependent tallies) vary.
 
+mod dtrace;
 mod hist;
 mod reservoir;
 mod snapshot;
 mod trace;
 
+pub use dtrace::{
+    DecodeTraceError, DistSpan, DistTracer, SpanRecord, TraceCtx, TraceSnapshot, DTRACE_CAP,
+};
 pub use hist::{bucket_floor, bucket_index, Histogram, HistogramSnapshot};
 pub use reservoir::{Reservoir, ReservoirSnapshot, RESERVOIR_CAP};
 pub use snapshot::{DecodeMetricsError, MetricsSnapshot};
@@ -149,6 +153,7 @@ struct Inner {
     histograms: Mutex<BTreeMap<String, Arc<hist::HistCore>>>,
     reservoirs: Mutex<BTreeMap<String, Arc<reservoir::ReservoirCore>>>,
     tracer: Tracer,
+    dtracer: DistTracer,
 }
 
 /// The instrument directory: hands out [`Counter`]/[`Gauge`]/
@@ -181,6 +186,7 @@ impl Registry {
                 histograms: Mutex::new(BTreeMap::new()),
                 reservoirs: Mutex::new(BTreeMap::new()),
                 tracer: Tracer::new(),
+                dtracer: DistTracer::new(),
             })),
         }
     }
@@ -248,6 +254,16 @@ impl Registry {
         match &self.inner {
             None => Tracer::noop(),
             Some(inner) => inner.tracer.clone(),
+        }
+    }
+
+    /// The registry's distributed tracer (a no-op tracer on a disabled
+    /// registry).  Off until [`DistTracer::configure`] sets a non-zero
+    /// sampling rate; see the [`dtrace`](DistTracer) docs.
+    pub fn dtracer(&self) -> DistTracer {
+        match &self.inner {
+            None => DistTracer::noop(),
+            Some(inner) => inner.dtracer.clone(),
         }
     }
 

@@ -17,11 +17,13 @@
 
 use crate::proto::{
     decode_event_payload, decode_metrics_response_payload, decode_result_payload,
-    decode_sessions_reply_payload, encode_metrics_request_payload, encode_read_at_payload,
-    encode_request_payload, encode_sessions_payload, expect_handshake, is_event_payload,
-    read_frame, send_handshake, write_frame, ProtoError, SessionsReply,
+    decode_sessions_reply_payload, decode_topology_reply_payload, decode_trace_response_payload,
+    encode_metrics_request_payload, encode_read_at_payload, encode_request_payload,
+    encode_sessions_payload, encode_topology_request_payload, encode_trace_request_payload,
+    encode_traced_request_payload, expect_handshake, is_event_payload, read_frame, send_handshake,
+    write_frame, ProtoError, SessionsReply, TopologyReply,
 };
-use compview_obs::MetricsSnapshot;
+use compview_obs::{MetricsSnapshot, TraceCtx, TraceSnapshot};
 use compview_session::{DeltaEvent, DispatchError, SessionRequest, SessionResponse};
 use std::collections::VecDeque;
 use std::io::{self, ErrorKind};
@@ -111,6 +113,43 @@ impl Client {
             ProtoError::Io(io) => self.mark_lost(format!("send failed: {io}")),
             other => other,
         })
+    }
+
+    /// Send one request tagged with a trace context (pipelining, like
+    /// [`Client::send`]).  The server parents its own spans under
+    /// `ctx.parent_span` when the trace is sampled; an unsampled or
+    /// untagged request dispatches byte-identically either way, so old
+    /// and new clients interoperate freely.  The client records no span
+    /// itself — callers that want a `client.send` root span own a
+    /// [`compview_obs::DistTracer`] and pass the span's context here.
+    pub fn send_traced(
+        &mut self,
+        session: &str,
+        req: &SessionRequest,
+        ctx: TraceCtx,
+    ) -> Result<(), ProtoError> {
+        if let Some(e) = self.lost_err() {
+            return Err(e);
+        }
+        write_frame(
+            &mut self.stream,
+            &encode_traced_request_payload(session, req, ctx),
+        )
+        .map_err(|e| match e {
+            ProtoError::Io(io) => self.mark_lost(format!("send failed: {io}")),
+            other => other,
+        })
+    }
+
+    /// Send one traced request and wait for its response.
+    pub fn request_traced(
+        &mut self,
+        session: &str,
+        req: &SessionRequest,
+        ctx: TraceCtx,
+    ) -> Result<WireResult, ProtoError> {
+        self.send_traced(session, req, ctx)?;
+        self.recv()
     }
 
     /// Read one frame off the wire and classify it.
@@ -284,6 +323,99 @@ impl Client {
     pub fn sessions(&mut self) -> Result<SessionsReply, ProtoError> {
         self.send_sessions()?;
         self.recv_sessions()
+    }
+
+    /// Send a `Trace` drain request without waiting (pipelining);
+    /// collect the answer with [`Client::recv_trace`].  Draining is
+    /// destructive: the server hands over its buffered spans and starts
+    /// afresh, so one collector per node sees every sampled span exactly
+    /// once.
+    pub fn send_trace(&mut self) -> Result<(), ProtoError> {
+        if let Some(e) = self.lost_err() {
+            return Err(e);
+        }
+        write_frame(&mut self.stream, &encode_trace_request_payload()).map_err(|e| match e {
+            ProtoError::Io(io) => self.mark_lost(format!("send failed: {io}")),
+            other => other,
+        })
+    }
+
+    /// Receive the response to a [`Client::send_trace`], parking delta
+    /// events read past.
+    ///
+    /// # Errors
+    /// As [`Client::recv`], plus [`ProtoError::Trace`] when the next
+    /// owed response is not a trace snapshot (calls must pair up).
+    pub fn recv_trace(&mut self) -> Result<TraceSnapshot, ProtoError> {
+        let payload = self.next_solicited("a trace snapshot")?;
+        Ok(decode_trace_response_payload(&payload)?)
+    }
+
+    /// Drain the server's span buffer: every span it recorded since the
+    /// last drain, across all dispatcher shards, merged in causal-friendly
+    /// `(trace_id, start, span)` order.
+    pub fn trace(&mut self) -> Result<TraceSnapshot, ProtoError> {
+        self.send_trace()?;
+        self.recv_trace()
+    }
+
+    /// Send a `Topology` request without waiting (pipelining); collect
+    /// the answer with [`Client::recv_topology`].
+    pub fn send_topology(&mut self) -> Result<(), ProtoError> {
+        if let Some(e) = self.lost_err() {
+            return Err(e);
+        }
+        write_frame(&mut self.stream, &encode_topology_request_payload()).map_err(|e| match e {
+            ProtoError::Io(io) => self.mark_lost(format!("send failed: {io}")),
+            other => other,
+        })
+    }
+
+    /// Receive the response to a [`Client::send_topology`], parking
+    /// delta events read past.
+    ///
+    /// # Errors
+    /// As [`Client::recv`], plus [`ProtoError::Decode`] when the next
+    /// owed response is not a topology reply (calls must pair up).
+    pub fn recv_topology(&mut self) -> Result<TopologyReply, ProtoError> {
+        let payload = self.next_solicited("a topology reply")?;
+        Ok(decode_topology_reply_payload(&payload)?)
+    }
+
+    /// Fetch this node's replication-topology self-report: role,
+    /// upstream, per-session apply positions and lag ages, downstream
+    /// stream and subscriber counts, heartbeat freshness.
+    pub fn topology(&mut self) -> Result<TopologyReply, ProtoError> {
+        self.send_topology()?;
+        self.recv_topology()
+    }
+
+    /// Walk the replication chain from `addr` toward the root: connect
+    /// to each node in turn, fetch its [`TopologyReply`], and follow the
+    /// `upstream` pointer until a node reports none (the root) or a hop
+    /// is unreachable (the walk stops with what it has).  Returns
+    /// `(addr, reply)` pairs ordered from the starting node up; a cycle
+    /// (possible transiently while a promotion propagates) terminates
+    /// the walk rather than looping.
+    pub fn topology_chain(addr: &str) -> Result<Vec<(String, TopologyReply)>, ProtoError> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut next = Some(addr.to_owned());
+        while let Some(hop) = next.take() {
+            if !seen.insert(hop.clone()) {
+                break;
+            }
+            let reply = match Client::connect(&hop).and_then(|mut c| c.topology()) {
+                Ok(r) => r,
+                // The first hop must answer; later hops are best-effort
+                // (an upstream may be mid-restart).
+                Err(e) if out.is_empty() => return Err(e),
+                Err(_) => break,
+            };
+            next = reply.upstream.clone();
+            out.push((hop, reply));
+        }
+        Ok(out)
     }
 
     /// Send a read-your-writes `ReadAt` without waiting (pipelining):

@@ -32,6 +32,6 @@ pub mod replica;
 pub mod server;
 
 pub use client::{Client, ServerMessage, WireResult};
-pub use proto::{ProtoError, HANDSHAKE, MAX_FRAME};
+pub use proto::{ProtoError, TopoRole, TopoSession, TopologyReply, HANDSHAKE, MAX_FRAME};
 pub use replica::{Mirror, MirrorSpec, Replica, ReplicaError, ReplicaOptions};
 pub use server::{ServeOptions, Server};

@@ -17,7 +17,9 @@
 //! interpreted, mirroring how WAL recovery treats on-disk records:
 //! corruption is detected and refused, never obeyed, and never a panic.
 
-use compview_obs::{DecodeMetricsError, MetricsSnapshot};
+use compview_obs::{
+    DecodeMetricsError, DecodeTraceError, MetricsSnapshot, TraceCtx, TraceSnapshot,
+};
 use compview_relation::binio::{self, Dec, DecodeError};
 use compview_session::wal::{self, crc32};
 use compview_session::{DispatchError, SessionRequest, SessionResponse};
@@ -113,6 +115,37 @@ pub const KIND_READAT: u8 = 8;
 /// discover sessions created upstream after they started.
 pub const KIND_SESSIONS: u8 = 9;
 
+/// Marker byte of a **traced** dispatch request: an ordinary request
+/// payload wrapped with a distributed-trace context.  The payload is
+/// `[0xFF × 4] ++ [KIND_TRACED] ++ u64 trace_id ++ u64 parent_span ++
+/// <ordinary request payload>` (same sentinel discrimination as
+/// `Replicate`).  Untagged request frames are **unchanged** — an old
+/// client's bytes decode and dispatch byte-identically, and a client
+/// that never traces never pays the 21-byte wrapper.
+pub const KIND_TRACED: u8 = 10;
+
+/// Marker byte of a **trace-drain** request and of its reply: the
+/// request payload is `[0xFF × 4] ++ [KIND_TRACE]`; the solicited reply
+/// is `[KIND_TRACE] ++ TraceSnapshot::encode()` — the node's buffered
+/// distributed spans, drained (the buffer empties, like a log tail).
+pub const KIND_TRACE: u8 = 11;
+
+/// Marker byte of a **topology introspection** request and of its
+/// reply: the request payload is `[0xFF × 4] ++ [KIND_TOPOLOGY]`; the
+/// solicited reply is a [`TopologyReply`] — this node's role, upstream
+/// and root addresses, heartbeat freshness, per-session replication
+/// positions, and live downstream stream / subscriber counts.
+pub const KIND_TOPOLOGY: u8 = 12;
+
+/// [`KIND_WAL`] subtype: a [`W_RECORD`] whose producing write carried a
+/// sampled trace context.  Layout puts the two context words *before*
+/// the raw record bytes (which run to the end of the payload):
+/// `[KIND_WAL][W_RECORD_TRACED] ++ str session ++ u64 gen ++
+/// u64 trace_id ++ u64 parent_span ++ record bytes`.  The record bytes
+/// themselves are identical to the untraced form — trace context is
+/// wire-frame metadata, never WAL-file content.
+pub const W_RECORD_TRACED: u8 = 4;
+
 /// The four bytes that open a `Replicate` request payload where an
 /// ordinary request carries its session-name length.
 pub const REPLICATE_SENTINEL: [u8; 4] = [0xFF; 4];
@@ -145,6 +178,9 @@ pub enum ProtoError {
     /// A metrics response frame failed its own (CRC-gated, strictly
     /// validated) codec.
     Metrics(DecodeMetricsError),
+    /// A trace response frame failed its own (CRC-gated, strictly
+    /// validated) codec.
+    Trace(DecodeTraceError),
     /// The connection died earlier and cannot carry anything further.
     /// Unlike [`ProtoError::Io`], this is *sticky*: every send or receive
     /// after the loss reports it again, deterministically, with the
@@ -171,6 +207,7 @@ impl std::fmt::Display for ProtoError {
             ),
             ProtoError::Decode(e) => write!(f, "undecodable payload: {e}"),
             ProtoError::Metrics(e) => write!(f, "undecodable metrics snapshot: {e}"),
+            ProtoError::Trace(e) => write!(f, "undecodable trace snapshot: {e}"),
             ProtoError::ConnectionLost { detail } => {
                 write!(f, "connection lost: {detail}")
             }
@@ -195,6 +232,12 @@ impl From<DecodeError> for ProtoError {
 impl From<DecodeMetricsError> for ProtoError {
     fn from(e: DecodeMetricsError) -> ProtoError {
         ProtoError::Metrics(e)
+    }
+}
+
+impl From<DecodeTraceError> for ProtoError {
+    fn from(e: DecodeTraceError) -> ProtoError {
+        ProtoError::Trace(e)
     }
 }
 
@@ -337,6 +380,23 @@ pub enum WireRequest {
     /// List this node's durable sessions and its root leader — see
     /// [`KIND_SESSIONS`].
     Sessions,
+    /// An ordinary session request carrying a distributed-trace context
+    /// (see [`KIND_TRACED`]): dispatched exactly like
+    /// [`WireRequest::Dispatch`], with spans recorded when the context
+    /// is sampled.
+    DispatchTraced {
+        /// The target session.
+        session: String,
+        /// The request.
+        req: SessionRequest,
+        /// The trace context the client stamped on it.
+        ctx: TraceCtx,
+    },
+    /// Drain this node's distributed-span buffer — see [`KIND_TRACE`].
+    Trace,
+    /// Report this node's place in the replication tree — see
+    /// [`KIND_TOPOLOGY`].
+    Topology,
 }
 
 /// Encode a metrics request frame payload.
@@ -403,6 +463,38 @@ pub fn decode_wire_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
                 }
                 return Ok(WireRequest::Sessions);
             }
+            KIND_TRACED => {
+                let mut d = Dec::new(&payload[5..]);
+                let trace_id = d.u64()?;
+                let parent_span = d.u64()?;
+                let (session, req) = decode_request_payload(&payload[5 + d.pos()..])?;
+                return Ok(WireRequest::DispatchTraced {
+                    session,
+                    req,
+                    ctx: TraceCtx {
+                        trace_id,
+                        parent_span,
+                    },
+                });
+            }
+            KIND_TRACE => {
+                if payload.len() != 5 {
+                    return Err(DecodeError::BadLength {
+                        at: 5,
+                        len: (payload.len() - 5) as u64,
+                    });
+                }
+                return Ok(WireRequest::Trace);
+            }
+            KIND_TOPOLOGY => {
+                if payload.len() != 5 {
+                    return Err(DecodeError::BadLength {
+                        at: 5,
+                        len: (payload.len() - 5) as u64,
+                    });
+                }
+                return Ok(WireRequest::Topology);
+            }
             tag => return Err(DecodeError::BadTag { at: 4, tag }),
         }
     }
@@ -443,6 +535,222 @@ pub fn encode_sessions_payload() -> Vec<u8> {
     let mut out = REPLICATE_SENTINEL.to_vec();
     out.push(KIND_SESSIONS);
     out
+}
+
+/// Encode a traced request frame payload (see [`KIND_TRACED`]): the
+/// trace context, then the ordinary request payload byte-for-byte.
+pub fn encode_traced_request_payload(
+    session: &str,
+    req: &SessionRequest,
+    ctx: TraceCtx,
+) -> Vec<u8> {
+    let mut out = REPLICATE_SENTINEL.to_vec();
+    out.push(KIND_TRACED);
+    binio::put_u64(&mut out, ctx.trace_id);
+    binio::put_u64(&mut out, ctx.parent_span);
+    out.extend_from_slice(&encode_request_payload(session, req));
+    out
+}
+
+/// Encode a `Trace` (span-drain) request frame payload (see
+/// [`KIND_TRACE`]).
+pub fn encode_trace_request_payload() -> Vec<u8> {
+    let mut out = REPLICATE_SENTINEL.to_vec();
+    out.push(KIND_TRACE);
+    out
+}
+
+/// Encode a `Topology` request frame payload (see [`KIND_TOPOLOGY`]).
+pub fn encode_topology_request_payload() -> Vec<u8> {
+    let mut out = REPLICATE_SENTINEL.to_vec();
+    out.push(KIND_TOPOLOGY);
+    out
+}
+
+/// Encode a trace response frame payload around an already-encoded
+/// [`TraceSnapshot`].
+pub fn encode_trace_response_payload(snapshot: &TraceSnapshot) -> Vec<u8> {
+    let mut out = vec![KIND_TRACE];
+    out.extend_from_slice(&snapshot.encode());
+    out
+}
+
+/// Decode a trace response frame payload (inverse of
+/// [`encode_trace_response_payload`]).
+///
+/// # Errors
+/// [`DecodeTraceError`] when the marker byte is missing or the snapshot
+/// codec rejects the remainder.
+pub fn decode_trace_response_payload(payload: &[u8]) -> Result<TraceSnapshot, DecodeTraceError> {
+    match payload.split_first() {
+        Some((&KIND_TRACE, rest)) => TraceSnapshot::decode(rest),
+        Some((&other, _)) => Err(DecodeTraceError::BadVersion(other)),
+        None => Err(DecodeTraceError::TooShort),
+    }
+}
+
+/// Whether a sound frame is a trace reply.
+pub fn is_trace_reply_payload(payload: &[u8]) -> bool {
+    payload.first() == Some(&KIND_TRACE)
+}
+
+/// A node's role in the replication tree, as reported by `Topology`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoRole {
+    /// Accepts writes and has no upstream: the tree's root.
+    Root,
+    /// Read-only, tailing an upstream.
+    Follower,
+    /// Was a follower, promoted to accept writes (its old upstream is
+    /// gone; downstream nodes may still chain off it).
+    Promoted,
+}
+
+impl std::fmt::Display for TopoRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopoRole::Root => write!(f, "root"),
+            TopoRole::Follower => write!(f, "follower"),
+            TopoRole::Promoted => write!(f, "promoted"),
+        }
+    }
+}
+
+/// One session's replication position in a [`TopologyReply`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopoSession {
+    /// The session name.
+    pub name: String,
+    /// This node's WAL generation for the session.
+    pub gen: u64,
+    /// Last sequence number applied locally.
+    pub applied: u64,
+    /// The upstream's last known sequence number (what `applied` chases;
+    /// equals `applied` on the root, which *is* the target).
+    pub target: u64,
+    /// Milliseconds since the last shipment for this session was applied
+    /// ([`u64::MAX`] = never, e.g. on a root or before the first
+    /// shipment).  A link can be stalled with `lag_records() == 0` —
+    /// this is the time dimension that makes it visible.
+    pub lag_age_ms: u64,
+}
+
+impl TopoSession {
+    /// Records this node still has to apply to reach its upstream.
+    pub fn lag_records(&self) -> u64 {
+        self.target.saturating_sub(self.applied)
+    }
+}
+
+/// The solicited answer to a `Topology` request (see [`KIND_TOPOLOGY`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyReply {
+    /// This node's role in the tree.
+    pub role: TopoRole,
+    /// The upstream this node tails (`None` on a root / promoted node).
+    pub upstream: Option<String>,
+    /// The root leader's address as this node knows it (`None` when this
+    /// node is the root).
+    pub root: Option<String>,
+    /// Milliseconds since the last frame (shipment *or* heartbeat)
+    /// arrived from the upstream; `None` on a root / promoted node.  A
+    /// healthy link keeps this under the leader's heartbeat interval —
+    /// staleness here flags a silently dead link before reconnect
+    /// backoff fires.
+    pub heartbeat_age_ms: Option<u64>,
+    /// Live downstream replication streams served by this node.
+    pub repl_streams: u64,
+    /// Live subscription streams served by this node.
+    pub subscribers: u64,
+    /// Per-session replication positions, sorted by name.
+    pub sessions: Vec<TopoSession>,
+}
+
+/// Sentinel encoding `None` for the optional millisecond ages.
+const TOPO_NONE: u64 = u64::MAX;
+
+/// Encode a [`TopologyReply`] frame payload.
+pub fn encode_topology_reply_payload(reply: &TopologyReply) -> Vec<u8> {
+    let mut out = vec![KIND_TOPOLOGY];
+    binio::put_u8(
+        &mut out,
+        match reply.role {
+            TopoRole::Root => 0,
+            TopoRole::Follower => 1,
+            TopoRole::Promoted => 2,
+        },
+    );
+    binio::put_str(&mut out, reply.upstream.as_deref().unwrap_or(""));
+    binio::put_str(&mut out, reply.root.as_deref().unwrap_or(""));
+    binio::put_u64(&mut out, reply.heartbeat_age_ms.unwrap_or(TOPO_NONE));
+    binio::put_u64(&mut out, reply.repl_streams);
+    binio::put_u64(&mut out, reply.subscribers);
+    binio::put_u64(&mut out, reply.sessions.len() as u64);
+    for s in &reply.sessions {
+        binio::put_str(&mut out, &s.name);
+        binio::put_u64(&mut out, s.gen);
+        binio::put_u64(&mut out, s.applied);
+        binio::put_u64(&mut out, s.target);
+        binio::put_u64(&mut out, s.lag_age_ms);
+    }
+    out
+}
+
+/// Decode a [`TopologyReply`] frame payload (inverse of
+/// [`encode_topology_reply_payload`]).
+///
+/// # Errors
+/// [`DecodeError`] on a wrong marker, a bad role byte, truncation, or
+/// trailing bytes.
+pub fn decode_topology_reply_payload(payload: &[u8]) -> Result<TopologyReply, DecodeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8()?;
+    if kind != KIND_TOPOLOGY {
+        return Err(DecodeError::BadTag { at: 0, tag: kind });
+    }
+    let at = d.pos();
+    let role = match d.u8()? {
+        0 => TopoRole::Root,
+        1 => TopoRole::Follower,
+        2 => TopoRole::Promoted,
+        tag => return Err(DecodeError::BadTag { at, tag }),
+    };
+    let upstream = d.str()?;
+    let root = d.str()?;
+    let heartbeat_age_ms = d.u64()?;
+    let repl_streams = d.u64()?;
+    let subscribers = d.u64()?;
+    let count = d.u64()?;
+    let mut sessions = Vec::new();
+    for _ in 0..count {
+        sessions.push(TopoSession {
+            name: d.str()?,
+            gen: d.u64()?,
+            applied: d.u64()?,
+            target: d.u64()?,
+            lag_age_ms: d.u64()?,
+        });
+    }
+    if !d.is_done() {
+        return Err(DecodeError::BadLength {
+            at: d.pos(),
+            len: d.remaining() as u64,
+        });
+    }
+    Ok(TopologyReply {
+        role,
+        upstream: Some(upstream).filter(|s| !s.is_empty()),
+        root: Some(root).filter(|s| !s.is_empty()),
+        heartbeat_age_ms: Some(heartbeat_age_ms).filter(|&m| m != TOPO_NONE),
+        repl_streams,
+        subscribers,
+        sessions,
+    })
+}
+
+/// Whether a sound frame is a topology reply.
+pub fn is_topology_reply_payload(payload: &[u8]) -> bool {
+    payload.first() == Some(&KIND_TOPOLOGY)
 }
 
 /// The solicited answer to a `Sessions` request (see [`KIND_SESSIONS`]).
@@ -668,6 +976,11 @@ pub enum WalFrame {
         /// The full framed record bytes (still CRC-protected by the WAL
         /// framing itself, on top of the wire frame's CRC).
         bytes: Vec<u8>,
+        /// The distributed-trace context of the write that produced the
+        /// record, when it was sampled: `(trace_id, parent_span)`.
+        /// Encoded as [`W_RECORD_TRACED`]; `None` encodes as the
+        /// byte-identical-to-before [`W_RECORD`].
+        trace: Option<(u64, u64)>,
     },
     /// The leader checkpointed: a raw framed record-0 snapshot image.
     Reset {
@@ -696,12 +1009,23 @@ pub fn encode_wal_frame_payload(frame: &WalFrame) -> Vec<u8> {
             session,
             gen,
             bytes,
-        } => {
-            binio::put_u8(&mut out, W_RECORD);
-            binio::put_str(&mut out, session);
-            binio::put_u64(&mut out, *gen);
-            out.extend_from_slice(bytes);
-        }
+            trace,
+        } => match trace {
+            None => {
+                binio::put_u8(&mut out, W_RECORD);
+                binio::put_str(&mut out, session);
+                binio::put_u64(&mut out, *gen);
+                out.extend_from_slice(bytes);
+            }
+            Some((trace_id, parent_span)) => {
+                binio::put_u8(&mut out, W_RECORD_TRACED);
+                binio::put_str(&mut out, session);
+                binio::put_u64(&mut out, *gen);
+                binio::put_u64(&mut out, *trace_id);
+                binio::put_u64(&mut out, *parent_span);
+                out.extend_from_slice(bytes);
+            }
+        },
         WalFrame::Reset {
             session,
             gen,
@@ -744,6 +1068,19 @@ pub fn decode_wal_frame_payload(payload: &[u8]) -> Result<WalFrame, DecodeError>
                 session,
                 gen,
                 bytes: payload[d.pos()..].to_vec(),
+                trace: None,
+            })
+        }
+        W_RECORD_TRACED => {
+            let session = d.str()?;
+            let gen = d.u64()?;
+            let trace_id = d.u64()?;
+            let parent_span = d.u64()?;
+            Ok(WalFrame::Record {
+                session,
+                gen,
+                bytes: payload[d.pos()..].to_vec(),
+                trace: Some((trace_id, parent_span)),
             })
         }
         W_RESET => {

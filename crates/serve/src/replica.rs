@@ -66,7 +66,7 @@ use crate::proto::{
 use crate::server::{ApplyKind, ApplyReport, ServeOptions, Server};
 use compview_core::ComponentFamily;
 use compview_logic::Schema;
-use compview_obs::{Counter, Gauge, Registry};
+use compview_obs::{Counter, Gauge, Registry, TraceCtx};
 use compview_relation::{Instance, Tuple};
 use compview_session::{
     ApplyError, FsStore, LogStore, Service, Session, SessionConfig, SyncPolicy,
@@ -266,6 +266,11 @@ struct ReplObs {
     /// (pulses per record; a sustained value means the apply path is the
     /// bottleneck).
     lag_bytes: Gauge,
+    /// Milliseconds since the last shipment was applied, refreshed on
+    /// every upstream frame (heartbeats included).  `repl.lag_records`
+    /// answers "how far behind"; this answers "how *stale*" — a link can
+    /// be zero records behind and still dead.
+    lag_age_ms: Gauge,
     /// Times the leader link was torn down and redialed.
     reconnects: Counter,
     /// 1 while the leader link is up.
@@ -288,6 +293,7 @@ impl ReplObs {
         ReplObs {
             lag_records: registry.gauge("repl.lag_records"),
             lag_bytes: registry.gauge("repl.lag_bytes"),
+            lag_age_ms: registry.gauge("repl.lag_age_ms"),
             reconnects: registry.counter("repl.reconnects"),
             connected: registry.gauge("repl.connected"),
             bad_records: registry.counter("repl.bad_records"),
@@ -425,6 +431,7 @@ struct Discover<'a> {
 /// session has caught up to its ack's position; otherwise runs until the
 /// link breaks or `stop` is raised.  `discover` (tail phase only — never
 /// combined with `until_synced`) grows the position map mid-stream.
+#[allow(clippy::too_many_arguments)] // internal plumbing for one loop
 fn pump_streams(
     link: &mut LeaderLink,
     positions: &mut BTreeMap<String, Position>,
@@ -433,6 +440,10 @@ fn pump_streams(
     obs: &ReplObs,
     stop: &AtomicBool,
     until_synced: bool,
+    // Topology feedback (no-ops during the unbound Phase-A sync): any
+    // upstream frame arrived / one session's upstream target advanced.
+    mut note_frame: impl FnMut(),
+    mut note_link: impl FnMut(&str, u64),
 ) -> StreamBreak {
     debug_assert!(
         !(until_synced && discover.is_some()),
@@ -453,6 +464,10 @@ fn pump_streams(
     if until_synced && unsynced == 0 {
         return StreamBreak::Synced;
     }
+    // When the last shipment was applied on this link — feeds the
+    // `repl.lag_age_ms` gauge, refreshed per frame so a quiet-but-alive
+    // link reads as aging, not frozen.
+    let mut last_applied_at: Option<Instant> = None;
     loop {
         if stop.load(Ordering::SeqCst) {
             return StreamBreak::Stopped;
@@ -474,6 +489,14 @@ fn pump_streams(
                 return StreamBreak::Lost(e.to_string());
             }
         };
+        // Frame freshness is noted before the heartbeat fast-path: a
+        // heartbeat IS proof of life, and the `Topology` verb's
+        // heartbeat age must reset on it.
+        note_frame();
+        if let Some(t) = last_applied_at {
+            obs.lag_age_ms
+                .set(u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX));
+        }
         if is_heartbeat_payload(&payload) {
             continue;
         }
@@ -483,9 +506,18 @@ fn pump_streams(
                 Err(e) => return StreamBreak::Lost(format!("undecodable WAL frame: {e}")),
             };
             let (session, kind, nbytes) = match frame {
-                WalFrame::Record { session, bytes, .. } => {
+                WalFrame::Record {
+                    session,
+                    bytes,
+                    trace,
+                    ..
+                } => {
                     let n = bytes.len();
-                    (session, ApplyKind::Record(bytes), n)
+                    let ctx = trace.map(|(trace_id, parent_span)| TraceCtx {
+                        trace_id,
+                        parent_span,
+                    });
+                    (session, ApplyKind::Record(bytes, ctx), n)
                 }
                 WalFrame::Reset {
                     session, record0, ..
@@ -517,6 +549,9 @@ fn pump_streams(
                 return StreamBreak::Lost(format!("apply refused for {session:?}: {e}"));
             }
             pos.target = pos.target.max(pos.applied);
+            last_applied_at = Some(Instant::now());
+            obs.lag_age_ms.set(0);
+            note_link(&session, pos.target);
             obs.lag_records.set(total_lag(positions));
             let pos = positions.get_mut(&session).expect("position just seen");
             if until_synced && !pos.synced && pos.acked && pos.applied >= pos.target {
@@ -554,6 +589,7 @@ fn pump_streams(
                         // own position is the authoritative goal.
                         pos.target = last_seq;
                     }
+                    note_link(&session, pos.target);
                     obs.lag_records.set(total_lag(positions));
                     let pos = positions.get_mut(&session).expect("requested session");
                     // Nothing owed (the logs already match): synced on
@@ -611,7 +647,7 @@ fn apply_direct<F: ComponentFamily + Send + Sync>(
         },
         Some(s) => {
             let outcome = match kind {
-                ApplyKind::Record(bytes) => s.apply_replicated(&bytes),
+                ApplyKind::Record(bytes, ctx) => s.apply_replicated_traced(&bytes, ctx),
                 ApplyKind::Reset(bytes) => s.apply_reset(&bytes),
             };
             ApplyReport {
@@ -814,6 +850,8 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
                                 &obs,
                                 &never_stop,
                                 true,
+                                || {},
+                                |_, _| {},
                             )
                         }
                     };
@@ -860,6 +898,7 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
             })?,
         );
         server.set_leader_hint(Some(root.clone()));
+        server.topo_set_upstream(Some(leader_addr.to_owned()));
         let root = Arc::new(Mutex::new(root));
         let stop = Arc::new(AtomicBool::new(false));
         let link = Arc::new(Mutex::new(None));
@@ -938,6 +977,7 @@ impl<F: ComponentFamily + Send + Sync + 'static> Replica<F> {
         let _ = self.tail.join();
         // A leader forwards no hint: its own address is the answer.
         self.server.set_leader_hint(None);
+        self.server.topo_set_upstream(None);
         self.server
             .promote_partitions()
             .map_err(|detail| ReplicaError::Promote { detail })?;
@@ -1060,6 +1100,8 @@ fn tail_loop<F: ComponentFamily + Send + Sync + 'static>(
                             obs,
                             stop,
                             false,
+                            || server.topo_note_frame(),
+                            |session, target| server.topo_note_link(session, target),
                         )
                     }
                 };

@@ -73,11 +73,12 @@
 use crate::proto::{
     decode_wire_request, encode_event_payload, encode_heartbeat_payload,
     encode_metrics_response_payload, encode_replicate_ack_payload, encode_result_payload,
-    encode_sessions_reply_payload, encode_wal_frame_payload, expect_handshake, read_frame,
-    send_handshake, write_frame, ReplicateAck, SessionsReply, WalFrame, WireRequest,
+    encode_sessions_reply_payload, encode_topology_reply_payload, encode_trace_response_payload,
+    encode_wal_frame_payload, expect_handshake, read_frame, send_handshake, write_frame,
+    ReplicateAck, SessionsReply, TopoRole, TopoSession, TopologyReply, WalFrame, WireRequest,
 };
 use compview_core::ComponentFamily;
-use compview_obs::{Counter, Gauge, MetricsSnapshot, Registry};
+use compview_obs::{Counter, Gauge, MetricsSnapshot, Registry, TraceCtx, TraceSnapshot};
 use compview_session::{
     shard_of, ApplyError, CatchupPlan, DeltaEvent, DeltaKind, DispatchError, Service, Session,
     SessionRequest, SessionResponse, TerminateReason, WalShipment,
@@ -119,6 +120,12 @@ pub struct ServeOptions {
     /// dead link.  Never sent on ordinary connections.  `None` disables
     /// heartbeats.
     pub heartbeat_interval: Option<Duration>,
+    /// Distributed-tracing head-sampling rate: record the spans of a
+    /// traced request iff `trace_id % trace_sample == 0`, with `0` = off
+    /// (the default — traced requests dispatch identically, nothing is
+    /// recorded) and `1` = always.  Every node in a replication tree
+    /// should share one rate so a sampled trace is sampled at every hop.
+    pub trace_sample: u64,
 }
 
 impl Default for ServeOptions {
@@ -129,6 +136,7 @@ impl Default for ServeOptions {
             repl_outbox_cap: 1 << 16,
             read_timeout: None,
             heartbeat_interval: Some(Duration::from_millis(500)),
+            trace_sample: 0,
         }
     }
 }
@@ -152,8 +160,9 @@ enum StreamKey {
 
 /// What a follower asks its dispatcher to apply (see [`Item::Apply`]).
 pub(crate) enum ApplyKind {
-    /// One raw framed WAL record.
-    Record(Vec<u8>),
+    /// One raw framed WAL record, with the distributed-trace context the
+    /// leader's shipment carried (if the producing write was sampled).
+    Record(Vec<u8>, Option<TraceCtx>),
     /// A raw framed record-0 checkpoint image.
     Reset(Vec<u8>),
 }
@@ -174,6 +183,15 @@ pub(crate) struct ApplyReport {
 /// and seq, the countdown across shards, and the accumulated names.
 type ListingSlot = (u64, u64, Arc<AtomicUsize>, Arc<Mutex<Vec<String>>>);
 
+/// A parked `Topology` probe mid-fan-out: like [`ListingSlot`], but each
+/// shard contributes `(session, gen, applied_seq)` rows.
+type TopoSlot = (
+    u64,
+    u64,
+    Arc<AtomicUsize>,
+    Arc<Mutex<Vec<(String, u64, u64)>>>,
+);
+
 /// A parked session adoption: the name, the boxed `Session<F>` in
 /// transit to its shard, and the channel the outcome is acked on.
 type AdoptSlot = (
@@ -184,12 +202,17 @@ type AdoptSlot = (
 
 /// One item on a shard's queue.
 enum Item {
-    /// A request bound for this shard's service partition.
+    /// A request bound for this shard's service partition.  `trace` is
+    /// the wire trace context plus the enqueue instant, carried only by
+    /// [`WireRequest::DispatchTraced`] — the dispatcher turns the queue
+    /// wait into a "shard.queue" span and threads the child context into
+    /// the session.
     Dispatch {
         conn: u64,
         seq: u64,
         session: String,
         req: SessionRequest,
+        trace: Option<(TraceCtx, Instant)>,
     },
     /// A metrics probe (enqueued on *every* shard); `left` counts the
     /// shards that have not yet passed it.  Whoever decrements it to
@@ -261,6 +284,24 @@ enum Item {
     /// on *every* shard when a chained upstream learns its root moved).
     /// Writable sessions are untouched.
     Retarget { leader: String },
+    /// A trace-drain barrier (enqueued on *every* shard, like
+    /// [`Item::Probe`]): whoever decrements `left` to zero drains every
+    /// shard registry's span buffer and answers with the merge.
+    Trace {
+        conn: u64,
+        seq: u64,
+        left: Arc<AtomicUsize>,
+    },
+    /// A topology barrier (enqueued on *every* shard): each dispatcher
+    /// appends its partition's `(session, gen, applied)` rows to `acc`;
+    /// whoever decrements `left` to zero folds in the shared link state
+    /// and answers with a [`TopologyReply`].
+    Topology {
+        conn: u64,
+        seq: u64,
+        left: Arc<AtomicUsize>,
+        acc: Arc<Mutex<Vec<(String, u64, u64)>>>,
+    },
 }
 
 /// Server-side instruments, registered on shard 0's [`Registry`] (the
@@ -421,7 +462,41 @@ struct Shared {
     /// `Sessions` reply forwards so chained followers can name where
     /// writes actually go.  `None` on a writable node.
     leader_hint: Mutex<Option<String>>,
+    /// Replication-tree facts the replica layer maintains for the
+    /// `Topology` verb (default — a plain root — on a leader).
+    topo: Mutex<TopoState>,
     obs: ServeObs,
+}
+
+/// What the replica layer tells the server about its place in the
+/// replication tree (see [`Item::Topology`]).
+#[derive(Default)]
+struct TopoState {
+    /// The upstream this node tails (`None` on a root, cleared on
+    /// promote).
+    upstream: Option<String>,
+    /// Whether this node was promoted out of followership.
+    promoted: bool,
+    /// When the last upstream frame — shipment *or* heartbeat — arrived.
+    /// Recorded by the replica's pump thread as the frame comes off the
+    /// socket, so a silently dead link (frames swallowed, no FIN) shows
+    /// up as a growing age even while the read timeout has not fired.
+    last_frame: Option<Instant>,
+    /// Per-session upstream position: the leader's last known sequence
+    /// number and when this node last applied a shipment for it.
+    links: BTreeMap<String, (u64, Instant)>,
+}
+
+/// Milliseconds from `earlier` to `now`, saturating.
+fn ms_since(now: Instant, earlier: Instant) -> u64 {
+    u64::try_from(now.saturating_duration_since(earlier).as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Wall-clock nanoseconds since the Unix epoch (span timestamps).
+fn wall_clock_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
 }
 
 /// Count one more live replication stream against `conn`.
@@ -491,6 +566,15 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let parts = service.split(shards);
+        // Every shard partition got its own registry (and so its own
+        // span buffer) from `split`; name them all after the serving
+        // address so a `Trace` drain reports one coherent node.
+        let node = addr.to_string();
+        for part in &parts {
+            part.registry()
+                .dtracer()
+                .configure(&node, options.trace_sample);
+        }
         let shared = Arc::new(Shared {
             shards: (0..shards)
                 .map(|_| ShardQueue {
@@ -510,6 +594,7 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
             heartbeat_interval: options.heartbeat_interval,
             repl_conns: Mutex::new(BTreeMap::new()),
             leader_hint: Mutex::new(None),
+            topo: Mutex::new(TopoState::default()),
             obs: ServeObs::new(parts[0].registry()),
         });
 
@@ -606,6 +691,38 @@ impl<F: ComponentFamily + Send + Sync + 'static> Server<F> {
     /// `Sessions` verb forwards — see [`Shared::leader_hint`].
     pub(crate) fn set_leader_hint(&self, addr: Option<String>) {
         *self.shared.leader_hint.lock().expect("leader hint") = addr;
+    }
+
+    /// (Replica plumbing) set or clear the upstream address the
+    /// `Topology` verb reports.  Clearing (promotion) also flips the
+    /// reported role to `Promoted` and forgets link freshness.
+    pub(crate) fn topo_set_upstream(&self, upstream: Option<String>) {
+        let mut topo = self.shared.topo.lock().expect("topo");
+        if upstream.is_none() && topo.upstream.is_some() {
+            topo.promoted = true;
+            topo.last_frame = None;
+            topo.links.clear();
+        }
+        topo.upstream = upstream;
+    }
+
+    /// (Replica plumbing) note that a frame — shipment or heartbeat —
+    /// just arrived from the upstream: the heartbeat-freshness clock the
+    /// `Topology` verb reports restarts from now.
+    pub(crate) fn topo_note_frame(&self) {
+        self.shared.topo.lock().expect("topo").last_frame = Some(Instant::now());
+    }
+
+    /// (Replica plumbing) note one session's upstream position: the
+    /// leader's last known sequence number, stamped now (a shipment for
+    /// it was just applied, or its stream just acked).
+    pub(crate) fn topo_note_link(&self, session: &str, target: u64) {
+        self.shared
+            .topo
+            .lock()
+            .expect("topo")
+            .links
+            .insert(session.to_owned(), (target, Instant::now()));
     }
 
     /// Adopt a freshly opened session into the running server under
@@ -746,6 +863,22 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
                                 seq,
                                 session,
                                 req,
+                                trace: None,
+                            });
+                            shared.obs.queue_depth_hwm.raise(q.len() as u64);
+                            drop(q);
+                            sq.wake.notify_one();
+                        }
+                        WireRequest::DispatchTraced { session, req, ctx } => {
+                            let shard = shard_of(&session, n_shards);
+                            let sq = &shared.shards[shard];
+                            let mut q = sq.queue.lock().expect("queue");
+                            q.push_back(Item::Dispatch {
+                                conn,
+                                seq,
+                                session,
+                                req,
+                                trace: Some((ctx, Instant::now())),
                             });
                             shared.obs.queue_depth_hwm.raise(q.len() as u64);
                             drop(q);
@@ -820,6 +953,40 @@ fn read_loop(conn: u64, mut stream: TcpStream, shared: &Arc<Shared>) {
                             for sq in &shared.shards {
                                 let mut q = sq.queue.lock().expect("queue");
                                 q.push_back(Item::Sessions {
+                                    conn,
+                                    seq,
+                                    left: Arc::clone(&left),
+                                    acc: Arc::clone(&acc),
+                                });
+                                shared.obs.queue_depth_hwm.raise(q.len() as u64);
+                                drop(q);
+                                sq.wake.notify_one();
+                            }
+                        }
+                        // A trace drain is a barrier like a metrics
+                        // probe: pipelined traced writes land first.
+                        WireRequest::Trace => {
+                            let left = Arc::new(AtomicUsize::new(n_shards));
+                            for sq in &shared.shards {
+                                let mut q = sq.queue.lock().expect("queue");
+                                q.push_back(Item::Trace {
+                                    conn,
+                                    seq,
+                                    left: Arc::clone(&left),
+                                });
+                                shared.obs.queue_depth_hwm.raise(q.len() as u64);
+                                drop(q);
+                                sq.wake.notify_one();
+                            }
+                        }
+                        // Topology: every shard contributes its
+                        // partition's replication positions.
+                        WireRequest::Topology => {
+                            let left = Arc::new(AtomicUsize::new(n_shards));
+                            let acc = Arc::new(Mutex::new(Vec::new()));
+                            for sq in &shared.shards {
+                                let mut q = sq.queue.lock().expect("queue");
+                                q.push_back(Item::Topology {
                                     conn,
                                     seq,
                                     left: Arc::clone(&left),
@@ -1234,6 +1401,10 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
     shared: &Shared,
 ) -> Service<F> {
     let n_shards = shared.shards.len();
+    // This shard's distributed-span sink (configured with the serving
+    // address at bind); requests without a sampled trace context cost
+    // one `None` check here and nothing else.
+    let dtracer = shared.registries[shard].dtracer();
     // Where each live subscription's events go.  Complete for this
     // shard: a session lives on exactly one shard, so its `Subscribe`s
     // were all answered here.
@@ -1271,7 +1442,7 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
         // Split the drain into the dispatchable batch, the metrics
         // probes, and connection cancellations, remembering where each
         // answer goes.
-        let mut batch: Vec<(String, SessionRequest)> = Vec::new();
+        let mut batch: Vec<(String, SessionRequest, Option<TraceCtx>)> = Vec::new();
         let mut slots: Vec<(u64, u64, usize)> = Vec::new();
         let mut probes: Vec<(u64, u64, Arc<AtomicUsize>)> = Vec::new();
         let mut cancels: Vec<u64> = Vec::new();
@@ -1281,6 +1452,8 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
         let mut listings: Vec<ListingSlot> = Vec::new();
         let mut adopts: Vec<AdoptSlot> = Vec::new();
         let mut retargets: Vec<String> = Vec::new();
+        let mut traces: Vec<(u64, u64, Arc<AtomicUsize>)> = Vec::new();
+        let mut topos: Vec<TopoSlot> = Vec::new();
         for item in drained {
             match item {
                 Item::Dispatch {
@@ -1288,9 +1461,26 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
                     seq,
                     session,
                     req,
+                    trace,
                 } => {
+                    // The queue wait just ended: record it as a span
+                    // parented under the client's send span, and thread
+                    // the child context so the session's spans parent
+                    // under the wait.  An unsampled context records
+                    // nothing and dispatches exactly like `None`.
+                    let ctx = trace.and_then(|(ctx, at)| {
+                        let dur = u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        let start = wall_clock_ns().saturating_sub(dur);
+                        match dtracer.record(ctx, "shard.queue", start, dur) {
+                            0 => None,
+                            span => Some(TraceCtx {
+                                trace_id: ctx.trace_id,
+                                parent_span: span,
+                            }),
+                        }
+                    });
                     slots.push((conn, seq, batch.len()));
-                    batch.push((session, req));
+                    batch.push((session, req, ctx));
                 }
                 Item::Probe { conn, seq, left } => probes.push((conn, seq, left)),
                 Item::Cancel { conn } => cancels.push(conn),
@@ -1336,6 +1526,13 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
                     deadline,
                 }),
                 Item::Retarget { leader } => retargets.push(leader),
+                Item::Trace { conn, seq, left } => traces.push((conn, seq, left)),
+                Item::Topology {
+                    conn,
+                    seq,
+                    left,
+                    acc,
+                } => topos.push((conn, seq, left, acc)),
             }
         }
         // Adoptions land before anything else in this drain that might
@@ -1467,6 +1664,7 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
                     session: session.clone(),
                     gen,
                     bytes,
+                    trace: None,
                 });
                 alive = matches!(
                     deliver_repl_frame(shared, conn, &session, &key, frame),
@@ -1478,7 +1676,7 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
             }
         }
         if !batch.is_empty() || !applies.is_empty() {
-            let sessions: Vec<String> = batch.iter().map(|(s, _)| s.clone()).collect();
+            let sessions: Vec<String> = batch.iter().map(|(s, _, _)| s.clone()).collect();
             // The snapshot gate brackets the batch and its event drain:
             // a concurrent metrics probe snapshots this shard either
             // before or after it, never mid-flight.
@@ -1499,7 +1697,9 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
                         },
                         Some(s) => {
                             let outcome = match kind {
-                                ApplyKind::Record(bytes) => s.apply_replicated(&bytes),
+                                ApplyKind::Record(bytes, ctx) => {
+                                    s.apply_replicated_traced(&bytes, ctx)
+                                }
                                 ApplyKind::Reset(bytes) => s.apply_reset(&bytes),
                             };
                             ApplyReport {
@@ -1514,7 +1714,7 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
                 let results = if batch.is_empty() {
                     Vec::new()
                 } else {
-                    service.dispatch(batch)
+                    service.dispatch_traced(batch)
                 };
                 let events = service.drain_events();
                 (results, events)
@@ -1604,11 +1804,28 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
                 let frames: Vec<Vec<u8>> = shipments
                     .into_iter()
                     .map(|sh| match sh {
-                        WalShipment::Record { gen, bytes } => {
+                        WalShipment::Record { gen, bytes, trace } => {
+                            // A traced shipment gets a "repl.ship"
+                            // instant under the producing append span,
+                            // and the shipped context re-parents the
+                            // follower's apply span under the shipment
+                            // (one instant per record, shared by every
+                            // downstream target).
+                            let trace = trace.map(|(trace_id, parent)| {
+                                let ctx = TraceCtx {
+                                    trace_id,
+                                    parent_span: parent,
+                                };
+                                match dtracer.instant(ctx, "repl.ship") {
+                                    0 => (trace_id, parent),
+                                    ship => (trace_id, ship),
+                                }
+                            });
                             encode_wal_frame_payload(&WalFrame::Record {
                                 session: session.clone(),
                                 gen,
                                 bytes,
+                                trace,
                             })
                         }
                         WalShipment::Reset { gen, record0 } => {
@@ -1743,6 +1960,48 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
                 );
             }
         }
+        // A trace drain passes with the same barrier discipline, so a
+        // drain pipelined behind a traced write observes its spans.
+        for (conn, seq, left) in traces {
+            if left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let parts: Vec<TraceSnapshot> = (0..n_shards)
+                    .map(|j| shared.registries[j].dtracer().drain())
+                    .collect();
+                let merged = TraceSnapshot::merged(parts.iter());
+                deliver_response(
+                    shared,
+                    conn,
+                    seq,
+                    encode_trace_response_payload(&merged),
+                    None,
+                );
+            }
+        }
+        // Topology: contribute this partition's positions; the last
+        // shard through folds in the link state and answers.
+        for (conn, seq, left, acc) in topos {
+            {
+                let names: Vec<String> = service.session_names().map(str::to_owned).collect();
+                let mut acc = acc.lock().expect("topology acc");
+                for name in names {
+                    if let Some(s) = service.session(&name).filter(|s| s.is_durable()) {
+                        acc.push((name, s.wal_gen(), s.wal_last_seq()));
+                    }
+                }
+            }
+            if left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut rows = std::mem::take(&mut *acc.lock().expect("topology acc"));
+                rows.sort();
+                let reply = assemble_topology(shared, rows);
+                deliver_response(
+                    shared,
+                    conn,
+                    seq,
+                    encode_topology_reply_payload(&reply),
+                    None,
+                );
+            }
+        }
         // (Follower side) promotion barrier, dead last: every `Apply`
         // drained alongside it has already landed, so fsync this
         // partition's logs and flip its sessions writable.
@@ -1761,6 +2020,75 @@ fn dispatch_loop<F: ComponentFamily + Send + Sync + 'static>(
             }
             let _ = done.send(result);
         }
+    }
+}
+
+/// Fold the per-shard `(session, gen, applied)` rows and the shared link
+/// state into one [`TopologyReply`] — the `Topology` verb's answer.
+fn assemble_topology(shared: &Shared, rows: Vec<(String, u64, u64)>) -> TopologyReply {
+    let now = Instant::now();
+    let topo = shared.topo.lock().expect("topo");
+    let role = if topo.upstream.is_some() {
+        TopoRole::Follower
+    } else if topo.promoted {
+        TopoRole::Promoted
+    } else {
+        TopoRole::Root
+    };
+    let heartbeat_age_ms = topo
+        .upstream
+        .as_ref()
+        .and(topo.last_frame)
+        .map(|t| ms_since(now, t));
+    let root = shared.leader_hint.lock().expect("leader hint").clone();
+    let repl_streams = shared
+        .repl_conns
+        .lock()
+        .expect("repl conns")
+        .values()
+        .map(|&n| n as u64)
+        .sum();
+    let subscribers = shared
+        .conns
+        .lock()
+        .expect("conns")
+        .values()
+        .map(|slot| {
+            let st = slot.state.lock().expect("out state");
+            st.active
+                .iter()
+                .filter(|k| matches!(k, StreamKey::Sub(..)))
+                .count() as u64
+        })
+        .sum();
+    let sessions = rows
+        .into_iter()
+        .map(|(name, gen, applied)| {
+            let (target, lag_age_ms) = match topo.links.get(&name) {
+                // The upstream may have advanced past what we applied;
+                // never report a target *behind* the local position.
+                Some(&(target, at)) => (target.max(applied), ms_since(now, at)),
+                // No link: a root session is its own target and has no
+                // shipment age.
+                None => (applied, u64::MAX),
+            };
+            TopoSession {
+                name,
+                gen,
+                applied,
+                target,
+                lag_age_ms,
+            }
+        })
+        .collect();
+    TopologyReply {
+        role,
+        upstream: topo.upstream.clone(),
+        root,
+        heartbeat_age_ms,
+        repl_streams,
+        subscribers,
+        sessions,
     }
 }
 
@@ -1787,6 +2115,7 @@ mod tests {
             heartbeat_interval: None,
             repl_conns: Mutex::new(BTreeMap::new()),
             leader_hint: Mutex::new(None),
+            topo: Mutex::new(TopoState::default()),
             obs: ServeObs::new(&registry),
         })
     }
@@ -1825,6 +2154,7 @@ mod tests {
             session: session.to_owned(),
             gen: 1,
             bytes: vec![seq as u8; 4],
+            trace: None,
         })
     }
 

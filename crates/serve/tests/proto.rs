@@ -5,14 +5,19 @@
 //! treatment of on-disk corruption.
 
 use compview_core::{CatalogError, EditError, EditReport, UpdateReport};
+use compview_obs::{DistTracer, TraceCtx};
 use compview_relation::{v, Instance, Relation, Tuple};
 use compview_serve::proto::{
     decode_event_payload, decode_metrics_response_payload, decode_request_payload,
-    decode_result_payload, decode_sessions_reply_payload, decode_wire_request,
+    decode_result_payload, decode_sessions_reply_payload, decode_topology_reply_payload,
+    decode_trace_response_payload, decode_wal_frame_payload, decode_wire_request,
     encode_event_payload, encode_metrics_request_payload, encode_metrics_response_payload,
     encode_read_at_payload, encode_request_payload, encode_result_payload, encode_sessions_payload,
-    encode_sessions_reply_payload, is_event_payload, is_sessions_reply_payload, read_frame,
-    write_frame, SessionsReply, WireRequest, FRAME_HEADER, MAX_FRAME,
+    encode_sessions_reply_payload, encode_topology_reply_payload, encode_topology_request_payload,
+    encode_trace_request_payload, encode_trace_response_payload, encode_traced_request_payload,
+    encode_wal_frame_payload, is_event_payload, is_sessions_reply_payload,
+    is_topology_reply_payload, is_trace_reply_payload, read_frame, write_frame, SessionsReply,
+    TopoRole, TopoSession, TopologyReply, WalFrame, WireRequest, FRAME_HEADER, MAX_FRAME,
 };
 use compview_serve::ProtoError;
 use compview_session::{
@@ -594,4 +599,236 @@ proptest! {
             "bit {bit} flip accepted"
         );
     }
+}
+
+// ----------------------------------------------------------- tracing wire
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compatibility contract for trace propagation: an *untagged*
+    /// request round-trips through the wire decoder and re-encodes to
+    /// the same bytes, and a *tagged* request carries the identical
+    /// request bytes behind its context words — so a server dispatches
+    /// both identically, and old clients never notice the new frame.
+    #[test]
+    fn untagged_and_traced_requests_dispatch_identically(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = rand_name(&mut rng);
+        let ctx = TraceCtx {
+            trace_id: rng.next_u64(),
+            parent_span: rng.next_u64(),
+        };
+        for req in every_request(&mut rng) {
+            let untagged = encode_request_payload(&session, &req);
+            match decode_wire_request(&untagged).unwrap() {
+                WireRequest::Dispatch(s, r) => {
+                    prop_assert_eq!(&s, &session);
+                    prop_assert_eq!(&r, &req);
+                    // Byte-identical round trip: what an old client sent
+                    // is exactly what a new server re-encodes.
+                    prop_assert_eq!(&encode_request_payload(&s, &r), &untagged);
+                }
+                other => prop_assert!(false, "untagged decoded as {other:?}"),
+            }
+
+            let traced = encode_traced_request_payload(&session, &req, ctx);
+            match decode_wire_request(&traced).unwrap() {
+                WireRequest::DispatchTraced { session: s, req: r, ctx: c } => {
+                    prop_assert_eq!(&s, &session);
+                    prop_assert_eq!(&r, &req);
+                    prop_assert_eq!(c, ctx);
+                }
+                other => prop_assert!(false, "traced decoded as {other:?}"),
+            }
+            // The tag is a strict prefix: sentinel + kind + two context
+            // words, then the unmodified untagged payload.
+            prop_assert_eq!(&traced[4 + 1 + 16..], &untagged[..]);
+
+            // Any cut through the tag or the request is refused.
+            for cut in 0..traced.len() {
+                prop_assert!(decode_wire_request(&traced[..cut]).is_err(), "cut {}", cut);
+            }
+        }
+    }
+
+    /// An untraced WAL shipment encodes byte-identically to the pre-trace
+    /// `W_RECORD` layout (a follower that never heard of tracing stays
+    /// compatible), a traced one round-trips its context, and cuts
+    /// through the leading fields are refused.
+    #[test]
+    fn wal_record_trace_tag_round_trips(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let session = rand_name(&mut rng);
+        let gen = rng.next_u64();
+        let bytes: Vec<u8> = (0..rng.random_range(0..48u32)).map(|_| rng.next_u64() as u8).collect();
+
+        let plain = WalFrame::Record {
+            session: session.clone(),
+            gen,
+            bytes: bytes.clone(),
+            trace: None,
+        };
+        let payload = encode_wal_frame_payload(&plain);
+        // The legacy layout, reconstructed by hand: kind, subtype, name,
+        // gen, raw record bytes.
+        let mut legacy = vec![6u8, 1u8];
+        legacy.extend_from_slice(&(session.len() as u32).to_le_bytes());
+        legacy.extend_from_slice(session.as_bytes());
+        legacy.extend_from_slice(&gen.to_le_bytes());
+        legacy.extend_from_slice(&bytes);
+        prop_assert_eq!(&payload, &legacy);
+        prop_assert_eq!(decode_wal_frame_payload(&payload).unwrap(), plain);
+
+        let traced = WalFrame::Record {
+            session: session.clone(),
+            gen,
+            bytes: bytes.clone(),
+            trace: Some((rng.next_u64(), rng.next_u64())),
+        };
+        let payload = encode_wal_frame_payload(&traced);
+        prop_assert_eq!(decode_wal_frame_payload(&payload).unwrap(), traced);
+        // The trailing record bytes may legitimately be empty, but every
+        // cut through the tagged header must be refused.
+        let header = 2 + 4 + session.len() + 8 + 16;
+        for cut in 0..header {
+            prop_assert!(decode_wal_frame_payload(&payload[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    /// Any single bit flip in a trace response payload is refused: the
+    /// marker check or the snapshot's CRC trailer catches it.
+    #[test]
+    fn trace_response_bit_flips_are_refused(flip_frac in 0u32..1000) {
+        let payload = encode_trace_response_payload(&demo_trace());
+        let bit = (payload.len() * 8 - 1).min(
+            ((payload.len() * 8) as u64 * u64::from(flip_frac) / 1000) as usize,
+        );
+        let mut bytes = payload.clone();
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            decode_trace_response_payload(&bytes).is_err(),
+            "bit {bit} flip accepted"
+        );
+    }
+
+    /// A topology reply round-trips with every optional field populated
+    /// and absent, refuses every truncation, and refuses trailing bytes.
+    #[test]
+    fn topology_reply_round_trips(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let replies = [
+            TopologyReply {
+                role: TopoRole::Root,
+                upstream: None,
+                root: None,
+                heartbeat_age_ms: None,
+                repl_streams: rng.next_u64(),
+                subscribers: rng.next_u64(),
+                sessions: vec![],
+            },
+            TopologyReply {
+                role: if rng.random_range(0..2u32) == 0 {
+                    TopoRole::Follower
+                } else {
+                    TopoRole::Promoted
+                },
+                upstream: Some("127.0.0.1:7000".to_owned()),
+                root: Some("127.0.0.1:6000".to_owned()),
+                heartbeat_age_ms: Some(rng.next_u64() % (u64::MAX - 1)),
+                repl_streams: rng.next_u64(),
+                subscribers: rng.next_u64(),
+                sessions: (0..rng.random_range(1..4u32))
+                    .map(|_| TopoSession {
+                        name: rand_name(&mut rng),
+                        gen: rng.next_u64(),
+                        applied: rng.next_u64(),
+                        target: rng.next_u64(),
+                        lag_age_ms: rng.next_u64(),
+                    })
+                    .collect(),
+            },
+        ];
+        for reply in replies {
+            let bytes = encode_topology_reply_payload(&reply);
+            prop_assert!(is_topology_reply_payload(&bytes));
+            prop_assert_eq!(&decode_topology_reply_payload(&bytes).unwrap(), &reply);
+            for cut in 0..bytes.len() {
+                prop_assert!(decode_topology_reply_payload(&bytes[..cut]).is_err());
+            }
+            let mut trailing = bytes.clone();
+            trailing.push(0);
+            prop_assert!(decode_topology_reply_payload(&trailing).is_err());
+        }
+    }
+}
+
+/// A trace snapshot with a small causal chain recorded on one node.
+fn demo_trace() -> compview_obs::TraceSnapshot {
+    let tracer = DistTracer::new();
+    tracer.configure("127.0.0.1:9999", 1);
+    let root = TraceCtx {
+        trace_id: tracer.sampled_trace_id(),
+        parent_span: 0,
+    };
+    let span = tracer.span(root, "client.send");
+    let child = span.ctx().unwrap();
+    tracer.record(child, "wal.append", 100, 50);
+    tracer.instant(child, "repl.ship");
+    drop(span);
+    tracer.drain()
+}
+
+#[test]
+fn trace_and_topology_request_markers_cannot_be_ordinary_requests() {
+    for (payload, want) in [
+        (encode_trace_request_payload(), WireRequest::Trace),
+        (encode_topology_request_payload(), WireRequest::Topology),
+    ] {
+        assert_eq!(decode_wire_request(&payload).unwrap(), want);
+        // The sentinel prefix can never parse as a session name…
+        assert!(decode_request_payload(&payload).is_err());
+        // …and extra bytes after the marker are refused.
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_wire_request(&trailing).is_err());
+    }
+}
+
+#[test]
+fn trace_response_round_trips_and_rejects_every_truncation() {
+    let snap = demo_trace();
+    assert!(!snap.spans.is_empty(), "demo recorded spans");
+    let payload = encode_trace_response_payload(&snap);
+    assert!(is_trace_reply_payload(&payload));
+    assert_eq!(decode_trace_response_payload(&payload).as_ref(), Ok(&snap));
+    for cut in 0..payload.len() {
+        assert!(
+            decode_trace_response_payload(&payload[..cut]).is_err(),
+            "truncation at {cut} accepted"
+        );
+    }
+    let mut trailing = payload.clone();
+    trailing.push(0);
+    assert!(decode_trace_response_payload(&trailing).is_err());
+    // A wrong marker byte is refused before the snapshot codec runs.
+    let mut wrong = payload.clone();
+    wrong[0] = 9;
+    assert!(decode_trace_response_payload(&wrong).is_err());
+}
+
+#[test]
+fn topology_reply_refuses_bad_role_byte() {
+    let reply = TopologyReply {
+        role: TopoRole::Root,
+        upstream: None,
+        root: None,
+        heartbeat_age_ms: None,
+        repl_streams: 1,
+        subscribers: 0,
+        sessions: vec![],
+    };
+    let mut bytes = encode_topology_reply_payload(&reply);
+    bytes[1] = 7; // role byte follows the marker
+    assert!(decode_topology_reply_payload(&bytes).is_err());
 }

@@ -7,7 +7,7 @@
 
 use compview_core::SubschemaComponents;
 use compview_logic::Schema;
-use compview_obs::MetricsSnapshot;
+use compview_obs::{DistTracer, MetricsSnapshot, SpanRecord, TraceCtx};
 use compview_relation::{rel, v, Instance, RelDecl, Signature, Tuple};
 use compview_serve::{
     Client, Mirror, MirrorSpec, ProtoError, Replica, ReplicaOptions, ServeOptions, Server,
@@ -252,6 +252,10 @@ enum Plan {
     /// stream — the follower must detect the corruption (wire CRC or
     /// apply-path CRC) and never apply the damage.
     FlipAt(usize),
+    /// Forward this many leader→follower bytes, then silently discard
+    /// everything after — the connection stays open (no FIN, no RST), so
+    /// the follower sees a link that looks alive but delivers nothing.
+    SwallowAfter(usize),
 }
 
 /// A byte-level TCP proxy between follower and leader that applies one
@@ -377,6 +381,17 @@ fn copy_dir(from: &mut TcpStream, mut to: TcpStream, plan: Plan) {
             }
             _ => false,
         };
+        if let Plan::SwallowAfter(limit) = plan {
+            // Keep reading (so the upstream never blocks) but stop
+            // forwarding — and never shut the downstream half, so the
+            // receiver cannot tell the link died.
+            chunk.truncate(limit.saturating_sub(seen));
+            seen += n;
+            if !chunk.is_empty() && to.write_all(&chunk).is_err() {
+                break;
+            }
+            continue;
+        }
         seen += n;
         if to.write_all(&chunk).is_err() || cut {
             break;
@@ -1729,4 +1744,265 @@ fn read_at_waits_for_the_token_and_refuses_when_lagging() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&ldir);
     let _ = std::fs::remove_dir_all(&fdir);
+}
+
+// ---------------------------------------------------------------------
+// Topology introspection: stale heartbeat on a silently dead link
+// ---------------------------------------------------------------------
+
+/// A link that is silently swallowed (frames discarded, no FIN) looks
+/// alive to TCP — the follower cannot learn anything from the socket.
+/// `Topology` must expose the truth anyway: `heartbeat_age_ms` grows
+/// past any healthy bound while `repl.connected` still reads 1 and no
+/// reconnect has fired.
+#[test]
+fn silently_swallowed_upstream_reports_stale_heartbeat_before_reconnect() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("swallow-leader");
+    let fdir = test_dir("swallow-follower");
+
+    // Leader heartbeats every 25 ms, so a healthy link's age stays tiny.
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        leader_options(1),
+    )
+    .unwrap();
+    let proxy = Proxy::start(server.local_addr().to_string());
+    // Phase A's sync connection runs clean; the tail link is then
+    // silently swallowed after ~1 KiB (sessions exchange, acks, and a
+    // run of heartbeats fit well inside that).
+    proxy.push_plans([Plan::Clean, Plan::SwallowAfter(1024)]);
+    // A generous read timeout keeps reconnect backoff from firing while
+    // we observe the staleness — the whole point is to see the problem
+    // *before* the transport gives up.
+    let mut options = replica_options(fault_seed());
+    options.read_timeout = Duration::from_secs(30);
+    let replica = Replica::start(
+        "127.0.0.1:0",
+        &proxy.addr.to_string(),
+        durable_service(&fdir, CheckpointPolicy::default()),
+        options,
+    )
+    .unwrap();
+    let mut fclient = Client::connect(replica.local_addr()).unwrap();
+
+    // While frames still flow, the follower self-reports as a healthy
+    // chained node: follower role, the proxy as upstream, fresh beats.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let fresh = loop {
+        let topo = fclient.topology().unwrap();
+        if let Some(age) = topo.heartbeat_age_ms {
+            if age <= 250 {
+                assert_eq!(topo.role, compview_serve::TopoRole::Follower);
+                assert_eq!(
+                    topo.upstream.as_deref(),
+                    Some(proxy.addr.to_string().as_str())
+                );
+                break topo;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "never saw a fresh heartbeat: {topo:?}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    };
+    assert!(!fresh.sessions.is_empty(), "sessions listed: {fresh:?}");
+    let baseline = counter(&fclient.metrics().unwrap(), "repl.reconnects");
+
+    // Once the swallow point passes, the age must climb unboundedly —
+    // with the link still "connected" and no reconnect attempted.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let topo = fclient.topology().unwrap();
+        let snap = fclient.metrics().unwrap();
+        if topo.heartbeat_age_ms.is_some_and(|age| age >= 400)
+            && gauge(&snap, "repl.connected") == 1
+            && counter(&snap, "repl.reconnects") == baseline
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "staleness never surfaced: {topo:?}, connected {}, reconnects {} (baseline {baseline})",
+            gauge(&snap, "repl.connected"),
+            counter(&snap, "repl.reconnects"),
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    drop(fclient);
+    drop(proxy);
+    replica.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&ldir);
+    let _ = std::fs::remove_dir_all(&fdir);
+}
+
+// ---------------------------------------------------------------------
+// Distributed tracing: one write, one tree, three nodes
+// ---------------------------------------------------------------------
+
+/// The labels harvested for `node`, in no particular order.
+fn labels_of<'a>(spans: &'a [(String, SpanRecord)], node: &str) -> Vec<&'a str> {
+    spans
+        .iter()
+        .filter(|(n, _)| n == node)
+        .map(|(_, s)| s.label.as_str())
+        .collect()
+}
+
+/// One traced update against the root of a three-node chain produces
+/// spans on the client, the leader, the follower, and the chained
+/// follower — all sharing one `trace_id` and parent-linking into a
+/// single tree rooted at the client's send span.
+#[test]
+fn traced_update_assembles_one_span_tree_across_three_nodes() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let ldir = test_dir("trace-leader");
+    let f1dir = test_dir("trace-f1");
+    let f2dir = test_dir("trace-f2");
+
+    let mut lopts = leader_options(2);
+    lopts.trace_sample = 1;
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        durable_service(&ldir, CheckpointPolicy::default()),
+        lopts,
+    )
+    .unwrap();
+    let mut f1opts = follower_options(fault_seed());
+    f1opts.serve.trace_sample = 1;
+    let f1 = Replica::start(
+        "127.0.0.1:0",
+        &server.local_addr().to_string(),
+        durable_service(&f1dir, CheckpointPolicy::default()),
+        f1opts,
+    )
+    .unwrap();
+    let mut f2opts = follower_options(fault_seed() ^ 1);
+    f2opts.serve.trace_sample = 1;
+    let f2 = Replica::start(
+        "127.0.0.1:0",
+        &f1.local_addr().to_string(),
+        durable_service(&f2dir, CheckpointPolicy::default()),
+        f2opts,
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.request("alpha", &register_r()).unwrap().unwrap();
+    // A live subscriber on the leader, so the publish hop traces too.
+    let mut sub_client = Client::connect(server.local_addr()).unwrap();
+    sub_client.subscribe("alpha", "r").unwrap().unwrap();
+
+    // The client owns the root span; its context rides the wire.
+    let tracer = DistTracer::new();
+    tracer.configure("client", 1);
+    let root_ctx = TraceCtx {
+        trace_id: tracer.sampled_trace_id(),
+        parent_span: 0,
+    };
+    {
+        let span = tracer.span(root_ctx, "client.send");
+        let wire = span.ctx().expect("sampled root span");
+        client
+            .request_traced("alpha", &update_r(&["a1", "a2"]), wire)
+            .unwrap()
+            .unwrap();
+    }
+    wait_converged_all(&ldir, &[&f1dir, &f2dir]);
+
+    // Harvest every node's buffer; drains are destructive, so late spans
+    // (the chained hop applies asynchronously) accumulate across polls.
+    let tid = root_ctx.trace_id;
+    let mut spans: Vec<(String, SpanRecord)> = tracer
+        .drain()
+        .spans
+        .into_iter()
+        .map(|s| ("client".to_owned(), s))
+        .collect();
+    let laddr = server.local_addr().to_string();
+    let f1addr = f1.local_addr().to_string();
+    let f2addr = f2.local_addr().to_string();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        for addr in [&laddr, &f1addr, &f2addr] {
+            let snap = Client::connect(addr).unwrap().trace().unwrap();
+            assert_eq!(&snap.node, addr, "nodes self-identify by address");
+            spans.extend(
+                snap.spans
+                    .into_iter()
+                    .filter(|s| s.trace_id == tid)
+                    .map(|s| (addr.clone(), s)),
+            );
+        }
+        let leader = labels_of(&spans, &laddr);
+        let hop1 = labels_of(&spans, &f1addr);
+        let hop2 = labels_of(&spans, &f2addr);
+        if [
+            "shard.queue",
+            "session.dispatch",
+            "wal.append",
+            "wal.fsync",
+            "repl.ship",
+            "sub.publish",
+        ]
+        .iter()
+        .all(|l| leader.contains(l))
+            && hop1.contains(&"repl.apply")
+            && hop1.contains(&"repl.ship")
+            && hop2.contains(&"repl.apply")
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "span harvest incomplete: leader {leader:?}, hop1 {hop1:?}, hop2 {hop2:?}"
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // One trace, one tree: exactly one root (the client's send), every
+    // other span parent-linked to a harvested span, every parent chain
+    // terminating at the root.
+    for (_, s) in &spans {
+        assert_eq!(s.trace_id, tid);
+    }
+    let roots: Vec<&(String, SpanRecord)> =
+        spans.iter().filter(|(_, s)| s.parent_span == 0).collect();
+    assert_eq!(roots.len(), 1, "one root: {roots:?}");
+    assert_eq!(roots[0].0, "client");
+    assert_eq!(roots[0].1.label, "client.send");
+    let parent_of: BTreeMap<u64, u64> = spans
+        .iter()
+        .map(|(_, s)| (s.span_id, s.parent_span))
+        .collect();
+    assert_eq!(parent_of.len(), spans.len(), "span ids are unique");
+    for (node, s) in &spans {
+        let mut at = s.span_id;
+        for _ in 0..=spans.len() {
+            if at == roots[0].1.span_id {
+                break;
+            }
+            at = *parent_of
+                .get(&at)
+                .unwrap_or_else(|| panic!("{node}/{} orphaned at {at}", s.label));
+        }
+        assert_eq!(
+            at, roots[0].1.span_id,
+            "{node}/{} reaches the root",
+            s.label
+        );
+    }
+
+    drop(client);
+    drop(sub_client);
+    f2.shutdown();
+    f1.shutdown();
+    server.shutdown();
+    for d in [&ldir, &f1dir, &f2dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
 }

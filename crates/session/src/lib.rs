@@ -53,7 +53,7 @@ pub use store::{FaultPlan, FaultyStore, FsStore, LogStore, MemStore, SharedBytes
 pub use sub::{DeltaEvent, DeltaKind, TerminateReason};
 pub use wal::{RecoverError, RecoveryReport, RecoveryStop, SyncPolicy};
 
-use compview_obs::Registry;
+use compview_obs::{DistSpan, Registry, TraceCtx};
 
 use compview_core::{
     Catalog, CatalogError, ComponentFamily, EditError, EditReport, StateSpace, UpdateReport,
@@ -577,6 +577,12 @@ pub enum WalShipment {
         gen: u64,
         /// The full framed record bytes.
         bytes: Vec<u8>,
+        /// `(trace_id, parent_span)` when the write that produced this
+        /// record carried a sampled trace context: the shipment (and
+        /// the follower's apply) parent-link under the producing span.
+        /// Never part of the WAL file itself — leader and follower logs
+        /// stay byte-identical whether or not a write was traced.
+        trace: Option<(u64, u64)>,
     },
     /// A checkpoint replaced the log; followers must reset onto this
     /// record-0 image (sequence numbering restarts after it).
@@ -681,6 +687,11 @@ pub struct Session<F: ComponentFamily + Sync> {
     repl_tap: bool,
     /// WAL writes captured since the last [`Session::take_wal_shipments`].
     shipments: Vec<WalShipment>,
+    /// The sampled distributed-trace context of the request currently
+    /// being served (set by [`Session::serve_traced`] /
+    /// [`Session::apply_replicated_traced`]): nested WAL and publish
+    /// spans parent under it, and shipments it produces carry it.
+    cur_trace: Option<TraceCtx>,
 }
 
 impl<F: ComponentFamily + Sync> Session<F> {
@@ -745,6 +756,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
             read_only: None,
             repl_tap: false,
             shipments: Vec::new(),
+            cur_trace: None,
         })
     }
 
@@ -912,6 +924,7 @@ impl<F: ComponentFamily + Sync> Session<F> {
             read_only: None,
             repl_tap: false,
             shipments: Vec::new(),
+            cur_trace: None,
         };
         let mut applied = 0u64;
         let mut salvaged = parsed.salvaged;
@@ -1059,6 +1072,9 @@ impl<F: ComponentFamily + Sync> Session<F> {
         }
         let payload = wal::encode_request(req);
         self.obs.tracer.instant("wal.encode", payload.len() as u64);
+        let append_span = self
+            .cur_trace
+            .map(|ctx| self.obs.dtracer.span(ctx, "wal.append"));
         let writer = self.wal.as_mut().expect("checked above");
         let rec = writer
             .append_payload(&payload)
@@ -1066,9 +1082,16 @@ impl<F: ComponentFamily + Sync> Session<F> {
                 detail: e.to_string(),
             })?;
         if self.repl_tap {
+            // A traced write's shipment parents under its append span,
+            // so the follower's apply links leader WAL → wire → apply.
+            let trace = append_span
+                .as_ref()
+                .and_then(DistSpan::ctx)
+                .map(|c| (c.trace_id, c.parent_span));
             self.shipments.push(WalShipment::Record {
                 gen: writer.gen(),
                 bytes: rec,
+                trace,
             });
         }
         Ok(())
@@ -1165,6 +1188,42 @@ impl<F: ComponentFamily + Sync> Session<F> {
             }
         }
         outcome
+    }
+
+    /// [`Session::serve`] under a distributed-trace context: when the
+    /// tracer samples `ctx.trace_id`, a `"session.dispatch"` span covers
+    /// the request and nested WAL-append / publish spans parent under
+    /// it; shipments the request produces carry the context downstream.
+    /// When not sampled (or tracing is off) this is exactly `serve` —
+    /// the unsampled path costs one branch.
+    ///
+    /// # Errors
+    /// As [`Session::serve`].
+    pub fn serve_traced(
+        &mut self,
+        req: SessionRequest,
+        ctx: TraceCtx,
+    ) -> Result<SessionResponse, SessionError> {
+        let span = self.obs.dtracer.span(ctx, "session.dispatch");
+        let Some(child) = span.ctx() else {
+            return self.serve(req);
+        };
+        self.cur_trace = Some(child);
+        let outcome = self.serve(req);
+        self.cur_trace = None;
+        outcome
+    }
+
+    /// [`Session::flush_wal`] under a distributed-trace context: the
+    /// group-commit fsync covers every record of the batch window, so
+    /// the `"wal.fsync"` span parents under the *first* traced request
+    /// of the window (`ctx`), which is the one that opened it.
+    ///
+    /// # Errors
+    /// As [`Session::flush_wal`].
+    pub fn flush_wal_traced(&mut self, ctx: Option<TraceCtx>) -> Result<(), SessionError> {
+        let _span = ctx.map(|c| self.obs.dtracer.span(c, "wal.fsync"));
+        self.flush_wal()
     }
 
     fn handle(&mut self, req: SessionRequest) -> Result<SessionResponse, SessionError> {
@@ -1564,6 +1623,11 @@ impl<F: ComponentFamily + Sync> Session<F> {
             self.obs.publish_ns.record(ns);
             self.obs.publish_tail_ns.record(ns);
         }
+        if let Some(ctx) = self.cur_trace {
+            // The end of a traced write's pipeline on this node: deltas
+            // are in subscriber outboxes, about to hit the wire.
+            self.obs.dtracer.instant(ctx, "sub.publish");
+        }
     }
 
     /// Re-seat subscriptions after a pool edit.  The base state did not
@@ -1874,6 +1938,29 @@ impl<F: ComponentFamily + Sync> Session<F> {
     /// # Errors
     /// See [`ApplyError`]; every error leaves session and log untouched.
     pub fn apply_replicated(&mut self, rec: &[u8]) -> Result<u64, ApplyError> {
+        self.apply_replicated_traced(rec, None)
+    }
+
+    /// [`Session::apply_replicated`] under the trace context the shipped
+    /// record carried: when sampled, a `"repl.apply"` span covers the
+    /// apply (parented under the upstream's shipment span), and any
+    /// re-shipment to a chained downstream carries this span as parent.
+    ///
+    /// # Errors
+    /// As [`Session::apply_replicated`].
+    pub fn apply_replicated_traced(
+        &mut self,
+        rec: &[u8],
+        ctx: Option<TraceCtx>,
+    ) -> Result<u64, ApplyError> {
+        let span = ctx.map(|c| self.obs.dtracer.span(c, "repl.apply"));
+        self.cur_trace = span.as_ref().and_then(DistSpan::ctx);
+        let outcome = self.apply_replicated_inner(rec);
+        self.cur_trace = None;
+        outcome
+    }
+
+    fn apply_replicated_inner(&mut self, rec: &[u8]) -> Result<u64, ApplyError> {
         let timer = self.obs.repl_apply_ns.start();
         let writer = self.wal.as_mut().ok_or(ApplyError::NotDurable)?;
         let (seq, payload) =
@@ -1899,10 +1986,12 @@ impl<F: ComponentFamily + Sync> Session<F> {
         if self.repl_tap {
             // A follower that is itself an upstream re-ships the exact
             // bytes it just mirrored, so a chained downstream tails this
-            // node instead of the root leader.
+            // node instead of the root leader.  A traced apply stamps
+            // its own span as the re-shipped parent, chaining the trace.
             self.shipments.push(WalShipment::Record {
                 gen,
                 bytes: rec.to_vec(),
+                trace: self.cur_trace.map(|c| (c.trace_id, c.parent_span)),
             });
         }
         let outcome = self.handle(req);

@@ -10,7 +10,7 @@
 //! how many sessions a service hosts.
 
 use compview_logic::EnumObs;
-use compview_obs::{Counter, Gauge, Histogram, Registry, Reservoir, Tracer};
+use compview_obs::{Counter, DistTracer, Gauge, Histogram, Registry, Reservoir, Tracer};
 
 /// Instruments owned by a [`crate::Session`].
 #[derive(Clone, Default)]
@@ -104,6 +104,9 @@ pub struct SessionObs {
     /// Span/instant sink ("session.serve" spans labelled per request,
     /// "cache.hit"/"cache.miss" instants carrying the mask).
     pub tracer: Tracer,
+    /// Distributed-span sink for requests carrying a wire trace context
+    /// ("session.dispatch", "wal.append", "repl.apply", "sub.publish").
+    pub dtracer: DistTracer,
 }
 
 impl SessionObs {
@@ -152,6 +155,7 @@ impl SessionObs {
             enum_obs: EnumObs::new(registry),
             wal: WalObs::new(registry),
             tracer: registry.tracer(),
+            dtracer: registry.dtracer(),
         }
     }
 

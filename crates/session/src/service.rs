@@ -17,7 +17,7 @@ use crate::wal::{RecoverError, RecoveryReport};
 use crate::{Session, SessionConfig, SessionError, SessionRequest, SessionResponse, SyncPolicy};
 use compview_core::ComponentFamily;
 use compview_logic::Schema;
-use compview_obs::{Histogram, Registry};
+use compview_obs::{Histogram, Registry, TraceCtx};
 use compview_relation::{Instance, Tuple};
 use std::collections::BTreeMap;
 use std::io;
@@ -359,20 +359,40 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
         &mut self,
         batch: Vec<(String, SessionRequest)>,
     ) -> Vec<Result<SessionResponse, DispatchError>> {
+        self.dispatch_traced(
+            batch
+                .into_iter()
+                .map(|(name, req)| (name, req, None))
+                .collect(),
+        )
+    }
+
+    /// [`Service::dispatch`] with an optional distributed-trace context
+    /// per request: a `Some` context routes that request through
+    /// [`Session::serve_traced`], and the group-commit fsync span of a
+    /// touched session parents under the first traced request of its
+    /// queue (the one that opened the window).  Requests with `None`
+    /// take exactly the untraced path, so results — and WAL bytes — are
+    /// byte-identical to [`Service::dispatch`] for an all-`None` batch.
+    pub fn dispatch_traced(
+        &mut self,
+        batch: Vec<(String, SessionRequest, Option<TraceCtx>)>,
+    ) -> Vec<Result<SessionResponse, DispatchError>> {
         let timer = self.dispatch_ns.start();
         self.batch_requests.record(batch.len() as u64);
         let mut out: Vec<Option<Result<SessionResponse, DispatchError>>> =
             batch.iter().map(|_| None).collect();
         // Per-session queues, preserving batch order.
-        let mut queues: BTreeMap<String, Vec<(usize, SessionRequest)>> = BTreeMap::new();
-        for (pos, (name, req)) in batch.into_iter().enumerate() {
+        type Queue = Vec<(usize, SessionRequest, Option<TraceCtx>)>;
+        let mut queues: BTreeMap<String, Queue> = BTreeMap::new();
+        for (pos, (name, req, ctx)) in batch.into_iter().enumerate() {
             if self.sessions.contains_key(&name) {
-                queues.entry(name).or_default().push((pos, req));
+                queues.entry(name).or_default().push((pos, req, ctx));
             } else {
                 out[pos] = Some(Err(DispatchError::UnknownSession(name)));
             }
         }
-        type Queued<'a, F> = (&'a mut Session<F>, Vec<(usize, SessionRequest)>);
+        type Queued<'a, F> = (&'a mut Session<F>, Queue);
         let mut work: Vec<Queued<'_, F>> = Vec::new();
         for (name, session) in self.sessions.iter_mut() {
             if let Some(q) = queues.remove(name) {
@@ -383,13 +403,20 @@ impl<F: ComponentFamily + Send + Sync> Service<F> {
             &mut work,
             compview_parallel::num_threads(),
             |_, (session, queue)| {
+                let fsync_ctx = queue.iter().find_map(|(_, _, ctx)| *ctx);
                 session.set_deferred_sync(true);
                 let mut answers: Vec<(usize, bool, Result<_, _>)> = queue
                     .iter()
-                    .map(|(pos, req)| (*pos, req.is_durable(), session.serve(req.clone())))
+                    .map(|(pos, req, ctx)| {
+                        let answer = match ctx {
+                            Some(c) => session.serve_traced(req.clone(), *c),
+                            None => session.serve(req.clone()),
+                        };
+                        (*pos, req.is_durable(), answer)
+                    })
                     .collect();
                 session.set_deferred_sync(false);
-                if let Err(e) = session.flush_wal() {
+                if let Err(e) = session.flush_wal_traced(fsync_ctx) {
                     // The group fsync failed: nothing appended during
                     // this queue is known durable, so no durable request
                     // may stay acknowledged.

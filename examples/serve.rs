@@ -38,11 +38,24 @@
 //! upstream, so a third process can chain off it (DESIGN.md §15) —
 //! `--follow 127.0.0.1:<follower-port>` — and its write refusals name
 //! the *root* leader, not the follower it tails.
+//!
+//! `--trace N` turns on distributed tracing (DESIGN.md §16) at a 1-in-N
+//! head-sampling rate on whichever node this process runs (leader or
+//! follower); every node in a tree should share one rate so a sampled
+//! request is sampled at every hop.  `--trace-update <addr>` is the
+//! matching client mode: it walks the topology chain from `<addr>` to
+//! the root, sends one traced update to the root leader, drains every
+//! node's span buffer, and prints the assembled cross-process span tree.
+//!
+//! `--topology <addr>` walks the replication chain from `<addr>` toward
+//! the root and renders the tree: each node's role, upstream, heartbeat
+//! freshness, per-session apply positions, and downstream counts.
 
 use compview::core::SubschemaComponents;
 use compview::logic::Schema;
+use compview::obs::{DistTracer, SpanRecord, TraceCtx};
 use compview::relation::{rel, v, Instance, RelDecl, Signature, Tuple};
-use compview::serve::{Client, Replica, ReplicaOptions, Server};
+use compview::serve::{Client, Replica, ReplicaOptions, ServeOptions, Server};
 use compview::session::{
     DispatchError, Service, SessionConfig, SessionError, SessionRequest, SessionResponse,
     SyncPolicy,
@@ -54,6 +67,9 @@ fn main() {
     let mut subscribe: Option<(String, String)> = None;
     let mut follow: Option<String> = None;
     let mut hold = 0u64;
+    let mut trace = 0u64;
+    let mut topology: Option<String> = None;
+    let mut trace_update: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,11 +96,35 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--hold takes a number of seconds");
             }
+            "--trace" => {
+                trace = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trace takes a sampling rate N (1 = every request)");
+            }
+            "--topology" => {
+                topology = Some(args.next().expect("--topology takes a node <addr>"));
+            }
+            "--trace-update" => {
+                trace_update = Some(args.next().expect("--trace-update takes a node <addr>"));
+            }
             other => panic!(
                 "unknown argument {other:?} (supported: --shards N, \
-                 --subscribe <session>/<view>, --follow <addr>, --hold <seconds>)"
+                 --subscribe <session>/<view>, --follow <addr>, --hold <seconds>, \
+                 --trace N, --topology <addr>, --trace-update <addr>)"
             ),
         }
+    }
+
+    // The two client-only modes need no local service: walk the chain
+    // and exit.
+    if let Some(start) = topology {
+        topology_demo(&start);
+        return;
+    }
+    if let Some(start) = trace_update {
+        trace_update_demo(&start, trace.max(1));
+        return;
     }
 
     let dir = std::env::temp_dir().join(format!("compview-serve-example-{}", std::process::id()));
@@ -127,14 +167,23 @@ fn main() {
         .unwrap();
 
     if let Some(leader) = follow {
-        follow_demo(&leader, service, hold);
+        follow_demo(&leader, service, hold, trace);
         std::fs::remove_dir_all(&dir).ok();
         return;
     }
 
     // 2. Put it behind a TCP server on an ephemeral port, dispatch
     //    sharded across `--shards` dispatcher threads.
-    let server = Server::bind_sharded("127.0.0.1:0", service, shards).unwrap();
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        service,
+        ServeOptions {
+            shards,
+            trace_sample: trace,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
     let addr = server.local_addr();
     println!(
         "serving on {addr} with {} dispatcher shard(s)",
@@ -228,8 +277,10 @@ fn main() {
 /// contract — reads answered locally, writes refused with a typed
 /// `NotLeader` naming the *root* leader (which differs from the
 /// upstream when this follower is chained off another follower).
-fn follow_demo(leader: &str, service: Service<SubschemaComponents>, hold: u64) {
-    let replica = Replica::start("127.0.0.1:0", leader, service, ReplicaOptions::default())
+fn follow_demo(leader: &str, service: Service<SubschemaComponents>, hold: u64, trace: u64) {
+    let mut options = ReplicaOptions::default();
+    options.serve.trace_sample = trace;
+    let replica = Replica::start("127.0.0.1:0", leader, service, options)
         .unwrap_or_else(|e| panic!("cannot follow {leader}: {e}"));
     println!(
         "following {} (root leader {}) — serving reads on {}",
@@ -369,6 +420,172 @@ fn subscribe_demo(addr: std::net::SocketAddr, sig: &Signature, session: &str, vi
         .unwrap();
     assert!(matches!(done, SessionResponse::Unsubscribed { .. }));
     println!("unsubscribed: the stream is closed");
+}
+
+/// The `--topology` walkthrough: walk the chain from `start` toward the
+/// root and render the tree root-first, one node per line.
+fn topology_demo(start: &str) {
+    let chain = Client::topology_chain(start)
+        .unwrap_or_else(|e| panic!("cannot fetch topology from {start}: {e}"));
+    println!(
+        "replication topology from {start} ({} node(s)):",
+        chain.len()
+    );
+    // The walk runs leaf -> root; render root-first so indentation
+    // mirrors the direction WAL records flow.
+    for (depth, (addr, t)) in chain.iter().rev().enumerate() {
+        let pad = "  ".repeat(depth);
+        let arrow = if depth == 0 { "" } else { "└─ " };
+        let beat = match t.heartbeat_age_ms {
+            None => String::new(),
+            Some(ms) => format!(", heartbeat {ms}ms ago"),
+        };
+        println!(
+            "{pad}{arrow}{addr}  [{}]  {} repl stream(s), {} subscriber(s){beat}",
+            t.role, t.repl_streams, t.subscribers
+        );
+        for s in &t.sessions {
+            let age = if s.lag_age_ms == u64::MAX {
+                "never applied".to_owned()
+            } else {
+                format!("applied {}ms ago", s.lag_age_ms)
+            };
+            println!(
+                "{pad}   {}: gen {} applied {}/{} (lag {}, {age})",
+                s.name,
+                s.gen,
+                s.applied,
+                s.target,
+                s.lag_records()
+            );
+        }
+    }
+}
+
+/// The `--trace-update` walkthrough: one traced write, observed end to
+/// end.  Walks the topology chain from `start` to find the root leader,
+/// opens a `client.send` root span, ships the update with its trace
+/// context on the wire, then drains every node's span buffer and prints
+/// the assembled tree — client, leader shards, WAL, each follower hop.
+fn trace_update_demo(start: &str, rate: u64) {
+    let chain = Client::topology_chain(start)
+        .unwrap_or_else(|e| panic!("cannot fetch topology from {start}: {e}"));
+    let root_addr = chain.last().expect("non-empty chain").0.clone();
+    println!(
+        "tracing one update against root leader {root_addr} ({} node(s) in the chain)",
+        chain.len()
+    );
+
+    let tracer = DistTracer::new();
+    tracer.configure("client", rate);
+    let ctx = TraceCtx {
+        trace_id: tracer.sampled_trace_id(),
+        parent_span: 0,
+    };
+
+    let sig = Signature::new([
+        RelDecl::new("Suppliers", ["S#"]),
+        RelDecl::new("Parts", ["P#"]),
+    ]);
+    let new_state = Instance::null_model(&sig).with("Suppliers", rel(1, [["s1"], ["s2"], ["s3"]]));
+    let mut client = Client::connect(&root_addr).unwrap();
+    {
+        let span = tracer.span(ctx, "client.send");
+        let wire = span.ctx().unwrap_or(ctx);
+        client
+            .request_traced(
+                "orders",
+                &SessionRequest::Update {
+                    view: "sup".into(),
+                    new_state,
+                },
+                wire,
+            )
+            .unwrap()
+            .unwrap();
+    }
+
+    // The write is acknowledged once the leader commits; replication to
+    // the downstream hops is asynchronous.  Poll each node's buffer
+    // until every hop has contributed a span (or a timeout passes —
+    // drains are destructive, so partial harvests accumulate).
+    let mut spans: Vec<(String, SpanRecord)> = tracer
+        .drain()
+        .spans
+        .into_iter()
+        .map(|s| ("client".to_owned(), s))
+        .collect();
+    let mut reported: BTreeMap<String, usize> = BTreeMap::new();
+    for _ in 0..50 {
+        for (addr, _) in &chain {
+            if let Ok(snap) = Client::connect(addr).and_then(|mut c| c.trace()) {
+                for s in snap.spans {
+                    if s.trace_id == ctx.trace_id {
+                        *reported.entry(addr.clone()).or_insert(0) += 1;
+                        spans.push((addr.clone(), s));
+                    }
+                }
+            }
+        }
+        if reported.len() == chain.len() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+
+    let nodes: Vec<&str> = spans
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .fold(Vec::new(), |mut acc, n| {
+            if !acc.contains(&n) {
+                acc.push(n);
+            }
+            acc
+        });
+    println!(
+        "trace {:016x}: {} span(s) across {} node(s): {}",
+        ctx.trace_id,
+        spans.len(),
+        nodes.len(),
+        nodes.join(", ")
+    );
+    print_span_tree(&spans);
+}
+
+/// Render one trace's spans as an indented tree: children under their
+/// `parent_span`, siblings in start order, orphans (parent not drained)
+/// at the root level so nothing is silently dropped.
+fn print_span_tree(spans: &[(String, SpanRecord)]) {
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|(_, s)| s.span_id).collect();
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| (spans[i].1.start_ns, spans[i].1.span_id));
+    fn walk(
+        parent: u64,
+        depth: usize,
+        order: &[usize],
+        spans: &[(String, SpanRecord)],
+        ids: &std::collections::BTreeSet<u64>,
+    ) {
+        for &i in order {
+            let (node, s) = &spans[i];
+            let at_root = s.parent_span == 0 || !ids.contains(&s.parent_span);
+            if if parent == 0 {
+                !at_root
+            } else {
+                s.parent_span != parent
+            } {
+                continue;
+            }
+            println!(
+                "{}{} @ {node} ({:.1} us)",
+                "  ".repeat(depth + 1),
+                s.label,
+                s.dur_ns as f64 / 1000.0
+            );
+            walk(s.span_id, depth + 1, order, spans, ids);
+        }
+    }
+    walk(0, 0, &order, spans, &ids);
 }
 
 fn label(res: &SessionResponse) -> &'static str {

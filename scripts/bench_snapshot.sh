@@ -5,14 +5,15 @@
 # sharded-dispatcher shard-count sweep, instrumentation overhead
 # enabled vs no-op, delta-subscription fan-out + push-vs-poll bytes,
 # replication visibility latency + catch-up throughput, topology
-# fan-out visibility + chained leader egress) and
+# fan-out visibility + chained leader egress, distributed-tracing
+# overhead per sampling rate) and
 # collect the vendored harness's machine-readable result lines
-# ("compview-bench: {...}") into BENCH_PR9.json.
+# ("compview-bench: {...}") into BENCH_PR10.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
-TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs subs repl fanout)
+OUT="${1:-BENCH_PR10.json}"
+TARGETS=(chase partition_lattice translate_scaling incremental session wal serve sharded obs subs repl fanout trace)
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

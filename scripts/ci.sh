@@ -90,9 +90,11 @@ grep -q "event seq 3" <<< "$subscribe_out"
 # (DESIGN.md §15).  (The in-process failover path — write leader, read
 # follower, kill leader, promote, write promoted — is the
 # `promotion_after_leader_kill` case in the replica suite above.)
+# The held nodes run with --trace 1 so the tracing and topology smoke
+# below can observe the same chain end to end (DESIGN.md §16).
 echo "==> cargo run --example serve -- --follow (leader + 2 followers + chained follower smoke)"
 leader_out="$(mktemp)"
-cargo run -q --example serve -- --hold 60 > "$leader_out" &
+cargo run -q --example serve -- --trace 1 --hold 60 > "$leader_out" &
 leader_pid=$!
 leader_addr=""
 for _ in $(seq 1 100); do
@@ -102,14 +104,16 @@ for _ in $(seq 1 100); do
 done
 [ -n "$leader_addr" ] || { echo "leader never came up"; kill "$leader_pid"; exit 1; }
 
-# Follower 1: plain follow, runs to completion.
+# Follower 1: plain follow, runs to completion — untraced on purpose, so
+# a tracing-unaware peer exercises the untagged-frame compatibility path
+# against a tracing leader.
 follow_out="$(cargo run -q --example serve -- --follow "$leader_addr")"
 grep -q "replicated view 'sup' holds 2 tuples" <<< "$follow_out"
 grep -q "write refused: not the leader — retry against $leader_addr" <<< "$follow_out"
 
 # Follower 2: held open so a third process can chain off it.
 f2_out="$(mktemp)"
-cargo run -q --example serve -- --follow "$leader_addr" --hold 60 > "$f2_out" &
+cargo run -q --example serve -- --trace 1 --follow "$leader_addr" --hold 60 > "$f2_out" &
 f2_pid=$!
 f2_addr=""
 for _ in $(seq 1 100); do
@@ -119,14 +123,48 @@ for _ in $(seq 1 100); do
 done
 [ -n "$f2_addr" ] || { echo "follower 2 never came up"; kill "$leader_pid" "$f2_pid"; exit 1; }
 
-# Chained follower: tails follower 2, but its refusal and root hint
-# must name the ROOT leader.
-chain_out="$(cargo run -q --example serve -- --follow "$f2_addr")"
-kill "$f2_pid" "$leader_pid" 2>/dev/null || true
-wait "$f2_pid" "$leader_pid" 2>/dev/null || true
-rm -f "$leader_out" "$f2_out"
-grep -q "replicated view 'sup' holds 2 tuples" <<< "$chain_out"
-grep -q "following $f2_addr (root leader $leader_addr)" <<< "$chain_out"
-grep -q "write refused: not the leader — retry against $leader_addr" <<< "$chain_out"
+# Chained follower: tails follower 2, but its refusal and root hint must
+# name the ROOT leader.  Held open too, completing a live 3-node chain.
+f3_out="$(mktemp)"
+cargo run -q --example serve -- --trace 1 --follow "$f2_addr" --hold 60 > "$f3_out" &
+f3_pid=$!
+f3_addr=""
+for _ in $(seq 1 100); do
+    f3_addr="$(sed -n 's/.*serving reads on \([0-9.:]*\)$/\1/p' "$f3_out")"
+    [ -n "$f3_addr" ] && break
+    sleep 0.1
+done
+[ -n "$f3_addr" ] || { echo "chained follower never came up"; kill "$leader_pid" "$f2_pid" "$f3_pid"; exit 1; }
+grep -q "replicated view 'sup' holds 2 tuples" "$f3_out"
+grep -q "following $f2_addr (root leader $leader_addr)" "$f3_out"
+grep -q "write refused: not the leader — retry against $leader_addr" "$f3_out"
+
+# Topology introspection: walking the chain from the leaf renders the
+# whole three-node tree, root first, with per-session positions.
+echo "==> cargo run --example serve -- --topology (3-node chain rendering)"
+topo_out="$(cargo run -q --example serve -- --topology "$f3_addr")"
+grep -q "replication topology from $f3_addr (3 node(s))" <<< "$topo_out"
+grep -q "$leader_addr  \[root\]" <<< "$topo_out"
+grep -q "└─ $f2_addr  \[follower\]" <<< "$topo_out"
+grep -q "└─ $f3_addr  \[follower\]" <<< "$topo_out"
+
+# Distributed tracing: one traced update against the root must assemble
+# into a single cross-process span tree whose spans name the client and
+# all three server nodes — proof the context propagated client → leader
+# shard → WAL → follower → chained follower (DESIGN.md §16).
+echo "==> cargo run --example serve -- --trace-update (cross-process span tree)"
+trace_out="$(cargo run -q --example serve -- --trace-update "$f3_addr")"
+kill "$f3_pid" "$f2_pid" "$leader_pid" 2>/dev/null || true
+wait "$f3_pid" "$f2_pid" "$leader_pid" 2>/dev/null || true
+rm -f "$leader_out" "$f2_out" "$f3_out"
+grep -q "across 4 node(s): client" <<< "$trace_out"
+grep -q "client.send @ client" <<< "$trace_out"
+grep -q "shard.queue @ $leader_addr" <<< "$trace_out"
+grep -q "wal.append @ $leader_addr" <<< "$trace_out"
+grep -q "wal.fsync @ $leader_addr" <<< "$trace_out"
+grep -q "repl.ship @ $leader_addr" <<< "$trace_out"
+grep -q "repl.apply @ $f2_addr" <<< "$trace_out"
+grep -q "repl.ship @ $f2_addr" <<< "$trace_out"
+grep -q "repl.apply @ $f3_addr" <<< "$trace_out"
 
 echo "CI OK"
